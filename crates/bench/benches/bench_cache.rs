@@ -1,0 +1,69 @@
+//! End-to-end cache operation benchmarks: a full MeanCache lookup (encode +
+//! search + context verification) and an insert, against a populated cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_embedder::{ModelProfile, ProfileKind, QueryEncoder};
+use mc_workloads::{standalone_workload, TopicBank};
+use meancache::{MeanCache, MeanCacheConfig, SemanticCache};
+use std::hint::black_box;
+
+fn populated_cache(entries: usize, compressed: bool) -> MeanCache {
+    let bank = TopicBank::generate(5);
+    let workload = standalone_workload(&bank, entries, 1, 0.3, 5);
+    let mut encoder =
+        QueryEncoder::new(ModelProfile::compact(ProfileKind::MpnetLike), 5).expect("profile");
+    if compressed {
+        let corpus: Vec<String> = bank.all_queries().into_iter().step_by(2).take(400).collect();
+        encoder.fit_pca(&corpus, 64, 5).expect("PCA fit");
+    }
+    let mut cache =
+        MeanCache::new(encoder, MeanCacheConfig::default().with_threshold(0.8)).expect("config");
+    for (query, _) in &workload.populate {
+        cache.insert(query, "cached response body", &[]).expect("insert");
+    }
+    cache
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meancache_lookup");
+    group.sample_size(20);
+    for &entries in &[1000usize, 3000] {
+        for &compressed in &[false, true] {
+            let mut cache = populated_cache(entries, compressed);
+            let label = format!(
+                "{entries}_entries_{}",
+                if compressed { "pca64" } else { "full" }
+            );
+            group.bench_with_input(BenchmarkId::from_parameter(label), &entries, |bencher, _| {
+                bencher.iter(|| {
+                    black_box(cache.lookup(
+                        "what is the best way to extend my phone battery duration",
+                        &[],
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meancache_insert");
+    group.sample_size(20);
+    let mut cache = populated_cache(1000, false);
+    let mut i = 0u64;
+    group.bench_function("insert_into_1000_entry_cache", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(
+                cache
+                    .insert(&format!("a brand new query number {i}"), "response", &[])
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_insert);
+criterion_main!(benches);

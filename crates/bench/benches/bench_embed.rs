@@ -1,0 +1,46 @@
+//! Embedding-computation benchmarks (the timing half of Figure 15): how long
+//! one query takes to encode under each model profile, and the effect of an
+//! attached PCA compression layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_embedder::{ModelProfile, QueryEncoder};
+use std::hint::black_box;
+
+const QUERY: &str = "how can I increase the battery life of my smartphone without replacing it";
+
+fn bench_encode_per_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_one_query");
+    group.sample_size(20);
+    for (label, profile) in [
+        ("albert", ModelProfile::albert()),
+        ("mpnet", ModelProfile::mpnet()),
+        ("llama2", ModelProfile::llama()),
+    ] {
+        let encoder = QueryEncoder::new(profile, 7).expect("profile");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |bencher, _| {
+            bencher.iter(|| black_box(encoder.encode(QUERY)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_with_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_with_pca");
+    group.sample_size(20);
+    let corpus: Vec<String> = (0..200)
+        .map(|i| format!("synthetic corpus query about subject number {i}"))
+        .collect();
+    let plain = QueryEncoder::new(ModelProfile::mpnet(), 7).expect("profile");
+    let mut compressed = plain.clone();
+    compressed.fit_pca(&corpus, 64, 7).expect("PCA fit");
+    group.bench_function("mpnet_uncompressed", |b| {
+        b.iter(|| black_box(plain.encode(QUERY)))
+    });
+    group.bench_function("mpnet_pca64", |b| {
+        b.iter(|| black_box(compressed.encode(QUERY)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_per_profile, bench_encode_with_compression);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Semantic-search benchmarks (the search-time panel of Figure 10): top-k
+//! cosine search over caches of 1000/2000/3000 entries, at full (768) and
+//! PCA-compressed (64) dimensionality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_store::EmbeddingIndex;
+use mc_tensor::{rng, vector};
+use std::hint::black_box;
+
+fn build_index(entries: usize, dims: usize) -> (EmbeddingIndex, Vec<f32>) {
+    let mut r = rng::seeded(11);
+    let mut index = EmbeddingIndex::new(dims).expect("dims > 0");
+    for id in 0..entries as u64 {
+        let mut v = rng::uniform_vec(dims, 1.0, &mut r);
+        vector::normalize(&mut v);
+        index.add(id, &v).expect("consistent dims");
+    }
+    let mut q = rng::uniform_vec(dims, 1.0, &mut r);
+    vector::normalize(&mut q);
+    (index, q)
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semantic_search_top5");
+    group.sample_size(20);
+    for &entries in &[1000usize, 2000, 3000] {
+        for &dims in &[768usize, 64] {
+            let (index, query) = build_index(entries, dims);
+            let label = format!("{entries}_entries_{dims}d");
+            group.bench_with_input(BenchmarkId::from_parameter(label), &entries, |bencher, _| {
+                bencher.iter(|| black_box(index.search(&query, 5, 0.5).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the tensor kernels the cache and trainer sit on:
+//! parallel matmul, cosine similarity, and batched cosine scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_tensor::{ops, rng, vector};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let mut r = rng::seeded(1);
+        let a = rng::uniform_matrix(n, n, 1.0, &mut r);
+        let b = rng::uniform_matrix(n, n, 1.0, &mut r);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| black_box(a.matmul(&b).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cosine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosine_similarity");
+    for &dims in &[64usize, 768, 4096] {
+        let mut r = rng::seeded(2);
+        let a = rng::uniform_vec(dims, 1.0, &mut r);
+        let b = rng::uniform_vec(dims, 1.0, &mut r);
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |bencher, _| {
+            bencher.iter(|| black_box(vector::cosine_similarity(&a, &b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_cosine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_cosine_1000_keys");
+    group.sample_size(20);
+    for &dims in &[64usize, 768] {
+        let mut r = rng::seeded(3);
+        let mut keys = rng::uniform_matrix(1000, dims, 1.0, &mut r);
+        keys.normalize_rows();
+        let mut q = rng::uniform_vec(dims, 1.0, &mut r);
+        vector::normalize(&mut q);
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |bencher, _| {
+            bencher.iter(|| black_box(ops::batch_cosine_normalized(&q, &keys).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_cosine, bench_batch_cosine);
+criterion_main!(benches);

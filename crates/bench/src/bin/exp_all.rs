@@ -1,0 +1,18 @@
+//! Runs every experiment in sequence: Table I and Figures 4-16.
+fn main() {
+    let rounds = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    println!("== MeanCache reproduction: full experiment suite ==\n");
+    mc_bench::run_fig4();
+    let corpus = mc_bench::ExperimentCorpus::standard();
+    mc_bench::run_table1_and_fig7_9(&corpus);
+    mc_bench::run_fig5_6(&corpus);
+    mc_bench::run_fig8(&corpus);
+    mc_bench::run_fig10(&corpus);
+    mc_bench::run_fig11_12(&corpus, rounds);
+    mc_bench::run_fig13_14_16(&corpus);
+    mc_bench::run_fig15();
+    println!("== experiment suite complete ==");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10 (storage / search time / F-score vs cache size).
+fn main() {
+    let corpus = mc_bench::ExperimentCorpus::standard();
+    mc_bench::run_fig10(&corpus);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figures 11 and 12 (FL training rounds vs model quality).
+//! Pass a round count as the first argument (default 20).
+fn main() {
+    let rounds = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let corpus = mc_bench::ExperimentCorpus::standard();
+    mc_bench::run_fig11_12(&corpus, rounds);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figures 13, 14 and 16 (cosine-threshold sweeps).
+fn main() {
+    let corpus = mc_bench::ExperimentCorpus::standard();
+    mc_bench::run_fig13_14_16(&corpus);
+}

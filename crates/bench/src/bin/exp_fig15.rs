@@ -1,0 +1,4 @@
+//! Regenerates Figure 15 (embedding compute time and storage per model).
+fn main() {
+    mc_bench::run_fig15();
+}

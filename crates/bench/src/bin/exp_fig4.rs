@@ -1,0 +1,4 @@
+//! Regenerates Figure 4 (user-study duplicate-query analysis).
+fn main() {
+    mc_bench::run_fig4();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figures 5 and 6 (per-query response times and labels).
+fn main() {
+    let corpus = mc_bench::ExperimentCorpus::standard();
+    mc_bench::run_fig5_6(&corpus);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (alias of exp_fig5, which prints both figures).
+fn main() {
+    let corpus = mc_bench::ExperimentCorpus::standard();
+    mc_bench::run_fig5_6(&corpus);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 (contextual hit/miss labels).
+fn main() {
+    let corpus = mc_bench::ExperimentCorpus::standard();
+    mc_bench::run_fig8(&corpus);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table I and the confusion matrices of Figures 7 and 9.
+fn main() {
+    let corpus = mc_bench::ExperimentCorpus::standard();
+    mc_bench::run_table1_and_fig7_9(&corpus);
+}

@@ -1,0 +1,29 @@
+//! # mc-bench
+//!
+//! Benchmark harness reproducing every table and figure of the MeanCache
+//! paper's evaluation (Section IV). Each experiment is a function in
+//! [`experiments`]; the `exp_*` binaries in `src/bin/` are thin wrappers so
+//! individual artefacts can be regenerated with e.g.
+//!
+//! ```text
+//! cargo run --release -p mc-bench --bin exp_table1
+//! cargo run --release -p mc-bench --bin exp_all
+//! ```
+//!
+//! Criterion micro-benchmarks (`benches/`) cover the kernels whose *speed*
+//! the paper reports: embedding computation time (Figure 15), semantic
+//! search time with and without compression (Figure 10b), and the underlying
+//! tensor kernels.
+//!
+//! Absolute numbers will differ from the paper (the substrate is a synthetic
+//! workload and a from-scratch encoder, not the authors' GPU testbed); the
+//! *shape* of each result — who wins, roughly by how much, where the
+//! crossovers are — is what these experiments reproduce. `EXPERIMENTS.md` at
+//! the workspace root records a paper-vs-measured comparison for every
+//! experiment.
+
+pub mod experiments;
+pub mod setup;
+
+pub use experiments::*;
+pub use setup::*;

@@ -1,0 +1,672 @@
+//! The MeanCache itself: Algorithm 1 of the paper.
+//!
+//! A lookup proceeds as: encode the query → retrieve the top-k most similar
+//! cached queries above the threshold → for each candidate, verify that its
+//! *context chain* matches the probe's conversation → return the first
+//! verified candidate's response, or report a miss so the deployment forwards
+//! the query to the LLM and inserts the fresh response.
+
+use mc_embedder::QueryEncoder;
+use mc_store::{CacheEntry, EmbeddingIndex, MemoryStore};
+use mc_tensor::vector;
+use serde::{Deserialize, Serialize};
+
+use crate::{CacheError, MeanCacheConfig, Result};
+
+/// A successful cache hit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheHit {
+    /// Id of the cached entry that answered the query.
+    pub entry_id: u64,
+    /// The cached response text.
+    pub response: String,
+    /// Cosine similarity between the probe and the cached query.
+    pub score: f32,
+    /// Whether the matched entry was a contextual (follow-up) entry.
+    pub contextual: bool,
+}
+
+/// Outcome of a lookup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CacheDecisionOutcome {
+    /// A semantically similar query with a matching context chain was found.
+    Hit(CacheHit),
+    /// No suitable cached entry: the query must go to the LLM service.
+    Miss,
+}
+
+impl CacheDecisionOutcome {
+    /// `true` for [`CacheDecisionOutcome::Miss`].
+    pub fn is_miss(&self) -> bool {
+        matches!(self, CacheDecisionOutcome::Miss)
+    }
+
+    /// `true` for [`CacheDecisionOutcome::Hit`].
+    pub fn is_hit(&self) -> bool {
+        !self.is_miss()
+    }
+
+    /// The hit payload, if any.
+    pub fn hit(&self) -> Option<&CacheHit> {
+        match self {
+            CacheDecisionOutcome::Hit(h) => Some(h),
+            CacheDecisionOutcome::Miss => None,
+        }
+    }
+}
+
+/// Running counters the cache keeps about itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of lookups performed.
+    pub lookups: u64,
+    /// Number of lookups that returned a hit.
+    pub hits: u64,
+    /// Number of lookups where a semantic match was found but rejected by
+    /// context verification (would have been a false hit without it).
+    pub context_rejections: u64,
+    /// Number of entries inserted.
+    pub inserts: u64,
+    /// Number of user-feedback threshold adjustments applied.
+    pub feedback_updates: u64,
+}
+
+/// Common interface shared by MeanCache and the GPTCache-style baseline so
+/// the deployment driver and the benchmark harness can treat them uniformly.
+pub trait SemanticCache {
+    /// Looks up a query under the given conversational context (most recent
+    /// turn last). Does not modify cache contents other than access metadata.
+    fn lookup(&mut self, query: &str, context: &[String]) -> CacheDecisionOutcome;
+
+    /// Inserts a fresh (query, response) pair obtained from the LLM.
+    ///
+    /// # Errors
+    /// Returns [`CacheError`] on storage failures.
+    fn insert(&mut self, query: &str, response: &str, context: &[String]) -> Result<u64>;
+
+    /// Extra network latency (seconds) a lookup incurs before the cache can
+    /// answer: zero for a user-side cache, one round-trip for a server-side
+    /// cache like GPTCache.
+    fn lookup_network_overhead_s(&self) -> f64;
+
+    /// Number of cached entries.
+    fn len(&self) -> usize;
+
+    /// `true` when the cache is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate storage footprint of the cache contents in bytes.
+    fn storage_bytes(&self) -> usize;
+
+    /// Bytes spent on embeddings alone (what PCA compression shrinks).
+    fn embedding_bytes(&self) -> usize;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+}
+
+/// The probe's conversational context, analysed once per lookup.
+enum ProbeContext {
+    /// The probe carries no conversation history.
+    Standalone,
+    /// The probe follows a previous turn.
+    Contextual {
+        /// Embedding of the most recent previous turn.
+        embedding: Vec<f32>,
+        /// The cached entries that previous turn plausibly resolves to (its
+        /// top-k matches in the cache above the context threshold).
+        resolved: Vec<u64>,
+    },
+}
+
+/// The user-side semantic cache (the paper's contribution).
+#[derive(Debug, Clone)]
+pub struct MeanCache {
+    encoder: QueryEncoder,
+    config: MeanCacheConfig,
+    store: MemoryStore,
+    index: EmbeddingIndex,
+    stats: CacheStats,
+}
+
+impl MeanCache {
+    /// Creates an empty cache around a (typically federated-trained) encoder.
+    ///
+    /// # Errors
+    /// Returns [`CacheError::InvalidConfig`] when the configuration is
+    /// invalid.
+    pub fn new(encoder: QueryEncoder, config: MeanCacheConfig) -> Result<Self> {
+        config.validate()?;
+        let store = MemoryStore::new(config.capacity, config.eviction)?;
+        let index = EmbeddingIndex::new(encoder.output_dim())?;
+        Ok(Self {
+            encoder,
+            config,
+            store,
+            index,
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// Borrow the encoder.
+    pub fn encoder(&self) -> &QueryEncoder {
+        &self.encoder
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &MeanCacheConfig {
+        &self.config
+    }
+
+    /// The current cosine threshold τ.
+    pub fn threshold(&self) -> f32 {
+        self.config.threshold
+    }
+
+    /// Replaces the threshold (e.g. with a new federated global threshold).
+    pub fn set_threshold(&mut self, threshold: f32) {
+        self.config.threshold = threshold.clamp(0.0, 1.0);
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Borrow an entry by id (for tests and the persistence layer).
+    pub fn entry(&self, id: u64) -> Option<&CacheEntry> {
+        self.store.get(id)
+    }
+
+    /// Iterate over all cached entries.
+    pub fn entries(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.store.iter()
+    }
+
+    /// Adaptive threshold feedback (Section III-A2): when the user rejects a
+    /// cached response (re-asks the LLM), the hit was false — raise τ; when
+    /// the user reports the cache should have answered, lower τ.
+    pub fn record_feedback(&mut self, false_hit: bool) {
+        let step = self.config.feedback_step;
+        if false_hit {
+            self.config.threshold = (self.config.threshold + step * (1.0 - self.config.threshold))
+                .clamp(0.0, 1.0);
+        } else {
+            self.config.threshold = (self.config.threshold - step * self.config.threshold)
+                .clamp(0.0, 1.0);
+        }
+        self.stats.feedback_updates += 1;
+    }
+
+    /// Pre-computed view of the probe's conversational context, shared by all
+    /// candidate checks of one lookup.
+    fn probe_context(&self, context: &[String]) -> ProbeContext {
+        match context.last() {
+            None => ProbeContext::Standalone,
+            Some(text) => {
+                let embedding = self.encoder.encode(text);
+                // The cached entries the probe's previous turn plausibly
+                // refers to: its top-k matches above the context threshold.
+                let resolved = self
+                    .index
+                    .search(
+                        embedding.as_slice(),
+                        self.config.top_k,
+                        self.config.context_threshold,
+                    )
+                    .map(|hits| hits.into_iter().map(|h| h.id).collect())
+                    .unwrap_or_default();
+                ProbeContext::Contextual {
+                    embedding: embedding.into_vec(),
+                    resolved,
+                }
+            }
+        }
+    }
+
+    /// Checks whether a candidate entry's context chain matches the probe's
+    /// conversational context (Algorithm 1, lines 4-6).
+    ///
+    /// A contextual candidate matches when the probe's previous turn (a) is
+    /// semantically similar to the candidate's cached parent query and (b)
+    /// *resolves to that same parent entry* — i.e. among everything in the
+    /// cache, the conversation the probe belongs to is the one the candidate
+    /// followed up on. Requiring resolution keeps lexically-similar but
+    /// different conversations (the paper's Q3/Q4 example) from false-hitting
+    /// even when the encoder scores them above the threshold.
+    fn context_matches(&self, entry: &CacheEntry, probe: &ProbeContext) -> bool {
+        match (entry.parent, probe) {
+            // Standalone cached query and standalone probe: contexts agree.
+            (None, ProbeContext::Standalone) => true,
+            // Contextual cached query but standalone probe (or vice versa):
+            // the interpretations differ, so never serve from cache.
+            (None, ProbeContext::Contextual { .. }) | (Some(_), ProbeContext::Standalone) => false,
+            (Some(parent_id), ProbeContext::Contextual { embedding, resolved }) => {
+                let Some(parent_entry) = self.store.get(parent_id) else {
+                    // Dangling parent (should not happen thanks to eviction
+                    // protection) — be conservative.
+                    return false;
+                };
+                let score = vector::cosine_similarity_normalized(
+                    embedding,
+                    parent_entry.embedding.as_slice(),
+                );
+                score >= self.config.context_threshold && resolved.contains(&parent_id)
+            }
+        }
+    }
+
+    /// Re-inserts a previously persisted entry verbatim (same id, parent,
+    /// embedding and access metadata). Used by [`crate::persist`] when
+    /// reloading a cache from disk.
+    ///
+    /// # Errors
+    /// Returns [`CacheError::Store`] when the embedding does not match the
+    /// index dimensionality (e.g. the encoder changed compression settings
+    /// between save and load).
+    pub fn restore_entry(&mut self, entry: CacheEntry) -> Result<u64> {
+        let id = entry.id;
+        let embedding = entry.embedding.clone();
+        if let Some(evicted) = self.store.insert(entry) {
+            let _ = self.index.remove(evicted);
+        }
+        self.index
+            .add(id, embedding.as_slice())
+            .map_err(CacheError::from)?;
+        self.stats.inserts += 1;
+        Ok(id)
+    }
+
+    /// Finds the cached entry that corresponds to the probe's most recent
+    /// context turn, used to link a newly inserted follow-up to its parent.
+    fn resolve_parent(&self, context: &[String]) -> Option<u64> {
+        let parent_text = context.last()?;
+        let embedding = self.encoder.encode(parent_text);
+        self.index
+            .best_match(embedding.as_slice(), self.config.context_threshold)
+            .ok()
+            .flatten()
+            .map(|hit| hit.id)
+    }
+}
+
+impl SemanticCache for MeanCache {
+    fn lookup(&mut self, query: &str, context: &[String]) -> CacheDecisionOutcome {
+        self.stats.lookups += 1;
+        let embedding = self.encoder.encode(query);
+        let candidates = match self.index.search(
+            embedding.as_slice(),
+            self.config.top_k,
+            self.config.threshold,
+        ) {
+            Ok(c) => c,
+            Err(_) => return CacheDecisionOutcome::Miss,
+        };
+        let probe_context = if self.config.context_checking {
+            Some(self.probe_context(context))
+        } else {
+            None
+        };
+        let mut rejected_by_context = false;
+        for candidate in candidates {
+            let Some(entry) = self.store.get(candidate.id) else {
+                continue;
+            };
+            let context_ok = match &probe_context {
+                Some(probe) => self.context_matches(entry, probe),
+                None => true,
+            };
+            if context_ok {
+                let contextual = entry.is_contextual();
+                let response = entry.response.clone();
+                self.store.get_mut_touch(candidate.id);
+                self.stats.hits += 1;
+                return CacheDecisionOutcome::Hit(CacheHit {
+                    entry_id: candidate.id,
+                    response,
+                    score: candidate.score,
+                    contextual,
+                });
+            }
+            rejected_by_context = true;
+        }
+        if rejected_by_context {
+            self.stats.context_rejections += 1;
+        }
+        CacheDecisionOutcome::Miss
+    }
+
+    fn insert(&mut self, query: &str, response: &str, context: &[String]) -> Result<u64> {
+        let embedding = self.encoder.encode(query);
+        let parent = if self.config.context_checking {
+            self.resolve_parent(context)
+        } else {
+            None
+        };
+        let id = self.store.next_id();
+        let entry = CacheEntry::new(id, query, response, embedding.clone(), parent, 0);
+        if let Some(evicted) = self.store.insert(entry) {
+            // Keep the index consistent with the store.
+            let _ = self.index.remove(evicted);
+        }
+        self.index.add(id, embedding.as_slice())?;
+        self.stats.inserts += 1;
+        Ok(id)
+    }
+
+    fn lookup_network_overhead_s(&self) -> f64 {
+        0.0
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.store.storage_bytes()
+    }
+
+    fn embedding_bytes(&self) -> usize {
+        self.store.embedding_bytes()
+    }
+
+    fn name(&self) -> String {
+        let compression = if self.encoder.is_compressed() {
+            "-compressed"
+        } else {
+            ""
+        };
+        format!("MeanCache({}{})", self.encoder.profile().kind, compression)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_embedder::ModelProfile;
+    use mc_store::EvictionPolicy;
+
+    fn trained_like_encoder() -> QueryEncoder {
+        // An untrained tiny encoder is sufficient: hashed n-gram features give
+        // paraphrases high similarity and unrelated queries low similarity.
+        QueryEncoder::new(ModelProfile::tiny(), 7).unwrap()
+    }
+
+    fn cache_with_threshold(threshold: f32) -> MeanCache {
+        MeanCache::new(
+            trained_like_encoder(),
+            MeanCacheConfig {
+                threshold,
+                ..MeanCacheConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_cache_always_misses() {
+        let mut cache = cache_with_threshold(0.5);
+        assert!(cache.lookup("anything at all", &[]).is_miss());
+        assert_eq!(cache.len(), 0);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().lookups, 1);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn paraphrase_hits_unrelated_misses() {
+        let mut cache = cache_with_threshold(0.6);
+        cache
+            .insert(
+                "how can I increase the battery life of my smartphone",
+                "Lower the screen brightness and disable background apps.",
+                &[],
+            )
+            .unwrap();
+        cache
+            .insert(
+                "how do I bake sourdough bread at home",
+                "Feed your starter, mix, fold, proof overnight, bake at 230C.",
+                &[],
+            )
+            .unwrap();
+
+        let hit = cache.lookup("how can I increase the battery life of my phone", &[]);
+        let hit = hit.hit().expect("paraphrase must hit");
+        assert!(hit.response.contains("brightness"));
+        assert!(hit.score >= 0.6);
+        assert!(!hit.contextual);
+
+        let miss = cache.lookup("what is the capital city of portugal", &[]);
+        assert!(miss.is_miss());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().lookups, 2);
+    }
+
+    #[test]
+    fn exact_duplicate_always_hits_at_high_threshold() {
+        let mut cache = cache_with_threshold(0.95);
+        cache
+            .insert("what is federated learning", "FL trains models on-device.", &[])
+            .unwrap();
+        let hit = cache.lookup("what is federated learning", &[]);
+        assert!(hit.is_hit());
+        assert!(hit.hit().unwrap().score > 0.99);
+    }
+
+    #[test]
+    fn contextual_queries_require_matching_context() {
+        let mut cache = cache_with_threshold(0.6);
+        // Conversation 1: draw a line plot, then change its colour.
+        cache
+            .insert("draw a line plot in python", "Use plt.plot(xs, ys).", &[])
+            .unwrap();
+        cache
+            .insert(
+                "change the color to red",
+                "Pass color='red' to plt.plot.",
+                &["draw a line plot in python".to_string()],
+            )
+            .unwrap();
+
+        // Same follow-up, same conversation: hit.
+        let same_context = cache.lookup(
+            "change the color to red",
+            &["draw a line plot in python".to_string()],
+        );
+        assert!(same_context.is_hit());
+        assert!(same_context.hit().unwrap().contextual);
+
+        // Same follow-up text but a *different* conversation (the paper's Q3
+        // "Draw a circle?"): must miss — GPTCache's false-hit scenario.
+        let different_context = cache.lookup(
+            "change the color to red",
+            &["draw a circle".to_string()],
+        );
+        assert!(different_context.is_miss());
+        assert!(cache.stats().context_rejections >= 1);
+
+        // Standalone probe of a contextual entry must also miss.
+        let standalone_probe = cache.lookup("change the color to red", &[]);
+        assert!(standalone_probe.is_miss());
+    }
+
+    #[test]
+    fn disabling_context_checking_reproduces_the_baseline_false_hit() {
+        let encoder = trained_like_encoder();
+        let mut cache = MeanCache::new(
+            encoder,
+            MeanCacheConfig::default()
+                .with_threshold(0.6)
+                .with_context_checking(false),
+        )
+        .unwrap();
+        cache
+            .insert("draw a line plot in python", "Use plt.plot(xs, ys).", &[])
+            .unwrap();
+        cache
+            .insert(
+                "change the color to red",
+                "Pass color='red' to plt.plot.",
+                &["draw a line plot in python".to_string()],
+            )
+            .unwrap();
+        // Without context verification the cache happily (and wrongly) serves
+        // the cached follow-up response under a different conversation.
+        let wrong_context = cache.lookup(
+            "change the color to red",
+            &["draw a circle in python".to_string()],
+        );
+        assert!(wrong_context.is_hit());
+    }
+
+    #[test]
+    fn follow_up_insertion_links_to_its_parent() {
+        let mut cache = cache_with_threshold(0.6);
+        let parent_id = cache
+            .insert("draw a line plot in python", "Use plt.plot.", &[])
+            .unwrap();
+        let child_id = cache
+            .insert(
+                "change the color to red",
+                "Pass color='red'.",
+                &["draw a line plot in python".to_string()],
+            )
+            .unwrap();
+        let child = cache.entry(child_id).unwrap();
+        assert_eq!(child.parent, Some(parent_id));
+        // A follow-up whose context was never cached gets no parent link.
+        let orphan_id = cache
+            .insert(
+                "make it shorter",
+                "Here is a shorter version.",
+                &["write a poem about autumn leaves".to_string()],
+            )
+            .unwrap();
+        assert_eq!(cache.entry(orphan_id).unwrap().parent, None);
+    }
+
+    #[test]
+    fn threshold_controls_hit_aggressiveness() {
+        let mut permissive = cache_with_threshold(0.1);
+        let mut strict = cache_with_threshold(0.995);
+        for cache in [&mut permissive, &mut strict] {
+            cache
+                .insert("how do I bake sourdough bread", "Long fermentation.", &[])
+                .unwrap();
+        }
+        let loosely_related = "how do I bake a chocolate cake";
+        assert!(permissive.lookup(loosely_related, &[]).is_hit());
+        assert!(strict.lookup(loosely_related, &[]).is_miss());
+    }
+
+    #[test]
+    fn feedback_adjusts_threshold_in_the_right_direction() {
+        let mut cache = cache_with_threshold(0.7);
+        cache.record_feedback(true);
+        assert!(cache.threshold() > 0.7);
+        let raised = cache.threshold();
+        cache.record_feedback(false);
+        assert!(cache.threshold() < raised);
+        assert_eq!(cache.stats().feedback_updates, 2);
+        // Thresholds stay in [0, 1] even under many updates.
+        for _ in 0..500 {
+            cache.record_feedback(true);
+        }
+        assert!(cache.threshold() <= 1.0);
+        for _ in 0..500 {
+            cache.record_feedback(false);
+        }
+        assert!(cache.threshold() >= 0.0);
+    }
+
+    #[test]
+    fn eviction_keeps_store_and_index_consistent() {
+        let encoder = trained_like_encoder();
+        let mut cache = MeanCache::new(
+            encoder,
+            MeanCacheConfig {
+                capacity: 3,
+                threshold: 0.3,
+                eviction: EvictionPolicy::Fifo,
+                ..MeanCacheConfig::default()
+            },
+        )
+        .unwrap();
+        for (i, q) in [
+            "how do I bake sourdough bread",
+            "what is the capital of france",
+            "explain quantum computing simply",
+            "tips for travelling to japan",
+            "how do I sort a list in python",
+        ]
+        .iter()
+        .enumerate()
+        {
+            cache.insert(q, &format!("response {i}"), &[]).unwrap();
+        }
+        assert_eq!(cache.len(), 3);
+        // The most recent entry must still hit exactly.
+        let recent = cache.lookup("how do I sort a list in python", &[]);
+        assert!(recent.is_hit());
+        assert!(recent.hit().unwrap().score > 0.99);
+        // The evicted entries are gone from both the store and the index: an
+        // exact probe of an evicted query can no longer find an exact match.
+        let live_ids: Vec<u64> = cache.entries().map(|e| e.id).collect();
+        assert_eq!(live_ids.len(), 3);
+        let evicted_probe = cache.lookup("how do I bake sourdough bread", &[]);
+        if let Some(hit) = evicted_probe.hit() {
+            assert!(
+                live_ids.contains(&hit.entry_id),
+                "a hit after eviction must point at a live entry"
+            );
+            assert!(
+                hit.score < 0.99,
+                "the exact evicted entry must not be served (score {})",
+                hit.score
+            );
+        }
+    }
+
+    #[test]
+    fn set_threshold_clamps_and_stats_track_inserts() {
+        let mut cache = cache_with_threshold(0.5);
+        cache.set_threshold(1.7);
+        assert_eq!(cache.threshold(), 1.0);
+        cache.set_threshold(-0.3);
+        assert_eq!(cache.threshold(), 0.0);
+        cache.insert("q", "r", &[]).unwrap();
+        assert_eq!(cache.stats().inserts, 1);
+        assert!(cache.storage_bytes() > 0);
+        assert!(cache.embedding_bytes() > 0);
+        assert!(cache.name().contains("MeanCache"));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let encoder = trained_like_encoder();
+        assert!(MeanCache::new(
+            encoder,
+            MeanCacheConfig {
+                threshold: 2.0,
+                ..MeanCacheConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn compressed_encoder_changes_name_and_embedding_size() {
+        let mut encoder = trained_like_encoder();
+        let corpus: Vec<String> = (0..40).map(|i| format!("training query number {i}")).collect();
+        encoder.fit_pca(&corpus, 8, 3).unwrap();
+        let mut cache = MeanCache::new(encoder, MeanCacheConfig::default().with_threshold(0.5)).unwrap();
+        cache.insert("how do I bake sourdough bread", "resp", &[]).unwrap();
+        assert!(cache.name().contains("compressed"));
+        // 8-dim embeddings: 8 * 4 bytes per entry.
+        assert_eq!(cache.embedding_bytes(), 32);
+        assert!(cache.lookup("how do I bake sourdough bread", &[]).is_hit());
+    }
+}

@@ -1,0 +1,139 @@
+//! Deployment configuration of the local semantic cache.
+
+use mc_store::EvictionPolicy;
+use serde::{Deserialize, Serialize};
+
+use crate::{CacheError, Result};
+
+/// Configuration of a [`crate::MeanCache`] instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeanCacheConfig {
+    /// Cosine-similarity threshold τ for a query to be considered a semantic
+    /// match. In deployment this is the federated global threshold, refined
+    /// locally (Section III-A2).
+    pub threshold: f32,
+    /// How many candidate cached queries to retrieve per lookup before
+    /// context verification (Algorithm 1 retrieves the top-k similar
+    /// queries).
+    pub top_k: usize,
+    /// Whether to verify context chains for candidate hits (Section III,
+    /// "context chain"). Disabling this reduces MeanCache to a GPTCache-style
+    /// context-oblivious cache — the ablation the contextual experiments
+    /// quantify.
+    pub context_checking: bool,
+    /// Cosine threshold used when matching the probe's conversational
+    /// context against a candidate's cached parent query.
+    pub context_threshold: f32,
+    /// Maximum number of cached entries before eviction.
+    pub capacity: usize,
+    /// Eviction policy (Figure 1 shows LRU).
+    pub eviction: EvictionPolicy,
+    /// Step size for adaptive threshold updates driven by user feedback
+    /// (a reported false hit raises τ, a reported false miss lowers it).
+    pub feedback_step: f32,
+}
+
+impl Default for MeanCacheConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.7,
+            top_k: 5,
+            context_checking: true,
+            context_threshold: 0.7,
+            capacity: 100_000,
+            eviction: EvictionPolicy::Lru,
+            feedback_step: 0.02,
+        }
+    }
+}
+
+impl MeanCacheConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`CacheError::InvalidConfig`] for out-of-range values.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.threshold) {
+            return Err(CacheError::InvalidConfig(format!(
+                "threshold {} must be in [0, 1]",
+                self.threshold
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.context_threshold) {
+            return Err(CacheError::InvalidConfig(format!(
+                "context_threshold {} must be in [0, 1]",
+                self.context_threshold
+            )));
+        }
+        if self.top_k == 0 {
+            return Err(CacheError::InvalidConfig("top_k must be >= 1".into()));
+        }
+        if self.capacity == 0 {
+            return Err(CacheError::InvalidConfig("capacity must be >= 1".into()));
+        }
+        if !(0.0..1.0).contains(&self.feedback_step) {
+            return Err(CacheError::InvalidConfig(format!(
+                "feedback_step {} must be in [0, 1)",
+                self.feedback_step
+            )));
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with the threshold replaced (e.g. with the federated
+    /// global threshold τ_global). The context-verification threshold is the
+    /// same kind of semantic-similarity decision, so it is updated to the
+    /// same value; set `context_threshold` afterwards to diverge.
+    pub fn with_threshold(mut self, threshold: f32) -> Self {
+        self.threshold = threshold;
+        self.context_threshold = threshold;
+        self
+    }
+
+    /// Returns a copy with context checking toggled.
+    pub fn with_context_checking(mut self, enabled: bool) -> Self {
+        self.context_checking = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configuration_is_valid() {
+        let cfg = MeanCacheConfig::default();
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.context_checking);
+        assert_eq!(cfg.eviction, EvictionPolicy::Lru);
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        assert!(MeanCacheConfig { threshold: 1.5, ..Default::default() }.validate().is_err());
+        assert!(MeanCacheConfig { context_threshold: -0.1, ..Default::default() }.validate().is_err());
+        assert!(MeanCacheConfig { top_k: 0, ..Default::default() }.validate().is_err());
+        assert!(MeanCacheConfig { capacity: 0, ..Default::default() }.validate().is_err());
+        assert!(MeanCacheConfig { feedback_step: 1.0, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn builder_helpers_modify_copies() {
+        let cfg = MeanCacheConfig::default()
+            .with_threshold(0.83)
+            .with_context_checking(false);
+        assert_eq!(cfg.threshold, 0.83);
+        assert_eq!(cfg.context_threshold, 0.83);
+        assert!(!cfg.context_checking);
+        assert_eq!(MeanCacheConfig::default().threshold, 0.7);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = MeanCacheConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: MeanCacheConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

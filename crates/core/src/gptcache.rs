@@ -1,0 +1,219 @@
+//! GPTCache-style baseline: a server-side semantic cache with a fixed
+//! threshold and no context verification.
+//!
+//! The paper compares against GPTCache in its "optimal configuration":
+//! Albert embeddings with a fixed cosine threshold of 0.7 (Section IV-A).
+//! Architecturally GPTCache differs from MeanCache in three ways this
+//! baseline reproduces:
+//!
+//! 1. It runs on the **server side**, so even a cache hit costs the user a
+//!    network round-trip (and, in practice, still gets billed).
+//! 2. It does **not verify conversational context**, so lexically similar
+//!    follow-ups from different conversations produce false hits.
+//! 3. Its threshold is **fixed** (no per-user adaptation / federated
+//!    optimum).
+
+use mc_embedder::QueryEncoder;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheDecisionOutcome, MeanCache, SemanticCache};
+use crate::{MeanCacheConfig, Result};
+
+/// Configuration of the GPTCache-style baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GptCacheConfig {
+    /// Fixed cosine-similarity threshold (GPTCache's suggested 0.7).
+    pub threshold: f32,
+    /// Candidate pool size per lookup.
+    pub top_k: usize,
+    /// Maximum number of cached entries.
+    pub capacity: usize,
+    /// Network round-trip to reach the server-side cache, in seconds. Every
+    /// lookup pays this even when the result is a hit.
+    pub network_rtt_s: f64,
+}
+
+impl Default for GptCacheConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.7,
+            top_k: 5,
+            capacity: 1_000_000,
+            network_rtt_s: 0.08,
+        }
+    }
+}
+
+/// The server-side baseline cache.
+#[derive(Debug, Clone)]
+pub struct GptCacheBaseline {
+    inner: MeanCache,
+    network_rtt_s: f64,
+}
+
+impl GptCacheBaseline {
+    /// Creates the baseline around an encoder (the paper's configuration uses
+    /// the Albert model).
+    ///
+    /// # Errors
+    /// Returns [`crate::CacheError::InvalidConfig`] for invalid settings.
+    pub fn new(encoder: QueryEncoder, config: GptCacheConfig) -> Result<Self> {
+        let inner = MeanCache::new(
+            encoder,
+            MeanCacheConfig {
+                threshold: config.threshold,
+                top_k: config.top_k,
+                capacity: config.capacity,
+                // The defining difference: no context-chain verification.
+                context_checking: false,
+                ..MeanCacheConfig::default()
+            },
+        )?;
+        Ok(Self {
+            inner,
+            network_rtt_s: config.network_rtt_s.max(0.0),
+        })
+    }
+
+    /// The fixed threshold in use.
+    pub fn threshold(&self) -> f32 {
+        self.inner.threshold()
+    }
+
+    /// Borrow the underlying encoder.
+    pub fn encoder(&self) -> &QueryEncoder {
+        self.inner.encoder()
+    }
+}
+
+impl SemanticCache for GptCacheBaseline {
+    fn lookup(&mut self, query: &str, context: &[String]) -> CacheDecisionOutcome {
+        // Context is ignored by design.
+        let _ = context;
+        self.inner.lookup(query, &[])
+    }
+
+    fn insert(&mut self, query: &str, response: &str, _context: &[String]) -> Result<u64> {
+        // The server-side cache stores the query without context linkage.
+        self.inner.insert(query, response, &[])
+    }
+
+    fn lookup_network_overhead_s(&self) -> f64 {
+        self.network_rtt_s
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.inner.storage_bytes()
+    }
+
+    fn embedding_bytes(&self) -> usize {
+        self.inner.embedding_bytes()
+    }
+
+    fn name(&self) -> String {
+        format!("GPTCache({})", self.inner.encoder().profile().kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_embedder::ModelProfile;
+
+    fn baseline() -> GptCacheBaseline {
+        let encoder = QueryEncoder::new(ModelProfile::tiny(), 7).unwrap();
+        GptCacheBaseline::new(
+            encoder,
+            GptCacheConfig {
+                threshold: 0.6,
+                ..GptCacheConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn default_configuration_matches_the_paper() {
+        let cfg = GptCacheConfig::default();
+        assert!((cfg.threshold - 0.7).abs() < 1e-6);
+        assert!(cfg.network_rtt_s > 0.0);
+    }
+
+    #[test]
+    fn behaves_as_a_semantic_cache_on_standalone_queries() {
+        let mut cache = baseline();
+        cache
+            .insert("how do I bake sourdough bread", "Long fermentation.", &[])
+            .unwrap();
+        assert!(cache
+            .lookup("how do I bake sourdough bread at home", &[])
+            .is_hit());
+        assert!(cache.lookup("tips for visiting iceland", &[]).is_miss());
+        assert_eq!(cache.len(), 1);
+        assert!(cache.storage_bytes() > 0);
+        assert!(cache.name().contains("GPTCache"));
+    }
+
+    #[test]
+    fn ignores_context_and_therefore_false_hits_on_contextual_probes() {
+        let mut cache = baseline();
+        cache
+            .insert("draw a line plot in python", "Use plt.plot.", &[])
+            .unwrap();
+        cache
+            .insert(
+                "change the color to red",
+                "Pass color='red' to plt.plot.",
+                &["draw a line plot in python".to_string()],
+            )
+            .unwrap();
+        // Different conversation, same follow-up wording: GPTCache wrongly
+        // serves the cached response (the paper's Figure 8a failure mode).
+        let outcome = cache.lookup(
+            "change the color to red",
+            &["draw a circle".to_string()],
+        );
+        assert!(outcome.is_hit());
+    }
+
+    #[test]
+    fn every_lookup_pays_the_network_round_trip() {
+        let cache = baseline();
+        assert!(cache.lookup_network_overhead_s() > 0.0);
+        // Negative RTTs are clamped at construction.
+        let encoder = QueryEncoder::new(ModelProfile::tiny(), 9).unwrap();
+        let clamped = GptCacheBaseline::new(
+            encoder,
+            GptCacheConfig {
+                network_rtt_s: -1.0,
+                ..GptCacheConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(clamped.lookup_network_overhead_s(), 0.0);
+    }
+
+    #[test]
+    fn invalid_threshold_is_rejected() {
+        let encoder = QueryEncoder::new(ModelProfile::tiny(), 7).unwrap();
+        assert!(GptCacheBaseline::new(
+            encoder,
+            GptCacheConfig {
+                threshold: 1.5,
+                ..GptCacheConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn exposes_threshold_and_encoder() {
+        let cache = baseline();
+        assert!((cache.threshold() - 0.6).abs() < 1e-6);
+        assert_eq!(cache.encoder().profile().kind, mc_embedder::ProfileKind::Custom);
+    }
+}

@@ -1,0 +1,162 @@
+//! Persistence of the local cache across application restarts.
+//!
+//! The paper's implementation keeps the user's cache on disk with the
+//! DiskCache library so responses survive restarts. Here the cache contents
+//! are written to `mc-store`'s append-only [`DiskStore`] and reloaded into a
+//! fresh [`MeanCache`] built around the same encoder.
+
+use std::path::Path;
+
+use mc_store::DiskStore;
+
+use crate::{MeanCache, Result};
+
+/// Writes every cached entry to the disk store at `path` (replacing existing
+/// contents) and compacts the log.
+///
+/// # Errors
+/// Propagates storage/IO failures.
+pub fn save_cache(cache: &MeanCache, path: &Path) -> Result<()> {
+    // Start from a clean log so the file reflects exactly the current cache.
+    if path.exists() {
+        std::fs::remove_file(path).map_err(mc_store::StoreError::from)?;
+    }
+    let mut disk = DiskStore::open(path)?;
+    // Insert parents before children so a partially-written log never holds a
+    // dangling parent reference.
+    let mut entries: Vec<_> = cache.entries().cloned().collect();
+    entries.sort_by_key(|e| (e.parent.is_some(), e.id));
+    for entry in entries {
+        disk.insert(entry)?;
+    }
+    disk.compact()?;
+    Ok(())
+}
+
+/// Loads a previously saved cache from `path` into a fresh [`MeanCache`]
+/// configured like `template` (same encoder, same configuration).
+///
+/// # Errors
+/// Propagates storage/IO failures and dimension mismatches (e.g. when the
+/// encoder's compression setting changed since the cache was saved).
+pub fn load_cache(template: MeanCache, path: &Path) -> Result<MeanCache> {
+    let disk = DiskStore::open(path)?;
+    let mut cache = template;
+    let mut entries: Vec<_> = disk.iter().cloned().collect();
+    entries.sort_by_key(|e| (e.parent.is_some(), e.id));
+    for entry in entries {
+        cache.restore_entry(entry)?;
+    }
+    Ok(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MeanCacheConfig, SemanticCache};
+    use mc_embedder::{ModelProfile, QueryEncoder};
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("meancache_persist_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!(
+            "{name}_{}_{}.log",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ))
+    }
+
+    fn fresh_cache() -> MeanCache {
+        let encoder = QueryEncoder::new(ModelProfile::tiny(), 11).unwrap();
+        MeanCache::new(encoder, MeanCacheConfig::default().with_threshold(0.6)).unwrap()
+    }
+
+    #[test]
+    fn save_and_reload_preserves_hits_and_context_chains() {
+        let path = temp_path("roundtrip");
+        let mut cache = fresh_cache();
+        cache
+            .insert("draw a line plot in python", "Use plt.plot.", &[])
+            .unwrap();
+        cache
+            .insert(
+                "change the color to red",
+                "Pass color='red'.",
+                &["draw a line plot in python".to_string()],
+            )
+            .unwrap();
+        cache
+            .insert("what is federated learning", "On-device training.", &[])
+            .unwrap();
+        save_cache(&cache, &path).unwrap();
+
+        // Simulate a restart: a brand-new cache around the same encoder.
+        let mut restored = load_cache(fresh_cache(), &path).unwrap();
+        assert_eq!(restored.len(), 3);
+        assert!(restored
+            .lookup("what is federated learning", &[])
+            .is_hit());
+        // Context chains survive: the follow-up still requires its parent.
+        assert!(restored
+            .lookup(
+                "change the color to red",
+                &["draw a line plot in python".to_string()]
+            )
+            .is_hit());
+        assert!(restored
+            .lookup(
+                "change the color to red",
+                &["write a short poem about the sea".to_string()]
+            )
+            .is_miss());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn saving_replaces_previous_contents() {
+        let path = temp_path("replace");
+        let mut first = fresh_cache();
+        first.insert("old query", "old response", &[]).unwrap();
+        save_cache(&first, &path).unwrap();
+
+        let mut second = fresh_cache();
+        second.insert("new query", "new response", &[]).unwrap();
+        save_cache(&second, &path).unwrap();
+
+        let restored = load_cache(fresh_cache(), &path).unwrap();
+        assert_eq!(restored.len(), 1);
+        assert!(restored.entries().any(|e| e.query == "new query"));
+        assert!(!restored.entries().any(|e| e.query == "old query"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loading_an_empty_store_yields_an_empty_cache() {
+        let path = temp_path("empty");
+        let restored = load_cache(fresh_cache(), &path).unwrap();
+        assert!(restored.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported_when_compression_changes() {
+        let path = temp_path("mismatch");
+        let mut cache = fresh_cache();
+        cache.insert("a cached query", "a response", &[]).unwrap();
+        save_cache(&cache, &path).unwrap();
+
+        // Template whose encoder now compresses to 8 dimensions: the stored
+        // 48-d embeddings no longer fit its index.
+        let mut encoder = QueryEncoder::new(ModelProfile::tiny(), 11).unwrap();
+        let corpus: Vec<String> = (0..30).map(|i| format!("corpus query {i}")).collect();
+        encoder.fit_pca(&corpus, 8, 1).unwrap();
+        let template =
+            MeanCache::new(encoder, MeanCacheConfig::default().with_threshold(0.6)).unwrap();
+        assert!(load_cache(template, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,86 @@
+//! Encoder checkpointing: JSON serialisation of trained models and their
+//! PCA layers so a deployment (or the FL server) can persist and reload the
+//! global embedding model.
+
+use std::fs;
+use std::path::Path;
+
+use crate::{EmbedderError, QueryEncoder, Result};
+
+/// Serialises an encoder (including any attached PCA layer) to a JSON string.
+///
+/// # Errors
+/// Returns [`EmbedderError::Checkpoint`] when serialisation fails.
+pub fn to_json(encoder: &QueryEncoder) -> Result<String> {
+    serde_json::to_string(encoder).map_err(|e| EmbedderError::Checkpoint(e.to_string()))
+}
+
+/// Restores an encoder from a JSON string produced by [`to_json`].
+///
+/// # Errors
+/// Returns [`EmbedderError::Checkpoint`] when parsing fails.
+pub fn from_json(json: &str) -> Result<QueryEncoder> {
+    serde_json::from_str(json).map_err(|e| EmbedderError::Checkpoint(e.to_string()))
+}
+
+/// Saves an encoder checkpoint to a file.
+///
+/// # Errors
+/// Returns [`EmbedderError::Checkpoint`] on serialisation or I/O failure.
+pub fn save(encoder: &QueryEncoder, path: &Path) -> Result<()> {
+    let json = to_json(encoder)?;
+    fs::write(path, json).map_err(|e| EmbedderError::Checkpoint(e.to_string()))
+}
+
+/// Loads an encoder checkpoint from a file.
+///
+/// # Errors
+/// Returns [`EmbedderError::Checkpoint`] on I/O or parse failure.
+pub fn load(path: &Path) -> Result<QueryEncoder> {
+    let json = fs::read_to_string(path).map_err(|e| EmbedderError::Checkpoint(e.to_string()))?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ModelProfile;
+
+    #[test]
+    fn json_round_trip_preserves_embeddings() {
+        let mut enc = QueryEncoder::new(ModelProfile::tiny(), 1).unwrap();
+        let corpus: Vec<String> = (0..30).map(|i| format!("query about topic {i}")).collect();
+        enc.fit_pca(&corpus, 4, 2).unwrap();
+        let json = to_json(&enc).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(
+            enc.encode("query about topic 7"),
+            back.encode("query about topic 7")
+        );
+        assert!(back.is_compressed());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let enc = QueryEncoder::new(ModelProfile::tiny(), 3).unwrap();
+        let dir = std::env::temp_dir().join("mc_embedder_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("encoder.json");
+        save(&enc, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(enc.encode("abc"), back.encode("abc"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_reported() {
+        assert!(matches!(
+            from_json("{not json"),
+            Err(EmbedderError::Checkpoint(_))
+        ));
+        assert!(matches!(
+            load(Path::new("/nonexistent/path/encoder.json")),
+            Err(EmbedderError::Checkpoint(_))
+        ));
+    }
+}

@@ -1,0 +1,168 @@
+//! Pair-classification evaluation of an encoder at a given threshold.
+//!
+//! Given a set of labelled query pairs and a cosine-similarity threshold τ,
+//! every pair is classified as "would hit" (similarity ≥ τ) or "would miss"
+//! and compared against the duplicate label, producing the confusion matrix
+//! and metric bundle the paper reports (Section IV-A3).
+
+use mc_metrics::{ConfusionMatrix, MetricSummary};
+use mc_text::PairDataset;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::QueryEncoder;
+
+/// Result of evaluating an encoder on a labelled pair dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationReport {
+    /// The threshold used for the hit/miss decision.
+    pub threshold: f32,
+    /// Raw confusion counts.
+    pub confusion: ConfusionMatrix,
+    /// Derived metrics at the paper's β (0.5) by default.
+    pub summary: MetricSummary,
+    /// Mean similarity over duplicate pairs.
+    pub mean_duplicate_similarity: f32,
+    /// Mean similarity over non-duplicate pairs.
+    pub mean_non_duplicate_similarity: f32,
+}
+
+impl EvaluationReport {
+    /// Margin between duplicate and non-duplicate mean similarities — a
+    /// threshold-free proxy for embedding quality.
+    pub fn separation(&self) -> f32 {
+        self.mean_duplicate_similarity - self.mean_non_duplicate_similarity
+    }
+}
+
+/// Evaluates `encoder` on `dataset` at threshold `tau` with Fβ weight `beta`.
+///
+/// Pair similarities are computed in parallel (each pair is independent), so
+/// large validation sets evaluate quickly even with the full-size profiles.
+pub fn evaluate_pairs(
+    encoder: &QueryEncoder,
+    dataset: &PairDataset,
+    tau: f32,
+    beta: f64,
+) -> EvaluationReport {
+    let scored: Vec<(f32, bool)> = dataset
+        .pairs
+        .par_iter()
+        .map(|p| (encoder.similarity(&p.query_a, &p.query_b), p.is_duplicate))
+        .collect();
+    summarize_scores(&scored, tau, beta)
+}
+
+/// Computes per-pair similarities once so multiple thresholds can be swept
+/// without re-encoding (used by [`crate::threshold::sweep_thresholds`]).
+pub fn score_pairs(encoder: &QueryEncoder, dataset: &PairDataset) -> Vec<(f32, bool)> {
+    dataset
+        .pairs
+        .par_iter()
+        .map(|p| (encoder.similarity(&p.query_a, &p.query_b), p.is_duplicate))
+        .collect()
+}
+
+/// Builds an [`EvaluationReport`] from pre-computed (similarity, label) pairs.
+pub fn summarize_scores(scored: &[(f32, bool)], tau: f32, beta: f64) -> EvaluationReport {
+    let mut confusion = ConfusionMatrix::new();
+    let mut dup_sum = 0.0f32;
+    let mut dup_n = 0usize;
+    let mut non_sum = 0.0f32;
+    let mut non_n = 0usize;
+    for &(sim, is_dup) in scored {
+        confusion.record_outcome(sim >= tau, is_dup);
+        if is_dup {
+            dup_sum += sim;
+            dup_n += 1;
+        } else {
+            non_sum += sim;
+            non_n += 1;
+        }
+    }
+    EvaluationReport {
+        threshold: tau,
+        confusion,
+        summary: confusion.summary(beta),
+        mean_duplicate_similarity: if dup_n > 0 { dup_sum / dup_n as f32 } else { 0.0 },
+        mean_non_duplicate_similarity: if non_n > 0 { non_sum / non_n as f32 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ModelProfile;
+    use mc_text::QueryPair;
+
+    fn dataset() -> PairDataset {
+        PairDataset::new(vec![
+            QueryPair::new("plot a line in python", "draw a line plot in python", true),
+            QueryPair::new("increase phone battery", "extend smartphone battery life", true),
+            QueryPair::new("plot a line in python", "best chocolate cake recipe", false),
+            QueryPair::new("increase phone battery", "capital of germany", false),
+        ])
+    }
+
+    #[test]
+    fn perfect_scores_yield_perfect_metrics() {
+        let scored = vec![(0.9, true), (0.95, true), (0.1, false), (0.2, false)];
+        let report = summarize_scores(&scored, 0.5, 0.5);
+        assert_eq!(report.confusion.true_hits, 2);
+        assert_eq!(report.confusion.true_misses, 2);
+        assert_eq!(report.summary.precision, 1.0);
+        assert_eq!(report.summary.recall, 1.0);
+        assert_eq!(report.summary.accuracy, 1.0);
+        assert!(report.separation() > 0.5);
+    }
+
+    #[test]
+    fn threshold_extremes_trade_precision_for_recall() {
+        let scored = vec![
+            (0.9, true),
+            (0.7, true),
+            (0.6, false),
+            (0.3, false),
+            (0.8, false),
+        ];
+        // Very low threshold: everything hits, recall 1, precision < 1.
+        let low = summarize_scores(&scored, 0.0, 1.0);
+        assert_eq!(low.summary.recall, 1.0);
+        assert!(low.summary.precision < 1.0);
+        // Very high threshold: nothing hits, precision 0 by convention.
+        let high = summarize_scores(&scored, 0.99, 1.0);
+        assert_eq!(high.confusion.true_hits, 0);
+        assert_eq!(high.summary.recall, 0.0);
+    }
+
+    #[test]
+    fn evaluate_pairs_runs_on_an_untrained_encoder() {
+        let enc = QueryEncoder::new(ModelProfile::tiny(), 4).unwrap();
+        let report = evaluate_pairs(&enc, &dataset(), 0.5, 0.5);
+        assert_eq!(report.confusion.total(), 4);
+        assert!(report.mean_duplicate_similarity.is_finite());
+        assert!(report.mean_non_duplicate_similarity.is_finite());
+        // Score caching path must agree with direct evaluation.
+        let scored = score_pairs(&enc, &dataset());
+        let report2 = summarize_scores(&scored, 0.5, 0.5);
+        assert_eq!(report.confusion, report2.confusion);
+    }
+
+    #[test]
+    fn empty_dataset_produces_empty_report() {
+        let enc = QueryEncoder::new(ModelProfile::tiny(), 4).unwrap();
+        let report = evaluate_pairs(&enc, &PairDataset::default(), 0.5, 0.5);
+        assert_eq!(report.confusion.total(), 0);
+        assert_eq!(report.mean_duplicate_similarity, 0.0);
+        assert_eq!(report.mean_non_duplicate_similarity, 0.0);
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let scored = vec![(0.9, true), (0.1, false)];
+        let report = summarize_scores(&scored, 0.5, 0.5);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: EvaluationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

@@ -1,0 +1,107 @@
+//! # mc-embedder
+//!
+//! Trainable query-embedding models for the MeanCache reproduction.
+//!
+//! The paper fine-tunes small SBERT encoders (MPNet, Albert) on each
+//! federated client and contrasts them with Llama-2 embeddings that are too
+//! slow and too large for user devices (Figure 15/16). This crate provides a
+//! from-scratch equivalent with the same *interface properties*:
+//!
+//! * [`profiles`] — model profiles mirroring MPNet (768-d output), Albert
+//!   (768-d, smaller capacity) and a Llama-2-like configuration (4096-d,
+//!   far more compute per query).
+//! * [`encoder`] — the [`QueryEncoder`]: hashed n-gram features → embedding
+//!   table → mean pooling → MLP → (optional PCA projection) → L2-normalised
+//!   embedding. Supports full backpropagation into the table and MLP.
+//! * [`trainer`] — the multitask local training loop (contrastive + MNR
+//!   losses, Section III-A1) used both standalone and by the FL clients.
+//! * [`pca`] — principal-component analysis fitted with parallel subspace
+//!   iteration, and the projection layer that compresses 768-d embeddings to
+//!   64-d (Section III-A4, Figure 3).
+//! * [`threshold`] — cosine-threshold sweeps and optimal-threshold selection
+//!   (Section III-A2, Figures 13/14/16).
+//! * [`evaluate`] — pair-classification evaluation producing the
+//!   `mc-metrics` confusion matrices the experiments report.
+//! * [`checkpoint`] — JSON (de)serialisation of trained encoders.
+
+pub mod checkpoint;
+pub mod encoder;
+pub mod evaluate;
+pub mod pca;
+pub mod profiles;
+pub mod threshold;
+pub mod trainer;
+
+pub use encoder::QueryEncoder;
+pub use evaluate::{evaluate_pairs, EvaluationReport};
+pub use pca::Pca;
+pub use profiles::{ModelProfile, ProfileKind};
+pub use threshold::{
+    optimal_cache_threshold, optimal_threshold, sweep_cache_thresholds, sweep_thresholds,
+    ThresholdPoint, ThresholdSweep,
+};
+pub use trainer::{LocalTrainer, TrainerConfig, TrainingStats};
+
+/// Errors surfaced by the embedding subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmbedderError {
+    /// Underlying tensor/NN shape problem.
+    Shape(String),
+    /// Invalid configuration value.
+    InvalidConfig(String),
+    /// Not enough data to perform the requested operation (e.g. PCA fit on
+    /// fewer samples than components).
+    InsufficientData(String),
+    /// Checkpoint serialisation / deserialisation failure.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for EmbedderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbedderError::Shape(m) => write!(f, "shape error: {m}"),
+            EmbedderError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            EmbedderError::InsufficientData(m) => write!(f, "insufficient data: {m}"),
+            EmbedderError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbedderError {}
+
+impl From<mc_nn::NnError> for EmbedderError {
+    fn from(e: mc_nn::NnError) -> Self {
+        EmbedderError::Shape(e.to_string())
+    }
+}
+
+impl From<mc_tensor::TensorError> for EmbedderError {
+    fn from(e: mc_tensor::TensorError) -> Self {
+        EmbedderError::Shape(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, EmbedderError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_conversions_preserve_messages() {
+        let nn = mc_nn::NnError::ShapeMismatch("abc".into());
+        let e: EmbedderError = nn.into();
+        assert!(e.to_string().contains("abc"));
+        let t = mc_tensor::TensorError::Empty("xyz".into());
+        let e: EmbedderError = t.into();
+        assert!(e.to_string().contains("xyz"));
+        assert!(EmbedderError::InvalidConfig("dim".into())
+            .to_string()
+            .contains("dim"));
+        assert!(EmbedderError::InsufficientData("n<k".into())
+            .to_string()
+            .contains("n<k"));
+        assert!(EmbedderError::Checkpoint("io".into()).to_string().contains("io"));
+    }
+}

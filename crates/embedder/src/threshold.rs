@@ -1,0 +1,258 @@
+//! Cosine-similarity threshold sweeps and optimal-threshold selection
+//! (Section III-A2, Figures 13, 14 and 16).
+//!
+//! Each client sweeps the threshold τ over its validation pairs and keeps the
+//! value that maximises the F-score; the FL server then averages the clients'
+//! optima into a global threshold that bootstraps new users.
+
+use mc_metrics::MetricSummary;
+use mc_text::PairDataset;
+use serde::{Deserialize, Serialize};
+
+use crate::evaluate::{score_pairs, summarize_scores};
+use crate::QueryEncoder;
+
+/// Metrics measured at one threshold value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdPoint {
+    /// The threshold τ.
+    pub threshold: f32,
+    /// Metric bundle at this threshold.
+    pub metrics: MetricSummary,
+}
+
+/// The full sweep: one point per threshold plus the argmax.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdSweep {
+    /// Points in ascending threshold order.
+    pub points: Vec<ThresholdPoint>,
+    /// Threshold that maximised the optimisation metric.
+    pub optimal_threshold: f32,
+    /// Metrics at the optimal threshold.
+    pub optimal_metrics: MetricSummary,
+    /// Which β was optimised (the paper optimises F1 in Figures 13/14 but
+    /// deploys with β=0.5 preferences).
+    pub beta: f64,
+}
+
+impl ThresholdSweep {
+    /// Returns the point closest to a given threshold (for reporting the
+    /// metrics at e.g. GPTCache's fixed 0.7).
+    pub fn at(&self, tau: f32) -> Option<&ThresholdPoint> {
+        self.points.iter().min_by(|a, b| {
+            (a.threshold - tau)
+                .abs()
+                .partial_cmp(&(b.threshold - tau).abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+/// Sweeps thresholds from 0 to 1 (inclusive) in `steps` increments on the
+/// similarities of `dataset` under `encoder`, optimising Fβ with the given
+/// `beta`.
+///
+/// The pairs are scored once; each threshold reuses the cached scores.
+pub fn sweep_thresholds(
+    encoder: &QueryEncoder,
+    dataset: &PairDataset,
+    steps: usize,
+    beta: f64,
+) -> ThresholdSweep {
+    let scored = score_pairs(encoder, dataset);
+    sweep_scores(&scored, steps, beta)
+}
+
+/// Threshold sweep over pre-computed (similarity, label) pairs.
+pub fn sweep_scores(scored: &[(f32, bool)], steps: usize, beta: f64) -> ThresholdSweep {
+    let steps = steps.max(2);
+    let mut points = Vec::with_capacity(steps + 1);
+    for i in 0..=steps {
+        let tau = i as f32 / steps as f32;
+        let report = summarize_scores(scored, tau, beta);
+        points.push(ThresholdPoint {
+            threshold: tau,
+            metrics: report.summary,
+        });
+    }
+    // Argmax of the F-score; ties go to the *higher* threshold because higher
+    // thresholds mean fewer false hits at equal F-score (precision bias).
+    let mut best = &points[0];
+    for p in &points {
+        if p.metrics.f_score >= best.metrics.f_score {
+            best = p;
+        }
+    }
+    ThresholdSweep {
+        optimal_threshold: best.threshold,
+        optimal_metrics: best.metrics,
+        points,
+        beta,
+    }
+}
+
+/// Finds the optimal threshold for an encoder on a validation set — the
+/// routine each FL client runs locally after training (Section III-A2).
+pub fn optimal_threshold(
+    encoder: &QueryEncoder,
+    validation: &PairDataset,
+    steps: usize,
+    beta: f64,
+) -> f32 {
+    if validation.is_empty() {
+        // A new user with no history falls back to a neutral default; the
+        // FL global threshold will replace it after the first round.
+        return 0.5;
+    }
+    sweep_thresholds(encoder, validation, steps, beta).optimal_threshold
+}
+
+/// Scores a validation set the way the deployed *cache* will see it: the
+/// first queries of all pairs act as the cached entries, and each second
+/// query is a probe whose score is its **best match** over the whole cached
+/// set. This reproduces the paper's threshold learning "from the client's
+/// feedback to the cache query response" — the decision being calibrated is
+/// "did the cache serve the right thing", not "are these two strings alike".
+///
+/// Pair-wise calibration systematically underestimates the threshold a cache
+/// needs, because at deployment time a novel query competes against *every*
+/// cached entry rather than one partner.
+pub fn score_cache_style(encoder: &QueryEncoder, dataset: &PairDataset) -> Vec<(f32, bool)> {
+    use rayon::prelude::*;
+    let cached: Vec<mc_tensor::Vector> = dataset
+        .pairs
+        .par_iter()
+        .map(|p| encoder.encode(&p.query_a))
+        .collect();
+    dataset
+        .pairs
+        .par_iter()
+        .map(|p| {
+            let probe = encoder.encode(&p.query_b);
+            // Exact string matches are excluded: a keyword cache already
+            // handles those, and counting them would let a degenerate
+            // "only serve verbatim repeats" threshold look artificially
+            // precise during calibration.
+            let best = cached
+                .iter()
+                .zip(&dataset.pairs)
+                .filter(|(_, other)| other.query_a != p.query_b)
+                .map(|(c, _)| {
+                    mc_tensor::vector::cosine_similarity_normalized(
+                        probe.as_slice(),
+                        c.as_slice(),
+                    )
+                })
+                .fold(f32::MIN, f32::max);
+            (best, p.is_duplicate)
+        })
+        .collect()
+}
+
+/// Sweeps thresholds over cache-style scores (see [`score_cache_style`]).
+pub fn sweep_cache_thresholds(
+    encoder: &QueryEncoder,
+    dataset: &PairDataset,
+    steps: usize,
+    beta: f64,
+) -> ThresholdSweep {
+    let scored = score_cache_style(encoder, dataset);
+    sweep_scores(&scored, steps, beta)
+}
+
+/// Optimal threshold under cache-style scoring — what an FL client reports to
+/// the server and what a deployment configures its cache with.
+pub fn optimal_cache_threshold(
+    encoder: &QueryEncoder,
+    validation: &PairDataset,
+    steps: usize,
+    beta: f64,
+) -> f32 {
+    if validation.is_empty() {
+        return 0.5;
+    }
+    sweep_cache_thresholds(encoder, validation, steps, beta).optimal_threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ModelProfile;
+    use mc_text::QueryPair;
+
+    /// Synthetic scores with a clean separation at 0.6.
+    fn separable_scores() -> Vec<(f32, bool)> {
+        let mut v = Vec::new();
+        for i in 0..50 {
+            v.push((0.7 + 0.005 * (i % 10) as f32, true));
+            v.push((0.3 + 0.005 * (i % 10) as f32, false));
+        }
+        v
+    }
+
+    #[test]
+    fn sweep_finds_the_separating_threshold() {
+        let sweep = sweep_scores(&separable_scores(), 100, 1.0);
+        assert!(sweep.optimal_threshold > 0.35 && sweep.optimal_threshold <= 0.71,
+            "optimal={}", sweep.optimal_threshold);
+        assert!((sweep.optimal_metrics.f1 - 1.0).abs() < 1e-9);
+        assert_eq!(sweep.points.len(), 101);
+    }
+
+    #[test]
+    fn precision_trends_upward_with_threshold_until_collapse() {
+        let sweep = sweep_scores(&separable_scores(), 20, 1.0);
+        // At τ=0 everything is a hit → precision = duplicate ratio (0.5).
+        let p0 = sweep.points.first().unwrap().metrics.precision;
+        assert!((p0 - 0.5).abs() < 1e-6);
+        // At the optimum precision is 1.
+        assert!(sweep.optimal_metrics.precision > 0.99);
+        // Past all scores, no hits → precision falls to 0 by convention.
+        let p_last = sweep.points.last().unwrap().metrics.precision;
+        assert_eq!(p_last, 0.0);
+    }
+
+    #[test]
+    fn ties_prefer_higher_thresholds() {
+        // All duplicates at 0.9, all non-duplicates at 0.1: any threshold in
+        // (0.1, 0.9] is perfect; the sweep must return the highest such.
+        let scored = vec![(0.9, true), (0.9, true), (0.1, false), (0.1, false)];
+        let sweep = sweep_scores(&scored, 10, 0.5);
+        assert!((sweep.optimal_threshold - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn at_returns_nearest_point() {
+        let sweep = sweep_scores(&separable_scores(), 10, 1.0);
+        let p = sweep.at(0.68).unwrap();
+        assert!((p.threshold - 0.7).abs() < 1e-6);
+        assert!(sweep.at(2.0).is_some());
+    }
+
+    #[test]
+    fn optimal_threshold_for_untrained_encoder_is_in_range() {
+        let enc = QueryEncoder::new(ModelProfile::tiny(), 6).unwrap();
+        let ds = PairDataset::new(vec![
+            QueryPair::new("plot a line in python", "draw a line plot using python", true),
+            QueryPair::new("weather in paris tomorrow", "paris weather forecast tomorrow", true),
+            QueryPair::new("plot a line in python", "how to bake sourdough bread", false),
+            QueryPair::new("weather in paris tomorrow", "install rust on ubuntu", false),
+        ]);
+        let tau = optimal_threshold(&enc, &ds, 50, 0.5);
+        assert!((0.0..=1.0).contains(&tau));
+    }
+
+    #[test]
+    fn empty_validation_falls_back_to_default() {
+        let enc = QueryEncoder::new(ModelProfile::tiny(), 6).unwrap();
+        assert_eq!(optimal_threshold(&enc, &PairDataset::default(), 50, 0.5), 0.5);
+    }
+
+    #[test]
+    fn sweep_serde_round_trip() {
+        let sweep = sweep_scores(&separable_scores(), 10, 0.5);
+        let json = serde_json::to_string(&sweep).unwrap();
+        let back: ThresholdSweep = serde_json::from_str(&json).unwrap();
+        assert_eq!(sweep, back);
+    }
+}

@@ -1,0 +1,421 @@
+//! Local multitask training loop (Section III-A1).
+//!
+//! Each federated client fine-tunes its copy of the encoder on its own
+//! labelled query pairs using two objectives:
+//!
+//! * **Contrastive loss** over every pair in the mini-batch — pushes
+//!   non-duplicates apart and duplicates together.
+//! * **Multiple-negatives ranking (MNR) loss** over the duplicate pairs of
+//!   the mini-batch — treats every other positive in the batch as a negative
+//!   and pulls the true pair to the top of the ranking.
+//!
+//! The same trainer is used standalone (centralised training baselines) and
+//! inside `mc-fl`'s clients.
+
+use mc_nn::loss::MultitaskWeights;
+use mc_nn::{contrastive_loss_with_grad, mnr_loss_with_grad, Adam};
+use mc_tensor::{rng, Matrix};
+use mc_text::{PairDataset, QueryPair};
+use serde::{Deserialize, Serialize};
+
+use crate::{QueryEncoder, Result};
+
+/// Hyper-parameters of the local training loop. These mirror the knobs the
+/// FL server ships to clients alongside the global model (learning rate,
+/// batch size, epochs — Section III-A, step 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Mini-batch size (the paper uses 128 for MPNet and 256 for Albert).
+    pub batch_size: usize,
+    /// Number of local epochs per round (the paper uses 6).
+    pub epochs: usize,
+    /// Loss weights / margins for the multitask objective.
+    pub weights: MultitaskWeightsConfig,
+    /// Global-norm gradient clip (0 disables clipping).
+    pub grad_clip: f32,
+    /// Seed for mini-batch shuffling.
+    pub seed: u64,
+}
+
+/// Serialisable mirror of [`MultitaskWeights`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultitaskWeightsConfig {
+    /// Weight of the contrastive term.
+    pub contrastive: f32,
+    /// Weight of the MNR term.
+    pub mnr: f32,
+    /// Contrastive margin for non-duplicate pairs.
+    pub margin: f32,
+    /// MNR logit scale.
+    pub mnr_scale: f32,
+}
+
+impl From<MultitaskWeightsConfig> for MultitaskWeights {
+    fn from(c: MultitaskWeightsConfig) -> Self {
+        MultitaskWeights {
+            contrastive: c.contrastive,
+            mnr: c.mnr,
+            margin: c.margin,
+            mnr_scale: c.mnr_scale,
+        }
+    }
+}
+
+impl Default for MultitaskWeightsConfig {
+    fn default() -> Self {
+        let w = MultitaskWeights::default();
+        Self {
+            contrastive: w.contrastive,
+            mnr: w.mnr,
+            margin: w.margin,
+            mnr_scale: w.mnr_scale,
+        }
+    }
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.01,
+            batch_size: 32,
+            epochs: 2,
+            weights: MultitaskWeightsConfig::default(),
+            grad_clip: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Statistics produced by one training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TrainingStats {
+    /// Mean total loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Mean contrastive loss per epoch.
+    pub contrastive_losses: Vec<f32>,
+    /// Mean MNR loss per epoch.
+    pub mnr_losses: Vec<f32>,
+    /// Number of pairs seen per epoch.
+    pub pairs_per_epoch: usize,
+}
+
+impl TrainingStats {
+    /// The final epoch's mean loss (0 if no epochs ran).
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(0.0)
+    }
+
+    /// `true` if the loss decreased from the first to the last epoch.
+    pub fn improved(&self) -> bool {
+        match (self.epoch_losses.first(), self.epoch_losses.last()) {
+            (Some(first), Some(last)) => last < first,
+            _ => false,
+        }
+    }
+}
+
+/// Runs the multitask training loop against a [`QueryEncoder`].
+#[derive(Debug, Clone)]
+pub struct LocalTrainer {
+    config: TrainerConfig,
+}
+
+impl LocalTrainer {
+    /// Creates a trainer from a configuration.
+    pub fn new(config: TrainerConfig) -> Self {
+        Self { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Trains `encoder` in place on `dataset` and returns per-epoch stats.
+    ///
+    /// # Errors
+    /// Propagates shape errors from the underlying NN substrate (these only
+    /// occur on construction bugs, not on data).
+    pub fn train(&self, encoder: &mut QueryEncoder, dataset: &PairDataset) -> Result<TrainingStats> {
+        let mut stats = TrainingStats {
+            pairs_per_epoch: dataset.len(),
+            ..TrainingStats::default()
+        };
+        if dataset.is_empty() {
+            return Ok(stats);
+        }
+        let weights: MultitaskWeights = self.config.weights.into();
+        let mut optimizer = Adam::new(self.config.learning_rate)
+            .map_err(crate::EmbedderError::from)?;
+        let mut shuffle_rng = rng::seeded(self.config.seed);
+
+        for _epoch in 0..self.config.epochs.max(1) {
+            let order = rng::permutation(dataset.len(), &mut shuffle_rng);
+            let mut epoch_loss = 0.0f32;
+            let mut epoch_contrastive = 0.0f32;
+            let mut epoch_mnr = 0.0f32;
+            let mut batches = 0usize;
+
+            for chunk in order.chunks(self.config.batch_size.max(1)) {
+                let batch: Vec<&QueryPair> = chunk.iter().map(|&i| &dataset.pairs[i]).collect();
+                let (loss, c_loss, m_loss) =
+                    self.train_batch(encoder, &batch, &weights, &mut optimizer)?;
+                epoch_loss += loss;
+                epoch_contrastive += c_loss;
+                epoch_mnr += m_loss;
+                batches += 1;
+            }
+            let b = batches.max(1) as f32;
+            stats.epoch_losses.push(epoch_loss / b);
+            stats.contrastive_losses.push(epoch_contrastive / b);
+            stats.mnr_losses.push(epoch_mnr / b);
+        }
+        Ok(stats)
+    }
+
+    /// Trains on a single mini-batch, returning (total, contrastive, mnr)
+    /// mean losses for the batch.
+    fn train_batch(
+        &self,
+        encoder: &mut QueryEncoder,
+        batch: &[&QueryPair],
+        weights: &MultitaskWeights,
+        optimizer: &mut Adam,
+    ) -> Result<(f32, f32, f32)> {
+        if batch.is_empty() {
+            return Ok((0.0, 0.0, 0.0));
+        }
+        let mut grad = encoder.zero_grad();
+        let mut contrastive_total = 0.0f32;
+        let mut mnr_total = 0.0f32;
+
+        // Forward passes are cached so the MNR term can reuse them.
+        let forwards: Vec<_> = batch
+            .iter()
+            .map(|p| {
+                let fa = encoder.forward(&p.query_a)?;
+                let fb = encoder.forward(&p.query_b)?;
+                Ok((fa, fb))
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        // Contrastive term over every pair.
+        if weights.contrastive > 0.0 {
+            for (pair, (fa, fb)) in batch.iter().zip(&forwards) {
+                let (loss, ga, gb) = contrastive_loss_with_grad(
+                    fa.output(),
+                    fb.output(),
+                    pair.is_duplicate,
+                    weights.margin,
+                );
+                contrastive_total += loss;
+                let scale = weights.contrastive / batch.len() as f32;
+                let ga: Vec<f32> = ga.iter().map(|g| g * scale).collect();
+                let gb: Vec<f32> = gb.iter().map(|g| g * scale).collect();
+                encoder.backward(fa, &ga, &mut grad)?;
+                encoder.backward(fb, &gb, &mut grad)?;
+            }
+            contrastive_total /= batch.len() as f32;
+        }
+
+        // MNR term over the duplicate pairs of the batch (needs >= 2 pairs so
+        // there is at least one in-batch negative).
+        let dup_indices: Vec<usize> = batch
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_duplicate)
+            .map(|(i, _)| i)
+            .collect();
+        if weights.mnr > 0.0 && dup_indices.len() >= 2 {
+            let anchors = Matrix::from_rows(
+                &dup_indices
+                    .iter()
+                    .map(|&i| forwards[i].0.output().to_vec())
+                    .collect::<Vec<_>>(),
+            )?;
+            let positives = Matrix::from_rows(
+                &dup_indices
+                    .iter()
+                    .map(|&i| forwards[i].1.output().to_vec())
+                    .collect::<Vec<_>>(),
+            )?;
+            let (loss, d_anchors, d_positives) =
+                mnr_loss_with_grad(&anchors, &positives, weights.mnr_scale)?;
+            mnr_total = loss;
+            for (row, &i) in dup_indices.iter().enumerate() {
+                let ga: Vec<f32> = d_anchors
+                    .row(row)
+                    .iter()
+                    .map(|g| g * weights.mnr)
+                    .collect();
+                let gb: Vec<f32> = d_positives
+                    .row(row)
+                    .iter()
+                    .map(|g| g * weights.mnr)
+                    .collect();
+                encoder.backward(&forwards[i].0, &ga, &mut grad)?;
+                encoder.backward(&forwards[i].1, &gb, &mut grad)?;
+            }
+        }
+
+        if self.config.grad_clip > 0.0 {
+            let norm = grad.norm();
+            if norm > self.config.grad_clip {
+                grad.scale(self.config.grad_clip / norm);
+            }
+        }
+        encoder.apply_gradients(&grad, optimizer)?;
+        let total = weights.contrastive * contrastive_total + weights.mnr * mnr_total;
+        Ok((total, contrastive_total, mnr_total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ModelProfile;
+    use mc_text::QueryPair;
+
+    /// A small dataset with clear duplicate / non-duplicate structure.
+    fn toy_dataset() -> PairDataset {
+        let mut pairs = Vec::new();
+        let topics = [
+            ("plot a line chart in python", "draw a line graph with python"),
+            ("increase phone battery life", "extend my smartphone battery duration"),
+            ("what is federated learning", "explain federated learning to me"),
+            ("convert celsius to fahrenheit", "how to change celsius into fahrenheit"),
+            ("best way to learn rust", "good approach for learning the rust language"),
+            ("capital city of france", "what is the capital of france"),
+        ];
+        for (a, b) in topics {
+            pairs.push(QueryPair::new(a, b, true));
+        }
+        // Non-duplicates: mismatched topic pairs.
+        for i in 0..topics.len() {
+            let j = (i + 2) % topics.len();
+            pairs.push(QueryPair::new(topics[i].0, topics[j].1, false));
+        }
+        PairDataset::new(pairs)
+    }
+
+    fn separation(encoder: &QueryEncoder, ds: &PairDataset) -> f32 {
+        let mut dup = 0.0f32;
+        let mut dup_n = 0;
+        let mut non = 0.0f32;
+        let mut non_n = 0;
+        for p in &ds.pairs {
+            let s = encoder.similarity(&p.query_a, &p.query_b);
+            if p.is_duplicate {
+                dup += s;
+                dup_n += 1;
+            } else {
+                non += s;
+                non_n += 1;
+            }
+        }
+        dup / dup_n.max(1) as f32 - non / non_n.max(1) as f32
+    }
+
+    #[test]
+    fn training_reduces_loss_and_improves_separation() {
+        let mut encoder = QueryEncoder::new(ModelProfile::tiny(), 3).unwrap();
+        let ds = toy_dataset();
+        let before = separation(&encoder, &ds);
+        let trainer = LocalTrainer::new(TrainerConfig {
+            learning_rate: 0.02,
+            batch_size: 6,
+            epochs: 8,
+            seed: 1,
+            ..TrainerConfig::default()
+        });
+        let stats = trainer.train(&mut encoder, &ds).unwrap();
+        assert_eq!(stats.epoch_losses.len(), 8);
+        assert_eq!(stats.pairs_per_epoch, ds.len());
+        assert!(
+            stats.improved(),
+            "loss must decrease: {:?}",
+            stats.epoch_losses
+        );
+        let after = separation(&encoder, &ds);
+        assert!(
+            after > before,
+            "duplicate/non-duplicate separation must improve: before={before} after={after}"
+        );
+    }
+
+    #[test]
+    fn empty_dataset_is_a_no_op() {
+        let mut encoder = QueryEncoder::new(ModelProfile::tiny(), 3).unwrap();
+        let params_before = encoder.parameters();
+        let trainer = LocalTrainer::new(TrainerConfig::default());
+        let stats = trainer.train(&mut encoder, &PairDataset::default()).unwrap();
+        assert!(stats.epoch_losses.is_empty());
+        assert_eq!(stats.final_loss(), 0.0);
+        assert!(!stats.improved());
+        assert_eq!(encoder.parameters(), params_before);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_fixed_seed() {
+        let ds = toy_dataset();
+        let cfg = TrainerConfig {
+            epochs: 2,
+            seed: 7,
+            ..TrainerConfig::default()
+        };
+        let mut e1 = QueryEncoder::new(ModelProfile::tiny(), 5).unwrap();
+        let mut e2 = QueryEncoder::new(ModelProfile::tiny(), 5).unwrap();
+        LocalTrainer::new(cfg.clone()).train(&mut e1, &ds).unwrap();
+        LocalTrainer::new(cfg).train(&mut e2, &ds).unwrap();
+        assert_eq!(e1.parameters(), e2.parameters());
+    }
+
+    #[test]
+    fn contrastive_only_and_mnr_only_both_train() {
+        let ds = toy_dataset();
+        for (c, m) in [(1.0f32, 0.0f32), (0.0, 1.0)] {
+            let mut enc = QueryEncoder::new(ModelProfile::tiny(), 11).unwrap();
+            let cfg = TrainerConfig {
+                weights: MultitaskWeightsConfig {
+                    contrastive: c,
+                    mnr: m,
+                    ..MultitaskWeightsConfig::default()
+                },
+                epochs: 4,
+                learning_rate: 0.02,
+                ..TrainerConfig::default()
+            };
+            let before = separation(&enc, &ds);
+            LocalTrainer::new(cfg).train(&mut enc, &ds).unwrap();
+            let after = separation(&enc, &ds);
+            assert!(
+                after > before - 0.01,
+                "objective (c={c},m={m}) must not hurt separation: {before} -> {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_clipping_keeps_parameters_finite() {
+        let ds = toy_dataset();
+        let mut enc = QueryEncoder::new(ModelProfile::tiny(), 13).unwrap();
+        let cfg = TrainerConfig {
+            learning_rate: 0.5, // aggressive
+            grad_clip: 1.0,
+            epochs: 3,
+            ..TrainerConfig::default()
+        };
+        LocalTrainer::new(cfg).train(&mut enc, &ds).unwrap();
+        assert!(enc.parameters().as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let cfg = TrainerConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: TrainerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

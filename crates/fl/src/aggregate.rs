@@ -1,0 +1,203 @@
+//! Server-side aggregation: FedAvg (Eq. 1 of the paper), threshold
+//! averaging, and aggregation-method selection.
+
+use mc_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+use crate::{client::ClientUpdate, FlError, Result};
+
+/// Which aggregation rule the server applies to client updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregationMethod {
+    /// Sample-count-weighted averaging (McMahan et al.), the paper's choice.
+    FedAvg,
+    /// Unweighted averaging — every client counts equally regardless of how
+    /// much data it holds (useful as an ablation when client sizes are very
+    /// skewed).
+    UniformAverage,
+}
+
+impl Default for AggregationMethod {
+    fn default() -> Self {
+        AggregationMethod::FedAvg
+    }
+}
+
+/// FedAvg: `W_global = Σ_k (n_k / n) * w_k` (Eq. 1).
+///
+/// # Errors
+/// * [`FlError::NoClients`] when `updates` is empty.
+/// * [`FlError::ShapeMismatch`] when parameter vectors disagree in length.
+pub fn fedavg(updates: &[ClientUpdate]) -> Result<Vector> {
+    weighted_average(updates, |u| u.num_samples as f32)
+}
+
+/// Unweighted parameter average.
+///
+/// # Errors
+/// Same as [`fedavg`].
+pub fn uniform_average(updates: &[ClientUpdate]) -> Result<Vector> {
+    weighted_average(updates, |_| 1.0)
+}
+
+/// Aggregates with the selected method.
+///
+/// # Errors
+/// Same as [`fedavg`].
+pub fn aggregate(method: AggregationMethod, updates: &[ClientUpdate]) -> Result<Vector> {
+    match method {
+        AggregationMethod::FedAvg => fedavg(updates),
+        AggregationMethod::UniformAverage => uniform_average(updates),
+    }
+}
+
+fn weighted_average(
+    updates: &[ClientUpdate],
+    weight_of: impl Fn(&ClientUpdate) -> f32,
+) -> Result<Vector> {
+    let first = updates
+        .first()
+        .ok_or_else(|| FlError::NoClients("aggregate received no updates".into()))?;
+    let dim = first.parameters.len();
+    let mut total_weight = 0.0f32;
+    let mut acc = Vector::zeros(dim);
+    for u in updates {
+        if u.parameters.len() != dim {
+            return Err(FlError::ShapeMismatch(format!(
+                "client {} sent {} parameters, expected {dim}",
+                u.client_id,
+                u.parameters.len()
+            )));
+        }
+        let w = weight_of(u).max(0.0);
+        total_weight += w;
+        acc.axpy(w, &u.parameters).map_err(FlError::from)?;
+    }
+    if total_weight <= 0.0 {
+        return Err(FlError::NoClients(
+            "aggregate received only zero-weight updates".into(),
+        ));
+    }
+    acc.scale(1.0 / total_weight);
+    Ok(acc)
+}
+
+/// Mean of the clients' locally-optimal thresholds, weighted by sample count
+/// — the global threshold `τ_global` that bootstraps new users
+/// (Section III-A3).
+///
+/// # Errors
+/// Returns [`FlError::NoClients`] when `updates` is empty.
+pub fn mean_threshold(updates: &[ClientUpdate]) -> Result<f32> {
+    if updates.is_empty() {
+        return Err(FlError::NoClients("mean_threshold received no updates".into()));
+    }
+    let total: f32 = updates.iter().map(|u| u.num_samples as f32).sum();
+    if total <= 0.0 {
+        // All clients are empty: fall back to an unweighted mean.
+        let sum: f32 = updates.iter().map(|u| u.optimal_threshold).sum();
+        return Ok(sum / updates.len() as f32);
+    }
+    Ok(updates
+        .iter()
+        .map(|u| u.optimal_threshold * u.num_samples as f32 / total)
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_embedder::TrainingStats;
+
+    fn update(id: usize, params: Vec<f32>, n: usize, tau: f32) -> ClientUpdate {
+        ClientUpdate {
+            client_id: id,
+            parameters: Vector::from_vec(params),
+            num_samples: n,
+            optimal_threshold: tau,
+            stats: TrainingStats::default(),
+        }
+    }
+
+    #[test]
+    fn fedavg_weights_by_sample_count() {
+        let updates = vec![
+            update(0, vec![1.0, 0.0], 30, 0.8),
+            update(1, vec![0.0, 1.0], 10, 0.6),
+        ];
+        let agg = fedavg(&updates).unwrap();
+        assert!((agg[0] - 0.75).abs() < 1e-6);
+        assert!((agg[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_average_ignores_sample_counts() {
+        let updates = vec![
+            update(0, vec![1.0, 0.0], 1000, 0.8),
+            update(1, vec![0.0, 1.0], 1, 0.6),
+        ];
+        let agg = uniform_average(&updates).unwrap();
+        assert!((agg[0] - 0.5).abs() < 1e-6);
+        assert!((agg[1] - 0.5).abs() < 1e-6);
+        // The dispatcher picks the right rule.
+        let via_dispatch = aggregate(AggregationMethod::UniformAverage, &updates).unwrap();
+        assert_eq!(via_dispatch, agg);
+        assert_ne!(aggregate(AggregationMethod::FedAvg, &updates).unwrap(), agg);
+    }
+
+    #[test]
+    fn fedavg_of_identical_models_is_identity() {
+        let updates = vec![
+            update(0, vec![0.5, -0.25, 1.0], 5, 0.7),
+            update(1, vec![0.5, -0.25, 1.0], 50, 0.7),
+        ];
+        let agg = fedavg(&updates).unwrap();
+        for (got, want) in agg.as_slice().iter().zip(&[0.5f32, -0.25, 1.0]) {
+            assert!((got - want).abs() < 1e-5, "got={got} want={want}");
+        }
+    }
+
+    #[test]
+    fn aggregation_result_stays_within_client_convex_hull() {
+        // Every coordinate of the FedAvg result must lie between the min and
+        // max of the client values (convex combination).
+        let updates = vec![
+            update(0, vec![-1.0, 2.0, 0.3], 3, 0.5),
+            update(1, vec![1.0, 4.0, 0.1], 9, 0.9),
+            update(2, vec![0.0, 3.0, 0.2], 6, 0.7),
+        ];
+        let agg = fedavg(&updates).unwrap();
+        for i in 0..3 {
+            let vals: Vec<f32> = updates.iter().map(|u| u.parameters[i]).collect();
+            let lo = vals.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = vals.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            assert!(agg[i] >= lo - 1e-6 && agg[i] <= hi + 1e-6);
+        }
+    }
+
+    #[test]
+    fn errors_on_empty_or_mismatched_updates() {
+        assert!(matches!(fedavg(&[]), Err(FlError::NoClients(_))));
+        let updates = vec![
+            update(0, vec![1.0, 2.0], 5, 0.5),
+            update(1, vec![1.0], 5, 0.5),
+        ];
+        assert!(matches!(fedavg(&updates), Err(FlError::ShapeMismatch(_))));
+        let zero_weight = vec![update(0, vec![1.0], 0, 0.5)];
+        assert!(matches!(fedavg(&zero_weight), Err(FlError::NoClients(_))));
+    }
+
+    #[test]
+    fn mean_threshold_is_weighted_and_bounded() {
+        let updates = vec![
+            update(0, vec![0.0], 30, 0.9),
+            update(1, vec![0.0], 10, 0.5),
+        ];
+        let tau = mean_threshold(&updates).unwrap();
+        assert!((tau - 0.8).abs() < 1e-6);
+        assert!(matches!(mean_threshold(&[]), Err(FlError::NoClients(_))));
+        // Zero-sample clients fall back to an unweighted mean.
+        let empty_clients = vec![update(0, vec![0.0], 0, 0.4), update(1, vec![0.0], 0, 0.8)];
+        assert!((mean_threshold(&empty_clients).unwrap() - 0.6).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,273 @@
+//! Federated clients: local training plus threshold search.
+
+use mc_embedder::{optimal_cache_threshold, LocalTrainer, QueryEncoder, TrainerConfig, TrainingStats};
+use mc_tensor::Vector;
+use mc_text::PairDataset;
+use serde::{Deserialize, Serialize};
+
+use crate::{FlError, Result};
+
+/// Hyper-parameters the server ships to clients each round (Figure 2, step 1
+/// mentions learning rate, batch size and epochs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundConfig {
+    /// Number of local epochs.
+    pub local_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate for the local optimiser.
+    pub learning_rate: f32,
+    /// FedProx proximal coefficient μ (0 disables the proximal pull toward
+    /// the global model).
+    pub proximal_mu: f32,
+    /// Number of threshold steps for the local optimal-threshold search.
+    pub threshold_steps: usize,
+    /// Fβ weight used by the threshold search.
+    pub beta: f64,
+    /// Base seed for the round (clients derive per-client streams from it).
+    pub seed: u64,
+}
+
+impl Default for RoundConfig {
+    fn default() -> Self {
+        Self {
+            local_epochs: 2,
+            batch_size: 32,
+            learning_rate: 0.01,
+            proximal_mu: 0.0,
+            threshold_steps: 100,
+            beta: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// What a client sends back to the server after local training
+/// (Figure 2, step 3).
+#[derive(Debug, Clone)]
+pub struct ClientUpdate {
+    /// The client's identifier.
+    pub client_id: usize,
+    /// Updated model parameters (flattened).
+    pub parameters: Vector,
+    /// Number of local training samples (FedAvg weight `n_k`).
+    pub num_samples: usize,
+    /// The client's locally-optimal cosine threshold τ_k.
+    pub optimal_threshold: f32,
+    /// Local training statistics.
+    pub stats: TrainingStats,
+}
+
+/// A participant in federated training.
+pub trait FlClient: Send {
+    /// Stable identifier of this client.
+    fn id(&self) -> usize;
+
+    /// Number of local training samples (the FedAvg weight).
+    fn num_samples(&self) -> usize;
+
+    /// Runs one round of local training starting from the global parameters
+    /// and returns the update to send to the server.
+    ///
+    /// # Errors
+    /// Returns [`FlError`] when local training fails.
+    fn train_round(&mut self, global: &Vector, config: &RoundConfig) -> Result<ClientUpdate>;
+}
+
+/// The concrete client used by MeanCache: wraps an encoder and the user's
+/// local labelled query pairs.
+#[derive(Debug, Clone)]
+pub struct EmbeddingClient {
+    id: usize,
+    encoder: QueryEncoder,
+    train_data: PairDataset,
+    validation_data: PairDataset,
+}
+
+impl EmbeddingClient {
+    /// Creates a client with its own (never shared) training/validation data.
+    pub fn new(
+        id: usize,
+        encoder: QueryEncoder,
+        train_data: PairDataset,
+        validation_data: PairDataset,
+    ) -> Self {
+        Self {
+            id,
+            encoder,
+            train_data,
+            validation_data,
+        }
+    }
+
+    /// Borrow the client's encoder (e.g. to deploy it into a local cache
+    /// after training finishes).
+    pub fn encoder(&self) -> &QueryEncoder {
+        &self.encoder
+    }
+
+    /// Borrow the client's local training data.
+    pub fn train_data(&self) -> &PairDataset {
+        &self.train_data
+    }
+
+    /// Borrow the client's local validation data.
+    pub fn validation_data(&self) -> &PairDataset {
+        &self.validation_data
+    }
+}
+
+impl FlClient for EmbeddingClient {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn num_samples(&self) -> usize {
+        self.train_data.len()
+    }
+
+    fn train_round(&mut self, global: &Vector, config: &RoundConfig) -> Result<ClientUpdate> {
+        // Step 2 of Figure 2: replace local weights with the global model.
+        self.encoder
+            .set_parameters(global)
+            .map_err(|e| FlError::ShapeMismatch(e.to_string()))?;
+
+        let trainer = LocalTrainer::new(TrainerConfig {
+            learning_rate: config.learning_rate,
+            batch_size: config.batch_size,
+            epochs: config.local_epochs,
+            seed: mc_tensor::rng::derive_seed(config.seed, self.id as u64),
+            ..TrainerConfig::default()
+        });
+        let stats = trainer.train(&mut self.encoder, &self.train_data)?;
+
+        // FedProx-style proximal pull toward the global model: keeps client
+        // drift bounded on highly heterogeneous local data.
+        if config.proximal_mu > 0.0 {
+            let mut params = self.encoder.parameters();
+            // params <- params - mu * (params - global) = (1-mu)*params + mu*global
+            params.scale(1.0 - config.proximal_mu);
+            params
+                .axpy(config.proximal_mu, global)
+                .map_err(FlError::from)?;
+            self.encoder
+                .set_parameters(&params)
+                .map_err(|e| FlError::ShapeMismatch(e.to_string()))?;
+        }
+
+        // Local optimal threshold on the validation split, calibrated the way
+        // the deployed cache will use it (Section III-A2).
+        let tau = optimal_cache_threshold(
+            &self.encoder,
+            &self.validation_data,
+            config.threshold_steps,
+            config.beta,
+        );
+
+        Ok(ClientUpdate {
+            client_id: self.id,
+            parameters: self.encoder.parameters(),
+            num_samples: self.train_data.len(),
+            optimal_threshold: tau,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_embedder::ModelProfile;
+    use mc_text::QueryPair;
+
+    fn dataset() -> PairDataset {
+        PairDataset::new(vec![
+            QueryPair::new("plot a line in python", "draw a line chart in python", true),
+            QueryPair::new("increase phone battery", "extend smartphone battery life", true),
+            QueryPair::new("capital of france", "what is the capital city of france", true),
+            QueryPair::new("plot a line in python", "best pizza dough recipe", false),
+            QueryPair::new("increase phone battery", "capital of france", false),
+            QueryPair::new("what is rust ownership", "explain ownership in rust", true),
+        ])
+    }
+
+    fn client(id: usize) -> EmbeddingClient {
+        let encoder = QueryEncoder::new(ModelProfile::tiny(), 77).unwrap();
+        EmbeddingClient::new(id, encoder, dataset(), dataset())
+    }
+
+    #[test]
+    fn train_round_returns_consistent_update() {
+        let mut c = client(3);
+        let global = c.encoder().parameters();
+        let update = c
+            .train_round(&global, &RoundConfig { local_epochs: 2, ..RoundConfig::default() })
+            .unwrap();
+        assert_eq!(update.client_id, 3);
+        assert_eq!(update.num_samples, 6);
+        assert_eq!(update.parameters.len(), global.len());
+        assert!((0.0..=1.0).contains(&update.optimal_threshold));
+        assert_eq!(update.stats.epoch_losses.len(), 2);
+        // Training must actually move the parameters.
+        assert_ne!(update.parameters, global);
+    }
+
+    #[test]
+    fn train_round_rejects_mismatched_global_parameters() {
+        let mut c = client(0);
+        assert!(c
+            .train_round(&Vector::zeros(10), &RoundConfig::default())
+            .is_err());
+    }
+
+    #[test]
+    fn proximal_term_keeps_client_closer_to_global() {
+        let global = client(0).encoder().parameters();
+        let cfg_free = RoundConfig {
+            local_epochs: 3,
+            proximal_mu: 0.0,
+            seed: 9,
+            ..RoundConfig::default()
+        };
+        let cfg_prox = RoundConfig {
+            proximal_mu: 0.5,
+            ..cfg_free.clone()
+        };
+        let drift = |update: &ClientUpdate| -> f32 {
+            update
+                .parameters
+                .sub(&global)
+                .unwrap()
+                .norm()
+        };
+        let mut free_client = client(1);
+        let free = free_client.train_round(&global, &cfg_free).unwrap();
+        let mut prox_client = client(1);
+        let prox = prox_client.train_round(&global, &cfg_prox).unwrap();
+        assert!(
+            drift(&prox) < drift(&free),
+            "proximal update must stay closer to the global model"
+        );
+    }
+
+    #[test]
+    fn clients_with_same_seed_and_data_produce_identical_updates() {
+        let global = client(0).encoder().parameters();
+        let cfg = RoundConfig { seed: 5, ..RoundConfig::default() };
+        let mut a = client(2);
+        let mut b = client(2);
+        let ua = a.train_round(&global, &cfg).unwrap();
+        let ub = b.train_round(&global, &cfg).unwrap();
+        assert_eq!(ua.parameters, ub.parameters);
+        assert_eq!(ua.optimal_threshold, ub.optimal_threshold);
+    }
+
+    #[test]
+    fn accessors_expose_local_data() {
+        let c = client(4);
+        assert_eq!(c.id(), 4);
+        assert_eq!(c.num_samples(), 6);
+        assert_eq!(c.train_data().len(), 6);
+        assert_eq!(c.validation_data().len(), 6);
+    }
+}

@@ -1,0 +1,95 @@
+//! # mc-fl
+//!
+//! Federated-learning framework for the MeanCache reproduction (the role the
+//! Flower framework plays in the paper's artifact).
+//!
+//! The paper trains the query-embedding model *collaboratively without
+//! centralising user data* (Section III-A, Figure 2): every round the server
+//! ships the global model and global cosine threshold to a sampled subset of
+//! clients; each client fine-tunes the model on its local query pairs, finds
+//! its own optimal threshold on its validation data, and sends both back; the
+//! server aggregates the weights with FedAvg (Eq. 1) and averages the
+//! thresholds.
+//!
+//! This crate provides that whole loop:
+//!
+//! * [`client`] — the [`FlClient`] trait and the [`EmbeddingClient`] that
+//!   wraps a `mc-embedder` encoder, its local dataset, and local training.
+//! * [`aggregate`] — FedAvg weighted averaging, threshold aggregation, and a
+//!   FedProx-style proximal option.
+//! * [`sampling`] — per-round client selection strategies.
+//! * [`partition`] — IID and skewed data partitioning across clients.
+//! * [`server`] — the [`FlServer`] holding the global model/threshold and the
+//!   per-round history used to reproduce Figures 11 and 12.
+//! * [`simulation`] — a driver that runs clients in parallel on the rayon
+//!   pool, mirroring the paper's simulated 20-client setup.
+
+pub mod aggregate;
+pub mod client;
+pub mod partition;
+pub mod sampling;
+pub mod server;
+pub mod simulation;
+
+pub use aggregate::{fedavg, mean_threshold, AggregationMethod};
+pub use client::{ClientUpdate, EmbeddingClient, FlClient, RoundConfig};
+pub use partition::{partition_iid, partition_power_law};
+pub use sampling::ClientSampler;
+pub use server::{FlServer, RoundRecord, ServerConfig};
+pub use simulation::{FlSimulation, SimulationConfig, SimulationOutcome};
+
+/// Errors surfaced by the federated-learning framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// No clients were available/sampled for a round.
+    NoClients(String),
+    /// Parameter vectors from clients disagree in length.
+    ShapeMismatch(String),
+    /// Underlying training failure.
+    Training(String),
+    /// Invalid configuration value.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for FlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlError::NoClients(m) => write!(f, "no clients: {m}"),
+            FlError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            FlError::Training(m) => write!(f, "training error: {m}"),
+            FlError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FlError {}
+
+impl From<mc_embedder::EmbedderError> for FlError {
+    fn from(e: mc_embedder::EmbedderError) -> Self {
+        FlError::Training(e.to_string())
+    }
+}
+
+impl From<mc_tensor::TensorError> for FlError {
+    fn from(e: mc_tensor::TensorError) -> Self {
+        FlError::ShapeMismatch(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, FlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_conversion() {
+        assert!(FlError::NoClients("round 3".into()).to_string().contains("round 3"));
+        let e: FlError = mc_embedder::EmbedderError::InvalidConfig("x".into()).into();
+        assert!(matches!(e, FlError::Training(_)));
+        let e: FlError = mc_tensor::TensorError::Empty("y".into()).into();
+        assert!(matches!(e, FlError::ShapeMismatch(_)));
+        assert!(FlError::InvalidConfig("lr".into()).to_string().contains("lr"));
+    }
+}

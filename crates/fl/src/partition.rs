@@ -1,0 +1,149 @@
+//! Data partitioning across federated clients.
+//!
+//! The paper randomly distributes the training and validation splits among
+//! its 20 simulated clients with non-overlapping data points (Section
+//! IV-A1). Besides that IID partition this module provides a power-law
+//! (quantity-skewed) partition so the ablation benches can study what
+//! happens when some users have far more queries than others — the shape the
+//! real user study in Figure 4 exhibits.
+
+use mc_text::{PairDataset, QueryPair};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// IID partition: a seeded shuffle dealt round-robin to `clients` shards.
+/// Shard sizes differ by at most one.
+pub fn partition_iid(dataset: &PairDataset, clients: usize, seed: u64) -> Vec<PairDataset> {
+    dataset.partition(clients, seed)
+}
+
+/// Quantity-skewed partition: client `k` receives a share proportional to
+/// `1 / (k+1)^alpha` (after a seeded shuffle), so low-index clients hold much
+/// more data than high-index ones. `alpha = 0` reduces to a balanced split.
+pub fn partition_power_law(
+    dataset: &PairDataset,
+    clients: usize,
+    alpha: f32,
+    seed: u64,
+) -> Vec<PairDataset> {
+    if clients == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shuffled: Vec<QueryPair> = dataset.pairs.clone();
+    for i in (1..shuffled.len()).rev() {
+        let j = rng.random_range(0..=i);
+        shuffled.swap(i, j);
+    }
+
+    // Normalised power-law shares.
+    let weights: Vec<f64> = (0..clients)
+        .map(|k| 1.0 / ((k + 1) as f64).powf(alpha as f64))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let n = shuffled.len();
+
+    // Largest-remainder apportionment so every pair is assigned exactly once.
+    let exact: Vec<f64> = weights.iter().map(|w| w / total * n as f64).collect();
+    let mut counts: Vec<usize> = exact.iter().map(|e| e.floor() as usize).collect();
+    let mut assigned: usize = counts.iter().sum();
+    let mut remainders: Vec<(usize, f64)> = exact
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (i, e - e.floor()))
+        .collect();
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut r = 0;
+    while assigned < n {
+        counts[remainders[r % clients].0] += 1;
+        assigned += 1;
+        r += 1;
+    }
+
+    let mut shards = Vec::with_capacity(clients);
+    let mut offset = 0;
+    for count in counts {
+        let end = (offset + count).min(n);
+        shards.push(PairDataset::new(shuffled[offset..end].to_vec()));
+        offset = end;
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> PairDataset {
+        PairDataset::new(
+            (0..n)
+                .map(|i| QueryPair::new(format!("q{i}"), format!("p{i}"), i % 2 == 0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn iid_partition_is_balanced_and_complete() {
+        let ds = dataset(103);
+        let shards = partition_iid(&ds, 20, 1);
+        assert_eq!(shards.len(), 20);
+        assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), 103);
+        let max = shards.iter().map(|s| s.len()).max().unwrap();
+        let min = shards.iter().map(|s| s.len()).min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn power_law_partition_is_complete_and_skewed() {
+        let ds = dataset(200);
+        let shards = partition_power_law(&ds, 10, 1.2, 3);
+        assert_eq!(shards.len(), 10);
+        assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), 200);
+        // First client holds several times more than the last.
+        assert!(
+            shards[0].len() >= 3 * shards[9].len().max(1),
+            "first={} last={}",
+            shards[0].len(),
+            shards[9].len()
+        );
+    }
+
+    #[test]
+    fn power_law_with_zero_alpha_is_roughly_balanced() {
+        let ds = dataset(100);
+        let shards = partition_power_law(&ds, 10, 0.0, 4);
+        let max = shards.iter().map(|s| s.len()).max().unwrap();
+        let min = shards.iter().map(|s| s.len()).min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn no_pair_is_duplicated_across_shards() {
+        let ds = dataset(97);
+        let shards = partition_power_law(&ds, 7, 0.8, 5);
+        let mut seen = std::collections::HashSet::new();
+        for shard in &shards {
+            for p in &shard.pairs {
+                assert!(seen.insert(p.query_a.clone()), "duplicate assignment of {}", p.query_a);
+            }
+        }
+        assert_eq!(seen.len(), 97);
+    }
+
+    #[test]
+    fn zero_clients_yields_empty_partitions() {
+        let ds = dataset(10);
+        assert!(partition_iid(&ds, 0, 1).is_empty());
+        assert!(partition_power_law(&ds, 0, 1.0, 1).is_empty());
+    }
+
+    #[test]
+    fn partitions_are_deterministic_per_seed() {
+        let ds = dataset(60);
+        let a = partition_power_law(&ds, 5, 1.0, 9);
+        let b = partition_power_law(&ds, 5, 1.0, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pairs, y.pairs);
+        }
+    }
+}

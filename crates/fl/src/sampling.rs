@@ -1,0 +1,157 @@
+//! Per-round client selection strategies.
+//!
+//! The paper samples 4 of 20 clients per round uniformly at random; it also
+//! notes that deployments may select clients by battery level, bandwidth, or
+//! past performance. Both strategies are provided.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Strategy for choosing which clients participate in a round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientSampler {
+    /// Every client participates every round.
+    All,
+    /// A fixed number of clients chosen uniformly at random without
+    /// replacement (the paper's setting: 4 of 20).
+    RandomCount(usize),
+    /// A fixed fraction of clients (rounded up, at least 1).
+    RandomFraction(f32),
+    /// The `count` clients with the highest capability score participate;
+    /// scores model battery/bandwidth/performance (Section III-A, step 1).
+    TopCapability {
+        /// Number of clients to select.
+        count: usize,
+        /// Per-client capability scores (indexed by position in the client
+        /// list; missing entries default to 0).
+        scores: Vec<f32>,
+    },
+}
+
+impl ClientSampler {
+    /// Selects client *indices* (positions in the client list) for a round.
+    /// The result is sorted ascending and free of duplicates.
+    pub fn sample(&self, num_clients: usize, rng: &mut StdRng) -> Vec<usize> {
+        if num_clients == 0 {
+            return Vec::new();
+        }
+        match self {
+            ClientSampler::All => (0..num_clients).collect(),
+            ClientSampler::RandomCount(count) => {
+                let k = (*count).clamp(1, num_clients);
+                sample_without_replacement(num_clients, k, rng)
+            }
+            ClientSampler::RandomFraction(frac) => {
+                let k = ((num_clients as f32 * frac.clamp(0.0, 1.0)).ceil() as usize)
+                    .clamp(1, num_clients);
+                sample_without_replacement(num_clients, k, rng)
+            }
+            ClientSampler::TopCapability { count, scores } => {
+                let k = (*count).clamp(1, num_clients);
+                let mut indexed: Vec<(usize, f32)> = (0..num_clients)
+                    .map(|i| (i, scores.get(i).copied().unwrap_or(0.0)))
+                    .collect();
+                indexed.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                let mut out: Vec<usize> = indexed.into_iter().take(k).map(|(i, _)| i).collect();
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+}
+
+fn sample_without_replacement(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    // Partial Fisher–Yates: O(n) memory, O(k) swaps.
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        idx.swap(i, j);
+    }
+    let mut out = idx[..k].to_vec();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_tensor::rng::seeded;
+
+    #[test]
+    fn all_selects_everyone() {
+        let mut rng = seeded(1);
+        assert_eq!(ClientSampler::All.sample(5, &mut rng), vec![0, 1, 2, 3, 4]);
+        assert!(ClientSampler::All.sample(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn random_count_selects_exactly_k_unique_clients() {
+        let mut rng = seeded(2);
+        for _ in 0..20 {
+            let s = ClientSampler::RandomCount(4).sample(20, &mut rng);
+            assert_eq!(s.len(), 4);
+            let mut dedup = s.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 4);
+            assert!(s.iter().all(|&i| i < 20));
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn random_count_is_clamped_to_population() {
+        let mut rng = seeded(3);
+        assert_eq!(ClientSampler::RandomCount(50).sample(5, &mut rng).len(), 5);
+        assert_eq!(ClientSampler::RandomCount(0).sample(5, &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn random_fraction_scales_with_population() {
+        let mut rng = seeded(4);
+        assert_eq!(ClientSampler::RandomFraction(0.2).sample(20, &mut rng).len(), 4);
+        assert_eq!(ClientSampler::RandomFraction(0.0).sample(20, &mut rng).len(), 1);
+        assert_eq!(ClientSampler::RandomFraction(1.0).sample(7, &mut rng).len(), 7);
+    }
+
+    #[test]
+    fn sampling_covers_all_clients_over_many_rounds() {
+        let mut rng = seeded(5);
+        let mut seen = vec![false; 20];
+        for _ in 0..200 {
+            for i in ClientSampler::RandomCount(4).sample(20, &mut rng) {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|x| x), "every client must eventually be sampled");
+    }
+
+    #[test]
+    fn top_capability_prefers_high_scores() {
+        let mut rng = seeded(6);
+        let sampler = ClientSampler::TopCapability {
+            count: 2,
+            scores: vec![0.1, 0.9, 0.5, 0.95],
+        };
+        assert_eq!(sampler.sample(4, &mut rng), vec![1, 3]);
+        // Missing scores default to zero.
+        let sampler = ClientSampler::TopCapability {
+            count: 2,
+            scores: vec![0.1],
+        };
+        let s = sampler.sample(3, &mut rng);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&0));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = ClientSampler::RandomCount(4).sample(20, &mut seeded(9));
+        let b = ClientSampler::RandomCount(4).sample(20, &mut seeded(9));
+        assert_eq!(a, b);
+    }
+}

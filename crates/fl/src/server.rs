@@ -1,0 +1,213 @@
+//! The federated server: global model state, aggregation, round history.
+
+use mc_metrics::MetricSummary;
+use mc_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+use crate::aggregate::{aggregate, mean_threshold, AggregationMethod};
+use crate::client::{ClientUpdate, RoundConfig};
+use crate::sampling::ClientSampler;
+use crate::Result;
+
+/// Server-side configuration of a federated training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Total number of federated rounds (the paper runs 50).
+    pub rounds: usize,
+    /// Hyper-parameters shipped to clients each round.
+    pub round_config: RoundConfig,
+    /// Aggregation rule.
+    pub aggregation: AggregationMethod,
+    /// Client-selection strategy (the paper samples 4 of 20 per round).
+    pub sampler: ClientSampler,
+    /// Seed driving client sampling.
+    pub seed: u64,
+    /// Evaluate the global model on the server-side test split every
+    /// `eval_every` rounds (0 disables evaluation; 1 evaluates every round
+    /// as Figures 11/12 require).
+    pub eval_every: usize,
+    /// Fβ weight used when reporting evaluation metrics.
+    pub eval_beta: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 10,
+            round_config: RoundConfig::default(),
+            aggregation: AggregationMethod::FedAvg,
+            sampler: ClientSampler::RandomCount(4),
+            seed: 0,
+            eval_every: 1,
+            eval_beta: 1.0,
+        }
+    }
+}
+
+/// What the server records about each completed round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (1-based, matching the paper's figures).
+    pub round: usize,
+    /// IDs of the clients that participated.
+    pub participants: Vec<usize>,
+    /// Mean final local-training loss across participants.
+    pub mean_client_loss: f32,
+    /// Global threshold after aggregating this round's client optima.
+    pub global_threshold: f32,
+    /// Metrics of the aggregated global model on the server's held-out test
+    /// set (when evaluation ran this round).
+    pub eval: Option<MetricSummary>,
+}
+
+/// The central server: holds the global model parameters and threshold, and
+/// aggregates client updates round by round.
+#[derive(Debug, Clone)]
+pub struct FlServer {
+    global_parameters: Vector,
+    global_threshold: f32,
+    history: Vec<RoundRecord>,
+}
+
+impl FlServer {
+    /// Creates a server with initial global parameters and threshold.
+    pub fn new(initial_parameters: Vector, initial_threshold: f32) -> Self {
+        Self {
+            global_parameters: initial_parameters,
+            global_threshold: initial_threshold.clamp(0.0, 1.0),
+            history: Vec::new(),
+        }
+    }
+
+    /// Current global model parameters (what step 1 of Figure 2 ships).
+    pub fn global_parameters(&self) -> &Vector {
+        &self.global_parameters
+    }
+
+    /// Current global cosine threshold τ_global.
+    pub fn global_threshold(&self) -> f32 {
+        self.global_threshold
+    }
+
+    /// Completed-round history.
+    pub fn history(&self) -> &[RoundRecord] {
+        &self.history
+    }
+
+    /// Aggregates one round of client updates (Figure 2, step 4): FedAvg for
+    /// the weights, sample-weighted mean for the threshold. Records the round
+    /// in the history and returns the record.
+    ///
+    /// # Errors
+    /// Returns [`crate::FlError`] when `updates` is empty or inconsistent.
+    pub fn aggregate_round(
+        &mut self,
+        round: usize,
+        updates: &[ClientUpdate],
+        method: AggregationMethod,
+        eval: Option<MetricSummary>,
+    ) -> Result<RoundRecord> {
+        let new_global = aggregate(method, updates)?;
+        let new_threshold = mean_threshold(updates)?;
+        self.global_parameters = new_global;
+        self.global_threshold = new_threshold.clamp(0.0, 1.0);
+
+        let mean_loss = if updates.is_empty() {
+            0.0
+        } else {
+            updates.iter().map(|u| u.stats.final_loss()).sum::<f32>() / updates.len() as f32
+        };
+        let record = RoundRecord {
+            round,
+            participants: updates.iter().map(|u| u.client_id).collect(),
+            mean_client_loss: mean_loss,
+            global_threshold: self.global_threshold,
+            eval,
+        };
+        self.history.push(record.clone());
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_embedder::TrainingStats;
+
+    fn update(id: usize, params: Vec<f32>, n: usize, tau: f32, loss: f32) -> ClientUpdate {
+        ClientUpdate {
+            client_id: id,
+            parameters: Vector::from_vec(params),
+            num_samples: n,
+            optimal_threshold: tau,
+            stats: TrainingStats {
+                epoch_losses: vec![loss],
+                contrastive_losses: vec![loss],
+                mnr_losses: vec![0.0],
+                pairs_per_epoch: n,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregate_round_updates_global_state_and_history() {
+        let mut server = FlServer::new(Vector::from_vec(vec![0.0, 0.0]), 0.5);
+        let updates = vec![
+            update(0, vec![1.0, 1.0], 10, 0.9, 0.5),
+            update(1, vec![0.0, 2.0], 10, 0.7, 0.3),
+        ];
+        let record = server
+            .aggregate_round(1, &updates, AggregationMethod::FedAvg, None)
+            .unwrap();
+        assert_eq!(server.global_parameters().as_slice(), &[0.5, 1.5]);
+        assert!((server.global_threshold() - 0.8).abs() < 1e-6);
+        assert_eq!(record.participants, vec![0, 1]);
+        assert!((record.mean_client_loss - 0.4).abs() < 1e-6);
+        assert_eq!(server.history().len(), 1);
+    }
+
+    #[test]
+    fn aggregate_round_with_no_updates_fails_and_preserves_state() {
+        let mut server = FlServer::new(Vector::from_vec(vec![1.0]), 0.6);
+        assert!(server
+            .aggregate_round(1, &[], AggregationMethod::FedAvg, None)
+            .is_err());
+        assert_eq!(server.global_parameters().as_slice(), &[1.0]);
+        assert_eq!(server.global_threshold(), 0.6);
+        assert!(server.history().is_empty());
+    }
+
+    #[test]
+    fn threshold_is_clamped_to_unit_interval() {
+        let server = FlServer::new(Vector::zeros(1), 3.0);
+        assert_eq!(server.global_threshold(), 1.0);
+        let server = FlServer::new(Vector::zeros(1), -0.2);
+        assert_eq!(server.global_threshold(), 0.0);
+    }
+
+    #[test]
+    fn successive_rounds_accumulate_history() {
+        let mut server = FlServer::new(Vector::from_vec(vec![0.0]), 0.5);
+        for round in 1..=5 {
+            let updates = vec![update(0, vec![round as f32], 5, 0.8, 1.0 / round as f32)];
+            server
+                .aggregate_round(round, &updates, AggregationMethod::FedAvg, None)
+                .unwrap();
+        }
+        assert_eq!(server.history().len(), 5);
+        assert_eq!(server.history()[4].round, 5);
+        assert_eq!(server.global_parameters().as_slice(), &[5.0]);
+        // Client loss trend recorded per round is decreasing in this setup.
+        let losses: Vec<f32> = server.history().iter().map(|r| r.mean_client_loss).collect();
+        assert!(losses.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn default_config_matches_paper_style_settings() {
+        let cfg = ServerConfig::default();
+        assert_eq!(cfg.sampler, ClientSampler::RandomCount(4));
+        assert_eq!(cfg.aggregation, AggregationMethod::FedAvg);
+        assert!(cfg.eval_every >= 1);
+        let _ = &cfg.round_config;
+    }
+}

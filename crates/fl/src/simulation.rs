@@ -1,0 +1,397 @@
+//! End-to-end federated-training simulation.
+//!
+//! Mirrors the paper's experimental setup (Section IV-E): 20 clients holding
+//! disjoint shards of the pair dataset, 4 sampled per round, 50 rounds, with
+//! the aggregated global model evaluated on a held-out test set after every
+//! round — the series plotted in Figures 11 and 12.
+//!
+//! Sampled clients train **in parallel** on the rayon thread pool; each
+//! client's local training is already deterministic given the round seed, so
+//! parallel execution does not change results.
+
+use mc_embedder::{evaluate_pairs, QueryEncoder};
+use mc_metrics::MetricSummary;
+use mc_tensor::rng;
+use mc_text::PairDataset;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::client::{FlClient, RoundConfig};
+use crate::sampling::ClientSampler;
+use crate::server::{FlServer, RoundRecord};
+use crate::{AggregationMethod, FlError, Result};
+
+/// Configuration of a complete simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Number of federated rounds.
+    pub rounds: usize,
+    /// Per-round client hyper-parameters.
+    pub round_config: RoundConfig,
+    /// Aggregation rule (FedAvg by default).
+    pub aggregation: AggregationMethod,
+    /// Client-selection strategy.
+    pub sampler: ClientSampler,
+    /// Seed for client sampling (round seeds are derived from it).
+    pub seed: u64,
+    /// Evaluate the global model every `eval_every` rounds (0 = never).
+    pub eval_every: usize,
+    /// Fβ weight for evaluation summaries.
+    pub eval_beta: f64,
+    /// Threshold used when evaluating the global model; `None` evaluates at
+    /// the server's current global threshold (the deployment behaviour).
+    pub eval_threshold: Option<f32>,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 5,
+            round_config: RoundConfig::default(),
+            aggregation: AggregationMethod::FedAvg,
+            sampler: ClientSampler::RandomCount(4),
+            seed: 0,
+            eval_every: 1,
+            eval_beta: 1.0,
+            eval_threshold: None,
+        }
+    }
+}
+
+/// The result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// Final global model parameters.
+    pub final_parameters: mc_tensor::Vector,
+    /// Final global threshold.
+    pub final_threshold: f32,
+    /// Per-round records (participants, losses, evaluation metrics).
+    pub history: Vec<RoundRecord>,
+}
+
+impl SimulationOutcome {
+    /// Evaluation series (round, metrics) for rounds where evaluation ran —
+    /// the data behind Figures 11 and 12.
+    pub fn eval_series(&self) -> Vec<(usize, MetricSummary)> {
+        self.history
+            .iter()
+            .filter_map(|r| r.eval.map(|m| (r.round, m)))
+            .collect()
+    }
+}
+
+/// Drives federated training over a set of clients.
+pub struct FlSimulation<C: FlClient> {
+    clients: Vec<C>,
+    server: FlServer,
+    config: SimulationConfig,
+    /// Template encoder + test set used to evaluate the global model
+    /// server-side (the paper keeps the test split at the server for a fair
+    /// comparison with GPTCache).
+    evaluation: Option<(QueryEncoder, PairDataset)>,
+}
+
+impl<C: FlClient> FlSimulation<C> {
+    /// Creates a simulation. `initial_encoder_parameters` seeds the global
+    /// model; `initial_threshold` seeds τ_global.
+    ///
+    /// # Errors
+    /// Returns [`FlError::NoClients`] when `clients` is empty and
+    /// [`FlError::InvalidConfig`] for a zero-round configuration.
+    pub fn new(
+        clients: Vec<C>,
+        initial_parameters: mc_tensor::Vector,
+        initial_threshold: f32,
+        config: SimulationConfig,
+    ) -> Result<Self> {
+        if clients.is_empty() {
+            return Err(FlError::NoClients("simulation needs at least one client".into()));
+        }
+        if config.rounds == 0 {
+            return Err(FlError::InvalidConfig("rounds must be >= 1".into()));
+        }
+        Ok(Self {
+            clients,
+            server: FlServer::new(initial_parameters, initial_threshold),
+            config,
+            evaluation: None,
+        })
+    }
+
+    /// Attaches a server-side evaluation set: after aggregation the global
+    /// parameters are loaded into `template` and evaluated on `test_data`.
+    pub fn with_evaluation(mut self, template: QueryEncoder, test_data: PairDataset) -> Self {
+        self.evaluation = Some((template, test_data));
+        self
+    }
+
+    /// Borrow the server (global state and history).
+    pub fn server(&self) -> &FlServer {
+        &self.server
+    }
+
+    /// Borrow the clients.
+    pub fn clients(&self) -> &[C] {
+        &self.clients
+    }
+
+    /// Runs all configured rounds and returns the outcome.
+    ///
+    /// # Errors
+    /// Propagates client-training and aggregation errors.
+    pub fn run(&mut self) -> Result<SimulationOutcome> {
+        for round in 1..=self.config.rounds {
+            self.run_round(round)?;
+        }
+        Ok(SimulationOutcome {
+            final_parameters: self.server.global_parameters().clone(),
+            final_threshold: self.server.global_threshold(),
+            history: self.server.history().to_vec(),
+        })
+    }
+
+    /// Runs a single round: sample → parallel local training → aggregate →
+    /// (optionally) evaluate.
+    ///
+    /// # Errors
+    /// Propagates client-training and aggregation errors.
+    pub fn run_round(&mut self, round: usize) -> Result<RoundRecord> {
+        let mut sample_rng = rng::seeded(rng::derive_seed(self.config.seed, round as u64));
+        let selected = self.config.sampler.sample(self.clients.len(), &mut sample_rng);
+        if selected.is_empty() {
+            return Err(FlError::NoClients(format!("round {round} sampled no clients")));
+        }
+
+        let global = self.server.global_parameters().clone();
+        let mut round_config = self.config.round_config.clone();
+        round_config.seed = rng::derive_seed(self.config.seed, (round as u64) << 16);
+
+        // Split off the selected clients as mutable references and train them
+        // in parallel on the rayon pool.
+        let selected_set: std::collections::HashSet<usize> = selected.iter().copied().collect();
+        let mut participants: Vec<&mut C> = self
+            .clients
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| selected_set.contains(i))
+            .map(|(_, c)| c)
+            .collect();
+
+        let updates: Vec<_> = participants
+            .par_iter_mut()
+            .map(|client| client.train_round(&global, &round_config))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?;
+
+        // Optional server-side evaluation of the *aggregated* model.
+        let new_global = crate::aggregate::aggregate(self.config.aggregation, &updates)?;
+        let eval = if self.config.eval_every > 0 && round % self.config.eval_every == 0 {
+            self.evaluate_global(&new_global, crate::aggregate::mean_threshold(&updates)?)
+        } else {
+            None
+        };
+
+        self.server
+            .aggregate_round(round, &updates, self.config.aggregation, eval)
+    }
+
+    fn evaluate_global(
+        &mut self,
+        global: &mc_tensor::Vector,
+        threshold: f32,
+    ) -> Option<MetricSummary> {
+        let (template, test_data) = self.evaluation.as_mut()?;
+        if template.set_parameters(global).is_err() {
+            return None;
+        }
+        let tau = self.config.eval_threshold.unwrap_or(threshold).clamp(0.0, 1.0);
+        let report = evaluate_pairs(template, test_data, tau, self.config.eval_beta);
+        Some(report.summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::EmbeddingClient;
+    use crate::partition_iid;
+    use mc_embedder::ModelProfile;
+    use mc_text::QueryPair;
+
+    /// Builds a small but learnable duplicate-pair dataset.
+    fn corpus() -> PairDataset {
+        let topics = [
+            ("plot a line chart in python", "draw a line graph using python"),
+            ("increase smartphone battery life", "extend my phone battery duration"),
+            ("what is federated learning", "explain federated learning"),
+            ("convert celsius to fahrenheit", "change celsius into fahrenheit"),
+            ("capital of france", "what is the capital city of france"),
+            ("install rust on linux", "how to set up rust on linux"),
+            ("bake sourdough bread", "how do I make sourdough bread at home"),
+            ("reset my wifi router", "how to reboot a wifi router"),
+        ];
+        let mut pairs = Vec::new();
+        for (a, b) in topics {
+            pairs.push(QueryPair::new(a, b, true));
+        }
+        for i in 0..topics.len() {
+            let j = (i + 3) % topics.len();
+            pairs.push(QueryPair::new(topics[i].0, topics[j].1, false));
+        }
+        PairDataset::new(pairs)
+    }
+
+    fn build_clients(n: usize) -> (Vec<EmbeddingClient>, QueryEncoder, PairDataset) {
+        let ds = corpus();
+        let shards = partition_iid(&ds, n, 7);
+        let template = QueryEncoder::new(ModelProfile::tiny(), 123).unwrap();
+        let clients = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                EmbeddingClient::new(
+                    i,
+                    QueryEncoder::new(ModelProfile::tiny(), 123).unwrap(),
+                    shard.clone(),
+                    shard,
+                )
+            })
+            .collect();
+        (clients, template, ds)
+    }
+
+    #[test]
+    fn simulation_runs_all_rounds_and_records_history() {
+        let (clients, template, test) = build_clients(4);
+        let initial = template.parameters();
+        let config = SimulationConfig {
+            rounds: 3,
+            sampler: ClientSampler::RandomCount(2),
+            round_config: RoundConfig {
+                local_epochs: 1,
+                batch_size: 4,
+                learning_rate: 0.02,
+                ..RoundConfig::default()
+            },
+            ..SimulationConfig::default()
+        };
+        let mut sim = FlSimulation::new(clients, initial.clone(), 0.5, config)
+            .unwrap()
+            .with_evaluation(template, test);
+        let outcome = sim.run().unwrap();
+        assert_eq!(outcome.history.len(), 3);
+        assert_eq!(outcome.final_parameters.len(), initial.len());
+        assert_ne!(outcome.final_parameters, initial, "training must move the global model");
+        assert!((0.0..=1.0).contains(&outcome.final_threshold));
+        assert_eq!(outcome.eval_series().len(), 3);
+        for record in &outcome.history {
+            assert_eq!(record.participants.len(), 2);
+        }
+    }
+
+    #[test]
+    fn federated_training_produces_a_usable_global_model() {
+        let (clients, template, test) = build_clients(4);
+        let initial = template.parameters();
+        let config = SimulationConfig {
+            rounds: 6,
+            sampler: ClientSampler::All,
+            round_config: RoundConfig {
+                local_epochs: 2,
+                batch_size: 4,
+                learning_rate: 0.02,
+                ..RoundConfig::default()
+            },
+            // Evaluate at the learned global threshold, as a deployment would.
+            eval_threshold: None,
+            ..SimulationConfig::default()
+        };
+        let mut sim = FlSimulation::new(clients, initial, 0.5, config)
+            .unwrap()
+            .with_evaluation(template, test);
+        let outcome = sim.run().unwrap();
+        let series = outcome.eval_series();
+        let final_f1 = series.last().unwrap().1.f1;
+        assert!(
+            final_f1 >= 0.7,
+            "aggregated global model must classify duplicates well at the learned threshold, got F1={final_f1:.3}"
+        );
+        // The learned global threshold must separate better than chance.
+        assert!(outcome.final_threshold > 0.0 && outcome.final_threshold < 1.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_given_a_seed() {
+        let run = || {
+            let (clients, template, test) = build_clients(3);
+            let initial = template.parameters();
+            let config = SimulationConfig {
+                rounds: 2,
+                seed: 42,
+                sampler: ClientSampler::RandomCount(2),
+                round_config: RoundConfig {
+                    local_epochs: 1,
+                    batch_size: 4,
+                    ..RoundConfig::default()
+                },
+                ..SimulationConfig::default()
+            };
+            let mut sim = FlSimulation::new(clients, initial, 0.5, config)
+                .unwrap()
+                .with_evaluation(template, test);
+            sim.run().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.final_parameters, b.final_parameters);
+        assert_eq!(a.final_threshold, b.final_threshold);
+        assert_eq!(
+            a.history.iter().map(|r| r.participants.clone()).collect::<Vec<_>>(),
+            b.history.iter().map(|r| r.participants.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let (clients, template, _) = build_clients(2);
+        let initial = template.parameters();
+        assert!(matches!(
+            FlSimulation::<EmbeddingClient>::new(vec![], initial.clone(), 0.5, SimulationConfig::default()),
+            Err(FlError::NoClients(_))
+        ));
+        assert!(matches!(
+            FlSimulation::new(
+                clients,
+                initial,
+                0.5,
+                SimulationConfig { rounds: 0, ..SimulationConfig::default() }
+            ),
+            Err(FlError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn threshold_aggregation_tracks_client_optima() {
+        let (clients, template, test) = build_clients(3);
+        let initial = template.parameters();
+        let config = SimulationConfig {
+            rounds: 2,
+            sampler: ClientSampler::All,
+            round_config: RoundConfig {
+                local_epochs: 1,
+                batch_size: 4,
+                threshold_steps: 20,
+                ..RoundConfig::default()
+            },
+            ..SimulationConfig::default()
+        };
+        let mut sim = FlSimulation::new(clients, initial, 0.5, config)
+            .unwrap()
+            .with_evaluation(template, test);
+        let outcome = sim.run().unwrap();
+        for record in &outcome.history {
+            assert!((0.0..=1.0).contains(&record.global_threshold));
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Latency model for the simulated LLM web service.
+//!
+//! The response time of a remote LLM call decomposes into a network
+//! round-trip plus generation time proportional to the number of output
+//! tokens, with multiplicative jitter. The defaults are calibrated so the
+//! "no cache" latencies in the Figure 5 reproduction land in the same
+//! 0.3–1.0 s range the paper plots for 50-token Llama-2 responses, while a
+//! local cache hit costs only the semantic-search time (micro- to
+//! milliseconds).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+use crate::{LlmError, Result};
+
+/// Parameters of the latency model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// One-way network + queuing overhead per request, in seconds.
+    pub network_rtt_s: f64,
+    /// Generation time per output token, in seconds (≈ 1/throughput).
+    pub per_token_s: f64,
+    /// Sigma of the multiplicative log-normal jitter (0 disables jitter).
+    pub jitter_sigma: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            network_rtt_s: 0.08,
+            per_token_s: 0.012,
+            jitter_sigma: 0.15,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    /// Returns [`LlmError::InvalidConfig`] for negative values.
+    pub fn validate(&self) -> Result<()> {
+        if self.network_rtt_s < 0.0 || self.per_token_s < 0.0 || self.jitter_sigma < 0.0 {
+            return Err(LlmError::InvalidConfig(format!(
+                "latency parameters must be non-negative: {self:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Expected (jitter-free) latency for a response of `tokens` tokens.
+    pub fn expected_latency_s(&self, tokens: usize) -> f64 {
+        self.network_rtt_s + self.per_token_s * tokens as f64
+    }
+
+    /// Samples a latency for a response of `tokens` tokens using the
+    /// deterministic per-query seed.
+    pub fn sample_latency_s(&self, tokens: usize, seed: u64) -> f64 {
+        let base = self.expected_latency_s(tokens);
+        if self.jitter_sigma <= 0.0 {
+            return base;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Log-normal with median 1.0 gives multiplicative jitter around base.
+        let dist = LogNormal::new(0.0, self.jitter_sigma).expect("sigma validated non-negative");
+        let factor: f64 = dist.sample(&mut rng);
+        // Guard against pathological samples so experiment plots stay sane.
+        let factor = factor.clamp(0.3, 3.0);
+        // Small additive queueing noise keeps ties rare without changing scale.
+        let noise: f64 = rng.random_range(0.0..self.network_rtt_s.max(1e-4) * 0.1);
+        base * factor + noise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_latency_grows_linearly_with_tokens() {
+        let m = LatencyModel::default();
+        let l10 = m.expected_latency_s(10);
+        let l50 = m.expected_latency_s(50);
+        assert!(l50 > l10);
+        assert!((l50 - (m.network_rtt_s + 50.0 * m.per_token_s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_fifty_token_latency_matches_paper_scale() {
+        // The paper's Figure 5 shows uncached 50-token responses taking
+        // roughly 0.3-1.0 seconds.
+        let m = LatencyModel::default();
+        let expected = m.expected_latency_s(50);
+        assert!(expected > 0.3 && expected < 1.2, "expected={expected}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed_and_positive() {
+        let m = LatencyModel::default();
+        let a = m.sample_latency_s(50, 42);
+        let b = m.sample_latency_s(50, 42);
+        let c = m.sample_latency_s(50, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn jitter_stays_within_clamped_bounds() {
+        let m = LatencyModel {
+            jitter_sigma: 1.5,
+            ..LatencyModel::default()
+        };
+        let base = m.expected_latency_s(50);
+        for seed in 0..200 {
+            let s = m.sample_latency_s(50, seed);
+            assert!(s >= base * 0.3 && s <= base * 3.0 + 0.05, "sample {s} vs base {base}");
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_exactly_the_expected_latency() {
+        let m = LatencyModel {
+            jitter_sigma: 0.0,
+            ..LatencyModel::default()
+        };
+        assert_eq!(m.sample_latency_s(20, 7), m.expected_latency_s(20));
+    }
+
+    #[test]
+    fn validation_rejects_negative_parameters() {
+        let mut m = LatencyModel::default();
+        assert!(m.validate().is_ok());
+        m.per_token_s = -0.1;
+        assert!(m.validate().is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! # mc-llm
+//!
+//! LLM web-service simulator.
+//!
+//! The paper measures end-to-end response times against a local Llama-2
+//! service with responses capped at 50 tokens (Figure 5), charges per query
+//! (Section I's motivation), and rate-limits users. Reproducing those
+//! experiments does not require a real LLM — only a service with the same
+//! externally-observable behaviour:
+//!
+//! * deterministic response text for a given query (so cached responses can
+//!   be checked for correctness),
+//! * a latency model composed of network RTT plus per-token generation time
+//!   with bounded jitter (so "no cache" vs "cache hit" latency gaps match the
+//!   paper's shape), and
+//! * a pricing / quota model (so the cost-saving claims can be quantified).
+//!
+//! [`SimulatedLlm`] provides all three behind the [`LlmService`] trait; the
+//! deployment driver in the `meancache` crate talks only to the trait, so a
+//! real HTTP-backed client could be swapped in without touching the cache.
+
+pub mod latency;
+pub mod pricing;
+pub mod service;
+
+pub use latency::LatencyModel;
+pub use pricing::{CostModel, QuotaTracker};
+pub use service::{LlmRequest, LlmResponse, LlmService, SimulatedLlm, SimulatedLlmConfig};
+
+/// Errors surfaced by the LLM service simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LlmError {
+    /// The caller exhausted its query quota (the paper notes providers
+    /// rate-limit and charge per query).
+    QuotaExceeded {
+        /// Queries consumed so far.
+        used: u64,
+        /// Configured quota.
+        limit: u64,
+    },
+    /// Invalid configuration value.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for LlmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LlmError::QuotaExceeded { used, limit } => {
+                write!(f, "quota exceeded: {used}/{limit} queries used")
+            }
+            LlmError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, LlmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = LlmError::QuotaExceeded { used: 10, limit: 5 };
+        assert!(e.to_string().contains("10/5"));
+        assert!(LlmError::InvalidConfig("rtt".into()).to_string().contains("rtt"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # mc-metrics
+//!
+//! Evaluation metrics for semantic-cache decisions, matching Section IV-A3 of
+//! the MeanCache paper.
+//!
+//! Traditional hit/miss rates are misleading for a *semantic* cache: a hit
+//! can be wrong (a *false hit* returns an unrelated cached response) and a
+//! miss can be wrong (a *false miss* forwards a query that had a perfectly
+//! good cached answer). The paper therefore evaluates cache decisions as a
+//! binary classification problem and reports precision, recall, Fβ and
+//! accuracy. This crate provides:
+//!
+//! * [`ConfusionMatrix`] — the four counters (true hit, false hit, true miss,
+//!   false miss) plus the derived metrics, including the Fβ score with the
+//!   paper's β = 0.5 weighting that favours precision.
+//! * [`timing`] — latency/size summaries (mean, percentiles, totals) used by
+//!   the response-time and storage experiments (Figures 5, 10, 15).
+//! * [`report`] — plain-text table rendering so the benchmark binaries print
+//!   rows directly comparable to the paper's tables.
+
+pub mod confusion;
+pub mod report;
+pub mod timing;
+
+pub use confusion::{CacheDecision, ConfusionMatrix, MetricSummary};
+pub use report::Table;
+pub use timing::TimingStats;
+
+/// The β used throughout the paper's end-to-end evaluation: 0.5 weighs
+/// precision twice as heavily as recall, because a false hit forces the user
+/// to manually resend the query while a false miss is handled transparently.
+pub const PAPER_F_BETA: f64 = 0.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_beta_prefers_precision() {
+        let mut high_precision = ConfusionMatrix::new();
+        high_precision.record_counts(80, 5, 100, 40);
+        let mut high_recall = ConfusionMatrix::new();
+        high_recall.record_counts(115, 60, 45, 5);
+        // Comparable overall quality, but the precision-heavy system must win under beta=0.5.
+        assert!(
+            high_precision.f_beta(PAPER_F_BETA) > high_recall.f_beta(PAPER_F_BETA),
+            "precision-heavy system must score higher under beta=0.5"
+        );
+    }
+}

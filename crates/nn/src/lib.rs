@@ -1,0 +1,70 @@
+//! # mc-nn
+//!
+//! Minimal neural-network substrate used to train the MeanCache embedding
+//! models from scratch.
+//!
+//! The paper fine-tunes SBERT encoders (MPNet / Albert) on each federated
+//! client with a *multitask* objective combining a contrastive loss and a
+//! multiple-negatives ranking (MNR) loss. This crate provides the pieces
+//! needed to reproduce that training loop without any external ML framework:
+//!
+//! * [`activation`] — activation functions and their derivatives.
+//! * [`layer`] — dense (fully-connected) layers with manual backpropagation.
+//! * [`mlp`] — a sequential stack of dense layers with cached forward passes,
+//!   gradient accumulation, and (de)serialisable parameters.
+//! * [`loss`] — cosine-similarity gradients, the contrastive loss, and the
+//!   in-batch multiple-negatives ranking loss (Section III-A1 of the paper).
+//! * [`optimizer`] — SGD with momentum and Adam, both operating on flat
+//!   parameter/gradient slices so the same optimiser drives every tensor.
+//!
+//! All gradients are validated against numerical differentiation in the unit
+//! tests, which is what makes the higher-level federated training loop
+//! trustworthy.
+
+pub mod activation;
+pub mod layer;
+pub mod loss;
+pub mod mlp;
+pub mod optimizer;
+
+pub use activation::Activation;
+pub use layer::{DenseGrad, DenseLayer};
+pub use loss::{contrastive_loss_with_grad, cosine_with_grad, mnr_loss_with_grad};
+pub use mlp::{Mlp, MlpGrad};
+pub use optimizer::{Adam, Optimizer, Sgd};
+
+/// Errors surfaced by the neural-network substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// Input/parameter shapes are inconsistent.
+    ShapeMismatch(String),
+    /// A hyper-parameter was outside its valid range.
+    InvalidHyperparameter(String),
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            NnError::InvalidHyperparameter(m) => write!(f, "invalid hyperparameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(NnError::ShapeMismatch("x".into()).to_string().contains("x"));
+        assert!(NnError::InvalidHyperparameter("lr".into())
+            .to_string()
+            .contains("lr"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Optimisers operating on flat parameter/gradient slices.
+//!
+//! The encoder keeps its parameters in several tensors (embedding table,
+//! layer weights, biases). Rather than special-casing each one, the
+//! optimisers here are addressed by a *slot* index: each distinct tensor gets
+//! a slot, and the optimiser lazily allocates whatever per-parameter state it
+//! needs (momentum buffers, Adam moments) for that slot the first time it is
+//! stepped. This mirrors how the SBERT trainer treats parameter groups.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::{NnError, Result};
+
+/// Common interface for gradient-descent optimisers.
+pub trait Optimizer {
+    /// Applies one update step: `params -= f(grads)` for the tensor in `slot`.
+    ///
+    /// # Errors
+    /// Returns [`NnError::ShapeMismatch`] when `params` and `grads` differ in
+    /// length or the slot was previously used with a different length.
+    fn step(&mut self, slot: usize, params: &mut [f32], grads: &[f32]) -> Result<()>;
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by LR schedules / FL hyperparameters).
+    fn set_learning_rate(&mut self, lr: f32);
+
+    /// Clears all accumulated state (momentum, moments, step counts).
+    fn reset(&mut self);
+}
+
+/// Stochastic gradient descent with classical momentum and optional weight
+/// decay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<usize, Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    ///
+    /// # Errors
+    /// Returns [`NnError::InvalidHyperparameter`] for non-positive learning
+    /// rates or momentum outside `[0, 1)`.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Result<Self> {
+        if lr <= 0.0 || !lr.is_finite() {
+            return Err(NnError::InvalidHyperparameter(format!("lr={lr}")));
+        }
+        if !(0.0..1.0).contains(&momentum) {
+            return Err(NnError::InvalidHyperparameter(format!(
+                "momentum={momentum}"
+            )));
+        }
+        if weight_decay < 0.0 {
+            return Err(NnError::InvalidHyperparameter(format!(
+                "weight_decay={weight_decay}"
+            )));
+        }
+        Ok(Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: HashMap::new(),
+        })
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, slot: usize, params: &mut [f32], grads: &[f32]) -> Result<()> {
+        if params.len() != grads.len() {
+            return Err(NnError::ShapeMismatch(format!(
+                "sgd step: params {} vs grads {}",
+                params.len(),
+                grads.len()
+            )));
+        }
+        let velocity = self
+            .velocity
+            .entry(slot)
+            .or_insert_with(|| vec![0.0; params.len()]);
+        if velocity.len() != params.len() {
+            return Err(NnError::ShapeMismatch(format!(
+                "sgd step: slot {slot} was sized {} but now receives {}",
+                velocity.len(),
+                params.len()
+            )));
+        }
+        for i in 0..params.len() {
+            let g = grads[i] + self.weight_decay * params[i];
+            velocity[i] = self.momentum * velocity[i] + g;
+            params[i] -= self.lr * velocity[i];
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam optimiser (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    weight_decay: f32,
+    /// Per-slot (first moment, second moment, step count).
+    state: HashMap<usize, AdamSlot>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AdamSlot {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the given learning rate and default
+    /// betas (0.9, 0.999).
+    ///
+    /// # Errors
+    /// Returns [`NnError::InvalidHyperparameter`] for invalid rates/betas.
+    pub fn new(lr: f32) -> Result<Self> {
+        Self::with_config(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Creates an Adam optimiser with explicit hyper-parameters.
+    ///
+    /// # Errors
+    /// Returns [`NnError::InvalidHyperparameter`] when any value is outside
+    /// its valid range.
+    pub fn with_config(
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        epsilon: f32,
+        weight_decay: f32,
+    ) -> Result<Self> {
+        if lr <= 0.0 || !lr.is_finite() {
+            return Err(NnError::InvalidHyperparameter(format!("lr={lr}")));
+        }
+        for (name, b) in [("beta1", beta1), ("beta2", beta2)] {
+            if !(0.0..1.0).contains(&b) {
+                return Err(NnError::InvalidHyperparameter(format!("{name}={b}")));
+            }
+        }
+        if epsilon <= 0.0 || weight_decay < 0.0 {
+            return Err(NnError::InvalidHyperparameter(
+                "epsilon must be > 0 and weight_decay >= 0".into(),
+            ));
+        }
+        Ok(Self {
+            lr,
+            beta1,
+            beta2,
+            epsilon,
+            weight_decay,
+            state: HashMap::new(),
+        })
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, slot: usize, params: &mut [f32], grads: &[f32]) -> Result<()> {
+        if params.len() != grads.len() {
+            return Err(NnError::ShapeMismatch(format!(
+                "adam step: params {} vs grads {}",
+                params.len(),
+                grads.len()
+            )));
+        }
+        let entry = self.state.entry(slot).or_insert_with(|| AdamSlot {
+            m: vec![0.0; params.len()],
+            v: vec![0.0; params.len()],
+            t: 0,
+        });
+        if entry.m.len() != params.len() {
+            return Err(NnError::ShapeMismatch(format!(
+                "adam step: slot {slot} was sized {} but now receives {}",
+                entry.m.len(),
+                params.len()
+            )));
+        }
+        entry.t += 1;
+        let t = entry.t as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for i in 0..params.len() {
+            let g = grads[i] + self.weight_decay * params[i];
+            entry.m[i] = self.beta1 * entry.m[i] + (1.0 - self.beta1) * g;
+            entry.v[i] = self.beta2 * entry.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = entry.m[i] / bias1;
+            let v_hat = entry.v[i] / bias2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn reset(&mut self) {
+        self.state.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimises f(x) = (x - 3)^2 and returns the final x.
+    fn minimise_quadratic<O: Optimizer>(opt: &mut O, steps: usize) -> f32 {
+        let mut x = vec![0.0f32];
+        for _ in 0..steps {
+            let grad = vec![2.0 * (x[0] - 3.0)];
+            opt.step(0, &mut x, &grad).unwrap();
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0).unwrap();
+        let x = minimise_quadratic(&mut opt, 100);
+        assert!((x - 3.0).abs() < 1e-3, "x={x}");
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges_faster_than_without() {
+        let mut plain = Sgd::new(0.02, 0.0, 0.0).unwrap();
+        let mut momentum = Sgd::new(0.02, 0.9, 0.0).unwrap();
+        let x_plain = minimise_quadratic(&mut plain, 30);
+        let x_mom = minimise_quadratic(&mut momentum, 30);
+        assert!((x_mom - 3.0).abs() < (x_plain - 3.0).abs());
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3).unwrap();
+        let x = minimise_quadratic(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-2, "x={x}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters_without_gradient() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.5).unwrap();
+        let mut params = vec![1.0f32];
+        for _ in 0..10 {
+            opt.step(0, &mut params, &[0.0]).unwrap();
+        }
+        assert!(params[0] < 1.0 && params[0] > 0.0);
+    }
+
+    #[test]
+    fn invalid_hyperparameters_are_rejected() {
+        assert!(Sgd::new(0.0, 0.0, 0.0).is_err());
+        assert!(Sgd::new(0.1, 1.5, 0.0).is_err());
+        assert!(Sgd::new(0.1, 0.0, -1.0).is_err());
+        assert!(Adam::new(-0.1).is_err());
+        assert!(Adam::with_config(0.1, 1.0, 0.9, 1e-8, 0.0).is_err());
+        assert!(Adam::with_config(0.1, 0.9, 0.999, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let mut opt = Adam::new(0.1).unwrap();
+        let mut params = vec![0.0; 3];
+        assert!(opt.step(0, &mut params, &[0.0; 2]).is_err());
+        // First valid use sizes the slot; a later mismatch is detected.
+        opt.step(1, &mut params, &[0.1; 3]).unwrap();
+        let mut smaller = vec![0.0; 2];
+        assert!(opt.step(1, &mut smaller, &[0.1; 2]).is_err());
+    }
+
+    #[test]
+    fn separate_slots_do_not_interfere() {
+        let mut opt = Adam::new(0.5).unwrap();
+        let mut a = vec![0.0f32];
+        let mut b = vec![0.0f32; 4];
+        opt.step(0, &mut a, &[1.0]).unwrap();
+        opt.step(1, &mut b, &[1.0; 4]).unwrap();
+        assert!(a[0] < 0.0);
+        assert!(b.iter().all(|&x| x < 0.0));
+    }
+
+    #[test]
+    fn reset_and_learning_rate_setters() {
+        let mut opt = Sgd::new(0.1, 0.9, 0.0).unwrap();
+        let mut x = vec![0.0f32];
+        opt.step(0, &mut x, &[1.0]).unwrap();
+        opt.reset();
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.5);
+        assert_eq!(opt.learning_rate(), 0.5);
+
+        let mut adam = Adam::new(0.01).unwrap();
+        adam.set_learning_rate(0.2);
+        assert_eq!(adam.learning_rate(), 0.2);
+        adam.reset();
+    }
+}

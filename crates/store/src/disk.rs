@@ -1,0 +1,447 @@
+//! Persistent append-only cache store.
+//!
+//! Plays the role DiskCache plays in the paper's implementation: the user's
+//! local cache must survive application restarts. Records are appended to a
+//! binary log; opening the store replays the log to rebuild the in-memory
+//! view. A truncated trailing record (e.g. after a crash mid-write) is
+//! detected and ignored, so the store is always recoverable.
+//!
+//! ## Record layout
+//!
+//! Every record is length-prefixed:
+//!
+//! ```text
+//! [u32 payload_len][u8 kind][payload ...]
+//! kind = 1 (Insert): [u64 id][u32 q_len][query][u32 r_len][response]
+//!                    [u8 has_parent][u64 parent][u64 inserted_at]
+//!                    [u64 last_access][u64 hits][u32 dims][f32 * dims]
+//! kind = 2 (Remove): [u64 id]
+//! kind = 3 (Touch):  [u64 id][u64 last_access][u64 hits]
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mc_tensor::Vector;
+
+use crate::{CacheEntry, Result, StoreError};
+
+const KIND_INSERT: u8 = 1;
+const KIND_REMOVE: u8 = 2;
+const KIND_TOUCH: u8 = 3;
+
+/// A persistent, crash-tolerant store of cache entries.
+#[derive(Debug)]
+pub struct DiskStore {
+    path: PathBuf,
+    file: File,
+    entries: BTreeMap<u64, CacheEntry>,
+}
+
+impl DiskStore {
+    /// Opens (or creates) the store backed by the log file at `path`,
+    /// replaying any existing records.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] on filesystem failures. Corrupt trailing
+    /// data is tolerated; corrupt *interior* data stops the replay at the
+    /// last consistent record.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let entries = if path.exists() {
+            Self::replay(&path)?
+        } else {
+            BTreeMap::new()
+        };
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self {
+            path,
+            file,
+            entries,
+        })
+    }
+
+    /// Path of the backing log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an entry by id.
+    pub fn get(&self, id: u64) -> Option<&CacheEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Iterates over live entries in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.values()
+    }
+
+    /// Total approximate storage of the live entries (not the log file).
+    pub fn storage_bytes(&self) -> usize {
+        self.entries.values().map(|e| e.storage_bytes()).sum()
+    }
+
+    /// Appends an insert record and updates the in-memory view.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] on write failure.
+    pub fn insert(&mut self, entry: CacheEntry) -> Result<()> {
+        let record = encode_insert(&entry);
+        self.append(KIND_INSERT, &record)?;
+        self.entries.insert(entry.id, entry);
+        Ok(())
+    }
+
+    /// Appends a remove record.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::NotFound`] when the id is unknown and
+    /// [`StoreError::Io`] on write failure.
+    pub fn remove(&mut self, id: u64) -> Result<CacheEntry> {
+        if !self.entries.contains_key(&id) {
+            return Err(StoreError::NotFound(id));
+        }
+        let mut payload = BytesMut::with_capacity(8);
+        payload.put_u64_le(id);
+        self.append(KIND_REMOVE, &payload.freeze())?;
+        Ok(self
+            .entries
+            .remove(&id)
+            .expect("presence checked above"))
+    }
+
+    /// Records an access (hit) for `id`, persisting the updated metadata.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::NotFound`] for unknown ids and
+    /// [`StoreError::Io`] on write failure.
+    pub fn touch(&mut self, id: u64, now: u64) -> Result<()> {
+        let entry = self
+            .entries
+            .get_mut(&id)
+            .ok_or(StoreError::NotFound(id))?;
+        entry.touch(now);
+        let mut payload = BytesMut::with_capacity(24);
+        payload.put_u64_le(id);
+        payload.put_u64_le(entry.last_access);
+        payload.put_u64_le(entry.hits);
+        let bytes = payload.freeze();
+        self.append(KIND_TOUCH, &bytes)
+    }
+
+    /// Rewrites the log so it contains exactly one insert per live entry
+    /// (dropping removed/touched history), shrinking the file.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] on filesystem failure.
+    pub fn compact(&mut self) -> Result<()> {
+        let tmp_path = self.path.with_extension("compact");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            for entry in self.entries.values() {
+                let payload = encode_insert(entry);
+                let mut framed = BytesMut::with_capacity(payload.len() + 5);
+                framed.put_u32_le(payload.len() as u32 + 1);
+                framed.put_u8(KIND_INSERT);
+                framed.extend_from_slice(&payload);
+                tmp.write_all(&framed)?;
+            }
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
+
+    /// Size of the backing log file in bytes.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the metadata cannot be read.
+    pub fn log_bytes(&self) -> Result<u64> {
+        Ok(std::fs::metadata(&self.path)?.len())
+    }
+
+    fn append(&mut self, kind: u8, payload: &Bytes) -> Result<()> {
+        let mut framed = BytesMut::with_capacity(payload.len() + 5);
+        framed.put_u32_le(payload.len() as u32 + 1);
+        framed.put_u8(kind);
+        framed.extend_from_slice(payload);
+        self.file.write_all(&framed)?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    fn replay(path: &Path) -> Result<BTreeMap<u64, CacheEntry>> {
+        let mut entries = BTreeMap::new();
+        let mut reader = BufReader::new(File::open(path)?);
+        let mut raw = Vec::new();
+        reader.read_to_end(&mut raw)?;
+        let mut buf = Bytes::from(raw);
+        while buf.remaining() >= 5 {
+            let len = (&buf[..4]).get_u32_le() as usize;
+            if buf.remaining() < 4 + len || len == 0 {
+                // Truncated trailing record (crash mid-write): stop replaying.
+                break;
+            }
+            buf.advance(4);
+            let mut record = buf.split_to(len);
+            let kind = record.get_u8();
+            match kind {
+                KIND_INSERT => match decode_insert(&mut record) {
+                    Ok(entry) => {
+                        entries.insert(entry.id, entry);
+                    }
+                    Err(_) => break,
+                },
+                KIND_REMOVE => {
+                    if record.remaining() < 8 {
+                        break;
+                    }
+                    let id = record.get_u64_le();
+                    entries.remove(&id);
+                }
+                KIND_TOUCH => {
+                    if record.remaining() < 24 {
+                        break;
+                    }
+                    let id = record.get_u64_le();
+                    let last_access = record.get_u64_le();
+                    let hits = record.get_u64_le();
+                    if let Some(e) = entries.get_mut(&id) {
+                        e.last_access = last_access;
+                        e.hits = hits;
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(entries)
+    }
+}
+
+fn encode_insert(entry: &CacheEntry) -> Bytes {
+    let embedding = entry.embedding.as_slice();
+    let mut buf = BytesMut::with_capacity(
+        8 + 4 + entry.query.len() + 4 + entry.response.len() + 1 + 8 + 24 + 4 + embedding.len() * 4,
+    );
+    buf.put_u64_le(entry.id);
+    buf.put_u32_le(entry.query.len() as u32);
+    buf.put_slice(entry.query.as_bytes());
+    buf.put_u32_le(entry.response.len() as u32);
+    buf.put_slice(entry.response.as_bytes());
+    buf.put_u8(u8::from(entry.parent.is_some()));
+    buf.put_u64_le(entry.parent.unwrap_or(0));
+    buf.put_u64_le(entry.inserted_at);
+    buf.put_u64_le(entry.last_access);
+    buf.put_u64_le(entry.hits);
+    buf.put_u32_le(embedding.len() as u32);
+    for &x in embedding {
+        buf.put_f32_le(x);
+    }
+    buf.freeze()
+}
+
+fn decode_insert(buf: &mut Bytes) -> Result<CacheEntry> {
+    let need = |buf: &Bytes, n: usize| -> Result<()> {
+        if buf.remaining() < n {
+            Err(StoreError::Corrupt(format!(
+                "insert record truncated: need {n}, have {}",
+                buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 8)?;
+    let id = buf.get_u64_le();
+    need(buf, 4)?;
+    let q_len = buf.get_u32_le() as usize;
+    need(buf, q_len)?;
+    let query = String::from_utf8(buf.split_to(q_len).to_vec())
+        .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+    need(buf, 4)?;
+    let r_len = buf.get_u32_le() as usize;
+    need(buf, r_len)?;
+    let response = String::from_utf8(buf.split_to(r_len).to_vec())
+        .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+    need(buf, 1 + 8 + 24 + 4)?;
+    let has_parent = buf.get_u8() != 0;
+    let parent_raw = buf.get_u64_le();
+    let inserted_at = buf.get_u64_le();
+    let last_access = buf.get_u64_le();
+    let hits = buf.get_u64_le();
+    let dims = buf.get_u32_le() as usize;
+    need(buf, dims * 4)?;
+    let mut embedding = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        embedding.push(buf.get_f32_le());
+    }
+    Ok(CacheEntry {
+        id,
+        query,
+        response,
+        embedding: Vector::from_vec(embedding),
+        parent: has_parent.then_some(parent_raw),
+        inserted_at,
+        last_access,
+        hits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mc_store_disk_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let unique = format!(
+            "{name}_{}_{}.log",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        );
+        dir.join(unique)
+    }
+
+    fn entry(id: u64, parent: Option<u64>) -> CacheEntry {
+        CacheEntry::new(
+            id,
+            format!("query number {id}"),
+            format!("response text for {id}"),
+            Vector::from_vec(vec![id as f32 * 0.1, 0.5, -0.25]),
+            parent,
+            id * 10,
+        )
+    }
+
+    #[test]
+    fn insert_persists_across_reopen() {
+        let path = temp_path("reopen");
+        {
+            let mut store = DiskStore::open(&path).unwrap();
+            store.insert(entry(1, None)).unwrap();
+            store.insert(entry(2, Some(1))).unwrap();
+            assert_eq!(store.len(), 2);
+        }
+        let store = DiskStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        let e2 = store.get(2).unwrap();
+        assert_eq!(e2.parent, Some(1));
+        assert_eq!(e2.query, "query number 2");
+        assert_eq!(e2.embedding.as_slice(), &[0.2, 0.5, -0.25]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn remove_and_touch_are_replayed() {
+        let path = temp_path("remove_touch");
+        {
+            let mut store = DiskStore::open(&path).unwrap();
+            store.insert(entry(1, None)).unwrap();
+            store.insert(entry(2, None)).unwrap();
+            store.touch(1, 99).unwrap();
+            store.touch(1, 120).unwrap();
+            store.remove(2).unwrap();
+            assert!(matches!(store.remove(2), Err(StoreError::NotFound(2))));
+            assert!(matches!(store.touch(42, 1), Err(StoreError::NotFound(42))));
+        }
+        let store = DiskStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        let e1 = store.get(1).unwrap();
+        assert_eq!(e1.hits, 2);
+        assert_eq!(e1.last_access, 120);
+        assert!(store.get(2).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_trailing_record_is_tolerated() {
+        let path = temp_path("truncated");
+        {
+            let mut store = DiskStore::open(&path).unwrap();
+            store.insert(entry(1, None)).unwrap();
+            store.insert(entry(2, None)).unwrap();
+        }
+        // Simulate a crash mid-write by appending garbage that looks like the
+        // start of a record.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[200, 0, 0, 0, KIND_INSERT, 1, 2, 3]).unwrap();
+        }
+        let store = DiskStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2, "intact prefix must still be recovered");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_shrinks_the_log_and_preserves_entries() {
+        let path = temp_path("compact");
+        let mut store = DiskStore::open(&path).unwrap();
+        for i in 0..20 {
+            store.insert(entry(i, None)).unwrap();
+        }
+        for i in 0..19 {
+            store.remove(i).unwrap();
+        }
+        for _ in 0..50 {
+            store.touch(19, 7).unwrap();
+        }
+        let before = store.log_bytes().unwrap();
+        store.compact().unwrap();
+        let after = store.log_bytes().unwrap();
+        assert!(after < before, "compaction must shrink the log ({before} -> {after})");
+        assert_eq!(store.len(), 1);
+        // Still usable and durable after compaction.
+        store.insert(entry(100, Some(19))).unwrap();
+        drop(store);
+        let store = DiskStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(19).unwrap().hits, 50);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn iteration_is_in_ascending_id_order_and_storage_sums() {
+        let path = temp_path("iter");
+        let mut store = DiskStore::open(&path).unwrap();
+        store.insert(entry(5, None)).unwrap();
+        store.insert(entry(1, None)).unwrap();
+        store.insert(entry(3, None)).unwrap();
+        let ids: Vec<u64> = store.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        assert!(store.storage_bytes() > 0);
+        assert!(!store.is_empty());
+        assert_eq!(store.path(), path.as_path());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn opening_a_fresh_path_creates_an_empty_store() {
+        let path = temp_path("fresh");
+        let store = DiskStore::open(&path).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

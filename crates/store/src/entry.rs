@@ -1,0 +1,136 @@
+//! The cache record stored for every query the LLM answered.
+
+use mc_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+/// One cached (query, response) pair with its embedding and context link —
+/// one row of the table in Figure 1 of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// Unique identifier within the cache.
+    pub id: u64,
+    /// The original query text.
+    pub query: String,
+    /// The LLM's response.
+    pub response: String,
+    /// The (possibly PCA-compressed, L2-normalised) query embedding.
+    pub embedding: Vector,
+    /// The id of the cached query this query followed up on, or `None` for a
+    /// standalone query — the "query context chain" column of Figure 1.
+    pub parent: Option<u64>,
+    /// Logical timestamp of insertion (monotone counter, not wall clock).
+    pub inserted_at: u64,
+    /// Logical timestamp of the most recent access.
+    pub last_access: u64,
+    /// Number of cache hits this entry has served.
+    pub hits: u64,
+}
+
+impl CacheEntry {
+    /// Creates a new entry at logical time `now`.
+    pub fn new(
+        id: u64,
+        query: impl Into<String>,
+        response: impl Into<String>,
+        embedding: Vector,
+        parent: Option<u64>,
+        now: u64,
+    ) -> Self {
+        Self {
+            id,
+            query: query.into(),
+            response: response.into(),
+            embedding,
+            parent,
+            inserted_at: now,
+            last_access: now,
+            hits: 0,
+        }
+    }
+
+    /// Records an access at logical time `now`.
+    pub fn touch(&mut self, now: u64) {
+        self.last_access = now;
+        self.hits += 1;
+    }
+
+    /// `true` when this entry is a contextual (follow-up) query.
+    pub fn is_contextual(&self) -> bool {
+        self.parent.is_some()
+    }
+
+    /// Approximate storage footprint in bytes: query + response text,
+    /// embedding payload, and fixed metadata. This is what the Figure 10
+    /// storage series sums over the cache.
+    pub fn storage_bytes(&self) -> usize {
+        const METADATA_BYTES: usize = 8 * 5; // id, parent, timestamps, hits
+        self.query.len() + self.response.len() + self.embedding.storage_bytes() + METADATA_BYTES
+    }
+
+    /// Storage of the embedding alone (the part PCA compression shrinks).
+    pub fn embedding_bytes(&self) -> usize {
+        self.embedding.storage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> CacheEntry {
+        CacheEntry::new(
+            1,
+            "what is federated learning",
+            "FL is a distributed training approach ...",
+            Vector::from_vec(vec![0.1, 0.2, 0.3, 0.4]),
+            None,
+            10,
+        )
+    }
+
+    #[test]
+    fn new_entry_has_expected_defaults() {
+        let e = entry();
+        assert_eq!(e.id, 1);
+        assert_eq!(e.inserted_at, 10);
+        assert_eq!(e.last_access, 10);
+        assert_eq!(e.hits, 0);
+        assert!(!e.is_contextual());
+    }
+
+    #[test]
+    fn touch_updates_recency_and_hit_count() {
+        let mut e = entry();
+        e.touch(42);
+        e.touch(50);
+        assert_eq!(e.last_access, 50);
+        assert_eq!(e.hits, 2);
+        assert_eq!(e.inserted_at, 10, "insertion time never changes");
+    }
+
+    #[test]
+    fn contextual_entries_report_their_parent() {
+        let mut e = entry();
+        e.parent = Some(7);
+        assert!(e.is_contextual());
+    }
+
+    #[test]
+    fn storage_accounting_scales_with_embedding_size() {
+        let small = entry();
+        let mut big = entry();
+        big.embedding = Vector::zeros(768);
+        assert!(big.storage_bytes() > small.storage_bytes());
+        assert_eq!(small.embedding_bytes(), 16);
+        assert_eq!(big.embedding_bytes(), 768 * 4);
+        assert!(small.storage_bytes() >= small.query.len() + small.response.len());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = entry();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: CacheEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

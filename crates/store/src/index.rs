@@ -1,0 +1,269 @@
+//! Brute-force top-k cosine index over cached query embeddings.
+//!
+//! The paper uses SBERT's `semantic_search` over the cached embeddings; this
+//! index plays that role. Embeddings are stored contiguously (one row per
+//! entry) so a lookup is a single pass of dot products, parallelised with
+//! rayon when the cache is large. All embeddings are expected to be
+//! L2-normalised (the encoder guarantees this), so cosine similarity reduces
+//! to a dot product.
+
+use mc_tensor::{ops, vector};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, StoreError};
+
+/// Minimum number of stored vectors before lookups move to the rayon pool.
+const PARALLEL_SEARCH_THRESHOLD: usize = 2048;
+
+/// A search hit: the entry id and its cosine similarity to the query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchHit {
+    /// Id of the cached entry.
+    pub id: u64,
+    /// Cosine similarity in `[-1, 1]`.
+    pub score: f32,
+}
+
+/// Contiguous embedding index supporting add / remove / top-k search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbeddingIndex {
+    dims: usize,
+    ids: Vec<u64>,
+    data: Vec<f32>,
+}
+
+impl EmbeddingIndex {
+    /// Creates an empty index for embeddings of `dims` dimensions.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::InvalidConfig`] for zero dimensions.
+    pub fn new(dims: usize) -> Result<Self> {
+        if dims == 0 {
+            return Err(StoreError::InvalidConfig("dims must be >= 1".into()));
+        }
+        Ok(Self {
+            dims,
+            ids: Vec::new(),
+            data: Vec::new(),
+        })
+    }
+
+    /// Embedding dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of indexed embeddings.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Bytes used by the embedding payload.
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Adds an embedding under `id`.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::DimensionMismatch`] when the embedding has the
+    /// wrong dimensionality.
+    pub fn add(&mut self, id: u64, embedding: &[f32]) -> Result<()> {
+        if embedding.len() != self.dims {
+            return Err(StoreError::DimensionMismatch {
+                expected: self.dims,
+                got: embedding.len(),
+            });
+        }
+        self.ids.push(id);
+        self.data.extend_from_slice(embedding);
+        Ok(())
+    }
+
+    /// Removes the embedding stored under `id` (swap-remove, O(dims)).
+    ///
+    /// # Errors
+    /// Returns [`StoreError::NotFound`] when the id is not indexed.
+    pub fn remove(&mut self, id: u64) -> Result<()> {
+        let pos = self
+            .ids
+            .iter()
+            .position(|&x| x == id)
+            .ok_or(StoreError::NotFound(id))?;
+        let last = self.ids.len() - 1;
+        self.ids.swap(pos, last);
+        self.ids.pop();
+        if pos != last {
+            let (head, tail) = self.data.split_at_mut(last * self.dims);
+            head[pos * self.dims..(pos + 1) * self.dims].copy_from_slice(&tail[..self.dims]);
+        }
+        self.data.truncate(last * self.dims);
+        Ok(())
+    }
+
+    /// `true` when `id` is indexed.
+    pub fn contains(&self, id: u64) -> bool {
+        self.ids.contains(&id)
+    }
+
+    /// Returns the top-`k` most similar entries to `query` with similarity at
+    /// least `min_score`, ordered by descending similarity.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::DimensionMismatch`] when the query has the wrong
+    /// dimensionality.
+    pub fn search(&self, query: &[f32], k: usize, min_score: f32) -> Result<Vec<SearchHit>> {
+        if query.len() != self.dims {
+            return Err(StoreError::DimensionMismatch {
+                expected: self.dims,
+                got: query.len(),
+            });
+        }
+        if self.is_empty() || k == 0 {
+            return Ok(Vec::new());
+        }
+        let scores: Vec<f32> = if self.len() >= PARALLEL_SEARCH_THRESHOLD {
+            self.data
+                .par_chunks(self.dims)
+                .map(|row| vector::cosine_similarity_normalized(query, row))
+                .collect()
+        } else {
+            self.data
+                .chunks_exact(self.dims)
+                .map(|row| vector::cosine_similarity_normalized(query, row))
+                .collect()
+        };
+        let hits = ops::top_k(&scores, k)
+            .into_iter()
+            .filter(|(_, score)| *score >= min_score)
+            .map(|(pos, score)| SearchHit {
+                id: self.ids[pos],
+                score,
+            })
+            .collect();
+        Ok(hits)
+    }
+
+    /// The single best match above `min_score`, if any.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::DimensionMismatch`] on a wrong-size query.
+    pub fn best_match(&self, query: &[f32], min_score: f32) -> Result<Option<SearchHit>> {
+        Ok(self.search(query, 1, min_score)?.into_iter().next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(v: Vec<f32>) -> Vec<f32> {
+        let mut v = v;
+        mc_tensor::vector::normalize(&mut v);
+        v
+    }
+
+    #[test]
+    fn add_and_search_returns_most_similar_first() {
+        let mut idx = EmbeddingIndex::new(3).unwrap();
+        idx.add(10, &unit(vec![1.0, 0.0, 0.0])).unwrap();
+        idx.add(20, &unit(vec![0.0, 1.0, 0.0])).unwrap();
+        idx.add(30, &unit(vec![0.7, 0.7, 0.0])).unwrap();
+        let hits = idx.search(&unit(vec![1.0, 0.1, 0.0]), 3, -1.0).unwrap();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].id, 10);
+        assert!(hits[0].score > hits[1].score);
+        assert!(hits[1].score >= hits[2].score);
+    }
+
+    #[test]
+    fn min_score_filters_low_quality_hits() {
+        let mut idx = EmbeddingIndex::new(2).unwrap();
+        idx.add(1, &unit(vec![1.0, 0.0])).unwrap();
+        idx.add(2, &unit(vec![0.0, 1.0])).unwrap();
+        let hits = idx.search(&unit(vec![1.0, 0.0]), 5, 0.9).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 1);
+        let none = idx.search(&unit(vec![-1.0, 0.0]), 5, 0.9).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn best_match_is_first_search_hit() {
+        let mut idx = EmbeddingIndex::new(2).unwrap();
+        idx.add(1, &unit(vec![1.0, 0.0])).unwrap();
+        idx.add(2, &unit(vec![0.6, 0.8])).unwrap();
+        let best = idx.best_match(&unit(vec![0.9, 0.1]), 0.0).unwrap().unwrap();
+        assert_eq!(best.id, 1);
+        assert!(idx.best_match(&unit(vec![-1.0, 0.0]), 0.99).unwrap().is_none());
+    }
+
+    #[test]
+    fn remove_swaps_without_corrupting_other_entries() {
+        let mut idx = EmbeddingIndex::new(2).unwrap();
+        idx.add(1, &unit(vec![1.0, 0.0])).unwrap();
+        idx.add(2, &unit(vec![0.0, 1.0])).unwrap();
+        idx.add(3, &unit(vec![-1.0, 0.0])).unwrap();
+        idx.remove(1).unwrap();
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.contains(1));
+        // Entry 3 (previously last) must still be findable with its own vector.
+        let best = idx.best_match(&unit(vec![-1.0, 0.0]), 0.5).unwrap().unwrap();
+        assert_eq!(best.id, 3);
+        // Removing the final element and a missing element.
+        idx.remove(3).unwrap();
+        idx.remove(2).unwrap();
+        assert!(idx.is_empty());
+        assert!(matches!(idx.remove(2), Err(StoreError::NotFound(2))));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let mut idx = EmbeddingIndex::new(4).unwrap();
+        assert!(matches!(
+            idx.add(1, &[1.0, 2.0]),
+            Err(StoreError::DimensionMismatch { expected: 4, got: 2 })
+        ));
+        idx.add(1, &[0.5; 4]).unwrap();
+        assert!(idx.search(&[1.0; 3], 1, 0.0).is_err());
+        assert!(EmbeddingIndex::new(0).is_err());
+    }
+
+    #[test]
+    fn empty_index_and_zero_k_return_no_hits() {
+        let idx = EmbeddingIndex::new(2).unwrap();
+        assert!(idx.search(&[1.0, 0.0], 3, 0.0).unwrap().is_empty());
+        let mut idx = EmbeddingIndex::new(2).unwrap();
+        idx.add(1, &[1.0, 0.0]).unwrap();
+        assert!(idx.search(&[1.0, 0.0], 0, 0.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn large_index_parallel_path_matches_small_index_results() {
+        // Build an index big enough to take the parallel path and verify the
+        // top hit is the known nearest neighbour.
+        let dims = 16;
+        let mut idx = EmbeddingIndex::new(dims).unwrap();
+        let mut rng = mc_tensor::rng::seeded(3);
+        for id in 0..3000u64 {
+            let v = unit(mc_tensor::rng::uniform_vec(dims, 1.0, &mut rng));
+            idx.add(id, &v).unwrap();
+        }
+        // Insert a known vector and query with a tiny perturbation of it.
+        let target = unit(vec![0.5; dims]);
+        idx.add(99_999, &target).unwrap();
+        let mut query = target.clone();
+        query[0] += 0.01;
+        let query = unit(query);
+        let hits = idx.search(&query, 5, 0.0).unwrap();
+        assert_eq!(hits[0].id, 99_999);
+        assert!(hits[0].score > 0.99);
+        assert_eq!(idx.storage_bytes(), 3001 * dims * 4);
+    }
+}

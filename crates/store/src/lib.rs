@@ -1,0 +1,87 @@
+//! # mc-store
+//!
+//! Cache-storage substrate for MeanCache.
+//!
+//! The paper persists each user's local cache with the DiskCache library and
+//! searches cached query embeddings with SBERT's semantic search. This crate
+//! provides the equivalent building blocks:
+//!
+//! * [`entry`] — the cache record: query, response, embedding, context link,
+//!   and the access metadata eviction policies need.
+//! * [`policy`] — LRU / LFU / FIFO eviction.
+//! * [`memstore`] — a bounded in-memory store applying an eviction policy.
+//! * [`disk`] — a persistent append-only store (binary log + replay on open)
+//!   that survives process restarts, mirroring DiskCache's role.
+//! * [`index`] — a brute-force top-k cosine index over cached embeddings with
+//!   rayon-parallel scoring, the moral equivalent of SBERT `semantic_search`
+//!   (which the paper notes handles up to ~1M cached entries).
+
+pub mod disk;
+pub mod entry;
+pub mod index;
+pub mod memstore;
+pub mod policy;
+
+pub use disk::DiskStore;
+pub use entry::CacheEntry;
+pub use index::EmbeddingIndex;
+pub use memstore::MemoryStore;
+pub use policy::EvictionPolicy;
+
+/// Errors surfaced by the storage substrate.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure (disk store only).
+    Io(std::io::Error),
+    /// A record could not be encoded/decoded.
+    Corrupt(String),
+    /// The store has no entry with the requested id.
+    NotFound(u64),
+    /// An embedding's dimensionality did not match the index.
+    DimensionMismatch { expected: usize, got: usize },
+    /// Invalid configuration (e.g. zero capacity).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt record: {m}"),
+            StoreError::NotFound(id) => write!(f, "entry {id} not found"),
+            StoreError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            StoreError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = StoreError::NotFound(7);
+        assert!(e.to_string().contains('7'));
+        let e = StoreError::DimensionMismatch { expected: 64, got: 768 };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("768"));
+        let e: StoreError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(e.to_string().contains("boom"));
+        assert!(StoreError::Corrupt("bad".into()).to_string().contains("bad"));
+        assert!(StoreError::InvalidConfig("cap".into()).to_string().contains("cap"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Eviction policies for the bounded local cache.
+//!
+//! Figure 1 of the paper shows an eviction-policy column (LRU) on every cache
+//! row; this module provides LRU plus the LFU/FIFO alternatives the related
+//! work (Section V) discusses, so the ablation benches can compare them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::CacheEntry;
+
+/// Which entry to evict when the cache is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used entry (the paper's default).
+    #[default]
+    Lru,
+    /// Evict the least-frequently-used entry (ties broken by recency).
+    Lfu,
+    /// Evict the oldest entry regardless of use.
+    Fifo,
+}
+
+impl EvictionPolicy {
+    /// Picks the id of the entry to evict from a non-empty iterator of
+    /// candidates, or `None` when there are no candidates.
+    pub fn select_victim<'a>(
+        &self,
+        entries: impl Iterator<Item = &'a CacheEntry>,
+    ) -> Option<u64> {
+        match self {
+            EvictionPolicy::Lru => entries
+                .min_by_key(|e| (e.last_access, e.id))
+                .map(|e| e.id),
+            EvictionPolicy::Lfu => entries
+                .min_by_key(|e| (e.hits, e.last_access, e.id))
+                .map(|e| e.id),
+            EvictionPolicy::Fifo => entries
+                .min_by_key(|e| (e.inserted_at, e.id))
+                .map(|e| e.id),
+        }
+    }
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvictionPolicy::Lru => write!(f, "LRU"),
+            EvictionPolicy::Lfu => write!(f, "LFU"),
+            EvictionPolicy::Fifo => write!(f, "FIFO"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_tensor::Vector;
+
+    fn entry(id: u64, inserted: u64, last_access: u64, hits: u64) -> CacheEntry {
+        let mut e = CacheEntry::new(id, format!("q{id}"), "r", Vector::zeros(2), None, inserted);
+        e.last_access = last_access;
+        e.hits = hits;
+        e
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let entries = vec![entry(1, 0, 100, 5), entry(2, 0, 50, 50), entry(3, 0, 75, 1)];
+        assert_eq!(EvictionPolicy::Lru.select_victim(entries.iter()), Some(2));
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequently_used() {
+        let entries = vec![entry(1, 0, 100, 5), entry(2, 0, 50, 50), entry(3, 0, 75, 1)];
+        assert_eq!(EvictionPolicy::Lfu.select_victim(entries.iter()), Some(3));
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_insertion() {
+        let entries = vec![entry(1, 30, 100, 5), entry(2, 10, 500, 50), entry(3, 20, 75, 1)];
+        assert_eq!(EvictionPolicy::Fifo.select_victim(entries.iter()), Some(2));
+    }
+
+    #[test]
+    fn ties_are_broken_deterministically_by_id() {
+        let entries = vec![entry(9, 0, 10, 1), entry(4, 0, 10, 1), entry(7, 0, 10, 1)];
+        assert_eq!(EvictionPolicy::Lru.select_victim(entries.iter()), Some(4));
+        assert_eq!(EvictionPolicy::Lfu.select_victim(entries.iter()), Some(4));
+        assert_eq!(EvictionPolicy::Fifo.select_victim(entries.iter()), Some(4));
+    }
+
+    #[test]
+    fn empty_candidate_set_returns_none() {
+        let entries: Vec<CacheEntry> = Vec::new();
+        assert_eq!(EvictionPolicy::Lru.select_victim(entries.iter()), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EvictionPolicy::Lru.to_string(), "LRU");
+        assert_eq!(EvictionPolicy::Lfu.to_string(), "LFU");
+        assert_eq!(EvictionPolicy::Fifo.to_string(), "FIFO");
+        assert_eq!(EvictionPolicy::default(), EvictionPolicy::Lru);
+    }
+}

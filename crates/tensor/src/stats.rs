@@ -1,0 +1,229 @@
+//! Statistical reductions over sets of embedding vectors.
+//!
+//! The PCA compression stage (`mc-embedder::pca`) fits its projection on the
+//! covariance matrix of all training-query embeddings (Figure 3-a of the
+//! paper); the kernels here compute that covariance in parallel and provide
+//! the scalar summaries the benchmark reports use.
+
+use rayon::prelude::*;
+
+use crate::{vector, Matrix, Result, TensorError};
+
+/// Column-wise mean of a matrix whose rows are observations.
+///
+/// # Errors
+/// Returns [`TensorError::Empty`] for a matrix with zero rows.
+pub fn column_mean(data: &Matrix) -> Result<Vec<f32>> {
+    if data.rows() == 0 {
+        return Err(TensorError::Empty("column_mean: no rows".into()));
+    }
+    let mut mean = vec![0.0f32; data.cols()];
+    for r in 0..data.rows() {
+        vector::axpy(1.0, data.row(r), &mut mean);
+    }
+    let inv = 1.0 / data.rows() as f32;
+    vector::scale(inv, &mut mean);
+    Ok(mean)
+}
+
+/// Centers the rows of `data` by subtracting the column mean, returning the
+/// centered matrix and the mean that was removed.
+///
+/// # Errors
+/// Returns [`TensorError::Empty`] for a matrix with zero rows.
+pub fn center_rows(data: &Matrix) -> Result<(Matrix, Vec<f32>)> {
+    let mean = column_mean(data)?;
+    let mut centered = data.clone();
+    let cols = data.cols().max(1);
+    centered
+        .as_mut_slice()
+        .chunks_exact_mut(cols)
+        .for_each(|row| {
+            for (x, m) in row.iter_mut().zip(mean.iter()) {
+                *x -= m;
+            }
+        });
+    Ok((centered, mean))
+}
+
+/// Sample covariance matrix (`cols x cols`) of a matrix whose rows are
+/// observations. Uses the unbiased `1/(n-1)` normaliser when `n > 1`.
+///
+/// The accumulation is parallelised over observation chunks and merged, so
+/// fitting PCA on a few thousand 768-dimensional embeddings stays fast.
+///
+/// # Errors
+/// Returns [`TensorError::Empty`] for a matrix with zero rows.
+pub fn covariance(data: &Matrix) -> Result<Matrix> {
+    let (centered, _mean) = center_rows(data)?;
+    let n = data.rows();
+    let d = data.cols();
+    let normaliser = if n > 1 { (n - 1) as f32 } else { 1.0 };
+
+    // Split rows into chunks, accumulate X_chunk^T * X_chunk per chunk, merge.
+    let chunk_rows = 128.max(1);
+    let partials: Vec<Matrix> = centered
+        .as_slice()
+        .par_chunks(chunk_rows * d.max(1))
+        .map(|chunk| {
+            let rows = chunk.len() / d.max(1);
+            let mut acc = Matrix::zeros(d, d);
+            for r in 0..rows {
+                let row = &chunk[r * d..(r + 1) * d];
+                // acc += row^T * row
+                acc.add_outer(1.0, row, row)
+                    .expect("covariance: outer product shapes are consistent");
+            }
+            acc
+        })
+        .collect();
+
+    let mut cov = Matrix::zeros(d, d);
+    for p in partials {
+        cov.add_scaled(1.0, &p)?;
+    }
+    cov.scale(1.0 / normaliser);
+    Ok(cov)
+}
+
+/// Scalar mean of a slice (`0.0` for an empty slice).
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Sample variance of a slice (`0.0` for fewer than two elements).
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / (xs.len() - 1) as f32
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    variance(xs).sqrt()
+}
+
+/// `p`-th percentile (0..=100) of a slice using linear interpolation between
+/// closest ranks. Returns `0.0` for an empty slice.
+pub fn percentile(xs: &[f32], p: f32) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f32;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f32;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Fraction of explained variance captured by keeping the `k` largest of the
+/// provided eigenvalues (assumed non-negative, any order).
+pub fn explained_variance_ratio(eigenvalues: &[f32], k: usize) -> f32 {
+    if eigenvalues.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f32> = eigenvalues.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let total: f32 = sorted.iter().sum();
+    if total <= f32::EPSILON {
+        return 0.0;
+    }
+    let kept: f32 = sorted.iter().take(k).sum();
+    kept / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn column_mean_basic() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let mu = column_mean(&m).unwrap();
+        assert_eq!(mu, vec![3.0, 4.0]);
+        assert!(column_mean(&Matrix::zeros(0, 2)).is_err());
+    }
+
+    #[test]
+    fn centering_removes_the_mean() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0]]).unwrap();
+        let (centered, mean) = center_rows(&m).unwrap();
+        assert_eq!(mean, vec![2.0, 20.0]);
+        let remaining = column_mean(&centered).unwrap();
+        assert!(remaining.iter().all(|x| x.abs() < 1e-6));
+    }
+
+    #[test]
+    fn covariance_of_known_data() {
+        // Two perfectly correlated columns.
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+            vec![4.0, 8.0],
+        ])
+        .unwrap();
+        let cov = covariance(&m).unwrap();
+        // var(x) for 1..4 = 5/3, cov(x,2x) = 2*var(x), var(2x) = 4*var(x).
+        let var_x = 5.0 / 3.0;
+        assert!((cov.get(0, 0) - var_x).abs() < 1e-4);
+        assert!((cov.get(0, 1) - 2.0 * var_x).abs() < 1e-4);
+        assert!((cov.get(1, 0) - 2.0 * var_x).abs() < 1e-4);
+        assert!((cov.get(1, 1) - 4.0 * var_x).abs() < 1e-4);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_on_random_data() {
+        let mut rng = crate::rng::seeded(11);
+        let m = crate::rng::uniform_matrix(200, 16, 1.0, &mut rng);
+        let cov = covariance(&m).unwrap();
+        for i in 0..16 {
+            for j in 0..16 {
+                assert!((cov.get(i, j) - cov.get(j, i)).abs() < 1e-4);
+            }
+            assert!(cov.get(i, i) >= -1e-6, "diagonal must be non-negative");
+        }
+    }
+
+    #[test]
+    fn scalar_stats() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-5);
+        assert!((std_dev(&xs) - (32.0f32 / 7.0).sqrt()).abs() < 1e-5);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-6);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn explained_variance_ratio_behaviour() {
+        let eig = [4.0, 3.0, 2.0, 1.0];
+        assert!((explained_variance_ratio(&eig, 2) - 0.7).abs() < 1e-6);
+        assert_eq!(explained_variance_ratio(&eig, 0), 0.0);
+        assert!((explained_variance_ratio(&eig, 10) - 1.0).abs() < 1e-6);
+        assert_eq!(explained_variance_ratio(&[], 3), 0.0);
+        assert_eq!(explained_variance_ratio(&[0.0, 0.0], 1), 0.0);
+    }
+}

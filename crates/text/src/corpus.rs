@@ -1,0 +1,276 @@
+//! Labelled query-pair datasets and conversation structures.
+//!
+//! The GPTCache benchmark dataset that the paper trains and evaluates on is a
+//! corpus of (query A, query B, is-duplicate) pairs. `mc-workloads` generates
+//! a synthetic equivalent; this module defines the shared container types,
+//! deterministic splitting, and per-client partitioning helpers used by the
+//! trainer, the FL framework, and the evaluation harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A labelled pair of queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryPair {
+    /// First query text.
+    pub query_a: String,
+    /// Second query text.
+    pub query_b: String,
+    /// `true` when the two queries are semantically equivalent (a cached
+    /// response for one correctly answers the other).
+    pub is_duplicate: bool,
+}
+
+impl QueryPair {
+    /// Creates a labelled pair.
+    pub fn new(query_a: impl Into<String>, query_b: impl Into<String>, is_duplicate: bool) -> Self {
+        Self {
+            query_a: query_a.into(),
+            query_b: query_b.into(),
+            is_duplicate,
+        }
+    }
+}
+
+/// One turn of a user/LLM conversation, used by the contextual-query
+/// experiments. `parent` indexes the turn this query follows up on (within
+/// the same conversation), mirroring the paper's context chains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConversationTurn {
+    /// The user's query text.
+    pub query: String,
+    /// Index of the parent turn inside the conversation, or `None` for a
+    /// standalone query.
+    pub parent: Option<usize>,
+    /// Ground-truth response text (from the simulated LLM).
+    pub response: String,
+}
+
+/// Ratios used to split a dataset into train / validation / test subsets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitRatios {
+    /// Fraction of pairs assigned to the training split.
+    pub train: f32,
+    /// Fraction assigned to the validation split.
+    pub validation: f32,
+    /// Fraction assigned to the test split (the remainder is also pushed
+    /// here so the three fractions need not sum exactly to 1).
+    pub test: f32,
+}
+
+impl Default for SplitRatios {
+    fn default() -> Self {
+        Self {
+            train: 0.7,
+            validation: 0.15,
+            test: 0.15,
+        }
+    }
+}
+
+/// A dataset of labelled query pairs with deterministic splitting and
+/// client partitioning.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PairDataset {
+    /// The labelled pairs.
+    pub pairs: Vec<QueryPair>,
+}
+
+impl PairDataset {
+    /// Creates a dataset from a vector of pairs.
+    pub fn new(pairs: Vec<QueryPair>) -> Self {
+        Self { pairs }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when the dataset holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of duplicate-labelled pairs.
+    pub fn duplicate_count(&self) -> usize {
+        self.pairs.iter().filter(|p| p.is_duplicate).count()
+    }
+
+    /// Fraction of duplicate-labelled pairs (0 when empty).
+    pub fn duplicate_ratio(&self) -> f32 {
+        if self.pairs.is_empty() {
+            0.0
+        } else {
+            self.duplicate_count() as f32 / self.pairs.len() as f32
+        }
+    }
+
+    /// Deterministically shuffles and splits the dataset into
+    /// (train, validation, test) according to `ratios`.
+    pub fn split(&self, ratios: SplitRatios, seed: u64) -> (PairDataset, PairDataset, PairDataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shuffled = self.pairs.clone();
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.random_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let n = shuffled.len();
+        let n_train = ((ratios.train.clamp(0.0, 1.0)) * n as f32).round() as usize;
+        let n_val = ((ratios.validation.clamp(0.0, 1.0)) * n as f32).round() as usize;
+        let n_train = n_train.min(n);
+        let n_val = n_val.min(n - n_train);
+        let train = shuffled[..n_train].to_vec();
+        let val = shuffled[n_train..n_train + n_val].to_vec();
+        let test = shuffled[n_train + n_val..].to_vec();
+        (
+            PairDataset::new(train),
+            PairDataset::new(val),
+            PairDataset::new(test),
+        )
+    }
+
+    /// Partitions the dataset into `clients` non-overlapping shards
+    /// (round-robin over a seeded shuffle), as the paper distributes the
+    /// GPTCache training data among its 20 simulated FL clients.
+    pub fn partition(&self, clients: usize, seed: u64) -> Vec<PairDataset> {
+        if clients == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shuffled = self.pairs.clone();
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.random_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let mut shards: Vec<Vec<QueryPair>> = vec![Vec::new(); clients];
+        for (i, pair) in shuffled.into_iter().enumerate() {
+            shards[i % clients].push(pair);
+        }
+        shards.into_iter().map(PairDataset::new).collect()
+    }
+
+    /// Returns a balanced subsample containing an equal number of duplicate
+    /// and non-duplicate pairs (used by the threshold-sweep experiments,
+    /// which the paper runs on "an equal distribution of duplicate and
+    /// non-duplicate queries").
+    pub fn balanced_subsample(&self, seed: u64) -> PairDataset {
+        let dups: Vec<&QueryPair> = self.pairs.iter().filter(|p| p.is_duplicate).collect();
+        let nondups: Vec<&QueryPair> = self.pairs.iter().filter(|p| !p.is_duplicate).collect();
+        let k = dups.len().min(nondups.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pick = |items: &[&QueryPair], rng: &mut StdRng| -> Vec<QueryPair> {
+            let mut idx: Vec<usize> = (0..items.len()).collect();
+            for i in (1..idx.len()).rev() {
+                let j = rng.random_range(0..=i);
+                idx.swap(i, j);
+            }
+            idx.into_iter().take(k).map(|i| items[i].clone()).collect()
+        };
+        let mut out = pick(&dups, &mut rng);
+        out.extend(pick(&nondups, &mut rng));
+        PairDataset::new(out)
+    }
+
+    /// Concatenates two datasets.
+    pub fn extend(&mut self, other: &PairDataset) {
+        self.pairs.extend(other.pairs.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset(n: usize) -> PairDataset {
+        let pairs = (0..n)
+            .map(|i| {
+                QueryPair::new(
+                    format!("query number {i}"),
+                    format!("another phrasing of query {i}"),
+                    i % 3 == 0,
+                )
+            })
+            .collect();
+        PairDataset::new(pairs)
+    }
+
+    #[test]
+    fn split_preserves_every_pair_exactly_once() {
+        let ds = toy_dataset(100);
+        let (train, val, test) = ds.split(SplitRatios::default(), 7);
+        assert_eq!(train.len() + val.len() + test.len(), 100);
+        assert_eq!(train.len(), 70);
+        assert_eq!(val.len(), 15);
+        let mut all: Vec<String> = train
+            .pairs
+            .iter()
+            .chain(&val.pairs)
+            .chain(&test.pairs)
+            .map(|p| p.query_a.clone())
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 100, "no pair may be duplicated or dropped");
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = toy_dataset(50);
+        let (a1, _, _) = ds.split(SplitRatios::default(), 3);
+        let (a2, _, _) = ds.split(SplitRatios::default(), 3);
+        let (b1, _, _) = ds.split(SplitRatios::default(), 4);
+        assert_eq!(a1.pairs, a2.pairs);
+        assert_ne!(a1.pairs, b1.pairs);
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_balanced() {
+        let ds = toy_dataset(101);
+        let shards = ds.partition(20, 11);
+        assert_eq!(shards.len(), 20);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 101);
+        let max = shards.iter().map(|s| s.len()).max().unwrap();
+        let min = shards.iter().map(|s| s.len()).min().unwrap();
+        assert!(max - min <= 1, "round-robin partition must be balanced");
+        assert!(ds.partition(0, 1).is_empty());
+    }
+
+    #[test]
+    fn duplicate_ratio_counts_labels() {
+        let ds = toy_dataset(9);
+        assert_eq!(ds.duplicate_count(), 3);
+        assert!((ds.duplicate_ratio() - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(PairDataset::default().duplicate_ratio(), 0.0);
+    }
+
+    #[test]
+    fn balanced_subsample_has_equal_classes() {
+        let ds = toy_dataset(30); // 10 duplicates, 20 non-duplicates
+        let bal = ds.balanced_subsample(5);
+        assert_eq!(bal.duplicate_count() * 2, bal.len());
+        assert_eq!(bal.len(), 20);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = toy_dataset(3);
+        let b = toy_dataset(2);
+        a.extend(&b);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn conversation_turn_serde() {
+        let turn = ConversationTurn {
+            query: "Change the color to red".into(),
+            parent: Some(0),
+            response: "Sure, using color='red'".into(),
+        };
+        let json = serde_json::to_string(&turn).unwrap();
+        let back: ConversationTurn = serde_json::from_str(&json).unwrap();
+        assert_eq!(turn, back);
+    }
+}

@@ -1,0 +1,36 @@
+//! # mc-text
+//!
+//! Text-processing substrate for the MeanCache reproduction.
+//!
+//! The paper's embedding models (MPNet / Albert via SBERT) consume tokenised
+//! natural-language queries. This crate provides the equivalent plumbing for
+//! the from-scratch encoder in `mc-embedder`:
+//!
+//! * [`tokenizer`] — lower-casing, punctuation-aware word tokenisation.
+//! * [`ngram`] — fastText-style hashed word and character n-gram features,
+//!   which give the small encoder sub-word robustness to the lexical
+//!   variation paraphrases introduce ("colour"/"color", "plot"/"plotting").
+//! * [`corpus`] — labelled query-pair datasets (duplicate / non-duplicate),
+//!   deterministic train/validation/test splitting, and conversation turns
+//!   for the contextual-query experiments.
+
+pub mod corpus;
+pub mod ngram;
+pub mod tokenizer;
+
+pub use corpus::{ConversationTurn, PairDataset, QueryPair, SplitRatios};
+pub use ngram::{FeatureHasher, HashedFeatures};
+pub use tokenizer::Tokenizer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_api_is_wired_together() {
+        let tok = Tokenizer::default();
+        let hasher = FeatureHasher::new(1 << 12, 3, 5);
+        let feats = hasher.features(&tok.tokenize("How can I increase my phone battery life?"));
+        assert!(!feats.indices.is_empty());
+    }
+}

@@ -1,0 +1,412 @@
+//! Contextual-query workload (the 450-query GPT-4 dataset stand-in).
+//!
+//! Section IV-C populates the cache with 200 queries (100 standalone + 100
+//! follow-ups of those standalone queries) and probes it with 250 queries:
+//! 75 duplicate standalone queries, 75 duplicate contextual queries, and 100
+//! non-duplicate queries. The critical property is that a follow-up such as
+//! "change the color to red" is lexically similar across conversations but
+//! must only hit the cache when its *parent* matches — the situation that
+//! produces GPTCache's 54 false hits in Figure 8a.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::TopicBank;
+
+/// Generic follow-up intents that make sense after almost any query, each
+/// with paraphrase variants (index 0 is canonical).
+const FOLLOW_UPS: &[&[&str]] = &[
+    &[
+        "change the color to red",
+        "make it red instead",
+        "switch the colour to red please",
+        "use red as the color",
+    ],
+    &[
+        "make it shorter",
+        "can you shorten it",
+        "give me a more compact version",
+        "trim it down a bit",
+    ],
+    &[
+        "explain it in simpler terms",
+        "explain that more simply",
+        "give me a simpler explanation",
+        "break it down in plain language",
+    ],
+    &[
+        "give me an example",
+        "show me a concrete example",
+        "can you provide an example",
+        "illustrate that with an example",
+    ],
+    &[
+        "translate it to french",
+        "give me the french version",
+        "say that in french",
+        "convert it into french",
+    ],
+    &[
+        "add error handling",
+        "include error handling",
+        "handle the error cases too",
+        "make it robust to errors",
+    ],
+    &[
+        "make it faster",
+        "optimise it for speed",
+        "improve its performance",
+        "speed it up",
+    ],
+    &[
+        "turn it into a bullet list",
+        "format it as bullet points",
+        "rewrite it as a list",
+        "present that as bullets",
+    ],
+];
+
+/// What kind of probe a contextual probe is (used for per-kind reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeKind {
+    /// Paraphrase of a cached standalone query — should hit.
+    DuplicateStandalone,
+    /// Paraphrase of a cached follow-up *with the same parent* — should hit.
+    DuplicateContextual,
+    /// A standalone query from a topic that was never cached — should miss.
+    NovelStandalone,
+    /// A follow-up that is lexically similar to a cached follow-up but issued
+    /// under a different conversation — should miss (GPTCache's failure mode).
+    ContextMismatch,
+}
+
+/// One entry to preload into the cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulateItem {
+    /// Query text.
+    pub text: String,
+    /// Index (into the populate list) of the parent query, or `None` for a
+    /// standalone query.
+    pub parent: Option<usize>,
+    /// Topic id of the standalone query this item belongs to (its own topic
+    /// for standalone items, the parent's topic for follow-ups).
+    pub topic_id: usize,
+    /// Follow-up intent index, when this item is a follow-up.
+    pub followup_id: Option<usize>,
+}
+
+/// One probe query with its conversational context and ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextualProbe {
+    /// Query text.
+    pub text: String,
+    /// Conversation history preceding this query (oldest first). Empty for
+    /// standalone probes.
+    pub context: Vec<String>,
+    /// Ground truth: should this probe be served from the cache?
+    pub should_hit: bool,
+    /// Which scenario this probe exercises.
+    pub kind: ProbeKind,
+    /// Topic id of the conversation this probe belongs to.
+    pub topic_id: usize,
+}
+
+/// The full contextual workload (populate + probes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextualWorkload {
+    /// Entries to preload, in order (follow-ups always appear after their
+    /// parent so `parent` indices are valid at insertion time).
+    pub populate: Vec<PopulateItem>,
+    /// Probe queries.
+    pub probes: Vec<ContextualProbe>,
+}
+
+impl ContextualWorkload {
+    /// Total number of queries in the workload (populate + probes), which the
+    /// paper reports as 450.
+    pub fn total_queries(&self) -> usize {
+        self.populate.len() + self.probes.len()
+    }
+
+    /// Probes of a given kind.
+    pub fn probes_of_kind(&self, kind: ProbeKind) -> Vec<&ContextualProbe> {
+        self.probes.iter().filter(|p| p.kind == kind).collect()
+    }
+}
+
+/// Generates the paper-shaped contextual workload: `standalone` cached
+/// standalone queries each with one cached follow-up, probed by
+/// `dup_standalone` + `dup_contextual` duplicates and `novel` non-duplicates
+/// (half novel standalone topics, half context-mismatched follow-ups).
+pub fn contextual_workload(
+    bank: &TopicBank,
+    standalone: usize,
+    dup_standalone: usize,
+    dup_contextual: usize,
+    novel: usize,
+    seed: u64,
+) -> ContextualWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cached vs held-out topics are split at sibling-group granularity (see
+    // `Topic::group`), so a "different conversation" is genuinely about a
+    // different subject.
+    let groups = bank.groups();
+    let group_perm = mc_tensor::rng::permutation(groups.len(), &mut rng);
+    let mut cached_topics: Vec<usize> = Vec::new();
+    let mut heldout_topics: Vec<usize> = Vec::new();
+    for (rank, &g) in group_perm.iter().enumerate() {
+        if rank % 2 == 0 && cached_topics.len() < standalone.max(1) {
+            cached_topics.extend(&groups[g]);
+        } else {
+            heldout_topics.extend(&groups[g]);
+        }
+    }
+    if cached_topics.is_empty() {
+        cached_topics.extend(&groups[group_perm[0]]);
+    }
+    cached_topics.truncate(standalone.max(1));
+
+    // Populate: standalone queries then one follow-up per standalone query.
+    let mut populate = Vec::with_capacity(standalone * 2);
+    for i in 0..standalone {
+        let topic = bank.topic(cached_topics[i % cached_topics.len()]);
+        populate.push(PopulateItem {
+            text: topic.paraphrase(i / cached_topics.len()).to_string(),
+            parent: None,
+            topic_id: topic.id,
+            followup_id: None,
+        });
+    }
+    for i in 0..standalone {
+        let parent_item = &populate[i];
+        let followup_id = i % FOLLOW_UPS.len();
+        let text = FOLLOW_UPS[followup_id][0].to_string();
+        populate.push(PopulateItem {
+            text,
+            parent: Some(i),
+            topic_id: parent_item.topic_id,
+            followup_id: Some(followup_id),
+        });
+    }
+
+    let mut probes = Vec::new();
+
+    // Duplicate standalone probes: another paraphrase of a cached topic.
+    for i in 0..dup_standalone {
+        let pos = i % standalone.max(1);
+        let topic = bank.topic(populate[pos].topic_id);
+        probes.push(ContextualProbe {
+            text: topic.paraphrase(1 + (i % (topic.variant_count() - 1).max(1))).to_string(),
+            context: Vec::new(),
+            should_hit: true,
+            kind: ProbeKind::DuplicateStandalone,
+            topic_id: topic.id,
+        });
+    }
+
+    // Duplicate contextual probes: a paraphrase of a cached follow-up asked
+    // again in the *same* conversation (the parent standalone query, possibly
+    // rephrased, precedes it).
+    for i in 0..dup_contextual {
+        let pos = i % standalone.max(1);
+        let parent_item = &populate[pos];
+        let followup_id = pos % FOLLOW_UPS.len();
+        let variants = FOLLOW_UPS[followup_id];
+        let text = variants[1 + (i % (variants.len() - 1))].to_string();
+        let parent_topic = bank.topic(parent_item.topic_id);
+        probes.push(ContextualProbe {
+            text,
+            context: vec![parent_topic.paraphrase(1).to_string()],
+            should_hit: true,
+            kind: ProbeKind::DuplicateContextual,
+            topic_id: parent_item.topic_id,
+        });
+    }
+
+    // Non-duplicates: half novel standalone topics, half context mismatches.
+    let n_mismatch = novel / 2;
+    let n_novel_standalone = novel - n_mismatch;
+    for i in 0..n_novel_standalone {
+        let source = if heldout_topics.is_empty() {
+            &cached_topics
+        } else {
+            &heldout_topics
+        };
+        let topic = bank.topic(source[(i * 7 + rng.random_range(0..source.len())) % source.len()]);
+        probes.push(ContextualProbe {
+            text: topic
+                .paraphrase(rng.random_range(0..topic.variant_count()))
+                .to_string(),
+            context: Vec::new(),
+            should_hit: heldout_topics.is_empty(),
+            kind: ProbeKind::NovelStandalone,
+            topic_id: topic.id,
+        });
+    }
+    for i in 0..n_mismatch {
+        // A follow-up phrased like a cached one, but the conversation it
+        // belongs to is a *different*, uncached standalone query (Q3/Q4 in
+        // Section II). Returning the cached follow-up response would be a
+        // false hit. The new conversation's topic is drawn from a *different
+        // domain* than the cached parents of this follow-up: as in the
+        // paper's example, the two conversations are genuinely about
+        // different things, not one-word variations of the same request.
+        let followup_id = i % FOLLOW_UPS.len();
+        let variants = FOLLOW_UPS[followup_id];
+        let parent_domains: std::collections::HashSet<&str> = populate
+            .iter()
+            .filter(|p| p.followup_id == Some(followup_id))
+            .map(|p| bank.topic(p.topic_id).domain.as_str())
+            .collect();
+        let source = if heldout_topics.is_empty() {
+            &cached_topics
+        } else {
+            &heldout_topics
+        };
+        let mut new_parent_topic = bank.topic(source[rng.random_range(0..source.len())]);
+        for _ in 0..64 {
+            if !parent_domains.contains(new_parent_topic.domain.as_str()) {
+                break;
+            }
+            new_parent_topic = bank.topic(source[rng.random_range(0..source.len())]);
+        }
+        probes.push(ContextualProbe {
+            text: variants[i % variants.len()].to_string(),
+            context: vec![new_parent_topic.canonical().to_string()],
+            should_hit: false,
+            kind: ProbeKind::ContextMismatch,
+            topic_id: new_parent_topic.id,
+        });
+    }
+
+    // Interleave probe kinds deterministically.
+    for i in (1..probes.len()).rev() {
+        let j = rng.random_range(0..=i);
+        probes.swap(i, j);
+    }
+
+    ContextualWorkload { populate, probes }
+}
+
+/// Labelled pairs over the follow-up intents: paraphrases of the same
+/// follow-up are duplicates, different follow-ups are non-duplicates. Mixed
+/// into the training corpus so the encoder also learns to match the short
+/// imperative follow-up phrasings that contextual conversations produce.
+pub fn followup_training_pairs() -> mc_text::PairDataset {
+    let mut pairs = Vec::new();
+    for (i, variants) in FOLLOW_UPS.iter().enumerate() {
+        for a in 0..variants.len() {
+            for b in (a + 1)..variants.len() {
+                pairs.push(mc_text::QueryPair::new(variants[a], variants[b], true));
+            }
+        }
+        let other = FOLLOW_UPS[(i + 1) % FOLLOW_UPS.len()];
+        pairs.push(mc_text::QueryPair::new(variants[0], other[0], false));
+        pairs.push(mc_text::QueryPair::new(
+            variants[variants.len() - 1],
+            other[1],
+            false,
+        ));
+    }
+    mc_text::PairDataset::new(pairs)
+}
+
+/// The exact configuration the paper uses: 100 standalone + 100 contextual
+/// cached queries, probed with 75 + 75 duplicates and 100 non-duplicates —
+/// 450 queries in total.
+pub fn paper_contextual_workload(bank: &TopicBank, seed: u64) -> ContextualWorkload {
+    contextual_workload(bank, 100, 75, 75, 100, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_has_450_queries() {
+        let bank = TopicBank::generate(1);
+        let w = paper_contextual_workload(&bank, 2);
+        assert_eq!(w.populate.len(), 200);
+        assert_eq!(w.probes.len(), 250);
+        assert_eq!(w.total_queries(), 450);
+        assert_eq!(w.probes_of_kind(ProbeKind::DuplicateStandalone).len(), 75);
+        assert_eq!(w.probes_of_kind(ProbeKind::DuplicateContextual).len(), 75);
+        assert_eq!(
+            w.probes_of_kind(ProbeKind::NovelStandalone).len()
+                + w.probes_of_kind(ProbeKind::ContextMismatch).len(),
+            100
+        );
+    }
+
+    #[test]
+    fn follow_ups_reference_valid_parents() {
+        let bank = TopicBank::generate(3);
+        let w = paper_contextual_workload(&bank, 4);
+        for (i, item) in w.populate.iter().enumerate() {
+            if let Some(parent) = item.parent {
+                assert!(parent < i, "parent must be inserted before its follow-up");
+                assert!(w.populate[parent].parent.is_none(), "parents are standalone");
+                assert_eq!(w.populate[parent].topic_id, item.topic_id);
+                assert!(item.followup_id.is_some());
+            }
+        }
+        let standalone_count = w.populate.iter().filter(|p| p.parent.is_none()).count();
+        assert_eq!(standalone_count, 100);
+    }
+
+    #[test]
+    fn context_mismatch_probes_share_text_with_cached_followups_but_not_context() {
+        let bank = TopicBank::generate(5);
+        let w = paper_contextual_workload(&bank, 6);
+        let cached_followup_texts: std::collections::HashSet<&str> = w
+            .populate
+            .iter()
+            .filter(|p| p.parent.is_some())
+            .map(|p| p.text.as_str())
+            .collect();
+        let mismatches = w.probes_of_kind(ProbeKind::ContextMismatch);
+        assert!(!mismatches.is_empty());
+        // Lexical trap: a good fraction of mismatch probes reuse the exact
+        // cached follow-up wording (so keyword/semantic-only caches false-hit).
+        let exact_overlap = mismatches
+            .iter()
+            .filter(|p| cached_followup_texts.contains(p.text.as_str()))
+            .count();
+        assert!(exact_overlap > 0);
+        for p in &mismatches {
+            assert!(!p.should_hit);
+            assert!(!p.context.is_empty(), "mismatch probes carry their own context");
+        }
+    }
+
+    #[test]
+    fn duplicate_contextual_probes_carry_matching_context() {
+        let bank = TopicBank::generate(7);
+        let w = paper_contextual_workload(&bank, 8);
+        for p in w.probes_of_kind(ProbeKind::DuplicateContextual) {
+            assert!(p.should_hit);
+            assert_eq!(p.context.len(), 1);
+            // The context is a paraphrase of the cached parent topic.
+            let parent_topic = bank.topic(p.topic_id);
+            assert!(parent_topic.variants.contains(&p.context[0]));
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let bank = TopicBank::generate(9);
+        let a = paper_contextual_workload(&bank, 10);
+        let b = paper_contextual_workload(&bank, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_sizes_are_respected() {
+        let bank = TopicBank::generate(11);
+        let w = contextual_workload(&bank, 10, 5, 7, 9, 12);
+        assert_eq!(w.populate.len(), 20);
+        assert_eq!(w.probes.len(), 21);
+        assert_eq!(w.probes_of_kind(ProbeKind::DuplicateContextual).len(), 7);
+    }
+}

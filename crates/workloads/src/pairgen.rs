@@ -1,0 +1,128 @@
+//! Labelled query-pair dataset generation (the GPTCache-corpus stand-in).
+
+use mc_text::{PairDataset, QueryPair};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::TopicBank;
+
+/// Generates `n` labelled pairs with approximately `duplicate_ratio` of them
+/// being duplicates.
+///
+/// * Duplicate pairs are two *different* variants of the same topic.
+/// * Non-duplicate pairs are variants of two different topics; half of the
+///   non-duplicates are drawn from the *same domain* so the dataset contains
+///   hard negatives (lexically close, semantically different).
+pub fn generate_pairs(
+    bank: &TopicBank,
+    n: usize,
+    duplicate_ratio: f32,
+    seed: u64,
+) -> PairDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(n);
+    if bank.is_empty() {
+        return PairDataset::new(pairs);
+    }
+    let ratio = duplicate_ratio.clamp(0.0, 1.0);
+    for i in 0..n {
+        let make_duplicate = (i as f32 + 0.5) / n as f32 <= ratio;
+        if make_duplicate {
+            let topic = bank.topic(rng.random_range(0..bank.len()));
+            let a_idx = rng.random_range(0..topic.variant_count());
+            let mut b_idx = rng.random_range(0..topic.variant_count());
+            if topic.variant_count() > 1 {
+                while b_idx == a_idx {
+                    b_idx = rng.random_range(0..topic.variant_count());
+                }
+            }
+            pairs.push(QueryPair::new(
+                topic.paraphrase(a_idx),
+                topic.paraphrase(b_idx),
+                true,
+            ));
+        } else {
+            let t1 = bank.topic(rng.random_range(0..bank.len()));
+            // Half the negatives come from the same domain (hard negatives).
+            let same_domain = rng.random_range(0..2u8) == 0;
+            let t2 = loop {
+                let candidate = bank.topic(rng.random_range(0..bank.len()));
+                if candidate.id == t1.id {
+                    continue;
+                }
+                if !same_domain || candidate.domain == t1.domain {
+                    break candidate;
+                }
+            };
+            pairs.push(QueryPair::new(
+                t1.paraphrase(rng.random_range(0..t1.variant_count())),
+                t2.paraphrase(rng.random_range(0..t2.variant_count())),
+                false,
+            ));
+        }
+    }
+    // Shuffle so duplicates and non-duplicates interleave.
+    for i in (1..pairs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        pairs.swap(i, j);
+    }
+    PairDataset::new(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size_and_ratio() {
+        let bank = TopicBank::generate(1);
+        let ds = generate_pairs(&bank, 400, 0.3, 2);
+        assert_eq!(ds.len(), 400);
+        let ratio = ds.duplicate_ratio();
+        assert!(
+            (ratio - 0.3).abs() < 0.05,
+            "duplicate ratio {ratio} should be close to 0.3"
+        );
+    }
+
+    #[test]
+    fn duplicate_pairs_use_distinct_variants_of_one_topic() {
+        let bank = TopicBank::generate(3);
+        let ds = generate_pairs(&bank, 200, 1.0, 4);
+        for p in &ds.pairs {
+            assert!(p.is_duplicate);
+            assert_ne!(p.query_a, p.query_b, "duplicates must not be verbatim copies");
+        }
+    }
+
+    #[test]
+    fn non_duplicate_pairs_mix_domains() {
+        let bank = TopicBank::generate(5);
+        let ds = generate_pairs(&bank, 300, 0.0, 6);
+        assert_eq!(ds.duplicate_count(), 0);
+        // Every pair uses two different query strings.
+        for p in &ds.pairs {
+            assert_ne!(p.query_a, p.query_b);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let bank = TopicBank::generate(7);
+        let a = generate_pairs(&bank, 100, 0.5, 9);
+        let b = generate_pairs(&bank, 100, 0.5, 9);
+        let c = generate_pairs(&bank, 100, 0.5, 10);
+        assert_eq!(a.pairs, b.pairs);
+        assert_ne!(a.pairs, c.pairs);
+    }
+
+    #[test]
+    fn extreme_ratios_are_clamped() {
+        let bank = TopicBank::generate(8);
+        let all_dup = generate_pairs(&bank, 50, 2.0, 1);
+        assert_eq!(all_dup.duplicate_count(), 50);
+        let none = generate_pairs(&bank, 50, -1.0, 1);
+        assert_eq!(none.duplicate_count(), 0);
+        assert!(generate_pairs(&bank, 0, 0.5, 1).is_empty());
+    }
+}

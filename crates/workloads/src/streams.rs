@@ -1,0 +1,214 @@
+//! Cache population + probe workloads for the end-to-end experiments.
+//!
+//! Section IV-B populates the cache with 1000 queries and then probes it with
+//! 1000 new queries of which 30% are semantic duplicates of cached ones
+//! (matching the resubmission rates reported for web search). This module
+//! generates that workload shape from the topic bank.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::TopicBank;
+
+/// A query sent to the cache-enabled service during the probe phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeQuery {
+    /// The query text.
+    pub text: String,
+    /// Topic this query belongs to.
+    pub topic_id: usize,
+    /// Ground truth: `true` when a semantically equivalent query is cached,
+    /// so the correct behaviour is a cache hit.
+    pub should_hit: bool,
+}
+
+/// A complete standalone-query workload: what to preload and what to probe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheWorkload {
+    /// Queries inserted into the cache before measurement, with their topics.
+    pub populate: Vec<(String, usize)>,
+    /// Probe queries with ground-truth labels.
+    pub probes: Vec<ProbeQuery>,
+}
+
+impl CacheWorkload {
+    /// Number of probe queries whose ground truth is a hit.
+    pub fn expected_hits(&self) -> usize {
+        self.probes.iter().filter(|p| p.should_hit).count()
+    }
+
+    /// Fraction of probes that should hit.
+    pub fn duplicate_ratio(&self) -> f32 {
+        if self.probes.is_empty() {
+            0.0
+        } else {
+            self.expected_hits() as f32 / self.probes.len() as f32
+        }
+    }
+}
+
+/// Generates a standalone workload: `cached` populated queries (one per
+/// distinct topic) and `probes` probe queries of which `duplicate_ratio` are
+/// paraphrases of cached topics and the rest come from topics that were never
+/// cached.
+///
+/// Topics are recycled (with different paraphrase variants) if the bank has
+/// fewer topics than `cached + probes` requires; ground-truth labels stay
+/// correct either way because they are derived from cache membership of the
+/// topic, not from string identity.
+pub fn standalone_workload(
+    bank: &TopicBank,
+    cached: usize,
+    probes: usize,
+    duplicate_ratio: f32,
+    seed: u64,
+) -> CacheWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Choose which topics are cached vs held out at sibling-group granularity
+    // (see `Topic::group`): a held-out probe is about a genuinely different
+    // subject than anything cached, mirroring how real "new" questions differ
+    // from a user's history, rather than being one-word edits of it.
+    let groups = bank.groups();
+    let group_perm = mc_tensor::rng::permutation(groups.len(), &mut rng);
+    let mut cached_topics: Vec<usize> = Vec::new();
+    let mut heldout_topics: Vec<usize> = Vec::new();
+    for (rank, &g) in group_perm.iter().enumerate() {
+        if rank % 2 == 0 && cached_topics.len() < cached.max(1) {
+            cached_topics.extend(&groups[g]);
+        } else {
+            heldout_topics.extend(&groups[g]);
+        }
+    }
+    if cached_topics.is_empty() {
+        cached_topics.extend(&groups[group_perm[0]]);
+    }
+    cached_topics.truncate(cached.max(1));
+
+    // Populate: cycle through the cached topics with their canonical variant
+    // first, then additional variants if more cached entries are requested.
+    let mut populate = Vec::with_capacity(cached);
+    for i in 0..cached {
+        let topic = bank.topic(cached_topics[i % cached_topics.len()]);
+        let variant = i / cached_topics.len();
+        populate.push((topic.paraphrase(variant).to_string(), topic.id));
+    }
+
+    // Probes: duplicates draw a *different* variant of a cached topic;
+    // non-duplicates draw any variant of a held-out topic.
+    let ratio = duplicate_ratio.clamp(0.0, 1.0);
+    let n_dup = (probes as f32 * ratio).round() as usize;
+    let mut probe_list = Vec::with_capacity(probes);
+    for i in 0..probes {
+        if i < n_dup {
+            let topic = bank.topic(cached_topics[rng.random_range(0..cached_topics.len())]);
+            // Populated entries used low variant indices; probe with a later
+            // variant so probe text differs from the cached text.
+            let variant = 1 + rng.random_range(0..topic.variant_count().saturating_sub(1).max(1));
+            probe_list.push(ProbeQuery {
+                text: topic.paraphrase(variant).to_string(),
+                topic_id: topic.id,
+                should_hit: true,
+            });
+        } else {
+            let source = if heldout_topics.is_empty() {
+                &cached_topics
+            } else {
+                &heldout_topics
+            };
+            let topic = bank.topic(source[rng.random_range(0..source.len())]);
+            probe_list.push(ProbeQuery {
+                text: topic
+                    .paraphrase(rng.random_range(0..topic.variant_count()))
+                    .to_string(),
+                topic_id: topic.id,
+                should_hit: heldout_topics.is_empty(),
+            });
+        }
+    }
+    // Interleave duplicates and non-duplicates.
+    for i in (1..probe_list.len()).rev() {
+        let j = rng.random_range(0..=i);
+        probe_list.swap(i, j);
+    }
+
+    CacheWorkload {
+        populate,
+        probes: probe_list,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_matches_requested_shape() {
+        let bank = TopicBank::generate(1);
+        let w = standalone_workload(&bank, 200, 300, 0.3, 2);
+        assert_eq!(w.populate.len(), 200);
+        assert_eq!(w.probes.len(), 300);
+        assert!((w.duplicate_ratio() - 0.3).abs() < 0.02, "{}", w.duplicate_ratio());
+        assert_eq!(w.expected_hits(), 90);
+    }
+
+    #[test]
+    fn duplicate_probes_reference_cached_topics_with_new_text() {
+        let bank = TopicBank::generate(3);
+        let w = standalone_workload(&bank, 100, 100, 0.5, 4);
+        let cached_topics: std::collections::HashSet<usize> =
+            w.populate.iter().map(|(_, t)| *t).collect();
+        let cached_texts: std::collections::HashSet<&str> =
+            w.populate.iter().map(|(q, _)| q.as_str()).collect();
+        for p in w.probes.iter().filter(|p| p.should_hit) {
+            assert!(
+                cached_topics.contains(&p.topic_id),
+                "duplicate probe must reference a cached topic"
+            );
+            assert!(
+                !cached_texts.contains(p.text.as_str()),
+                "duplicate probes should paraphrase, not repeat verbatim: {}",
+                p.text
+            );
+        }
+    }
+
+    #[test]
+    fn non_duplicate_probes_use_uncached_topics() {
+        let bank = TopicBank::generate(5);
+        let w = standalone_workload(&bank, 80, 120, 0.25, 6);
+        let cached_topics: std::collections::HashSet<usize> =
+            w.populate.iter().map(|(_, t)| *t).collect();
+        for p in w.probes.iter().filter(|p| !p.should_hit) {
+            assert!(!cached_topics.contains(&p.topic_id));
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let bank = TopicBank::generate(7);
+        let a = standalone_workload(&bank, 50, 60, 0.3, 8);
+        let b = standalone_workload(&bank, 50, 60, 0.3, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_cached_entries_than_topics_recycles_variants() {
+        let bank = TopicBank::generate(9);
+        let w = standalone_workload(&bank, bank.len() * 2, 50, 0.3, 10);
+        assert_eq!(w.populate.len(), bank.len() * 2);
+        // All populated texts are still distinct or at least mostly distinct
+        // (recycling uses different variants).
+        let unique: std::collections::HashSet<&str> =
+            w.populate.iter().map(|(q, _)| q.as_str()).collect();
+        assert!(unique.len() > w.populate.len() / 2);
+    }
+
+    #[test]
+    fn empty_probe_list_ratio_is_zero() {
+        let bank = TopicBank::generate(11);
+        let w = standalone_workload(&bank, 10, 0, 0.3, 1);
+        assert_eq!(w.duplicate_ratio(), 0.0);
+    }
+}

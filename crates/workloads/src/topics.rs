@@ -1,0 +1,426 @@
+//! Combinatorial topic bank: canonical queries with paraphrase variants.
+//!
+//! A *topic* is one user intent (e.g. "sort a list of numbers in python").
+//! Every topic carries several paraphrases produced by (a) different surface
+//! templates and (b) synonym substitution in the content words, so two
+//! variants of the same topic share meaning but not necessarily wording —
+//! exactly the situation keyword caches fail on and semantic caches must
+//! handle (Section I's "battery life" example).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One synthetic user intent and its paraphrase variants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topic {
+    /// Stable identifier (index into the bank).
+    pub id: usize,
+    /// Domain label (programming, devices, cooking, ...).
+    pub domain: String,
+    /// Sibling-group identifier: topics in the same group share their domain
+    /// and subject slot (e.g. all the "… a list of numbers in python"
+    /// intents) and are therefore lexical near-neighbours of each other.
+    /// Workload generators split cached vs held-out topics at group
+    /// granularity so a "novel" probe is a genuinely new subject, not a
+    /// one-word variation of something already cached.
+    pub group: usize,
+    /// Paraphrase variants; `variants[0]` is the canonical phrasing. All
+    /// variants are distinct strings describing the same intent.
+    pub variants: Vec<String>,
+}
+
+impl Topic {
+    /// The canonical phrasing of the topic.
+    pub fn canonical(&self) -> &str {
+        &self.variants[0]
+    }
+
+    /// A paraphrase different from `avoid` (wrapping around the variant list).
+    pub fn paraphrase(&self, index: usize) -> &str {
+        &self.variants[index % self.variants.len()]
+    }
+
+    /// Number of distinct variants.
+    pub fn variant_count(&self) -> usize {
+        self.variants.len()
+    }
+}
+
+/// A deterministic collection of topics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopicBank {
+    topics: Vec<Topic>,
+}
+
+/// A group of interchangeable phrasings for one slot value; index 0 is the
+/// canonical wording.
+type Syn = &'static [&'static str];
+
+struct DomainSpec {
+    name: &'static str,
+    /// Surface templates; `{x}` and `{y}` are replaced by slot values.
+    templates: &'static [&'static str],
+    /// First slot: synonym groups.
+    xs: &'static [Syn],
+    /// Second slot: synonym groups.
+    ys: &'static [Syn],
+}
+
+const PROGRAMMING: DomainSpec = DomainSpec {
+    name: "programming",
+    templates: &[
+        "how do I {x} {y} in python",
+        "what is the best way to {x} {y} using python",
+        "show me how to {x} {y} with python",
+        "python code to {x} {y}",
+        "can you help me {x} {y} in a python script",
+        "{x} {y} in python - how is it done",
+    ],
+    xs: &[
+        &["sort", "order", "arrange"],
+        &["reverse", "invert", "flip"],
+        &["parse", "read", "interpret"],
+        &["merge", "combine", "join"],
+        &["filter", "select", "pick out"],
+        &["plot", "draw", "chart"],
+        &["serialize", "encode", "convert to json"],
+        &["deduplicate", "remove duplicates from", "drop repeated items in"],
+        &["validate", "check", "verify"],
+        &["compress", "shrink", "zip"],
+    ],
+    ys: &[
+        &["a list of numbers", "a numeric list", "an array of numbers"],
+        &["a csv file", "a comma separated file", "csv data"],
+        &["a dictionary", "a dict object", "a key value map"],
+        &["a text string", "a string", "some text"],
+        &["a dataframe", "a pandas table", "tabular data"],
+        &["a line chart", "a line plot", "a simple line graph"],
+        &["a json document", "a json payload", "json data"],
+        &["a binary tree", "a tree structure", "a tree of nodes"],
+        &["a log file", "server logs", "application logs"],
+        &["an image file", "a picture", "an image"],
+    ],
+};
+
+const DEVICES: DomainSpec = DomainSpec {
+    name: "devices",
+    templates: &[
+        "how can I {x} the {y} of my smartphone",
+        "tips for {x}ing my phone {y}",
+        "ways to {x} {y} on a mobile phone",
+        "what should I do to {x} the {y} on my phone",
+        "is there a trick to {x} my device {y}",
+    ],
+    xs: &[
+        &["increase", "extend", "improve", "boost"],
+        &["reduce", "lower", "cut down"],
+        &["monitor", "track", "keep an eye on"],
+        &["fix", "repair", "troubleshoot"],
+        &["reset", "restore", "reinitialise"],
+        &["secure", "protect", "lock down"],
+    ],
+    ys: &[
+        &["battery life", "battery duration", "power source longevity"],
+        &["storage space", "disk space", "free space"],
+        &["network speed", "wifi speed", "connection speed"],
+        &["screen brightness", "display brightness", "brightness level"],
+        &["data usage", "mobile data consumption", "cellular data use"],
+        &["camera quality", "photo quality", "picture sharpness"],
+        &["notification settings", "alert settings", "notification preferences"],
+        &["privacy settings", "privacy controls", "data sharing settings"],
+    ],
+};
+
+const COOKING: DomainSpec = DomainSpec {
+    name: "cooking",
+    templates: &[
+        "how do I {x} {y} at home",
+        "what is an easy way to {x} {y}",
+        "give me a simple method to {x} {y}",
+        "best technique for {x}ing {y}",
+        "steps to {x} {y} in my kitchen",
+    ],
+    xs: &[
+        &["bake", "make", "prepare"],
+        &["grill", "roast", "cook"],
+        &["ferment", "culture", "brew"],
+        &["store", "preserve", "keep fresh"],
+        &["season", "flavour", "spice"],
+    ],
+    ys: &[
+        &["sourdough bread", "a sourdough loaf", "bread with a sourdough starter"],
+        &["a chocolate cake", "a cake with chocolate", "a rich chocolate sponge"],
+        &["grilled vegetables", "roasted veggies", "vegetables on the grill"],
+        &["fresh pasta", "homemade pasta", "pasta from scratch"],
+        &["cold brew coffee", "iced coffee concentrate", "slow brewed coffee"],
+        &["a tomato sauce", "a marinara sauce", "a basic tomato based sauce"],
+        &["pickled cucumbers", "homemade pickles", "cucumbers in brine"],
+        &["a lentil soup", "a soup with lentils", "a hearty lentil stew"],
+    ],
+};
+
+const KNOWLEDGE: DomainSpec = DomainSpec {
+    name: "knowledge",
+    templates: &[
+        "what is {x} {y}",
+        "explain {x} {y} in simple terms",
+        "give me a short explanation of {x} {y}",
+        "can you describe {x} {y}",
+        "I want to understand {x} {y}",
+    ],
+    xs: &[
+        &["the concept of", "the idea behind", "the meaning of"],
+        &["the history of", "the origin of", "the background of"],
+        &["the difference between cats and", "how cats differ from", "the contrast between cats and"],
+        &["the purpose of", "the role of", "the function of"],
+    ],
+    ys: &[
+        &["federated learning", "training models across devices", "collaborative model training"],
+        &["quantum computing", "computers based on qubits", "quantum computers"],
+        &["photosynthesis", "how plants make energy", "plant energy production"],
+        &["the french revolution", "the revolution in france", "france's 1789 revolution"],
+        &["black holes", "collapsed stars", "regions of extreme gravity"],
+        &["inflation in economics", "rising price levels", "monetary inflation"],
+        &["dna replication", "copying of dna", "how dna copies itself"],
+        &["string theory", "theories of vibrating strings", "string based physics"],
+        &["dogs", "pet dogs", "domestic dogs"],
+        &["semantic caching", "caches that match meaning", "meaning aware caching"],
+    ],
+};
+
+const TRAVEL: DomainSpec = DomainSpec {
+    name: "travel",
+    templates: &[
+        "what should I know before {x} {y}",
+        "tips for {x} {y}",
+        "how do I plan {x} {y}",
+        "advice on {x} {y}",
+        "what is the best season for {x} {y}",
+    ],
+    xs: &[
+        &["visiting", "travelling to", "taking a trip to"],
+        &["hiking in", "trekking through", "walking across"],
+        &["backpacking around", "touring", "exploring"],
+        &["driving through", "road tripping across", "taking a car journey in"],
+    ],
+    ys: &[
+        &["japan", "the japanese islands", "tokyo and kyoto"],
+        &["iceland", "the icelandic highlands", "reykjavik and the ring road"],
+        &["the swiss alps", "alpine switzerland", "the mountains of switzerland"],
+        &["patagonia", "southern chile and argentina", "the patagonian region"],
+        &["morocco", "marrakesh and the atlas mountains", "the moroccan desert"],
+        &["new zealand", "the south island of new zealand", "aotearoa"],
+        &["norway", "the norwegian fjords", "western norway"],
+    ],
+};
+
+const FINANCE: DomainSpec = DomainSpec {
+    name: "finance",
+    templates: &[
+        "how should I {x} {y}",
+        "what is a sensible way to {x} {y}",
+        "advice for {x}ing {y}",
+        "steps to {x} {y} responsibly",
+        "explain how to {x} {y}",
+    ],
+    xs: &[
+        &["budget for", "plan spending on", "allocate money for"],
+        &["invest in", "put savings into", "build a position in"],
+        &["reduce", "cut", "lower"],
+        &["track", "monitor", "keep records of"],
+    ],
+    ys: &[
+        &["a home renovation", "remodelling a house", "a kitchen remodel"],
+        &["index funds", "broad market funds", "passive stock funds"],
+        &["monthly subscriptions", "recurring subscription costs", "subscription spending"],
+        &["a student loan", "university debt", "tuition debt"],
+        &["an emergency fund", "a rainy day fund", "savings for emergencies"],
+        &["retirement savings", "a pension pot", "long term retirement money"],
+        &["credit card debt", "outstanding card balances", "revolving credit debt"],
+    ],
+};
+
+const DOMAINS: &[DomainSpec] = &[PROGRAMMING, DEVICES, COOKING, KNOWLEDGE, TRAVEL, FINANCE];
+
+impl TopicBank {
+    /// Generates the full topic bank. `seed` controls which synonym/template
+    /// combinations each variant uses, not which topics exist (the topic set
+    /// itself is the full cross product and is always identical).
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut topics = Vec::new();
+        let mut group = 0usize;
+        for spec in DOMAINS {
+            for y in spec.ys {
+                for x in spec.xs {
+                    let id = topics.len();
+                    let variants = build_variants(spec, x, y, &mut rng);
+                    topics.push(Topic {
+                        id,
+                        domain: spec.name.to_string(),
+                        group,
+                        variants,
+                    });
+                }
+                group += 1;
+            }
+        }
+        Self { topics }
+    }
+
+    /// Number of topics.
+    pub fn len(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// `true` when the bank is empty (never the case for [`TopicBank::generate`]).
+    pub fn is_empty(&self) -> bool {
+        self.topics.is_empty()
+    }
+
+    /// Borrow a topic by id.
+    pub fn topic(&self, id: usize) -> &Topic {
+        &self.topics[id]
+    }
+
+    /// Borrow all topics.
+    pub fn topics(&self) -> &[Topic] {
+        &self.topics
+    }
+
+    /// Number of sibling groups (see [`Topic::group`]).
+    pub fn group_count(&self) -> usize {
+        self.topics.iter().map(|t| t.group + 1).max().unwrap_or(0)
+    }
+
+    /// Topic ids belonging to each sibling group, indexed by group id.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.group_count()];
+        for t in &self.topics {
+            groups[t.group].push(t.id);
+        }
+        groups
+    }
+
+    /// Every query string in the bank (all variants of all topics) — used to
+    /// fit PCA layers and as an embedding corpus.
+    pub fn all_queries(&self) -> Vec<String> {
+        self.topics
+            .iter()
+            .flat_map(|t| t.variants.iter().cloned())
+            .collect()
+    }
+}
+
+/// Builds 5 distinct paraphrases for a (domain, x, y) topic.
+fn build_variants(spec: &DomainSpec, x: Syn, y: Syn, rng: &mut StdRng) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    // Canonical: first template, canonical synonyms.
+    let canonical = render(spec.templates[0], x[0], y[0]);
+    seen.insert(canonical.clone());
+    variants.push(canonical);
+    let mut attempts = 0;
+    while variants.len() < 5 && attempts < 64 {
+        attempts += 1;
+        let template = spec.templates[rng.random_range(0..spec.templates.len())];
+        let xv = x[rng.random_range(0..x.len())];
+        let yv = y[rng.random_range(0..y.len())];
+        let candidate = render(template, xv, yv);
+        if seen.insert(candidate.clone()) {
+            variants.push(candidate);
+        }
+    }
+    variants
+}
+
+fn render(template: &str, x: &str, y: &str) -> String {
+    template.replace("{x}", x).replace("{y}", y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn bank_has_hundreds_of_topics_across_domains() {
+        let bank = TopicBank::generate(0);
+        assert!(bank.len() > 250, "got {}", bank.len());
+        let domains: HashSet<&str> = bank.topics().iter().map(|t| t.domain.as_str()).collect();
+        assert_eq!(domains.len(), DOMAINS.len());
+        assert!(!bank.is_empty());
+    }
+
+    #[test]
+    fn every_topic_has_multiple_distinct_variants() {
+        let bank = TopicBank::generate(1);
+        for topic in bank.topics() {
+            assert!(
+                topic.variant_count() >= 3,
+                "topic {} has too few variants: {:?}",
+                topic.id,
+                topic.variants
+            );
+            let unique: HashSet<&String> = topic.variants.iter().collect();
+            assert_eq!(unique.len(), topic.variant_count(), "variants must be distinct");
+        }
+    }
+
+    #[test]
+    fn canonical_queries_are_unique_across_topics() {
+        let bank = TopicBank::generate(2);
+        let canon: HashSet<&str> = bank.topics().iter().map(|t| t.canonical()).collect();
+        assert_eq!(canon.len(), bank.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = TopicBank::generate(7);
+        let b = TopicBank::generate(7);
+        let c = TopicBank::generate(8);
+        assert_eq!(a.topics(), b.topics());
+        // Topic set is identical but variants differ with the seed.
+        assert_eq!(a.len(), c.len());
+        assert_ne!(
+            a.topics().iter().map(|t| t.variants.clone()).collect::<Vec<_>>(),
+            c.topics().iter().map(|t| t.variants.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn paraphrase_indexing_wraps_around() {
+        let bank = TopicBank::generate(3);
+        let t = bank.topic(0);
+        assert_eq!(t.paraphrase(0), t.canonical());
+        assert_eq!(t.paraphrase(t.variant_count()), t.canonical());
+        assert_ne!(t.paraphrase(1), t.canonical());
+    }
+
+    #[test]
+    fn all_queries_counts_every_variant() {
+        let bank = TopicBank::generate(4);
+        let expected: usize = bank.topics().iter().map(|t| t.variant_count()).sum();
+        assert_eq!(bank.all_queries().len(), expected);
+    }
+
+    #[test]
+    fn variants_of_one_topic_share_meaningful_words() {
+        // Sanity check that paraphrases retain content-word overlap (the
+        // basis for learnable semantic matching).
+        let bank = TopicBank::generate(5);
+        let tok = mc_text::Tokenizer::default();
+        let mut checked = 0;
+        for topic in bank.topics().iter().step_by(37) {
+            let sim = mc_text::tokenizer::jaccard_similarity(
+                &tok,
+                topic.canonical(),
+                topic.paraphrase(1),
+            );
+            assert!(sim > 0.0, "variants must overlap: {:?}", topic.variants);
+            checked += 1;
+        }
+        assert!(checked > 5);
+    }
+}

@@ -1,0 +1,96 @@
+//! Contextual conversations: why a semantic cache needs context chains.
+//!
+//! Reproduces the Section II scenario: the user draws a line plot, changes
+//! its colour, then draws a circle and asks to change *its* colour. A cache
+//! without context verification would wrongly reuse the line-plot answer.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example contextual_chat
+//! ```
+
+use mc_embedder::{ModelProfile, ProfileKind, QueryEncoder};
+use meancache::{GptCacheBaseline, GptCacheConfig, MeanCache, MeanCacheConfig, SemanticCache};
+
+fn print_turn(label: &str, query: &str, hit: bool) {
+    println!(
+        "  {label:<22} {query:<34} -> {}",
+        if hit { "answered from cache" } else { "forwarded to the LLM" }
+    );
+}
+
+fn drive<C: SemanticCache>(cache: &mut C) {
+    // Conversation 1 ------------------------------------------------------
+    let q1 = "Draw a line plot in python";
+    let q2 = "Change the color to red";
+    // Both queries miss a cold cache; the deployment inserts the responses.
+    assert!(cache.lookup(q1, &[]).is_miss());
+    cache
+        .insert(q1, "Use matplotlib: plt.plot(xs, ys).", &[])
+        .expect("insert q1");
+    print_turn("conversation 1:", q1, false);
+
+    let ctx1 = vec![q1.to_string()];
+    assert!(cache.lookup(q2, &ctx1).is_miss());
+    cache
+        .insert(q2, "Pass color='red' to plt.plot.", &ctx1)
+        .expect("insert q2");
+    print_turn("conversation 1:", q2, false);
+
+    // Conversation 2 ------------------------------------------------------
+    let q3 = "Draw a circle";
+    let q4 = "Change the color to red";
+    let hit_q3 = cache.lookup(q3, &[]).is_hit();
+    if !hit_q3 {
+        cache
+            .insert(q3, "Use matplotlib patches.Circle.", &[])
+            .expect("insert q3");
+    }
+    print_turn("conversation 2:", q3, hit_q3);
+
+    // The interesting query: same wording as the cached q2, but it follows a
+    // different parent. The correct behaviour is a MISS.
+    let ctx2 = vec![q3.to_string()];
+    let q4_outcome = cache.lookup(q4, &ctx2);
+    print_turn("conversation 2:", q4, q4_outcome.is_hit());
+    if let Some(hit) = q4_outcome.hit() {
+        println!(
+            "    !! served the cached response {:?} under the wrong context",
+            hit.response
+        );
+    }
+
+    // Re-asking q2 inside conversation 1 is a legitimate hit for both caches.
+    let repeat = cache.lookup("switch the colour to red please", &ctx1);
+    print_turn("conversation 1 again:", "switch the colour to red please", repeat.is_hit());
+}
+
+fn main() {
+    let profile = ModelProfile::compact(ProfileKind::MpnetLike);
+
+    println!("MeanCache (context chains verified):");
+    let encoder = QueryEncoder::new(profile.clone(), 21).expect("profile");
+    let mut meancache =
+        MeanCache::new(encoder, MeanCacheConfig::default().with_threshold(0.55)).expect("config");
+    drive(&mut meancache);
+    let stats = meancache.stats();
+    println!(
+        "  -> {} lookups, {} hits, {} candidate hits rejected by context verification\n",
+        stats.lookups, stats.hits, stats.context_rejections
+    );
+
+    println!("GPTCache-style baseline (no context verification):");
+    let encoder = QueryEncoder::new(profile, 21).expect("profile");
+    let mut baseline = GptCacheBaseline::new(
+        encoder,
+        GptCacheConfig {
+            threshold: 0.55,
+            ..GptCacheConfig::default()
+        },
+    )
+    .expect("config");
+    drive(&mut baseline);
+    println!(
+        "  -> the baseline reuses the conversation-1 answer for conversation 2, which is a false hit"
+    );
+}

@@ -1,0 +1,117 @@
+//! Federated fine-tuning of the query-embedding model (Figure 2 of the
+//! paper), followed by deployment of the aggregated global model into a
+//! local cache.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example federated_training
+//! ```
+
+use mc_embedder::{evaluate_pairs, ModelProfile, ProfileKind, QueryEncoder};
+use mc_fl::{
+    partition_iid, ClientSampler, EmbeddingClient, FlSimulation, RoundConfig, SimulationConfig,
+};
+use mc_text::SplitRatios;
+use mc_workloads::{generate_pairs, TopicBank};
+use meancache::{MeanCache, MeanCacheConfig, SemanticCache};
+
+fn main() {
+    let seed = 7;
+    let profile = ModelProfile::compact(ProfileKind::MpnetLike);
+
+    // The GPTCache-style corpus: labelled duplicate / non-duplicate pairs.
+    let bank = TopicBank::generate(seed);
+    let corpus = generate_pairs(&bank, 1200, 0.5, seed);
+    let (train, validation, test) = corpus.split(SplitRatios::default(), seed);
+    println!(
+        "corpus: {} pairs ({} train / {} validation / {} test)",
+        corpus.len(),
+        train.len(),
+        validation.len(),
+        test.len()
+    );
+
+    // 20 clients, each holding a private shard of the training data.
+    let n_clients = 20;
+    let train_shards = partition_iid(&train, n_clients, seed);
+    let val_shards = partition_iid(&validation, n_clients, seed + 1);
+    let clients: Vec<EmbeddingClient> = (0..n_clients)
+        .map(|i| {
+            EmbeddingClient::new(
+                i,
+                QueryEncoder::new(profile.clone(), 100).expect("valid profile"),
+                train_shards[i].clone(),
+                val_shards[i].clone(),
+            )
+        })
+        .collect();
+
+    // The server's initial global model and its held-out test split.
+    let template = QueryEncoder::new(profile.clone(), 100).expect("valid profile");
+    let initial = template.parameters();
+    let untrained = evaluate_pairs(&template, &test, 0.7, 1.0);
+    println!(
+        "untrained global model @ tau=0.7: F1={:.3} precision={:.3}",
+        untrained.summary.f1, untrained.summary.precision
+    );
+
+    // Run federated training: sample 4 of 20 clients per round.
+    let config = SimulationConfig {
+        rounds: 8,
+        sampler: ClientSampler::RandomCount(4),
+        round_config: RoundConfig {
+            local_epochs: 2,
+            batch_size: 16,
+            learning_rate: 0.02,
+            threshold_steps: 50,
+            ..RoundConfig::default()
+        },
+        seed,
+        ..SimulationConfig::default()
+    };
+    let mut simulation = FlSimulation::new(clients, initial, 0.7, config)
+        .expect("simulation config")
+        .with_evaluation(template, test.clone());
+    let outcome = simulation.run().expect("federated training");
+
+    println!("\nround | participants | global tau | F1 on server test split");
+    for record in &outcome.history {
+        println!(
+            "{:>5} | {:>12} | {:>10.3} | {}",
+            record.round,
+            record.participants.len(),
+            record.global_threshold,
+            record
+                .eval
+                .map(|m| format!("{:.3}", m.f1))
+                .unwrap_or_else(|| "-".to_string())
+        );
+    }
+
+    // Deploy the aggregated global model + federated threshold into a local
+    // MeanCache, exactly as a new user joining the system would.
+    let mut deployed_encoder = QueryEncoder::new(profile, 100).expect("valid profile");
+    deployed_encoder
+        .set_parameters(&outcome.final_parameters)
+        .expect("aggregated parameters fit the profile");
+    let mut cache = MeanCache::new(
+        deployed_encoder,
+        MeanCacheConfig::default().with_threshold(outcome.final_threshold),
+    )
+    .expect("valid cache config");
+
+    cache
+        .insert(
+            "how can I increase the battery life of my smartphone",
+            "Dim the screen and restrict background activity.",
+            &[],
+        )
+        .expect("insert");
+    let probe = "tips for extending my phone battery duration";
+    let outcome_probe = cache.lookup(probe, &[]);
+    println!(
+        "\ndeployed cache (tau={:.3}) on probe {probe:?}: {}",
+        cache.threshold(),
+        if outcome_probe.is_hit() { "HIT (served locally)" } else { "MISS (forwarded to LLM)" }
+    );
+}

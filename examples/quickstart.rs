@@ -1,0 +1,80 @@
+//! Quickstart: a user-side semantic cache in front of a (simulated) LLM
+//! web service.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mc_embedder::{ModelProfile, ProfileKind, QueryEncoder};
+use mc_llm::{SimulatedLlm, SimulatedLlmConfig};
+use meancache::{Deployment, MeanCache, MeanCacheConfig, ProbeSpec, SemanticCache};
+
+fn main() {
+    // 1. Build the query-embedding model. In a real deployment this encoder
+    //    would come out of federated training (see the federated_training
+    //    example); the compact MPNet-like profile is enough for a demo.
+    let encoder = QueryEncoder::new(ModelProfile::compact(ProfileKind::MpnetLike), 42)
+        .expect("valid profile");
+
+    // 2. Wrap it in a MeanCache with the default configuration (threshold
+    //    0.7, LRU eviction, context-chain verification on).
+    let cache = MeanCache::new(encoder, MeanCacheConfig::default().with_threshold(0.55))
+        .expect("valid config");
+
+    // 3. Put the cache in front of a simulated LLM web service.
+    let llm = SimulatedLlm::new(SimulatedLlmConfig::default()).expect("valid LLM config");
+    let mut deployment = Deployment::new(cache, llm, 1_000, 50);
+
+    // 4. The user asks a few questions; everything misses (cold cache) and is
+    //    answered by the LLM, then cached locally.
+    let first_session = [
+        "how can I increase the battery life of my smartphone",
+        "what is federated learning",
+        "how do I bake sourdough bread at home",
+    ];
+    deployment
+        .populate(
+            &first_session
+                .iter()
+                .map(|q| (q.to_string(), Vec::new()))
+                .collect::<Vec<_>>(),
+        )
+        .expect("populate");
+
+    println!("cached entries after the first session: {}", deployment.cache().len());
+
+    // 5. Later the user asks semantically similar questions. MeanCache serves
+    //    them locally: no LLM call, no network, no charge.
+    let probes = vec![
+        ProbeSpec::standalone("tips for extending the duration of my phone's power source", true),
+        ProbeSpec::standalone("explain federated learning to me", true),
+        ProbeSpec::standalone("what should I know before visiting japan", false),
+    ];
+    let report = deployment.run(&probes).expect("probe run");
+
+    println!("\nper-query outcomes:");
+    for record in &report.records {
+        println!(
+            "  [{}] {:<62} {:.3}s",
+            if record.predicted_hit { "cache hit " } else { "LLM call  " },
+            record.query,
+            record.latency_s
+        );
+    }
+
+    let summary = report.summary(0.5);
+    println!("\ndecision quality vs ground truth: {summary}");
+    println!(
+        "billable LLM calls: {}   calls saved by the cache: {}   estimated saving: ${:.4}",
+        report.quota.used(),
+        report.quota.saved_queries(),
+        report.quota.saved_usd()
+    );
+    println!(
+        "cache now holds {} entries ({} KB, embeddings {} KB)",
+        report.final_cache_entries,
+        report.final_cache_bytes / 1024,
+        report.final_embedding_bytes / 1024
+    );
+}

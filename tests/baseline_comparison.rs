@@ -1,0 +1,180 @@
+//! Comparative integration test: MeanCache vs the GPTCache-style baseline on
+//! the contextual workload — the paper's central claim (Table I, Figures
+//! 8/9) at test scale.
+//!
+//! Both caches use the *same* locally-trained encoder and the same learned
+//! threshold, so the only difference between them is what the paper isolates:
+//! MeanCache verifies context chains, the baseline does not (and a real
+//! GPTCache deployment additionally pays a network round-trip per lookup).
+
+mod common;
+
+use mc_llm::{SimulatedLlm, SimulatedLlmConfig};
+use mc_workloads::{contextual_workload, ProbeKind, TopicBank};
+use meancache::{
+    Deployment, DeploymentReport, GptCacheBaseline, GptCacheConfig, MeanCache, MeanCacheConfig,
+    ProbeSpec, SemanticCache,
+};
+
+const SEED: u64 = 5;
+
+/// Trains a tiny encoder the way a MeanCache client would (contrastive + MNR
+/// on labelled pairs, including follow-up paraphrases) and returns it with
+/// its learned, cache-calibrated optimal threshold.
+fn trained_encoder() -> (mc_embedder::QueryEncoder, f32) {
+    common::trained_encoder(SEED)
+}
+
+fn llm() -> SimulatedLlm {
+    SimulatedLlm::new(SimulatedLlmConfig::default()).unwrap()
+}
+
+/// Runs the contextual workload through any semantic cache and returns the
+/// deployment report.
+fn run_contextual<C: SemanticCache>(cache: C, seed: u64) -> DeploymentReport {
+    let bank = TopicBank::generate(seed);
+    let workload = contextual_workload(&bank, 40, 25, 25, 30, seed);
+
+    let mut deployment = Deployment::new(cache, llm(), 100_000, 50).freeze_cache();
+
+    // Populate: standalone queries first, then their follow-ups with the
+    // parent query as context (the workload guarantees parents come first).
+    let populate: Vec<(String, Vec<String>)> = workload
+        .populate
+        .iter()
+        .map(|item| {
+            let context = item
+                .parent
+                .map(|p| vec![workload.populate[p].text.clone()])
+                .unwrap_or_default();
+            (item.text.clone(), context)
+        })
+        .collect();
+    deployment.populate(&populate).unwrap();
+
+    let probes: Vec<ProbeSpec> = workload
+        .probes
+        .iter()
+        .map(|p| ProbeSpec::contextual(p.text.clone(), p.context.clone(), p.should_hit))
+        .collect();
+    deployment.run(&probes).unwrap()
+}
+
+#[test]
+fn meancache_produces_far_fewer_false_hits_on_contextual_queries() {
+    let (encoder, tau) = trained_encoder();
+
+    let meancache = MeanCache::new(
+        encoder.clone(),
+        MeanCacheConfig::default().with_threshold(tau),
+    )
+    .unwrap();
+    let mean_report = run_contextual(meancache, SEED);
+
+    let baseline = GptCacheBaseline::new(
+        encoder,
+        GptCacheConfig {
+            threshold: tau,
+            ..GptCacheConfig::default()
+        },
+    )
+    .unwrap();
+    let base_report = run_contextual(baseline, SEED);
+
+    // The defining result of the paper's contextual experiment: without
+    // context verification the baseline produces many false hits; MeanCache
+    // produces far fewer.
+    assert!(
+        mean_report.confusion.false_hits < base_report.confusion.false_hits,
+        "MeanCache false hits ({}) must be below the baseline's ({})",
+        mean_report.confusion.false_hits,
+        base_report.confusion.false_hits
+    );
+    assert!(
+        mean_report.summary(0.5).precision > base_report.summary(0.5).precision,
+        "MeanCache precision {:.3} must beat the baseline's {:.3}",
+        mean_report.summary(0.5).precision,
+        base_report.summary(0.5).precision
+    );
+    assert!(
+        mean_report.summary(0.5).accuracy >= base_report.summary(0.5).accuracy,
+        "MeanCache accuracy {:.3} must be at least the baseline's {:.3}",
+        mean_report.summary(0.5).accuracy,
+        base_report.summary(0.5).accuracy
+    );
+}
+
+#[test]
+fn context_mismatch_probes_are_the_baselines_weakness() {
+    let (encoder, tau) = trained_encoder();
+    let seed = 19;
+    let bank = TopicBank::generate(seed);
+    let workload = contextual_workload(&bank, 30, 10, 10, 30, seed);
+    let mismatch_probes: Vec<_> = workload
+        .probes_of_kind(ProbeKind::ContextMismatch)
+        .into_iter()
+        .cloned()
+        .collect();
+    assert!(!mismatch_probes.is_empty());
+
+    // Build both caches with identical contents.
+    let mut meancache = MeanCache::new(
+        encoder.clone(),
+        MeanCacheConfig::default().with_threshold(tau),
+    )
+    .unwrap();
+    let mut baseline = GptCacheBaseline::new(
+        encoder,
+        GptCacheConfig {
+            threshold: tau,
+            ..GptCacheConfig::default()
+        },
+    )
+    .unwrap();
+    for item in &workload.populate {
+        let context = item
+            .parent
+            .map(|p| vec![workload.populate[p].text.clone()])
+            .unwrap_or_default();
+        meancache.insert(&item.text, "cached response", &context).unwrap();
+        baseline.insert(&item.text, "cached response", &context).unwrap();
+    }
+
+    // On context-mismatch probes (same follow-up wording, different
+    // conversation) the baseline false-hits on most of them while MeanCache
+    // rejects them through context verification.
+    let mut baseline_false_hits = 0;
+    let mut meancache_false_hits = 0;
+    for probe in &mismatch_probes {
+        if baseline.lookup(&probe.text, &probe.context).is_hit() {
+            baseline_false_hits += 1;
+        }
+        if meancache.lookup(&probe.text, &probe.context).is_hit() {
+            meancache_false_hits += 1;
+        }
+    }
+    assert!(
+        baseline_false_hits > mismatch_probes.len() / 2,
+        "the baseline should false-hit on most context mismatches ({baseline_false_hits}/{})",
+        mismatch_probes.len()
+    );
+    assert!(
+        meancache_false_hits * 2 <= baseline_false_hits,
+        "MeanCache ({meancache_false_hits}) must cut false hits well below the baseline ({baseline_false_hits})"
+    );
+}
+
+#[test]
+fn both_caches_serve_duplicate_standalone_queries() {
+    // Context verification must not destroy the ordinary standalone-duplicate
+    // hits (recall stays useful).
+    let (encoder, tau) = trained_encoder();
+    let meancache =
+        MeanCache::new(encoder, MeanCacheConfig::default().with_threshold(tau)).unwrap();
+    let report = run_contextual(meancache, 23);
+    let recall = report.summary(1.0).recall;
+    assert!(
+        recall > 0.45,
+        "MeanCache must still serve a useful share of true duplicates (recall={recall:.3})"
+    );
+}

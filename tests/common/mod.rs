@@ -1,0 +1,28 @@
+//! Shared helpers for the cross-crate integration tests: a lightly-trained
+//! encoder plus its learned optimal threshold, mirroring how a MeanCache
+//! client ends up configured after federated fine-tuning.
+
+use mc_embedder::{optimal_cache_threshold, LocalTrainer, ModelProfile, QueryEncoder, TrainerConfig};
+use mc_workloads::{followup_training_pairs, generate_pairs, TopicBank};
+
+/// Trains a tiny encoder on a labelled pair corpus (including follow-up
+/// paraphrases) and returns it together with its learned optimal threshold.
+pub fn trained_encoder(seed: u64) -> (QueryEncoder, f32) {
+    let bank = TopicBank::generate(seed);
+    let mut train = generate_pairs(&bank, 400, 0.5, seed);
+    train.extend(&followup_training_pairs());
+    let mut validation = generate_pairs(&bank, 150, 0.5, seed + 1);
+    validation.extend(&followup_training_pairs());
+
+    let mut encoder = QueryEncoder::new(ModelProfile::tiny(), 9).unwrap();
+    let trainer = LocalTrainer::new(TrainerConfig {
+        learning_rate: 0.02,
+        batch_size: 24,
+        epochs: 6,
+        seed,
+        ..TrainerConfig::default()
+    });
+    trainer.train(&mut encoder, &train).unwrap();
+    let tau = optimal_cache_threshold(&encoder, &validation, 60, 0.5).clamp(0.2, 0.98);
+    (encoder, tau)
+}

@@ -1,0 +1,149 @@
+//! End-to-end integration test: workload generation → deployment →
+//! evaluation, spanning mc-workloads, mc-embedder, mc-llm, mc-store and the
+//! meancache core.
+
+mod common;
+
+use mc_embedder::{ModelProfile, QueryEncoder};
+use mc_llm::{SimulatedLlm, SimulatedLlmConfig};
+use mc_workloads::{standalone_workload, TopicBank};
+use meancache::{Deployment, MeanCache, MeanCacheConfig, ProbeSpec, SemanticCache};
+
+/// A cache around a lightly-trained encoder at its learned threshold — the
+/// state a real MeanCache client is in after federated fine-tuning.
+fn deployed_cache() -> MeanCache {
+    let (encoder, tau) = common::trained_encoder(3);
+    MeanCache::new(encoder, MeanCacheConfig::default().with_threshold(tau)).unwrap()
+}
+
+/// A cache around an *untrained* encoder at an explicit threshold (used by
+/// the threshold-sensitivity test, which only needs relative behaviour).
+fn build_cache(threshold: f32) -> MeanCache {
+    let encoder = QueryEncoder::new(ModelProfile::tiny(), 3).unwrap();
+    MeanCache::new(encoder, MeanCacheConfig::default().with_threshold(threshold)).unwrap()
+}
+
+fn llm() -> SimulatedLlm {
+    SimulatedLlm::new(SimulatedLlmConfig::default()).unwrap()
+}
+
+#[test]
+fn deployment_on_generated_workload_matches_ground_truth_reasonably_well() {
+    let bank = TopicBank::generate(11);
+    let workload = standalone_workload(&bank, 120, 120, 0.3, 11);
+    let mut deployment = Deployment::new(deployed_cache(), llm(), 10_000, 50).freeze_cache();
+    deployment
+        .populate(
+            &workload
+                .populate
+                .iter()
+                .map(|(q, _)| (q.clone(), Vec::new()))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+
+    let probes: Vec<ProbeSpec> = workload
+        .probes
+        .iter()
+        .map(|p| ProbeSpec::standalone(p.text.clone(), p.should_hit))
+        .collect();
+    let report = deployment.run(&probes).unwrap();
+
+    assert_eq!(report.records.len(), 120);
+    assert_eq!(report.confusion.total(), 120);
+    // Even the untrained hashed-n-gram encoder separates paraphrases from
+    // unrelated queries well enough to beat coin-flipping by a wide margin.
+    let summary = report.summary(0.5);
+    assert!(
+        summary.accuracy > 0.6,
+        "end-to-end accuracy too low: {summary}"
+    );
+    // The cache must have produced both hits and misses.
+    assert!(report.records.iter().any(|r| r.predicted_hit));
+    assert!(report.records.iter().any(|r| !r.predicted_hit));
+}
+
+#[test]
+fn cache_hits_save_quota_and_latency_end_to_end() {
+    let bank = TopicBank::generate(13);
+    let workload = standalone_workload(&bank, 80, 60, 0.5, 13);
+    let mut deployment = Deployment::new(deployed_cache(), llm(), 10_000, 50);
+    deployment
+        .populate(
+            &workload
+                .populate
+                .iter()
+                .map(|(q, _)| (q.clone(), Vec::new()))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+    let probes: Vec<ProbeSpec> = workload
+        .probes
+        .iter()
+        .map(|p| ProbeSpec::standalone(p.text.clone(), p.should_hit))
+        .collect();
+    let report = deployment.run(&probes).unwrap();
+
+    // Some queries were served locally => saved quota and money.
+    assert!(report.quota.saved_queries() > 0);
+    assert!(report.quota.saved_usd() > 0.0);
+    assert!(report.quota.used() < 60);
+    // Hit latency must be dramatically lower than miss latency.
+    assert!(report.mean_hit_latency_s() * 5.0 < report.mean_miss_latency_s());
+    // Provider load equals the number of forwarded queries plus populate.
+    assert_eq!(
+        report.llm_requests,
+        80 + report.records.iter().filter(|r| !r.predicted_hit).count() as u64
+    );
+}
+
+#[test]
+fn threshold_trades_precision_for_recall_end_to_end() {
+    let bank = TopicBank::generate(17);
+    let workload = standalone_workload(&bank, 100, 100, 0.3, 17);
+    let populate: Vec<(String, Vec<String>)> = workload
+        .populate
+        .iter()
+        .map(|(q, _)| (q.clone(), Vec::new()))
+        .collect();
+    let probes: Vec<ProbeSpec> = workload
+        .probes
+        .iter()
+        .map(|p| ProbeSpec::standalone(p.text.clone(), p.should_hit))
+        .collect();
+
+    let run_at = |threshold: f32| {
+        let mut deployment =
+            Deployment::new(build_cache(threshold), llm(), 10_000, 50).freeze_cache();
+        deployment.populate(&populate).unwrap();
+        deployment.run(&probes).unwrap()
+    };
+
+    let permissive = run_at(0.2);
+    let strict = run_at(0.9);
+    // A permissive threshold hits more often (higher recall, more false hits);
+    // a strict threshold rarely hits (higher precision among its hits, or no
+    // hits at all).
+    assert!(permissive.confusion.raw_hit_rate() > strict.confusion.raw_hit_rate());
+    assert!(permissive.summary(1.0).recall >= strict.summary(1.0).recall);
+    assert!(permissive.confusion.false_hits >= strict.confusion.false_hits);
+}
+
+#[test]
+fn adaptive_feedback_raises_threshold_after_false_hits() {
+    let mut cache = build_cache(0.4);
+    cache
+        .insert("how do I bake sourdough bread", "Long fermentation.", &[])
+        .unwrap();
+    // A loosely-related query hits at this permissive threshold.
+    let outcome = cache.lookup("how do I bake a chocolate cake", &[]);
+    if outcome.is_hit() {
+        // The user rejects the answer and re-queries the LLM: MeanCache
+        // treats that as a false-positive signal and raises its threshold.
+        let before = cache.threshold();
+        cache.record_feedback(true);
+        cache.record_feedback(true);
+        cache.record_feedback(true);
+        assert!(cache.threshold() > before);
+    }
+}
