@@ -13,13 +13,20 @@ fn populated_cache(entries: usize, compressed: bool) -> MeanCache {
     let mut encoder =
         QueryEncoder::new(ModelProfile::compact(ProfileKind::MpnetLike), 5).expect("profile");
     if compressed {
-        let corpus: Vec<String> = bank.all_queries().into_iter().step_by(2).take(400).collect();
+        let corpus: Vec<String> = bank
+            .all_queries()
+            .into_iter()
+            .step_by(2)
+            .take(400)
+            .collect();
         encoder.fit_pca(&corpus, 64, 5).expect("PCA fit");
     }
     let mut cache =
         MeanCache::new(encoder, MeanCacheConfig::default().with_threshold(0.8)).expect("config");
     for (query, _) in &workload.populate {
-        cache.insert(query, "cached response body", &[]).expect("insert");
+        cache
+            .insert(query, "cached response body", &[])
+            .expect("insert");
     }
     cache
 }
@@ -34,14 +41,18 @@ fn bench_lookup(c: &mut Criterion) {
                 "{entries}_entries_{}",
                 if compressed { "pca64" } else { "full" }
             );
-            group.bench_with_input(BenchmarkId::from_parameter(label), &entries, |bencher, _| {
-                bencher.iter(|| {
-                    black_box(cache.lookup(
-                        "what is the best way to extend my phone battery duration",
-                        &[],
-                    ))
-                });
-            });
+            group.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &entries,
+                |bencher, _| {
+                    bencher.iter(|| {
+                        black_box(cache.lookup(
+                            "what is the best way to extend my phone battery duration",
+                            &[],
+                        ))
+                    });
+                },
+            );
         }
     }
     group.finish();

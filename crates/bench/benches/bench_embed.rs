@@ -42,5 +42,9 @@ fn bench_encode_with_compression(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encode_per_profile, bench_encode_with_compression);
+criterion_group!(
+    benches,
+    bench_encode_per_profile,
+    bench_encode_with_compression
+);
 criterion_main!(benches);

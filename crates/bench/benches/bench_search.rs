@@ -1,39 +1,121 @@
-//! Semantic-search benchmarks (the search-time panel of Figure 10): top-k
-//! cosine search over caches of 1000/2000/3000 entries, at full (768) and
-//! PCA-compressed (64) dimensionality.
+//! Semantic-search benchmarks (the search-time panel of Figure 10, extended
+//! with the index-backend comparison): top-k cosine search over caches of
+//! 1k/10k/100k entries, exact (`FlatIndex`) vs ANN (`IvfIndex`), plus the
+//! batched-probe path the workload replayer uses.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mc_store::EmbeddingIndex;
-use mc_tensor::{rng, vector};
+use mc_store::{AnyIndex, IndexKind, IvfConfig, VectorIndex};
+use mc_workloads::EmbeddingCloud;
 use std::hint::black_box;
 
-fn build_index(entries: usize, dims: usize) -> (EmbeddingIndex, Vec<f32>) {
-    let mut r = rng::seeded(11);
-    let mut index = EmbeddingIndex::new(dims).expect("dims > 0");
-    for id in 0..entries as u64 {
-        let mut v = rng::uniform_vec(dims, 1.0, &mut r);
-        vector::normalize(&mut v);
-        index.add(id, &v).expect("consistent dims");
+/// Topic-clustered vectors + paraphrase-style probe, the shape a trained
+/// encoder produces over a real cache (see `mc_workloads::embeddings`).
+fn build_index(kind: &IndexKind, entries: usize, dims: usize) -> (AnyIndex, Vec<f32>) {
+    let cloud = EmbeddingCloud::generate(entries, dims, (entries / 50).max(8), 0.6, 11);
+    let mut index = kind.build(dims).expect("dims > 0");
+    for (id, v) in cloud.vectors.iter().enumerate() {
+        index.add(id as u64, v).expect("consistent dims");
     }
-    let mut q = rng::uniform_vec(dims, 1.0, &mut r);
-    vector::normalize(&mut q);
+    let q = cloud.probes(1, 0.25).remove(0);
     (index, q)
+}
+
+/// Backends under comparison: the exact scan and IVF at default settings.
+fn backends() -> Vec<(&'static str, IndexKind)> {
+    vec![
+        ("flat", IndexKind::flat()),
+        ("ivf", IndexKind::Ivf(IvfConfig::default())),
+    ]
 }
 
 fn bench_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("semantic_search_top5");
     group.sample_size(20);
-    for &entries in &[1000usize, 2000, 3000] {
+    for &entries in &[1_000usize, 10_000, 100_000] {
         for &dims in &[768usize, 64] {
-            let (index, query) = build_index(entries, dims);
-            let label = format!("{entries}_entries_{dims}d");
-            group.bench_with_input(BenchmarkId::from_parameter(label), &entries, |bencher, _| {
-                bencher.iter(|| black_box(index.search(&query, 5, 0.5).unwrap()));
-            });
+            // The 100k x 768 build is disproportionately slow to set up and
+            // adds nothing over 100k x 64 for backend comparison.
+            if entries == 100_000 && dims == 768 {
+                continue;
+            }
+            for (backend, kind) in backends() {
+                let (index, query) = build_index(&kind, entries, dims);
+                let label = format!("{backend}_{entries}_entries_{dims}d");
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(label),
+                    &entries,
+                    |bencher, _| {
+                        bencher.iter(|| black_box(index.search(&query, 5, 0.5).unwrap()));
+                    },
+                );
+            }
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_search);
+/// Sweep of the flat index's sequential→parallel crossover threshold, made
+/// possible by the threshold being configuration rather than a constant.
+fn bench_parallel_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_parallel_threshold_20k_64d");
+    group.sample_size(10);
+    let entries = 20_000usize;
+    for &threshold in &[usize::MAX, 16_384, 2_048, 256] {
+        let kind = IndexKind::Flat {
+            parallel_threshold: threshold,
+        };
+        let (index, query) = build_index(&kind, entries, 64);
+        let label = if threshold == usize::MAX {
+            "sequential".to_string()
+        } else {
+            format!("par_at_{threshold}")
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &entries,
+            |bencher, _| {
+                bencher.iter(|| black_box(index.search(&query, 5, 0.5).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Batched probes through `search_batch` vs the same probes dispatched one
+/// by one — the replayer's fast path.
+fn bench_search_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_batch_64probes_10k_64d");
+    group.sample_size(10);
+    for (backend, kind) in backends() {
+        let (index, _) = build_index(&kind, 10_000, 64);
+        let probes = EmbeddingCloud::generate(10_000, 64, 200, 0.6, 11).probes(64, 0.25);
+        let refs: Vec<&[f32]> = probes.iter().map(|p| p.as_slice()).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{backend}_batched")),
+            &backend,
+            |bencher, _| {
+                bencher.iter(|| black_box(index.search_batch(&refs, 5, 0.5).unwrap()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{backend}_one_by_one")),
+            &backend,
+            |bencher, _| {
+                bencher.iter(|| {
+                    for p in &refs {
+                        black_box(index.search(p, 5, 0.5).unwrap());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_search,
+    bench_parallel_threshold,
+    bench_search_batch
+);
 criterion_main!(benches);

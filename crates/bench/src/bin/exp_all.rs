@@ -14,5 +14,6 @@ fn main() {
     mc_bench::run_fig11_12(&corpus, rounds);
     mc_bench::run_fig13_14_16(&corpus);
     mc_bench::run_fig15();
+    mc_bench::run_index_backends();
     println!("== experiment suite complete ==");
 }

@@ -1,0 +1,4 @@
+//! Regenerates the index-backend comparison (flat exact scan vs IVF ANN).
+fn main() {
+    mc_bench::run_index_backends();
+}

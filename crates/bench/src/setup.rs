@@ -91,11 +91,24 @@ pub fn untrained_encoder(kind: ProfileKind) -> QueryEncoder {
         .expect("experiment profile is valid")
 }
 
-/// Builds a MeanCache deployment around a trained model.
+/// Builds a MeanCache deployment around a trained model, using the default
+/// (flat/exact) vector-index backend.
 pub fn meancache_deployment(model: &TrainedModel) -> Deployment<MeanCache> {
+    meancache_deployment_with_index(model, mc_store::IndexKind::default())
+}
+
+/// Builds a MeanCache deployment around a trained model with an explicit
+/// vector-index backend, so experiments can compare flat vs IVF search under
+/// otherwise identical configurations.
+pub fn meancache_deployment_with_index(
+    model: &TrainedModel,
+    index: mc_store::IndexKind,
+) -> Deployment<MeanCache> {
     let cache = MeanCache::new(
         model.encoder.clone(),
-        MeanCacheConfig::default().with_threshold(model.threshold),
+        MeanCacheConfig::default()
+            .with_threshold(model.threshold)
+            .with_index(index),
     )
     .expect("valid cache config");
     Deployment::new(cache, simulated_llm(), u64::MAX, RESPONSE_TOKENS)
@@ -140,6 +153,29 @@ pub fn run_standalone<C: SemanticCache>(
         .map(|(q, should_hit)| ProbeSpec::standalone(q.clone(), *should_hit))
         .collect();
     deployment.run(&specs).expect("probe run succeeds")
+}
+
+/// Like [`run_standalone`], but replays the probes through the cache's
+/// batched lookup path (one `search_batch` pass over the vector index).
+/// Requires a frozen deployment; the big frozen-cache sweeps use this so
+/// replay cost is dominated by search, not per-probe dispatch.
+pub fn run_standalone_batched<C: SemanticCache>(
+    deployment: &mut Deployment<C>,
+    populate: &[(String, usize)],
+    probes: &[(String, bool)],
+) -> DeploymentReport {
+    let items: Vec<(String, Vec<String>)> = populate
+        .iter()
+        .map(|(q, _)| (q.clone(), Vec::new()))
+        .collect();
+    deployment.populate(&items).expect("populate succeeds");
+    let specs: Vec<ProbeSpec> = probes
+        .iter()
+        .map(|(q, should_hit)| ProbeSpec::standalone(q.clone(), *should_hit))
+        .collect();
+    deployment
+        .run_batched(&specs)
+        .expect("batched probe replay succeeds on a frozen cache")
 }
 
 /// Populates a deployment with a contextual workload and runs its probes.

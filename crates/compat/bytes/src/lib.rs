@@ -1,0 +1,233 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the disk log uses: [`BytesMut`] as a growable write
+//! buffer with little-endian `put_*` accessors, [`Bytes`] as a cheaply
+//! advance-able read view with `get_*`/`split_to`, and the [`Buf`]/[`BufMut`]
+//! traits those accessors live on. Unlike the real crate, `Bytes` owns its
+//! storage (no refcounted slabs) — `split_to` copies, which is fine at the
+//! record sizes the cache log writes.
+
+use std::ops::Deref;
+
+/// Read-side accessors over a byte cursor.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, n: usize);
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+/// Write-side accessors over a growable buffer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+}
+
+/// Owned, advance-able read view of bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    offset: usize,
+}
+
+impl Bytes {
+    /// Splits off and returns the first `n` unread bytes, advancing `self`
+    /// past them.
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.remaining(), "split_to out of bounds");
+        let front = self.data[self.offset..self.offset + n].to_vec();
+        self.offset += n;
+        Bytes {
+            data: front,
+            offset: 0,
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, offset: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.offset..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.offset
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.offset..]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance out of bounds");
+        self.offset += n;
+    }
+}
+
+/// Growable write buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the written bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            offset: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u8(7);
+        buf.put_u64_le(u64::MAX - 3);
+        buf.put_f32_le(-1.25);
+        buf.put_slice(b"tail");
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u64_le(), u64::MAX - 3);
+        assert_eq!(bytes.get_f32_le(), -1.25);
+        assert_eq!(&bytes[..], b"tail");
+        assert_eq!(bytes.remaining(), 4);
+    }
+
+    #[test]
+    fn split_to_and_advance_track_the_cursor() {
+        let mut bytes = Bytes::from(vec![1, 2, 3, 4, 5, 6]);
+        let head = bytes.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(bytes.remaining(), 4);
+        bytes.advance(1);
+        assert_eq!(&bytes[..], &[4, 5, 6]);
+        assert_eq!(bytes.to_vec(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn slice_buf_impl_reads_without_consuming_the_owner() {
+        let backing = [0x2A, 0, 0, 0, 9];
+        let value = (&backing[..4]).get_u32_le();
+        assert_eq!(value, 42);
+        assert_eq!(backing.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_past_end_panics() {
+        let mut bytes = Bytes::from(vec![1]);
+        let _ = bytes.split_to(2);
+    }
+}

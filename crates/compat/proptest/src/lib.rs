@@ -1,0 +1,234 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the property-test subset this workspace writes: the `proptest!`
+//! macro with `#![proptest_config(..)]`, range strategies over numeric
+//! primitives, `prop::collection::vec`, and `prop_assert!`/`prop_assert_eq!`.
+//! Inputs are generated from a deterministic per-test seed (derived from the
+//! test's name), so failures reproduce run-to-run. There is **no shrinking**:
+//! a failing case reports the case index so it can be replayed under a
+//! debugger, which is a deliberate simplification over the real crate.
+
+use std::ops::Range;
+
+/// Deterministic generator handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Builds the generator for one (test, case) pair. Seeds depend only on
+    /// the test's name and the case index, so runs are reproducible.
+    pub fn from_case(case: u64, test_name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in test_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        Gen {
+            state: seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (gen.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (gen.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, gen: &mut Gen) -> Self::Value {
+        (**self).generate(gen)
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The `prop::` namespace re-created for `use proptest::prelude::*` callers.
+pub mod prop {
+    pub mod collection {
+        use crate::{Gen, Strategy};
+        use std::ops::Range;
+
+        /// Strategy producing `Vec`s with length drawn from `len` and
+        /// elements drawn from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, gen: &mut Gen) -> Self::Value {
+                let n = self.len.generate(gen);
+                (0..n).map(|_| self.element.generate(gen)).collect()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a property inside a `proptest!` test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a `proptest!` test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($config) $($rest)*);
+    };
+    (@expand ($config:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat_param in $strategy:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config = $config;
+                for case in 0..u64::from(config.cases) {
+                    let mut generator = $crate::Gen::from_case(case, stringify!($name));
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut generator);)*
+                    // The closure gives every case its own scope; a panic
+                    // inside carries the case index via the wrapping message.
+                    let mut run = move || $body;
+                    let _ = &mut run;
+                    run();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_floats_stay_in_range(x in -3.0f32..3.0) {
+            prop_assert!((-3.0..3.0).contains(&x));
+        }
+
+        #[test]
+        fn generated_vecs_respect_length(v in prop::collection::vec(0u64..10, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn mut_bindings_work(mut v in prop::collection::vec(0.0f32..1.0, 1..4)) {
+            v.push(0.5);
+            prop_assert_eq!(v.last().copied(), Some(0.5));
+        }
+    }
+
+    mod without_header {
+        proptest! {
+            #[test]
+            fn default_config_applies(x in 0usize..5) {
+                prop_assert!(x < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_per_test_name() {
+        let mut a = crate::Gen::from_case(3, "some_test");
+        let mut b = crate::Gen::from_case(3, "some_test");
+        let mut c = crate::Gen::from_case(3, "other_test");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait plus the
+//! [`Normal`] and [`LogNormal`] distributions (Box–Muller sampling), which is
+//! all the workspace's latency model uses.
+
+use rand::RngCore;
+
+/// Types that can sample values from an RNG.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid distribution parameter (sigma must be finite and >= 0)"
+        )
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller; u1 is nudged away from zero so ln() stays finite.
+    let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal distribution with mean `mu` and standard deviation `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// # Errors
+    /// Returns [`NormalError`] when `sigma` is negative or non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        if sigma < 0.0 || !sigma.is_finite() || !mu.is_finite() {
+            return Err(NormalError);
+        }
+        Ok(Self { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// # Errors
+    /// Returns [`NormalError`] when `sigma` is negative or non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        Normal::new(mu, sigma).map(|norm| Self { norm })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{SeedableRng, StdRng};
+
+    #[test]
+    fn invalid_sigma_is_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(LogNormal::new(0.0, 0.25).is_ok());
+    }
+
+    #[test]
+    fn normal_samples_center_on_mu() {
+        let dist = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let dist = LogNormal::new(0.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..5000).map(|_| dist.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        // E[LogNormal(0, 0.5)] = exp(0.125) ≈ 1.133.
+        assert!((mean - 1.133).abs() < 0.1, "mean was {mean}");
+    }
+}

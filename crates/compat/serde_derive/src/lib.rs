@@ -1,0 +1,439 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote` available offline) derive macros for the
+//! `serde` shim's `Serialize`/`Deserialize` traits. Supports the shapes this
+//! workspace actually derives: non-generic named-field structs, unit structs,
+//! and enums with unit / newtype / tuple / struct variants. Anything else
+//! (generics, tuple structs, `#[serde(...)]` attributes) is rejected with a
+//! compile error rather than silently mishandled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed {
+        Input::Struct { name, shape } => serialize_struct(name, shape),
+        Input::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    let name = input_name(&parsed);
+    wrap_impl(&format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    ))
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed {
+        Input::Struct { name, shape } => deserialize_struct(name, shape),
+        Input::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    let name = input_name(&parsed);
+    wrap_impl(&format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    ))
+}
+
+fn input_name(input: &Input) -> &str {
+    match input {
+        Input::Struct { name, .. } | Input::Enum { name, .. } => name,
+    }
+}
+
+fn wrap_impl(code: &str) -> TokenStream {
+    let guarded = format!(
+        "#[automatically_derived]\n#[allow(warnings, clippy::all, clippy::pedantic)]\n{code}"
+    );
+    guarded
+        .parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other}"),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    panic!("serde_derive shim: tuple struct `{name}` is not supported")
+                }
+                _ => Shape::Unit,
+            };
+            Input::Struct { name, shape }
+        }
+        "enum" => {
+            let group = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                _ => panic!("serde_derive shim: malformed enum `{name}`"),
+            };
+            Input::Enum {
+                name,
+                variants: parse_variants(group.stream()),
+            }
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and a visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from the token stream of a `{ ... }` field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(id)) = tokens.get(pos) else {
+            break;
+        };
+        fields.push(id.to_string());
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive shim: expected `:` after field, got {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+    }
+    fields
+}
+
+/// Consumes type tokens up to (and including) the next top-level comma.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(id)) = tokens.get(pos) else {
+            break;
+        };
+        let name = id.to_string();
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while let Some(token) = tokens.get(pos) {
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for (i, token) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if i + 1 == tokens.len() {
+                        trailing_comma = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_named_fields(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::serialize_value(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+fn deserialize_named_fields(type_display: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match value.get(\"{f}\") {{\n\
+                     Some(field_value) => ::serde::Deserialize::deserialize_value(field_value)?,\n\
+                     None => return ::std::result::Result::Err(::serde::Error::custom(\n\
+                         \"missing field `{f}` in {type_display}\")),\n\
+                 }},"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn serialize_struct(_name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Object(::std::vec![])".to_string(),
+        Shape::Named(fields) => serialize_named_fields(fields, "self."),
+        Shape::Tuple(_) => unreachable!("tuple structs rejected at parse time"),
+    }
+}
+
+fn deserialize_struct(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!(
+            "if value.as_object().is_some() {{\n\
+                 ::std::result::Result::Ok({name})\n\
+             }} else {{\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\"expected object for {name}\"))\n\
+             }}"
+        ),
+        Shape::Named(fields) => format!(
+            "if value.as_object().is_none() {{\n\
+                 return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"expected object for {name}\"));\n\
+             }}\n\
+             ::std::result::Result::Ok({name} {{\n{}\n}})",
+            deserialize_named_fields(name, fields)
+        ),
+        Shape::Tuple(_) => unreachable!("tuple structs rejected at parse time"),
+    }
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Unit => format!(
+                    "{name}::{vname} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                ),
+                Shape::Tuple(1) => format!(
+                    "{name}::{vname}(field_0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Serialize::serialize_value(field_0))]),"
+                ),
+                Shape::Tuple(n) => {
+                    let binders: Vec<String> = (0..*n).map(|i| format!("field_{i}")).collect();
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Array(::std::vec![{items}]))]),",
+                        binds = binders.join(", "),
+                        items = items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let inner = serialize_named_fields(fields, "");
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), {inner})]),",
+                        binds = fields.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Tuple(1) => format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize_value(inner)?)),"
+                ),
+                Shape::Tuple(n) => {
+                    let extracts: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!("::serde::Deserialize::deserialize_value(&items[{i}])?")
+                        })
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{\n\
+                             let items = inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{vname}\"))?;\n\
+                             if items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"wrong arity for {name}::{vname}\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({extracts}))\n\
+                         }}",
+                        extracts = extracts.join(", ")
+                    )
+                }
+                Shape::Named(fields) => format!(
+                    "\"{vname}\" => {{\n\
+                         let value = inner;\n\
+                         if value.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected object for {name}::{vname}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vname} {{\n{fields}\n}})\n\
+                     }}",
+                    fields = deserialize_named_fields(&format!("{name}::{vname}"), fields)
+                ),
+                Shape::Unit => unreachable!("unit variants handled above"),
+            }
+        })
+        .collect();
+    format!(
+        "match value {{\n\
+             ::serde::Value::Str(variant_name) => match variant_name.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\n\
+                     \"unknown unit variant `{{other}}` for {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (variant_name, inner) = &fields[0];\n\
+                 match variant_name.as_str() {{\n\
+                     {tagged_arms}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\n\
+                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             _ => ::std::result::Result::Err(::serde::Error::custom(\n\
+                 \"expected string or single-key object for {name}\")),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        tagged_arms = tagged_arms.join("\n"),
+    )
+}

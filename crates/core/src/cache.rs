@@ -7,7 +7,7 @@
 //! the query to the LLM and inserts the fresh response.
 
 use mc_embedder::QueryEncoder;
-use mc_store::{CacheEntry, EmbeddingIndex, MemoryStore};
+use mc_store::{AnyIndex, CacheEntry, MemoryStore, VectorIndex};
 use mc_tensor::vector;
 use serde::{Deserialize, Serialize};
 
@@ -89,6 +89,19 @@ pub trait SemanticCache {
     /// cache like GPTCache.
     fn lookup_network_overhead_s(&self) -> f64;
 
+    /// Looks up a batch of `(query, context)` probes in one call, returning
+    /// one outcome per probe (same order). Probes are borrowed so replayers
+    /// do not copy their workload to batch it. The default loops over
+    /// [`SemanticCache::lookup`]; caches backed by a vector index override
+    /// this to funnel all probes through one `search_batch` pass so replayed
+    /// workloads stop paying per-probe dispatch overhead.
+    fn lookup_batch(&mut self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
+        probes
+            .iter()
+            .map(|(query, context)| self.lookup(query, context))
+            .collect()
+    }
+
     /// Number of cached entries.
     fn len(&self) -> usize;
 
@@ -127,7 +140,7 @@ pub struct MeanCache {
     encoder: QueryEncoder,
     config: MeanCacheConfig,
     store: MemoryStore,
-    index: EmbeddingIndex,
+    index: AnyIndex,
     stats: CacheStats,
 }
 
@@ -140,7 +153,7 @@ impl MeanCache {
     pub fn new(encoder: QueryEncoder, config: MeanCacheConfig) -> Result<Self> {
         config.validate()?;
         let store = MemoryStore::new(config.capacity, config.eviction)?;
-        let index = EmbeddingIndex::new(encoder.output_dim())?;
+        let index = config.index.build(encoder.output_dim())?;
         Ok(Self {
             encoder,
             config,
@@ -175,6 +188,17 @@ impl MeanCache {
         self.stats
     }
 
+    /// Name of the live vector-index backend (`"flat"` or `"ivf"`).
+    pub fn index_kind(&self) -> &'static str {
+        self.index.kind_name()
+    }
+
+    /// Bytes spent on the search structure (embeddings as indexed, plus any
+    /// backend-specific auxiliary data such as IVF centroids).
+    pub fn index_bytes(&self) -> usize {
+        self.index.storage_bytes()
+    }
+
     /// Borrow an entry by id (for tests and the persistence layer).
     pub fn entry(&self, id: u64) -> Option<&CacheEntry> {
         self.store.get(id)
@@ -191,11 +215,11 @@ impl MeanCache {
     pub fn record_feedback(&mut self, false_hit: bool) {
         let step = self.config.feedback_step;
         if false_hit {
-            self.config.threshold = (self.config.threshold + step * (1.0 - self.config.threshold))
-                .clamp(0.0, 1.0);
+            self.config.threshold =
+                (self.config.threshold + step * (1.0 - self.config.threshold)).clamp(0.0, 1.0);
         } else {
-            self.config.threshold = (self.config.threshold - step * self.config.threshold)
-                .clamp(0.0, 1.0);
+            self.config.threshold =
+                (self.config.threshold - step * self.config.threshold).clamp(0.0, 1.0);
         }
         self.stats.feedback_updates += 1;
     }
@@ -243,7 +267,13 @@ impl MeanCache {
             // Contextual cached query but standalone probe (or vice versa):
             // the interpretations differ, so never serve from cache.
             (None, ProbeContext::Contextual { .. }) | (Some(_), ProbeContext::Standalone) => false,
-            (Some(parent_id), ProbeContext::Contextual { embedding, resolved }) => {
+            (
+                Some(parent_id),
+                ProbeContext::Contextual {
+                    embedding,
+                    resolved,
+                },
+            ) => {
                 let Some(parent_entry) = self.store.get(parent_id) else {
                     // Dangling parent (should not happen thanks to eviction
                     // protection) — be conservative.
@@ -279,31 +309,13 @@ impl MeanCache {
         Ok(id)
     }
 
-    /// Finds the cached entry that corresponds to the probe's most recent
-    /// context turn, used to link a newly inserted follow-up to its parent.
-    fn resolve_parent(&self, context: &[String]) -> Option<u64> {
-        let parent_text = context.last()?;
-        let embedding = self.encoder.encode(parent_text);
-        self.index
-            .best_match(embedding.as_slice(), self.config.context_threshold)
-            .ok()
-            .flatten()
-            .map(|hit| hit.id)
-    }
-}
-
-impl SemanticCache for MeanCache {
-    fn lookup(&mut self, query: &str, context: &[String]) -> CacheDecisionOutcome {
-        self.stats.lookups += 1;
-        let embedding = self.encoder.encode(query);
-        let candidates = match self.index.search(
-            embedding.as_slice(),
-            self.config.top_k,
-            self.config.threshold,
-        ) {
-            Ok(c) => c,
-            Err(_) => return CacheDecisionOutcome::Miss,
-        };
+    /// Shared back half of a lookup: context-verifies `candidates` in score
+    /// order and serves the first one whose conversation matches the probe's.
+    fn decide(
+        &mut self,
+        candidates: Vec<mc_store::SearchHit>,
+        context: &[String],
+    ) -> CacheDecisionOutcome {
         let probe_context = if self.config.context_checking {
             Some(self.probe_context(context))
         } else {
@@ -336,6 +348,58 @@ impl SemanticCache for MeanCache {
             self.stats.context_rejections += 1;
         }
         CacheDecisionOutcome::Miss
+    }
+
+    /// Finds the cached entry that corresponds to the probe's most recent
+    /// context turn, used to link a newly inserted follow-up to its parent.
+    fn resolve_parent(&self, context: &[String]) -> Option<u64> {
+        let parent_text = context.last()?;
+        let embedding = self.encoder.encode(parent_text);
+        self.index
+            .best_match(embedding.as_slice(), self.config.context_threshold)
+            .ok()
+            .flatten()
+            .map(|hit| hit.id)
+    }
+}
+
+impl SemanticCache for MeanCache {
+    fn lookup(&mut self, query: &str, context: &[String]) -> CacheDecisionOutcome {
+        self.stats.lookups += 1;
+        let embedding = self.encoder.encode(query);
+        let candidates = match self.index.search(
+            embedding.as_slice(),
+            self.config.top_k,
+            self.config.threshold,
+        ) {
+            Ok(c) => c,
+            Err(_) => return CacheDecisionOutcome::Miss,
+        };
+        self.decide(candidates, context)
+    }
+
+    fn lookup_batch(&mut self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
+        self.stats.lookups += probes.len() as u64;
+        // Encode everything, then retrieve candidates for the whole batch in
+        // one index pass; only context verification stays per-probe.
+        let embeddings: Vec<mc_tensor::Vector> = probes
+            .iter()
+            .map(|(query, _)| self.encoder.encode(query))
+            .collect();
+        let query_refs: Vec<&[f32]> = embeddings.iter().map(|e| e.as_slice()).collect();
+        let batched =
+            match self
+                .index
+                .search_batch(&query_refs, self.config.top_k, self.config.threshold)
+            {
+                Ok(b) => b,
+                Err(_) => return vec![CacheDecisionOutcome::Miss; probes.len()],
+            };
+        batched
+            .into_iter()
+            .zip(probes)
+            .map(|(candidates, (_, context))| self.decide(candidates, context))
+            .collect()
     }
 
     fn insert(&mut self, query: &str, response: &str, context: &[String]) -> Result<u64> {
@@ -378,7 +442,18 @@ impl SemanticCache for MeanCache {
         } else {
             ""
         };
-        format!("MeanCache({}{})", self.encoder.profile().kind, compression)
+        // The default (flat) backend is left out of the name so reports stay
+        // comparable with pre-`VectorIndex` runs.
+        let index = match self.index.kind_name() {
+            "flat" => String::new(),
+            other => format!("+{other}"),
+        };
+        format!(
+            "MeanCache({}{}{})",
+            self.encoder.profile().kind,
+            compression,
+            index
+        )
     }
 }
 
@@ -449,7 +524,11 @@ mod tests {
     fn exact_duplicate_always_hits_at_high_threshold() {
         let mut cache = cache_with_threshold(0.95);
         cache
-            .insert("what is federated learning", "FL trains models on-device.", &[])
+            .insert(
+                "what is federated learning",
+                "FL trains models on-device.",
+                &[],
+            )
             .unwrap();
         let hit = cache.lookup("what is federated learning", &[]);
         assert!(hit.is_hit());
@@ -481,10 +560,8 @@ mod tests {
 
         // Same follow-up text but a *different* conversation (the paper's Q3
         // "Draw a circle?"): must miss — GPTCache's false-hit scenario.
-        let different_context = cache.lookup(
-            "change the color to red",
-            &["draw a circle".to_string()],
-        );
+        let different_context =
+            cache.lookup("change the color to red", &["draw a circle".to_string()]);
         assert!(different_context.is_miss());
         assert!(cache.stats().context_rejections >= 1);
 
@@ -645,6 +722,92 @@ mod tests {
     }
 
     #[test]
+    fn ivf_backed_cache_behaves_like_flat_on_small_workloads() {
+        let mut flat = cache_with_threshold(0.6);
+        let mut ivf = MeanCache::new(
+            trained_like_encoder(),
+            MeanCacheConfig::default()
+                .with_threshold(0.6)
+                .with_index(mc_store::IndexKind::ivf()),
+        )
+        .unwrap();
+        assert_eq!(flat.index_kind(), "flat");
+        assert_eq!(ivf.index_kind(), "ivf");
+        assert!(ivf.name().contains("+ivf"));
+        for cache in [&mut flat, &mut ivf] {
+            cache
+                .insert(
+                    "how can I increase the battery life of my smartphone",
+                    "Lower the screen brightness.",
+                    &[],
+                )
+                .unwrap();
+            cache
+                .insert(
+                    "how do I bake sourdough bread at home",
+                    "Ferment overnight.",
+                    &[],
+                )
+                .unwrap();
+        }
+        for cache in [&mut flat, &mut ivf] {
+            let hit = cache.lookup("how can I increase the battery life of my phone", &[]);
+            assert!(hit.is_hit(), "{} must hit", cache.name());
+            assert!(cache
+                .lookup("what is the capital city of portugal", &[])
+                .is_miss());
+            assert!(cache.index_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn lookup_batch_matches_sequential_lookups() {
+        // Two identical caches: one answers probe-by-probe, the other in one
+        // batched call. Decisions must agree (a frozen cache, so earlier
+        // probes cannot change later answers).
+        let mut sequential = cache_with_threshold(0.6);
+        let mut batched = cache_with_threshold(0.6);
+        for cache in [&mut sequential, &mut batched] {
+            cache
+                .insert("draw a line plot in python", "Use plt.plot.", &[])
+                .unwrap();
+            cache
+                .insert(
+                    "change the color to red",
+                    "Pass color='red'.",
+                    &["draw a line plot in python".to_string()],
+                )
+                .unwrap();
+            cache
+                .insert("what is federated learning", "On-device training.", &[])
+                .unwrap();
+        }
+        let probes: Vec<(String, Vec<String>)> = vec![
+            ("what is federated learning".into(), vec![]),
+            (
+                "change the color to red".into(),
+                vec!["draw a line plot in python".to_string()],
+            ),
+            (
+                "change the color to red".into(),
+                vec!["draw a circle".to_string()],
+            ),
+            ("completely unrelated owl facts".into(), vec![]),
+        ];
+        let probe_refs: Vec<(&str, &[String])> = probes
+            .iter()
+            .map(|(q, c)| (q.as_str(), c.as_slice()))
+            .collect();
+        let batch_outcomes = batched.lookup_batch(&probe_refs);
+        for ((query, context), batch_outcome) in probes.iter().zip(&batch_outcomes) {
+            let single = sequential.lookup(query, context);
+            assert_eq!(&single, batch_outcome, "probe {query:?} diverged");
+        }
+        assert_eq!(batched.stats().lookups, 4);
+        assert_eq!(batched.stats().hits, sequential.stats().hits);
+    }
+
+    #[test]
     fn invalid_config_is_rejected_at_construction() {
         let encoder = trained_like_encoder();
         assert!(MeanCache::new(
@@ -660,10 +823,15 @@ mod tests {
     #[test]
     fn compressed_encoder_changes_name_and_embedding_size() {
         let mut encoder = trained_like_encoder();
-        let corpus: Vec<String> = (0..40).map(|i| format!("training query number {i}")).collect();
+        let corpus: Vec<String> = (0..40)
+            .map(|i| format!("training query number {i}"))
+            .collect();
         encoder.fit_pca(&corpus, 8, 3).unwrap();
-        let mut cache = MeanCache::new(encoder, MeanCacheConfig::default().with_threshold(0.5)).unwrap();
-        cache.insert("how do I bake sourdough bread", "resp", &[]).unwrap();
+        let mut cache =
+            MeanCache::new(encoder, MeanCacheConfig::default().with_threshold(0.5)).unwrap();
+        cache
+            .insert("how do I bake sourdough bread", "resp", &[])
+            .unwrap();
         assert!(cache.name().contains("compressed"));
         // 8-dim embeddings: 8 * 4 bytes per entry.
         assert_eq!(cache.embedding_bytes(), 32);

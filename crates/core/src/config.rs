@@ -1,6 +1,6 @@
 //! Deployment configuration of the local semantic cache.
 
-use mc_store::EvictionPolicy;
+use mc_store::{EvictionPolicy, IndexKind};
 use serde::{Deserialize, Serialize};
 
 use crate::{CacheError, Result};
@@ -31,6 +31,11 @@ pub struct MeanCacheConfig {
     /// Step size for adaptive threshold updates driven by user feedback
     /// (a reported false hit raises τ, a reported false miss lowers it).
     pub feedback_step: f32,
+    /// Which vector-index backend the cache searches with: exact
+    /// [`IndexKind::Flat`] scanning (the default, right up to a few tens of
+    /// thousands of entries) or [`IndexKind::Ivf`] approximate search for
+    /// large caches. See `mc_store::index` for the trade-offs.
+    pub index: IndexKind,
 }
 
 impl Default for MeanCacheConfig {
@@ -43,6 +48,7 @@ impl Default for MeanCacheConfig {
             capacity: 100_000,
             eviction: EvictionPolicy::Lru,
             feedback_step: 0.02,
+            index: IndexKind::default(),
         }
     }
 }
@@ -77,6 +83,7 @@ impl MeanCacheConfig {
                 self.feedback_step
             )));
         }
+        self.index.validate()?;
         Ok(())
     }
 
@@ -95,6 +102,12 @@ impl MeanCacheConfig {
         self.context_checking = enabled;
         self
     }
+
+    /// Returns a copy with the vector-index backend replaced.
+    pub fn with_index(mut self, index: IndexKind) -> Self {
+        self.index = index;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -111,11 +124,55 @@ mod tests {
 
     #[test]
     fn invalid_values_are_rejected() {
-        assert!(MeanCacheConfig { threshold: 1.5, ..Default::default() }.validate().is_err());
-        assert!(MeanCacheConfig { context_threshold: -0.1, ..Default::default() }.validate().is_err());
-        assert!(MeanCacheConfig { top_k: 0, ..Default::default() }.validate().is_err());
-        assert!(MeanCacheConfig { capacity: 0, ..Default::default() }.validate().is_err());
-        assert!(MeanCacheConfig { feedback_step: 1.0, ..Default::default() }.validate().is_err());
+        assert!(MeanCacheConfig {
+            threshold: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MeanCacheConfig {
+            context_threshold: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MeanCacheConfig {
+            top_k: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MeanCacheConfig {
+            capacity: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MeanCacheConfig {
+            feedback_step: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        let bad_index = IndexKind::Ivf(mc_store::IvfConfig {
+            nprobe: 0,
+            ..mc_store::IvfConfig::default()
+        });
+        assert!(MeanCacheConfig {
+            index: bad_index,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn index_backend_is_selectable() {
+        let cfg = MeanCacheConfig::default();
+        assert_eq!(cfg.index.name(), "flat");
+        let cfg = cfg.with_index(IndexKind::ivf());
+        assert_eq!(cfg.index.name(), "ivf");
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

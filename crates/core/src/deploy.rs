@@ -12,7 +12,7 @@ use mc_llm::{LlmRequest, LlmService, QuotaTracker, SimulatedLlm};
 use mc_metrics::{ConfusionMatrix, MetricSummary, TimingStats};
 use serde::{Deserialize, Serialize};
 
-use crate::cache::SemanticCache;
+use crate::cache::{CacheDecisionOutcome, SemanticCache};
 use crate::Result;
 
 /// One labelled probe query.
@@ -182,89 +182,162 @@ impl<C: SemanticCache> Deployment<C> {
         Ok(())
     }
 
-    /// Runs a probe workload, returning the full report.
+    /// Accounts one probe's outcome: quota bookkeeping, a billable LLM call
+    /// on miss (inserting the fresh response when the cache is live), and the
+    /// confusion/latency/record updates. Shared by [`Deployment::run`] and
+    /// [`Deployment::run_batched`] so the two replay paths cannot drift.
     ///
     /// # Errors
-    /// Propagates storage errors; quota exhaustion ends billable calls but the
-    /// run continues (the user simply stops getting fresh responses).
-    pub fn run(&mut self, probes: &[ProbeSpec]) -> Result<DeploymentReport> {
-        let mut records = Vec::with_capacity(probes.len());
-        let mut confusion = ConfusionMatrix::new();
-        let mut latencies = TimingStats::new();
-        let mut search_times = TimingStats::new();
-
-        for probe in probes {
-            let started = Instant::now();
-            let outcome = self.cache.lookup(&probe.query, &probe.context);
-            let search_time_s = started.elapsed().as_secs_f64();
-            let network_s = self.cache.lookup_network_overhead_s();
-
-            let (latency_s, response, predicted_hit) = match outcome.hit() {
-                Some(hit) => {
-                    // Served from cache: the user avoided one billable call.
-                    let avoided = LlmRequest::contextual(
-                        probe.query.clone(),
-                        probe.context.clone(),
-                        self.max_tokens,
-                    );
-                    let avoided_cost = self
-                        .llm
-                        .config()
-                        .cost
-                        .cost_usd(avoided.input_tokens(), self.max_tokens);
-                    self.quota.record_saved(avoided_cost);
-                    (network_s + search_time_s, hit.response.clone(), true)
-                }
-                None => {
-                    let request = LlmRequest::contextual(
-                        probe.query.clone(),
-                        probe.context.clone(),
-                        self.max_tokens,
-                    );
-                    let generated = self.llm.generate(&request)?;
-                    // Billable; if the quota is exhausted we still serve the
-                    // response but stop accounting further spend.
-                    let _ = self.quota.record_billable(generated.cost_usd);
-                    if self.insert_on_miss {
-                        self.cache
-                            .insert(&probe.query, &generated.text, &probe.context)?;
-                    }
-                    (
-                        network_s + search_time_s + generated.latency_s,
-                        generated.text,
-                        false,
-                    )
-                }
-            };
-
-            if let Some(should_hit) = probe.should_hit {
-                confusion.record_outcome(predicted_hit, should_hit);
+    /// Propagates LLM-service and storage errors.
+    fn account_probe(
+        &mut self,
+        probe: &ProbeSpec,
+        outcome: &CacheDecisionOutcome,
+        search_time_s: f64,
+        acc: &mut RunAccumulator,
+    ) -> Result<()> {
+        let network_s = self.cache.lookup_network_overhead_s();
+        let (latency_s, response, predicted_hit) = match outcome.hit() {
+            Some(hit) => {
+                // Served from cache: the user avoided one billable call.
+                let avoided = LlmRequest::contextual(
+                    probe.query.clone(),
+                    probe.context.clone(),
+                    self.max_tokens,
+                );
+                let avoided_cost = self
+                    .llm
+                    .config()
+                    .cost
+                    .cost_usd(avoided.input_tokens(), self.max_tokens);
+                self.quota.record_saved(avoided_cost);
+                (network_s + search_time_s, hit.response.clone(), true)
             }
-            latencies.record(latency_s);
-            search_times.record(search_time_s);
-            records.push(QueryRecord {
-                query: probe.query.clone(),
-                should_hit: probe.should_hit,
-                predicted_hit,
-                latency_s,
-                search_time_s,
-                response,
-            });
-        }
+            None => {
+                let request = LlmRequest::contextual(
+                    probe.query.clone(),
+                    probe.context.clone(),
+                    self.max_tokens,
+                );
+                let generated = self.llm.generate(&request)?;
+                // Billable; if the quota is exhausted we still serve the
+                // response but stop accounting further spend.
+                let _ = self.quota.record_billable(generated.cost_usd);
+                if self.insert_on_miss {
+                    self.cache
+                        .insert(&probe.query, &generated.text, &probe.context)?;
+                }
+                (
+                    network_s + search_time_s + generated.latency_s,
+                    generated.text,
+                    false,
+                )
+            }
+        };
 
-        Ok(DeploymentReport {
+        if let Some(should_hit) = probe.should_hit {
+            acc.confusion.record_outcome(predicted_hit, should_hit);
+        }
+        acc.latencies.record(latency_s);
+        acc.search_times.record(search_time_s);
+        acc.records.push(QueryRecord {
+            query: probe.query.clone(),
+            should_hit: probe.should_hit,
+            predicted_hit,
+            latency_s,
+            search_time_s,
+            response,
+        });
+        Ok(())
+    }
+
+    /// Assembles the final report from an accumulator.
+    fn finish_report(&self, acc: RunAccumulator) -> DeploymentReport {
+        DeploymentReport {
             cache_name: self.cache.name(),
-            records,
-            confusion,
-            latencies,
-            search_times,
+            records: acc.records,
+            confusion: acc.confusion,
+            latencies: acc.latencies,
+            search_times: acc.search_times,
             llm_requests: self.llm.requests_served(),
             llm_busy_s: self.llm.busy_time_s(),
             quota: self.quota.clone(),
             final_cache_entries: self.cache.len(),
             final_cache_bytes: self.cache.storage_bytes(),
             final_embedding_bytes: self.cache.embedding_bytes(),
-        })
+        }
+    }
+
+    /// Replays a probe workload through the cache's batched lookup path:
+    /// every probe funnels through **one** `search_batch` pass over the
+    /// vector index instead of paying per-probe dispatch, which is how the
+    /// benchmark harness replays large workloads.
+    ///
+    /// Batching requires a frozen cache (`freeze_cache`): with inserts on
+    /// miss, probe *i* could change what probe *i+1* sees, which a single
+    /// batched index pass cannot express. Misses are still forwarded to the
+    /// LLM and billed; per-probe search time is reported as the batch mean.
+    ///
+    /// # Errors
+    /// Returns [`crate::CacheError::InvalidConfig`] when the cache is not
+    /// frozen; propagates LLM-service errors.
+    pub fn run_batched(&mut self, probes: &[ProbeSpec]) -> Result<DeploymentReport> {
+        if self.insert_on_miss {
+            return Err(crate::CacheError::InvalidConfig(
+                "run_batched requires freeze_cache(): batched lookups cannot \
+                 observe same-run inserts"
+                    .into(),
+            ));
+        }
+        let mut acc = RunAccumulator::with_capacity(probes.len());
+
+        let batch: Vec<(&str, &[String])> = probes
+            .iter()
+            .map(|p| (p.query.as_str(), p.context.as_slice()))
+            .collect();
+        let started = Instant::now();
+        let outcomes = self.cache.lookup_batch(&batch);
+        let search_time_s = started.elapsed().as_secs_f64() / probes.len().max(1) as f64;
+
+        for (probe, outcome) in probes.iter().zip(outcomes) {
+            self.account_probe(probe, &outcome, search_time_s, &mut acc)?;
+        }
+        Ok(self.finish_report(acc))
+    }
+
+    /// Runs a probe workload, returning the full report.
+    ///
+    /// # Errors
+    /// Propagates storage errors; quota exhaustion ends billable calls but the
+    /// run continues (the user simply stops getting fresh responses).
+    pub fn run(&mut self, probes: &[ProbeSpec]) -> Result<DeploymentReport> {
+        let mut acc = RunAccumulator::with_capacity(probes.len());
+        for probe in probes {
+            let started = Instant::now();
+            let outcome = self.cache.lookup(&probe.query, &probe.context);
+            let search_time_s = started.elapsed().as_secs_f64();
+            self.account_probe(probe, &outcome, search_time_s, &mut acc)?;
+        }
+        Ok(self.finish_report(acc))
+    }
+}
+
+/// Mutable bookkeeping shared by the sequential and batched replay paths.
+struct RunAccumulator {
+    records: Vec<QueryRecord>,
+    confusion: ConfusionMatrix,
+    latencies: TimingStats,
+    search_times: TimingStats,
+}
+
+impl RunAccumulator {
+    fn with_capacity(probes: usize) -> Self {
+        Self {
+            records: Vec::with_capacity(probes),
+            confusion: ConfusionMatrix::new(),
+            latencies: TimingStats::new(),
+            search_times: TimingStats::new(),
+        }
     }
 }
 
@@ -315,7 +388,10 @@ mod tests {
         vec![
             ("how do I bake sourdough bread at home".to_string(), vec![]),
             ("what is federated learning".to_string(), vec![]),
-            ("how can I increase the battery life of my smartphone".to_string(), vec![]),
+            (
+                "how can I increase the battery life of my smartphone".to_string(),
+                vec![],
+            ),
         ]
     }
 
@@ -393,12 +469,54 @@ mod tests {
     }
 
     #[test]
+    fn batched_replay_matches_sequential_run_on_a_frozen_cache() {
+        let probes = vec![
+            ProbeSpec::standalone("what is an easy way to bake sourdough bread at home", true),
+            ProbeSpec::standalone("explain federated learning", true),
+            ProbeSpec::standalone("advice on visiting patagonia", false),
+        ];
+        let mut sequential = Deployment::new(meancache(), llm(), 1000, 50).freeze_cache();
+        sequential.populate(&populate_items()).unwrap();
+        let seq_report = sequential.run(&probes).unwrap();
+
+        let mut batched = Deployment::new(meancache(), llm(), 1000, 50).freeze_cache();
+        batched.populate(&populate_items()).unwrap();
+        let batch_report = batched.run_batched(&probes).unwrap();
+
+        assert_eq!(seq_report.records.len(), batch_report.records.len());
+        for (seq, batch) in seq_report.records.iter().zip(&batch_report.records) {
+            assert_eq!(
+                seq.predicted_hit, batch.predicted_hit,
+                "probe {:?}",
+                seq.query
+            );
+        }
+        assert_eq!(seq_report.confusion.total(), batch_report.confusion.total());
+        assert_eq!(
+            seq_report.quota.saved_queries(),
+            batch_report.quota.saved_queries()
+        );
+    }
+
+    #[test]
+    fn batched_replay_requires_a_frozen_cache() {
+        let mut deployment = Deployment::new(meancache(), llm(), 1000, 50);
+        let err = deployment
+            .run_batched(&[ProbeSpec::standalone("q", false)])
+            .unwrap_err();
+        assert!(err.to_string().contains("freeze_cache"));
+    }
+
+    #[test]
     fn frozen_cache_does_not_grow_on_misses() {
         let mut deployment = Deployment::new(meancache(), llm(), 1000, 50).freeze_cache();
         deployment.populate(&populate_items()).unwrap();
         let before = deployment.cache().len();
         deployment
-            .run(&[ProbeSpec::standalone("completely unrelated question about owls", false)])
+            .run(&[ProbeSpec::standalone(
+                "completely unrelated question about owls",
+                false,
+            )])
             .unwrap();
         assert_eq!(deployment.cache().len(), before);
     }
@@ -428,7 +546,10 @@ mod tests {
             ),
         ];
         let report = deployment.run(&probes).unwrap();
-        assert!(report.records[0].predicted_hit, "same conversation must hit");
+        assert!(
+            report.records[0].predicted_hit,
+            "same conversation must hit"
+        );
         assert!(
             !report.records[1].predicted_hit,
             "different conversation must miss (context verification)"

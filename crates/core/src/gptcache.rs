@@ -14,6 +14,7 @@
 //!    optimum).
 
 use mc_embedder::QueryEncoder;
+use mc_store::IndexKind;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheDecisionOutcome, MeanCache, SemanticCache};
@@ -31,6 +32,11 @@ pub struct GptCacheConfig {
     /// Network round-trip to reach the server-side cache, in seconds. Every
     /// lookup pays this even when the result is a hit.
     pub network_rtt_s: f64,
+    /// Vector-index backend for the server-side store. A server cache pools
+    /// *all* users' queries, so it crosses into ANN territory much earlier
+    /// than a per-user cache; deployments at the configured million-entry
+    /// capacity should pick [`IndexKind::Ivf`].
+    pub index: IndexKind,
 }
 
 impl Default for GptCacheConfig {
@@ -40,6 +46,7 @@ impl Default for GptCacheConfig {
             top_k: 5,
             capacity: 1_000_000,
             network_rtt_s: 0.08,
+            index: IndexKind::default(),
         }
     }
 }
@@ -64,6 +71,7 @@ impl GptCacheBaseline {
                 threshold: config.threshold,
                 top_k: config.top_k,
                 capacity: config.capacity,
+                index: config.index,
                 // The defining difference: no context-chain verification.
                 context_checking: false,
                 ..MeanCacheConfig::default()
@@ -91,6 +99,12 @@ impl SemanticCache for GptCacheBaseline {
         // Context is ignored by design.
         let _ = context;
         self.inner.lookup(query, &[])
+    }
+
+    fn lookup_batch(&mut self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
+        // Context is ignored by design, and the inner cache was built with
+        // context checking disabled, so the probes can be forwarded as-is.
+        self.inner.lookup_batch(probes)
     }
 
     fn insert(&mut self, query: &str, response: &str, _context: &[String]) -> Result<u64> {
@@ -173,10 +187,7 @@ mod tests {
             .unwrap();
         // Different conversation, same follow-up wording: GPTCache wrongly
         // serves the cached response (the paper's Figure 8a failure mode).
-        let outcome = cache.lookup(
-            "change the color to red",
-            &["draw a circle".to_string()],
-        );
+        let outcome = cache.lookup("change the color to red", &["draw a circle".to_string()]);
         assert!(outcome.is_hit());
     }
 
@@ -214,6 +225,9 @@ mod tests {
     fn exposes_threshold_and_encoder() {
         let cache = baseline();
         assert!((cache.threshold() - 0.6).abs() < 1e-6);
-        assert_eq!(cache.encoder().profile().kind, mc_embedder::ProfileKind::Custom);
+        assert_eq!(
+            cache.encoder().profile().kind,
+            mc_embedder::ProfileKind::Custom
+        );
     }
 }

@@ -23,9 +23,15 @@
 //! evaluation drivers:
 //!
 //! * [`config`] — deployment configuration (threshold, top-k, context
-//!   checking, capacity, eviction).
+//!   checking, capacity, eviction, and the vector-index backend knob
+//!   [`MeanCacheConfig::index`]).
 //! * [`cache`] — [`MeanCache`] itself (Algorithm 1: embed → search → verify
 //!   context → hit/miss → populate), with adaptive-threshold feedback.
+//!   Retrieval goes through `mc-store`'s `VectorIndex` seam, so the search
+//!   backend — exact [`mc_store::FlatIndex`] or IVF ANN
+//!   [`mc_store::IvfIndex`] — is a configuration choice, not a code path;
+//!   [`SemanticCache::lookup_batch`] funnels whole probe batches through one
+//!   `search_batch` pass for workload replays.
 //! * [`gptcache`] — the GPTCache-style baseline: server-side, fixed 0.7
 //!   threshold, no context verification.
 //! * [`deploy`] — an end-to-end deployment driver that runs labelled
@@ -128,6 +134,8 @@ mod tests {
         assert!(e.to_string().contains('p'));
         let e: CacheError = mc_llm::LlmError::QuotaExceeded { used: 1, limit: 1 }.into();
         assert!(e.to_string().contains("quota"));
-        assert!(CacheError::InvalidConfig("k".into()).to_string().contains('k'));
+        assert!(CacheError::InvalidConfig("k".into())
+            .to_string()
+            .contains('k'));
     }
 }

@@ -4,12 +4,21 @@
 //! DiskCache library so responses survive restarts. Here the cache contents
 //! are written to `mc-store`'s append-only [`DiskStore`] and reloaded into a
 //! fresh [`MeanCache`] built around the same encoder.
+//!
+//! The entry log is **index-agnostic**: it stores raw embeddings, and loading
+//! re-inserts them into whatever [`mc_store::VectorIndex`] backend the
+//! target cache's configuration selects (an IVF-backed cache re-clusters as
+//! it refills). [`save_cache_with_config`] / [`load_cache_with_config`]
+//! additionally round-trip the [`MeanCacheConfig`] — including its
+//! [`mc_store::IndexKind`] — through a JSON sidecar, so a deployment can
+//! restore a cache without hard-coding which backend wrote it.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
+use mc_embedder::QueryEncoder;
 use mc_store::DiskStore;
 
-use crate::{MeanCache, Result};
+use crate::{CacheError, MeanCache, MeanCacheConfig, Result};
 
 /// Writes every cached entry to the disk store at `path` (replacing existing
 /// contents) and compacts the log.
@@ -48,6 +57,41 @@ pub fn load_cache(template: MeanCache, path: &Path) -> Result<MeanCache> {
         cache.restore_entry(entry)?;
     }
     Ok(cache)
+}
+
+/// Path of the JSON configuration sidecar for the log at `path`.
+fn config_sidecar(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".config.json");
+    PathBuf::from(name)
+}
+
+/// Saves the cache contents to `path` *and* its [`MeanCacheConfig`] (index
+/// backend included) to a `<path>.config.json` sidecar, so the cache can be
+/// restored without out-of-band knowledge of how it was configured.
+///
+/// # Errors
+/// Propagates storage/IO failures.
+pub fn save_cache_with_config(cache: &MeanCache, path: &Path) -> Result<()> {
+    save_cache(cache, path)?;
+    let json = serde_json::to_string(cache.config())
+        .map_err(|e| CacheError::InvalidConfig(e.to_string()))?;
+    std::fs::write(config_sidecar(path), json).map_err(mc_store::StoreError::from)?;
+    Ok(())
+}
+
+/// Restores a cache saved by [`save_cache_with_config`]: reads the config
+/// sidecar, builds a fresh [`MeanCache`] (with the persisted index backend)
+/// around `encoder`, and replays the entry log into it.
+///
+/// # Errors
+/// Propagates storage/IO failures, a missing or malformed sidecar, and
+/// dimension mismatches.
+pub fn load_cache_with_config(encoder: QueryEncoder, path: &Path) -> Result<MeanCache> {
+    let json = std::fs::read_to_string(config_sidecar(path)).map_err(mc_store::StoreError::from)?;
+    let config: MeanCacheConfig =
+        serde_json::from_str(&json).map_err(|e| CacheError::InvalidConfig(e.to_string()))?;
+    load_cache(MeanCache::new(encoder, config)?, path)
 }
 
 #[cfg(test)]
@@ -97,9 +141,7 @@ mod tests {
         // Simulate a restart: a brand-new cache around the same encoder.
         let mut restored = load_cache(fresh_cache(), &path).unwrap();
         assert_eq!(restored.len(), 3);
-        assert!(restored
-            .lookup("what is federated learning", &[])
-            .is_hit());
+        assert!(restored.lookup("what is federated learning", &[]).is_hit());
         // Context chains survive: the follow-up still requires its parent.
         assert!(restored
             .lookup(
@@ -140,6 +182,68 @@ mod tests {
         let restored = load_cache(fresh_cache(), &path).unwrap();
         assert!(restored.is_empty());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn both_index_backends_round_trip_through_the_log() {
+        use mc_store::IndexKind;
+        for kind in [IndexKind::flat(), IndexKind::ivf()] {
+            let path = temp_path(&format!("kind_{}", kind.name()));
+            let encoder = QueryEncoder::new(ModelProfile::tiny(), 11).unwrap();
+            let config = MeanCacheConfig::default()
+                .with_threshold(0.6)
+                .with_index(kind.clone());
+            let mut cache = MeanCache::new(encoder.clone(), config.clone()).unwrap();
+            for i in 0..30 {
+                cache
+                    .insert(
+                        &format!("unique query number {i}"),
+                        &format!("answer {i}"),
+                        &[],
+                    )
+                    .unwrap();
+            }
+            save_cache(&cache, &path).unwrap();
+            let template = MeanCache::new(encoder, config).unwrap();
+            let mut restored = load_cache(template, &path).unwrap();
+            assert_eq!(restored.len(), 30);
+            assert_eq!(restored.index_kind(), kind.name());
+            assert!(restored.lookup("unique query number 17", &[]).is_hit());
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn config_sidecar_restores_the_index_backend_automatically() {
+        use mc_store::IndexKind;
+        let path = temp_path("sidecar");
+        let encoder = QueryEncoder::new(ModelProfile::tiny(), 11).unwrap();
+        let mut cache = MeanCache::new(
+            encoder.clone(),
+            MeanCacheConfig::default()
+                .with_threshold(0.55)
+                .with_index(IndexKind::ivf()),
+        )
+        .unwrap();
+        cache
+            .insert("what is federated learning", "On-device.", &[])
+            .unwrap();
+        save_cache_with_config(&cache, &path).unwrap();
+
+        // No template: the sidecar supplies the config, including the
+        // IVF backend and the tuned threshold.
+        let mut restored = load_cache_with_config(encoder.clone(), &path).unwrap();
+        assert_eq!(restored.index_kind(), "ivf");
+        assert!((restored.threshold() - 0.55).abs() < 1e-6);
+        assert!(restored.lookup("what is federated learning", &[]).is_hit());
+
+        // A missing sidecar is an error, not a silent default.
+        let bare = temp_path("no_sidecar");
+        save_cache(&cache, &bare).unwrap();
+        assert!(load_cache_with_config(encoder, &bare).is_err());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(config_sidecar(&path)).ok();
+        std::fs::remove_file(&bare).ok();
     }
 
     #[test]

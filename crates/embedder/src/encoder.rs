@@ -8,10 +8,10 @@
 
 use std::collections::BTreeMap;
 
-use mc_tensor::{vector, Matrix, Vector};
-use mc_text::{FeatureHasher, HashedFeatures, Tokenizer};
 use mc_nn::mlp::MlpForward;
 use mc_nn::{Activation, Mlp, MlpGrad, Optimizer};
+use mc_tensor::{vector, Matrix, Vector};
+use mc_text::{FeatureHasher, HashedFeatures, Tokenizer};
 use serde::{Deserialize, Serialize};
 
 use crate::{EmbedderError, ModelProfile, Pca, Result};
@@ -92,11 +92,7 @@ impl EncoderGrad {
 
     /// Global L2 norm of all accumulated gradients.
     pub fn norm(&self) -> f32 {
-        let table: f32 = self
-            .table_rows
-            .values()
-            .map(|r| vector::norm_sq(r))
-            .sum();
+        let table: f32 = self.table_rows.values().map(|r| vector::norm_sq(r)).sum();
         (table + self.mlp.norm().powi(2)).sqrt()
     }
 }
@@ -341,7 +337,11 @@ impl QueryEncoder {
         for (li, layer) in self.mlp.layers_mut().iter_mut().enumerate() {
             let g = &grad.mlp.layers[li];
             optimizer
-                .step(li * 2, layer.weights_mut().as_mut_slice(), g.d_weights.as_slice())
+                .step(
+                    li * 2,
+                    layer.weights_mut().as_mut_slice(),
+                    g.d_weights.as_slice(),
+                )
                 .map_err(EmbedderError::from)?;
             optimizer
                 .step(li * 2 + 1, layer.bias_mut(), &g.d_bias)

@@ -84,8 +84,16 @@ pub fn summarize_scores(scored: &[(f32, bool)], tau: f32, beta: f64) -> Evaluati
         threshold: tau,
         confusion,
         summary: confusion.summary(beta),
-        mean_duplicate_similarity: if dup_n > 0 { dup_sum / dup_n as f32 } else { 0.0 },
-        mean_non_duplicate_similarity: if non_n > 0 { non_sum / non_n as f32 } else { 0.0 },
+        mean_duplicate_similarity: if dup_n > 0 {
+            dup_sum / dup_n as f32
+        } else {
+            0.0
+        },
+        mean_non_duplicate_similarity: if non_n > 0 {
+            non_sum / non_n as f32
+        } else {
+            0.0
+        },
     }
 }
 
@@ -98,7 +106,11 @@ mod tests {
     fn dataset() -> PairDataset {
         PairDataset::new(vec![
             QueryPair::new("plot a line in python", "draw a line plot in python", true),
-            QueryPair::new("increase phone battery", "extend smartphone battery life", true),
+            QueryPair::new(
+                "increase phone battery",
+                "extend smartphone battery life",
+                true,
+            ),
             QueryPair::new("plot a line in python", "best chocolate cake recipe", false),
             QueryPair::new("increase phone battery", "capital of germany", false),
         ])

@@ -102,6 +102,8 @@ mod tests {
         assert!(EmbedderError::InsufficientData("n<k".into())
             .to_string()
             .contains("n<k"));
-        assert!(EmbedderError::Checkpoint("io".into()).to_string().contains("io"));
+        assert!(EmbedderError::Checkpoint("io".into())
+            .to_string()
+            .contains("io"));
     }
 }

@@ -82,9 +82,7 @@ impl Pca {
         pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
 
         let eigenvalues: Vec<f32> = pairs.iter().map(|(l, _)| l.max(0.0)).collect();
-        let components = Matrix::from_rows(
-            &pairs.into_iter().map(|(_, v)| v).collect::<Vec<_>>(),
-        )?;
+        let components = Matrix::from_rows(&pairs.into_iter().map(|(_, v)| v).collect::<Vec<_>>())?;
 
         Ok(Self {
             mean,
@@ -211,9 +209,9 @@ fn orthonormalize_columns(m: &mut Matrix) {
             cols[j] = e;
         }
     }
-    for j in 0..k {
-        for i in 0..d {
-            m.set(i, j, cols[j][i]);
+    for (j, col) in cols.iter().enumerate().take(k) {
+        for (i, &value) in col.iter().enumerate().take(d) {
+            m.set(i, j, value);
         }
     }
 }
@@ -235,7 +233,7 @@ mod tests {
                 let a: f32 = rng.random_range(-3.0..3.0);
                 let b: f32 = rng.random_range(-1.0..1.0);
                 (0..8)
-                    .map(|i| a * dir1[i] + b * dir2[i] + 0.01 * rng.random_range(-1.0..1.0))
+                    .map(|i| a * dir1[i] + b * dir2[i] + rng.random_range(-0.01f32..0.01))
                     .collect()
             })
             .collect();
@@ -296,8 +294,8 @@ mod tests {
         assert_eq!(all.shape(), (20, 3));
         for r in [0usize, 7, 19] {
             let single = pca.transform(data.row(r)).unwrap();
-            for c in 0..3 {
-                assert!((all.get(r, c) - single[c]).abs() < 1e-5);
+            for (c, &value) in single.iter().enumerate() {
+                assert!((all.get(r, c) - value).abs() < 1e-5);
             }
         }
     }
@@ -314,9 +312,7 @@ mod tests {
         let za = pca.transform(a).unwrap();
         let zlike = pca.transform(&like_a).unwrap();
         let zunlike = pca.transform(&unlike).unwrap();
-        assert!(
-            vector::cosine_similarity(&za, &zlike) > vector::cosine_similarity(&za, &zunlike)
-        );
+        assert!(vector::cosine_similarity(&za, &zlike) > vector::cosine_similarity(&za, &zunlike));
     }
 
     #[test]

@@ -176,10 +176,7 @@ impl ModelProfile {
     pub fn parameter_count(&self) -> usize {
         let table = self.hash_buckets as usize * self.table_dim;
         let dims = self.mlp_dims();
-        let mlp: usize = dims
-            .windows(2)
-            .map(|w| w[0] * w[1] + w[1])
-            .sum();
+        let mlp: usize = dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum();
         table + mlp
     }
 
@@ -283,12 +280,18 @@ mod tests {
         assert!(l.encode_flops() > m.encode_flops());
         assert!(m.encode_flops() > a.encode_flops());
         assert!(l.output_dim > m.output_dim);
-        assert_eq!(ModelProfile::compact(ProfileKind::Custom), ModelProfile::tiny());
+        assert_eq!(
+            ModelProfile::compact(ProfileKind::Custom),
+            ModelProfile::tiny()
+        );
     }
 
     #[test]
     fn of_kind_and_display() {
-        assert_eq!(ModelProfile::of_kind(ProfileKind::MpnetLike).kind, ProfileKind::MpnetLike);
+        assert_eq!(
+            ModelProfile::of_kind(ProfileKind::MpnetLike).kind,
+            ProfileKind::MpnetLike
+        );
         assert_eq!(ProfileKind::LlamaLike.to_string(), "llama-2");
         assert_eq!(ProfileKind::MpnetLike.to_string(), "mpnet");
         assert_eq!(ProfileKind::AlbertLike.to_string(), "albert");

@@ -138,10 +138,7 @@ pub fn score_cache_style(encoder: &QueryEncoder, dataset: &PairDataset) -> Vec<(
                 .zip(&dataset.pairs)
                 .filter(|(_, other)| other.query_a != p.query_b)
                 .map(|(c, _)| {
-                    mc_tensor::vector::cosine_similarity_normalized(
-                        probe.as_slice(),
-                        c.as_slice(),
-                    )
+                    mc_tensor::vector::cosine_similarity_normalized(probe.as_slice(), c.as_slice())
                 })
                 .fold(f32::MIN, f32::max);
             (best, p.is_duplicate)
@@ -193,8 +190,11 @@ mod tests {
     #[test]
     fn sweep_finds_the_separating_threshold() {
         let sweep = sweep_scores(&separable_scores(), 100, 1.0);
-        assert!(sweep.optimal_threshold > 0.35 && sweep.optimal_threshold <= 0.71,
-            "optimal={}", sweep.optimal_threshold);
+        assert!(
+            sweep.optimal_threshold > 0.35 && sweep.optimal_threshold <= 0.71,
+            "optimal={}",
+            sweep.optimal_threshold
+        );
         assert!((sweep.optimal_metrics.f1 - 1.0).abs() < 1e-9);
         assert_eq!(sweep.points.len(), 101);
     }
@@ -233,9 +233,21 @@ mod tests {
     fn optimal_threshold_for_untrained_encoder_is_in_range() {
         let enc = QueryEncoder::new(ModelProfile::tiny(), 6).unwrap();
         let ds = PairDataset::new(vec![
-            QueryPair::new("plot a line in python", "draw a line plot using python", true),
-            QueryPair::new("weather in paris tomorrow", "paris weather forecast tomorrow", true),
-            QueryPair::new("plot a line in python", "how to bake sourdough bread", false),
+            QueryPair::new(
+                "plot a line in python",
+                "draw a line plot using python",
+                true,
+            ),
+            QueryPair::new(
+                "weather in paris tomorrow",
+                "paris weather forecast tomorrow",
+                true,
+            ),
+            QueryPair::new(
+                "plot a line in python",
+                "how to bake sourdough bread",
+                false,
+            ),
             QueryPair::new("weather in paris tomorrow", "install rust on ubuntu", false),
         ]);
         let tau = optimal_threshold(&enc, &ds, 50, 0.5);
@@ -245,7 +257,10 @@ mod tests {
     #[test]
     fn empty_validation_falls_back_to_default() {
         let enc = QueryEncoder::new(ModelProfile::tiny(), 6).unwrap();
-        assert_eq!(optimal_threshold(&enc, &PairDataset::default(), 50, 0.5), 0.5);
+        assert_eq!(
+            optimal_threshold(&enc, &PairDataset::default(), 50, 0.5),
+            0.5
+        );
     }
 
     #[test]

@@ -138,7 +138,11 @@ impl LocalTrainer {
     /// # Errors
     /// Propagates shape errors from the underlying NN substrate (these only
     /// occur on construction bugs, not on data).
-    pub fn train(&self, encoder: &mut QueryEncoder, dataset: &PairDataset) -> Result<TrainingStats> {
+    pub fn train(
+        &self,
+        encoder: &mut QueryEncoder,
+        dataset: &PairDataset,
+    ) -> Result<TrainingStats> {
         let mut stats = TrainingStats {
             pairs_per_epoch: dataset.len(),
             ..TrainingStats::default()
@@ -147,8 +151,8 @@ impl LocalTrainer {
             return Ok(stats);
         }
         let weights: MultitaskWeights = self.config.weights.into();
-        let mut optimizer = Adam::new(self.config.learning_rate)
-            .map_err(crate::EmbedderError::from)?;
+        let mut optimizer =
+            Adam::new(self.config.learning_rate).map_err(crate::EmbedderError::from)?;
         let mut shuffle_rng = rng::seeded(self.config.seed);
 
         for _epoch in 0..self.config.epochs.max(1) {
@@ -245,11 +249,7 @@ impl LocalTrainer {
                 mnr_loss_with_grad(&anchors, &positives, weights.mnr_scale)?;
             mnr_total = loss;
             for (row, &i) in dup_indices.iter().enumerate() {
-                let ga: Vec<f32> = d_anchors
-                    .row(row)
-                    .iter()
-                    .map(|g| g * weights.mnr)
-                    .collect();
+                let ga: Vec<f32> = d_anchors.row(row).iter().map(|g| g * weights.mnr).collect();
                 let gb: Vec<f32> = d_positives
                     .row(row)
                     .iter()
@@ -282,11 +282,26 @@ mod tests {
     fn toy_dataset() -> PairDataset {
         let mut pairs = Vec::new();
         let topics = [
-            ("plot a line chart in python", "draw a line graph with python"),
-            ("increase phone battery life", "extend my smartphone battery duration"),
-            ("what is federated learning", "explain federated learning to me"),
-            ("convert celsius to fahrenheit", "how to change celsius into fahrenheit"),
-            ("best way to learn rust", "good approach for learning the rust language"),
+            (
+                "plot a line chart in python",
+                "draw a line graph with python",
+            ),
+            (
+                "increase phone battery life",
+                "extend my smartphone battery duration",
+            ),
+            (
+                "what is federated learning",
+                "explain federated learning to me",
+            ),
+            (
+                "convert celsius to fahrenheit",
+                "how to change celsius into fahrenheit",
+            ),
+            (
+                "best way to learn rust",
+                "good approach for learning the rust language",
+            ),
             ("capital city of france", "what is the capital of france"),
         ];
         for (a, b) in topics {
@@ -350,7 +365,9 @@ mod tests {
         let mut encoder = QueryEncoder::new(ModelProfile::tiny(), 3).unwrap();
         let params_before = encoder.parameters();
         let trainer = LocalTrainer::new(TrainerConfig::default());
-        let stats = trainer.train(&mut encoder, &PairDataset::default()).unwrap();
+        let stats = trainer
+            .train(&mut encoder, &PairDataset::default())
+            .unwrap();
         assert!(stats.epoch_losses.is_empty());
         assert_eq!(stats.final_loss(), 0.0);
         assert!(!stats.improved());

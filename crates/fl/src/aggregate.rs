@@ -7,20 +7,15 @@ use serde::{Deserialize, Serialize};
 use crate::{client::ClientUpdate, FlError, Result};
 
 /// Which aggregation rule the server applies to client updates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum AggregationMethod {
     /// Sample-count-weighted averaging (McMahan et al.), the paper's choice.
+    #[default]
     FedAvg,
     /// Unweighted averaging — every client counts equally regardless of how
     /// much data it holds (useful as an ablation when client sizes are very
     /// skewed).
     UniformAverage,
-}
-
-impl Default for AggregationMethod {
-    fn default() -> Self {
-        AggregationMethod::FedAvg
-    }
 }
 
 /// FedAvg: `W_global = Σ_k (n_k / n) * w_k` (Eq. 1).
@@ -90,7 +85,9 @@ fn weighted_average(
 /// Returns [`FlError::NoClients`] when `updates` is empty.
 pub fn mean_threshold(updates: &[ClientUpdate]) -> Result<f32> {
     if updates.is_empty() {
-        return Err(FlError::NoClients("mean_threshold received no updates".into()));
+        return Err(FlError::NoClients(
+            "mean_threshold received no updates".into(),
+        ));
     }
     let total: f32 = updates.iter().map(|u| u.num_samples as f32).sum();
     if total <= 0.0 {
@@ -189,10 +186,7 @@ mod tests {
 
     #[test]
     fn mean_threshold_is_weighted_and_bounded() {
-        let updates = vec![
-            update(0, vec![0.0], 30, 0.9),
-            update(1, vec![0.0], 10, 0.5),
-        ];
+        let updates = vec![update(0, vec![0.0], 30, 0.9), update(1, vec![0.0], 10, 0.5)];
         let tau = mean_threshold(&updates).unwrap();
         assert!((tau - 0.8).abs() < 1e-6);
         assert!(matches!(mean_threshold(&[]), Err(FlError::NoClients(_))));

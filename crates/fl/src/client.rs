@@ -1,6 +1,8 @@
 //! Federated clients: local training plus threshold search.
 
-use mc_embedder::{optimal_cache_threshold, LocalTrainer, QueryEncoder, TrainerConfig, TrainingStats};
+use mc_embedder::{
+    optimal_cache_threshold, LocalTrainer, QueryEncoder, TrainerConfig, TrainingStats,
+};
 use mc_tensor::Vector;
 use mc_text::PairDataset;
 use serde::{Deserialize, Serialize};
@@ -183,8 +185,16 @@ mod tests {
     fn dataset() -> PairDataset {
         PairDataset::new(vec![
             QueryPair::new("plot a line in python", "draw a line chart in python", true),
-            QueryPair::new("increase phone battery", "extend smartphone battery life", true),
-            QueryPair::new("capital of france", "what is the capital city of france", true),
+            QueryPair::new(
+                "increase phone battery",
+                "extend smartphone battery life",
+                true,
+            ),
+            QueryPair::new(
+                "capital of france",
+                "what is the capital city of france",
+                true,
+            ),
             QueryPair::new("plot a line in python", "best pizza dough recipe", false),
             QueryPair::new("increase phone battery", "capital of france", false),
             QueryPair::new("what is rust ownership", "explain ownership in rust", true),
@@ -201,7 +211,13 @@ mod tests {
         let mut c = client(3);
         let global = c.encoder().parameters();
         let update = c
-            .train_round(&global, &RoundConfig { local_epochs: 2, ..RoundConfig::default() })
+            .train_round(
+                &global,
+                &RoundConfig {
+                    local_epochs: 2,
+                    ..RoundConfig::default()
+                },
+            )
             .unwrap();
         assert_eq!(update.client_id, 3);
         assert_eq!(update.num_samples, 6);
@@ -233,13 +249,8 @@ mod tests {
             proximal_mu: 0.5,
             ..cfg_free.clone()
         };
-        let drift = |update: &ClientUpdate| -> f32 {
-            update
-                .parameters
-                .sub(&global)
-                .unwrap()
-                .norm()
-        };
+        let drift =
+            |update: &ClientUpdate| -> f32 { update.parameters.sub(&global).unwrap().norm() };
         let mut free_client = client(1);
         let free = free_client.train_round(&global, &cfg_free).unwrap();
         let mut prox_client = client(1);
@@ -253,7 +264,10 @@ mod tests {
     #[test]
     fn clients_with_same_seed_and_data_produce_identical_updates() {
         let global = client(0).encoder().parameters();
-        let cfg = RoundConfig { seed: 5, ..RoundConfig::default() };
+        let cfg = RoundConfig {
+            seed: 5,
+            ..RoundConfig::default()
+        };
         let mut a = client(2);
         let mut b = client(2);
         let ua = a.train_round(&global, &cfg).unwrap();

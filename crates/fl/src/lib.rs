@@ -85,11 +85,15 @@ mod tests {
 
     #[test]
     fn error_display_and_conversion() {
-        assert!(FlError::NoClients("round 3".into()).to_string().contains("round 3"));
+        assert!(FlError::NoClients("round 3".into())
+            .to_string()
+            .contains("round 3"));
         let e: FlError = mc_embedder::EmbedderError::InvalidConfig("x".into()).into();
         assert!(matches!(e, FlError::Training(_)));
         let e: FlError = mc_tensor::TensorError::Empty("y".into()).into();
         assert!(matches!(e, FlError::ShapeMismatch(_)));
-        assert!(FlError::InvalidConfig("lr".into()).to_string().contains("lr"));
+        assert!(FlError::InvalidConfig("lr".into())
+            .to_string()
+            .contains("lr"));
     }
 }

@@ -124,7 +124,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for shard in &shards {
             for p in &shard.pairs {
-                assert!(seen.insert(p.query_a.clone()), "duplicate assignment of {}", p.query_a);
+                assert!(
+                    seen.insert(p.query_a.clone()),
+                    "duplicate assignment of {}",
+                    p.query_a
+                );
             }
         }
         assert_eq!(seen.len(), 97);

@@ -113,9 +113,22 @@ mod tests {
     #[test]
     fn random_fraction_scales_with_population() {
         let mut rng = seeded(4);
-        assert_eq!(ClientSampler::RandomFraction(0.2).sample(20, &mut rng).len(), 4);
-        assert_eq!(ClientSampler::RandomFraction(0.0).sample(20, &mut rng).len(), 1);
-        assert_eq!(ClientSampler::RandomFraction(1.0).sample(7, &mut rng).len(), 7);
+        assert_eq!(
+            ClientSampler::RandomFraction(0.2)
+                .sample(20, &mut rng)
+                .len(),
+            4
+        );
+        assert_eq!(
+            ClientSampler::RandomFraction(0.0)
+                .sample(20, &mut rng)
+                .len(),
+            1
+        );
+        assert_eq!(
+            ClientSampler::RandomFraction(1.0).sample(7, &mut rng).len(),
+            7
+        );
     }
 
     #[test]
@@ -127,7 +140,10 @@ mod tests {
                 seen[i] = true;
             }
         }
-        assert!(seen.into_iter().all(|x| x), "every client must eventually be sampled");
+        assert!(
+            seen.into_iter().all(|x| x),
+            "every client must eventually be sampled"
+        );
     }
 
     #[test]

@@ -198,7 +198,11 @@ mod tests {
         assert_eq!(server.history()[4].round, 5);
         assert_eq!(server.global_parameters().as_slice(), &[5.0]);
         // Client loss trend recorded per round is decreasing in this setup.
-        let losses: Vec<f32> = server.history().iter().map(|r| r.mean_client_loss).collect();
+        let losses: Vec<f32> = server
+            .history()
+            .iter()
+            .map(|r| r.mean_client_loss)
+            .collect();
         assert!(losses.windows(2).all(|w| w[1] <= w[0]));
     }
 

@@ -105,7 +105,9 @@ impl<C: FlClient> FlSimulation<C> {
         config: SimulationConfig,
     ) -> Result<Self> {
         if clients.is_empty() {
-            return Err(FlError::NoClients("simulation needs at least one client".into()));
+            return Err(FlError::NoClients(
+                "simulation needs at least one client".into(),
+            ));
         }
         if config.rounds == 0 {
             return Err(FlError::InvalidConfig("rounds must be >= 1".into()));
@@ -157,9 +159,14 @@ impl<C: FlClient> FlSimulation<C> {
     /// Propagates client-training and aggregation errors.
     pub fn run_round(&mut self, round: usize) -> Result<RoundRecord> {
         let mut sample_rng = rng::seeded(rng::derive_seed(self.config.seed, round as u64));
-        let selected = self.config.sampler.sample(self.clients.len(), &mut sample_rng);
+        let selected = self
+            .config
+            .sampler
+            .sample(self.clients.len(), &mut sample_rng);
         if selected.is_empty() {
-            return Err(FlError::NoClients(format!("round {round} sampled no clients")));
+            return Err(FlError::NoClients(format!(
+                "round {round} sampled no clients"
+            )));
         }
 
         let global = self.server.global_parameters().clone();
@@ -186,7 +193,7 @@ impl<C: FlClient> FlSimulation<C> {
 
         // Optional server-side evaluation of the *aggregated* model.
         let new_global = crate::aggregate::aggregate(self.config.aggregation, &updates)?;
-        let eval = if self.config.eval_every > 0 && round % self.config.eval_every == 0 {
+        let eval = if self.config.eval_every > 0 && round.is_multiple_of(self.config.eval_every) {
             self.evaluate_global(&new_global, crate::aggregate::mean_threshold(&updates)?)
         } else {
             None
@@ -205,7 +212,11 @@ impl<C: FlClient> FlSimulation<C> {
         if template.set_parameters(global).is_err() {
             return None;
         }
-        let tau = self.config.eval_threshold.unwrap_or(threshold).clamp(0.0, 1.0);
+        let tau = self
+            .config
+            .eval_threshold
+            .unwrap_or(threshold)
+            .clamp(0.0, 1.0);
         let report = evaluate_pairs(template, test_data, tau, self.config.eval_beta);
         Some(report.summary)
     }
@@ -222,13 +233,25 @@ mod tests {
     /// Builds a small but learnable duplicate-pair dataset.
     fn corpus() -> PairDataset {
         let topics = [
-            ("plot a line chart in python", "draw a line graph using python"),
-            ("increase smartphone battery life", "extend my phone battery duration"),
+            (
+                "plot a line chart in python",
+                "draw a line graph using python",
+            ),
+            (
+                "increase smartphone battery life",
+                "extend my phone battery duration",
+            ),
             ("what is federated learning", "explain federated learning"),
-            ("convert celsius to fahrenheit", "change celsius into fahrenheit"),
+            (
+                "convert celsius to fahrenheit",
+                "change celsius into fahrenheit",
+            ),
             ("capital of france", "what is the capital city of france"),
             ("install rust on linux", "how to set up rust on linux"),
-            ("bake sourdough bread", "how do I make sourdough bread at home"),
+            (
+                "bake sourdough bread",
+                "how do I make sourdough bread at home",
+            ),
             ("reset my wifi router", "how to reboot a wifi router"),
         ];
         let mut pairs = Vec::new();
@@ -282,7 +305,10 @@ mod tests {
         let outcome = sim.run().unwrap();
         assert_eq!(outcome.history.len(), 3);
         assert_eq!(outcome.final_parameters.len(), initial.len());
-        assert_ne!(outcome.final_parameters, initial, "training must move the global model");
+        assert_ne!(
+            outcome.final_parameters, initial,
+            "training must move the global model"
+        );
         assert!((0.0..=1.0).contains(&outcome.final_threshold));
         assert_eq!(outcome.eval_series().len(), 3);
         for record in &outcome.history {
@@ -347,8 +373,14 @@ mod tests {
         assert_eq!(a.final_parameters, b.final_parameters);
         assert_eq!(a.final_threshold, b.final_threshold);
         assert_eq!(
-            a.history.iter().map(|r| r.participants.clone()).collect::<Vec<_>>(),
-            b.history.iter().map(|r| r.participants.clone()).collect::<Vec<_>>()
+            a.history
+                .iter()
+                .map(|r| r.participants.clone())
+                .collect::<Vec<_>>(),
+            b.history
+                .iter()
+                .map(|r| r.participants.clone())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -357,7 +389,12 @@ mod tests {
         let (clients, template, _) = build_clients(2);
         let initial = template.parameters();
         assert!(matches!(
-            FlSimulation::<EmbeddingClient>::new(vec![], initial.clone(), 0.5, SimulationConfig::default()),
+            FlSimulation::<EmbeddingClient>::new(
+                vec![],
+                initial.clone(),
+                0.5,
+                SimulationConfig::default()
+            ),
             Err(FlError::NoClients(_))
         ));
         assert!(matches!(
@@ -365,7 +402,10 @@ mod tests {
                 clients,
                 initial,
                 0.5,
-                SimulationConfig { rounds: 0, ..SimulationConfig::default() }
+                SimulationConfig {
+                    rounds: 0,
+                    ..SimulationConfig::default()
+                }
             ),
             Err(FlError::InvalidConfig(_))
         ));

@@ -116,7 +116,10 @@ mod tests {
         let base = m.expected_latency_s(50);
         for seed in 0..200 {
             let s = m.sample_latency_s(50, seed);
-            assert!(s >= base * 0.3 && s <= base * 3.0 + 0.05, "sample {s} vs base {base}");
+            assert!(
+                s >= base * 0.3 && s <= base * 3.0 + 0.05,
+                "sample {s} vs base {base}"
+            );
         }
     }
 

@@ -66,6 +66,8 @@ mod tests {
     fn error_display() {
         let e = LlmError::QuotaExceeded { used: 10, limit: 5 };
         assert!(e.to_string().contains("10/5"));
-        assert!(LlmError::InvalidConfig("rtt".into()).to_string().contains("rtt"));
+        assert!(LlmError::InvalidConfig("rtt".into())
+            .to_string()
+            .contains("rtt"));
     }
 }

@@ -28,11 +28,7 @@ impl LlmRequest {
     }
 
     /// Creates a contextual request carrying conversation history.
-    pub fn contextual(
-        query: impl Into<String>,
-        context: Vec<String>,
-        max_tokens: usize,
-    ) -> Self {
+    pub fn contextual(query: impl Into<String>, context: Vec<String>, max_tokens: usize) -> Self {
         Self {
             query: query.into(),
             context,
@@ -79,7 +75,7 @@ pub trait LlmService {
 }
 
 /// Configuration of the [`SimulatedLlm`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct SimulatedLlmConfig {
     /// Latency model of the remote service.
     pub latency: LatencyModel,
@@ -88,16 +84,6 @@ pub struct SimulatedLlmConfig {
     /// Seed namespace: responses and latencies are deterministic functions of
     /// (seed, query), so experiments are reproducible.
     pub seed: u64,
-}
-
-impl Default for SimulatedLlmConfig {
-    fn default() -> Self {
-        Self {
-            latency: LatencyModel::default(),
-            cost: CostModel::default(),
-            seed: 0,
-        }
-    }
 }
 
 /// Deterministic LLM simulator.
@@ -161,9 +147,32 @@ impl SimulatedLlm {
     /// uniquely determines the response.
     fn response_text(&self, request: &LlmRequest, fingerprint: u64) -> (String, usize) {
         let vocabulary = [
-            "the", "model", "suggests", "using", "a", "simple", "approach", "first", "then",
-            "refining", "it", "with", "more", "detail", "and", "examples", "to", "cover",
-            "edge", "cases", "finally", "validate", "results", "carefully", "before", "use",
+            "the",
+            "model",
+            "suggests",
+            "using",
+            "a",
+            "simple",
+            "approach",
+            "first",
+            "then",
+            "refining",
+            "it",
+            "with",
+            "more",
+            "detail",
+            "and",
+            "examples",
+            "to",
+            "cover",
+            "edge",
+            "cases",
+            "finally",
+            "validate",
+            "results",
+            "carefully",
+            "before",
+            "use",
         ];
         let target_tokens = request.max_tokens.clamp(1, 512);
         let mut words = Vec::with_capacity(target_tokens);
@@ -250,11 +259,8 @@ mod tests {
             vec!["draw a line plot in python".into()],
             50,
         );
-        let under_circle = LlmRequest::contextual(
-            "change the color to red",
-            vec!["draw a circle".into()],
-            50,
-        );
+        let under_circle =
+            LlmRequest::contextual("change the color to red", vec!["draw a circle".into()], 50);
         let a = llm.generate(&under_line).unwrap();
         let b = llm.generate(&under_circle).unwrap();
         assert_ne!(a.text, b.text);
@@ -270,12 +276,8 @@ mod tests {
             ..SimulatedLlmConfig::default()
         })
         .unwrap();
-        let short = llm
-            .generate(&LlmRequest::standalone("hello", 10))
-            .unwrap();
-        let long = llm
-            .generate(&LlmRequest::standalone("hello", 200))
-            .unwrap();
+        let short = llm.generate(&LlmRequest::standalone("hello", 10)).unwrap();
+        let long = llm.generate(&LlmRequest::standalone("hello", 200)).unwrap();
         assert!(long.latency_s > short.latency_s);
         assert!(long.cost_usd > short.cost_usd);
         assert!(short.cost_usd > 0.0);
@@ -293,8 +295,7 @@ mod tests {
     #[test]
     fn input_tokens_counts_query_and_context() {
         let standalone = LlmRequest::standalone("a".repeat(40), 50);
-        let contextual =
-            LlmRequest::contextual("a".repeat(40), vec!["b".repeat(80)], 50);
+        let contextual = LlmRequest::contextual("a".repeat(40), vec!["b".repeat(80)], 50);
         assert_eq!(standalone.input_tokens(), 10);
         assert_eq!(contextual.input_tokens(), 30);
         assert_eq!(LlmRequest::standalone("", 5).input_tokens(), 1);
@@ -325,6 +326,9 @@ mod tests {
         })
         .unwrap();
         let req = LlmRequest::standalone("same query", 30);
-        assert_ne!(a.generate(&req).unwrap().text, b.generate(&req).unwrap().text);
+        assert_ne!(
+            a.generate(&req).unwrap().text,
+            b.generate(&req).unwrap().text
+        );
     }
 }

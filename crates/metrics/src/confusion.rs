@@ -211,9 +211,18 @@ mod tests {
     #[test]
     fn classify_covers_all_quadrants() {
         assert_eq!(CacheDecision::classify(true, true), CacheDecision::TrueHit);
-        assert_eq!(CacheDecision::classify(true, false), CacheDecision::FalseHit);
-        assert_eq!(CacheDecision::classify(false, false), CacheDecision::TrueMiss);
-        assert_eq!(CacheDecision::classify(false, true), CacheDecision::FalseMiss);
+        assert_eq!(
+            CacheDecision::classify(true, false),
+            CacheDecision::FalseHit
+        );
+        assert_eq!(
+            CacheDecision::classify(false, false),
+            CacheDecision::TrueMiss
+        );
+        assert_eq!(
+            CacheDecision::classify(false, true),
+            CacheDecision::FalseMiss
+        );
         assert!(CacheDecision::TrueHit.is_correct());
         assert!(!CacheDecision::FalseMiss.is_correct());
         assert!(CacheDecision::FalseHit.predicted_hit());
@@ -279,7 +288,7 @@ mod tests {
     fn f_beta_extremes() {
         let mut cm = ConfusionMatrix::new();
         cm.record_counts(50, 50, 0, 0); // precision 0.5, recall 1.0
-        // As beta -> 0 the score approaches precision; beta large approaches recall.
+                                        // As beta -> 0 the score approaches precision; beta large approaches recall.
         assert!((cm.f_beta(0.01) - 0.5).abs() < 0.01);
         assert!((cm.f_beta(100.0) - 1.0).abs() < 0.01);
         assert!(cm.f_beta(1.0) > cm.f_beta(0.5));

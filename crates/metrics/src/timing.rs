@@ -68,7 +68,10 @@ impl TimingStats {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 
@@ -78,11 +81,7 @@ impl TimingStats {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|x| (x - m) * (x - m))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
             / (self.samples.len() - 1) as f64;
         var.sqrt()
     }

@@ -97,7 +97,11 @@ impl DenseLayer {
 
     /// Creates a layer from explicit parameters (used when loading
     /// checkpoints or applying FedAvg-aggregated weights).
-    pub fn from_parameters(weights: Matrix, bias: Vec<f32>, activation: Activation) -> Result<Self> {
+    pub fn from_parameters(
+        weights: Matrix,
+        bias: Vec<f32>,
+        activation: Activation,
+    ) -> Result<Self> {
         if weights.cols() != bias.len() {
             return Err(NnError::ShapeMismatch(format!(
                 "weights {}x{} vs bias {}",
@@ -277,7 +281,8 @@ mod tests {
     #[test]
     fn identity_forward_matches_manual_computation() {
         let weights = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0], vec![1.0, 1.0]]).unwrap();
-        let l = DenseLayer::from_parameters(weights, vec![0.5, -0.5], Activation::Identity).unwrap();
+        let l =
+            DenseLayer::from_parameters(weights, vec![0.5, -0.5], Activation::Identity).unwrap();
         let out = l.infer(&[1.0, 2.0, 3.0]).unwrap();
         // pre = [1*1+2*0+3*1, 1*0+2*2+3*1] + bias = [4+0.5, 7-0.5]
         assert_eq!(out, vec![4.5, 6.5]);

@@ -118,7 +118,11 @@ pub fn mnr_loss_with_grad(
     // vectors would need O(n^2 d) memory for no benefit at these batch sizes.
     for i in 0..n {
         for j in 0..n {
-            cos.set(i, j, vector::cosine_similarity(anchors.row(i), positives.row(j)));
+            cos.set(
+                i,
+                j,
+                vector::cosine_similarity(anchors.row(i), positives.row(j)),
+            );
         }
     }
 
@@ -129,10 +133,10 @@ pub fn mnr_loss_with_grad(
         let lse = ops::log_sum_exp(&logits);
         loss += -logits[i] + lse;
         let probs = ops::softmax(&logits);
-        for j in 0..n {
+        for (j, &prob) in probs.iter().enumerate() {
             let indicator = if i == j { 1.0 } else { 0.0 };
             // dL_i/dS_ij = probs_j - indicator; divided by n for the mean.
-            d_scores.set(i, j, (probs[j] - indicator) / n as f32);
+            d_scores.set(i, j, (prob - indicator) / n as f32);
         }
     }
     loss /= n as f32;
@@ -194,15 +198,15 @@ mod tests {
             let mut am = a.clone();
             ap[i] += h;
             am[i] -= h;
-            let numeric =
-                (vector::cosine_similarity(&ap, &b) - vector::cosine_similarity(&am, &b)) / (2.0 * h);
+            let numeric = (vector::cosine_similarity(&ap, &b) - vector::cosine_similarity(&am, &b))
+                / (2.0 * h);
             assert!((numeric - da[i]).abs() < 1e-2, "da[{i}]");
             let mut bp = b.clone();
             let mut bm = b.clone();
             bp[i] += h;
             bm[i] -= h;
-            let numeric =
-                (vector::cosine_similarity(&a, &bp) - vector::cosine_similarity(&a, &bm)) / (2.0 * h);
+            let numeric = (vector::cosine_similarity(&a, &bp) - vector::cosine_similarity(&a, &bm))
+                / (2.0 * h);
             assert!((numeric - db[i]).abs() < 1e-2, "db[{i}]");
         }
     }

@@ -47,7 +47,11 @@ impl MlpGrad {
 
     /// Global L2 norm across all layers.
     pub fn norm(&self) -> f32 {
-        self.layers.iter().map(|g| g.norm().powi(2)).sum::<f32>().sqrt()
+        self.layers
+            .iter()
+            .map(|g| g.norm().powi(2))
+            .sum::<f32>()
+            .sqrt()
     }
 
     /// Clips the global gradient norm to `max_norm`, returning the scaling
@@ -311,7 +315,7 @@ mod tests {
         // Loss = sum of outputs.
         let f = m.forward(&x).unwrap();
         let mut grad = m.zero_grad();
-        let d_input = m.backward(&f, &vec![1.0; 4], &mut grad).unwrap();
+        let d_input = m.backward(&f, &[1.0; 4], &mut grad).unwrap();
         let loss_of = |m: &Mlp, x: &[f32]| -> f32 { m.infer(x).unwrap().iter().sum() };
         let h = 1e-3;
         for i in 0..x.len() {
@@ -354,7 +358,7 @@ mod tests {
         let x = vec![1.0; 6];
         let f = m.forward(&x).unwrap();
         let mut grad = m.zero_grad();
-        m.backward(&f, &vec![10.0; 4], &mut grad).unwrap();
+        m.backward(&f, &[10.0; 4], &mut grad).unwrap();
         let before = grad.norm();
         assert!(before > 1.0);
         let factor = grad.clip_global_norm(1.0);

@@ -122,10 +122,7 @@ impl DiskStore {
         let mut payload = BytesMut::with_capacity(8);
         payload.put_u64_le(id);
         self.append(KIND_REMOVE, &payload.freeze())?;
-        Ok(self
-            .entries
-            .remove(&id)
-            .expect("presence checked above"))
+        Ok(self.entries.remove(&id).expect("presence checked above"))
     }
 
     /// Records an access (hit) for `id`, persisting the updated metadata.
@@ -134,10 +131,7 @@ impl DiskStore {
     /// Returns [`StoreError::NotFound`] for unknown ids and
     /// [`StoreError::Io`] on write failure.
     pub fn touch(&mut self, id: u64, now: u64) -> Result<()> {
-        let entry = self
-            .entries
-            .get_mut(&id)
-            .ok_or(StoreError::NotFound(id))?;
+        let entry = self.entries.get_mut(&id).ok_or(StoreError::NotFound(id))?;
         entry.touch(now);
         let mut payload = BytesMut::with_capacity(24);
         payload.put_u64_le(id);
@@ -410,7 +404,10 @@ mod tests {
         let before = store.log_bytes().unwrap();
         store.compact().unwrap();
         let after = store.log_bytes().unwrap();
-        assert!(after < before, "compaction must shrink the log ({before} -> {after})");
+        assert!(
+            after < before,
+            "compaction must shrink the log ({before} -> {after})"
+        );
         assert_eq!(store.len(), 1);
         // Still usable and durable after compaction.
         store.insert(entry(100, Some(19))).unwrap();

@@ -1,0 +1,382 @@
+//! Brute-force (exact) top-k cosine index over cached query embeddings.
+//!
+//! The paper uses SBERT's `semantic_search` over the cached embeddings; this
+//! backend plays that role. Embeddings are stored contiguously (one row per
+//! entry) so a lookup is a single pass of dot products, parallelised with
+//! rayon when the cache is large. All embeddings are expected to be
+//! L2-normalised (the encoder guarantees this), so cosine similarity reduces
+//! to a dot product.
+//!
+//! `FlatIndex` is the reference backend of the [`VectorIndex`] seam: exact,
+//! simple, and O(n·d) per lookup. The approximate [`crate::IvfIndex`] trades
+//! a little recall for sub-linear scans at large cache sizes.
+
+use std::collections::HashMap;
+
+use mc_tensor::{ops, vector};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::index::{SearchHit, VectorIndex};
+use crate::rows::swap_remove_row;
+use crate::{Result, StoreError};
+
+/// Default for [`FlatIndex::parallel_threshold`]: the number of stored
+/// vectors above which lookups move to the rayon pool. Benchmarks can sweep
+/// this via [`FlatIndex::with_parallel_threshold`].
+///
+/// Set for the vendored rayon shim, which spawns threads per call instead of
+/// keeping a pool: below ~8k rows the scan is microseconds of work and the
+/// spawn overhead dominates. Deployments linking real (pooled) rayon can
+/// lower this via `IndexKind::Flat { parallel_threshold }`.
+pub const DEFAULT_PARALLEL_SEARCH_THRESHOLD: usize = 8192;
+
+/// Contiguous embedding index supporting add / remove / top-k search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatIndex {
+    dims: usize,
+    ids: Vec<u64>,
+    data: Vec<f32>,
+    /// Minimum number of stored vectors before lookups use the rayon pool.
+    parallel_threshold: usize,
+    /// id → row position, so `add` (replace-on-re-add), `remove` and
+    /// `contains` cost O(1) lookups instead of scanning `ids` — evictions
+    /// run once per insert on a full cache.
+    pos_of: HashMap<u64, u32>,
+}
+
+impl FlatIndex {
+    /// Creates an empty index for embeddings of `dims` dimensions.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::InvalidConfig`] for zero dimensions.
+    pub fn new(dims: usize) -> Result<Self> {
+        Self::with_parallel_threshold(dims, DEFAULT_PARALLEL_SEARCH_THRESHOLD)
+    }
+
+    /// Creates an empty index with an explicit sequential→parallel crossover
+    /// point (`parallel_threshold` stored vectors).
+    ///
+    /// # Errors
+    /// Returns [`StoreError::InvalidConfig`] for zero dimensions.
+    pub fn with_parallel_threshold(dims: usize, parallel_threshold: usize) -> Result<Self> {
+        if dims == 0 {
+            return Err(StoreError::InvalidConfig("dims must be >= 1".into()));
+        }
+        Ok(Self {
+            dims,
+            ids: Vec::new(),
+            data: Vec::new(),
+            parallel_threshold: parallel_threshold.max(1),
+            pos_of: HashMap::new(),
+        })
+    }
+
+    /// The configured sequential→parallel crossover point.
+    pub fn parallel_threshold(&self) -> usize {
+        self.parallel_threshold
+    }
+
+    fn check_query(&self, query: &[f32]) -> Result<()> {
+        if query.len() != self.dims {
+            return Err(StoreError::DimensionMismatch {
+                expected: self.dims,
+                got: query.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn scores_for(&self, query: &[f32]) -> Vec<f32> {
+        if self.ids.len() >= self.parallel_threshold {
+            self.data
+                .par_chunks(self.dims)
+                .map(|row| vector::cosine_similarity_normalized(query, row))
+                .collect()
+        } else {
+            self.data
+                .chunks_exact(self.dims)
+                .map(|row| vector::cosine_similarity_normalized(query, row))
+                .collect()
+        }
+    }
+
+    fn hits_from_scores(&self, scores: &[f32], k: usize, min_score: f32) -> Vec<SearchHit> {
+        ops::top_k(scores, k)
+            .into_iter()
+            .filter(|(_, score)| *score >= min_score)
+            .map(|(pos, score)| SearchHit {
+                id: self.ids[pos],
+                score,
+            })
+            .collect()
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+            + self.ids.len() * std::mem::size_of::<u64>()
+            + self.pos_of.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        self.pos_of.contains_key(&id)
+    }
+
+    fn add(&mut self, id: u64, embedding: &[f32]) -> Result<()> {
+        if embedding.len() != self.dims {
+            return Err(StoreError::DimensionMismatch {
+                expected: self.dims,
+                got: embedding.len(),
+            });
+        }
+        // Re-adding an existing id replaces its embedding (trait contract).
+        if let Some(&pos) = self.pos_of.get(&id) {
+            let pos = pos as usize;
+            self.data[pos * self.dims..(pos + 1) * self.dims].copy_from_slice(embedding);
+            return Ok(());
+        }
+        self.pos_of.insert(id, self.ids.len() as u32);
+        self.ids.push(id);
+        self.data.extend_from_slice(embedding);
+        Ok(())
+    }
+
+    fn remove(&mut self, id: u64) -> Result<()> {
+        let pos = self.pos_of.remove(&id).ok_or(StoreError::NotFound(id))? as usize;
+        if let Some(moved) = swap_remove_row(&mut self.ids, &mut self.data, pos, self.dims) {
+            self.pos_of.insert(moved, pos as u32);
+        }
+        Ok(())
+    }
+
+    fn search(&self, query: &[f32], k: usize, min_score: f32) -> Result<Vec<SearchHit>> {
+        self.check_query(query)?;
+        if self.is_empty() || k == 0 {
+            return Ok(Vec::new());
+        }
+        let scores = self.scores_for(query);
+        Ok(self.hits_from_scores(&scores, k, min_score))
+    }
+
+    fn search_batch(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+        min_score: f32,
+    ) -> Result<Vec<Vec<SearchHit>>> {
+        for query in queries {
+            self.check_query(query)?;
+        }
+        if self.is_empty() || k == 0 {
+            return Ok(vec![Vec::new(); queries.len()]);
+        }
+        // One rayon dispatch for the whole batch: parallelism runs across
+        // probes (each scan stays sequential), which beats per-probe fork
+        // and join when replaying workloads. A *small* batch over a large
+        // index cannot saturate the pool that way, so it falls through to
+        // per-query searches, which parallelise within each scan instead.
+        const MIN_BATCH_FOR_CROSS_PROBE_PARALLELISM: usize = 8;
+        if queries.len() >= MIN_BATCH_FOR_CROSS_PROBE_PARALLELISM
+            && queries.len() * self.ids.len() >= self.parallel_threshold
+        {
+            Ok(queries
+                .par_iter()
+                .map(|query| {
+                    let scores: Vec<f32> = self
+                        .data
+                        .chunks_exact(self.dims)
+                        .map(|row| vector::cosine_similarity_normalized(query, row))
+                        .collect();
+                    self.hits_from_scores(&scores, k, min_score)
+                })
+                .collect())
+        } else {
+            queries
+                .iter()
+                .map(|q| self.search(q, k, min_score))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(v: Vec<f32>) -> Vec<f32> {
+        let mut v = v;
+        mc_tensor::vector::normalize(&mut v);
+        v
+    }
+
+    #[test]
+    fn add_and_search_returns_most_similar_first() {
+        let mut idx = FlatIndex::new(3).unwrap();
+        idx.add(10, &unit(vec![1.0, 0.0, 0.0])).unwrap();
+        idx.add(20, &unit(vec![0.0, 1.0, 0.0])).unwrap();
+        idx.add(30, &unit(vec![0.7, 0.7, 0.0])).unwrap();
+        let hits = idx.search(&unit(vec![1.0, 0.1, 0.0]), 3, -1.0).unwrap();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].id, 10);
+        assert!(hits[0].score > hits[1].score);
+        assert!(hits[1].score >= hits[2].score);
+    }
+
+    #[test]
+    fn min_score_filters_low_quality_hits() {
+        let mut idx = FlatIndex::new(2).unwrap();
+        idx.add(1, &unit(vec![1.0, 0.0])).unwrap();
+        idx.add(2, &unit(vec![0.0, 1.0])).unwrap();
+        let hits = idx.search(&unit(vec![1.0, 0.0]), 5, 0.9).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 1);
+        let none = idx.search(&unit(vec![-1.0, 0.0]), 5, 0.9).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn best_match_is_first_search_hit() {
+        let mut idx = FlatIndex::new(2).unwrap();
+        idx.add(1, &unit(vec![1.0, 0.0])).unwrap();
+        idx.add(2, &unit(vec![0.6, 0.8])).unwrap();
+        let best = idx.best_match(&unit(vec![0.9, 0.1]), 0.0).unwrap().unwrap();
+        assert_eq!(best.id, 1);
+        assert!(idx
+            .best_match(&unit(vec![-1.0, 0.0]), 0.99)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn remove_swaps_without_corrupting_other_entries() {
+        let mut idx = FlatIndex::new(2).unwrap();
+        idx.add(1, &unit(vec![1.0, 0.0])).unwrap();
+        idx.add(2, &unit(vec![0.0, 1.0])).unwrap();
+        idx.add(3, &unit(vec![-1.0, 0.0])).unwrap();
+        idx.remove(1).unwrap();
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.contains(1));
+        // Entry 3 (previously last) must still be findable with its own vector.
+        let best = idx
+            .best_match(&unit(vec![-1.0, 0.0]), 0.5)
+            .unwrap()
+            .unwrap();
+        assert_eq!(best.id, 3);
+        // Removing the final element and a missing element.
+        idx.remove(3).unwrap();
+        idx.remove(2).unwrap();
+        assert!(idx.is_empty());
+        assert!(matches!(idx.remove(2), Err(StoreError::NotFound(2))));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let mut idx = FlatIndex::new(4).unwrap();
+        assert!(matches!(
+            idx.add(1, &[1.0, 2.0]),
+            Err(StoreError::DimensionMismatch {
+                expected: 4,
+                got: 2
+            })
+        ));
+        idx.add(1, &[0.5; 4]).unwrap();
+        assert!(idx.search(&[1.0; 3], 1, 0.0).is_err());
+        assert!(FlatIndex::new(0).is_err());
+        assert!(idx.search_batch(&[&[1.0; 3]], 1, 0.0).is_err());
+    }
+
+    #[test]
+    fn empty_index_and_zero_k_return_no_hits() {
+        let idx = FlatIndex::new(2).unwrap();
+        assert!(idx.search(&[1.0, 0.0], 3, 0.0).unwrap().is_empty());
+        let mut idx = FlatIndex::new(2).unwrap();
+        idx.add(1, &[1.0, 0.0]).unwrap();
+        assert!(idx.search(&[1.0, 0.0], 0, 0.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn large_index_parallel_path_matches_small_index_results() {
+        // Build an index big enough to take the parallel path (threshold
+        // lowered below the entry count) and verify the top hit is the known
+        // nearest neighbour.
+        let dims = 16;
+        let mut idx = FlatIndex::with_parallel_threshold(dims, 2048).unwrap();
+        let mut rng = mc_tensor::rng::seeded(3);
+        for id in 0..3000u64 {
+            let v = unit(mc_tensor::rng::uniform_vec(dims, 1.0, &mut rng));
+            idx.add(id, &v).unwrap();
+        }
+        // Insert a known vector and query with a tiny perturbation of it.
+        let target = unit(vec![0.5; dims]);
+        idx.add(99_999, &target).unwrap();
+        let mut query = target.clone();
+        query[0] += 0.01;
+        let query = unit(query);
+        let hits = idx.search(&query, 5, 0.0).unwrap();
+        assert_eq!(hits[0].id, 99_999);
+        assert!(hits[0].score > 0.99);
+        assert_eq!(idx.storage_bytes(), 3001 * (dims * 4 + 8 + 12));
+    }
+
+    #[test]
+    fn parallel_threshold_is_configurable_and_equivalent() {
+        let dims = 8;
+        let mut always_parallel = FlatIndex::with_parallel_threshold(dims, 1).unwrap();
+        let mut never_parallel = FlatIndex::with_parallel_threshold(dims, usize::MAX).unwrap();
+        assert_eq!(always_parallel.parallel_threshold(), 1);
+        let mut rng = mc_tensor::rng::seeded(9);
+        for id in 0..300u64 {
+            let v = unit(mc_tensor::rng::uniform_vec(dims, 1.0, &mut rng));
+            always_parallel.add(id, &v).unwrap();
+            never_parallel.add(id, &v).unwrap();
+        }
+        let query = unit(mc_tensor::rng::uniform_vec(dims, 1.0, &mut rng));
+        let a = always_parallel.search(&query, 7, -1.0).unwrap();
+        let b = never_parallel.search(&query, 7, -1.0).unwrap();
+        assert_eq!(a, b, "crossover point must not change results");
+    }
+
+    #[test]
+    fn re_adding_an_id_replaces_its_embedding() {
+        let mut idx = FlatIndex::new(2).unwrap();
+        idx.add(1, &unit(vec![1.0, 0.0])).unwrap();
+        idx.add(1, &unit(vec![0.0, 1.0])).unwrap();
+        assert_eq!(idx.len(), 1);
+        let best = idx.best_match(&unit(vec![0.0, 1.0]), 0.9).unwrap().unwrap();
+        assert_eq!(best.id, 1);
+        idx.remove(1).unwrap();
+        assert!(idx.is_empty());
+        assert!(matches!(idx.remove(1), Err(StoreError::NotFound(1))));
+    }
+
+    #[test]
+    fn search_batch_matches_individual_searches() {
+        let dims = 12;
+        let mut idx = FlatIndex::with_parallel_threshold(dims, 4).unwrap();
+        let mut rng = mc_tensor::rng::seeded(21);
+        for id in 0..500u64 {
+            let v = unit(mc_tensor::rng::uniform_vec(dims, 1.0, &mut rng));
+            idx.add(id, &v).unwrap();
+        }
+        let queries: Vec<Vec<f32>> = (0..9)
+            .map(|_| unit(mc_tensor::rng::uniform_vec(dims, 1.0, &mut rng)))
+            .collect();
+        let query_refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+        let batched = idx.search_batch(&query_refs, 4, 0.0).unwrap();
+        assert_eq!(batched.len(), queries.len());
+        for (query, batch_hits) in queries.iter().zip(&batched) {
+            let single = idx.search(query, 4, 0.0).unwrap();
+            assert_eq!(&single, batch_hits);
+        }
+    }
+}

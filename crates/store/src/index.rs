@@ -1,20 +1,26 @@
-//! Brute-force top-k cosine index over cached query embeddings.
+//! The vector-index seam: [`VectorIndex`] trait, backend selection, and the
+//! [`AnyIndex`] dispatcher.
 //!
-//! The paper uses SBERT's `semantic_search` over the cached embeddings; this
-//! index plays that role. Embeddings are stored contiguously (one row per
-//! entry) so a lookup is a single pass of dot products, parallelised with
-//! rayon when the cache is large. All embeddings are expected to be
-//! L2-normalised (the encoder guarantees this), so cosine similarity reduces
-//! to a dot product.
+//! The paper searches cached query embeddings with SBERT's `semantic_search`
+//! (noted to handle up to ~1M entries); this module abstracts that role so
+//! the search structure is swappable per deployment:
+//!
+//! * [`crate::FlatIndex`] — exact brute-force scan, O(n·d) per lookup. The
+//!   right default below a few tens of thousands of entries.
+//! * [`crate::IvfIndex`] — k-means inverted-file ANN: scans `nprobe` of
+//!   `nlist` cells per lookup, an `nlist / nprobe` reduction in scanned
+//!   vectors at a small recall cost. The right choice at 100k+ entries.
+//!
+//! Higher layers hold an [`AnyIndex`] (concrete enum dispatch, so caches stay
+//! `Clone` + serialisable) built from an [`IndexKind`] configuration knob.
+//! Future backends (sharded, quantised, disk-resident) plug in by extending
+//! the trait/enum pair.
 
-use mc_tensor::{ops, vector};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::{Result, StoreError};
-
-/// Minimum number of stored vectors before lookups move to the rayon pool.
-const PARALLEL_SEARCH_THRESHOLD: usize = 2048;
+use crate::flat::{FlatIndex, DEFAULT_PARALLEL_SEARCH_THRESHOLD};
+use crate::ivf::{IvfConfig, IvfIndex};
+use crate::Result;
 
 /// A search hit: the entry id and its cosine similarity to the query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -25,137 +31,230 @@ pub struct SearchHit {
     pub score: f32,
 }
 
-/// Contiguous embedding index supporting add / remove / top-k search.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct EmbeddingIndex {
-    dims: usize,
-    ids: Vec<u64>,
-    data: Vec<f32>,
-}
-
-impl EmbeddingIndex {
-    /// Creates an empty index for embeddings of `dims` dimensions.
-    ///
-    /// # Errors
-    /// Returns [`StoreError::InvalidConfig`] for zero dimensions.
-    pub fn new(dims: usize) -> Result<Self> {
-        if dims == 0 {
-            return Err(StoreError::InvalidConfig("dims must be >= 1".into()));
-        }
-        Ok(Self {
-            dims,
-            ids: Vec::new(),
-            data: Vec::new(),
-        })
-    }
-
+/// Common interface of every embedding-search backend.
+///
+/// All embeddings are expected to be L2-normalised (the encoder guarantees
+/// this), so backends may treat cosine similarity as a plain dot product.
+pub trait VectorIndex {
     /// Embedding dimensionality.
-    pub fn dims(&self) -> usize {
-        self.dims
-    }
+    fn dims(&self) -> usize;
 
     /// Number of indexed embeddings.
-    pub fn len(&self) -> usize {
-        self.ids.len()
-    }
+    fn len(&self) -> usize;
 
     /// `true` when nothing is indexed.
-    pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
-    /// Bytes used by the embedding payload.
-    pub fn storage_bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f32>()
-    }
-
-    /// Adds an embedding under `id`.
-    ///
-    /// # Errors
-    /// Returns [`StoreError::DimensionMismatch`] when the embedding has the
-    /// wrong dimensionality.
-    pub fn add(&mut self, id: u64, embedding: &[f32]) -> Result<()> {
-        if embedding.len() != self.dims {
-            return Err(StoreError::DimensionMismatch {
-                expected: self.dims,
-                got: embedding.len(),
-            });
-        }
-        self.ids.push(id);
-        self.data.extend_from_slice(embedding);
-        Ok(())
-    }
-
-    /// Removes the embedding stored under `id` (swap-remove, O(dims)).
-    ///
-    /// # Errors
-    /// Returns [`StoreError::NotFound`] when the id is not indexed.
-    pub fn remove(&mut self, id: u64) -> Result<()> {
-        let pos = self
-            .ids
-            .iter()
-            .position(|&x| x == id)
-            .ok_or(StoreError::NotFound(id))?;
-        let last = self.ids.len() - 1;
-        self.ids.swap(pos, last);
-        self.ids.pop();
-        if pos != last {
-            let (head, tail) = self.data.split_at_mut(last * self.dims);
-            head[pos * self.dims..(pos + 1) * self.dims].copy_from_slice(&tail[..self.dims]);
-        }
-        self.data.truncate(last * self.dims);
-        Ok(())
-    }
+    /// Bytes used by the search structure (embedding payload plus any
+    /// auxiliary data such as centroids).
+    fn storage_bytes(&self) -> usize;
 
     /// `true` when `id` is indexed.
-    pub fn contains(&self, id: u64) -> bool {
-        self.ids.contains(&id)
-    }
+    fn contains(&self, id: u64) -> bool;
 
-    /// Returns the top-`k` most similar entries to `query` with similarity at
-    /// least `min_score`, ordered by descending similarity.
+    /// Adds an embedding under `id`. Adding an id that is already indexed
+    /// **replaces** its embedding (all backends agree on this, so id reuse
+    /// — e.g. re-restoring a persisted entry — cannot desynchronise them).
     ///
     /// # Errors
-    /// Returns [`StoreError::DimensionMismatch`] when the query has the wrong
-    /// dimensionality.
-    pub fn search(&self, query: &[f32], k: usize, min_score: f32) -> Result<Vec<SearchHit>> {
-        if query.len() != self.dims {
-            return Err(StoreError::DimensionMismatch {
-                expected: self.dims,
-                got: query.len(),
-            });
-        }
-        if self.is_empty() || k == 0 {
-            return Ok(Vec::new());
-        }
-        let scores: Vec<f32> = if self.len() >= PARALLEL_SEARCH_THRESHOLD {
-            self.data
-                .par_chunks(self.dims)
-                .map(|row| vector::cosine_similarity_normalized(query, row))
-                .collect()
-        } else {
-            self.data
-                .chunks_exact(self.dims)
-                .map(|row| vector::cosine_similarity_normalized(query, row))
-                .collect()
-        };
-        let hits = ops::top_k(&scores, k)
-            .into_iter()
-            .filter(|(_, score)| *score >= min_score)
-            .map(|(pos, score)| SearchHit {
-                id: self.ids[pos],
-                score,
-            })
-            .collect();
-        Ok(hits)
+    /// Returns [`crate::StoreError::DimensionMismatch`] when the embedding
+    /// has the wrong dimensionality.
+    fn add(&mut self, id: u64, embedding: &[f32]) -> Result<()>;
+
+    /// Removes the embedding stored under `id`.
+    ///
+    /// # Errors
+    /// Returns [`crate::StoreError::NotFound`] when the id is not indexed.
+    fn remove(&mut self, id: u64) -> Result<()>;
+
+    /// Returns the top-`k` most similar entries to `query` with similarity
+    /// at least `min_score`, ordered by descending similarity.
+    ///
+    /// # Errors
+    /// Returns [`crate::StoreError::DimensionMismatch`] when the query has
+    /// the wrong dimensionality.
+    fn search(&self, query: &[f32], k: usize, min_score: f32) -> Result<Vec<SearchHit>>;
+
+    /// Searches many probes in one pass over the index, returning one hit
+    /// list per probe (same order). Backends override this to amortise
+    /// dispatch and parallelise across probes; the default just loops.
+    ///
+    /// # Errors
+    /// Returns [`crate::StoreError::DimensionMismatch`] when any query has
+    /// the wrong dimensionality.
+    fn search_batch(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+        min_score: f32,
+    ) -> Result<Vec<Vec<SearchHit>>> {
+        queries
+            .iter()
+            .map(|query| self.search(query, k, min_score))
+            .collect()
     }
 
     /// The single best match above `min_score`, if any.
     ///
     /// # Errors
-    /// Returns [`StoreError::DimensionMismatch`] on a wrong-size query.
-    pub fn best_match(&self, query: &[f32], min_score: f32) -> Result<Option<SearchHit>> {
+    /// Returns [`crate::StoreError::DimensionMismatch`] on a wrong-size
+    /// query.
+    fn best_match(&self, query: &[f32], min_score: f32) -> Result<Option<SearchHit>> {
         Ok(self.search(query, 1, min_score)?.into_iter().next())
+    }
+}
+
+/// Former name of the brute-force index. The type is the same, but its
+/// methods (`add`/`remove`/`search`/…) now live on the [`VectorIndex`]
+/// trait, so pre-rename callers must additionally
+/// `use mc_store::VectorIndex;` to keep compiling.
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to `FlatIndex`; import `mc_store::VectorIndex` for its methods"
+)]
+pub type EmbeddingIndex = FlatIndex;
+
+/// Deployment-selectable index backend configuration.
+///
+/// This is the knob `MeanCacheConfig` (and anything else that builds an
+/// index) exposes; [`IndexKind::build`] turns it into a live [`AnyIndex`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IndexKind {
+    /// Exact brute-force scan with a configurable sequential→parallel
+    /// crossover point.
+    Flat {
+        /// Number of stored vectors above which a lookup uses the rayon
+        /// pool (see [`DEFAULT_PARALLEL_SEARCH_THRESHOLD`]).
+        parallel_threshold: usize,
+    },
+    /// k-means inverted-file approximate search.
+    Ivf(IvfConfig),
+}
+
+impl Default for IndexKind {
+    fn default() -> Self {
+        IndexKind::flat()
+    }
+}
+
+impl IndexKind {
+    /// The default exact backend.
+    pub fn flat() -> Self {
+        IndexKind::Flat {
+            parallel_threshold: DEFAULT_PARALLEL_SEARCH_THRESHOLD,
+        }
+    }
+
+    /// The ANN backend with default parameters (auto `nlist`, `nprobe` 8).
+    pub fn ivf() -> Self {
+        IndexKind::Ivf(IvfConfig::default())
+    }
+
+    /// Human-readable backend name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Flat { .. } => "flat",
+            IndexKind::Ivf(_) => "ivf",
+        }
+    }
+
+    /// Validates the configuration without building an index.
+    ///
+    /// # Errors
+    /// Returns [`crate::StoreError::InvalidConfig`] for out-of-range values.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            IndexKind::Flat { .. } => Ok(()),
+            IndexKind::Ivf(config) => config.validate(),
+        }
+    }
+
+    /// Builds an empty index of this kind for `dims`-dimensional embeddings.
+    ///
+    /// # Errors
+    /// Returns [`crate::StoreError::InvalidConfig`] for zero dimensions or
+    /// invalid backend parameters.
+    pub fn build(&self, dims: usize) -> Result<AnyIndex> {
+        match self {
+            IndexKind::Flat { parallel_threshold } => Ok(AnyIndex::Flat(
+                FlatIndex::with_parallel_threshold(dims, *parallel_threshold)?,
+            )),
+            IndexKind::Ivf(config) => Ok(AnyIndex::Ivf(IvfIndex::new(dims, config.clone())?)),
+        }
+    }
+}
+
+/// Concrete dispatch over the available backends.
+///
+/// An enum rather than `Box<dyn VectorIndex>` so holders (the caches) remain
+/// `Clone`, `Debug` and serde-serialisable for persistence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AnyIndex {
+    Flat(FlatIndex),
+    Ivf(IvfIndex),
+}
+
+impl AnyIndex {
+    /// The [`IndexKind`]-style name of the live backend.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            AnyIndex::Flat(_) => "flat",
+            AnyIndex::Ivf(_) => "ivf",
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $inner:ident => $call:expr) => {
+        match $self {
+            AnyIndex::Flat($inner) => $call,
+            AnyIndex::Ivf($inner) => $call,
+        }
+    };
+}
+
+impl VectorIndex for AnyIndex {
+    fn dims(&self) -> usize {
+        dispatch!(self, inner => inner.dims())
+    }
+
+    fn len(&self) -> usize {
+        dispatch!(self, inner => inner.len())
+    }
+
+    fn storage_bytes(&self) -> usize {
+        dispatch!(self, inner => inner.storage_bytes())
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        dispatch!(self, inner => inner.contains(id))
+    }
+
+    fn add(&mut self, id: u64, embedding: &[f32]) -> Result<()> {
+        dispatch!(self, inner => inner.add(id, embedding))
+    }
+
+    fn remove(&mut self, id: u64) -> Result<()> {
+        dispatch!(self, inner => inner.remove(id))
+    }
+
+    fn search(&self, query: &[f32], k: usize, min_score: f32) -> Result<Vec<SearchHit>> {
+        dispatch!(self, inner => inner.search(query, k, min_score))
+    }
+
+    fn search_batch(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+        min_score: f32,
+    ) -> Result<Vec<Vec<SearchHit>>> {
+        dispatch!(self, inner => inner.search_batch(queries, k, min_score))
+    }
+
+    fn best_match(&self, query: &[f32], min_score: f32) -> Result<Option<SearchHit>> {
+        dispatch!(self, inner => inner.best_match(query, min_score))
     }
 }
 
@@ -170,100 +269,86 @@ mod tests {
     }
 
     #[test]
-    fn add_and_search_returns_most_similar_first() {
-        let mut idx = EmbeddingIndex::new(3).unwrap();
-        idx.add(10, &unit(vec![1.0, 0.0, 0.0])).unwrap();
-        idx.add(20, &unit(vec![0.0, 1.0, 0.0])).unwrap();
-        idx.add(30, &unit(vec![0.7, 0.7, 0.0])).unwrap();
-        let hits = idx.search(&unit(vec![1.0, 0.1, 0.0]), 3, -1.0).unwrap();
-        assert_eq!(hits.len(), 3);
-        assert_eq!(hits[0].id, 10);
-        assert!(hits[0].score > hits[1].score);
-        assert!(hits[1].score >= hits[2].score);
+    fn index_kind_builds_the_requested_backend() {
+        let flat = IndexKind::flat().build(4).unwrap();
+        assert_eq!(flat.kind_name(), "flat");
+        let ivf = IndexKind::ivf().build(4).unwrap();
+        assert_eq!(ivf.kind_name(), "ivf");
+        assert_eq!(IndexKind::flat().name(), "flat");
+        assert_eq!(IndexKind::ivf().name(), "ivf");
+        assert!(IndexKind::flat().validate().is_ok());
+        assert!(IndexKind::ivf().validate().is_ok());
+        assert!(IndexKind::Ivf(IvfConfig {
+            nprobe: 0,
+            ..IvfConfig::default()
+        })
+        .build(4)
+        .is_err());
+        assert!(IndexKind::flat().build(0).is_err());
     }
 
     #[test]
-    fn min_score_filters_low_quality_hits() {
-        let mut idx = EmbeddingIndex::new(2).unwrap();
-        idx.add(1, &unit(vec![1.0, 0.0])).unwrap();
-        idx.add(2, &unit(vec![0.0, 1.0])).unwrap();
-        let hits = idx.search(&unit(vec![1.0, 0.0]), 5, 0.9).unwrap();
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].id, 1);
-        let none = idx.search(&unit(vec![-1.0, 0.0]), 5, 0.9).unwrap();
-        assert!(none.is_empty());
-    }
-
-    #[test]
-    fn best_match_is_first_search_hit() {
-        let mut idx = EmbeddingIndex::new(2).unwrap();
-        idx.add(1, &unit(vec![1.0, 0.0])).unwrap();
-        idx.add(2, &unit(vec![0.6, 0.8])).unwrap();
-        let best = idx.best_match(&unit(vec![0.9, 0.1]), 0.0).unwrap().unwrap();
-        assert_eq!(best.id, 1);
-        assert!(idx.best_match(&unit(vec![-1.0, 0.0]), 0.99).unwrap().is_none());
-    }
-
-    #[test]
-    fn remove_swaps_without_corrupting_other_entries() {
-        let mut idx = EmbeddingIndex::new(2).unwrap();
-        idx.add(1, &unit(vec![1.0, 0.0])).unwrap();
-        idx.add(2, &unit(vec![0.0, 1.0])).unwrap();
-        idx.add(3, &unit(vec![-1.0, 0.0])).unwrap();
-        idx.remove(1).unwrap();
-        assert_eq!(idx.len(), 2);
-        assert!(!idx.contains(1));
-        // Entry 3 (previously last) must still be findable with its own vector.
-        let best = idx.best_match(&unit(vec![-1.0, 0.0]), 0.5).unwrap().unwrap();
-        assert_eq!(best.id, 3);
-        // Removing the final element and a missing element.
-        idx.remove(3).unwrap();
-        idx.remove(2).unwrap();
-        assert!(idx.is_empty());
-        assert!(matches!(idx.remove(2), Err(StoreError::NotFound(2))));
-    }
-
-    #[test]
-    fn dimension_mismatches_are_rejected() {
-        let mut idx = EmbeddingIndex::new(4).unwrap();
-        assert!(matches!(
-            idx.add(1, &[1.0, 2.0]),
-            Err(StoreError::DimensionMismatch { expected: 4, got: 2 })
-        ));
-        idx.add(1, &[0.5; 4]).unwrap();
-        assert!(idx.search(&[1.0; 3], 1, 0.0).is_err());
-        assert!(EmbeddingIndex::new(0).is_err());
-    }
-
-    #[test]
-    fn empty_index_and_zero_k_return_no_hits() {
-        let idx = EmbeddingIndex::new(2).unwrap();
-        assert!(idx.search(&[1.0, 0.0], 3, 0.0).unwrap().is_empty());
-        let mut idx = EmbeddingIndex::new(2).unwrap();
-        idx.add(1, &[1.0, 0.0]).unwrap();
-        assert!(idx.search(&[1.0, 0.0], 0, 0.0).unwrap().is_empty());
-    }
-
-    #[test]
-    fn large_index_parallel_path_matches_small_index_results() {
-        // Build an index big enough to take the parallel path and verify the
-        // top hit is the known nearest neighbour.
-        let dims = 16;
-        let mut idx = EmbeddingIndex::new(dims).unwrap();
-        let mut rng = mc_tensor::rng::seeded(3);
-        for id in 0..3000u64 {
-            let v = unit(mc_tensor::rng::uniform_vec(dims, 1.0, &mut rng));
-            idx.add(id, &v).unwrap();
+    fn any_index_dispatches_uniformly() {
+        for kind in [IndexKind::flat(), IndexKind::ivf()] {
+            let mut index = kind.build(3).unwrap();
+            index.add(1, &unit(vec![1.0, 0.0, 0.0])).unwrap();
+            index.add(2, &unit(vec![0.0, 1.0, 0.0])).unwrap();
+            assert_eq!(index.len(), 2);
+            assert_eq!(index.dims(), 3);
+            assert!(index.contains(1));
+            assert!(index.storage_bytes() >= 2 * 3 * 4);
+            let hits = index.search(&unit(vec![0.9, 0.1, 0.0]), 2, -1.0).unwrap();
+            assert_eq!(hits[0].id, 1);
+            let best = index
+                .best_match(&unit(vec![0.0, 1.0, 0.0]), 0.5)
+                .unwrap()
+                .unwrap();
+            assert_eq!(best.id, 2);
+            let queries = [unit(vec![1.0, 0.0, 0.0]), unit(vec![0.0, 1.0, 0.0])];
+            let refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+            let batched = index.search_batch(&refs, 1, 0.0).unwrap();
+            assert_eq!(batched[0][0].id, 1);
+            assert_eq!(batched[1][0].id, 2);
+            index.remove(1).unwrap();
+            assert!(!index.contains(1));
+            assert_eq!(index.len(), 1);
         }
-        // Insert a known vector and query with a tiny perturbation of it.
-        let target = unit(vec![0.5; dims]);
-        idx.add(99_999, &target).unwrap();
-        let mut query = target.clone();
-        query[0] += 0.01;
-        let query = unit(query);
-        let hits = idx.search(&query, 5, 0.0).unwrap();
-        assert_eq!(hits[0].id, 99_999);
-        assert!(hits[0].score > 0.99);
-        assert_eq!(idx.storage_bytes(), 3001 * dims * 4);
+    }
+
+    #[test]
+    fn index_kind_serde_round_trip() {
+        for kind in [IndexKind::flat(), IndexKind::ivf()] {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: IndexKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(kind, back);
+        }
+    }
+
+    #[test]
+    fn populated_any_index_serde_round_trip() {
+        for kind in [IndexKind::flat(), IndexKind::ivf()] {
+            let mut index = kind.build(2).unwrap();
+            for id in 0..40u64 {
+                let angle = id as f32 * 0.17;
+                index.add(id, &[angle.cos(), angle.sin()]).unwrap();
+            }
+            let json = serde_json::to_string(&index).unwrap();
+            let back: AnyIndex = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.len(), 40);
+            assert_eq!(back.kind_name(), index.kind_name());
+            let query = [0.17f32.cos(), 0.17f32.sin()];
+            assert_eq!(
+                back.search(&query, 3, 0.0).unwrap(),
+                index.search(&query, 3, 0.0).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_alias_still_works() {
+        let mut idx = EmbeddingIndex::new(2).unwrap();
+        idx.add(1, &unit(vec![1.0, 0.0])).unwrap();
+        assert_eq!(idx.len(), 1);
     }
 }

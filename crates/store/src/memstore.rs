@@ -90,11 +90,8 @@ impl MemoryStore {
 
         let mut evicted = None;
         if !self.entries.contains_key(&entry.id) && self.entries.len() >= self.capacity {
-            let referenced: std::collections::HashSet<u64> = self
-                .entries
-                .values()
-                .filter_map(|e| e.parent)
-                .collect();
+            let referenced: std::collections::HashSet<u64> =
+                self.entries.values().filter_map(|e| e.parent).collect();
             let unreferenced = self
                 .entries
                 .values()

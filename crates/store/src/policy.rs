@@ -23,20 +23,13 @@ pub enum EvictionPolicy {
 impl EvictionPolicy {
     /// Picks the id of the entry to evict from a non-empty iterator of
     /// candidates, or `None` when there are no candidates.
-    pub fn select_victim<'a>(
-        &self,
-        entries: impl Iterator<Item = &'a CacheEntry>,
-    ) -> Option<u64> {
+    pub fn select_victim<'a>(&self, entries: impl Iterator<Item = &'a CacheEntry>) -> Option<u64> {
         match self {
-            EvictionPolicy::Lru => entries
-                .min_by_key(|e| (e.last_access, e.id))
-                .map(|e| e.id),
+            EvictionPolicy::Lru => entries.min_by_key(|e| (e.last_access, e.id)).map(|e| e.id),
             EvictionPolicy::Lfu => entries
                 .min_by_key(|e| (e.hits, e.last_access, e.id))
                 .map(|e| e.id),
-            EvictionPolicy::Fifo => entries
-                .min_by_key(|e| (e.inserted_at, e.id))
-                .map(|e| e.id),
+            EvictionPolicy::Fifo => entries.min_by_key(|e| (e.inserted_at, e.id)).map(|e| e.id),
         }
     }
 }
@@ -65,25 +58,29 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let entries = vec![entry(1, 0, 100, 5), entry(2, 0, 50, 50), entry(3, 0, 75, 1)];
+        let entries = [entry(1, 0, 100, 5), entry(2, 0, 50, 50), entry(3, 0, 75, 1)];
         assert_eq!(EvictionPolicy::Lru.select_victim(entries.iter()), Some(2));
     }
 
     #[test]
     fn lfu_evicts_least_frequently_used() {
-        let entries = vec![entry(1, 0, 100, 5), entry(2, 0, 50, 50), entry(3, 0, 75, 1)];
+        let entries = [entry(1, 0, 100, 5), entry(2, 0, 50, 50), entry(3, 0, 75, 1)];
         assert_eq!(EvictionPolicy::Lfu.select_victim(entries.iter()), Some(3));
     }
 
     #[test]
     fn fifo_evicts_oldest_insertion() {
-        let entries = vec![entry(1, 30, 100, 5), entry(2, 10, 500, 50), entry(3, 20, 75, 1)];
+        let entries = [
+            entry(1, 30, 100, 5),
+            entry(2, 10, 500, 50),
+            entry(3, 20, 75, 1),
+        ];
         assert_eq!(EvictionPolicy::Fifo.select_victim(entries.iter()), Some(2));
     }
 
     #[test]
     fn ties_are_broken_deterministically_by_id() {
-        let entries = vec![entry(9, 0, 10, 1), entry(4, 0, 10, 1), entry(7, 0, 10, 1)];
+        let entries = [entry(9, 0, 10, 1), entry(4, 0, 10, 1), entry(7, 0, 10, 1)];
         assert_eq!(EvictionPolicy::Lru.select_victim(entries.iter()), Some(4));
         assert_eq!(EvictionPolicy::Lfu.select_victim(entries.iter()), Some(4));
         assert_eq!(EvictionPolicy::Fifo.select_victim(entries.iter()), Some(4));

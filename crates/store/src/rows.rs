@@ -1,0 +1,48 @@
+//! Shared contiguous row storage: parallel `ids` / `data` vectors where row
+//! `i` of `data` (a `dims`-long slice) belongs to `ids[i]`. Both index
+//! backends store embeddings this way; the swap-remove dance lives here once
+//! so the two cannot drift.
+
+/// Swap-removes row `pos` from the parallel `(ids, data)` vectors, keeping
+/// `data` contiguous. Returns the id that was moved into `pos` (the former
+/// last row), if any — callers maintaining an id → position map must remap
+/// it.
+pub(crate) fn swap_remove_row(
+    ids: &mut Vec<u64>,
+    data: &mut Vec<f32>,
+    pos: usize,
+    dims: usize,
+) -> Option<u64> {
+    let last = ids.len() - 1;
+    ids.swap(pos, last);
+    ids.pop();
+    if pos != last {
+        let (head, tail) = data.split_at_mut(last * dims);
+        head[pos * dims..(pos + 1) * dims].copy_from_slice(&tail[..dims]);
+    }
+    data.truncate(last * dims);
+    (pos != last).then(|| ids[pos])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn middle_last_and_only_rows() {
+        let mut ids = vec![10, 20, 30];
+        let mut data = vec![1.0, 1.5, 2.0, 2.5, 3.0, 3.5];
+        // Remove the middle row: the last row moves into its slot.
+        assert_eq!(swap_remove_row(&mut ids, &mut data, 1, 2), Some(30));
+        assert_eq!(ids, vec![10, 30]);
+        assert_eq!(data, vec![1.0, 1.5, 3.0, 3.5]);
+        // Remove the last row: nothing moves.
+        assert_eq!(swap_remove_row(&mut ids, &mut data, 1, 2), None);
+        assert_eq!(ids, vec![10]);
+        assert_eq!(data, vec![1.0, 1.5]);
+        // Remove the only row.
+        assert_eq!(swap_remove_row(&mut ids, &mut data, 0, 2), None);
+        assert!(ids.is_empty());
+        assert!(data.is_empty());
+    }
+}

@@ -202,7 +202,10 @@ impl Matrix {
                 });
         } else {
             for i in 0..self.rows {
-                let (a_row, out_row) = (self.row(i), &mut out.data[i * other.cols..(i + 1) * other.cols]);
+                let (a_row, out_row) = (
+                    self.row(i),
+                    &mut out.data[i * other.cols..(i + 1) * other.cols],
+                );
                 Self::matmul_row(a_row, other, out_row);
             }
         }
@@ -360,9 +363,7 @@ impl Matrix {
     /// L2-normalises every row in place (used for batched embedding outputs).
     pub fn normalize_rows(&mut self) {
         let cols = self.cols.max(1);
-        self.data
-            .chunks_exact_mut(cols)
-            .for_each(vector::normalize);
+        self.data.chunks_exact_mut(cols).for_each(vector::normalize);
     }
 }
 

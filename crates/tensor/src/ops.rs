@@ -160,8 +160,12 @@ mod tests {
 
     #[test]
     fn pairwise_cosine_diagonal_of_self_is_one() {
-        let m = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 2.0, 0.0], vec![1.0, 1.0, 0.0]])
-            .unwrap();
+        let m = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 2.0, 0.0],
+            vec![1.0, 1.0, 0.0],
+        ])
+        .unwrap();
         let sim = pairwise_cosine(&m, &m).unwrap();
         for i in 0..3 {
             assert!((sim.get(i, i) - 1.0).abs() < 1e-5);
@@ -179,9 +183,12 @@ mod tests {
 
     #[test]
     fn batch_cosine_matches_pairwise() {
-        let mut keys =
-            Matrix::from_rows(&[vec![0.3, 0.4, 0.1], vec![-0.2, 0.9, 0.5], vec![1.0, 0.0, 0.0]])
-                .unwrap();
+        let mut keys = Matrix::from_rows(&[
+            vec![0.3, 0.4, 0.1],
+            vec![-0.2, 0.9, 0.5],
+            vec![1.0, 0.0, 0.0],
+        ])
+        .unwrap();
         keys.normalize_rows();
         let mut q = vec![0.5, 0.5, 0.5];
         vector::normalize(&mut q);

@@ -19,8 +19,7 @@ pub fn seeded(seed: u64) -> StdRng {
 /// SplitMix64-style mixing. Lets independent components (clients, layers,
 /// workload generators) get decorrelated streams from one experiment seed.
 pub fn derive_seed(parent: u64, stream: u64) -> u64 {
-    let mut z = parent
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = parent.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -118,8 +117,12 @@ mod tests {
         let m = he_matrix(256, 64, &mut rng);
         let mean = m.mean();
         assert!(mean.abs() < 0.02, "mean={mean}");
-        let var: f32 =
-            m.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / m.len() as f32;
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / m.len() as f32;
         // Expected variance 2/256 ≈ 0.0078.
         assert!((var - 2.0 / 256.0).abs() < 0.004, "var={var}");
     }
@@ -127,7 +130,9 @@ mod tests {
     #[test]
     fn standard_normal_has_zero_mean_unit_variance() {
         let mut rng = seeded(3);
-        let samples: Vec<f32> = (0..20_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let samples: Vec<f32> = (0..20_000)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
         let mean: f32 = samples.iter().sum::<f32>() / samples.len() as f32;
         let var: f32 =
             samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / samples.len() as f32;

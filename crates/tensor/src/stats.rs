@@ -61,7 +61,7 @@ pub fn covariance(data: &Matrix) -> Result<Matrix> {
     let normaliser = if n > 1 { (n - 1) as f32 } else { 1.0 };
 
     // Split rows into chunks, accumulate X_chunk^T * X_chunk per chunk, merge.
-    let chunk_rows = 128.max(1);
+    let chunk_rows = 128;
     let partials: Vec<Matrix> = centered
         .as_slice()
         .par_chunks(chunk_rows * d.max(1))

@@ -129,8 +129,8 @@ fn pairwise_cosine_against_batch_cosine() {
     let pair = ops::pairwise_cosine(&queries, &keys).unwrap();
     for q in 0..5 {
         let scores = ops::batch_cosine_normalized(queries.row(q), &keys).unwrap();
-        for k in 0..7 {
-            assert!((pair.get(q, k) - scores[k]).abs() < 1e-4);
+        for (k, &score) in scores.iter().enumerate() {
+            assert!((pair.get(q, k) - score).abs() < 1e-4);
         }
     }
 }

@@ -33,8 +33,8 @@ impl Default for Tokenizer {
 /// A conservative English stop-word list used when `remove_stopwords` is on.
 const STOPWORDS: &[&str] = &[
     "a", "an", "the", "is", "are", "was", "were", "be", "been", "being", "of", "to", "in", "on",
-    "at", "for", "with", "and", "or", "do", "does", "did", "can", "could", "would", "should",
-    "i", "me", "my", "you", "your", "it", "its", "this", "that", "these", "those",
+    "at", "for", "with", "and", "or", "do", "does", "did", "can", "could", "would", "should", "i",
+    "me", "my", "you", "your", "it", "its", "this", "that", "these", "those",
 ];
 
 impl Tokenizer {
@@ -103,7 +103,18 @@ mod tests {
         let tok = Tokenizer::default();
         assert_eq!(
             tok.tokenize("How can I increase the battery-life of my Smartphone?"),
-            vec!["how", "can", "i", "increase", "the", "battery", "life", "of", "my", "smartphone"]
+            vec![
+                "how",
+                "can",
+                "i",
+                "increase",
+                "the",
+                "battery",
+                "life",
+                "of",
+                "my",
+                "smartphone"
+            ]
         );
     }
 
@@ -133,9 +144,10 @@ mod tests {
     #[test]
     fn apostrophes_inside_words_are_kept() {
         let tok = Tokenizer::default();
-        assert_eq!(tok.tokenize("what's my phone's battery"), vec![
-            "what's", "my", "phone's", "battery"
-        ]);
+        assert_eq!(
+            tok.tokenize("what's my phone's battery"),
+            vec!["what's", "my", "phone's", "battery"]
+        );
     }
 
     #[test]

@@ -197,7 +197,9 @@ pub fn contextual_workload(
         let pos = i % standalone.max(1);
         let topic = bank.topic(populate[pos].topic_id);
         probes.push(ContextualProbe {
-            text: topic.paraphrase(1 + (i % (topic.variant_count() - 1).max(1))).to_string(),
+            text: topic
+                .paraphrase(1 + (i % (topic.variant_count() - 1).max(1)))
+                .to_string(),
             context: Vec::new(),
             should_hit: true,
             kind: ProbeKind::DuplicateStandalone,
@@ -346,7 +348,10 @@ mod tests {
         for (i, item) in w.populate.iter().enumerate() {
             if let Some(parent) = item.parent {
                 assert!(parent < i, "parent must be inserted before its follow-up");
-                assert!(w.populate[parent].parent.is_none(), "parents are standalone");
+                assert!(
+                    w.populate[parent].parent.is_none(),
+                    "parents are standalone"
+                );
                 assert_eq!(w.populate[parent].topic_id, item.topic_id);
                 assert!(item.followup_id.is_some());
             }
@@ -376,7 +381,10 @@ mod tests {
         assert!(exact_overlap > 0);
         for p in &mismatches {
             assert!(!p.should_hit);
-            assert!(!p.context.is_empty(), "mismatch probes carry their own context");
+            assert!(
+                !p.context.is_empty(),
+                "mismatch probes carry their own context"
+            );
         }
     }
 

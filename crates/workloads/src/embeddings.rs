@@ -1,0 +1,151 @@
+//! Synthetic embedding clouds with the cluster structure real query
+//! embeddings have.
+//!
+//! Uniform random unit vectors are the *worst* case for any partitioning
+//! index (in high dimensions every point is nearly equidistant from every
+//! other, so cells carry no neighbourhood information). Real cached query
+//! embeddings are nothing like that: queries cluster by topic, and a probe
+//! that can hit the cache is by definition close to some cached entry. This
+//! module generates that shape — a mixture of topic centroids on the unit
+//! sphere with per-topic spread — for index benchmarks and recall tests.
+
+use mc_tensor::{rng, vector};
+use rand::rngs::StdRng;
+
+/// A deterministic synthetic embedding cloud: `n` unit vectors drawn from
+/// `topics` spherical clusters.
+#[derive(Debug, Clone)]
+pub struct EmbeddingCloud {
+    /// The generated unit vectors, one per cached entry.
+    pub vectors: Vec<Vec<f32>>,
+    /// Dimensionality of every vector.
+    pub dims: usize,
+    spread: f32,
+    seed: u64,
+}
+
+impl EmbeddingCloud {
+    /// Generates `n` unit vectors of `dims` dimensions from `topics` cluster
+    /// centres with the given intra-topic `spread` (0 = all duplicates,
+    /// larger = fuzzier topics; 0.4–0.7 matches what a trained encoder does
+    /// to paraphrase families).
+    pub fn generate(n: usize, dims: usize, topics: usize, spread: f32, seed: u64) -> Self {
+        let mut r = rng::seeded(seed);
+        let topics = topics.max(1);
+        let centers: Vec<Vec<f32>> = (0..topics)
+            .map(|_| {
+                let mut c = rng::uniform_vec(dims, 1.0, &mut r);
+                vector::normalize(&mut c);
+                c
+            })
+            .collect();
+        let vectors = (0..n)
+            .map(|i| {
+                let center = &centers[i % topics];
+                jitter(center, spread, &mut r)
+            })
+            .collect();
+        Self {
+            vectors,
+            dims,
+            spread,
+            seed,
+        }
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// `true` when the cloud is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Produces `count` probe vectors, each a small perturbation of a stored
+    /// vector — the shape of a cache probe that *should* hit (a paraphrase of
+    /// something cached). `closeness` scales the perturbation relative to
+    /// the cloud's own spread (0.25 ⇒ the probe is much closer to its base
+    /// entry than entries of the same topic are to each other).
+    pub fn probes(&self, count: usize, closeness: f32) -> Vec<Vec<f32>> {
+        if self.vectors.is_empty() {
+            return Vec::new();
+        }
+        let mut r = rng::seeded(self.seed ^ 0x9E37_79B9);
+        let noise = self.spread * closeness;
+        (0..count)
+            .map(|i| {
+                let base = &self.vectors[(i * 7919) % self.vectors.len()];
+                jitter(base, noise, &mut r)
+            })
+            .collect()
+    }
+}
+
+/// `normalize(base + scale * gaussian_noise)`.
+fn jitter(base: &[f32], scale: f32, r: &mut StdRng) -> Vec<f32> {
+    let mut v: Vec<f32> = base
+        .iter()
+        .map(|&x| x + scale * rng::sample_standard_normal(r) / (base.len() as f32).sqrt())
+        .collect();
+    vector::normalize(&mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectors_are_unit_norm_and_deterministic() {
+        let cloud = EmbeddingCloud::generate(500, 32, 20, 0.5, 42);
+        assert_eq!(cloud.len(), 500);
+        assert!(!cloud.is_empty());
+        for v in &cloud.vectors {
+            assert_eq!(v.len(), 32);
+            assert!((vector::norm(v) - 1.0).abs() < 1e-5);
+        }
+        let again = EmbeddingCloud::generate(500, 32, 20, 0.5, 42);
+        assert_eq!(cloud.vectors, again.vectors);
+    }
+
+    #[test]
+    fn same_topic_vectors_are_closer_than_cross_topic() {
+        let cloud = EmbeddingCloud::generate(400, 48, 40, 0.5, 7);
+        // Entries i and i+topics share a topic; i and i+1 do not.
+        let mut same = 0.0f32;
+        let mut cross = 0.0f32;
+        let topics = 40;
+        for i in 0..topics {
+            same +=
+                vector::cosine_similarity_normalized(&cloud.vectors[i], &cloud.vectors[i + topics]);
+            cross += vector::cosine_similarity_normalized(
+                &cloud.vectors[i],
+                &cloud.vectors[(i + 1) % topics],
+            );
+        }
+        assert!(
+            same / topics as f32 > cross / topics as f32 + 0.2,
+            "topic structure must be present (same={same}, cross={cross})"
+        );
+    }
+
+    #[test]
+    fn probes_of_an_empty_cloud_are_empty() {
+        let cloud = EmbeddingCloud::generate(0, 8, 4, 0.5, 1);
+        assert!(cloud.probes(3, 0.25).is_empty());
+    }
+
+    #[test]
+    fn probes_are_close_to_their_base_entries() {
+        let cloud = EmbeddingCloud::generate(300, 32, 30, 0.5, 13);
+        let probes = cloud.probes(50, 0.25);
+        assert_eq!(probes.len(), 50);
+        for (i, probe) in probes.iter().enumerate() {
+            let base = &cloud.vectors[(i * 7919) % cloud.len()];
+            let sim = vector::cosine_similarity_normalized(probe, base);
+            assert!(sim > 0.9, "probe {i} drifted from its base (sim={sim})");
+        }
+    }
+}

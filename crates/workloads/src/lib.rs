@@ -23,8 +23,11 @@
 //!   experiment of Section IV-C).
 //! * [`userstudy`] — the per-participant totals behind Figure 4 and a trace
 //!   generator that reproduces them.
+//! * [`embeddings`] — synthetic embedding clouds with realistic topic
+//!   cluster structure, for vector-index benchmarks and recall tests.
 
 pub mod contextual;
+pub mod embeddings;
 pub mod pairgen;
 pub mod streams;
 pub mod topics;
@@ -34,6 +37,7 @@ pub use contextual::{
     contextual_workload, followup_training_pairs, paper_contextual_workload, ContextualProbe,
     ContextualWorkload, PopulateItem, ProbeKind,
 };
+pub use embeddings::EmbeddingCloud;
 pub use pairgen::generate_pairs;
 pub use streams::{standalone_workload, CacheWorkload, ProbeQuery};
 pub use topics::{Topic, TopicBank};

@@ -13,12 +13,7 @@ use crate::TopicBank;
 /// * Non-duplicate pairs are variants of two different topics; half of the
 ///   non-duplicates are drawn from the *same domain* so the dataset contains
 ///   hard negatives (lexically close, semantically different).
-pub fn generate_pairs(
-    bank: &TopicBank,
-    n: usize,
-    duplicate_ratio: f32,
-    seed: u64,
-) -> PairDataset {
+pub fn generate_pairs(bank: &TopicBank, n: usize, duplicate_ratio: f32, seed: u64) -> PairDataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pairs = Vec::with_capacity(n);
     if bank.is_empty() {
@@ -91,7 +86,10 @@ mod tests {
         let ds = generate_pairs(&bank, 200, 1.0, 4);
         for p in &ds.pairs {
             assert!(p.is_duplicate);
-            assert_ne!(p.query_a, p.query_b, "duplicates must not be verbatim copies");
+            assert_ne!(
+                p.query_a, p.query_b,
+                "duplicates must not be verbatim copies"
+            );
         }
     }
 

@@ -149,7 +149,11 @@ mod tests {
         let w = standalone_workload(&bank, 200, 300, 0.3, 2);
         assert_eq!(w.populate.len(), 200);
         assert_eq!(w.probes.len(), 300);
-        assert!((w.duplicate_ratio() - 0.3).abs() < 0.02, "{}", w.duplicate_ratio());
+        assert!(
+            (w.duplicate_ratio() - 0.3).abs() < 0.02,
+            "{}",
+            w.duplicate_ratio()
+        );
         assert_eq!(w.expected_hits(), 90);
     }
 

@@ -85,7 +85,11 @@ const PROGRAMMING: DomainSpec = DomainSpec {
         &["filter", "select", "pick out"],
         &["plot", "draw", "chart"],
         &["serialize", "encode", "convert to json"],
-        &["deduplicate", "remove duplicates from", "drop repeated items in"],
+        &[
+            "deduplicate",
+            "remove duplicates from",
+            "drop repeated items in",
+        ],
         &["validate", "check", "verify"],
         &["compress", "shrink", "zip"],
     ],
@@ -124,11 +128,23 @@ const DEVICES: DomainSpec = DomainSpec {
         &["battery life", "battery duration", "power source longevity"],
         &["storage space", "disk space", "free space"],
         &["network speed", "wifi speed", "connection speed"],
-        &["screen brightness", "display brightness", "brightness level"],
+        &[
+            "screen brightness",
+            "display brightness",
+            "brightness level",
+        ],
         &["data usage", "mobile data consumption", "cellular data use"],
         &["camera quality", "photo quality", "picture sharpness"],
-        &["notification settings", "alert settings", "notification preferences"],
-        &["privacy settings", "privacy controls", "data sharing settings"],
+        &[
+            "notification settings",
+            "alert settings",
+            "notification preferences",
+        ],
+        &[
+            "privacy settings",
+            "privacy controls",
+            "data sharing settings",
+        ],
     ],
 };
 
@@ -149,14 +165,42 @@ const COOKING: DomainSpec = DomainSpec {
         &["season", "flavour", "spice"],
     ],
     ys: &[
-        &["sourdough bread", "a sourdough loaf", "bread with a sourdough starter"],
-        &["a chocolate cake", "a cake with chocolate", "a rich chocolate sponge"],
-        &["grilled vegetables", "roasted veggies", "vegetables on the grill"],
+        &[
+            "sourdough bread",
+            "a sourdough loaf",
+            "bread with a sourdough starter",
+        ],
+        &[
+            "a chocolate cake",
+            "a cake with chocolate",
+            "a rich chocolate sponge",
+        ],
+        &[
+            "grilled vegetables",
+            "roasted veggies",
+            "vegetables on the grill",
+        ],
         &["fresh pasta", "homemade pasta", "pasta from scratch"],
-        &["cold brew coffee", "iced coffee concentrate", "slow brewed coffee"],
-        &["a tomato sauce", "a marinara sauce", "a basic tomato based sauce"],
-        &["pickled cucumbers", "homemade pickles", "cucumbers in brine"],
-        &["a lentil soup", "a soup with lentils", "a hearty lentil stew"],
+        &[
+            "cold brew coffee",
+            "iced coffee concentrate",
+            "slow brewed coffee",
+        ],
+        &[
+            "a tomato sauce",
+            "a marinara sauce",
+            "a basic tomato based sauce",
+        ],
+        &[
+            "pickled cucumbers",
+            "homemade pickles",
+            "cucumbers in brine",
+        ],
+        &[
+            "a lentil soup",
+            "a soup with lentils",
+            "a hearty lentil stew",
+        ],
     ],
 };
 
@@ -172,20 +216,56 @@ const KNOWLEDGE: DomainSpec = DomainSpec {
     xs: &[
         &["the concept of", "the idea behind", "the meaning of"],
         &["the history of", "the origin of", "the background of"],
-        &["the difference between cats and", "how cats differ from", "the contrast between cats and"],
+        &[
+            "the difference between cats and",
+            "how cats differ from",
+            "the contrast between cats and",
+        ],
         &["the purpose of", "the role of", "the function of"],
     ],
     ys: &[
-        &["federated learning", "training models across devices", "collaborative model training"],
-        &["quantum computing", "computers based on qubits", "quantum computers"],
-        &["photosynthesis", "how plants make energy", "plant energy production"],
-        &["the french revolution", "the revolution in france", "france's 1789 revolution"],
-        &["black holes", "collapsed stars", "regions of extreme gravity"],
-        &["inflation in economics", "rising price levels", "monetary inflation"],
+        &[
+            "federated learning",
+            "training models across devices",
+            "collaborative model training",
+        ],
+        &[
+            "quantum computing",
+            "computers based on qubits",
+            "quantum computers",
+        ],
+        &[
+            "photosynthesis",
+            "how plants make energy",
+            "plant energy production",
+        ],
+        &[
+            "the french revolution",
+            "the revolution in france",
+            "france's 1789 revolution",
+        ],
+        &[
+            "black holes",
+            "collapsed stars",
+            "regions of extreme gravity",
+        ],
+        &[
+            "inflation in economics",
+            "rising price levels",
+            "monetary inflation",
+        ],
         &["dna replication", "copying of dna", "how dna copies itself"],
-        &["string theory", "theories of vibrating strings", "string based physics"],
+        &[
+            "string theory",
+            "theories of vibrating strings",
+            "string based physics",
+        ],
         &["dogs", "pet dogs", "domestic dogs"],
-        &["semantic caching", "caches that match meaning", "meaning aware caching"],
+        &[
+            "semantic caching",
+            "caches that match meaning",
+            "meaning aware caching",
+        ],
     ],
 };
 
@@ -202,14 +282,34 @@ const TRAVEL: DomainSpec = DomainSpec {
         &["visiting", "travelling to", "taking a trip to"],
         &["hiking in", "trekking through", "walking across"],
         &["backpacking around", "touring", "exploring"],
-        &["driving through", "road tripping across", "taking a car journey in"],
+        &[
+            "driving through",
+            "road tripping across",
+            "taking a car journey in",
+        ],
     ],
     ys: &[
         &["japan", "the japanese islands", "tokyo and kyoto"],
-        &["iceland", "the icelandic highlands", "reykjavik and the ring road"],
-        &["the swiss alps", "alpine switzerland", "the mountains of switzerland"],
-        &["patagonia", "southern chile and argentina", "the patagonian region"],
-        &["morocco", "marrakesh and the atlas mountains", "the moroccan desert"],
+        &[
+            "iceland",
+            "the icelandic highlands",
+            "reykjavik and the ring road",
+        ],
+        &[
+            "the swiss alps",
+            "alpine switzerland",
+            "the mountains of switzerland",
+        ],
+        &[
+            "patagonia",
+            "southern chile and argentina",
+            "the patagonian region",
+        ],
+        &[
+            "morocco",
+            "marrakesh and the atlas mountains",
+            "the moroccan desert",
+        ],
         &["new zealand", "the south island of new zealand", "aotearoa"],
         &["norway", "the norwegian fjords", "western norway"],
     ],
@@ -231,13 +331,33 @@ const FINANCE: DomainSpec = DomainSpec {
         &["track", "monitor", "keep records of"],
     ],
     ys: &[
-        &["a home renovation", "remodelling a house", "a kitchen remodel"],
+        &[
+            "a home renovation",
+            "remodelling a house",
+            "a kitchen remodel",
+        ],
         &["index funds", "broad market funds", "passive stock funds"],
-        &["monthly subscriptions", "recurring subscription costs", "subscription spending"],
+        &[
+            "monthly subscriptions",
+            "recurring subscription costs",
+            "subscription spending",
+        ],
         &["a student loan", "university debt", "tuition debt"],
-        &["an emergency fund", "a rainy day fund", "savings for emergencies"],
-        &["retirement savings", "a pension pot", "long term retirement money"],
-        &["credit card debt", "outstanding card balances", "revolving credit debt"],
+        &[
+            "an emergency fund",
+            "a rainy day fund",
+            "savings for emergencies",
+        ],
+        &[
+            "retirement savings",
+            "a pension pot",
+            "long term retirement money",
+        ],
+        &[
+            "credit card debt",
+            "outstanding card balances",
+            "revolving credit debt",
+        ],
     ],
 };
 
@@ -364,7 +484,11 @@ mod tests {
                 topic.variants
             );
             let unique: HashSet<&String> = topic.variants.iter().collect();
-            assert_eq!(unique.len(), topic.variant_count(), "variants must be distinct");
+            assert_eq!(
+                unique.len(),
+                topic.variant_count(),
+                "variants must be distinct"
+            );
         }
     }
 
@@ -384,8 +508,14 @@ mod tests {
         // Topic set is identical but variants differ with the seed.
         assert_eq!(a.len(), c.len());
         assert_ne!(
-            a.topics().iter().map(|t| t.variants.clone()).collect::<Vec<_>>(),
-            c.topics().iter().map(|t| t.variants.clone()).collect::<Vec<_>>()
+            a.topics()
+                .iter()
+                .map(|t| t.variants.clone())
+                .collect::<Vec<_>>(),
+            c.topics()
+                .iter()
+                .map(|t| t.variants.clone())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -15,7 +15,11 @@ use meancache::{GptCacheBaseline, GptCacheConfig, MeanCache, MeanCacheConfig, Se
 fn print_turn(label: &str, query: &str, hit: bool) {
     println!(
         "  {label:<22} {query:<34} -> {}",
-        if hit { "answered from cache" } else { "forwarded to the LLM" }
+        if hit {
+            "answered from cache"
+        } else {
+            "forwarded to the LLM"
+        }
     );
 }
 
@@ -62,7 +66,11 @@ fn drive<C: SemanticCache>(cache: &mut C) {
 
     // Re-asking q2 inside conversation 1 is a legitimate hit for both caches.
     let repeat = cache.lookup("switch the colour to red please", &ctx1);
-    print_turn("conversation 1 again:", "switch the colour to red please", repeat.is_hit());
+    print_turn(
+        "conversation 1 again:",
+        "switch the colour to red please",
+        repeat.is_hit(),
+    );
 }
 
 fn main() {

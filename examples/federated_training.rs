@@ -112,6 +112,10 @@ fn main() {
     println!(
         "\ndeployed cache (tau={:.3}) on probe {probe:?}: {}",
         cache.threshold(),
-        if outcome_probe.is_hit() { "HIT (served locally)" } else { "MISS (forwarded to LLM)" }
+        if outcome_probe.is_hit() {
+            "HIT (served locally)"
+        } else {
+            "MISS (forwarded to LLM)"
+        }
     );
 }

@@ -42,12 +42,18 @@ fn main() {
         )
         .expect("populate");
 
-    println!("cached entries after the first session: {}", deployment.cache().len());
+    println!(
+        "cached entries after the first session: {}",
+        deployment.cache().len()
+    );
 
     // 5. Later the user asks semantically similar questions. MeanCache serves
     //    them locally: no LLM call, no network, no charge.
     let probes = vec![
-        ProbeSpec::standalone("tips for extending the duration of my phone's power source", true),
+        ProbeSpec::standalone(
+            "tips for extending the duration of my phone's power source",
+            true,
+        ),
         ProbeSpec::standalone("explain federated learning to me", true),
         ProbeSpec::standalone("what should I know before visiting japan", false),
     ];
@@ -57,7 +63,11 @@ fn main() {
     for record in &report.records {
         println!(
             "  [{}] {:<62} {:.3}s",
-            if record.predicted_hit { "cache hit " } else { "LLM call  " },
+            if record.predicted_hit {
+                "cache hit "
+            } else {
+                "LLM call  "
+            },
             record.query,
             record.latency_s
         );

@@ -1,0 +1,12 @@
+//! # mc-suite
+//!
+//! Workspace-level facade for the MeanCache reproduction. This package owns
+//! the cross-crate integration tests (`tests/`) and the runnable examples
+//! (`examples/`); the library itself simply re-exports the crates most
+//! entry-point code needs so quickstarts can depend on one name.
+
+pub use mc_embedder as embedder;
+pub use mc_llm as llm;
+pub use mc_store as store;
+pub use mc_workloads as workloads;
+pub use meancache as core;

@@ -136,8 +136,12 @@ fn context_mismatch_probes_are_the_baselines_weakness() {
             .parent
             .map(|p| vec![workload.populate[p].text.clone()])
             .unwrap_or_default();
-        meancache.insert(&item.text, "cached response", &context).unwrap();
-        baseline.insert(&item.text, "cached response", &context).unwrap();
+        meancache
+            .insert(&item.text, "cached response", &context)
+            .unwrap();
+        baseline
+            .insert(&item.text, "cached response", &context)
+            .unwrap();
     }
 
     // On context-mismatch probes (same follow-up wording, different

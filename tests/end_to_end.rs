@@ -20,7 +20,11 @@ fn deployed_cache() -> MeanCache {
 /// the threshold-sensitivity test, which only needs relative behaviour).
 fn build_cache(threshold: f32) -> MeanCache {
     let encoder = QueryEncoder::new(ModelProfile::tiny(), 3).unwrap();
-    MeanCache::new(encoder, MeanCacheConfig::default().with_threshold(threshold)).unwrap()
+    MeanCache::new(
+        encoder,
+        MeanCacheConfig::default().with_threshold(threshold),
+    )
+    .unwrap()
 }
 
 fn llm() -> SimulatedLlm {

@@ -146,7 +146,9 @@ fn pca_compression_cuts_embedding_storage_by_more_than_80_percent() {
 fn compressed_cache_persists_and_reloads() {
     let encoder_factory = || {
         let mut encoder = QueryEncoder::new(ModelProfile::tiny(), 29).unwrap();
-        let corpus: Vec<String> = (0..40).map(|i| format!("corpus query about topic {i}")).collect();
+        let corpus: Vec<String> = (0..40)
+            .map(|i| format!("corpus query about topic {i}"))
+            .collect();
         encoder.fit_pca(&corpus, 8, 29).unwrap();
         encoder
     };
