@@ -1,9 +1,11 @@
 //! Embedding-computation benchmarks (the timing half of Figure 15): how long
-//! one query takes to encode under each model profile, and the effect of an
-//! attached PCA compression layer.
+//! one query takes to encode under each model profile, the effect of an
+//! attached PCA compression layer, and the slice kernels (`dot` / `axpy`)
+//! every optimiser step and similarity scan is built from.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mc_embedder::{ModelProfile, QueryEncoder};
+use mc_tensor::vector;
 use std::hint::black_box;
 
 const QUERY: &str = "how can I increase the battery life of my smartphone without replacing it";
@@ -42,9 +44,49 @@ fn bench_encode_with_compression(c: &mut Criterion) {
     group.finish();
 }
 
+/// The slice kernels underneath everything: `dot` (similarity scans, norms)
+/// and `axpy` (every optimiser step of the nn/fl training path), both
+/// unrolled with 4-lane accumulators, plus the fused SQ8 scan kernel for
+/// comparison against its f32 equivalent at the same dimensionality.
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_kernels");
+    group.sample_size(30);
+    for &dims in &[64usize, 768] {
+        let a: Vec<f32> = (0..dims).map(|i| (i as f32 * 0.13).sin()).collect();
+        let b: Vec<f32> = (0..dims).map(|i| (i as f32 * 0.31).cos()).collect();
+        let codes: Vec<u8> = (0..dims).map(|i| (i * 37 % 256) as u8).collect();
+        let query_sum = vector::sum(&a);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("dot_{dims}d")),
+            &dims,
+            |bencher, _| bencher.iter(|| black_box(vector::dot(&a, &b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("dot_u8_asym_{dims}d")),
+            &dims,
+            |bencher, _| {
+                bencher.iter(|| black_box(vector::dot_u8_asym(&a, &codes, 0.01, -1.0, query_sum)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("axpy_{dims}d")),
+            &dims,
+            |bencher, _| {
+                let mut y = b.clone();
+                bencher.iter(|| {
+                    vector::axpy(0.001, &a, &mut y);
+                    black_box(y[0])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_encode_per_profile,
-    bench_encode_with_compression
+    bench_encode_with_compression,
+    bench_kernels
 );
 criterion_main!(benches);

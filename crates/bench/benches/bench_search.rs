@@ -20,11 +20,14 @@ fn build_index(kind: &IndexKind, entries: usize, dims: usize) -> (AnyIndex, Vec<
     (index, q)
 }
 
-/// Backends under comparison: the exact scan and IVF at default settings.
+/// Backends under comparison: the exact scan and IVF at default settings,
+/// each over both row codecs (`f32` exact rows vs SQ8 quantised rows).
 fn backends() -> Vec<(&'static str, IndexKind)> {
     vec![
         ("flat", IndexKind::flat()),
+        ("flat_sq8", IndexKind::flat_sq8()),
         ("ivf", IndexKind::Ivf(IvfConfig::default())),
+        ("ivf_sq8", IndexKind::ivf_sq8()),
     ]
 }
 
@@ -63,6 +66,7 @@ fn bench_parallel_threshold(c: &mut Criterion) {
     for &threshold in &[usize::MAX, 16_384, 2_048, 256] {
         let kind = IndexKind::Flat {
             parallel_threshold: threshold,
+            quantization: mc_store::Quantization::F32,
         };
         let (index, query) = build_index(&kind, entries, 64);
         let label = if threshold == usize::MAX {

@@ -170,6 +170,13 @@ impl<'a, T: Sync> ParChunks<'a, T> {
             f,
         }
     }
+
+    pub fn enumerate(self) -> EnumerateChunks<'a, T> {
+        EnumerateChunks {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
 }
 
 impl<'a, T: Send> ParChunksMut<'a, T> {
@@ -207,6 +214,52 @@ pub struct MapChunks<'a, T, F> {
 pub struct EnumerateChunksMut<'a, T> {
     slice: &'a mut [T],
     chunk_size: usize,
+}
+
+pub struct EnumerateChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+pub struct MapEnumerateChunks<'a, T, F> {
+    slice: &'a [T],
+    chunk_size: usize,
+    f: F,
+}
+
+impl<'a, T: Sync> EnumerateChunks<'a, T> {
+    pub fn map<R, F>(self, f: F) -> MapEnumerateChunks<'a, T, F>
+    where
+        F: Fn((usize, &'a [T])) -> R + Sync,
+        R: Send,
+    {
+        MapEnumerateChunks {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+            f,
+        }
+    }
+}
+
+impl<'a, T, R, F> MapEnumerateChunks<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'a [T])) -> R + Sync,
+{
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n_chunks = self.slice.len().div_ceil(self.chunk_size.max(1));
+        let produced = join_blocks(n_chunks, blocks_for(n_chunks), |start, end| {
+            (start..end)
+                .map(|c| {
+                    let lo = c * self.chunk_size;
+                    let hi = (lo + self.chunk_size).min(self.slice.len());
+                    (self.f)((c, &self.slice[lo..hi]))
+                })
+                .collect()
+        });
+        produced.into_iter().collect()
+    }
 }
 
 /// Runs `produce(start, end)` for each of `blocks` contiguous sub-ranges of
@@ -378,6 +431,22 @@ mod tests {
             .collect();
         assert_eq!(out, (1..1000).collect::<Vec<u64>>());
         assert_eq!(data, (1..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_chunks_enumerate_map_collect_preserves_indices() {
+        let data: Vec<f32> = (0..501).map(|i| i as f32).collect();
+        let out: Vec<(usize, f32)> = data
+            .par_chunks(7)
+            .enumerate()
+            .map(|(i, c)| (i, c.iter().sum::<f32>()))
+            .collect();
+        let expect: Vec<(usize, f32)> = data
+            .chunks(7)
+            .enumerate()
+            .map(|(i, c)| (i, c.iter().sum::<f32>()))
+            .collect();
+        assert_eq!(out, expect);
     }
 
     #[test]

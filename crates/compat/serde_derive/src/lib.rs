@@ -3,17 +3,28 @@
 //! Hand-rolled (no `syn`/`quote` available offline) derive macros for the
 //! `serde` shim's `Serialize`/`Deserialize` traits. Supports the shapes this
 //! workspace actually derives: non-generic named-field structs, unit structs,
-//! and enums with unit / newtype / tuple / struct variants. Anything else
-//! (generics, tuple structs, `#[serde(...)]` attributes) is rejected with a
-//! compile error rather than silently mishandled.
+//! and enums with unit / newtype / tuple / struct variants, plus the
+//! `#[serde(default)]` field attribute (a missing field deserialises via
+//! `Default::default()` — how configs stay loadable when new fields are
+//! added). Anything else (generics, tuple structs, other `#[serde(...)]`
+//! attributes) is rejected with a compile error rather than silently
+//! mishandled.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing field deserialises via
+    /// `Default::default()` instead of erroring.
+    default: bool,
+}
 
 #[derive(Debug)]
 enum Shape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 #[derive(Debug)]
@@ -34,7 +45,7 @@ enum Input {
     },
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     let body = match &parsed {
@@ -49,7 +60,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     ))
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     let body = match &parsed {
@@ -149,17 +160,64 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
     }
 }
 
-/// Extracts field names from the token stream of a `{ ... }` field list.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// `true` when the attribute group (the `[...]` after `#`) is exactly
+/// `serde(default)`.
+fn is_serde_default_attr(group: &proc_macro::Group) -> bool {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)]
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            matches!(inner.as_slice(),
+                [TokenTree::Ident(arg)] if arg.to_string() == "default")
+        }
+        _ => false,
+    }
+}
+
+/// Advances past outer attributes and a visibility qualifier like
+/// [`skip_attrs_and_vis`], additionally reporting whether a
+/// `#[serde(default)]` attribute was among them.
+fn skip_attrs_and_vis_noting_default(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut has_default = false;
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(group)) = tokens.get(*pos + 1) {
+                    has_default |= is_serde_default_attr(group);
+                }
+                *pos += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+/// Extracts fields (name + `#[serde(default)]` flag) from the token stream
+/// of a `{ ... }` field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut pos = 0;
     while pos < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut pos);
+        let default = skip_attrs_and_vis_noting_default(&tokens, &mut pos);
         let Some(TokenTree::Ident(id)) = tokens.get(pos) else {
             break;
         };
-        fields.push(id.to_string());
+        fields.push(Field {
+            name: id.to_string(),
+            default,
+        });
         pos += 1;
         match tokens.get(pos) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
@@ -256,10 +314,11 @@ fn count_tuple_fields(stream: TokenStream) -> usize {
 // Code generation
 // ---------------------------------------------------------------------------
 
-fn serialize_named_fields(fields: &[String], access_prefix: &str) -> String {
+fn serialize_named_fields(fields: &[Field], access_prefix: &str) -> String {
     let entries: Vec<String> = fields
         .iter()
-        .map(|f| {
+        .map(|field| {
+            let f = &field.name;
             format!(
                 "(::std::string::String::from(\"{f}\"), \
                  ::serde::Serialize::serialize_value(&{access_prefix}{f}))"
@@ -272,15 +331,23 @@ fn serialize_named_fields(fields: &[String], access_prefix: &str) -> String {
     )
 }
 
-fn deserialize_named_fields(type_display: &str, fields: &[String]) -> String {
+fn deserialize_named_fields(type_display: &str, fields: &[Field]) -> String {
     fields
         .iter()
-        .map(|f| {
+        .map(|field| {
+            let f = &field.name;
+            let on_missing = if field.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(::serde::Error::custom(\n\
+                         \"missing field `{f}` in {type_display}\"))"
+                )
+            };
             format!(
                 "{f}: match value.get(\"{f}\") {{\n\
                      Some(field_value) => ::serde::Deserialize::deserialize_value(field_value)?,\n\
-                     None => return ::std::result::Result::Err(::serde::Error::custom(\n\
-                         \"missing field `{f}` in {type_display}\")),\n\
+                     None => {on_missing},\n\
                  }},"
             )
         })
@@ -348,10 +415,11 @@ fn serialize_enum(name: &str, variants: &[Variant]) -> String {
                 }
                 Shape::Named(fields) => {
                     let inner = serialize_named_fields(fields, "");
+                    let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                     format!(
                         "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
                              ::std::string::String::from(\"{vname}\"), {inner})]),",
-                        binds = fields.join(", ")
+                        binds = binds.join(", ")
                     )
                 }
             }

@@ -188,9 +188,16 @@ impl MeanCache {
         self.stats
     }
 
-    /// Name of the live vector-index backend (`"flat"` or `"ivf"`).
+    /// Name of the live vector-index backend (`"flat"`, `"flat-sq8"`,
+    /// `"ivf"` or `"ivf-sq8"`).
     pub fn index_kind(&self) -> &'static str {
         self.index.kind_name()
+    }
+
+    /// Borrow the live vector index (tests and persistence checks inspect
+    /// the stored representation — e.g. SQ8 codes — through this).
+    pub fn index(&self) -> &AnyIndex {
+        &self.index
     }
 
     /// Bytes spent on the search structure (embeddings as indexed, plus any

@@ -34,7 +34,10 @@ pub struct MeanCacheConfig {
     /// Which vector-index backend the cache searches with: exact
     /// [`IndexKind::Flat`] scanning (the default, right up to a few tens of
     /// thousands of entries) or [`IndexKind::Ivf`] approximate search for
-    /// large caches. See `mc_store::index` for the trade-offs.
+    /// large caches. Either backend can additionally store SQ8-quantised
+    /// rows ([`IndexKind::flat_sq8`] / [`IndexKind::ivf_sq8`]) to cut the
+    /// index's embedding bytes ~4×. See `mc_store::index` and
+    /// `mc_store::rows` for the trade-offs.
     pub index: IndexKind,
 }
 
@@ -172,6 +175,13 @@ mod tests {
         assert_eq!(cfg.index.name(), "flat");
         let cfg = cfg.with_index(IndexKind::ivf());
         assert_eq!(cfg.index.name(), "ivf");
+        assert!(cfg.validate().is_ok());
+        // The SQ8 row codec is part of the same knob.
+        let cfg = cfg.with_index(IndexKind::flat_sq8());
+        assert_eq!(cfg.index.name(), "flat-sq8");
+        assert!(cfg.validate().is_ok());
+        let cfg = cfg.with_index(IndexKind::ivf_sq8());
+        assert_eq!(cfg.index.name(), "ivf-sq8");
         assert!(cfg.validate().is_ok());
     }
 

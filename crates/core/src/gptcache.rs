@@ -35,7 +35,8 @@ pub struct GptCacheConfig {
     /// Vector-index backend for the server-side store. A server cache pools
     /// *all* users' queries, so it crosses into ANN territory much earlier
     /// than a per-user cache; deployments at the configured million-entry
-    /// capacity should pick [`IndexKind::Ivf`].
+    /// capacity should pick [`IndexKind::Ivf`] — or [`IndexKind::ivf_sq8`]
+    /// to also quarter the resident embedding bytes.
     pub index: IndexKind,
 }
 

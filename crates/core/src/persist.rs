@@ -5,13 +5,25 @@
 //! are written to `mc-store`'s append-only [`DiskStore`] and reloaded into a
 //! fresh [`MeanCache`] built around the same encoder.
 //!
-//! The entry log is **index-agnostic**: it stores raw embeddings, and loading
-//! re-inserts them into whatever [`mc_store::VectorIndex`] backend the
-//! target cache's configuration selects (an IVF-backed cache re-clusters as
-//! it refills). [`save_cache_with_config`] / [`load_cache_with_config`]
-//! additionally round-trip the [`MeanCacheConfig`] — including its
-//! [`mc_store::IndexKind`] — through a JSON sidecar, so a deployment can
-//! restore a cache without hard-coding which backend wrote it.
+//! The entry log is **index-agnostic**: it stores raw `f32` embeddings (the
+//! binary layout's `[u32 dims][f32 * dims]` payload), and loading re-inserts
+//! them into whatever [`mc_store::VectorIndex`] backend the target cache's
+//! configuration selects (an IVF-backed cache re-clusters as it refills).
+//! [`save_cache_with_config`] / [`load_cache_with_config`] additionally
+//! round-trip the [`MeanCacheConfig`] — including its
+//! [`mc_store::IndexKind`], and therefore the row codec
+//! ([`mc_store::Quantization`]) — through a JSON sidecar, so a deployment
+//! can restore a cache without hard-coding which backend wrote it.
+//!
+//! **SQ8 caches round-trip with bit-identical codes.** The sidecar restores
+//! the SQ8 [`mc_store::IndexKind`]; the raw-`f32` log is the codec's exact
+//! input, and `QuantizedVec::quantize` is deterministic, so replaying the
+//! log reproduces every row's codes and scale/min constants bit-for-bit
+//! (asserted by `sq8_cache_round_trips_with_bit_identical_codes`). Keeping
+//! the log at full precision — rather than persisting the codes themselves —
+//! also means the store's context-chain embeddings stay exact, and a
+//! deployment can flip codecs (or back) on an existing log with nothing but
+//! a config change.
 
 use std::path::{Path, PathBuf};
 
@@ -244,6 +256,79 @@ mod tests {
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(config_sidecar(&path)).ok();
         std::fs::remove_file(&bare).ok();
+    }
+
+    #[test]
+    fn both_sq8_backends_round_trip_through_the_log() {
+        use mc_store::IndexKind;
+        for kind in [IndexKind::flat_sq8(), IndexKind::ivf_sq8()] {
+            let path = temp_path(&format!("kind_{}", kind.name()));
+            let encoder = QueryEncoder::new(ModelProfile::tiny(), 11).unwrap();
+            let config = MeanCacheConfig::default()
+                .with_threshold(0.6)
+                .with_index(kind.clone());
+            let mut cache = MeanCache::new(encoder.clone(), config.clone()).unwrap();
+            for i in 0..30 {
+                cache
+                    .insert(
+                        &format!("unique query number {i}"),
+                        &format!("answer {i}"),
+                        &[],
+                    )
+                    .unwrap();
+            }
+            save_cache(&cache, &path).unwrap();
+            let template = MeanCache::new(encoder, config).unwrap();
+            let mut restored = load_cache(template, &path).unwrap();
+            assert_eq!(restored.len(), 30);
+            assert_eq!(restored.index_kind(), kind.name());
+            assert!(restored.lookup("unique query number 17", &[]).is_hit());
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn sq8_cache_round_trips_with_bit_identical_codes() {
+        use mc_store::{AnyIndex, IndexKind};
+        let path = temp_path("sq8_codes");
+        let encoder = QueryEncoder::new(ModelProfile::tiny(), 11).unwrap();
+        let mut cache = MeanCache::new(
+            encoder.clone(),
+            MeanCacheConfig::default()
+                .with_threshold(0.6)
+                .with_index(IndexKind::flat_sq8()),
+        )
+        .unwrap();
+        let ids: Vec<u64> = (0..25)
+            .map(|i| {
+                cache
+                    .insert(&format!("distinct topic number {i}"), "resp", &[])
+                    .unwrap()
+            })
+            .collect();
+        save_cache_with_config(&cache, &path).unwrap();
+
+        // No template: the sidecar alone must restore the SQ8 codec, and the
+        // raw-f32 log + deterministic quantiser must reproduce every row's
+        // stored codes and constants bit-for-bit.
+        let restored = load_cache_with_config(encoder, &path).unwrap();
+        assert_eq!(restored.index_kind(), "flat-sq8");
+        let (AnyIndex::Flat(before), AnyIndex::Flat(after)) = (cache.index(), restored.index())
+        else {
+            panic!("both caches are flat-backed")
+        };
+        for &id in &ids {
+            let (codes_a, scale_a, min_a) = before.sq8_row(id).expect("row saved");
+            let (codes_b, scale_b, min_b) = after.sq8_row(id).expect("row restored");
+            assert_eq!(
+                codes_a, codes_b,
+                "codes for entry {id} must be bit-identical"
+            );
+            assert_eq!(scale_a.to_bits(), scale_b.to_bits());
+            assert_eq!(min_a.to_bits(), min_b.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(config_sidecar(&path)).ok();
     }
 
     #[test]

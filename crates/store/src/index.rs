@@ -13,13 +13,18 @@
 //!
 //! Higher layers hold an [`AnyIndex`] (concrete enum dispatch, so caches stay
 //! `Clone` + serialisable) built from an [`IndexKind`] configuration knob.
-//! Future backends (sharded, quantised, disk-resident) plug in by extending
-//! the trait/enum pair.
+//! Orthogonally to the backend, the **row codec** ([`Quantization`]) decides
+//! how either backend stores its rows: exact `f32` or SQ8 (one byte per
+//! dimension, ~4× smaller, scanned with a fused integer kernel) — so
+//! `flat`/`flat-sq8`/`ivf`/`ivf-sq8` are all configuration, not code. Future
+//! backends (sharded, disk-resident) plug in by extending the trait/enum
+//! pair.
 
 use serde::{Deserialize, Serialize};
 
 use crate::flat::{FlatIndex, DEFAULT_PARALLEL_SEARCH_THRESHOLD};
 use crate::ivf::{IvfConfig, IvfIndex};
+use crate::rows::Quantization;
 use crate::Result;
 
 /// A search hit: the entry id and its cosine similarity to the query.
@@ -128,8 +133,15 @@ pub enum IndexKind {
         /// Number of stored vectors above which a lookup uses the rayon
         /// pool (see [`DEFAULT_PARALLEL_SEARCH_THRESHOLD`]).
         parallel_threshold: usize,
+        /// Row codec: exact `f32` rows or SQ8 quantised rows (~4× smaller,
+        /// scanned with the fused asymmetric kernel). See [`crate::rows`].
+        /// Defaults to `f32` so config sidecars written before this field
+        /// existed still load.
+        #[serde(default)]
+        quantization: Quantization,
     },
-    /// k-means inverted-file approximate search.
+    /// k-means inverted-file approximate search (its row codec lives in
+    /// [`IvfConfig::quantization`]).
     Ivf(IvfConfig),
 }
 
@@ -140,10 +152,20 @@ impl Default for IndexKind {
 }
 
 impl IndexKind {
-    /// The default exact backend.
+    /// The default exact backend (`f32` rows).
     pub fn flat() -> Self {
         IndexKind::Flat {
             parallel_threshold: DEFAULT_PARALLEL_SEARCH_THRESHOLD,
+            quantization: Quantization::F32,
+        }
+    }
+
+    /// The exact backend over SQ8-quantised rows: the same scan, a quarter
+    /// of the resident bytes, scores within one quantisation step.
+    pub fn flat_sq8() -> Self {
+        IndexKind::Flat {
+            parallel_threshold: DEFAULT_PARALLEL_SEARCH_THRESHOLD,
+            quantization: Quantization::Sq8,
         }
     }
 
@@ -152,11 +174,30 @@ impl IndexKind {
         IndexKind::Ivf(IvfConfig::default())
     }
 
+    /// The ANN backend over SQ8-quantised posting lists (IVF-SQ8): cell
+    /// pruning *and* 4× smaller rows.
+    pub fn ivf_sq8() -> Self {
+        IndexKind::Ivf(IvfConfig {
+            quantization: Quantization::Sq8,
+            ..IvfConfig::default()
+        })
+    }
+
+    /// The row codec this kind stores embeddings under.
+    pub fn quantization(&self) -> Quantization {
+        match self {
+            IndexKind::Flat { quantization, .. } => *quantization,
+            IndexKind::Ivf(config) => config.quantization,
+        }
+    }
+
     /// Human-readable backend name for reports.
     pub fn name(&self) -> &'static str {
-        match self {
-            IndexKind::Flat { .. } => "flat",
-            IndexKind::Ivf(_) => "ivf",
+        match (self, self.quantization()) {
+            (IndexKind::Flat { .. }, Quantization::F32) => "flat",
+            (IndexKind::Flat { .. }, Quantization::Sq8) => "flat-sq8",
+            (IndexKind::Ivf(_), Quantization::F32) => "ivf",
+            (IndexKind::Ivf(_), Quantization::Sq8) => "ivf-sq8",
         }
     }
 
@@ -178,9 +219,14 @@ impl IndexKind {
     /// invalid backend parameters.
     pub fn build(&self, dims: usize) -> Result<AnyIndex> {
         match self {
-            IndexKind::Flat { parallel_threshold } => Ok(AnyIndex::Flat(
-                FlatIndex::with_parallel_threshold(dims, *parallel_threshold)?,
-            )),
+            IndexKind::Flat {
+                parallel_threshold,
+                quantization,
+            } => Ok(AnyIndex::Flat(FlatIndex::with_options(
+                dims,
+                *parallel_threshold,
+                *quantization,
+            )?)),
             IndexKind::Ivf(config) => Ok(AnyIndex::Ivf(IvfIndex::new(dims, config.clone())?)),
         }
     }
@@ -199,9 +245,19 @@ pub enum AnyIndex {
 impl AnyIndex {
     /// The [`IndexKind`]-style name of the live backend.
     pub fn kind_name(&self) -> &'static str {
+        match (self, self.quantization()) {
+            (AnyIndex::Flat(_), Quantization::F32) => "flat",
+            (AnyIndex::Flat(_), Quantization::Sq8) => "flat-sq8",
+            (AnyIndex::Ivf(_), Quantization::F32) => "ivf",
+            (AnyIndex::Ivf(_), Quantization::Sq8) => "ivf-sq8",
+        }
+    }
+
+    /// The row codec the live backend stores embeddings under.
+    pub fn quantization(&self) -> Quantization {
         match self {
-            AnyIndex::Flat(_) => "flat",
-            AnyIndex::Ivf(_) => "ivf",
+            AnyIndex::Flat(index) => index.quantization(),
+            AnyIndex::Ivf(index) => index.config().quantization,
         }
     }
 }
@@ -317,11 +373,31 @@ mod tests {
 
     #[test]
     fn index_kind_serde_round_trip() {
-        for kind in [IndexKind::flat(), IndexKind::ivf()] {
+        for kind in [
+            IndexKind::flat(),
+            IndexKind::flat_sq8(),
+            IndexKind::ivf(),
+            IndexKind::ivf_sq8(),
+        ] {
             let json = serde_json::to_string(&kind).unwrap();
             let back: IndexKind = serde_json::from_str(&json).unwrap();
             assert_eq!(kind, back);
         }
+    }
+
+    #[test]
+    fn pre_quantization_configs_still_deserialize() {
+        // Config sidecars written before the `quantization` field existed
+        // must keep loading, defaulting to exact f32 rows.
+        let old_flat = r#"{"Flat":{"parallel_threshold":8192}}"#;
+        let kind: IndexKind = serde_json::from_str(old_flat).unwrap();
+        assert_eq!(kind, IndexKind::flat());
+        let old_ivf = r#"{"Ivf":{"nlist":0,"nprobe":8,"train_min":256,
+            "retrain_growth":1.5,"kmeans_iters":8,"train_sample_per_list":64,
+            "seed":31413741}}"#;
+        let kind: IndexKind = serde_json::from_str(old_ivf).unwrap();
+        assert_eq!(kind.quantization(), Quantization::F32);
+        assert_eq!(kind.name(), "ivf");
     }
 
     #[test]

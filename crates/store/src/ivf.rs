@@ -32,6 +32,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::index::{SearchHit, VectorIndex};
+use crate::rows::{Quantization, RowStore};
 use crate::{Result, StoreError};
 
 /// Hard ceiling on [`IvfConfig::nlist`]: beyond this the per-lookup centroid
@@ -62,6 +63,13 @@ pub struct IvfConfig {
     pub train_sample_per_list: usize,
     /// Seed for centroid initialisation and training-sample selection.
     pub seed: u64,
+    /// Row codec of the posting lists: exact `f32` (the default) or SQ8
+    /// (one `u8` code per dimension + per-row scale/min, ~4× smaller, the
+    /// classic IVF-SQ8 configuration). Centroids always stay `f32`, and
+    /// queries are never quantised. See [`crate::rows`]. Defaults to `f32`
+    /// so config sidecars written before this field existed still load.
+    #[serde(default)]
+    pub quantization: Quantization,
 }
 
 impl Default for IvfConfig {
@@ -74,6 +82,7 @@ impl Default for IvfConfig {
             kmeans_iters: 8,
             train_sample_per_list: 64,
             seed: 0x1df_5eed,
+            quantization: Quantization::F32,
         }
     }
 }
@@ -122,33 +131,17 @@ impl IvfConfig {
     }
 }
 
-/// One k-means cell: the ids and contiguous embeddings assigned to it.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-struct PostingList {
-    ids: Vec<u64>,
-    data: Vec<f32>,
-}
-
-impl PostingList {
-    fn push(&mut self, id: u64, embedding: &[f32]) {
-        self.ids.push(id);
-        self.data.extend_from_slice(embedding);
-    }
-
-    /// Swap-removes row `pos`, keeping `data` contiguous.
-    fn swap_remove(&mut self, pos: usize, dims: usize) {
-        crate::rows::swap_remove_row(&mut self.ids, &mut self.data, pos, dims);
-    }
-}
-
 /// Inverted-file approximate nearest-neighbour index.
+///
+/// One [`RowStore`] per k-means cell: the ids and contiguous (possibly
+/// SQ8-quantised) embedding rows assigned to it.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IvfIndex {
     dims: usize,
     config: IvfConfig,
     /// `lists.len() × dims` centroid matrix; empty while untrained.
     centroids: Vec<f32>,
-    lists: Vec<PostingList>,
+    lists: Vec<RowStore>,
     len: usize,
     /// `len()` when k-means last ran (0 = never trained).
     trained_at_len: usize,
@@ -172,11 +165,12 @@ impl IvfIndex {
             return Err(StoreError::InvalidConfig("dims must be >= 1".into()));
         }
         config.validate()?;
+        let lists = vec![RowStore::new(dims, config.quantization)];
         Ok(Self {
             dims,
             config,
             centroids: Vec::new(),
-            lists: vec![PostingList::default()],
+            lists,
             len: 0,
             trained_at_len: 0,
             mutations_since_train: 0,
@@ -227,7 +221,7 @@ impl IvfIndex {
             // Everything was removed: fall back to the untrained single-list
             // state instead of clustering nothing.
             self.centroids.clear();
-            self.lists = vec![PostingList::default()];
+            self.lists = vec![RowStore::new(self.dims, self.config.quantization)];
             self.cell_of.clear();
             self.trained_at_len = 0;
             self.mutations_since_train = 0;
@@ -247,14 +241,19 @@ impl IvfIndex {
     /// Clusters all stored vectors into `nlist` cells and rebuilds the
     /// posting lists.
     fn train(&mut self, nlist: usize) {
-        // Flatten current contents.
-        let mut all_ids = Vec::with_capacity(self.len);
+        // Merge the current contents into one arena, preserving each row's
+        // *stored* representation verbatim (SQ8 codes must survive a retrain
+        // bit-identically, not drift through dequantise→requantise cycles),
+        // and materialise an f32 view for k-means, which runs in f32 space.
+        let mut merged = RowStore::new(self.dims, self.config.quantization);
         let mut all_data = Vec::with_capacity(self.len * self.dims);
         for list in &self.lists {
-            all_ids.extend_from_slice(&list.ids);
-            all_data.extend_from_slice(&list.data);
+            for pos in 0..list.len() {
+                merged.push_row_from(list, pos);
+                list.extend_row_f32(pos, &mut all_data);
+            }
         }
-        let n = all_ids.len();
+        let n = merged.len();
         debug_assert_eq!(n, self.len);
 
         // Train on a bounded sample: k-means cost is O(sample · nlist · d)
@@ -283,14 +282,14 @@ impl IvfIndex {
             .map(|row| nearest_centroid(row, centroids, dims) as u32)
             .collect();
 
-        let mut lists = vec![PostingList::default(); self.centroids.len() / self.dims];
+        let mut lists = vec![
+            RowStore::new(self.dims, self.config.quantization);
+            self.centroids.len() / self.dims
+        ];
         self.cell_of.clear();
         for (row, &cell) in assignments.iter().enumerate() {
-            lists[cell as usize].push(
-                all_ids[row],
-                &all_data[row * self.dims..(row + 1) * self.dims],
-            );
-            self.cell_of.insert(all_ids[row], cell);
+            lists[cell as usize].push_row_from(&merged, row);
+            self.cell_of.insert(merged.ids()[row], cell);
         }
         self.lists = lists;
         self.trained_at_len = self.len;
@@ -323,19 +322,20 @@ impl IvfIndex {
             .collect()
     }
 
-    /// Scores every vector of one cell against `query`.
+    /// Scores every vector of one cell against `query` (through the cell's
+    /// row codec — exact for `f32` rows, fused asymmetric for SQ8).
     fn scan_cell(&self, query: &[f32], cell: usize) -> Vec<(u64, f32)> {
         let list = &self.lists[cell];
-        list.data
-            .chunks_exact(self.dims)
-            .zip(&list.ids)
-            .map(|(row, &id)| (id, vector::cosine_similarity_normalized(query, row)))
+        list.ids()
+            .iter()
+            .copied()
+            .zip(list.scores_seq(query))
             .collect()
     }
 
     /// Scans the given cells, returning every (id, score) candidate.
     fn scan_cells(&self, query: &[f32], cells: &[usize]) -> Vec<(u64, f32)> {
-        let total: usize = cells.iter().map(|&c| self.lists[c].ids.len()).sum();
+        let total: usize = cells.iter().map(|&c| self.lists[c].len()).sum();
         if cells.len() > 1 && total >= 4096 {
             // Rayon-parallel probe scan: one task per probed cell.
             cells
@@ -376,12 +376,10 @@ impl VectorIndex for IvfIndex {
     }
 
     fn storage_bytes(&self) -> usize {
-        let payload: usize = self.lists.iter().map(|l| l.data.len()).sum();
-        let ids: usize = self.lists.iter().map(|l| l.ids.len()).sum();
         // The id -> cell map is counted at its entry payload size; hash-table
         // slack is allocator-dependent and left out.
-        (payload + self.centroids.len()) * std::mem::size_of::<f32>()
-            + ids * std::mem::size_of::<u64>()
+        let rows: usize = self.lists.iter().map(|l| l.storage_bytes()).sum();
+        rows + self.centroids.len() * std::mem::size_of::<f32>()
             + self.cell_of.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
     }
 
@@ -418,13 +416,13 @@ impl VectorIndex for IvfIndex {
     fn remove(&mut self, id: u64) -> Result<()> {
         let cell = *self.cell_of.get(&id).ok_or(StoreError::NotFound(id))? as usize;
         let pos = self.lists[cell]
-            .ids
+            .ids()
             .iter()
             .position(|&x| x == id)
             .expect("cell_of and posting lists are kept in sync");
         // Swap-remove moves the cell's last entry into `pos`; it stays in
         // the same cell, so only the removed id's mapping changes.
-        self.lists[cell].swap_remove(pos, self.dims);
+        self.lists[cell].swap_remove(pos);
         self.cell_of.remove(&id);
         self.len -= 1;
         self.mutations_since_train += 1;
@@ -665,9 +663,7 @@ mod tests {
         assert!(idx.is_trained());
         assert_eq!(idx.nlist_active(), 8);
         assert_eq!(idx.len(), 300);
-        let total: usize = (0..idx.nlist_active())
-            .map(|c| idx.lists[c].ids.len())
-            .sum();
+        let total: usize = (0..idx.nlist_active()).map(|c| idx.lists[c].len()).sum();
         assert_eq!(total, 300);
         assert!(idx.storage_bytes() >= 300 * 8 * 4);
     }
@@ -683,8 +679,8 @@ mod tests {
         let idx = populated(400, 8, config);
         assert!(idx.is_trained());
         // A self-query must find itself with score ~1.
-        let probe_row = idx.lists[3].data[..8].to_vec();
-        let probe_id = idx.lists[3].ids[0];
+        let probe_row = idx.lists[3].row_f32(0);
+        let probe_id = idx.lists[3].ids()[0];
         let hits = idx.search(&probe_row, 1, 0.0).unwrap();
         assert_eq!(hits[0].id, probe_id);
         assert!(hits[0].score > 0.999);
@@ -711,10 +707,10 @@ mod tests {
         let cell = idx
             .lists
             .iter()
-            .position(|l| !l.ids.is_empty())
+            .position(|l| !l.is_empty())
             .expect("some cell is non-empty");
-        let probe_row = idx.lists[cell].data[..8].to_vec();
-        let probe_id = idx.lists[cell].ids[0];
+        let probe_row = idx.lists[cell].row_f32(0);
+        let probe_id = idx.lists[cell].ids()[0];
         let hits = idx.search(&probe_row, 1, 0.0).unwrap();
         assert_eq!(hits[0].id, probe_id);
     }
@@ -777,9 +773,9 @@ mod tests {
             "mutation counter must reset at retraining"
         );
         // The refreshed index still finds the new entries exactly.
-        let cell = idx.lists.iter().position(|l| !l.ids.is_empty()).unwrap();
-        let probe_row = idx.lists[cell].data[..8].to_vec();
-        let probe_id = idx.lists[cell].ids[0];
+        let cell = idx.lists.iter().position(|l| !l.is_empty()).unwrap();
+        let probe_row = idx.lists[cell].row_f32(0);
+        let probe_id = idx.lists[cell].ids()[0];
         let hits = idx.search(&probe_row, 1, 0.0).unwrap();
         assert_eq!(hits[0].id, probe_id);
     }
@@ -836,9 +832,9 @@ mod tests {
             idx.nlist_active()
         );
         // Survivors are still found exactly.
-        let cell = idx.lists.iter().position(|l| !l.ids.is_empty()).unwrap();
-        let probe_row = idx.lists[cell].data[..8].to_vec();
-        let probe_id = idx.lists[cell].ids[0];
+        let cell = idx.lists.iter().position(|l| !l.is_empty()).unwrap();
+        let probe_row = idx.lists[cell].row_f32(0);
+        let probe_id = idx.lists[cell].ids()[0];
         assert_eq!(idx.search(&probe_row, 1, 0.0).unwrap()[0].id, probe_id);
         // Removing everything resets to the untrained single-list state.
         for id in 320..400u64 {
@@ -851,6 +847,44 @@ mod tests {
         let mut rng = rng_fn(5);
         idx.add(9999, &unit_vec(8, &mut rng)).unwrap();
         assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn sq8_posting_lists_survive_retrains_bit_identically() {
+        let config = IvfConfig {
+            nlist: 6,
+            nprobe: 6,
+            train_min: 48,
+            quantization: Quantization::Sq8,
+            ..IvfConfig::default()
+        };
+        let mut idx = IvfIndex::new(8, config).unwrap();
+        let mut rng = rng_fn(2025);
+        let vectors: Vec<Vec<f32>> = (0..96).map(|_| unit_vec(8, &mut rng)).collect();
+        for (id, v) in vectors.iter().enumerate() {
+            idx.add(id as u64, v).unwrap();
+        }
+        assert!(idx.is_trained());
+        assert_eq!(idx.config().quantization, Quantization::Sq8);
+        // Every stored row's codes equal a fresh quantisation of its source
+        // vector: the retrain(s) moved codes verbatim, never re-encoding.
+        let mut checked = 0;
+        for list in &idx.lists {
+            for pos in 0..list.len() {
+                let id = list.ids()[pos] as usize;
+                let expect = mc_tensor::quant::QuantizedVec::quantize(&vectors[id]);
+                let (codes, scale, min) = list.sq8_row(pos).unwrap();
+                assert_eq!(codes, expect.codes.as_slice(), "codes drifted for {id}");
+                assert_eq!(scale, expect.scale);
+                assert_eq!(min, expect.min);
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 96);
+        // Probing every cell, a stored row finds itself despite quantisation.
+        let hits = idx.search(&vectors[11], 1, 0.0).unwrap();
+        assert_eq!(hits[0].id, 11);
+        assert!(hits[0].score > 0.99);
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   rayon-parallel scoring above a configurable size threshold.
 //! * [`ivf`] — [`IvfIndex`], the k-means inverted-file ANN backend
 //!   (`nlist`/`nprobe`) for large caches.
+//! * [`rows`] — the **row-codec layer**: [`RowStore`], the contiguous
+//!   `(id, row)` arena both backends store embeddings in, parameterised by
+//!   [`Quantization`] — exact `f32` rows or SQ8 (one `u8` code per dimension
+//!   plus a per-row scale/min, ~4× smaller, scanned with a fused asymmetric
+//!   `f32 × u8` kernel).
 //!
 //! ## Choosing an index backend
 //!
@@ -28,9 +33,14 @@
 //! cache holds up to a few tens of thousands of entries. [`IvfIndex`] prunes
 //! the scan to `nprobe` of `nlist` k-means cells, cutting lookup cost by
 //! roughly `nlist / nprobe` at ≥0.9 recall with default settings; pick it
-//! for 100k+ entries. Both round-trip through serde and the disk log, and
-//! both are driven through [`VectorIndex`] / [`AnyIndex`], so swapping
-//! backends is a configuration change ([`IndexKind`]), not a code change.
+//! for 100k+ entries. Orthogonally, either backend can store SQ8 rows
+//! ([`IndexKind::flat_sq8`] / [`IndexKind::ivf_sq8`]) to cut resident
+//! embedding bytes ~4× and make the scan memory-bandwidth-friendly, at a
+//! sub-quantisation-step score error (top-k ordering is preserved on
+//! anything but near-ties). All combinations round-trip through serde and
+//! the disk log, and all are driven through [`VectorIndex`] / [`AnyIndex`],
+//! so swapping backends *or codecs* is a configuration change
+//! ([`IndexKind`]), not a code change.
 
 pub mod disk;
 pub mod entry;
@@ -39,7 +49,7 @@ pub mod index;
 pub mod ivf;
 pub mod memstore;
 pub mod policy;
-mod rows;
+pub mod rows;
 
 pub use disk::DiskStore;
 pub use entry::CacheEntry;
@@ -48,6 +58,7 @@ pub use index::{AnyIndex, IndexKind, SearchHit, VectorIndex};
 pub use ivf::{IvfConfig, IvfIndex, MAX_NLIST};
 pub use memstore::MemoryStore;
 pub use policy::EvictionPolicy;
+pub use rows::{Quantization, RowStore};
 
 #[allow(deprecated)]
 pub use index::EmbeddingIndex;

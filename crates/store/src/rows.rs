@@ -1,48 +1,488 @@
-//! Shared contiguous row storage: parallel `ids` / `data` vectors where row
-//! `i` of `data` (a `dims`-long slice) belongs to `ids[i]`. Both index
-//! backends store embeddings this way; the swap-remove dance lives here once
-//! so the two cannot drift.
+//! The row-codec layer: contiguous embedding-row storage shared by both
+//! index backends, with a pluggable per-row codec.
+//!
+//! Both [`crate::FlatIndex`] and [`crate::IvfIndex`] store embeddings as
+//! parallel `ids` / row-payload arenas where row `i` belongs to `ids[i]`.
+//! [`RowStore`] owns that arena once — including the swap-remove dance — so
+//! the two backends cannot drift, and makes the *representation* of a row a
+//! codec choice ([`Quantization`]):
+//!
+//! * [`Quantization::F32`] — rows are raw `f32` (exact; 4 bytes/dim). The
+//!   scoring path is bit-identical to the pre-codec implementation.
+//! * [`Quantization::Sq8`] — rows are 8-bit scalar-quantised (SQ8, the
+//!   IVF-SQ8 lineage of FAISS-style inverted files): one `u8` code per
+//!   dimension plus a per-row `scale`/`min` pair, i.e. `value ≈ min +
+//!   code · scale` (see `mc_tensor::quant::QuantizedVec`). Codes live in one
+//!   contiguous `u8` arena, so a scan streams ~4× fewer bytes than `f32` —
+//!   the hot dot-product loop becomes memory-bandwidth-friendly.
+//!
+//! Queries are **never quantised**: SQ8 scoring uses the asymmetric fused
+//! kernel (`mc_tensor::vector::dot_u8_asym`) — an `f32 × u8` widening
+//! multiply-add with the affine scale/zero-point correction applied once per
+//! row — so the score error stays at one quantisation step of the stored row.
+//!
+//! The measured footprint per entry is `dims` bytes of codes + 8 bytes of
+//! per-row constants + 8 bytes of id (vs `4·dims + 8` for `f32`), which
+//! `storage_bytes` reports truthfully — compare `quant::stored_embedding_bytes`
+//! for the f32 on-disk accounting the paper's figures use.
 
-/// Swap-removes row `pos` from the parallel `(ids, data)` vectors, keeping
-/// `data` contiguous. Returns the id that was moved into `pos` (the former
-/// last row), if any — callers maintaining an id → position map must remap
-/// it.
-pub(crate) fn swap_remove_row(
-    ids: &mut Vec<u64>,
-    data: &mut Vec<f32>,
-    pos: usize,
-    dims: usize,
-) -> Option<u64> {
-    let last = ids.len() - 1;
-    ids.swap(pos, last);
-    ids.pop();
-    if pos != last {
-        let (head, tail) = data.split_at_mut(last * dims);
-        head[pos * dims..(pos + 1) * dims].copy_from_slice(&tail[..dims]);
+use mc_tensor::{quant::QuantizedVec, vector};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Which codec a [`RowStore`] (and therefore an index backend) stores its
+/// embedding rows in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Quantization {
+    /// Raw `f32` rows — exact scoring, 4 bytes per dimension.
+    #[default]
+    F32,
+    /// 8-bit scalar quantisation — ~4× smaller rows, ≤ half a quantisation
+    /// step of per-dimension reconstruction error.
+    Sq8,
+}
+
+impl Quantization {
+    /// Short name for reports and backend labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Quantization::F32 => "f32",
+            Quantization::Sq8 => "sq8",
+        }
     }
-    data.truncate(last * dims);
-    (pos != last).then(|| ids[pos])
+
+    /// Payload bytes one stored row costs under this codec (excluding the
+    /// row id).
+    pub fn row_bytes(&self, dims: usize) -> usize {
+        match self {
+            Quantization::F32 => dims * std::mem::size_of::<f32>(),
+            // dims codes + per-row scale and min.
+            Quantization::Sq8 => dims + 2 * std::mem::size_of::<f32>(),
+        }
+    }
+}
+
+/// The per-codec row payload arena.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum RowData {
+    /// `len · dims` raw values.
+    F32 { values: Vec<f32> },
+    /// `len · dims` codes plus one `scale`/`min` pair per row.
+    Sq8 {
+        codes: Vec<u8>,
+        scales: Vec<f32>,
+        mins: Vec<f32>,
+    },
+}
+
+/// Contiguous `(id, embedding-row)` storage under a chosen [`Quantization`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RowStore {
+    dims: usize,
+    ids: Vec<u64>,
+    data: RowData,
+}
+
+impl RowStore {
+    /// Creates an empty store for `dims`-dimensional rows.
+    pub fn new(dims: usize, quantization: Quantization) -> Self {
+        let data = match quantization {
+            Quantization::F32 => RowData::F32 { values: Vec::new() },
+            Quantization::Sq8 => RowData::Sq8 {
+                codes: Vec::new(),
+                scales: Vec::new(),
+                mins: Vec::new(),
+            },
+        };
+        Self {
+            dims,
+            ids: Vec::new(),
+            data,
+        }
+    }
+
+    /// The codec rows are stored in.
+    pub fn quantization(&self) -> Quantization {
+        match self.data {
+            RowData::F32 { .. } => Quantization::F32,
+            RowData::Sq8 { .. } => Quantization::Sq8,
+        }
+    }
+
+    /// Row dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The row ids, in row order.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Appends a row (encoding it under the store's codec).
+    ///
+    /// The caller is responsible for `embedding.len() == dims` (backends
+    /// validate at their API boundary).
+    pub fn push(&mut self, id: u64, embedding: &[f32]) {
+        debug_assert_eq!(embedding.len(), self.dims, "push: row width mismatch");
+        self.ids.push(id);
+        match &mut self.data {
+            RowData::F32 { values } => values.extend_from_slice(embedding),
+            RowData::Sq8 {
+                codes,
+                scales,
+                mins,
+            } => {
+                let q = QuantizedVec::quantize(embedding);
+                codes.extend_from_slice(&q.codes);
+                scales.push(q.scale);
+                mins.push(q.min);
+            }
+        }
+    }
+
+    /// Overwrites row `pos` with a new embedding (re-encoded).
+    pub fn replace(&mut self, pos: usize, embedding: &[f32]) {
+        debug_assert_eq!(embedding.len(), self.dims, "replace: row width mismatch");
+        let span = pos * self.dims..(pos + 1) * self.dims;
+        match &mut self.data {
+            RowData::F32 { values } => values[span].copy_from_slice(embedding),
+            RowData::Sq8 {
+                codes,
+                scales,
+                mins,
+            } => {
+                let q = QuantizedVec::quantize(embedding);
+                codes[span].copy_from_slice(&q.codes);
+                scales[pos] = q.scale;
+                mins[pos] = q.min;
+            }
+        }
+    }
+
+    /// Appends row `pos` of `other` **verbatim** — stored representation
+    /// included, so SQ8 codes survive an IVF retrain bit-identically instead
+    /// of drifting through a dequantise→requantise cycle. Both stores must
+    /// share dims and codec.
+    pub fn push_row_from(&mut self, other: &RowStore, pos: usize) {
+        debug_assert_eq!(self.dims, other.dims, "push_row_from: dims mismatch");
+        let span = pos * self.dims..(pos + 1) * self.dims;
+        self.ids.push(other.ids[pos]);
+        match (&mut self.data, &other.data) {
+            (RowData::F32 { values }, RowData::F32 { values: src }) => {
+                values.extend_from_slice(&src[span]);
+            }
+            (
+                RowData::Sq8 {
+                    codes,
+                    scales,
+                    mins,
+                },
+                RowData::Sq8 {
+                    codes: src_codes,
+                    scales: src_scales,
+                    mins: src_mins,
+                },
+            ) => {
+                codes.extend_from_slice(&src_codes[span]);
+                scales.push(src_scales[pos]);
+                mins.push(src_mins[pos]);
+            }
+            _ => panic!("push_row_from: codec mismatch"),
+        }
+    }
+
+    /// Swap-removes row `pos`, keeping the arenas contiguous. Returns the id
+    /// that moved into `pos` (the former last row), if any — callers
+    /// maintaining an id → position map must remap it.
+    pub fn swap_remove(&mut self, pos: usize) -> Option<u64> {
+        let last = self.ids.len() - 1;
+        self.ids.swap(pos, last);
+        self.ids.pop();
+        match &mut self.data {
+            RowData::F32 { values } => swap_remove_span(values, pos, last, self.dims),
+            RowData::Sq8 {
+                codes,
+                scales,
+                mins,
+            } => {
+                swap_remove_span(codes, pos, last, self.dims);
+                swap_remove_span(scales, pos, last, 1);
+                swap_remove_span(mins, pos, last, 1);
+            }
+        }
+        (pos != last).then(|| self.ids[pos])
+    }
+
+    /// Appends the `f32` view of row `pos` to `out` (a copy for `F32`, a
+    /// dequantisation for `Sq8`). Used to hand rows to f32-space consumers
+    /// such as k-means training.
+    pub fn extend_row_f32(&self, pos: usize, out: &mut Vec<f32>) {
+        Self::extend_row_f32_ref(&self.data, self.dims, pos, out);
+    }
+
+    fn extend_row_f32_ref(data: &RowData, dims: usize, pos: usize, out: &mut Vec<f32>) {
+        let span = pos * dims..(pos + 1) * dims;
+        match data {
+            RowData::F32 { values } => out.extend_from_slice(&values[span]),
+            RowData::Sq8 {
+                codes,
+                scales,
+                mins,
+            } => {
+                let (scale, min) = (scales[pos], mins[pos]);
+                out.extend(codes[span].iter().map(|&c| min + c as f32 * scale));
+            }
+        }
+    }
+
+    /// The `f32` view of row `pos` as a fresh `Vec` (a copy for `F32`, a
+    /// dequantisation for `Sq8`).
+    pub fn row_f32(&self, pos: usize) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dims);
+        Self::extend_row_f32_ref(&self.data, self.dims, pos, &mut out);
+        out
+    }
+
+    /// The stored SQ8 representation of row `pos` (`codes, scale, min`), or
+    /// `None` for an `F32` store. Exposed so persistence tests can assert
+    /// codes survive a save/load cycle bit-identically.
+    pub fn sq8_row(&self, pos: usize) -> Option<(&[u8], f32, f32)> {
+        match &self.data {
+            RowData::F32 { .. } => None,
+            RowData::Sq8 {
+                codes,
+                scales,
+                mins,
+            } => Some((
+                &codes[pos * self.dims..(pos + 1) * self.dims],
+                scales[pos],
+                mins[pos],
+            )),
+        }
+    }
+
+    /// Cosine score of every row against an L2-normalised `query`,
+    /// sequentially, in row order.
+    ///
+    /// `F32` rows use the exact normalised-cosine kernel (bit-identical to
+    /// the pre-codec scan); `Sq8` rows use the fused asymmetric kernel with
+    /// the `Σ query` correction term hoisted out of the loop, clamped into
+    /// `[-1, 1]` like the exact kernel.
+    pub fn scores_seq(&self, query: &[f32]) -> Vec<f32> {
+        match &self.data {
+            RowData::F32 { values } => values
+                .chunks_exact(self.dims)
+                .map(|row| vector::cosine_similarity_normalized(query, row))
+                .collect(),
+            RowData::Sq8 {
+                codes,
+                scales,
+                mins,
+            } => {
+                let query_sum = vector::sum(query);
+                codes
+                    .chunks_exact(self.dims)
+                    .enumerate()
+                    .map(|(row, chunk)| {
+                        vector::dot_u8_asym(query, chunk, scales[row], mins[row], query_sum)
+                            .clamp(-1.0, 1.0)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// [`Self::scores_seq`] parallelised over the rayon pool (row order is
+    /// preserved). Scores are identical to the sequential path; only the
+    /// scheduling differs.
+    pub fn scores_par(&self, query: &[f32]) -> Vec<f32> {
+        match &self.data {
+            RowData::F32 { values } => values
+                .par_chunks(self.dims)
+                .map(|row| vector::cosine_similarity_normalized(query, row))
+                .collect(),
+            RowData::Sq8 {
+                codes,
+                scales,
+                mins,
+            } => {
+                let query_sum = vector::sum(query);
+                codes
+                    .par_chunks(self.dims)
+                    .enumerate()
+                    .map(|(row, chunk)| {
+                        vector::dot_u8_asym(query, chunk, scales[row], mins[row], query_sum)
+                            .clamp(-1.0, 1.0)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// True bytes held by the arenas: row payloads under the live codec plus
+    /// the ids. (Backends add their own auxiliary structures on top.)
+    pub fn storage_bytes(&self) -> usize {
+        let payload = match &self.data {
+            RowData::F32 { values } => std::mem::size_of_val(values.as_slice()),
+            RowData::Sq8 {
+                codes,
+                scales,
+                mins,
+            } => {
+                std::mem::size_of_val(codes.as_slice())
+                    + std::mem::size_of_val(scales.as_slice())
+                    + std::mem::size_of_val(mins.as_slice())
+            }
+        };
+        payload + std::mem::size_of_val(self.ids.as_slice())
+    }
+}
+
+/// Swap-removes the `width`-wide span `pos` from a row-major arena whose last
+/// row is `last`, keeping the arena contiguous.
+fn swap_remove_span<T: Copy>(data: &mut Vec<T>, pos: usize, last: usize, width: usize) {
+    if pos != last {
+        let (head, tail) = data.split_at_mut(last * width);
+        head[pos * width..(pos + 1) * width].copy_from_slice(&tail[..width]);
+    }
+    data.truncate(last * width);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn unit(mut v: Vec<f32>) -> Vec<f32> {
+        vector::normalize(&mut v);
+        v
+    }
+
     #[test]
     fn middle_last_and_only_rows() {
-        let mut ids = vec![10, 20, 30];
-        let mut data = vec![1.0, 1.5, 2.0, 2.5, 3.0, 3.5];
+        let mut store = RowStore::new(2, Quantization::F32);
+        store.push(10, &[1.0, 1.5]);
+        store.push(20, &[2.0, 2.5]);
+        store.push(30, &[3.0, 3.5]);
         // Remove the middle row: the last row moves into its slot.
-        assert_eq!(swap_remove_row(&mut ids, &mut data, 1, 2), Some(30));
-        assert_eq!(ids, vec![10, 30]);
-        assert_eq!(data, vec![1.0, 1.5, 3.0, 3.5]);
+        assert_eq!(store.swap_remove(1), Some(30));
+        assert_eq!(store.ids(), &[10, 30]);
+        assert_eq!(store.row_f32(1), vec![3.0, 3.5]);
         // Remove the last row: nothing moves.
-        assert_eq!(swap_remove_row(&mut ids, &mut data, 1, 2), None);
-        assert_eq!(ids, vec![10]);
-        assert_eq!(data, vec![1.0, 1.5]);
+        assert_eq!(store.swap_remove(1), None);
+        assert_eq!(store.ids(), &[10]);
+        assert_eq!(store.row_f32(0), vec![1.0, 1.5]);
         // Remove the only row.
-        assert_eq!(swap_remove_row(&mut ids, &mut data, 0, 2), None);
-        assert!(ids.is_empty());
-        assert!(data.is_empty());
+        assert_eq!(store.swap_remove(0), None);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn sq8_swap_remove_keeps_rows_aligned() {
+        let mut store = RowStore::new(4, Quantization::Sq8);
+        let rows: Vec<Vec<f32>> = (0..5)
+            .map(|i| unit(vec![i as f32 + 0.5, 1.0, -0.25 * i as f32, 0.75]))
+            .collect();
+        for (i, row) in rows.iter().enumerate() {
+            store.push(i as u64, row);
+        }
+        assert_eq!(store.swap_remove(1), Some(4));
+        assert_eq!(store.ids(), &[0, 4, 2, 3]);
+        // Row 1 now holds entry 4's dequantised data, error ≤ half a step.
+        let (codes, scale, _min) = store.sq8_row(1).unwrap();
+        assert_eq!(codes.len(), 4);
+        for (got, want) in store.row_f32(1).iter().zip(&rows[4]) {
+            assert!((got - want).abs() <= scale * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn f32_and_sq8_scores_agree_within_quantization_error() {
+        let dims = 32;
+        let mut f32_store = RowStore::new(dims, Quantization::F32);
+        let mut sq8_store = RowStore::new(dims, Quantization::Sq8);
+        assert_eq!(f32_store.quantization(), Quantization::F32);
+        assert_eq!(sq8_store.quantization(), Quantization::Sq8);
+        let mut rng = mc_tensor::rng::seeded(17);
+        for id in 0..200u64 {
+            let v = unit(mc_tensor::rng::uniform_vec(dims, 1.0, &mut rng));
+            f32_store.push(id, &v);
+            sq8_store.push(id, &v);
+        }
+        let query = unit(mc_tensor::rng::uniform_vec(dims, 1.0, &mut rng));
+        let exact = f32_store.scores_seq(&query);
+        let approx = sq8_store.scores_seq(&query);
+        for (e, a) in exact.iter().zip(&approx) {
+            assert!((e - a).abs() < 0.05, "exact={e} approx={a}");
+        }
+        // Parallel scoring is identical to sequential for both codecs.
+        assert_eq!(exact, f32_store.scores_par(&query));
+        assert_eq!(approx, sq8_store.scores_par(&query));
+    }
+
+    #[test]
+    fn push_row_from_preserves_sq8_codes_verbatim() {
+        let dims = 16;
+        let mut src = RowStore::new(dims, Quantization::Sq8);
+        let mut rng = mc_tensor::rng::seeded(5);
+        for id in 0..20u64 {
+            src.push(id, &unit(mc_tensor::rng::uniform_vec(dims, 1.0, &mut rng)));
+        }
+        let mut dst = RowStore::new(dims, Quantization::Sq8);
+        for pos in (0..src.len()).rev() {
+            dst.push_row_from(&src, pos);
+        }
+        for pos in 0..src.len() {
+            let mirrored = src.len() - 1 - pos;
+            assert_eq!(src.ids()[pos], dst.ids()[mirrored]);
+            assert_eq!(
+                src.sq8_row(pos).unwrap(),
+                dst.sq8_row(mirrored).unwrap(),
+                "codes must move bit-identically"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_bytes_reports_true_codec_footprint() {
+        let dims = 64;
+        let mut f32_store = RowStore::new(dims, Quantization::F32);
+        let mut sq8_store = RowStore::new(dims, Quantization::Sq8);
+        for id in 0..10u64 {
+            let v = unit(vec![id as f32 + 1.0; dims]);
+            f32_store.push(id, &v);
+            sq8_store.push(id, &v);
+        }
+        assert_eq!(f32_store.storage_bytes(), 10 * (dims * 4 + 8));
+        assert_eq!(sq8_store.storage_bytes(), 10 * (dims + 8 + 8));
+        assert_eq!(Quantization::F32.row_bytes(dims), 256);
+        assert_eq!(Quantization::Sq8.row_bytes(dims), 72);
+        assert!(sq8_store.storage_bytes() * 3 < f32_store.storage_bytes());
+    }
+
+    #[test]
+    fn replace_reencodes_the_row() {
+        for quantization in [Quantization::F32, Quantization::Sq8] {
+            let mut store = RowStore::new(3, quantization);
+            store.push(1, &unit(vec![1.0, 0.0, 0.0]));
+            store.push(2, &unit(vec![0.0, 1.0, 0.0]));
+            let replacement = unit(vec![0.0, 0.0, 1.0]);
+            store.replace(0, &replacement);
+            for (got, want) in store.row_f32(0).iter().zip(&replacement) {
+                assert!((got - want).abs() < 0.01, "{:?}", quantization.name());
+            }
+            // Neighbouring rows are untouched.
+            assert!((store.row_f32(1)[1] - 1.0).abs() < 0.01);
+        }
     }
 }

@@ -47,6 +47,26 @@ pub struct QuantizedVec {
 
 impl QuantizedVec {
     /// Quantises a slice of `f32` values to 8-bit codes.
+    ///
+    /// The mapping is deterministic: the same input slice always yields
+    /// bit-identical codes (this is what lets a persisted SQ8 index rebuild
+    /// its exact contents from the raw-`f32` entry log).
+    ///
+    /// **Reconstruction error bound:** for finite inputs, the per-dimension
+    /// absolute error of [`Self::dequantize`] is at most `scale / 2` (half a
+    /// quantisation step), plus float rounding on the order of
+    /// `|min| · ε`. Degenerate inputs keep that bound rather than inflating
+    /// it:
+    ///
+    /// * A **constant vector** gets `scale = 0` and all-zero codes, so
+    ///   reconstruction (`min + 0 · 0`) is exact. (Clamping the range to
+    ///   `f32::EPSILON` instead — the previous behaviour — manufactures a
+    ///   nonzero step for data that has none.)
+    /// * **Non-finite inputs never poison the codec**: `min`/`max` are taken
+    ///   over the finite values only, `NaN` and `-∞` map to code 0, `+∞`
+    ///   maps to code 255, and an all-non-finite vector degrades to zeros
+    ///   with `scale = 0`, `min = 0` rather than propagating `NaN`/`∞` into
+    ///   the dequantisation constants.
     pub fn quantize(values: &[f32]) -> Self {
         if values.is_empty() {
             return Self {
@@ -55,15 +75,82 @@ impl QuantizedVec {
                 min: 0.0,
             };
         }
-        let min = values.iter().copied().fold(f32::INFINITY, f32::min);
-        let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let range = (max - min).max(f32::EPSILON);
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &v in values {
+            if v.is_finite() {
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        if min > max {
+            // No finite value at all: deterministic all-zero codes with
+            // harmless constants.
+            return Self {
+                codes: vec![0; values.len()],
+                scale: 0.0,
+                min: 0.0,
+            };
+        }
+        let range = max - min;
+        if range <= 0.0 {
+            // Constant vector: one level suffices and reconstruction is
+            // exact.
+            return Self {
+                codes: vec![0; values.len()],
+                scale: 0.0,
+                min,
+            };
+        }
         let scale = range / 255.0;
+        let inv_scale = 255.0 / range;
         let codes = values
             .iter()
-            .map(|&v| (((v - min) / scale).round().clamp(0.0, 255.0)) as u8)
+            .map(|&v| {
+                if v.is_finite() {
+                    (((v - min) * inv_scale).round().clamp(0.0, 255.0)) as u8
+                } else if v == f32::INFINITY {
+                    255
+                } else {
+                    // NaN and -inf: pin to the bottom of the range.
+                    0
+                }
+            })
             .collect();
         Self { codes, scale, min }
+    }
+
+    /// Sum of the codes, widened to `u32` — the per-row constant of the
+    /// affine correction in [`Self::dot_quantized`]. O(n); a scan that
+    /// scores one row against many should compute each row's sum once up
+    /// front rather than per pairing.
+    pub fn code_sum(&self) -> u32 {
+        self.codes.iter().map(|&c| c as u32).sum()
+    }
+
+    /// Dot product of two quantised vectors **in the integer domain**:
+    /// one fused widening `u8` multiply-add pass
+    /// ([`crate::vector::dot_u8`]) plus the affine scale/zero-point
+    /// correction —
+    /// `s_a·s_b·Σc_a c_b + s_a·m_b·Σc_a + s_b·m_a·Σc_b + n·m_a·m_b` —
+    /// rather than dequantising either side.
+    ///
+    /// This is the *symmetric* (both sides quantised) companion of the scan
+    /// kernel `crate::vector::dot_u8_asym`; the index hot path uses the
+    /// asymmetric one (queries stay `f32`). Note this convenience form
+    /// recomputes both [`Self::code_sum`]s per call — batch callers should
+    /// hoist them.
+    ///
+    /// # Panics
+    /// Panics in debug builds when the lengths differ.
+    pub fn dot_quantized(&self, other: &QuantizedVec) -> f32 {
+        debug_assert_eq!(self.len(), other.len(), "dot_quantized: length mismatch");
+        let n = self.len().min(other.len()) as f32;
+        let raw = crate::vector::dot_u8(&self.codes, &other.codes) as f32;
+        self.scale * other.scale * raw
+            + self.scale * other.min * self.code_sum() as f32
+            + other.scale * self.min * other.code_sum() as f32
+            + n * self.min * other.min
     }
 
     /// Reconstructs the (lossy) `f32` values.
@@ -141,10 +228,65 @@ mod tests {
     fn quantize_constant_vector() {
         let values = vec![0.25f32; 16];
         let q = QuantizedVec::quantize(&values);
-        let back = q.dequantize();
-        for v in back {
-            assert!((v - 0.25).abs() < 1e-3);
+        // One quantisation level, zero step: reconstruction is *exact*, not
+        // merely close (the old EPSILON-clamped range manufactured a step).
+        assert_eq!(q.scale, 0.0);
+        assert!(q.codes.iter().all(|&c| c == 0));
+        for v in q.dequantize() {
+            assert_eq!(v, 0.25);
         }
+        assert_eq!(q.max_error(&values), 0.0);
+        // Large-magnitude constants stay exact too.
+        let big = vec![3.0e8f32; 8];
+        let q = QuantizedVec::quantize(&big);
+        assert_eq!(q.max_error(&big), 0.0);
+    }
+
+    #[test]
+    fn quantize_is_deterministic() {
+        let values: Vec<f32> = (0..64).map(|i| (i as f32 * 0.71).cos()).collect();
+        let a = QuantizedVec::quantize(&values);
+        let b = QuantizedVec::quantize(&values);
+        assert_eq!(a, b, "same input must yield bit-identical codes");
+    }
+
+    #[test]
+    fn non_finite_inputs_do_not_poison_codes() {
+        let values = [1.0, f32::NAN, -2.0, f32::INFINITY, 0.5, f32::NEG_INFINITY];
+        let q = QuantizedVec::quantize(&values);
+        assert!(q.scale.is_finite());
+        assert!(q.min.is_finite());
+        let back = q.dequantize();
+        assert!(back.iter().all(|v| v.is_finite()));
+        // Finite dimensions still reconstruct within half a step.
+        assert!((back[0] - 1.0).abs() <= q.scale * 0.5 + 1e-6);
+        assert!((back[2] + 2.0).abs() <= q.scale * 0.5 + 1e-6);
+        assert!((back[4] - 0.5).abs() <= q.scale * 0.5 + 1e-6);
+        // +inf pins to the top of the finite range, NaN / -inf to the bottom.
+        assert_eq!(q.codes[3], 255);
+        assert_eq!(q.codes[1], 0);
+        assert_eq!(q.codes[5], 0);
+        // All-non-finite degrades to zeros instead of NaN constants.
+        let q = QuantizedVec::quantize(&[f32::NAN, f32::NAN]);
+        assert_eq!(q.codes, vec![0, 0]);
+        assert_eq!(q.dequantize(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_quantized_matches_dequantized_dot() {
+        let a: Vec<f32> = (0..96).map(|i| (i as f32 * 0.13).sin()).collect();
+        let b: Vec<f32> = (0..96)
+            .map(|i| (i as f32 * 0.29).cos() * 0.7 + 0.1)
+            .collect();
+        let qa = QuantizedVec::quantize(&a);
+        let qb = QuantizedVec::quantize(&b);
+        let reference = crate::vector::dot(&qa.dequantize(), &qb.dequantize());
+        let fused = qa.dot_quantized(&qb);
+        assert!(
+            (fused - reference).abs() < 1e-3,
+            "fused={fused} reference={reference}"
+        );
+        assert_eq!(qa.code_sum(), qa.codes.iter().map(|&c| c as u32).sum());
     }
 
     #[test]
