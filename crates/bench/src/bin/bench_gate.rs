@@ -1,0 +1,225 @@
+//! CI bench-regression gate: diffs a freshly measured `BENCH_index.json`
+//! against the committed `BENCH_baseline.json` and fails (exit 1) when any
+//! gated row's p50 regressed beyond the tolerance.
+//!
+//! ```text
+//! bench_gate [--baseline BENCH_baseline.json] [--fresh BENCH_index.json]
+//!            [--tier 1000] [--tolerance 0.25] [--normalize]
+//! ```
+//!
+//! Rows are matched by `(backend, entries, dims)` within the gated tier
+//! (default: the 1k entries tier CI measures as its smoke run). A fresh row
+//! missing from the baseline is ignored (new backends gate once they are
+//! baselined); a baseline row missing from the fresh report fails — a
+//! backend silently dropping out of the bench is itself a regression.
+//!
+//! Two comparison modes:
+//!
+//! * **absolute** (default): `fresh_p50 > baseline_p50 × (1 + tolerance)`
+//!   fails. Right when baseline and fresh run on the same machine class;
+//!   re-baseline (see README) after legitimate kernel or hardware changes.
+//! * **`--normalize`**: each row's p50 is first divided by the geometric
+//!   mean of the *other* matched rows in its own file (leave-one-out, so a
+//!   regressed row cannot dilute its own reference), cancelling uniform
+//!   machine-speed differences so relative shifts between backends fail
+//!   the gate at their full factor. Use when baseline and fresh hardware
+//!   differ; note a slowdown hitting every backend uniformly is invisible
+//!   in this mode by construction.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mc_bench::{IndexBenchReport, IndexBenchRow};
+
+/// Key a row is matched across files by.
+fn key(row: &IndexBenchRow) -> (String, usize, usize) {
+    (row.backend.clone(), row.entries, row.dims)
+}
+
+fn load_report(path: &PathBuf) -> IndexBenchReport {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    serde_json::from_str(&json).unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+}
+
+/// Geometric mean of the gated rows' p50s (the per-file machine-speed
+/// proxy for `--normalize` mode).
+fn geomean_p50(rows: &[&IndexBenchRow]) -> f64 {
+    if rows.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = rows
+        .iter()
+        .map(|r| r.p50_us.max(f64::MIN_POSITIVE).ln())
+        .sum();
+    (log_sum / rows.len() as f64).exp()
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = PathBuf::from("BENCH_baseline.json");
+    let mut fresh_path = PathBuf::from("BENCH_index.json");
+    let mut tier = 1000usize;
+    let mut tolerance = 0.25f64;
+    let mut normalize = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline_path = PathBuf::from(args.get(i).expect("--baseline needs a path"));
+            }
+            "--fresh" => {
+                i += 1;
+                fresh_path = PathBuf::from(args.get(i).expect("--fresh needs a path"));
+            }
+            "--tier" => {
+                i += 1;
+                tier = args
+                    .get(i)
+                    .expect("--tier needs an entry count")
+                    .parse()
+                    .expect("--tier must be an integer");
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .expect("--tolerance needs a fraction")
+                    .parse()
+                    .expect("--tolerance must be a number");
+                assert!(tolerance > 0.0, "--tolerance must be positive");
+            }
+            "--normalize" => normalize = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: bench_gate [--baseline PATH] [--fresh PATH] \
+                     [--tier 1000] [--tolerance 0.25] [--normalize]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let baseline = load_report(&baseline_path);
+    let fresh = load_report(&fresh_path);
+    let base_rows: Vec<&IndexBenchRow> =
+        baseline.rows.iter().filter(|r| r.entries == tier).collect();
+    let fresh_rows: Vec<&IndexBenchRow> = fresh.rows.iter().filter(|r| r.entries == tier).collect();
+    if base_rows.is_empty() {
+        eprintln!(
+            "bench_gate: baseline {} has no rows at the {tier}-entry tier",
+            baseline_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // The normalisation set: rows matched by key across both files, so a
+    // fresh report with extra or missing rows (e.g. a full-tier run gated
+    // against a smoke baseline) cannot skew the machine-speed proxy for
+    // the rows that do match.
+    let matched_base: Vec<&IndexBenchRow> = base_rows
+        .iter()
+        .filter(|b| fresh_rows.iter().any(|f| key(f) == key(b)))
+        .copied()
+        .collect();
+    let matched_fresh: Vec<&IndexBenchRow> = fresh_rows
+        .iter()
+        .filter(|f| base_rows.iter().any(|b| key(b) == key(f)))
+        .copied()
+        .collect();
+    // Leave-one-out reference for one row: the geometric mean of every
+    // *other* matched row's p50 in the same file. Excluding the row under
+    // test keeps a regression from diluting its own reference (with a
+    // shared geomean over k rows, a single-row regression of factor r only
+    // shows as r^((k-1)/k), silently widening the tolerance); with
+    // leave-one-out a lone regressed row carries its full factor. Fewer
+    // than two matched rows degenerate to the absolute comparison.
+    let loo_ref = |rows: &[&IndexBenchRow], skip: &IndexBenchRow| -> f64 {
+        let others: Vec<&IndexBenchRow> = rows
+            .iter()
+            .filter(|r| key(r) != key(skip))
+            .copied()
+            .collect();
+        if others.is_empty() {
+            1.0
+        } else {
+            geomean_p50(&others)
+        }
+    };
+
+    let mode = if normalize { "normalized" } else { "absolute" };
+    println!(
+        "bench_gate: {} vs {} — {}-entry tier, {mode} p50s, tolerance {:.0}%",
+        fresh_path.display(),
+        baseline_path.display(),
+        tier,
+        tolerance * 100.0
+    );
+
+    let mut failures = Vec::new();
+    for base_row in &base_rows {
+        let Some(fresh_row) = fresh_rows.iter().find(|r| key(r) == key(base_row)) else {
+            failures.push(format!(
+                "{} ({}d): present in baseline but missing from the fresh report",
+                base_row.backend, base_row.dims
+            ));
+            continue;
+        };
+        let (base_ref, fresh_ref) = if normalize {
+            (
+                loo_ref(&matched_base, base_row),
+                loo_ref(&matched_fresh, fresh_row),
+            )
+        } else {
+            (1.0, 1.0)
+        };
+        let base_p50 = base_row.p50_us / base_ref;
+        let fresh_p50 = fresh_row.p50_us / fresh_ref;
+        let ratio = fresh_p50 / base_p50.max(f64::MIN_POSITIVE);
+        let verdict = if ratio > 1.0 + tolerance {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<10} {:>4}d  baseline {:>9.2}us  fresh {:>9.2}us  ratio {:>5.2}x  {}",
+            base_row.backend, base_row.dims, base_row.p50_us, fresh_row.p50_us, ratio, verdict
+        );
+        if ratio > 1.0 + tolerance {
+            failures.push(format!(
+                "{} ({}d): p50 {:.2}us vs baseline {:.2}us ({mode} ratio {:.2}x > {:.2}x)",
+                base_row.backend,
+                base_row.dims,
+                fresh_row.p50_us,
+                base_row.p50_us,
+                ratio,
+                1.0 + tolerance
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench_gate: PASS — {} row(s) within {:.0}% of baseline",
+            base_rows.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_gate: FAIL — {} regression(s):", failures.len());
+        for failure in &failures {
+            eprintln!("  - {failure}");
+        }
+        eprintln!(
+            "If this slowdown is expected (intentional trade-off, new hardware), \
+             re-baseline per README: regenerate with `cargo run --release -p \
+             mc-bench --bin exp_index -- --sizes {tier} --json BENCH_baseline.json` \
+             and commit the result."
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,85 @@
+//! Closed-loop multi-threaded serving experiment over a
+//! `meancache::ShardedCache`:
+//! lookups/sec and p50/p99 per thread count, emitting the machine-readable
+//! `BENCH_concurrent.json`.
+//!
+//! ```text
+//! exp_concurrent [--entries 10000] [--shards 8] [--threads 1,2,4,8]
+//!                [--ops 2000] [--json BENCH_concurrent.json | --no-json]
+//! ```
+//!
+//! CI runs a reduced smoke configuration; the defaults reproduce the full
+//! 10k-entry flat-sq8 measurement from the README's concurrency table.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut entries = 10_000usize;
+    let mut shards = 8usize;
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut ops = 2_000usize;
+    let mut json: Option<PathBuf> = Some(PathBuf::from("BENCH_concurrent.json"));
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--entries" => {
+                i += 1;
+                entries = args
+                    .get(i)
+                    .expect("--entries needs a value")
+                    .parse()
+                    .expect("--entries must be an integer");
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .expect("--shards needs a value")
+                    .parse()
+                    .expect("--shards must be an integer");
+            }
+            "--threads" => {
+                i += 1;
+                let spec = args.get(i).expect("--threads needs a comma-separated list");
+                threads = spec
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .expect("--threads entries must be integers")
+                    })
+                    .collect();
+                assert!(
+                    !threads.is_empty(),
+                    "--threads must name at least one count"
+                );
+            }
+            "--ops" => {
+                i += 1;
+                ops = args
+                    .get(i)
+                    .expect("--ops needs a value")
+                    .parse()
+                    .expect("--ops must be an integer");
+            }
+            "--json" => {
+                i += 1;
+                json = Some(PathBuf::from(args.get(i).expect("--json needs a path")));
+            }
+            "--no-json" => json = None,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: exp_concurrent [--entries N] [--shards N] \
+                     [--threads 1,2,4,8] [--ops N] [--json PATH | --no-json]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    mc_bench::run_concurrent_with(entries, shards, &threads, ops, json.as_deref());
+}

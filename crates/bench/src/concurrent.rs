@@ -1,0 +1,327 @@
+//! Closed-loop multi-threaded serving experiment: lookups/sec and tail
+//! latency of one shared [`ShardedCache`] under 1/2/4/8 worker threads.
+//!
+//! Each worker owns a slice of a clustered text workload (exact repeats of
+//! cached entries interleaved with novel queries — the duplicate mix the
+//! paper's user study measured) and hammers the cache's read-only
+//! [`SemanticCache::probe`] path in a closed loop: issue, wait, record,
+//! repeat. All workers start together on a barrier; throughput is total
+//! completed lookups over the wall-clock of the slowest worker, and the
+//! latency percentiles pool every worker's per-op timings.
+//!
+//! Two single-thread reference points accompany the scaling series: the
+//! *unsharded* `MeanCache` p50 (the pre-sharding serving path) and the
+//! sharded single-thread p50, so the report shows both the concurrency win
+//! and what the routing layer costs a lone caller.
+//!
+//! The machine-readable output (`BENCH_concurrent.json`) records
+//! `available_parallelism`: on a single-core runner the scaling series is
+//! flat by construction — threads time-slice one core — so CI publishes the
+//! artifact for trend tracking rather than gating on the scaling factor.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use mc_embedder::{ModelProfile, QueryEncoder};
+use mc_metrics::Table;
+use meancache::{MeanCache, MeanCacheConfig, SemanticCache, ShardedCache};
+
+use crate::experiments::percentile;
+use crate::setup::EXPERIMENT_SEED;
+
+/// One thread-count measurement of the concurrent serving experiment.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ConcurrentBenchRow {
+    /// Number of closed-loop worker threads.
+    pub threads: usize,
+    /// Total lookups completed across all workers.
+    pub total_lookups: usize,
+    /// Aggregate throughput: total lookups over the slowest worker's wall.
+    pub lookups_per_sec: f64,
+    /// Median per-lookup latency in microseconds (pooled over workers).
+    pub p50_us: f64,
+    /// 99th-percentile per-lookup latency in microseconds.
+    pub p99_us: f64,
+    /// Throughput relative to the same run's 1-thread row (or, when the
+    /// measured series omits 1, its lowest thread count).
+    pub speedup_vs_1t: f64,
+}
+
+/// Machine-readable output of [`run_concurrent_with`], persisted as
+/// `BENCH_concurrent.json` so CI can track the serving-layer trajectory.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ConcurrentBenchReport {
+    /// Cached entries at measurement time.
+    pub entries: usize,
+    /// Shard count of the measured cache.
+    pub shards: usize,
+    /// Index backend name (e.g. `flat-sq8`).
+    pub backend: String,
+    /// `rayon::current_num_threads()` on the measuring machine — the upper
+    /// bound any scaling number can be honest about.
+    pub available_parallelism: usize,
+    /// One row per measured thread count, ascending.
+    pub rows: Vec<ConcurrentBenchRow>,
+    /// Single-thread p50 through the pre-sharding `MeanCache` path, same
+    /// contents and workload.
+    pub unsharded_p50_us: f64,
+    /// Single-thread p50 through the sharded path (the 1-thread row's p50).
+    pub sharded_p50_us: f64,
+    /// `sharded_p50_us / unsharded_p50_us` — the routing layer's
+    /// single-caller overhead (≤ 1.10 is the acceptance envelope).
+    pub single_thread_p50_ratio: f64,
+}
+
+/// Deterministic clustered query corpus: `topics ≈ n/50` paraphrase
+/// families, several variants each — the text analogue of
+/// `mc_workloads::EmbeddingCloud`'s topic structure, kept in-crate so the
+/// harness controls exact duplicate placement.
+fn corpus(n: usize) -> Vec<String> {
+    let subjects = [
+        "battery life on my phone",
+        "sourdough bread at home",
+        "federated learning",
+        "the python plotting library",
+        "travel plans for japan",
+        "quantum computing",
+        "my running training schedule",
+        "indoor plant care",
+    ];
+    let topics = (n / 50).max(8);
+    (0..n)
+        .map(|i| {
+            let topic = i % topics;
+            let variant = i / topics;
+            format!(
+                "question {topic} variant {variant}: how should I handle {} step {}",
+                subjects[topic % subjects.len()],
+                topic * 31 + variant
+            )
+        })
+        .collect()
+}
+
+/// The probe mix: half exact repeats of cached texts (should hit), half
+/// novel queries (should miss) — so the loop exercises both the early-exit
+/// hit path and the full-scan miss path.
+fn probe_mix(cached: &[String], count: usize) -> Vec<(String, Vec<String>)> {
+    (0..count)
+        .map(|i| {
+            if i % 2 == 0 {
+                (cached[(i * 7919) % cached.len()].clone(), Vec::new())
+            } else {
+                (
+                    format!("entirely novel probe number {i} about something uncached"),
+                    Vec::new(),
+                )
+            }
+        })
+        .collect()
+}
+
+/// Closed-loop measurement: `threads` workers probing `cache` concurrently,
+/// `ops_per_thread` lookups each. Returns (wall seconds of the slowest
+/// worker, pooled per-op latencies in µs, ascending). Each worker times its
+/// own loop from barrier release to last op, so the wall figure is the true
+/// max over workers — not the main thread's view, which the scheduler can
+/// skew on an oversubscribed core.
+fn closed_loop<C: SemanticCache + Sync>(
+    cache: &C,
+    probes: &[(String, Vec<String>)],
+    threads: usize,
+    ops_per_thread: usize,
+) -> (f64, Vec<f64>) {
+    let barrier = Barrier::new(threads);
+    let per_worker: Vec<(f64, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let run_started = Instant::now();
+                    let mut latencies = Vec::with_capacity(ops_per_thread);
+                    for op in 0..ops_per_thread {
+                        // Stride workers through the probe list from
+                        // different offsets so they do not march in
+                        // lock-step over the same shard.
+                        let (query, context) = &probes[(worker * 2741 + op) % probes.len()];
+                        let started = Instant::now();
+                        std::hint::black_box(cache.probe(query, context));
+                        latencies.push(started.elapsed().as_secs_f64() * 1e6);
+                    }
+                    (run_started.elapsed().as_secs_f64(), latencies)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("closed-loop worker panicked"))
+            .collect()
+    });
+    let wall_s = per_worker
+        .iter()
+        .map(|(wall, _)| *wall)
+        .fold(0.0f64, f64::max);
+    let mut pooled: Vec<f64> = per_worker
+        .into_iter()
+        .flat_map(|(_, latencies)| latencies)
+        .collect();
+    pooled.sort_by(f64::total_cmp);
+    (wall_s, pooled)
+}
+
+/// [`run_concurrent`] with explicit parameters and an optional JSON output
+/// path. `threads` is the thread-count series (e.g. `[1, 2, 4, 8]`);
+/// `ops_per_thread` lookups are issued by every worker at every point.
+pub fn run_concurrent_with(
+    entries: usize,
+    shards: usize,
+    threads: &[usize],
+    ops_per_thread: usize,
+    json_path: Option<&std::path::Path>,
+) -> ConcurrentBenchReport {
+    let config = MeanCacheConfig::default()
+        .with_threshold(0.8)
+        .with_index(mc_store::IndexKind::flat_sq8())
+        .with_shards(shards);
+    let encoder = QueryEncoder::new(ModelProfile::tiny(), EXPERIMENT_SEED).expect("tiny profile");
+
+    let texts = corpus(entries);
+    let mut sharded = ShardedCache::new(encoder.clone(), config.clone()).expect("valid config");
+    let mut unsharded =
+        MeanCache::new(encoder, config.clone().with_shards(1)).expect("valid config");
+    for text in &texts {
+        sharded
+            .insert(text, "cached response", &[])
+            .expect("insert");
+        unsharded
+            .insert(text, "cached response", &[])
+            .expect("insert");
+    }
+    let probes = probe_mix(&texts, 1024);
+
+    // Warm both caches (page-ins, lazy allocations) before timing anything.
+    let warm = ops_per_thread.min(256);
+    let _ = closed_loop(&sharded, &probes, 1, warm);
+    let _ = closed_loop(&unsharded, &probes, 1, warm);
+
+    let (_, unsharded_lat) = closed_loop(&unsharded, &probes, 1, ops_per_thread);
+    let unsharded_p50_us = percentile(&unsharded_lat, 0.50);
+
+    let mut rows: Vec<ConcurrentBenchRow> = Vec::new();
+    for &t in threads {
+        let (wall_s, latencies) = closed_loop(&sharded, &probes, t, ops_per_thread);
+        let total = t * ops_per_thread;
+        rows.push(ConcurrentBenchRow {
+            threads: t,
+            total_lookups: total,
+            lookups_per_sec: total as f64 / wall_s.max(f64::EPSILON),
+            p50_us: percentile(&latencies, 0.50),
+            p99_us: percentile(&latencies, 0.99),
+            speedup_vs_1t: 0.0, // filled below once the base row is known
+        });
+    }
+    // The scaling base is the genuine 1-thread row; a series that omits it
+    // (e.g. `--threads 2,4,8`) falls back to its lowest thread count, and
+    // the column label says so.
+    let base_row = rows
+        .iter()
+        .find(|r| r.threads == 1)
+        .or_else(|| rows.iter().min_by_key(|r| r.threads))
+        .cloned()
+        .expect("at least one thread count is measured");
+    for row in &mut rows {
+        row.speedup_vs_1t = row.lookups_per_sec / base_row.lookups_per_sec.max(f64::EPSILON);
+    }
+    let vs_label = format!("vs {} thread(s)", base_row.threads);
+    let mut table = Table::new(
+        format!(
+            "Concurrent serving - {entries} entries x {shards} shards ({})",
+            config.index.name()
+        ),
+        &[
+            "threads",
+            "lookups/sec",
+            "p50 / lookup",
+            "p99 / lookup",
+            vs_label.as_str(),
+        ],
+    );
+    for row in &rows {
+        table.add_row(&[
+            row.threads.to_string(),
+            format!("{:.0}", row.lookups_per_sec),
+            format!("{:.1}us", row.p50_us),
+            format!("{:.1}us", row.p99_us),
+            format!("{:.2}x", row.speedup_vs_1t),
+        ]);
+    }
+
+    let sharded_p50_us = base_row.p50_us;
+    let report = ConcurrentBenchReport {
+        entries,
+        shards,
+        backend: config.index.name().to_string(),
+        available_parallelism: rayon::current_num_threads(),
+        rows,
+        unsharded_p50_us,
+        sharded_p50_us,
+        single_thread_p50_ratio: sharded_p50_us / unsharded_p50_us.max(f64::EPSILON),
+    };
+
+    println!("{table}");
+    println!(
+        "unsharded single-thread p50 {:.1}us vs sharded {:.1}us (ratio {:.2}); \
+         available parallelism on this machine: {} core(s)",
+        report.unsharded_p50_us,
+        report.sharded_p50_us,
+        report.single_thread_p50_ratio,
+        report.available_parallelism
+    );
+    if report.available_parallelism < threads.iter().copied().max().unwrap_or(1) {
+        println!(
+            "(thread counts above the core count time-slice one CPU: the scaling \
+             column measures contention overhead here, not parallel speedup)"
+        );
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string(&report).expect("report serialises");
+        std::fs::write(path, json).expect("BENCH_concurrent.json is writable");
+        println!("wrote {}", path.display());
+    }
+    report
+}
+
+/// The full experiment at the acceptance configuration: a 10k-entry
+/// flat-sq8 sharded cache probed at 1/2/4/8 threads, emitting
+/// `BENCH_concurrent.json`.
+pub fn run_concurrent() {
+    run_concurrent_with(
+        10_000,
+        8,
+        &[1, 2, 4, 8],
+        2_000,
+        Some(std::path::Path::new("BENCH_concurrent.json")),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_concurrent_run_produces_consistent_report() {
+        let report = run_concurrent_with(300, 4, &[1, 2], 64, None);
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows[0].threads, 1);
+        assert_eq!(report.rows[0].total_lookups, 64);
+        assert_eq!(report.rows[1].total_lookups, 128);
+        assert!(report.rows.iter().all(|r| r.lookups_per_sec > 0.0));
+        assert!(report.rows.iter().all(|r| r.p99_us >= r.p50_us));
+        assert!(report.unsharded_p50_us > 0.0);
+        assert!(report.single_thread_p50_ratio > 0.0);
+        assert!((report.rows[0].speedup_vs_1t - 1.0).abs() < 1e-9);
+        assert!(report.available_parallelism >= 1);
+    }
+}

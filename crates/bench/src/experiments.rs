@@ -614,9 +614,16 @@ pub struct IndexBenchRow {
     pub entries: usize,
     /// Embedding dimensionality of this tier.
     pub dims: usize,
-    /// Median per-lookup latency in microseconds.
+    /// Median per-lookup latency in microseconds. Each probe's latency is
+    /// the **minimum over 3 timed repetitions** (the noise-robust estimate
+    /// of its deterministic scan cost — the CI regression gate needs
+    /// run-to-run stability), so percentiles here spread over *probes*, not
+    /// over scheduler noise.
     pub p50_us: f64,
-    /// 99th-percentile per-lookup latency in microseconds.
+    /// 99th-percentile of the same per-probe minimum-of-3 latencies: the
+    /// worst probe's cost, **not** a tail-latency measure (preemption and
+    /// contention are deliberately excluded; `BENCH_concurrent.json`
+    /// measures live tails).
     pub p99_us: f64,
     /// recall@5 against the exact f32 flat scan's top-5.
     pub recall_at_5: f64,
@@ -640,27 +647,33 @@ pub struct IndexBenchReport {
     pub sq8_bytes_ratio: f64,
 }
 
-/// Per-probe search latencies in microseconds, sorted ascending (one warm
-/// pass first so page-ins and pool spin-up are not measured).
+/// Per-probe search latencies in microseconds, sorted ascending. One warm
+/// pass first (page-ins, pool spin-up), then each probe is timed
+/// [`LATENCY_REPS`] times and its **minimum** kept: the scan is
+/// deterministic work, so the minimum is the noise-robust estimate of its
+/// cost — scheduler preemption and frequency wobble only ever add time.
+/// Small-tier p50s feed the CI regression gate, which needs run-to-run
+/// stability well inside its 25% tolerance.
 fn probe_latencies_us(index: &dyn mc_store::VectorIndex, queries: &[Vec<f32>]) -> Vec<f64> {
     const TOP_K: usize = 5;
+    const LATENCY_REPS: usize = 3;
     for q in queries {
         let _ = index.search(q, TOP_K, -1.0).expect("search succeeds");
     }
-    let mut latencies: Vec<f64> = queries
-        .iter()
-        .map(|q| {
+    let mut latencies: Vec<f64> = queries.iter().map(|_| f64::INFINITY).collect();
+    for _ in 0..LATENCY_REPS {
+        for (q, best) in queries.iter().zip(latencies.iter_mut()) {
             let started = Instant::now();
             let _ = index.search(q, TOP_K, -1.0).expect("search succeeds");
-            started.elapsed().as_secs_f64() * 1e6
-        })
-        .collect();
+            *best = best.min(started.elapsed().as_secs_f64() * 1e6);
+        }
+    }
     latencies.sort_by(f64::total_cmp);
     latencies
 }
 
 /// The `p`-th percentile (0..=1) of an ascending-sorted latency series.
-fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+pub(crate) fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     if sorted_us.is_empty() {
         return 0.0;
     }

@@ -22,8 +22,10 @@
 //! the workspace root records a paper-vs-measured comparison for every
 //! experiment.
 
+pub mod concurrent;
 pub mod experiments;
 pub mod setup;
 
+pub use concurrent::*;
 pub use experiments::*;
 pub use setup::*;

@@ -5,7 +5,7 @@
 //! `for_each` and `collect` — on top of `std::thread::scope`. Work is split
 //! into one contiguous block per available core; results are concatenated in
 //! source order, so `collect` observes exactly the sequential ordering. Small
-//! inputs (fewer items than [`MIN_ITEMS_PER_THREAD`]) run sequentially to
+//! inputs (fewer items than `MIN_ITEMS_PER_THREAD`) run sequentially to
 //! avoid spawn overhead.
 //!
 //! **Known limitation vs real rayon:** there is no persistent worker pool —
@@ -25,6 +25,14 @@ fn num_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// The number of worker threads a parallel call will use at most — the
+/// machine's available parallelism, since this shim has no configured pool.
+/// (Real rayon reports its global pool size here.) Harnesses use this to
+/// annotate measurements with the parallelism actually available.
+pub fn current_num_threads() -> usize {
+    num_threads()
 }
 
 /// How many worker blocks to use for `len` items.
@@ -458,6 +466,11 @@ mod tests {
         for (i, chunk) in data.chunks(10).enumerate() {
             assert!(chunk.iter().all(|&x| x == i));
         }
+    }
+
+    #[test]
+    fn current_num_threads_reports_at_least_one() {
+        assert!(crate::current_num_threads() >= 1);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! verified candidate's response, or report a miss so the deployment forwards
 //! the query to the LLM and inserts the fresh response.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use mc_embedder::QueryEncoder;
 use mc_store::{AnyIndex, CacheEntry, MemoryStore, VectorIndex};
 use mc_tensor::vector;
@@ -55,7 +57,8 @@ impl CacheDecisionOutcome {
     }
 }
 
-/// Running counters the cache keeps about itself.
+/// Running counters the cache keeps about itself (a point-in-time snapshot
+/// of the live atomic counters — see [`MeanCache::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Number of lookups performed.
@@ -71,12 +74,101 @@ pub struct CacheStats {
     pub feedback_updates: u64,
 }
 
+impl CacheStats {
+    /// Element-wise sum with another snapshot (used by the sharded serving
+    /// layer to aggregate per-shard counters).
+    #[must_use]
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups + other.lookups,
+            hits: self.hits + other.hits,
+            context_rejections: self.context_rejections + other.context_rejections,
+            inserts: self.inserts + other.inserts,
+            feedback_updates: self.feedback_updates + other.feedback_updates,
+        }
+    }
+}
+
+/// The live counters behind [`CacheStats`]. Atomics, so the read-only
+/// [`SemanticCache::probe`] path (`&self`, possibly many threads at once)
+/// can keep counting without exclusive access. Relaxed ordering is enough:
+/// these are monotonic tallies, never used to synchronise other memory.
+#[derive(Debug, Default)]
+struct AtomicCacheStats {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    context_rejections: AtomicU64,
+    inserts: AtomicU64,
+    feedback_updates: AtomicU64,
+}
+
+impl AtomicCacheStats {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            context_rejections: self.context_rejections.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            feedback_updates: self.feedback_updates.load(Ordering::Relaxed),
+        }
+    }
+
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+}
+
+impl Clone for AtomicCacheStats {
+    fn clone(&self) -> Self {
+        let snap = self.snapshot();
+        AtomicCacheStats {
+            lookups: AtomicU64::new(snap.lookups),
+            hits: AtomicU64::new(snap.hits),
+            context_rejections: AtomicU64::new(snap.context_rejections),
+            inserts: AtomicU64::new(snap.inserts),
+            feedback_updates: AtomicU64::new(snap.feedback_updates),
+        }
+    }
+}
+
 /// Common interface shared by MeanCache and the GPTCache-style baseline so
 /// the deployment driver and the benchmark harness can treat them uniformly.
+///
+/// The hot path is split into two halves so a serving layer can run many
+/// probes concurrently:
+///
+/// * [`SemanticCache::probe`] — the read-only half (`&self`): encode, index
+///   search, threshold decision, context verification. No cache contents or
+///   access metadata change, so any number of threads may probe one cache at
+///   once (all statistics live in atomics).
+/// * [`SemanticCache::commit`] — the narrow write half (`&mut self`): record
+///   access metadata (LRU/LFU bookkeeping) for a decision that was actually
+///   served. Inserts and feedback keep their own `&mut` entry points.
+///
+/// [`SemanticCache::lookup`] is the sequential composition of the two and
+/// behaves exactly as it did before the split.
 pub trait SemanticCache {
+    /// The read-only half of a lookup: answers a query under the given
+    /// conversational context (most recent turn last) without mutating
+    /// anything but atomic statistics. Safe to call from many threads at
+    /// once through a shared reference.
+    fn probe(&self, query: &str, context: &[String]) -> CacheDecisionOutcome;
+
+    /// The write half of a lookup: records access metadata (eviction-policy
+    /// bookkeeping) for an outcome that was served to the user. A miss is a
+    /// no-op. Decisions are unaffected — skipping `commit` only degrades
+    /// LRU/LFU accuracy, never correctness.
+    fn commit(&mut self, outcome: &CacheDecisionOutcome);
+
     /// Looks up a query under the given conversational context (most recent
-    /// turn last). Does not modify cache contents other than access metadata.
-    fn lookup(&mut self, query: &str, context: &[String]) -> CacheDecisionOutcome;
+    /// turn last): [`SemanticCache::probe`] followed by
+    /// [`SemanticCache::commit`]. Does not modify cache contents other than
+    /// access metadata.
+    fn lookup(&mut self, query: &str, context: &[String]) -> CacheDecisionOutcome {
+        let outcome = self.probe(query, context);
+        self.commit(&outcome);
+        outcome
+    }
 
     /// Inserts a fresh (query, response) pair obtained from the LLM.
     ///
@@ -89,17 +181,28 @@ pub trait SemanticCache {
     /// cache like GPTCache.
     fn lookup_network_overhead_s(&self) -> f64;
 
-    /// Looks up a batch of `(query, context)` probes in one call, returning
-    /// one outcome per probe (same order). Probes are borrowed so replayers
-    /// do not copy their workload to batch it. The default loops over
-    /// [`SemanticCache::lookup`]; caches backed by a vector index override
-    /// this to funnel all probes through one `search_batch` pass so replayed
-    /// workloads stop paying per-probe dispatch overhead.
-    fn lookup_batch(&mut self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
+    /// Read-only batched probe: one outcome per `(query, context)` probe,
+    /// in submission order. Probes are borrowed so replayers do not copy
+    /// their workload to batch it. The default loops over
+    /// [`SemanticCache::probe`]; caches backed by a vector index override
+    /// this to funnel all probes through one `search_batch` pass (and the
+    /// sharded cache to fan out across shards in parallel).
+    fn probe_batch(&self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
         probes
             .iter()
-            .map(|(query, context)| self.lookup(query, context))
+            .map(|(query, context)| self.probe(query, context))
             .collect()
+    }
+
+    /// Looks up a batch of probes in one call:
+    /// [`SemanticCache::probe_batch`] followed by one
+    /// [`SemanticCache::commit`] per outcome, in submission order.
+    fn lookup_batch(&mut self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
+        let outcomes = self.probe_batch(probes);
+        for outcome in &outcomes {
+            self.commit(outcome);
+        }
+        outcomes
     }
 
     /// Number of cached entries.
@@ -135,13 +238,18 @@ enum ProbeContext {
 }
 
 /// The user-side semantic cache (the paper's contribution).
+///
+/// All read paths (including [`SemanticCache::probe`]) take `&self` over
+/// plain owned data plus atomic counters, so a `MeanCache` is `Send + Sync`
+/// and many threads may probe one instance concurrently — the property the
+/// sharded serving layer ([`crate::ShardedCache`]) builds on.
 #[derive(Debug, Clone)]
 pub struct MeanCache {
     encoder: QueryEncoder,
     config: MeanCacheConfig,
     store: MemoryStore,
     index: AnyIndex,
-    stats: CacheStats,
+    stats: AtomicCacheStats,
 }
 
 impl MeanCache {
@@ -159,7 +267,7 @@ impl MeanCache {
             config,
             store,
             index,
-            stats: CacheStats::default(),
+            stats: AtomicCacheStats::default(),
         })
     }
 
@@ -183,9 +291,9 @@ impl MeanCache {
         self.config.threshold = threshold.clamp(0.0, 1.0);
     }
 
-    /// Cache statistics.
+    /// Cache statistics (a point-in-time snapshot of the atomic counters).
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Name of the live vector-index backend (`"flat"`, `"flat-sq8"`,
@@ -228,7 +336,7 @@ impl MeanCache {
             self.config.threshold =
                 (self.config.threshold - step * self.config.threshold).clamp(0.0, 1.0);
         }
-        self.stats.feedback_updates += 1;
+        AtomicCacheStats::bump(&self.stats.feedback_updates, 1);
     }
 
     /// Pre-computed view of the probe's conversational context, shared by all
@@ -312,14 +420,16 @@ impl MeanCache {
         self.index
             .add(id, embedding.as_slice())
             .map_err(CacheError::from)?;
-        self.stats.inserts += 1;
+        AtomicCacheStats::bump(&self.stats.inserts, 1);
         Ok(id)
     }
 
-    /// Shared back half of a lookup: context-verifies `candidates` in score
+    /// Shared back half of a probe: context-verifies `candidates` in score
     /// order and serves the first one whose conversation matches the probe's.
+    /// Read-only — the eviction-policy touch for a served hit happens in
+    /// [`SemanticCache::commit`].
     fn decide(
-        &mut self,
+        &self,
         candidates: Vec<mc_store::SearchHit>,
         context: &[String],
     ) -> CacheDecisionOutcome {
@@ -340,8 +450,7 @@ impl MeanCache {
             if context_ok {
                 let contextual = entry.is_contextual();
                 let response = entry.response.clone();
-                self.store.get_mut_touch(candidate.id);
-                self.stats.hits += 1;
+                AtomicCacheStats::bump(&self.stats.hits, 1);
                 return CacheDecisionOutcome::Hit(CacheHit {
                     entry_id: candidate.id,
                     response,
@@ -352,7 +461,7 @@ impl MeanCache {
             rejected_by_context = true;
         }
         if rejected_by_context {
-            self.stats.context_rejections += 1;
+            AtomicCacheStats::bump(&self.stats.context_rejections, 1);
         }
         CacheDecisionOutcome::Miss
     }
@@ -371,8 +480,8 @@ impl MeanCache {
 }
 
 impl SemanticCache for MeanCache {
-    fn lookup(&mut self, query: &str, context: &[String]) -> CacheDecisionOutcome {
-        self.stats.lookups += 1;
+    fn probe(&self, query: &str, context: &[String]) -> CacheDecisionOutcome {
+        AtomicCacheStats::bump(&self.stats.lookups, 1);
         let embedding = self.encoder.encode(query);
         let candidates = match self.index.search(
             embedding.as_slice(),
@@ -385,8 +494,14 @@ impl SemanticCache for MeanCache {
         self.decide(candidates, context)
     }
 
-    fn lookup_batch(&mut self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
-        self.stats.lookups += probes.len() as u64;
+    fn commit(&mut self, outcome: &CacheDecisionOutcome) {
+        if let Some(hit) = outcome.hit() {
+            self.store.get_mut_touch(hit.entry_id);
+        }
+    }
+
+    fn probe_batch(&self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
+        AtomicCacheStats::bump(&self.stats.lookups, probes.len() as u64);
         // Encode everything, then retrieve candidates for the whole batch in
         // one index pass; only context verification stays per-probe.
         let embeddings: Vec<mc_tensor::Vector> = probes
@@ -423,7 +538,7 @@ impl SemanticCache for MeanCache {
             let _ = self.index.remove(evicted);
         }
         self.index.add(id, embedding.as_slice())?;
-        self.stats.inserts += 1;
+        AtomicCacheStats::bump(&self.stats.inserts, 1);
         Ok(id)
     }
 

@@ -39,6 +39,15 @@ pub struct MeanCacheConfig {
     /// index's embedding bytes ~4×. See `mc_store::index` and
     /// `mc_store::rows` for the trade-offs.
     pub index: IndexKind,
+    /// Number of independent shards the serving layer
+    /// ([`crate::ShardedCache`]) splits the cache into. `1` (the default)
+    /// means an unsharded cache; `0` is accepted and normalised to `1` so
+    /// config sidecars written before this field existed still load (the
+    /// vendored serde shim deserialises a missing `#[serde(default)]` field
+    /// to `usize::default()`). A plain [`crate::MeanCache`] ignores this
+    /// knob — it configures the layer above.
+    #[serde(default)]
+    pub shards: usize,
 }
 
 impl Default for MeanCacheConfig {
@@ -52,9 +61,14 @@ impl Default for MeanCacheConfig {
             eviction: EvictionPolicy::Lru,
             feedback_step: 0.02,
             index: IndexKind::default(),
+            shards: 1,
         }
     }
 }
+
+/// Hard ceiling on [`MeanCacheConfig::shards`]: past this the per-shard
+/// entry counts stop amortising the routing and lock overhead.
+pub const MAX_SHARDS: usize = 1024;
 
 impl MeanCacheConfig {
     /// Validates the configuration.
@@ -86,8 +100,20 @@ impl MeanCacheConfig {
                 self.feedback_step
             )));
         }
+        if self.shards > MAX_SHARDS {
+            return Err(CacheError::InvalidConfig(format!(
+                "shards {} exceeds the supported maximum {MAX_SHARDS}",
+                self.shards
+            )));
+        }
         self.index.validate()?;
         Ok(())
+    }
+
+    /// The shard count the serving layer should build: `shards`, with the
+    /// legacy-sidecar `0` normalised to `1`.
+    pub fn effective_shards(&self) -> usize {
+        self.shards.max(1)
     }
 
     /// Returns a copy with the threshold replaced (e.g. with the federated
@@ -109,6 +135,12 @@ impl MeanCacheConfig {
     /// Returns a copy with the vector-index backend replaced.
     pub fn with_index(mut self, index: IndexKind) -> Self {
         self.index = index;
+        self
+    }
+
+    /// Returns a copy with the serving-layer shard count replaced.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -202,5 +234,40 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: MeanCacheConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+        let sharded = cfg.with_shards(8);
+        let json = serde_json::to_string(&sharded).unwrap();
+        let back: MeanCacheConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shards, 8);
+    }
+
+    #[test]
+    fn shard_count_validates_and_normalises() {
+        assert_eq!(MeanCacheConfig::default().shards, 1);
+        let cfg = MeanCacheConfig::default().with_shards(4);
+        assert_eq!(cfg.effective_shards(), 4);
+        assert!(cfg.validate().is_ok());
+        // 0 is the legacy-sidecar value: valid, normalised to 1.
+        let legacy = MeanCacheConfig::default().with_shards(0);
+        assert!(legacy.validate().is_ok());
+        assert_eq!(legacy.effective_shards(), 1);
+        assert!(MeanCacheConfig::default()
+            .with_shards(MAX_SHARDS + 1)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn pre_shard_configs_still_deserialize() {
+        // A sidecar written before the `shards` field existed must load,
+        // with the missing field defaulting to 0 (⇒ one effective shard).
+        let json = serde_json::to_string(&MeanCacheConfig::default().with_shards(7)).unwrap();
+        let old = json
+            .replace(",\"shards\":7", "")
+            .replace("\"shards\":7,", "");
+        assert!(!old.contains("shards"), "field must be stripped: {old}");
+        let cfg: MeanCacheConfig = serde_json::from_str(&old).unwrap();
+        assert_eq!(cfg.shards, 0);
+        assert_eq!(cfg.effective_shards(), 1);
+        assert!(cfg.validate().is_ok());
     }
 }

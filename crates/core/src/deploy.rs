@@ -268,10 +268,19 @@ impl<C: SemanticCache> Deployment<C> {
         }
     }
 
-    /// Replays a probe workload through the cache's batched lookup path:
-    /// every probe funnels through **one** `search_batch` pass over the
-    /// vector index instead of paying per-probe dispatch, which is how the
-    /// benchmark harness replays large workloads.
+    /// Replays a probe workload through the cache's batched probe path:
+    /// every probe funnels through **one** [`SemanticCache::probe_batch`]
+    /// pass (a single `search_batch` over the vector index, or a parallel
+    /// fan-out across shards) instead of paying per-probe dispatch, which is
+    /// how the benchmark harness replays large workloads.
+    ///
+    /// The probe/commit split keeps the accounting deterministic even when
+    /// the batch is answered out of submission order internally (a sharded
+    /// cache scans shards in parallel): `probe_batch` returns outcomes in
+    /// submission order by contract, and the quota bookkeeping, LLM calls
+    /// and access-metadata commits below run strictly per-probe in that
+    /// order, so the per-probe records and quota totals are identical to a
+    /// sequential replay of the same frozen cache.
     ///
     /// Batching requires a frozen cache (`freeze_cache`): with inserts on
     /// miss, probe *i* could change what probe *i+1* sees, which a single
@@ -296,10 +305,14 @@ impl<C: SemanticCache> Deployment<C> {
             .map(|p| (p.query.as_str(), p.context.as_slice()))
             .collect();
         let started = Instant::now();
-        let outcomes = self.cache.lookup_batch(&batch);
+        let outcomes = self.cache.probe_batch(&batch);
         let search_time_s = started.elapsed().as_secs_f64() / probes.len().max(1) as f64;
 
         for (probe, outcome) in probes.iter().zip(outcomes) {
+            // Commit (LRU/LFU touch) and account in submission order, one
+            // probe at a time — the write half never interleaves with the
+            // quota arithmetic of another probe.
+            self.cache.commit(&outcome);
             self.account_probe(probe, &outcome, search_time_s, &mut acc)?;
         }
         Ok(self.finish_report(acc))

@@ -38,6 +38,15 @@ pub struct GptCacheConfig {
     /// capacity should pick [`IndexKind::Ivf`] — or [`IndexKind::ivf_sq8`]
     /// to also quarter the resident embedding bytes.
     pub index: IndexKind,
+    /// Shard count for a concurrent server-side deployment: carried into the
+    /// [`MeanCacheConfig`] this baseline builds ([`GptCacheConfig::to_cache_config`]),
+    /// so `ShardedCache::new(encoder, config.to_cache_config())` stands up a
+    /// sharded context-oblivious server cache. The single-`MeanCache`
+    /// [`GptCacheBaseline`] itself ignores it (it models one user's round
+    /// trip, not server concurrency). `0` is normalised to `1` for configs
+    /// written before this field existed.
+    #[serde(default)]
+    pub shards: usize,
 }
 
 impl Default for GptCacheConfig {
@@ -48,6 +57,24 @@ impl Default for GptCacheConfig {
             capacity: 1_000_000,
             network_rtt_s: 0.08,
             index: IndexKind::default(),
+            shards: 1,
+        }
+    }
+}
+
+impl GptCacheConfig {
+    /// The [`MeanCacheConfig`] this baseline translates to: same threshold,
+    /// candidate pool, capacity, index backend and shard count, with context
+    /// verification disabled (the defining difference).
+    pub fn to_cache_config(&self) -> MeanCacheConfig {
+        MeanCacheConfig {
+            threshold: self.threshold,
+            top_k: self.top_k,
+            capacity: self.capacity,
+            index: self.index.clone(),
+            shards: self.shards,
+            context_checking: false,
+            ..MeanCacheConfig::default()
         }
     }
 }
@@ -66,18 +93,7 @@ impl GptCacheBaseline {
     /// # Errors
     /// Returns [`crate::CacheError::InvalidConfig`] for invalid settings.
     pub fn new(encoder: QueryEncoder, config: GptCacheConfig) -> Result<Self> {
-        let inner = MeanCache::new(
-            encoder,
-            MeanCacheConfig {
-                threshold: config.threshold,
-                top_k: config.top_k,
-                capacity: config.capacity,
-                index: config.index,
-                // The defining difference: no context-chain verification.
-                context_checking: false,
-                ..MeanCacheConfig::default()
-            },
-        )?;
+        let inner = MeanCache::new(encoder, config.to_cache_config())?;
         Ok(Self {
             inner,
             network_rtt_s: config.network_rtt_s.max(0.0),
@@ -96,16 +112,20 @@ impl GptCacheBaseline {
 }
 
 impl SemanticCache for GptCacheBaseline {
-    fn lookup(&mut self, query: &str, context: &[String]) -> CacheDecisionOutcome {
+    fn probe(&self, query: &str, context: &[String]) -> CacheDecisionOutcome {
         // Context is ignored by design.
         let _ = context;
-        self.inner.lookup(query, &[])
+        self.inner.probe(query, &[])
     }
 
-    fn lookup_batch(&mut self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
+    fn commit(&mut self, outcome: &CacheDecisionOutcome) {
+        self.inner.commit(outcome);
+    }
+
+    fn probe_batch(&self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
         // Context is ignored by design, and the inner cache was built with
         // context checking disabled, so the probes can be forwarded as-is.
-        self.inner.lookup_batch(probes)
+        self.inner.probe_batch(probes)
     }
 
     fn insert(&mut self, query: &str, response: &str, _context: &[String]) -> Result<u64> {

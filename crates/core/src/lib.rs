@@ -12,7 +12,7 @@
 //! 1. **Semantic matching** with a small, trainable query-embedding model
 //!    ([`mc_embedder::QueryEncoder`]) and a cosine-similarity threshold.
 //! 2. **Federated fine-tuning** of that model across users without sharing
-//!    their queries ([`mc_fl`]), including the federated threshold.
+//!    their queries (the `mc-fl` crate), including the federated threshold.
 //! 3. **Context chains**: every cached query records which cached query it
 //!    followed up on, so contextual queries only hit when their conversation
 //!    matches ([`cache::MeanCache`], Algorithm 1 of the paper).
@@ -32,6 +32,11 @@
 //!   [`mc_store::IvfIndex`] — is a configuration choice, not a code path;
 //!   [`SemanticCache::lookup_batch`] funnels whole probe batches through one
 //!   `search_batch` pass for workload replays.
+//! * [`shard`] — the concurrent serving layer: [`ShardedCache`] hash-routes
+//!   queries to N independent [`MeanCache`] shards behind per-shard
+//!   `RwLock`s, so probes proceed in parallel (the [`SemanticCache`] hot
+//!   path is split into a read-only `probe` and a narrow `commit` to make
+//!   that possible) and writes only contend within one shard.
 //! * [`gptcache`] — the GPTCache-style baseline: server-side, fixed 0.7
 //!   threshold, no context verification.
 //! * [`deploy`] — an end-to-end deployment driver that runs labelled
@@ -69,11 +74,13 @@ pub mod config;
 pub mod deploy;
 pub mod gptcache;
 pub mod persist;
+pub mod shard;
 
-pub use cache::{CacheDecisionOutcome, CacheHit, MeanCache, SemanticCache};
+pub use cache::{CacheDecisionOutcome, CacheHit, CacheStats, MeanCache, SemanticCache};
 pub use config::MeanCacheConfig;
 pub use deploy::{Deployment, DeploymentReport, ProbeSpec, QueryRecord};
 pub use gptcache::{GptCacheBaseline, GptCacheConfig};
+pub use shard::ShardedCache;
 
 /// Errors surfaced by the cache layer.
 #[derive(Debug)]

@@ -24,13 +24,19 @@
 //! also means the store's context-chain embeddings stay exact, and a
 //! deployment can flip codecs (or back) on an existing log with nothing but
 //! a config change.
+//!
+//! **Sharded caches** persist as one entry log per shard plus the shared
+//! config sidecar ([`save_sharded_cache_with_config`] /
+//! [`load_sharded_cache_with_config`]): the sidecar's
+//! [`MeanCacheConfig::shards`] and the fixed routing hash guarantee a reload
+//! reassembles the exact same query → shard assignment.
 
 use std::path::{Path, PathBuf};
 
 use mc_embedder::QueryEncoder;
 use mc_store::DiskStore;
 
-use crate::{CacheError, MeanCache, MeanCacheConfig, Result};
+use crate::{CacheError, MeanCache, MeanCacheConfig, Result, ShardedCache};
 
 /// Writes every cached entry to the disk store at `path` (replacing existing
 /// contents) and compacts the log.
@@ -61,14 +67,21 @@ pub fn save_cache(cache: &MeanCache, path: &Path) -> Result<()> {
 /// Propagates storage/IO failures and dimension mismatches (e.g. when the
 /// encoder's compression setting changed since the cache was saved).
 pub fn load_cache(template: MeanCache, path: &Path) -> Result<MeanCache> {
-    let disk = DiskStore::open(path)?;
     let mut cache = template;
+    replay_log_into(&mut cache, path)?;
+    Ok(cache)
+}
+
+/// Replays the entry log at `path` into `cache` (parents before children, so
+/// a partially written log never leaves a dangling reference).
+fn replay_log_into(cache: &mut MeanCache, path: &Path) -> Result<()> {
+    let disk = DiskStore::open(path)?;
     let mut entries: Vec<_> = disk.iter().cloned().collect();
     entries.sort_by_key(|e| (e.parent.is_some(), e.id));
     for entry in entries {
         cache.restore_entry(entry)?;
     }
-    Ok(cache)
+    Ok(())
 }
 
 /// Path of the JSON configuration sidecar for the log at `path`.
@@ -82,11 +95,17 @@ fn config_sidecar(path: &Path) -> PathBuf {
 /// backend included) to a `<path>.config.json` sidecar, so the cache can be
 /// restored without out-of-band knowledge of how it was configured.
 ///
+/// The sidecar's `shards` field is normalised to `1`: what is being
+/// persisted *is* a single unsharded log, even when the `MeanCache` was
+/// built from a config whose (ignored) `shards` knob said otherwise — a
+/// sidecar claiming more shards than there are logs would make the reload
+/// path reject or, worse, misread the save.
+///
 /// # Errors
 /// Propagates storage/IO failures.
 pub fn save_cache_with_config(cache: &MeanCache, path: &Path) -> Result<()> {
     save_cache(cache, path)?;
-    let json = serde_json::to_string(cache.config())
+    let json = serde_json::to_string(&cache.config().clone().with_shards(1))
         .map_err(|e| CacheError::InvalidConfig(e.to_string()))?;
     std::fs::write(config_sidecar(path), json).map_err(mc_store::StoreError::from)?;
     Ok(())
@@ -98,12 +117,101 @@ pub fn save_cache_with_config(cache: &MeanCache, path: &Path) -> Result<()> {
 ///
 /// # Errors
 /// Propagates storage/IO failures, a missing or malformed sidecar, and
-/// dimension mismatches.
+/// dimension mismatches. A sidecar recording more than one shard is
+/// rejected: that save has per-shard logs and must go through
+/// [`load_sharded_cache_with_config`] — opening the (absent) base-path log
+/// here would silently present an empty cache as the loaded result.
 pub fn load_cache_with_config(encoder: QueryEncoder, path: &Path) -> Result<MeanCache> {
-    let json = std::fs::read_to_string(config_sidecar(path)).map_err(mc_store::StoreError::from)?;
-    let config: MeanCacheConfig =
-        serde_json::from_str(&json).map_err(|e| CacheError::InvalidConfig(e.to_string()))?;
+    let config = read_config_sidecar(path)?;
+    if config.effective_shards() > 1 {
+        return Err(CacheError::InvalidConfig(format!(
+            "cache at {} was saved with {} shards: load it with \
+             load_sharded_cache_with_config",
+            path.display(),
+            config.effective_shards()
+        )));
+    }
     load_cache(MeanCache::new(encoder, config)?, path)
+}
+
+/// Reads and parses the `<path>.config.json` sidecar.
+fn read_config_sidecar(path: &Path) -> Result<MeanCacheConfig> {
+    let json = std::fs::read_to_string(config_sidecar(path)).map_err(mc_store::StoreError::from)?;
+    serde_json::from_str(&json).map_err(|e| CacheError::InvalidConfig(e.to_string()))
+}
+
+/// Path of shard `i`'s entry log for the sharded cache rooted at `path`.
+fn shard_log_path(path: &Path, shard: usize) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(format!(".shard{shard}"));
+    PathBuf::from(name)
+}
+
+/// Persists a [`ShardedCache`]: one entry log per shard
+/// (`<path>.shard0`, `<path>.shard1`, …) plus a single
+/// `<path>.config.json` sidecar recording the [`MeanCacheConfig`] —
+/// including the shard count, which [`load_sharded_cache_with_config`]
+/// needs to reassemble the same routing. Stale shard logs beyond the live
+/// shard count are removed so a re-save with fewer shards cannot leave
+/// orphaned entries behind.
+///
+/// Shard logs keep **shard-local** entry ids; because routing is a fixed
+/// hash of the query/conversation-root text and the shard count is restored
+/// from the sidecar, a reload reassembles exactly the same entry → shard
+/// assignment and therefore the same public (namespaced) ids.
+///
+/// # Errors
+/// Propagates storage/IO failures.
+pub fn save_sharded_cache_with_config(cache: &ShardedCache, path: &Path) -> Result<()> {
+    for shard in 0..cache.shard_count() {
+        cache.with_shard(shard, |inner| {
+            save_cache(inner, &shard_log_path(path, shard))
+        })?;
+    }
+    // Clean up logs from a previous save with a higher shard count, and a
+    // base-path log from a previous *unsharded* save — either would be
+    // stale data sitting next to the sidecar about to be written.
+    let mut stale = cache.shard_count();
+    while shard_log_path(path, stale).exists() {
+        std::fs::remove_file(shard_log_path(path, stale)).map_err(mc_store::StoreError::from)?;
+        stale += 1;
+    }
+    if path.exists() {
+        std::fs::remove_file(path).map_err(mc_store::StoreError::from)?;
+    }
+    let json = serde_json::to_string(cache.config())
+        .map_err(|e| CacheError::InvalidConfig(e.to_string()))?;
+    std::fs::write(config_sidecar(path), json).map_err(mc_store::StoreError::from)?;
+    Ok(())
+}
+
+/// Restores a cache saved by [`save_sharded_cache_with_config`]: reads the
+/// sidecar, builds a fresh [`ShardedCache`] with the persisted shard count
+/// around `encoder`, and replays each shard's log into its shard.
+///
+/// # Errors
+/// Propagates storage/IO failures, a missing or malformed sidecar, and
+/// dimension mismatches. A missing shard log is an error, not an empty
+/// shard: the save path writes every shard's log (empty shards included),
+/// so absence means a truncated save or a log written by the *unsharded*
+/// [`save_cache_with_config`] — silently loading the survivors would
+/// present a partial cache as complete.
+pub fn load_sharded_cache_with_config(encoder: QueryEncoder, path: &Path) -> Result<ShardedCache> {
+    let config = read_config_sidecar(path)?;
+    let mut cache = ShardedCache::new(encoder, config)?;
+    for shard in 0..cache.shard_count() {
+        let log = shard_log_path(path, shard);
+        if !log.exists() {
+            return Err(CacheError::InvalidConfig(format!(
+                "sharded cache at {} is missing shard log {}: the save was \
+                 incomplete or written by the unsharded persistence path",
+                path.display(),
+                log.display()
+            )));
+        }
+        replay_log_into(cache.shard_cache_mut(shard), &log)?;
+    }
+    Ok(cache)
 }
 
 #[cfg(test)]

@@ -1,0 +1,537 @@
+//! Concurrent sharded serving layer: N independent [`MeanCache`] shards
+//! behind per-shard `RwLock`s.
+//!
+//! Every lookup in the base cache funnels through one `&mut` API, so no two
+//! queries can be served at once no matter how fast the underlying index
+//! scan is. `ShardedCache` removes that ceiling the way concurrent
+//! hash-map-style caches do: hash-route each query to one of `N` independent
+//! shards so reads proceed in parallel (shared `RwLock` read guards over the
+//! read-only [`SemanticCache::probe`] half) and writes only contend within
+//! one shard.
+//!
+//! ## Routing
+//!
+//! The routing key is the **conversation root**: the first context turn when
+//! the probe carries history, the query text itself otherwise (see
+//! [`route_key`]). Keying on the root pins an entire conversation — a
+//! standalone query and every follow-up under it — to one shard, so context
+//! chains never dangle across shards and contextual decisions match the
+//! unsharded cache exactly. The hash is a fixed FNV-1a (not the std
+//! `DefaultHasher`, whose output may change across Rust releases), so
+//! routing is stable across processes and across save/load.
+//!
+//! ## What sharding trades away
+//!
+//! A probe scans only its own shard. Exact repeats and same-conversation
+//! follow-ups always route to the entry that can answer them, but a
+//! *paraphrase* hashes like unrelated text: with `N` shards it lands on the
+//! cached original's shard with probability `1/N` and otherwise misses where
+//! the unsharded cache would hit. That recall cost buys per-probe work of
+//! `O(n/N · d)` and write contention confined to one shard — the standard
+//! partitioned-cache trade. Deployments that cannot afford it keep
+//! `shards = 1` (the default), which behaves identically to a plain
+//! [`MeanCache`] behind a lock.
+//!
+//! Capacity splits evenly too: each shard holds `capacity / N` entries, so
+//! a skewed workload — one long conversation, one hot routing key — starts
+//! evicting at `capacity / N` while other shards sit under-filled. The
+//! effective capacity for traffic concentrated on one key is `1/N` of the
+//! configured total; occupancy-proportional eviction budgeting is a
+//! possible future refinement (see ROADMAP).
+//!
+//! ## Identifiers
+//!
+//! Shards allocate entry ids independently, so the serving layer namespaces
+//! them: a public id is `local_id * N + shard`, decoded back on
+//! [`SemanticCache::commit`]. Persisted per-shard logs keep local ids,
+//! which makes reload reassemble the exact same public ids as long as the
+//! shard count is unchanged (the config sidecar records it).
+
+use std::sync::RwLock;
+
+use mc_embedder::QueryEncoder;
+use mc_store::CacheEntry;
+use rayon::prelude::*;
+
+use crate::cache::{CacheDecisionOutcome, CacheStats, MeanCache, SemanticCache};
+use crate::{MeanCacheConfig, Result};
+
+/// The text a probe or insert is routed by: the conversation root (first
+/// context turn) when there is history, the query itself otherwise.
+pub fn route_key<'a>(query: &'a str, context: &'a [String]) -> &'a str {
+    context.first().map(String::as_str).unwrap_or(query)
+}
+
+/// Fixed 64-bit FNV-1a. Deliberately *not* `std::hash` — routing must stay
+/// identical across processes, Rust releases and save/load cycles. Also
+/// deliberately a private copy rather than a helper shared with the FNV
+/// loops in `mc-text` (n-gram hashing) and `mc-llm` (response
+/// fingerprints): each is a separately *frozen* behaviour, and sharing one
+/// function would let a change to any of them silently move the others.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in text.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// A semantic cache partitioned into independent [`MeanCache`] shards for
+/// concurrent serving. See the module docs for routing and id semantics.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<RwLock<MeanCache>>,
+    /// The serving-layer configuration (`shards` = the live shard count;
+    /// each shard holds a copy with `shards: 1` and a split capacity).
+    config: MeanCacheConfig,
+    /// A copy of the shards' encoder, so persistence and reports can reach
+    /// it without taking a shard lock.
+    encoder: QueryEncoder,
+}
+
+impl ShardedCache {
+    /// Builds `config.effective_shards()` empty shards around clones of
+    /// `encoder`. The configured `capacity` is the *total* across shards
+    /// (split evenly, rounded up).
+    ///
+    /// # Errors
+    /// Returns [`crate::CacheError::InvalidConfig`] when the configuration
+    /// is invalid.
+    pub fn new(encoder: QueryEncoder, config: MeanCacheConfig) -> Result<Self> {
+        config.validate()?;
+        let shard_count = config.effective_shards();
+        let shard_config = MeanCacheConfig {
+            shards: 1,
+            capacity: config.capacity.div_ceil(shard_count),
+            ..config.clone()
+        };
+        let shards = (0..shard_count)
+            .map(|_| MeanCache::new(encoder.clone(), shard_config.clone()).map(RwLock::new))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            shards,
+            config,
+            encoder,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Borrow the serving-layer configuration.
+    pub fn config(&self) -> &MeanCacheConfig {
+        &self.config
+    }
+
+    /// Borrow the encoder the shards were built around.
+    pub fn encoder(&self) -> &QueryEncoder {
+        &self.encoder
+    }
+
+    /// The shard a `(query, context)` probe or insert routes to.
+    pub fn shard_of(&self, query: &str, context: &[String]) -> usize {
+        (fnv1a(route_key(query, context)) % self.shards.len() as u64) as usize
+    }
+
+    /// Aggregated statistics across all shards. Per-event counters
+    /// (lookups, hits, context rejections, inserts) sum across shards;
+    /// `feedback_updates` is **broadcast** to every shard by
+    /// [`ShardedCache::record_feedback`], so any one shard's count already
+    /// equals the number of feedback events — shard 0's value is reported
+    /// rather than an N-times-inflated sum.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = self
+            .shards
+            .iter()
+            .map(|s| read(s).stats())
+            .fold(CacheStats::default(), CacheStats::merged);
+        total.feedback_updates = read(&self.shards[0]).stats().feedback_updates;
+        total
+    }
+
+    /// The current cosine threshold τ (uniform across shards).
+    pub fn threshold(&self) -> f32 {
+        read(&self.shards[0]).threshold()
+    }
+
+    /// Replaces the threshold on every shard (and in the serving-layer
+    /// config, so a subsequent save persists the live value).
+    pub fn set_threshold(&mut self, threshold: f32) {
+        for shard in &mut self.shards {
+            shard_mut(shard).set_threshold(threshold);
+        }
+        self.config.threshold = shard_mut(&mut self.shards[0]).threshold();
+    }
+
+    /// Applies adaptive threshold feedback to every shard: τ is a global
+    /// decision parameter, so all shards move in lock-step and
+    /// [`ShardedCache::threshold`] stays well-defined. The serving-layer
+    /// config tracks the adapted value so persistence captures it.
+    pub fn record_feedback(&mut self, false_hit: bool) {
+        for shard in &mut self.shards {
+            shard_mut(shard).record_feedback(false_hit);
+        }
+        self.config.threshold = shard_mut(&mut self.shards[0]).threshold();
+    }
+
+    /// Entry counts per shard (diagnostics and tests).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| read(s).len()).collect()
+    }
+
+    /// Looks up an entry by its **public** (namespaced) id, cloning it out
+    /// of its shard.
+    pub fn entry(&self, public_id: u64) -> Option<CacheEntry> {
+        let (shard, local) = self.split_id(public_id);
+        read(&self.shards[shard]).entry(local).cloned()
+    }
+
+    /// Runs `f` over one shard's cache under its read lock (persistence and
+    /// tests; the serving paths go through [`SemanticCache`]).
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&MeanCache) -> R) -> R {
+        f(&read(&self.shards[shard]))
+    }
+
+    /// Exclusive access to one shard (persistence replay).
+    pub(crate) fn shard_cache_mut(&mut self, shard: usize) -> &mut MeanCache {
+        shard_mut(&mut self.shards[shard])
+    }
+
+    /// `local_id * N + shard` — the public id for a shard-local one.
+    fn public_id(&self, shard: usize, local: u64) -> u64 {
+        local * self.shards.len() as u64 + shard as u64
+    }
+
+    /// Inverse of [`ShardedCache::public_id`].
+    fn split_id(&self, public_id: u64) -> (usize, u64) {
+        let n = self.shards.len() as u64;
+        ((public_id % n) as usize, public_id / n)
+    }
+
+    /// Rewrites a shard-local outcome's entry id into the public namespace.
+    fn globalise(&self, shard: usize, outcome: CacheDecisionOutcome) -> CacheDecisionOutcome {
+        match outcome {
+            CacheDecisionOutcome::Hit(mut hit) => {
+                hit.entry_id = self.public_id(shard, hit.entry_id);
+                CacheDecisionOutcome::Hit(hit)
+            }
+            CacheDecisionOutcome::Miss => CacheDecisionOutcome::Miss,
+        }
+    }
+}
+
+impl Clone for ShardedCache {
+    fn clone(&self) -> Self {
+        Self {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| RwLock::new(read(s).clone()))
+                .collect(),
+            config: self.config.clone(),
+            encoder: self.encoder.clone(),
+        }
+    }
+}
+
+/// Shared-read a shard. Lock poisoning means a probe panicked mid-read with
+/// the structures intact (probes never leave partial writes), so recovery by
+/// unwrapping the poisoned guard would be sound — but a panic in this
+/// workspace is always a bug, so fail loudly instead of papering over it.
+fn read(shard: &RwLock<MeanCache>) -> std::sync::RwLockReadGuard<'_, MeanCache> {
+    shard.read().expect("cache shard lock poisoned")
+}
+
+/// Exclusive access through `&mut self` — no lock taken, cannot block.
+fn shard_mut(shard: &mut RwLock<MeanCache>) -> &mut MeanCache {
+    shard.get_mut().expect("cache shard lock poisoned")
+}
+
+impl SemanticCache for ShardedCache {
+    fn probe(&self, query: &str, context: &[String]) -> CacheDecisionOutcome {
+        let shard = self.shard_of(query, context);
+        let outcome = read(&self.shards[shard]).probe(query, context);
+        self.globalise(shard, outcome)
+    }
+
+    fn commit(&mut self, outcome: &CacheDecisionOutcome) {
+        if let Some(hit) = outcome.hit() {
+            let (shard, local) = self.split_id(hit.entry_id);
+            let mut local_hit = hit.clone();
+            local_hit.entry_id = local;
+            shard_mut(&mut self.shards[shard]).commit(&CacheDecisionOutcome::Hit(local_hit));
+        }
+    }
+
+    fn probe_batch(&self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
+        // Partition probe positions by shard, fan the per-shard batches out
+        // across the rayon pool (each task holds one shard's read guard for
+        // one `probe_batch` pass), then scatter the outcomes back into
+        // submission order.
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (pos, (query, context)) in probes.iter().enumerate() {
+            buckets[self.shard_of(query, context)].push(pos);
+        }
+        let tasks: Vec<(usize, Vec<usize>)> = buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, positions)| !positions.is_empty())
+            .collect();
+        let per_task: Vec<Vec<CacheDecisionOutcome>> = tasks
+            .par_iter()
+            .map(|(shard, positions)| {
+                let shard_probes: Vec<(&str, &[String])> =
+                    positions.iter().map(|&pos| probes[pos]).collect();
+                let outcomes = read(&self.shards[*shard]).probe_batch(&shard_probes);
+                outcomes
+                    .into_iter()
+                    .map(|outcome| self.globalise(*shard, outcome))
+                    .collect()
+            })
+            .collect();
+        let mut results = vec![CacheDecisionOutcome::Miss; probes.len()];
+        for ((_, positions), outcomes) in tasks.iter().zip(per_task) {
+            for (&pos, outcome) in positions.iter().zip(outcomes) {
+                results[pos] = outcome;
+            }
+        }
+        results
+    }
+
+    fn insert(&mut self, query: &str, response: &str, context: &[String]) -> Result<u64> {
+        let shard = self.shard_of(query, context);
+        let local = shard_mut(&mut self.shards[shard]).insert(query, response, context)?;
+        Ok(self.public_id(shard, local))
+    }
+
+    fn lookup_network_overhead_s(&self) -> f64 {
+        0.0
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| read(s).len()).sum()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.shards.iter().map(|s| read(s).storage_bytes()).sum()
+    }
+
+    fn embedding_bytes(&self) -> usize {
+        self.shards.iter().map(|s| read(s).embedding_bytes()).sum()
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Sharded[{}]{}",
+            self.shards.len(),
+            read(&self.shards[0]).name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_embedder::ModelProfile;
+
+    fn encoder() -> QueryEncoder {
+        QueryEncoder::new(ModelProfile::tiny(), 7).unwrap()
+    }
+
+    fn sharded(shards: usize, threshold: f32) -> ShardedCache {
+        ShardedCache::new(
+            encoder(),
+            MeanCacheConfig::default()
+                .with_threshold(threshold)
+                .with_shards(shards),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_cache_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedCache>();
+        assert_send_sync::<MeanCache>();
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_conversation_affine() {
+        let cache = sharded(8, 0.6);
+        let q = "how do I bake sourdough bread";
+        assert_eq!(cache.shard_of(q, &[]), cache.shard_of(q, &[]));
+        // A follow-up routes by its conversation root, not its own text.
+        let root = vec!["how do I bake sourdough bread".to_string()];
+        assert_eq!(
+            cache.shard_of("make it whole-grain", &root),
+            cache.shard_of(q, &[]),
+        );
+        // Deeper chains keep the same root and therefore the same shard.
+        let deep = vec![
+            "how do I bake sourdough bread".to_string(),
+            "make it whole-grain".to_string(),
+        ];
+        assert_eq!(
+            cache.shard_of("and reduce the salt", &deep),
+            cache.shard_of(q, &[]),
+        );
+    }
+
+    #[test]
+    fn exact_repeats_and_context_chains_hit_across_shards() {
+        let mut cache = sharded(4, 0.6);
+        let parent_id = cache
+            .insert("draw a line plot in python", "Use plt.plot.", &[])
+            .unwrap();
+        let ctx = vec!["draw a line plot in python".to_string()];
+        let child_id = cache
+            .insert("change the color to red", "Pass color='red'.", &ctx)
+            .unwrap();
+        assert_ne!(parent_id, child_id);
+
+        // Exact repeat of the standalone query: hit with score ~1.
+        let hit = cache.lookup("draw a line plot in python", &[]);
+        assert_eq!(hit.hit().unwrap().entry_id, parent_id);
+        // Same conversation: contextual hit; wrong conversation: miss.
+        let same = cache.lookup("change the color to red", &ctx);
+        assert!(same.hit().unwrap().contextual);
+        assert_eq!(same.hit().unwrap().entry_id, child_id);
+        // A different conversation routes by *its* root — whichever shard
+        // that is, the probe must miss (either the shard holds nothing
+        // similar, or context verification rejects the candidate).
+        assert!(cache
+            .lookup("change the color to red", &["draw a circle".to_string()])
+            .is_miss());
+        assert!(cache.lookup("change the color to red", &[]).is_miss());
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn public_ids_are_unique_and_resolve_to_their_entries() {
+        let mut cache = sharded(4, 0.6);
+        let mut ids = Vec::new();
+        for i in 0..40 {
+            let id = cache
+                .insert(&format!("distinct topic number {i}"), &format!("r{i}"), &[])
+                .unwrap();
+            ids.push((id, format!("distinct topic number {i}")));
+        }
+        let unique: std::collections::HashSet<u64> = ids.iter().map(|(id, _)| *id).collect();
+        assert_eq!(unique.len(), ids.len(), "public ids must not collide");
+        for (id, query) in &ids {
+            let entry = cache.entry(*id).expect("public id resolves");
+            assert_eq!(&entry.query, query);
+        }
+        assert_eq!(cache.len(), 40);
+        assert_eq!(cache.shard_lens().iter().sum::<usize>(), 40);
+        assert!(
+            cache.shard_lens().iter().filter(|&&l| l > 0).count() > 1,
+            "40 distinct queries must spread over more than one shard: {:?}",
+            cache.shard_lens()
+        );
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_decisions_exactly() {
+        let mut flat =
+            MeanCache::new(encoder(), MeanCacheConfig::default().with_threshold(0.6)).unwrap();
+        let mut one = sharded(1, 0.6);
+        let items = [
+            ("how do I bake sourdough bread", "Ferment overnight."),
+            ("what is federated learning", "On-device training."),
+            ("tips for travelling to japan", "Get a rail pass."),
+        ];
+        for (q, r) in items {
+            flat.insert(q, r, &[]).unwrap();
+            one.insert(q, r, &[]).unwrap();
+        }
+        for probe in [
+            "how do I bake sourdough bread",
+            "explain federated learning",
+            "what is the capital of portugal",
+        ] {
+            assert_eq!(
+                flat.lookup(probe, &[]),
+                one.lookup(probe, &[]),
+                "probe {probe:?} diverged"
+            );
+        }
+        assert_eq!(flat.stats(), one.stats());
+    }
+
+    #[test]
+    fn probe_batch_matches_sequential_probes() {
+        let mut cache = sharded(4, 0.6);
+        for i in 0..25 {
+            cache
+                .insert(&format!("unique subject number {i}"), "resp", &[])
+                .unwrap();
+        }
+        let probes: Vec<(String, Vec<String>)> = (0..25)
+            .map(|i| (format!("unique subject number {i}"), Vec::new()))
+            .chain((0..5).map(|i| (format!("never cached topic {i}"), Vec::new())))
+            .collect();
+        let refs: Vec<(&str, &[String])> = probes
+            .iter()
+            .map(|(q, c)| (q.as_str(), c.as_slice()))
+            .collect();
+        let batched = cache.probe_batch(&refs);
+        for ((query, context), batched_outcome) in probes.iter().zip(&batched) {
+            assert_eq!(
+                &cache.probe(query, context),
+                batched_outcome,
+                "probe {query:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn feedback_and_threshold_stay_uniform_across_shards() {
+        let mut cache = sharded(3, 0.7);
+        cache.record_feedback(true);
+        let raised = cache.threshold();
+        assert!(raised > 0.7);
+        for shard in 0..cache.shard_count() {
+            assert_eq!(cache.with_shard(shard, |c| c.threshold()), raised);
+        }
+        cache.set_threshold(0.5);
+        for shard in 0..cache.shard_count() {
+            assert_eq!(cache.with_shard(shard, |c| c.threshold()), 0.5);
+        }
+        // One feedback event, counted once — not once per shard.
+        assert_eq!(cache.stats().feedback_updates, 1);
+    }
+
+    #[test]
+    fn capacity_splits_across_shards() {
+        let cache = ShardedCache::new(
+            encoder(),
+            MeanCacheConfig::default()
+                .with_shards(4)
+                .with_threshold(0.6),
+        )
+        .unwrap();
+        // 100_000 total over 4 shards: each shard holds 25_000.
+        assert_eq!(cache.with_shard(0, |c| c.config().capacity), 25_000);
+        assert_eq!(cache.with_shard(0, |c| c.config().shards), 1);
+        assert_eq!(cache.config().shards, 4);
+        assert!(cache.name().starts_with("Sharded[4]"));
+        assert_eq!(cache.lookup_network_overhead_s(), 0.0);
+    }
+
+    #[test]
+    fn clone_is_a_deep_snapshot() {
+        let mut cache = sharded(2, 0.6);
+        cache
+            .insert("what is federated learning", "FL.", &[])
+            .unwrap();
+        let snapshot = cache.clone();
+        cache.insert("another entry entirely", "x", &[]).unwrap();
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(cache.len(), 2);
+        assert!(snapshot.probe("what is federated learning", &[]).is_hit());
+    }
+}

@@ -40,7 +40,7 @@ impl LatencyModel {
     /// Validates the model parameters.
     ///
     /// # Errors
-    /// Returns [`LlmError::InvalidConfig`] for negative values.
+    /// Returns [`crate::LlmError::InvalidConfig`] for negative values.
     pub fn validate(&self) -> Result<()> {
         if self.network_rtt_s < 0.0 || self.per_token_s < 0.0 || self.jitter_sigma < 0.0 {
             return Err(LlmError::InvalidConfig(format!(

@@ -89,7 +89,7 @@ impl QuotaTracker {
     /// Records a billable query.
     ///
     /// # Errors
-    /// Returns [`LlmError::QuotaExceeded`] once the limit is reached; the
+    /// Returns [`crate::LlmError::QuotaExceeded`] once the limit is reached; the
     /// query is *not* recorded in that case.
     pub fn record_billable(&mut self, cost_usd: f64) -> Result<()> {
         if self.used >= self.limit {

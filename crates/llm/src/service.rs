@@ -63,7 +63,7 @@ pub trait LlmService {
     /// Generates a response for the request.
     ///
     /// # Errors
-    /// Returns [`LlmError`] e.g. when a quota is exhausted.
+    /// Returns [`crate::LlmError`] e.g. when a quota is exhausted.
     fn generate(&mut self, request: &LlmRequest) -> Result<LlmResponse>;
 
     /// Total number of requests served so far.
@@ -104,7 +104,7 @@ impl SimulatedLlm {
     /// Creates a simulator.
     ///
     /// # Errors
-    /// Returns [`LlmError::InvalidConfig`] when the latency model is invalid.
+    /// Returns [`crate::LlmError::InvalidConfig`] when the latency model is invalid.
     pub fn new(config: SimulatedLlmConfig) -> Result<Self> {
         config.latency.validate()?;
         Ok(Self {

@@ -16,6 +16,12 @@
 //! pre-codec implementation) or SQ8 (4× smaller rows scanned with the fused
 //! asymmetric `f32 × u8` kernel at ≤ one quantisation step of score error).
 //! See [`crate::rows`] for the codec details.
+//!
+//! **Concurrency audit:** every search path (`search`, `search_batch`,
+//! `best_match`, `scores_for`, `hits_from_scores`) is `&self` over plain
+//! owned data — no interior mutability, no lazily materialised state — so
+//! concurrent readers are safe per the [`VectorIndex`] contract. The rayon
+//! dispatch inside a scan only *reads* the row arena.
 
 use std::collections::HashMap;
 

@@ -40,7 +40,19 @@ pub struct SearchHit {
 ///
 /// All embeddings are expected to be L2-normalised (the encoder guarantees
 /// this), so backends may treat cosine similarity as a plain dot product.
-pub trait VectorIndex {
+///
+/// # Concurrency contract
+///
+/// Backends are `Send + Sync` and every read path ([`VectorIndex::search`],
+/// [`VectorIndex::search_batch`], [`VectorIndex::best_match`], plus the
+/// accessors) takes `&self` with **no interior mutability** — no caches, no
+/// lazily-built structures, no statistics side effects. Any number of
+/// threads may therefore search one index concurrently (e.g. behind an
+/// `RwLock` read guard, as the sharded serving layer in `meancache` does);
+/// only [`VectorIndex::add`] / [`VectorIndex::remove`] require exclusive
+/// access. `FlatIndex` and `IvfIndex` are audited against this contract in
+/// their module tests.
+pub trait VectorIndex: Send + Sync {
     /// Embedding dimensionality.
     fn dims(&self) -> usize;
 
@@ -418,6 +430,19 @@ mod tests {
                 index.search(&query, 3, 0.0).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn backends_are_send_sync_for_concurrent_readers() {
+        // The serving layer shares indexes across threads (`&self` searches
+        // under RwLock read guards); a backend regressing to `!Send`/`!Sync`
+        // (e.g. by growing an `Rc` or `RefCell` field) must fail to compile
+        // here rather than at the sharded-cache call site.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlatIndex>();
+        assert_send_sync::<IvfIndex>();
+        assert_send_sync::<AnyIndex>();
+        assert_send_sync::<&dyn VectorIndex>();
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //! `growth/(growth-1)` ≈ 3× the clustering cost of a single train over the
 //! final contents — amortised-constant per insert, with no bulk-load API
 //! needed; a dedicated bulk path is a possible future optimisation.
+//!
+//! **Concurrency audit:** training/retraining happens only inside `add` /
+//! `remove` (`&mut self`); the search paths (`search`, `search_batch`,
+//! `probe_cells`, `scan_cells`, `top_hits`) are `&self` over the trained
+//! centroids and posting lists with no interior mutability, so concurrent
+//! readers are safe per the [`VectorIndex`] contract.
 
 use std::collections::HashMap;
 

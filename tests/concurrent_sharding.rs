@@ -1,0 +1,296 @@
+//! Integration tests of the concurrent sharded serving layer: N threads
+//! probing one `ShardedCache` must reach byte-identical decisions to a
+//! sequential replay, sharded caches must round-trip through per-shard
+//! persistence, and routing must be stable across save/load.
+
+use std::sync::Barrier;
+
+use mc_embedder::{ModelProfile, QueryEncoder};
+use meancache::persist::{
+    load_cache_with_config, load_sharded_cache_with_config, save_sharded_cache_with_config,
+};
+use meancache::{CacheDecisionOutcome, MeanCache, MeanCacheConfig, SemanticCache, ShardedCache};
+use proptest::prelude::*;
+
+fn encoder(seed: u64) -> QueryEncoder {
+    QueryEncoder::new(ModelProfile::tiny(), seed).unwrap()
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("meancache_shard_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{name}_{}_{}.log",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+/// Removes a sharded save's files (shard logs + sidecar).
+fn cleanup(path: &std::path::Path) {
+    let dir = path.parent().unwrap();
+    let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if entry.file_name().to_string_lossy().starts_with(&stem) {
+                std::fs::remove_file(entry.path()).ok();
+            }
+        }
+    }
+}
+
+/// A populated sharded cache plus a probe workload that exercises hits,
+/// misses, matching contexts and wrong contexts.
+fn populated_cache(shards: usize) -> (ShardedCache, Vec<(String, Vec<String>)>) {
+    let mut cache = ShardedCache::new(
+        encoder(11),
+        MeanCacheConfig::default()
+            .with_threshold(0.6)
+            .with_shards(shards),
+    )
+    .unwrap();
+    for i in 0..40 {
+        cache
+            .insert(
+                &format!("standalone question number {i} about topic {}", i % 7),
+                &format!("answer {i}"),
+                &[],
+            )
+            .unwrap();
+    }
+    cache
+        .insert("draw a line plot in python", "Use plt.plot.", &[])
+        .unwrap();
+    let ctx = vec!["draw a line plot in python".to_string()];
+    cache
+        .insert("change the color to red", "Pass color='red'.", &ctx)
+        .unwrap();
+
+    let mut probes: Vec<(String, Vec<String>)> = (0..40)
+        .map(|i| {
+            (
+                format!("standalone question number {i} about topic {}", i % 7),
+                Vec::new(),
+            )
+        })
+        .collect();
+    probes.push(("change the color to red".to_string(), ctx));
+    probes.push((
+        "change the color to red".to_string(),
+        vec!["draw a circle".to_string()],
+    ));
+    for i in 0..10 {
+        probes.push((format!("never cached probe {i}"), Vec::new()));
+    }
+    (cache, probes)
+}
+
+#[test]
+fn concurrent_probes_match_the_sequential_run_byte_for_byte() {
+    let (cache, probes) = populated_cache(4);
+    let sequential: Vec<CacheDecisionOutcome> =
+        probes.iter().map(|(q, c)| cache.probe(q, c)).collect();
+
+    // 4 worker threads, released together on a barrier, each replaying the
+    // full probe list (from different starting offsets so threads overlap
+    // on shards rather than marching in step). Probing is read-only, so
+    // every thread must observe exactly the sequential decisions.
+    const THREADS: usize = 4;
+    let barrier = Barrier::new(THREADS);
+    let all_outcomes: Vec<Vec<CacheDecisionOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|worker| {
+                let cache = &cache;
+                let probes = &probes;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let n = probes.len();
+                    let mut outcomes = vec![CacheDecisionOutcome::Miss; n];
+                    for i in 0..n {
+                        let pos = (i + worker * 13) % n;
+                        let (q, c) = &probes[pos];
+                        outcomes[pos] = cache.probe(q, c);
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("probe worker panicked"))
+            .collect()
+    });
+
+    for (worker, outcomes) in all_outcomes.iter().enumerate() {
+        assert_eq!(
+            outcomes, &sequential,
+            "worker {worker} diverged from the sequential decisions"
+        );
+    }
+    // Every probe was counted: 1 sequential + THREADS concurrent passes.
+    assert_eq!(cache.stats().lookups, ((1 + THREADS) * probes.len()) as u64);
+}
+
+#[test]
+fn concurrent_probe_batches_match_sequential_batches() {
+    let (cache, probes) = populated_cache(4);
+    let refs: Vec<(&str, &[String])> = probes
+        .iter()
+        .map(|(q, c)| (q.as_str(), c.as_slice()))
+        .collect();
+    let sequential = cache.probe_batch(&refs);
+    let concurrent: Vec<Vec<CacheDecisionOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let cache = &cache;
+                let refs = &refs;
+                scope.spawn(move || cache.probe_batch(refs))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for outcomes in concurrent {
+        assert_eq!(outcomes, sequential);
+    }
+}
+
+#[test]
+fn sharded_cache_round_trips_through_per_shard_logs() {
+    let path = temp_path("roundtrip");
+    let (mut cache, probes) = populated_cache(3);
+    // Touch the threshold so the sidecar must carry more than defaults.
+    cache.set_threshold(0.63);
+    save_sharded_cache_with_config(&cache, &path).unwrap();
+
+    let restored = load_sharded_cache_with_config(encoder(11), &path).unwrap();
+    assert_eq!(restored.shard_count(), 3);
+    assert_eq!(restored.len(), cache.len());
+    assert_eq!(restored.shard_lens(), cache.shard_lens());
+    assert!((restored.threshold() - 0.63).abs() < 1e-6);
+
+    // Same decisions — including the same *public* entry ids, since shard
+    // logs keep local ids and routing is reassembled from the sidecar.
+    for (query, context) in &probes {
+        assert_eq!(
+            cache.probe(query, context),
+            restored.probe(query, context),
+            "probe {query:?} diverged after reload"
+        );
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn the_unsharded_loader_rejects_a_sharded_save() {
+    let path = temp_path("wrong_loader");
+    let (cache, _) = populated_cache(4);
+    save_sharded_cache_with_config(&cache, &path).unwrap();
+    // Loading a 4-shard save through the unsharded path must error, not
+    // hand back an empty cache read from the (absent) base-path log.
+    let err = load_cache_with_config(encoder(11), &path).unwrap_err();
+    assert!(
+        err.to_string().contains("load_sharded_cache_with_config"),
+        "unexpected error: {err}"
+    );
+    cleanup(&path);
+}
+
+#[test]
+fn a_missing_shard_log_fails_the_load_instead_of_shrinking_the_cache() {
+    let path = temp_path("truncated");
+    let (cache, _) = populated_cache(3);
+    save_sharded_cache_with_config(&cache, &path).unwrap();
+    // Simulate a truncated save: shard 1's log vanishes.
+    let mut shard1 = path.as_os_str().to_os_string();
+    shard1.push(".shard1");
+    std::fs::remove_file(std::path::PathBuf::from(shard1)).unwrap();
+    let err = load_sharded_cache_with_config(encoder(11), &path).unwrap_err();
+    assert!(
+        err.to_string().contains("missing shard log"),
+        "unexpected error: {err}"
+    );
+    cleanup(&path);
+}
+
+#[test]
+fn single_shard_save_is_loadable_and_equivalent_to_meancache() {
+    let path = temp_path("single");
+    let mut cache = ShardedCache::new(
+        encoder(5),
+        MeanCacheConfig::default()
+            .with_threshold(0.6)
+            .with_shards(1),
+    )
+    .unwrap();
+    let mut flat =
+        MeanCache::new(encoder(5), MeanCacheConfig::default().with_threshold(0.6)).unwrap();
+    for (q, r) in [
+        ("what is federated learning", "On-device training."),
+        ("how do I bake sourdough bread", "Ferment overnight."),
+    ] {
+        cache.insert(q, r, &[]).unwrap();
+        flat.insert(q, r, &[]).unwrap();
+    }
+    save_sharded_cache_with_config(&cache, &path).unwrap();
+    let restored = load_sharded_cache_with_config(encoder(5), &path).unwrap();
+    assert_eq!(restored.shard_count(), 1);
+    for probe in [
+        "what is federated learning",
+        "explain federated learning",
+        "capital of portugal",
+    ] {
+        assert_eq!(restored.probe(probe, &[]), flat.probe(probe, &[]));
+    }
+    cleanup(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Routing is a pure function of the query text and the shard count:
+    /// for arbitrary workloads, every query routes to the same shard before
+    /// a save and after a reload, and an exact re-probe of any inserted
+    /// query returns the same public entry id.
+    #[test]
+    fn routing_is_stable_across_save_and_load(
+        seed in 0u64..10_000,
+        n in 10usize..60,
+        shards in 2usize..7,
+    ) {
+        let path = temp_path(&format!("prop_{seed}_{n}_{shards}"));
+        let mut cache = ShardedCache::new(
+            encoder(seed),
+            MeanCacheConfig::default()
+                .with_threshold(0.95)
+                .with_shards(shards),
+        )
+        .unwrap();
+        let queries: Vec<String> = (0..n)
+            .map(|i| format!("query {} item {} of workload {seed}", (seed + i as u64 * 31) % 997, i))
+            .collect();
+        let mut inserted_ids = Vec::new();
+        for query in &queries {
+            inserted_ids.push(cache.insert(query, "resp", &[]).unwrap());
+        }
+        let routes: Vec<usize> = queries.iter().map(|q| cache.shard_of(q, &[])).collect();
+
+        save_sharded_cache_with_config(&cache, &path).unwrap();
+        let restored = load_sharded_cache_with_config(encoder(seed), &path).unwrap();
+
+        prop_assert_eq!(restored.shard_count(), shards);
+        for ((query, route), id) in queries.iter().zip(&routes).zip(&inserted_ids) {
+            prop_assert_eq!(restored.shard_of(query, &[]), *route,
+                "query {} re-routed after reload", query);
+            // An exact re-probe must find the same entry under the same
+            // public id (threshold 0.95: only the exact duplicate matches).
+            let outcome = restored.probe(query, &[]);
+            let hit = outcome.hit().expect("exact duplicate must hit");
+            prop_assert_eq!(hit.entry_id, *id, "public id changed for {}", query);
+        }
+        cleanup(&path);
+    }
+}
