@@ -5,8 +5,15 @@
 //!
 //! ```text
 //! exp_concurrent [--entries 10000] [--shards 8] [--threads 1,2,4,8]
-//!                [--ops 2000] [--json BENCH_concurrent.json | --no-json]
+//!                [--ops 2000] [--write-pct 0]
+//!                [--json BENCH_concurrent.json | --no-json]
 //! ```
+//!
+//! `--write-pct N` switches the loop to an insert mix: N% of each worker's
+//! operations become `ShardedCache::insert_shared` calls (per-shard write
+//! locks) and the reads commit their hits through the shared path, so the
+//! report quantifies write contention per shard and the probe→commit lock
+//! upgrade.
 //!
 //! CI runs a reduced smoke configuration; the defaults reproduce the full
 //! 10k-entry flat-sq8 measurement from the README's concurrency table.
@@ -18,6 +25,7 @@ fn main() {
     let mut shards = 8usize;
     let mut threads: Vec<usize> = vec![1, 2, 4, 8];
     let mut ops = 2_000usize;
+    let mut write_pct = 0usize;
     let mut json: Option<PathBuf> = Some(PathBuf::from("BENCH_concurrent.json"));
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,6 +72,15 @@ fn main() {
                     .parse()
                     .expect("--ops must be an integer");
             }
+            "--write-pct" => {
+                i += 1;
+                write_pct = args
+                    .get(i)
+                    .expect("--write-pct needs a value")
+                    .parse()
+                    .expect("--write-pct must be an integer");
+                assert!(write_pct <= 100, "--write-pct is a percentage");
+            }
             "--json" => {
                 i += 1;
                 json = Some(PathBuf::from(args.get(i).expect("--json needs a path")));
@@ -73,7 +90,8 @@ fn main() {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: exp_concurrent [--entries N] [--shards N] \
-                     [--threads 1,2,4,8] [--ops N] [--json PATH | --no-json]"
+                     [--threads 1,2,4,8] [--ops N] [--write-pct N] \
+                     [--json PATH | --no-json]"
                 );
                 std::process::exit(2);
             }
@@ -81,5 +99,5 @@ fn main() {
         i += 1;
     }
 
-    mc_bench::run_concurrent_with(entries, shards, &threads, ops, json.as_deref());
+    mc_bench::run_concurrent_with(entries, shards, &threads, ops, write_pct, json.as_deref());
 }

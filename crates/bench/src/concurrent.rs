@@ -34,10 +34,18 @@ use crate::setup::EXPERIMENT_SEED;
 pub struct ConcurrentBenchRow {
     /// Number of closed-loop worker threads.
     pub threads: usize,
-    /// Total lookups completed across all workers.
+    /// Total lookups (read operations) completed across all workers.
     pub total_lookups: usize,
-    /// Aggregate throughput: total lookups over the slowest worker's wall.
+    /// Aggregate *read* throughput: `total_lookups` over the slowest
+    /// worker's wall. In an insert-mix run the same wall also absorbed the
+    /// writes, so this is the read rate achieved alongside them — see
+    /// [`ConcurrentBenchRow::ops_per_sec`] for the combined rate.
     pub lookups_per_sec: f64,
+    /// Aggregate throughput over *all* operations (reads + writes); equals
+    /// `lookups_per_sec` in a read-only run. Deserialises to 0 for reports
+    /// written before the insert-mix mode existed.
+    #[serde(default)]
+    pub ops_per_sec: f64,
     /// Median per-lookup latency in microseconds (pooled over workers).
     pub p50_us: f64,
     /// 99th-percentile per-lookup latency in microseconds.
@@ -45,6 +53,17 @@ pub struct ConcurrentBenchRow {
     /// Throughput relative to the same run's 1-thread row (or, when the
     /// measured series omits 1, its lowest thread count).
     pub speedup_vs_1t: f64,
+    /// Write operations (shared-path inserts) completed across all workers;
+    /// 0 in a read-only run. Deserialises to 0 for reports written before
+    /// the insert-mix mode existed.
+    #[serde(default)]
+    pub writes: usize,
+    /// Median per-insert latency in microseconds (0 when no writes).
+    #[serde(default)]
+    pub write_p50_us: f64,
+    /// 99th-percentile per-insert latency in microseconds.
+    #[serde(default)]
+    pub write_p99_us: f64,
 }
 
 /// Machine-readable output of [`run_concurrent_with`], persisted as
@@ -68,15 +87,21 @@ pub struct ConcurrentBenchReport {
     /// Single-thread p50 through the sharded path (the 1-thread row's p50).
     pub sharded_p50_us: f64,
     /// `sharded_p50_us / unsharded_p50_us` — the routing layer's
-    /// single-caller overhead (≤ 1.10 is the acceptance envelope).
+    /// single-caller overhead (≤ 1.10 is the acceptance envelope). Always a
+    /// read-path comparison, even in insert-mix runs.
     pub single_thread_p50_ratio: f64,
+    /// Percentage of operations that are shared-path inserts
+    /// (`ShardedCache::insert_shared`); 0 = the historical read-only loop.
+    #[serde(default)]
+    pub write_pct: usize,
 }
 
 /// Deterministic clustered query corpus: `topics ≈ n/50` paraphrase
 /// families, several variants each — the text analogue of
 /// `mc_workloads::EmbeddingCloud`'s topic structure, kept in-crate so the
-/// harness controls exact duplicate placement.
-fn corpus(n: usize) -> Vec<String> {
+/// harness controls exact duplicate placement. Shared with the serve
+/// benchmark so both layers measure the same traffic.
+pub(crate) fn corpus(n: usize) -> Vec<String> {
     let subjects = [
         "battery life on my phone",
         "sourdough bread at home",
@@ -104,7 +129,7 @@ fn corpus(n: usize) -> Vec<String> {
 /// The probe mix: half exact repeats of cached texts (should hit), half
 /// novel queries (should miss) — so the loop exercises both the early-exit
 /// hit path and the full-scan miss path.
-fn probe_mix(cached: &[String], count: usize) -> Vec<(String, Vec<String>)> {
+pub(crate) fn probe_mix(cached: &[String], count: usize) -> Vec<(String, Vec<String>)> {
     (0..count)
         .map(|i| {
             if i % 2 == 0 {
@@ -117,6 +142,90 @@ fn probe_mix(cached: &[String], count: usize) -> Vec<(String, Vec<String>)> {
             }
         })
         .collect()
+}
+
+/// Deterministic write/read choice for one worker's op slot, spreading
+/// `write_pct`% of inserts evenly through every worker's loop.
+fn is_write_op(worker: usize, op: usize, write_pct: usize) -> bool {
+    let mixed = (worker as u64 * 1_000_003 + op as u64).wrapping_mul(2_654_435_761) >> 16;
+    (mixed % 100) < write_pct as u64
+}
+
+/// Closed-loop *mixed* measurement over the sharded cache's shared paths:
+/// each worker issues `ops_per_thread` operations, `write_pct`% of them
+/// fresh inserts through [`ShardedCache::insert_shared`] (per-shard write
+/// lock) and the rest probes followed by [`ShardedCache::commit_shared`]
+/// on hits — so read latencies include the probe→commit lock upgrade that
+/// serving a hit actually pays. Returns (wall seconds of the slowest
+/// worker, pooled read latencies, pooled write latencies), latencies in µs
+/// ascending. Only used for `write_pct > 0` runs: the read-only series
+/// keeps the historical probe-only [`closed_loop`], so the committed
+/// `BENCH_concurrent.json` trend stays comparable across PRs.
+fn closed_loop_mixed(
+    cache: &ShardedCache,
+    probes: &[(String, Vec<String>)],
+    threads: usize,
+    ops_per_thread: usize,
+    write_pct: usize,
+) -> (f64, Vec<f64>, Vec<f64>) {
+    let barrier = Barrier::new(threads);
+    let per_worker: Vec<(f64, Vec<f64>, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    // Pre-generate insert texts so the timed loop measures
+                    // lock contention, not `format!`.
+                    let insert_texts: Vec<Option<String>> = (0..ops_per_thread)
+                        .map(|op| {
+                            is_write_op(worker, op, write_pct)
+                                .then(|| format!("novel insert from worker {worker} op {op} xq"))
+                        })
+                        .collect();
+                    barrier.wait();
+                    let run_started = Instant::now();
+                    let mut reads = Vec::with_capacity(ops_per_thread);
+                    let mut writes = Vec::with_capacity(ops_per_thread * write_pct / 100 + 1);
+                    for (op, insert_text) in insert_texts.iter().enumerate() {
+                        match insert_text {
+                            Some(text) => {
+                                let started = Instant::now();
+                                cache
+                                    .insert_shared(text, "fresh response", &[])
+                                    .expect("insert_shared");
+                                writes.push(started.elapsed().as_secs_f64() * 1e6);
+                            }
+                            None => {
+                                let (query, context) = &probes[(worker * 2741 + op) % probes.len()];
+                                let started = Instant::now();
+                                let outcome = std::hint::black_box(cache.probe(query, context));
+                                cache.commit_shared(&outcome);
+                                reads.push(started.elapsed().as_secs_f64() * 1e6);
+                            }
+                        }
+                    }
+                    (run_started.elapsed().as_secs_f64(), reads, writes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mixed closed-loop worker panicked"))
+            .collect()
+    });
+    let wall_s = per_worker
+        .iter()
+        .map(|(wall, _, _)| *wall)
+        .fold(0.0f64, f64::max);
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for (_, r, w) in per_worker {
+        reads.extend(r);
+        writes.extend(w);
+    }
+    reads.sort_by(f64::total_cmp);
+    writes.sort_by(f64::total_cmp);
+    (wall_s, reads, writes)
 }
 
 /// Closed-loop measurement: `threads` workers probing `cache` concurrently,
@@ -172,14 +281,19 @@ fn closed_loop<C: SemanticCache + Sync>(
 
 /// [`run_concurrent`] with explicit parameters and an optional JSON output
 /// path. `threads` is the thread-count series (e.g. `[1, 2, 4, 8]`);
-/// `ops_per_thread` lookups are issued by every worker at every point.
+/// `ops_per_thread` operations are issued by every worker at every point,
+/// `write_pct`% of them shared-path inserts (0 = the historical read-only
+/// loop). Insert-mix rows each run against a fresh clone of the populated
+/// cache, so row N's inserts cannot inflate row N+1's scan length.
 pub fn run_concurrent_with(
     entries: usize,
     shards: usize,
     threads: &[usize],
     ops_per_thread: usize,
+    write_pct: usize,
     json_path: Option<&std::path::Path>,
 ) -> ConcurrentBenchReport {
+    assert!(write_pct <= 100, "--write-pct is a percentage");
     let config = MeanCacheConfig::default()
         .with_threshold(0.8)
         .with_index(mc_store::IndexKind::flat_sq8())
@@ -210,15 +324,36 @@ pub fn run_concurrent_with(
 
     let mut rows: Vec<ConcurrentBenchRow> = Vec::new();
     for &t in threads {
-        let (wall_s, latencies) = closed_loop(&sharded, &probes, t, ops_per_thread);
+        // Insert-mix rows mutate the cache, so each measures a fresh clone
+        // of the populated template; read-only rows keep the historical
+        // probe-only loop on the shared template.
+        let (wall_s, reads, writes) = if write_pct == 0 {
+            let (wall_s, reads) = closed_loop(&sharded, &probes, t, ops_per_thread);
+            (wall_s, reads, Vec::new())
+        } else {
+            let row_cache = sharded.clone();
+            closed_loop_mixed(&row_cache, &probes, t, ops_per_thread, write_pct)
+        };
         let total = t * ops_per_thread;
         rows.push(ConcurrentBenchRow {
             threads: t,
-            total_lookups: total,
-            lookups_per_sec: total as f64 / wall_s.max(f64::EPSILON),
-            p50_us: percentile(&latencies, 0.50),
-            p99_us: percentile(&latencies, 0.99),
+            total_lookups: reads.len(),
+            lookups_per_sec: reads.len() as f64 / wall_s.max(f64::EPSILON),
+            ops_per_sec: total as f64 / wall_s.max(f64::EPSILON),
+            p50_us: percentile(&reads, 0.50),
+            p99_us: percentile(&reads, 0.99),
             speedup_vs_1t: 0.0, // filled below once the base row is known
+            writes: writes.len(),
+            write_p50_us: if writes.is_empty() {
+                0.0
+            } else {
+                percentile(&writes, 0.50)
+            },
+            write_p99_us: if writes.is_empty() {
+                0.0
+            } else {
+                percentile(&writes, 0.99)
+            },
         });
     }
     // The scaling base is the genuine 1-thread row; a series that omits it
@@ -231,28 +366,48 @@ pub fn run_concurrent_with(
         .cloned()
         .expect("at least one thread count is measured");
     for row in &mut rows {
-        row.speedup_vs_1t = row.lookups_per_sec / base_row.lookups_per_sec.max(f64::EPSILON);
+        row.speedup_vs_1t = row.ops_per_sec / base_row.ops_per_sec.max(f64::EPSILON);
     }
     let vs_label = format!("vs {} thread(s)", base_row.threads);
-    let mut table = Table::new(
+    let title = if write_pct == 0 {
         format!(
             "Concurrent serving - {entries} entries x {shards} shards ({})",
             config.index.name()
-        ),
+        )
+    } else {
+        format!(
+            "Concurrent serving - {entries} entries x {shards} shards ({}), {write_pct}% inserts",
+            config.index.name()
+        )
+    };
+    let mut table = Table::new(
+        title,
         &[
             "threads",
-            "lookups/sec",
-            "p50 / lookup",
-            "p99 / lookup",
+            "ops/sec",
+            "read p50",
+            "read p99",
+            "write p50",
+            "write p99",
             vs_label.as_str(),
         ],
     );
     for row in &rows {
+        let (write_p50, write_p99) = if row.writes == 0 {
+            ("-".to_string(), "-".to_string())
+        } else {
+            (
+                format!("{:.1}us", row.write_p50_us),
+                format!("{:.1}us", row.write_p99_us),
+            )
+        };
         table.add_row(&[
             row.threads.to_string(),
-            format!("{:.0}", row.lookups_per_sec),
+            format!("{:.0}", row.ops_per_sec),
             format!("{:.1}us", row.p50_us),
             format!("{:.1}us", row.p99_us),
+            write_p50,
+            write_p99,
             format!("{:.2}x", row.speedup_vs_1t),
         ]);
     }
@@ -267,6 +422,7 @@ pub fn run_concurrent_with(
         unsharded_p50_us,
         sharded_p50_us,
         single_thread_p50_ratio: sharded_p50_us / unsharded_p50_us.max(f64::EPSILON),
+        write_pct,
     };
 
     println!("{table}");
@@ -302,6 +458,7 @@ pub fn run_concurrent() {
         8,
         &[1, 2, 4, 8],
         2_000,
+        0,
         Some(std::path::Path::new("BENCH_concurrent.json")),
     );
 }
@@ -312,7 +469,7 @@ mod tests {
 
     #[test]
     fn tiny_concurrent_run_produces_consistent_report() {
-        let report = run_concurrent_with(300, 4, &[1, 2], 64, None);
+        let report = run_concurrent_with(300, 4, &[1, 2], 64, 0, None);
         assert_eq!(report.rows.len(), 2);
         assert_eq!(report.rows[0].threads, 1);
         assert_eq!(report.rows[0].total_lookups, 64);
@@ -323,5 +480,24 @@ mod tests {
         assert!(report.single_thread_p50_ratio > 0.0);
         assert!((report.rows[0].speedup_vs_1t - 1.0).abs() < 1e-9);
         assert!(report.available_parallelism >= 1);
+        assert_eq!(report.write_pct, 0);
+        assert!(report.rows.iter().all(|r| r.writes == 0));
+    }
+
+    #[test]
+    fn insert_mix_run_measures_both_paths() {
+        let report = run_concurrent_with(300, 4, &[1, 2], 100, 25, None);
+        assert_eq!(report.write_pct, 25);
+        for row in &report.rows {
+            let total = row.threads * 100;
+            assert_eq!(row.total_lookups + row.writes, total);
+            assert!(row.writes > 0, "a 25% mix over 100 ops must insert");
+            assert!(row.write_p99_us >= row.write_p50_us);
+            assert!(row.p99_us >= row.p50_us);
+            assert!(row.lookups_per_sec > 0.0);
+            assert!(row.ops_per_sec >= row.lookups_per_sec);
+        }
+        // The read-path reference ratio is still reported.
+        assert!(report.single_thread_p50_ratio > 0.0);
     }
 }

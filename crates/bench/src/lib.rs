@@ -24,8 +24,10 @@
 
 pub mod concurrent;
 pub mod experiments;
+pub mod serve_bench;
 pub mod setup;
 
 pub use concurrent::*;
 pub use experiments::*;
+pub use serve_bench::*;
 pub use setup::*;

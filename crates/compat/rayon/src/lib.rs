@@ -8,32 +8,43 @@
 //! inputs (fewer items than `MIN_ITEMS_PER_THREAD`) run sequentially to
 //! avoid spawn overhead.
 //!
-//! **Known limitation vs real rayon:** there is no persistent worker pool —
-//! every parallel call spawns fresh OS threads and joins them. That is fine
-//! when the payload is large (k-means passes, 100k-row scans, per-item work
-//! in the milliseconds), but it means per-call overhead is roughly thread
-//! spawn cost × core count rather than a pool wakeup. Size thresholds tuned
-//! for pooled rayon (e.g. the flat index's parallel crossover) are set
-//! higher while this shim is the pinned implementation.
+//! Like real rayon, work executes on a **persistent global worker pool**
+//! ([`pool::global_pool`]: one worker per available core, started on first
+//! use) — a parallel call costs a queue push and a pool wakeup, not thread
+//! creation × core count. The pool type itself ([`pool::WorkerPool`]) is
+//! public because the `mc-serve` serving subsystem reuses it for connection
+//! handling; see [`pool`] for the claim-based scoped-execution protocol that
+//! keeps nested parallel calls deadlock-free on a fixed pool.
 
-use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+pub mod pool;
+
+pub use pool::{global_pool, WorkerPool};
 
 /// Below this many items per would-be thread the shim runs sequentially.
 const MIN_ITEMS_PER_THREAD: usize = 2;
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    pool::global_pool().threads()
 }
 
 /// The number of worker threads a parallel call will use at most — the
-/// machine's available parallelism, since this shim has no configured pool.
-/// (Real rayon reports its global pool size here.) Harnesses use this to
-/// annotate measurements with the parallelism actually available.
+/// global pool's size (one worker per core available at first use), matching
+/// what real rayon reports here. Harnesses use this to annotate measurements
+/// with the parallelism actually available.
 pub fn current_num_threads() -> usize {
     num_threads()
 }
+
+/// A pre-split mutable block waiting to be claimed by one scope worker,
+/// stored next to the results it produces (see [`MapIterMut::collect`]).
+type MutBlockSlot<'a, T, R> = Mutex<(Option<&'a mut [T]>, Vec<R>)>;
+
+/// A pre-split mutable run of chunks (tagged with its first chunk index)
+/// waiting to be claimed by one scope worker (see
+/// [`EnumerateChunksMut::for_each`]).
+type ChunkBlockSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
 
 /// How many worker blocks to use for `len` items.
 fn blocks_for(len: usize) -> usize {
@@ -271,7 +282,10 @@ where
 }
 
 /// Runs `produce(start, end)` for each of `blocks` contiguous sub-ranges of
-/// `0..len` on scoped threads and concatenates the results in range order.
+/// `0..len` on the global worker pool and concatenates the results in range
+/// order. Each block writes into its own pre-allocated slot (the per-slot
+/// mutexes are uncontended — exactly one claimant ever touches a slot), so
+/// source ordering survives however the pool schedules the blocks.
 fn join_blocks<R, F>(len: usize, blocks: usize, produce: F) -> Vec<R>
 where
     R: Send,
@@ -281,21 +295,17 @@ where
         return produce(0, len);
     }
     let per_block = len.div_ceil(blocks);
-    let mut parts: Vec<Vec<R>> = Vec::with_capacity(blocks);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..blocks)
-            .map(|b| {
-                let start = b * per_block;
-                let end = ((b + 1) * per_block).min(len);
-                let produce = &produce;
-                scope.spawn(move || produce(start, end))
-            })
-            .collect();
-        for handle in handles {
-            parts.push(handle.join().expect("rayon shim worker panicked"));
-        }
+    let n_blocks = len.div_ceil(per_block);
+    let slots: Vec<Mutex<Vec<R>>> = (0..n_blocks).map(|_| Mutex::new(Vec::new())).collect();
+    pool::global_pool().scope_run(n_blocks, &|b| {
+        let start = b * per_block;
+        let end = ((b + 1) * per_block).min(len);
+        *slots[b].lock().expect("join block slot poisoned") = produce(start, end);
     });
-    parts.into_iter().flatten().collect()
+    slots
+        .into_iter()
+        .flat_map(|slot| slot.into_inner().expect("join block slot poisoned"))
+        .collect()
 }
 
 impl<'a, T, R, F> MapIter<'a, T, F>
@@ -326,27 +336,25 @@ where
             let f = &self.f;
             return self.slice.iter_mut().map(f).collect();
         }
+        // Pre-split into disjoint mutable blocks, each parked in its own
+        // slot next to space for its results. Every slot is claimed by
+        // exactly one scope block (`take()` moves the `&mut` chunk out), so
+        // the mutexes are uncontended and ordering is positional.
         let per_block = len.div_ceil(blocks);
-        let mut parts: Vec<Vec<R>> = Vec::with_capacity(blocks);
-        std::thread::scope(|scope| {
-            let f = &self.f;
-            let mut rest = self.slice;
-            let mut handles = Vec::with_capacity(blocks);
-            while !rest.is_empty() {
-                let take = per_block.min(rest.len());
-                let (head, tail) = rest.split_at_mut(take);
-                rest = tail;
-                handles.push(scope.spawn(move || head.iter_mut().map(f).collect::<Vec<R>>()));
-            }
-            for handle in handles {
-                parts.push(handle.join().expect("rayon shim worker panicked"));
-            }
+        let f = &self.f;
+        let slots: Vec<MutBlockSlot<'_, T, R>> = self
+            .slice
+            .chunks_mut(per_block)
+            .map(|chunk| Mutex::new((Some(chunk), Vec::new())))
+            .collect();
+        pool::global_pool().scope_run(slots.len(), &|b| {
+            let mut slot = slots[b].lock().expect("mut block slot poisoned");
+            let chunk = slot.0.take().expect("each block is claimed once");
+            slot.1 = chunk.iter_mut().map(f).collect();
         });
-        parts
+        slots
             .into_iter()
-            .flatten()
-            .collect::<Vec<R>>()
-            .into_iter()
+            .flat_map(|slot| slot.into_inner().expect("mut block slot poisoned").1)
             .collect()
     }
 }
@@ -387,21 +395,23 @@ impl<'a, T: Send> EnumerateChunksMut<'a, T> {
             return;
         }
         let chunks_per_block = n_chunks.div_ceil(blocks);
-        std::thread::scope(|scope| {
-            let f = &f;
-            let mut rest = self.slice;
-            let mut first_chunk = 0usize;
-            while !rest.is_empty() {
-                let take_items = (chunks_per_block * chunk_size).min(rest.len());
-                let (head, tail) = rest.split_at_mut(take_items);
-                rest = tail;
-                let base = first_chunk;
-                first_chunk += head.len().div_ceil(chunk_size);
-                scope.spawn(move || {
-                    for (i, chunk) in head.chunks_mut(chunk_size).enumerate() {
-                        f((base + i, chunk));
-                    }
-                });
+        // Pre-split into per-block slices (whole multiples of `chunk_size`
+        // items, so chunk boundaries stay aligned with the sequential
+        // layout) and fan them out on the global pool.
+        let slots: Vec<ChunkBlockSlot<'_, T>> = self
+            .slice
+            .chunks_mut(chunks_per_block * chunk_size)
+            .enumerate()
+            .map(|(b, part)| Mutex::new(Some((b * chunks_per_block, part))))
+            .collect();
+        pool::global_pool().scope_run(slots.len(), &|b| {
+            let (base, part) = slots[b]
+                .lock()
+                .expect("chunk block slot poisoned")
+                .take()
+                .expect("each block is claimed once");
+            for (i, chunk) in part.chunks_mut(chunk_size).enumerate() {
+                f((base + i, chunk));
             }
         });
     }

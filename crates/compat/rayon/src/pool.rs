@@ -1,0 +1,372 @@
+//! Persistent worker pool: fixed OS threads pulling boxed jobs off a shared
+//! `std::sync::mpsc` queue.
+//!
+//! Two consumers share this type:
+//!
+//! * The rayon shim's parallel iterators dispatch their blocks to the
+//!   process-wide [`global_pool`] (one pool of `available_parallelism`
+//!   threads, started on first use) instead of spawning fresh threads per
+//!   call — a parallel call now costs a queue push and a wakeup rather than
+//!   thread creation × core count.
+//! * The `mc-serve` serving subsystem instantiates its own pools for
+//!   connection handling, where the bounded thread count doubles as the
+//!   connection-admission limit.
+//!
+//! ## Scoped execution without deadlocks
+//!
+//! [`WorkerPool::scope_run`] runs `n` borrowed closure invocations to
+//! completion before returning — the primitive the shim's `par_iter` family
+//! is built on. Fixed pools that *wait* for their own sub-tasks can deadlock
+//! under nesting (every worker blocked waiting on tasks that no free worker
+//! can run), so scope tasks here are **claim-based**: the task holds an
+//! atomic cursor over `0..n`, worker threads and the *calling thread itself*
+//! race to claim indices, and the caller keeps claiming until the cursor is
+//! exhausted. The caller therefore always makes progress on its own work —
+//! with zero free workers the scope simply degenerates to a sequential loop
+//! on the calling thread, never a deadlock.
+//!
+//! ## Shutdown
+//!
+//! [`WorkerPool::shutdown`] is graceful: the job sender is dropped, workers
+//! drain every job already queued (std mpsc delivers buffered messages after
+//! the sender hangs up), then exit and are joined. The global pool is never
+//! shut down — it lives for the process.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A unit of work queued on a pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size persistent thread pool with an mpsc job queue.
+#[derive(Debug)]
+pub struct WorkerPool {
+    /// `Some` while the pool accepts jobs; dropped by [`WorkerPool::shutdown`].
+    sender: Mutex<Option<mpsc::Sender<Job>>>,
+    /// Worker join handles, taken by [`WorkerPool::shutdown`].
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Starts a pool of `threads` workers (clamped to at least one). The
+    /// `name` seeds worker thread names for debuggability.
+    pub fn new(name: &str, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("worker pool thread spawn failed")
+            })
+            .collect();
+        Self {
+            sender: Mutex::new(Some(sender)),
+            handles: Mutex::new(handles),
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enqueues a job. Panics if the pool has been shut down (callers own
+    /// their pool's lifecycle, so spawning after shutdown is a bug).
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let guard = self.sender.lock().expect("pool sender lock poisoned");
+        guard
+            .as_ref()
+            .expect("spawn on a shut-down WorkerPool")
+            .send(Box::new(job))
+            .expect("worker pool queue disconnected");
+    }
+
+    /// Graceful shutdown: stops accepting jobs, lets workers drain the queue,
+    /// and joins them. Idempotent; safe to call through a shared reference.
+    pub fn shutdown(&self) {
+        // Dropping the sender disconnects the queue once workers drain it.
+        drop(
+            self.sender
+                .lock()
+                .expect("pool sender lock poisoned")
+                .take(),
+        );
+        let handles =
+            std::mem::take(&mut *self.handles.lock().expect("pool handles lock poisoned"));
+        for handle in handles {
+            handle.join().expect("worker pool thread panicked");
+        }
+    }
+
+    /// Runs `run_block(0) .. run_block(n - 1)` to completion, using idle pool
+    /// workers as helpers, and returns only when every invocation has
+    /// finished. Panics (after all blocks finish or unwind) if any block
+    /// panicked. See the module docs for the no-deadlock claim protocol.
+    pub fn scope_run<F>(&self, n: usize, run_block: &F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let task = ScopeTask::new(n, run_block);
+        if n == 1 {
+            task.work();
+            task.wait();
+            return;
+        }
+        let task = Arc::new(task);
+        // One helper per worker, capped at n - 1 (the caller claims too).
+        // Helpers that arrive after the cursor is exhausted claim nothing
+        // and return immediately.
+        for _ in 0..self.threads.min(n - 1) {
+            let task = Arc::clone(&task);
+            self.spawn(move || task.work());
+        }
+        task.work();
+        task.wait();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Best-effort graceful drain for pools dropped without an explicit
+        // shutdown (the global pool is static and never dropped).
+        if self.sender.lock().map(|s| s.is_some()).unwrap_or(false) {
+            self.shutdown();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<mpsc::Receiver<Job>>) {
+    loop {
+        let job = {
+            let guard = receiver.lock().expect("pool receiver lock poisoned");
+            guard.recv()
+        };
+        match job {
+            // A panicking job must not take the worker down with it: scope
+            // tasks already catch their own panics (and re-raise them on the
+            // calling thread); a stray panic from a plain `spawn` job is
+            // reported and the worker keeps serving.
+            Ok(job) => {
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    eprintln!("worker pool job panicked (worker kept alive)");
+                }
+            }
+            Err(mpsc::RecvError) => break,
+        }
+    }
+}
+
+/// Completion state of a [`ScopeTask`], guarded by its mutex.
+#[derive(Debug)]
+struct ScopeState {
+    finished: usize,
+    panicked: bool,
+}
+
+/// A scoped fan-out: `n` invocations of a borrowed closure, claimed
+/// index-by-index by whichever threads participate.
+struct ScopeTask {
+    /// Type-erased pointer to the caller's `F` closure.
+    data: *const (),
+    /// Monomorphised trampoline that restores `data` to `&F` and calls it.
+    invoke: unsafe fn(*const (), usize),
+    n: usize,
+    /// Next unclaimed index; claims race via `fetch_add`.
+    cursor: AtomicUsize,
+    state: Mutex<ScopeState>,
+    all_finished: Condvar,
+}
+
+// SAFETY: `data` points at an `F: Fn(usize) + Sync` owned by the thread
+// inside `scope_run`, which does not return before `state.finished == n`
+// (see `wait`). Every dereference of `data` happens inside a claimed block,
+// and a block can only be claimed while `finished < n`, so the pointee is
+// live for every dereference. `F: Sync` makes the shared calls themselves
+// sound. Stale helper jobs that arrive after completion fail their claim
+// (`cursor >= n`) and never touch `data`.
+unsafe impl Send for ScopeTask {}
+unsafe impl Sync for ScopeTask {}
+
+impl ScopeTask {
+    fn new<F: Fn(usize) + Sync>(n: usize, f: &F) -> Self {
+        unsafe fn invoke<F: Fn(usize) + Sync>(data: *const (), block: usize) {
+            // SAFETY: guaranteed live and `Sync` by the ScopeTask protocol
+            // (see the impl-level SAFETY comment).
+            let f = unsafe { &*data.cast::<F>() };
+            f(block);
+        }
+        Self {
+            data: std::ptr::from_ref(f).cast(),
+            invoke: invoke::<F>,
+            n,
+            cursor: AtomicUsize::new(0),
+            state: Mutex::new(ScopeState {
+                finished: 0,
+                panicked: false,
+            }),
+            all_finished: Condvar::new(),
+        }
+    }
+
+    /// Claims and runs blocks until the cursor is exhausted. Called by the
+    /// scope's owner thread and by pool helpers alike.
+    fn work(&self) {
+        loop {
+            let block = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if block >= self.n {
+                break;
+            }
+            // SAFETY: a successful claim implies `finished < n`, so the
+            // caller of `scope_run` is still parked in `wait` and the
+            // closure behind `data` is live (impl-level SAFETY comment).
+            let outcome = catch_unwind(AssertUnwindSafe(|| unsafe {
+                (self.invoke)(self.data, block)
+            }));
+            let mut state = self.state.lock().expect("scope state lock poisoned");
+            state.finished += 1;
+            if outcome.is_err() {
+                state.panicked = true;
+            }
+            if state.finished == self.n {
+                self.all_finished.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until all `n` blocks finished; re-raises any block panic.
+    fn wait(&self) {
+        let mut state = self.state.lock().expect("scope state lock poisoned");
+        while state.finished < self.n {
+            state = self
+                .all_finished
+                .wait(state)
+                .expect("scope state lock poisoned");
+        }
+        if state.panicked {
+            drop(state);
+            panic!("rayon shim worker panicked");
+        }
+    }
+}
+
+/// The process-wide pool behind the shim's parallel iterators: one worker
+/// per available core, started on first parallel call, never shut down.
+pub fn global_pool() -> &'static WorkerPool {
+    static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        WorkerPool::new("rayon-shim", cores)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn spawned_jobs_all_run_and_shutdown_drains() {
+        let pool = WorkerPool::new("t-spawn", 2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Graceful shutdown must run every queued job before joining.
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn scope_run_covers_every_block_exactly_once() {
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new("t-scope", threads);
+            let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+            pool.scope_run(hits.len(), &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "every block runs exactly once with {threads} workers"
+            );
+            pool.shutdown();
+        }
+    }
+
+    #[test]
+    fn nested_scopes_complete_without_deadlock() {
+        // Outer blocks each start an inner scope on the same single-worker
+        // pool: with wait-based scheduling this deadlocks; with claim-based
+        // scheduling the callers do the inner work themselves.
+        let pool = WorkerPool::new("t-nested", 1);
+        let total = AtomicU64::new(0);
+        pool.scope_run(4, &|_| {
+            pool.scope_run(8, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn scope_run_propagates_panics_after_completion() {
+        let pool = WorkerPool::new("t-panic", 2);
+        let ran = Arc::new(AtomicU64::new(0));
+        let ran_in = Arc::clone(&ran);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope_run(8, &|i| {
+                ran_in.fetch_add(1, Ordering::Relaxed);
+                assert!(i != 3, "block 3 panics on purpose");
+            });
+        }));
+        assert!(result.is_err(), "the panic must reach the caller");
+        // All 8 blocks were still claimed and accounted for (no hang, no
+        // abandoned work).
+        assert_eq!(ran.load(Ordering::Relaxed), 8);
+        // The pool survives a panicking scope.
+        let after = Arc::new(AtomicU64::new(0));
+        let after_in = Arc::clone(&after);
+        pool.scope_run(4, &|_| {
+            after_in.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(after.load(Ordering::Relaxed), 4);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn global_pool_matches_available_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(global_pool().threads(), cores);
+        // And it is usable.
+        let n = AtomicU64::new(0);
+        global_pool().scope_run(16, &|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn zero_thread_request_is_clamped() {
+        let pool = WorkerPool::new("t-zero", 0);
+        assert_eq!(pool.threads(), 1);
+        pool.shutdown();
+    }
+}

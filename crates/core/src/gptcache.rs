@@ -17,7 +17,8 @@ use mc_embedder::QueryEncoder;
 use mc_store::IndexKind;
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{CacheDecisionOutcome, MeanCache, SemanticCache};
+use crate::cache::{CacheDecisionOutcome, SemanticCache};
+use crate::shard::ShardedCache;
 use crate::{MeanCacheConfig, Result};
 
 /// Configuration of the GPTCache-style baseline.
@@ -38,13 +39,15 @@ pub struct GptCacheConfig {
     /// capacity should pick [`IndexKind::Ivf`] — or [`IndexKind::ivf_sq8`]
     /// to also quarter the resident embedding bytes.
     pub index: IndexKind,
-    /// Shard count for a concurrent server-side deployment: carried into the
-    /// [`MeanCacheConfig`] this baseline builds ([`GptCacheConfig::to_cache_config`]),
-    /// so `ShardedCache::new(encoder, config.to_cache_config())` stands up a
-    /// sharded context-oblivious server cache. The single-`MeanCache`
-    /// [`GptCacheBaseline`] itself ignores it (it models one user's round
-    /// trip, not server concurrency). `0` is normalised to `1` for configs
-    /// written before this field existed.
+    /// Shard count for the server-side store. The baseline stands on a
+    /// [`ShardedCache`] built from [`GptCacheConfig::to_cache_config`], so
+    /// `shards > 1` gives the server the same concurrent-probe story as the
+    /// MeanCache serving layer — at the same recall trade (a paraphrase only
+    /// finds its original's shard with probability `1/N`; exact repeats
+    /// always route correctly, and this baseline has no context chains to
+    /// keep affine). `1` (the default) is decision-identical to the
+    /// pre-sharding single-`MeanCache` baseline; `0` is normalised to `1`
+    /// for configs written before this field existed.
     #[serde(default)]
     pub shards: usize,
 }
@@ -79,10 +82,14 @@ impl GptCacheConfig {
     }
 }
 
-/// The server-side baseline cache.
+/// The server-side baseline cache: a (possibly sharded) context-oblivious
+/// store behind a simulated network round-trip. With `shards = 1` the
+/// sharded wrapper routes everything to its single shard, so decisions,
+/// ids and statistics are identical to the historical single-`MeanCache`
+/// baseline.
 #[derive(Debug, Clone)]
 pub struct GptCacheBaseline {
-    inner: MeanCache,
+    inner: ShardedCache,
     network_rtt_s: f64,
 }
 
@@ -93,7 +100,7 @@ impl GptCacheBaseline {
     /// # Errors
     /// Returns [`crate::CacheError::InvalidConfig`] for invalid settings.
     pub fn new(encoder: QueryEncoder, config: GptCacheConfig) -> Result<Self> {
-        let inner = MeanCache::new(encoder, config.to_cache_config())?;
+        let inner = ShardedCache::new(encoder, config.to_cache_config())?;
         Ok(Self {
             inner,
             network_rtt_s: config.network_rtt_s.max(0.0),
@@ -109,6 +116,22 @@ impl GptCacheBaseline {
     pub fn encoder(&self) -> &QueryEncoder {
         self.inner.encoder()
     }
+
+    /// Number of server-side shards ([`GptCacheConfig::shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    /// Aggregated cache statistics across the server's shards.
+    pub fn stats(&self) -> crate::cache::CacheStats {
+        self.inner.stats()
+    }
+
+    /// Borrow the sharded server store (concurrent harnesses probe it
+    /// directly through [`ShardedCache`]'s shared read/write paths).
+    pub fn store(&self) -> &ShardedCache {
+        &self.inner
+    }
 }
 
 impl SemanticCache for GptCacheBaseline {
@@ -123,9 +146,14 @@ impl SemanticCache for GptCacheBaseline {
     }
 
     fn probe_batch(&self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
-        // Context is ignored by design, and the inner cache was built with
-        // context checking disabled, so the probes can be forwarded as-is.
-        self.inner.probe_batch(probes)
+        // Context is ignored by design — and must be *stripped*, not merely
+        // unchecked: the sharded store routes by the conversation root, and
+        // inserts store standalone queries, so a context-bearing probe would
+        // route to its conversation's shard while the entry lives on the
+        // query's shard.
+        let stripped: Vec<(&str, &[String])> =
+            probes.iter().map(|(query, _)| (*query, &[][..])).collect();
+        self.inner.probe_batch(&stripped)
     }
 
     fn insert(&mut self, query: &str, response: &str, _context: &[String]) -> Result<u64> {
@@ -150,7 +178,15 @@ impl SemanticCache for GptCacheBaseline {
     }
 
     fn name(&self) -> String {
-        format!("GPTCache({})", self.inner.encoder().profile().kind)
+        // The single-shard name stays exactly what pre-sharding reports
+        // printed; a sharded server annotates its shard count.
+        match self.inner.shard_count() {
+            1 => format!("GPTCache({})", self.inner.encoder().profile().kind),
+            n => format!(
+                "GPTCache[{n} shards]({})",
+                self.inner.encoder().profile().kind
+            ),
+        }
     }
 }
 
@@ -210,6 +246,55 @@ mod tests {
         // serves the cached response (the paper's Figure 8a failure mode).
         let outcome = cache.lookup("change the color to red", &["draw a circle".to_string()]);
         assert!(outcome.is_hit());
+    }
+
+    #[test]
+    fn sharded_baseline_serves_like_the_single_shard_one() {
+        let single = baseline();
+        let encoder = QueryEncoder::new(ModelProfile::tiny(), 7).unwrap();
+        let sharded = GptCacheBaseline::new(
+            encoder,
+            GptCacheConfig {
+                threshold: 0.6,
+                shards: 4,
+                ..GptCacheConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(single.shard_count(), 1);
+        assert_eq!(sharded.shard_count(), 4);
+        assert!(single.name().starts_with("GPTCache("));
+        assert!(sharded.name().contains("[4 shards]"));
+
+        let mut caches = [single, sharded];
+        for cache in &mut caches {
+            for (q, r) in [
+                ("how do I bake sourdough bread", "Ferment overnight."),
+                ("what is federated learning", "On-device training."),
+                ("draw a line plot in python", "Use plt.plot."),
+            ] {
+                cache.insert(q, r, &[]).unwrap();
+            }
+        }
+        // Exact repeats route correctly on any shard count, and the context
+        // is ignored *and stripped*: a context-bearing probe must still find
+        // the entry its query text routes to (the false-hit failure mode the
+        // baseline exists to demonstrate) — on both the single-probe and the
+        // batched path.
+        let ctx = vec!["draw a circle".to_string()];
+        for cache in &mut caches {
+            assert!(cache.lookup("what is federated learning", &[]).is_hit());
+            assert!(cache.lookup("what is federated learning", &ctx).is_hit());
+            assert!(cache.lookup("entirely uncached topic", &[]).is_miss());
+            let batched = cache.probe_batch(&[
+                ("how do I bake sourdough bread", &ctx[..]),
+                ("entirely uncached topic", &[][..]),
+            ]);
+            assert!(batched[0].is_hit(), "{}", cache.name());
+            assert!(batched[1].is_miss());
+        }
+        assert_eq!(caches[0].stats(), caches[1].stats());
+        assert_eq!(caches[0].len(), caches[1].len());
     }
 
     #[test]

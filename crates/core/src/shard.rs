@@ -211,6 +211,45 @@ impl ShardedCache {
         ((public_id % n) as usize, public_id / n)
     }
 
+    /// Inserts through a **shared** reference: takes only the target shard's
+    /// write lock, so concurrent inserts to different shards proceed in
+    /// parallel and probes of other shards are never blocked. This is the
+    /// write path concurrent serving measures (`exp_concurrent
+    /// --write-pct`); the `&mut` [`SemanticCache::insert`] remains the
+    /// single-owner equivalent (identical ids and routing).
+    ///
+    /// # Errors
+    /// Returns [`crate::CacheError`] on storage failures.
+    pub fn insert_shared(&self, query: &str, response: &str, context: &[String]) -> Result<u64> {
+        let shard = self.shard_of(query, context);
+        let local = write(&self.shards[shard]).insert(query, response, context)?;
+        Ok(self.public_id(shard, local))
+    }
+
+    /// The write half of a lookup through a **shared** reference: upgrades
+    /// to the hit shard's write lock just long enough to record the
+    /// eviction-policy touch. A miss takes no lock at all. This is the
+    /// probe→commit "upgrade" whose contention cost the write-mix
+    /// experiment quantifies.
+    pub fn commit_shared(&self, outcome: &CacheDecisionOutcome) {
+        if let Some(hit) = outcome.hit() {
+            let (shard, local) = self.split_id(hit.entry_id);
+            let mut local_hit = hit.clone();
+            local_hit.entry_id = local;
+            write(&self.shards[shard]).commit(&CacheDecisionOutcome::Hit(local_hit));
+        }
+    }
+
+    /// [`SemanticCache::probe`] followed by [`ShardedCache::commit_shared`]:
+    /// a full lookup through a shared reference, for concurrent callers that
+    /// cannot take `&mut self`. Decision-identical to
+    /// [`SemanticCache::lookup`] on a frozen cache.
+    pub fn lookup_shared(&self, query: &str, context: &[String]) -> CacheDecisionOutcome {
+        let outcome = self.probe(query, context);
+        self.commit_shared(&outcome);
+        outcome
+    }
+
     /// Rewrites a shard-local outcome's entry id into the public namespace.
     fn globalise(&self, shard: usize, outcome: CacheDecisionOutcome) -> CacheDecisionOutcome {
         match outcome {
@@ -248,6 +287,13 @@ fn read(shard: &RwLock<MeanCache>) -> std::sync::RwLockReadGuard<'_, MeanCache> 
 /// Exclusive access through `&mut self` — no lock taken, cannot block.
 fn shard_mut(shard: &mut RwLock<MeanCache>) -> &mut MeanCache {
     shard.get_mut().expect("cache shard lock poisoned")
+}
+
+/// Exclusively lock one shard through a shared reference (the concurrent
+/// write path: `insert_shared` / `commit_shared`). Poisoning gets the same
+/// fail-loudly treatment as [`read`].
+fn write(shard: &RwLock<MeanCache>) -> std::sync::RwLockWriteGuard<'_, MeanCache> {
+    shard.write().expect("cache shard lock poisoned")
 }
 
 impl SemanticCache for ShardedCache {
@@ -520,6 +566,69 @@ mod tests {
         assert_eq!(cache.config().shards, 4);
         assert!(cache.name().starts_with("Sharded[4]"));
         assert_eq!(cache.lookup_network_overhead_s(), 0.0);
+    }
+
+    #[test]
+    fn shared_inserts_match_exclusive_inserts() {
+        let mut exclusive = sharded(4, 0.6);
+        let shared = sharded(4, 0.6);
+        for i in 0..20 {
+            let q = format!("distinct shared topic {i}");
+            let a = exclusive.insert(&q, "resp", &[]).unwrap();
+            let b = shared.insert_shared(&q, "resp", &[]).unwrap();
+            assert_eq!(a, b, "shared and exclusive inserts must allocate alike");
+        }
+        assert_eq!(exclusive.shard_lens(), shared.shard_lens());
+        for i in 0..20 {
+            let q = format!("distinct shared topic {i}");
+            assert_eq!(exclusive.probe(&q, &[]), shared.probe(&q, &[]));
+        }
+    }
+
+    #[test]
+    fn concurrent_shared_inserts_land_once_each() {
+        let cache = sharded(4, 0.6);
+        let threads = 4;
+        let per_thread = 25;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        cache
+                            .insert_shared(&format!("writer {t} topic {i}"), "resp", &[])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), threads * per_thread);
+        assert_eq!(cache.stats().inserts, (threads * per_thread) as u64);
+        // Every inserted query is findable (ids resolved, index consistent).
+        for t in 0..threads {
+            for i in 0..per_thread {
+                assert!(
+                    cache.probe(&format!("writer {t} topic {i}"), &[]).is_hit(),
+                    "writer {t} topic {i} must be probeable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_shared_touches_like_lookup() {
+        let mut a = sharded(2, 0.6);
+        let b = sharded(2, 0.6);
+        a.insert("what is federated learning", "FL.", &[]).unwrap();
+        b.insert_shared("what is federated learning", "FL.", &[])
+            .unwrap();
+        assert_eq!(
+            a.lookup("what is federated learning", &[]),
+            b.lookup_shared("what is federated learning", &[]),
+        );
+        assert_eq!(a.stats(), b.stats());
+        // A miss commits nothing and takes no write lock.
+        assert!(b.lookup_shared("entirely uncached question", &[]).is_miss());
     }
 
     #[test]

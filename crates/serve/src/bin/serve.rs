@@ -1,0 +1,241 @@
+//! The `mc-serve` server binary: config → sharded cache → TCP listener.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:4077] [--shards 8] [--capacity 100000]
+//!       [--threshold 0.7] [--index flat-sq8|flat|ivf|ivf-sq8] [--seed 2024]
+//!       [--batch-max 64] [--batch-wait-us 200] [--queue-cap 1024]
+//!       [--max-conns 32] [--smoke]
+//! ```
+//!
+//! `--smoke` runs the CI self-test instead of serving forever: bind an
+//! ephemeral localhost port, drive a real client over TCP (ping, inserts,
+//! exact-repeat lookups that must hit, novel lookups that must miss, a
+//! stats cross-check, a graceful shutdown), and exit non-zero on any
+//! mismatch.
+
+use std::time::Duration;
+
+use mc_embedder::{ModelProfile, QueryEncoder};
+use mc_serve::{Client, ServeConfig, Server};
+use mc_store::IndexKind;
+use meancache::{MeanCacheConfig, ShardedCache};
+
+struct Args {
+    addr: String,
+    shards: usize,
+    capacity: usize,
+    threshold: f32,
+    index: IndexKind,
+    seed: u64,
+    serve_config: ServeConfig,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:4077".to_string(),
+        shards: 8,
+        capacity: 100_000,
+        threshold: 0.7,
+        index: IndexKind::flat_sq8(),
+        seed: 2024,
+        serve_config: ServeConfig::default(),
+        smoke: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(&mut i, "--addr"),
+            "--shards" => {
+                args.shards = value(&mut i, "--shards")
+                    .parse()
+                    .expect("--shards: integer")
+            }
+            "--capacity" => {
+                args.capacity = value(&mut i, "--capacity")
+                    .parse()
+                    .expect("--capacity: integer");
+            }
+            "--threshold" => {
+                args.threshold = value(&mut i, "--threshold")
+                    .parse()
+                    .expect("--threshold: float");
+            }
+            "--index" => {
+                args.index = match value(&mut i, "--index").as_str() {
+                    "flat" => IndexKind::flat(),
+                    "flat-sq8" => IndexKind::flat_sq8(),
+                    "ivf" => IndexKind::ivf(),
+                    "ivf-sq8" => IndexKind::ivf_sq8(),
+                    other => {
+                        eprintln!("unknown index backend `{other}`");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => args.seed = value(&mut i, "--seed").parse().expect("--seed: integer"),
+            "--batch-max" => {
+                args.serve_config.max_batch = value(&mut i, "--batch-max")
+                    .parse()
+                    .expect("--batch-max: integer");
+            }
+            "--batch-wait-us" => {
+                args.serve_config.max_wait = Duration::from_micros(
+                    value(&mut i, "--batch-wait-us")
+                        .parse()
+                        .expect("--batch-wait-us: integer"),
+                );
+            }
+            "--queue-cap" => {
+                args.serve_config.queue_capacity = value(&mut i, "--queue-cap")
+                    .parse()
+                    .expect("--queue-cap: integer");
+            }
+            "--max-conns" => {
+                args.serve_config.max_connections = value(&mut i, "--max-conns")
+                    .parse()
+                    .expect("--max-conns: integer");
+            }
+            "--smoke" => args.smoke = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: serve [--addr A] [--shards N] [--capacity N] [--threshold T] \
+                     [--index KIND] [--seed N] [--batch-max N] [--batch-wait-us N] \
+                     [--queue-cap N] [--max-conns N] [--smoke]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn build_cache(args: &Args) -> ShardedCache {
+    let encoder = QueryEncoder::new(ModelProfile::tiny(), args.seed).expect("tiny profile");
+    let config = MeanCacheConfig::default()
+        .with_threshold(args.threshold)
+        .with_index(args.index.clone())
+        .with_shards(args.shards);
+    let config = MeanCacheConfig {
+        capacity: args.capacity,
+        ..config
+    };
+    ShardedCache::new(encoder, config).expect("valid serving config")
+}
+
+fn main() {
+    let args = parse_args();
+    if args.smoke {
+        smoke(&args);
+        return;
+    }
+    let cache = build_cache(&args);
+    let handle =
+        Server::start(cache, &args.serve_config, args.addr.as_str()).expect("bind serving address");
+    println!(
+        "mc-serve listening on {} ({} shards, {} index, batch ≤ {} / {:?} linger, queue {} cap, {} conns max)",
+        handle.addr(),
+        args.shards,
+        args.index.name(),
+        args.serve_config.max_batch,
+        args.serve_config.max_wait,
+        args.serve_config.queue_capacity,
+        args.serve_config.max_connections,
+    );
+    // Parks until a client sends Shutdown, then tears down gracefully.
+    handle.wait();
+    println!("mc-serve: drained and shut down");
+}
+
+/// The localhost smoke test CI runs: known traffic, asserted hit/miss
+/// counts, graceful shutdown.
+fn smoke(args: &Args) {
+    // A fast smoke wants visible batching: tiny linger, default batch size.
+    let mut serve_config = args.serve_config.clone();
+    serve_config.max_wait = Duration::from_micros(100);
+    let args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        shards: args.shards,
+        capacity: args.capacity,
+        threshold: args.threshold,
+        index: args.index.clone(),
+        seed: args.seed,
+        serve_config,
+        smoke: true,
+    };
+    let cache = build_cache(&args);
+    let handle = Server::start(cache, &args.serve_config, args.addr.as_str()).expect("bind");
+    let addr = handle.addr();
+    println!("smoke: serving on {addr}");
+
+    let inserts = 40;
+    let misses_expected = 25;
+    let client = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client.ping().expect("ping");
+        for i in 0..inserts {
+            client
+                .insert(
+                    &format!("smoke topic number {i} with some distinct words"),
+                    &format!("response {i}"),
+                    &[],
+                )
+                .expect("insert");
+        }
+        // Exact repeats must hit, novel queries must miss — pipelined, so
+        // the batcher sees real windows.
+        let hit_probes: Vec<(String, Vec<String>)> = (0..inserts)
+            .map(|i| {
+                (
+                    format!("smoke topic number {i} with some distinct words"),
+                    Vec::new(),
+                )
+            })
+            .collect();
+        let outcomes = client.lookup_pipelined(&hit_probes).expect("hit lookups");
+        let hits = outcomes.iter().filter(|o| o.is_hit()).count();
+        assert_eq!(hits, inserts, "every exact repeat must hit");
+        let miss_probes: Vec<(String, Vec<String>)> = (0..misses_expected)
+            .map(|i| (format!("never inserted probe {i} zzqx"), Vec::new()))
+            .collect();
+        let outcomes = client.lookup_pipelined(&miss_probes).expect("miss lookups");
+        let misses = outcomes.iter().filter(|o| o.is_miss()).count();
+        assert_eq!(misses, misses_expected, "novel probes must miss");
+
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.entries, inserts, "stats: entries");
+        assert_eq!(stats.inserts, inserts as u64, "stats: inserts");
+        assert_eq!(stats.served_hits, inserts as u64, "stats: served hits");
+        assert_eq!(
+            stats.served_misses, misses_expected as u64,
+            "stats: served misses"
+        );
+        assert_eq!(stats.shed, 0, "stats: nothing shed");
+        assert!(stats.batches > 0, "stats: batches formed");
+        println!(
+            "smoke: {} hits / {} misses, {} batches (avg size {:.1}), occupancy {:?}",
+            stats.served_hits,
+            stats.served_misses,
+            stats.batches,
+            stats.avg_batch,
+            stats.shard_occupancy
+        );
+        client.shutdown_server().expect("shutdown");
+    });
+
+    handle.wait();
+    client.join().expect("smoke client panicked");
+    println!("smoke: PASS");
+}

@@ -1,0 +1,251 @@
+//! Blocking TCP client for the `mc-serve` wire protocol.
+//!
+//! One request/response per call, plus a pipelined lookup entry point
+//! ([`Client::lookup_pipelined`]) that keeps a window of requests in flight
+//! — what gives the server's micro-batcher concurrent work to group even
+//! from a single connection.
+
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use meancache::CacheDecisionOutcome;
+
+use crate::protocol::{read_frame, write_frame, ProtocolError, Request, Response};
+use crate::stats::ServeStatsSnapshot;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's bytes did not parse.
+    Protocol(ProtocolError),
+    /// The server shed the request (admission queue or connection budget
+    /// full) — back off and retry.
+    Overloaded,
+    /// The server reported a request-level failure.
+    Server(String),
+    /// The server answered with a response type this call cannot use.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Overloaded => write!(f, "server overloaded (busy)"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A blocking connection to an `mc-serve` server. Reads are buffered: a
+/// window of coalesced responses arrives in one socket read.
+#[derive(Debug)]
+pub struct Client {
+    reader: io::BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects (Nagle disabled — the protocol is request/response over
+    /// small frames, where delayed-ack interactions would dominate
+    /// latency).
+    ///
+    /// # Errors
+    /// Transport errors from connecting.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: io::BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> ClientResult<()> {
+        write_frame(&mut self.writer, &request.encode())?;
+        Ok(())
+    }
+
+    fn receive(&mut self) -> ClientResult<Response> {
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        let response = Response::decode(&payload)?;
+        match response {
+            Response::Busy => Err(ClientError::Overloaded),
+            Response::Error(message) => Err(ClientError::Server(message)),
+            other => Ok(other),
+        }
+    }
+
+    fn call(&mut self, request: &Request) -> ClientResult<Response> {
+        if let Err(send_error) = self.send(request) {
+            return Err(self.explain_send_failure(send_error));
+        }
+        self.receive()
+    }
+
+    /// A failed send may mean the server refused us and closed the socket
+    /// (its `Busy` frame can still be sitting in our receive buffer after
+    /// the write raised `BrokenPipe`). Prefer that explanation when it is
+    /// there; otherwise surface the transport error as-is.
+    fn explain_send_failure(&mut self, send_error: ClientError) -> ClientError {
+        match self.receive() {
+            Err(explained @ (ClientError::Overloaded | ClientError::Server(_))) => explained,
+            _ => send_error,
+        }
+    }
+
+    /// Liveness / admission check.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol or server failures.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted Pong")),
+        }
+    }
+
+    /// Semantic lookup under an optional conversation context.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol or server failures
+    /// ([`ClientError::Overloaded`] when the request was shed).
+    pub fn lookup(
+        &mut self,
+        query: &str,
+        context: &[String],
+    ) -> ClientResult<CacheDecisionOutcome> {
+        let response = self.call(&Request::Lookup {
+            query: query.to_string(),
+            context: context.to_vec(),
+        })?;
+        response
+            .into_outcome()
+            .ok_or(ClientError::Unexpected("wanted Hit or Miss"))
+    }
+
+    /// Pipelined lookups: every request is written up front (one buffered
+    /// syscall), then all responses are read back in submission order. The
+    /// in-flight window is what lets a server micro-batch traffic from
+    /// this connection.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol or server failures; the first
+    /// failed response aborts the call.
+    pub fn lookup_pipelined(
+        &mut self,
+        probes: &[(String, Vec<String>)],
+    ) -> ClientResult<Vec<CacheDecisionOutcome>> {
+        let mut buf = Vec::with_capacity(probes.len() * 64);
+        let mut payload = Vec::with_capacity(128);
+        for (query, context) in probes {
+            payload.clear();
+            crate::protocol::encode_lookup(&mut payload, query, context);
+            write_frame(&mut buf, &payload)?;
+        }
+        if let Err(e) = self.writer.write_all(&buf) {
+            return Err(self.explain_send_failure(e.into()));
+        }
+        let mut outcomes = Vec::with_capacity(probes.len());
+        for _ in probes {
+            let response = self.receive()?;
+            outcomes.push(
+                response
+                    .into_outcome()
+                    .ok_or(ClientError::Unexpected("wanted Hit or Miss"))?,
+            );
+        }
+        Ok(outcomes)
+    }
+
+    /// Stores a (query, response) pair; returns the public entry id.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol or server failures.
+    pub fn insert(&mut self, query: &str, response: &str, context: &[String]) -> ClientResult<u64> {
+        match self.call(&Request::Insert {
+            query: query.to_string(),
+            response: response.to_string(),
+            context: context.to_vec(),
+        })? {
+            Response::Inserted(id) => Ok(id),
+            _ => Err(ClientError::Unexpected("wanted Inserted")),
+        }
+    }
+
+    /// Fetches and parses the server's stats snapshot.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol or server failures (a
+    /// snapshot that fails to parse is a protocol error).
+    pub fn stats(&mut self) -> ClientResult<ServeStatsSnapshot> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(json) => {
+                serde_json::from_str(&json).map_err(|_| ClientError::Unexpected("stats json"))
+            }
+            _ => Err(ClientError::Unexpected("wanted Stats")),
+        }
+    }
+
+    /// Replaces the server's cosine threshold τ.
+    ///
+    /// # Errors
+    /// [`ClientError`]; out-of-range thresholds come back as
+    /// [`ClientError::Server`].
+    pub fn set_threshold(&mut self, threshold: f32) -> ClientResult<()> {
+        match self.call(&Request::SetThreshold(threshold))? {
+            Response::Ack => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted Ack")),
+        }
+    }
+
+    /// Drops every cached entry; returns how many were flushed.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol or server failures.
+    pub fn flush(&mut self) -> ClientResult<u64> {
+        match self.call(&Request::Flush)? {
+            Response::Flushed(n) => Ok(n),
+            _ => Err(ClientError::Unexpected("wanted Flushed")),
+        }
+    }
+
+    /// Asks the server process to shut down gracefully (acknowledged
+    /// before the teardown starts).
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol or server failures.
+    pub fn shutdown_server(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ack => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted Ack")),
+        }
+    }
+}

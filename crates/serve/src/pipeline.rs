@@ -1,0 +1,513 @@
+//! The serving pipeline: a bounded admission queue feeding one micro-batcher
+//! thread that owns the [`ShardedCache`] outright.
+//!
+//! Single ownership is the ordering story: every cache-touching request —
+//! lookups, inserts, threshold updates, flushes, stats snapshots — flows
+//! through the same FIFO queue and executes on the batcher thread, so the
+//! observable history is one total order consistent with per-connection
+//! submission order. Within that order the batcher is free to *group*: runs
+//! of consecutive lookups become one [`SemanticCache::probe_batch`] call
+//! followed by per-outcome commits in submission order, which is
+//! decision-identical to looking each up sequentially (probes never observe
+//! commits — commits only touch eviction recency metadata).
+//!
+//! Backpressure: the queue refuses pushes at capacity
+//! ([`SubmitError::Overloaded`]) instead of buffering unboundedly, and
+//! shutdown closes the queue but drains everything already admitted — every
+//! ticket ever returned by [`ServePipeline::submit`] resolves.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use meancache::{CacheDecisionOutcome, SemanticCache, ShardedCache};
+
+use crate::queue::{BoundedQueue, SubmitError};
+use crate::stats::{ServeMetrics, ServeStatsSnapshot};
+
+/// Configuration of the serving pipeline and the server around it.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum requests the micro-batcher groups into one pass. `1`
+    /// disables batching (every request is its own batch) — the reference
+    /// configuration `exp_serve` compares against.
+    pub max_batch: usize,
+    /// How long an open batch lingers for stragglers after its first
+    /// request arrives. Bounded added latency: a lone request is delayed by
+    /// at most this much.
+    pub max_wait: Duration,
+    /// Admission-queue capacity; pushes beyond it are shed with
+    /// [`SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Concurrent connections the server admits; one reader and one writer
+    /// pool thread are budgeted per connection, and connections beyond the
+    /// limit are refused with a `Busy` frame.
+    pub max_connections: usize,
+    /// Artificial delay applied to every formed batch before it executes.
+    /// Zero in production; tests raise it to simulate a slow consumer and
+    /// exercise the load-shedding path deterministically.
+    pub batch_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            queue_capacity: 1024,
+            max_connections: 32,
+            batch_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// A request the pipeline executes on the batcher thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeRequest {
+    /// Semantic lookup under an optional conversation context.
+    Lookup {
+        /// The query text.
+        query: String,
+        /// Conversation context, most recent turn last.
+        context: Vec<String>,
+    },
+    /// Store a fresh (query, response) pair.
+    Insert {
+        /// The query text.
+        query: String,
+        /// The response to cache.
+        response: String,
+        /// Conversation context, most recent turn last.
+        context: Vec<String>,
+    },
+    /// Snapshot the stats plane.
+    Stats,
+    /// Replace the cosine threshold τ on every shard.
+    SetThreshold(f32),
+    /// Drop all cached entries (the cache is rebuilt empty from its live
+    /// config).
+    Flush,
+}
+
+/// What a [`ServeRequest`] resolved to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeReply {
+    /// Lookup outcome (hit with payload, or miss).
+    Outcome(CacheDecisionOutcome),
+    /// Insert succeeded with this public entry id.
+    Inserted(u64),
+    /// Stats snapshot.
+    Stats(Box<ServeStatsSnapshot>),
+    /// Control command acknowledged.
+    Ack,
+    /// Flush completed; this many entries were dropped.
+    Flushed(u64),
+    /// The request failed (message is operator-facing).
+    Failed(String),
+}
+
+#[derive(Debug)]
+struct TicketInner {
+    reply: Mutex<Option<ServeReply>>,
+    ready: Condvar,
+}
+
+/// A claim on one submitted request's eventual reply. Cloneable; any clone
+/// may wait.
+#[derive(Debug, Clone)]
+pub struct Ticket(Arc<TicketInner>);
+
+impl Ticket {
+    fn new() -> Self {
+        Ticket(Arc::new(TicketInner {
+            reply: Mutex::new(None),
+            ready: Condvar::new(),
+        }))
+    }
+
+    /// A ticket born resolved (protocol-level replies that never enter the
+    /// pipeline, e.g. `Busy`).
+    pub fn resolved(reply: ServeReply) -> Self {
+        let ticket = Ticket::new();
+        ticket.resolve(reply);
+        ticket
+    }
+
+    /// Resolves the ticket. Called exactly once per submitted ticket, by
+    /// the batcher.
+    pub(crate) fn resolve(&self, reply: ServeReply) {
+        let mut slot = self.0.reply.lock().expect("ticket lock poisoned");
+        debug_assert!(slot.is_none(), "a ticket resolves exactly once");
+        *slot = Some(reply);
+        drop(slot);
+        self.0.ready.notify_all();
+    }
+
+    /// Blocks until the reply is available and clones it out.
+    pub fn wait(&self) -> ServeReply {
+        let mut slot = self.0.reply.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(reply) = slot.as_ref() {
+                return reply.clone();
+            }
+            slot = self.0.ready.wait(slot).expect("ticket lock poisoned");
+        }
+    }
+
+    /// The reply if already available, without blocking (the response
+    /// writer uses this to coalesce only what is ready).
+    pub fn try_reply(&self) -> Option<ServeReply> {
+        self.0.reply.lock().expect("ticket lock poisoned").clone()
+    }
+}
+
+#[derive(Debug)]
+struct Submitted {
+    request: ServeRequest,
+    ticket: Ticket,
+}
+
+/// The serving pipeline: admission queue + metrics + the batcher thread
+/// that owns the cache. See the module docs for semantics.
+#[derive(Debug)]
+pub struct ServePipeline {
+    queue: Arc<BoundedQueue<Submitted>>,
+    metrics: Arc<ServeMetrics>,
+    batcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServePipeline {
+    /// Takes ownership of `cache` and starts the batcher thread.
+    pub fn start(cache: ShardedCache, config: &ServeConfig) -> Self {
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let metrics = Arc::new(ServeMetrics::default());
+        let batcher = {
+            let queue = Arc::clone(&queue);
+            let metrics = Arc::clone(&metrics);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("mc-serve-batcher".into())
+                .spawn(move || batcher_loop(cache, &queue, &metrics, &config))
+                .expect("batcher thread spawn failed")
+        };
+        Self {
+            queue,
+            metrics,
+            batcher: Mutex::new(Some(batcher)),
+        }
+    }
+
+    /// Submits a request; the returned ticket resolves once the batcher has
+    /// executed it. Never blocks.
+    ///
+    /// # Errors
+    /// [`SubmitError::Overloaded`] when the admission queue is full (the
+    /// request is shed), [`SubmitError::ShutDown`] after
+    /// [`ServePipeline::shutdown`].
+    pub fn submit(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
+        let ticket = Ticket::new();
+        let result = self.queue.push(Submitted {
+            request,
+            ticket: ticket.clone(),
+        });
+        match result {
+            Ok(()) => {
+                self.metrics.record_admitted();
+                Ok(ticket)
+            }
+            Err(SubmitError::Overloaded) => {
+                self.metrics.record_shed();
+                Err(SubmitError::Overloaded)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The pipeline's live counters.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Graceful shutdown: closes the queue (new submissions fail with
+    /// [`SubmitError::ShutDown`]), lets the batcher drain everything
+    /// already admitted — resolving every outstanding ticket — and joins
+    /// it. Idempotent.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        let handle = self.batcher.lock().expect("batcher handle poisoned").take();
+        if let Some(handle) = handle {
+            handle.join().expect("batcher thread panicked");
+        }
+    }
+}
+
+impl Drop for ServePipeline {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn batcher_loop(
+    mut cache: ShardedCache,
+    queue: &BoundedQueue<Submitted>,
+    metrics: &ServeMetrics,
+    config: &ServeConfig,
+) {
+    let mut batch: Vec<Submitted> = Vec::with_capacity(config.max_batch.max(1));
+    loop {
+        batch.clear();
+        if !queue.pop_batch(config.max_batch, config.max_wait, &mut batch) {
+            break; // closed and fully drained
+        }
+        if !config.batch_delay.is_zero() {
+            std::thread::sleep(config.batch_delay);
+        }
+        metrics.record_batch(batch.len());
+        execute_batch(&mut cache, &batch, queue, metrics);
+    }
+}
+
+/// Executes one formed batch in submission order, grouping maximal runs of
+/// consecutive lookups into single `probe_batch` passes with duplicate
+/// requests **coalesced**: identical `(query, context)` pairs in one run —
+/// the thundering-herd shape a popular cache service sees constantly — are
+/// probed once and their outcome fanned out to every requester
+/// (singleflight, the request-collapsing CDNs and inference servers do).
+/// Probes are pure against the frozen-within-the-batch cache, so coalescing
+/// is response-identical to probing each duplicate; commits still run once
+/// per *request* in submission order, so eviction recency matches
+/// sequential serving exactly. (Cache-internal `lookups` counters tick once
+/// per unique probe; the pipeline's served counters remain per-request.)
+fn execute_batch(
+    cache: &mut ShardedCache,
+    batch: &[Submitted],
+    queue: &BoundedQueue<Submitted>,
+    metrics: &ServeMetrics,
+) {
+    let mut i = 0;
+    while i < batch.len() {
+        let is_lookup = matches!(batch[i].request, ServeRequest::Lookup { .. });
+        if !is_lookup {
+            execute_control(cache, &batch[i], queue, metrics);
+            i += 1;
+            continue;
+        }
+        let mut j = i;
+        while j < batch.len() && matches!(batch[j].request, ServeRequest::Lookup { .. }) {
+            j += 1;
+        }
+        if j == i + 1 {
+            // Singleton run: the plain probe path, no batch machinery. This
+            // is also the entire hot path of a `max_batch = 1` (unbatched)
+            // configuration.
+            let ServeRequest::Lookup { query, context } = &batch[i].request else {
+                unreachable!("checked above");
+            };
+            let outcome = cache.probe(query, context);
+            cache.commit(&outcome);
+            metrics.record_served(outcome.is_hit());
+            batch[i].ticket.resolve(ServeReply::Outcome(outcome));
+            i = j;
+            continue;
+        }
+        let run = &batch[i..j];
+        // Coalesce duplicates: probe each distinct (query, context) once.
+        let mut unique: Vec<(&str, &[String])> = Vec::with_capacity(run.len());
+        let mut index_of: HashMap<(&str, &[String]), usize> = HashMap::with_capacity(run.len());
+        let assigned: Vec<usize> = run
+            .iter()
+            .map(|item| match &item.request {
+                ServeRequest::Lookup { query, context } => *index_of
+                    .entry((query.as_str(), context.as_slice()))
+                    .or_insert_with(|| {
+                        unique.push((query.as_str(), context.as_slice()));
+                        unique.len() - 1
+                    }),
+                _ => unreachable!("run contains only lookups"),
+            })
+            .collect();
+        metrics.record_coalesced((run.len() - unique.len()) as u64);
+        let outcomes = cache.probe_batch(&unique);
+        // Commit in submission order before resolving each ticket: the
+        // served history (including LRU/LFU touches) matches sequential
+        // `lookup` calls exactly.
+        for (item, &unique_index) in run.iter().zip(&assigned) {
+            let outcome = outcomes[unique_index].clone();
+            cache.commit(&outcome);
+            metrics.record_served(outcome.is_hit());
+            item.ticket.resolve(ServeReply::Outcome(outcome));
+        }
+        i = j;
+    }
+}
+
+fn execute_control(
+    cache: &mut ShardedCache,
+    item: &Submitted,
+    queue: &BoundedQueue<Submitted>,
+    metrics: &ServeMetrics,
+) {
+    let reply = match &item.request {
+        ServeRequest::Insert {
+            query,
+            response,
+            context,
+        } => match cache.insert(query, response, context) {
+            Ok(id) => {
+                metrics.record_insert();
+                ServeReply::Inserted(id)
+            }
+            Err(e) => ServeReply::Failed(format!("insert failed: {e}")),
+        },
+        ServeRequest::Stats => {
+            metrics.record_control();
+            ServeReply::Stats(Box::new(ServeStatsSnapshot::collect(
+                cache,
+                metrics,
+                queue.len(),
+                queue.capacity(),
+            )))
+        }
+        ServeRequest::SetThreshold(threshold) => {
+            if (0.0..=1.0).contains(threshold) {
+                metrics.record_control();
+                cache.set_threshold(*threshold);
+                ServeReply::Ack
+            } else {
+                ServeReply::Failed(format!("threshold {threshold} must be in [0, 1]"))
+            }
+        }
+        ServeRequest::Flush => {
+            metrics.record_control();
+            let evicted = cache.len() as u64;
+            // Rebuild empty from the live config (which tracks threshold
+            // updates), keeping the same encoder.
+            *cache = ShardedCache::new(cache.encoder().clone(), cache.config().clone())
+                .expect("a live cache's config re-validates");
+            ServeReply::Flushed(evicted)
+        }
+        ServeRequest::Lookup { .. } => unreachable!("lookups are handled in runs"),
+    };
+    item.ticket.resolve(reply);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_embedder::{ModelProfile, QueryEncoder};
+    use meancache::MeanCacheConfig;
+
+    fn cache(shards: usize) -> ShardedCache {
+        let encoder = QueryEncoder::new(ModelProfile::tiny(), 7).unwrap();
+        ShardedCache::new(
+            encoder,
+            MeanCacheConfig::default()
+                .with_threshold(0.6)
+                .with_shards(shards),
+        )
+        .unwrap()
+    }
+
+    fn lookup(query: &str) -> ServeRequest {
+        ServeRequest::Lookup {
+            query: query.into(),
+            context: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips_through_the_pipeline() {
+        let pipeline = ServePipeline::start(cache(4), &ServeConfig::default());
+        let inserted = pipeline
+            .submit(ServeRequest::Insert {
+                query: "what is federated learning".into(),
+                response: "On-device training.".into(),
+                context: Vec::new(),
+            })
+            .unwrap()
+            .wait();
+        assert!(matches!(inserted, ServeReply::Inserted(_)));
+        let hit = pipeline
+            .submit(lookup("what is federated learning"))
+            .unwrap()
+            .wait();
+        match hit {
+            ServeReply::Outcome(outcome) => {
+                assert!(outcome.is_hit());
+                assert_eq!(outcome.hit().unwrap().response, "On-device training.");
+            }
+            other => panic!("expected an outcome, got {other:?}"),
+        }
+        let miss = pipeline.submit(lookup("never inserted")).unwrap().wait();
+        assert!(matches!(
+            miss,
+            ServeReply::Outcome(CacheDecisionOutcome::Miss)
+        ));
+        pipeline.shutdown();
+        assert_eq!(
+            pipeline.submit(ServeRequest::Stats).map(|_| ()),
+            Err(SubmitError::ShutDown)
+        );
+    }
+
+    #[test]
+    fn control_plane_orders_with_lookups() {
+        let pipeline = ServePipeline::start(cache(2), &ServeConfig::default());
+        pipeline
+            .submit(ServeRequest::Insert {
+                query: "how do I bake sourdough bread".into(),
+                response: "Ferment overnight.".into(),
+                context: Vec::new(),
+            })
+            .unwrap()
+            .wait();
+        // Stats sees the insert (total order through the queue).
+        let stats = match pipeline.submit(ServeRequest::Stats).unwrap().wait() {
+            ServeReply::Stats(snapshot) => snapshot,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.inserts, 1);
+        // Threshold update applies to later lookups; invalid ones fail.
+        assert_eq!(
+            pipeline
+                .submit(ServeRequest::SetThreshold(0.99))
+                .unwrap()
+                .wait(),
+            ServeReply::Ack
+        );
+        assert!(matches!(
+            pipeline
+                .submit(ServeRequest::SetThreshold(7.0))
+                .unwrap()
+                .wait(),
+            ServeReply::Failed(_)
+        ));
+        // Flush empties; the lookup ordered after it misses.
+        assert_eq!(
+            pipeline.submit(ServeRequest::Flush).unwrap().wait(),
+            ServeReply::Flushed(1)
+        );
+        let after = pipeline
+            .submit(lookup("how do I bake sourdough bread"))
+            .unwrap()
+            .wait();
+        assert!(matches!(
+            after,
+            ServeReply::Outcome(CacheDecisionOutcome::Miss)
+        ));
+        // And the flushed cache kept the updated threshold.
+        let stats = match pipeline.submit(ServeRequest::Stats).unwrap().wait() {
+            ServeReply::Stats(snapshot) => snapshot,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert_eq!(stats.entries, 0);
+        assert!((stats.threshold - 0.99).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,566 @@
+//! The wire protocol: length-prefixed frames over a byte stream, with a
+//! hand-rolled little-endian binary codec for requests and responses.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! ┌───────────────┬──────────────────────────┐
+//! │ len: u32 LE   │ payload (len bytes)      │
+//! └───────────────┴──────────────────────────┘
+//! payload := opcode: u8, fields...
+//! str     := len: u32 LE, utf-8 bytes
+//! [str]   := count: u32 LE, count × str
+//! ```
+//!
+//! One request or response per frame. Clients may pipeline: a server
+//! processes a connection's frames in order and writes responses in the
+//! same order, so no sequence numbers are needed. Frames above
+//! [`MAX_FRAME_LEN`] are rejected before allocation (a malformed or hostile
+//! length prefix must not OOM the server).
+
+use std::io::{self, Read, Write};
+
+use meancache::{CacheDecisionOutcome, CacheHit};
+
+/// Upper bound on a frame payload (16 MiB): far above any legitimate
+/// query/response, far below an allocation-of-death.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Decoding failure: the peer sent bytes this protocol does not speak.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Payload ended before the announced structure did.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// Payload had bytes left over after a complete message.
+    TrailingBytes,
+    /// A frame length exceeded [`MAX_FRAME_LEN`].
+    Oversize(usize),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Truncated => write!(f, "frame payload truncated"),
+            ProtocolError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtocolError::BadUtf8 => write!(f, "string field is not valid utf-8"),
+            ProtocolError::TrailingBytes => write!(f, "frame has trailing bytes"),
+            ProtocolError::Oversize(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<ProtocolError> for io::Error {
+    fn from(e: ProtocolError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / admission check.
+    Ping,
+    /// Semantic lookup.
+    Lookup {
+        /// The query text.
+        query: String,
+        /// Conversation context, most recent turn last.
+        context: Vec<String>,
+    },
+    /// Store a (query, response) pair.
+    Insert {
+        /// The query text.
+        query: String,
+        /// The response to cache.
+        response: String,
+        /// Conversation context, most recent turn last.
+        context: Vec<String>,
+    },
+    /// Fetch a stats snapshot.
+    Stats,
+    /// Replace the cosine threshold τ.
+    SetThreshold(f32),
+    /// Drop all cached entries.
+    Flush,
+    /// Ask the server process to shut down gracefully.
+    Shutdown,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Lookup found nothing servable.
+    Miss,
+    /// Lookup hit.
+    Hit {
+        /// Public id of the serving entry.
+        entry_id: u64,
+        /// Cosine similarity of the match.
+        score: f32,
+        /// Whether the entry is a contextual (follow-up) entry.
+        contextual: bool,
+        /// The cached response text.
+        response: String,
+    },
+    /// Insert succeeded with this entry id.
+    Inserted(u64),
+    /// Stats snapshot, JSON-encoded ([`crate::stats::ServeStatsSnapshot`]).
+    Stats(String),
+    /// Control command acknowledged.
+    Ack,
+    /// Flush completed; this many entries were dropped.
+    Flushed(u64),
+    /// The request failed (human-readable reason).
+    Error(String),
+    /// Backpressure: the admission queue (or connection budget) is full.
+    /// Back off and retry.
+    Busy,
+    /// Reply to [`Request::Ping`].
+    Pong,
+}
+
+// ---- frame transport -------------------------------------------------------
+
+/// Writes one `len ∥ payload` frame.
+///
+/// # Errors
+/// Propagates transport errors; refuses payloads above [`MAX_FRAME_LEN`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    append_frame_checked(w, payload)
+}
+
+/// Appends one frame to a buffered writer/byte vector (the response writer
+/// coalesces several frames into one `write_all`).
+fn append_frame_checked(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(ProtocolError::Oversize(payload.len()).into());
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame's payload. `Ok(None)` means the peer closed the stream
+/// cleanly at a frame boundary; EOF mid-frame is an error.
+///
+/// # Errors
+/// Transport errors, EOF inside a frame, or a length prefix above
+/// [`MAX_FRAME_LEN`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < len_buf.len() {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside a frame length prefix",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::Oversize(len).into());
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---- payload codec ---------------------------------------------------------
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_strs(buf: &mut Vec<u8>, items: &[String]) {
+    buf.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for item in items {
+        put_str(buf, item);
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self.at.checked_add(n).ok_or(ProtocolError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ProtocolError::Truncated);
+        }
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f32(&mut self) -> Result<f32, ProtocolError> {
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn str(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8)
+    }
+
+    fn strs(&mut self) -> Result<Vec<String>, ProtocolError> {
+        let count = self.u32()? as usize;
+        // Cap pre-allocation by what the remaining bytes could possibly
+        // hold (each string costs ≥ 4 bytes of length prefix).
+        let mut items = Vec::with_capacity(count.min(self.bytes.len() / 4 + 1));
+        for _ in 0..count {
+            items.push(self.str()?);
+        }
+        Ok(items)
+    }
+
+    fn finish(&self) -> Result<(), ProtocolError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::TrailingBytes)
+        }
+    }
+}
+
+mod op {
+    pub const PING: u8 = 0x01;
+    pub const LOOKUP: u8 = 0x02;
+    pub const INSERT: u8 = 0x03;
+    pub const STATS: u8 = 0x04;
+    pub const SET_THRESHOLD: u8 = 0x05;
+    pub const FLUSH: u8 = 0x06;
+    pub const SHUTDOWN: u8 = 0x07;
+
+    pub const MISS: u8 = 0x80;
+    pub const HIT: u8 = 0x81;
+    pub const INSERTED: u8 = 0x82;
+    pub const STATS_REPLY: u8 = 0x83;
+    pub const ACK: u8 = 0x84;
+    pub const FLUSHED: u8 = 0x85;
+    pub const ERROR: u8 = 0x86;
+    pub const BUSY: u8 = 0x87;
+    pub const PONG: u8 = 0x88;
+}
+
+/// Encodes a lookup request payload straight from borrowed parts — the
+/// allocation-free path pipelining clients use to build request windows
+/// (`Request::encode` would clone both strings first).
+pub fn encode_lookup(buf: &mut Vec<u8>, query: &str, context: &[String]) {
+    buf.push(op::LOOKUP);
+    put_str(buf, query);
+    put_strs(buf, context);
+}
+
+impl Request {
+    /// Encodes the request payload (frame it with [`write_frame`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Ping => buf.push(op::PING),
+            Request::Lookup { query, context } => {
+                buf.push(op::LOOKUP);
+                put_str(&mut buf, query);
+                put_strs(&mut buf, context);
+            }
+            Request::Insert {
+                query,
+                response,
+                context,
+            } => {
+                buf.push(op::INSERT);
+                put_str(&mut buf, query);
+                put_str(&mut buf, response);
+                put_strs(&mut buf, context);
+            }
+            Request::Stats => buf.push(op::STATS),
+            Request::SetThreshold(t) => {
+                buf.push(op::SET_THRESHOLD);
+                buf.extend_from_slice(&t.to_le_bytes());
+            }
+            Request::Flush => buf.push(op::FLUSH),
+            Request::Shutdown => buf.push(op::SHUTDOWN),
+        }
+        buf
+    }
+
+    /// Decodes a request payload.
+    ///
+    /// # Errors
+    /// [`ProtocolError`] on malformed bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let mut cursor = Cursor::new(payload);
+        let request = match cursor.u8()? {
+            op::PING => Request::Ping,
+            op::LOOKUP => Request::Lookup {
+                query: cursor.str()?,
+                context: cursor.strs()?,
+            },
+            op::INSERT => Request::Insert {
+                query: cursor.str()?,
+                response: cursor.str()?,
+                context: cursor.strs()?,
+            },
+            op::STATS => Request::Stats,
+            op::SET_THRESHOLD => Request::SetThreshold(cursor.f32()?),
+            op::FLUSH => Request::Flush,
+            op::SHUTDOWN => Request::Shutdown,
+            other => return Err(ProtocolError::BadOpcode(other)),
+        };
+        cursor.finish()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Encodes the response payload (frame it with [`write_frame`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Miss => buf.push(op::MISS),
+            Response::Hit {
+                entry_id,
+                score,
+                contextual,
+                response,
+            } => {
+                buf.push(op::HIT);
+                buf.extend_from_slice(&entry_id.to_le_bytes());
+                buf.extend_from_slice(&score.to_le_bytes());
+                buf.push(u8::from(*contextual));
+                put_str(&mut buf, response);
+            }
+            Response::Inserted(id) => {
+                buf.push(op::INSERTED);
+                buf.extend_from_slice(&id.to_le_bytes());
+            }
+            Response::Stats(json) => {
+                buf.push(op::STATS_REPLY);
+                put_str(&mut buf, json);
+            }
+            Response::Ack => buf.push(op::ACK),
+            Response::Flushed(n) => {
+                buf.push(op::FLUSHED);
+                buf.extend_from_slice(&n.to_le_bytes());
+            }
+            Response::Error(message) => {
+                buf.push(op::ERROR);
+                put_str(&mut buf, message);
+            }
+            Response::Busy => buf.push(op::BUSY),
+            Response::Pong => buf.push(op::PONG),
+        }
+        buf
+    }
+
+    /// Decodes a response payload.
+    ///
+    /// # Errors
+    /// [`ProtocolError`] on malformed bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let mut cursor = Cursor::new(payload);
+        let response = match cursor.u8()? {
+            op::MISS => Response::Miss,
+            op::HIT => Response::Hit {
+                entry_id: cursor.u64()?,
+                score: cursor.f32()?,
+                contextual: cursor.u8()? != 0,
+                response: cursor.str()?,
+            },
+            op::INSERTED => Response::Inserted(cursor.u64()?),
+            op::STATS_REPLY => Response::Stats(cursor.str()?),
+            op::ACK => Response::Ack,
+            op::FLUSHED => Response::Flushed(cursor.u64()?),
+            op::ERROR => Response::Error(cursor.str()?),
+            op::BUSY => Response::Busy,
+            op::PONG => Response::Pong,
+            other => return Err(ProtocolError::BadOpcode(other)),
+        };
+        cursor.finish()?;
+        Ok(response)
+    }
+
+    /// The wire form of a lookup outcome.
+    pub fn from_outcome(outcome: &CacheDecisionOutcome) -> Self {
+        match outcome.hit() {
+            Some(hit) => Response::Hit {
+                entry_id: hit.entry_id,
+                score: hit.score,
+                contextual: hit.contextual,
+                response: hit.response.clone(),
+            },
+            None => Response::Miss,
+        }
+    }
+
+    /// Reassembles a lookup outcome from its wire form (`None` when the
+    /// response is not a lookup outcome at all).
+    pub fn into_outcome(self) -> Option<CacheDecisionOutcome> {
+        match self {
+            Response::Miss => Some(CacheDecisionOutcome::Miss),
+            Response::Hit {
+                entry_id,
+                score,
+                contextual,
+                response,
+            } => Some(CacheDecisionOutcome::Hit(CacheHit {
+                entry_id,
+                response,
+                score,
+                contextual,
+            })),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_the_codec() {
+        let cases = vec![
+            Request::Ping,
+            Request::Lookup {
+                query: "how do I bake sourdough bread — überhaupt?".into(),
+                context: vec!["先に".into(), String::new(), "x".repeat(10_000)],
+            },
+            Request::Insert {
+                query: "q".into(),
+                response: "r\n\0 with nulls and \u{1F980} emoji".into(),
+                context: Vec::new(),
+            },
+            Request::Stats,
+            Request::SetThreshold(0.725),
+            Request::Flush,
+            Request::Shutdown,
+        ];
+        for request in cases {
+            let decoded = Request::decode(&request.encode()).unwrap();
+            assert_eq!(request, decoded);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_codec() {
+        let cases = vec![
+            Response::Miss,
+            Response::Hit {
+                entry_id: u64::MAX - 3,
+                score: 0.993,
+                contextual: true,
+                response: "cached — with ünïcode".into(),
+            },
+            Response::Inserted(42),
+            Response::Stats("{\"entries\":7}".into()),
+            Response::Ack,
+            Response::Flushed(10_000),
+            Response::Error("no".into()),
+            Response::Busy,
+            Response::Pong,
+        ];
+        for response in cases {
+            let decoded = Response::decode(&response.encode()).unwrap();
+            assert_eq!(response, decoded);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected_not_misread() {
+        assert_eq!(Request::decode(&[]), Err(ProtocolError::Truncated));
+        assert_eq!(
+            Request::decode(&[0x7f]),
+            Err(ProtocolError::BadOpcode(0x7f))
+        );
+        // Truncated string length.
+        assert_eq!(
+            Request::decode(&[super::op::LOOKUP, 9, 0, 0, 0, b'a']),
+            Err(ProtocolError::Truncated)
+        );
+        // Trailing garbage after a complete message.
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0);
+        assert_eq!(Request::decode(&bytes), Err(ProtocolError::TrailingBytes));
+        // Invalid UTF-8 in a string field.
+        let mut bytes = vec![super::op::ERROR];
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(Response::decode(&bytes), Err(ProtocolError::BadUtf8));
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean_only_at_boundaries() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"alpha").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"omega").unwrap();
+        let mut reader = &wire[..];
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"alpha");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"omega");
+        assert!(read_frame(&mut reader).unwrap().is_none());
+        // EOF inside a length prefix or payload is an error.
+        let mut truncated = &wire[..2];
+        assert!(read_frame(&mut truncated).is_err());
+        let mut cut_payload = &wire[..6];
+        assert!(read_frame(&mut cut_payload).is_err());
+        // A hostile length prefix is refused before allocation.
+        let hostile = (u32::MAX).to_le_bytes();
+        let mut reader = &hostile[..];
+        assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn outcomes_survive_the_wire() {
+        let hit = CacheDecisionOutcome::Hit(CacheHit {
+            entry_id: 17,
+            response: "resp".into(),
+            score: 0.84,
+            contextual: false,
+        });
+        let wire = Response::from_outcome(&hit);
+        assert_eq!(wire.into_outcome().unwrap(), hit);
+        let miss = CacheDecisionOutcome::Miss;
+        assert_eq!(Response::from_outcome(&miss).into_outcome().unwrap(), miss);
+        assert!(Response::Ack.into_outcome().is_none());
+    }
+}

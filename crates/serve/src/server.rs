@@ -1,0 +1,399 @@
+//! The TCP serving front: a listener thread admitting connections onto a
+//! fixed [`WorkerPool`], one reader + one writer job per connection, all
+//! cache work delegated to the [`ServePipeline`].
+//!
+//! ## Connection admission
+//!
+//! The pool holds exactly `2 × max_connections` threads, so the thread
+//! budget *is* the admission limit: a connection beyond it would starve the
+//! pool, so it is refused immediately with a [`Response::Busy`] frame —
+//! connection-level backpressure, mirroring the per-request shedding the
+//! admission queue does.
+//!
+//! ## Response ordering and coalescing
+//!
+//! The reader submits requests in arrival order and hands their tickets to
+//! the writer through a FIFO channel, so responses leave in submission
+//! order — pipelining clients need no sequence numbers. The writer blocks
+//! on the *oldest* unresolved ticket, then opportunistically appends every
+//! already-resolved successor into the same `write_all`: when the batcher
+//! resolves a whole micro-batch at once, a window of responses leaves in
+//! one syscall.
+//!
+//! ## Graceful shutdown
+//!
+//! [`ServerHandle::shutdown`] (or a client's [`Request::Shutdown`] followed
+//! by [`ServerHandle::wait`]) stops accepting, closes the pipeline — which
+//! drains every admitted request and resolves its ticket — then unblocks
+//! connection readers by shutting down the read half of each socket and
+//! joins the pool. In-flight requests are answered; only *new* work is
+//! refused.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use meancache::ShardedCache;
+use rayon::WorkerPool;
+
+use crate::pipeline::{ServeConfig, ServePipeline, ServeReply, ServeRequest};
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::queue::SubmitError;
+use crate::Ticket;
+
+/// What the reader hands the writer for one request, in submission order.
+enum Out {
+    /// A protocol-level response that never entered the pipeline.
+    Ready(Response),
+    /// A pipeline ticket still resolving.
+    Pending(Ticket),
+}
+
+struct ServerShared {
+    pipeline: ServePipeline,
+    pool: WorkerPool,
+    stop: AtomicBool,
+    stop_lock: Mutex<()>,
+    stop_signal: Condvar,
+    /// Read-half handles of live connections, force-shut on server
+    /// shutdown so blocked readers wake with EOF.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+    active: AtomicUsize,
+    max_connections: usize,
+    local_addr: SocketAddr,
+}
+
+impl ServerShared {
+    /// Flags the server for shutdown and wakes whoever is parked in
+    /// [`ServerHandle::wait`]; also nudges the accept loop out of its
+    /// blocking `accept`. Never joins anything — safe to call from a pool
+    /// thread (the `Shutdown` request handler).
+    fn request_stop(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            let _guard = self.stop_lock.lock().expect("stop lock poisoned");
+            self.stop_signal.notify_all();
+            drop(_guard);
+            // Unblock `accept` with a throwaway connection.
+            let _ = TcpStream::connect(nudge_addr(self.local_addr));
+        }
+    }
+}
+
+/// The address to self-connect to when unblocking `accept`: the bound
+/// address, with unspecified IPs (`0.0.0.0` / `::`) rewritten to loopback.
+fn nudge_addr(bound: SocketAddr) -> SocketAddr {
+    let ip = match bound.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        other => other,
+    };
+    SocketAddr::new(ip, bound.port())
+}
+
+/// The serving front-end. Construct with [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), takes ownership of
+    /// `cache`, and starts serving: accept thread + connection pool +
+    /// micro-batching pipeline. Returns a handle owning the lifecycle.
+    ///
+    /// # Errors
+    /// Propagates socket errors from binding.
+    pub fn start(
+        cache: ShardedCache,
+        config: &ServeConfig,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let max_connections = config.max_connections.max(1);
+        let shared = Arc::new(ServerShared {
+            pipeline: ServePipeline::start(cache, config),
+            pool: WorkerPool::new("mc-serve-conn", 2 * max_connections),
+            stop: AtomicBool::new(false),
+            stop_lock: Mutex::new(()),
+            stop_signal: Condvar::new(),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            max_connections,
+            local_addr,
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mc-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("accept thread spawn failed")
+        };
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// Owns a running server's lifecycle: its address, its shutdown, its join.
+pub struct ServerHandle {
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (the actual port when bound with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Admission-queue depth right now (diagnostics).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.pipeline.queue_depth()
+    }
+
+    /// Blocks until some client sends [`Request::Shutdown`], then runs the
+    /// graceful teardown. The `serve` binary's main thread parks here.
+    pub fn wait(mut self) {
+        let mut guard = self.shared.stop_lock.lock().expect("stop lock poisoned");
+        while !self.shared.stop.load(Ordering::SeqCst) {
+            guard = self
+                .shared
+                .stop_signal
+                .wait(guard)
+                .expect("stop lock poisoned");
+        }
+        drop(guard);
+        self.finish();
+    }
+
+    /// Graceful shutdown: stop accepting, drain the pipeline (every
+    /// admitted request is answered), unblock and join all connection
+    /// jobs.
+    pub fn shutdown(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        self.shared.request_stop();
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread panicked");
+        }
+        // Drain in-flight work first: every ticket resolves, writers flush
+        // the responses out before their channels hang up.
+        self.shared.pipeline.shutdown();
+        // Now unblock readers parked on idle sockets. Only the read half is
+        // shut down — writers may still be flushing final responses.
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conn registry poisoned"));
+        for (_, stream) in conns {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        self.shared.pool.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.finish();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        admit(stream, shared);
+    }
+}
+
+fn admit(stream: TcpStream, shared: &Arc<ServerShared>) {
+    // Reserve a connection slot; refuse with a Busy frame when the budget
+    // (== half the pool) is spent. `fetch_update` keeps racing accepts from
+    // overshooting the limit.
+    let admitted = shared
+        .active
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |active| {
+            (active < shared.max_connections).then_some(active + 1)
+        })
+        .is_ok();
+    if !admitted {
+        let mut stream = stream;
+        let _ = write_frame(&mut stream, &Response::Busy.encode());
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    // Bound every response write: a client that stops reading (full TCP
+    // send buffer) would otherwise park its writer in `write_all` forever
+    // and make pool shutdown unjoinable. A stalled-past-the-timeout
+    // consumer is treated as dead and its connection dropped.
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(5)));
+    // Three handles onto one socket: reader, writer, and a registry handle
+    // the shutdown path uses to wake a parked reader.
+    let (reader_stream, registry_stream) = match (stream.try_clone(), stream.try_clone()) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+    };
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+    shared
+        .conns
+        .lock()
+        .expect("conn registry poisoned")
+        .insert(conn_id, registry_stream);
+    let (tx, rx) = mpsc::channel::<Out>();
+    let writer_stream = stream;
+    shared.pool.spawn(move || write_loop(writer_stream, &rx));
+    let shared_for_reader = Arc::clone(shared);
+    shared
+        .pool
+        .spawn(move || read_loop(reader_stream, &tx, &shared_for_reader, conn_id));
+}
+
+/// Releases a connection's admission slot (registry entry + active count)
+/// however the reader exits — including a panic unwinding through the
+/// pool's `catch_unwind`, which would otherwise leak the slot until every
+/// new connection is refused `Busy`.
+struct ConnSlot<'a> {
+    shared: &'a ServerShared,
+    conn_id: u64,
+}
+
+impl Drop for ConnSlot<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut conns) = self.shared.conns.lock() {
+            conns.remove(&self.conn_id);
+        }
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Per-connection reader: decode frames in order, submit to the pipeline,
+/// hand each request's ticket (or immediate response) to the writer.
+/// Reads are buffered: a pipelining client's whole window arrives in one
+/// socket read instead of two syscalls per frame.
+fn read_loop(stream: TcpStream, tx: &mpsc::Sender<Out>, shared: &ServerShared, conn_id: u64) {
+    let _slot = ConnSlot { shared, conn_id };
+    let mut stream = io::BufReader::new(stream);
+    // Errors and clean EOF both end the connection.
+    while let Ok(Some(payload)) = read_frame(&mut stream) {
+        let out = match Request::decode(&payload) {
+            Err(e) => {
+                // Answer the protocol error, then hang up: framing is no
+                // longer trustworthy.
+                let _ = tx.send(Out::Ready(Response::Error(e.to_string())));
+                break;
+            }
+            Ok(Request::Ping) => Out::Ready(Response::Pong),
+            Ok(Request::Shutdown) => {
+                let _ = tx.send(Out::Ready(Response::Ack));
+                shared.request_stop();
+                break;
+            }
+            Ok(request) => {
+                let serve_request = match request {
+                    Request::Lookup { query, context } => ServeRequest::Lookup { query, context },
+                    Request::Insert {
+                        query,
+                        response,
+                        context,
+                    } => ServeRequest::Insert {
+                        query,
+                        response,
+                        context,
+                    },
+                    Request::Stats => ServeRequest::Stats,
+                    Request::SetThreshold(t) => ServeRequest::SetThreshold(t),
+                    Request::Flush => ServeRequest::Flush,
+                    Request::Ping | Request::Shutdown => unreachable!("handled above"),
+                };
+                match shared.pipeline.submit(serve_request) {
+                    Ok(ticket) => Out::Pending(ticket),
+                    Err(SubmitError::Overloaded) => Out::Ready(Response::Busy),
+                    Err(SubmitError::ShutDown) => {
+                        Out::Ready(Response::Error("server is shutting down".into()))
+                    }
+                }
+            }
+        };
+        if tx.send(out).is_err() {
+            break; // writer is gone (socket error)
+        }
+    }
+    // Dropping `tx` (by returning) lets the writer drain and exit;
+    // `_slot`'s Drop releases the admission slot.
+}
+
+/// Per-connection writer: responses leave in submission order; everything
+/// already resolved behind the head-of-line response is coalesced into the
+/// same `write_all`.
+fn write_loop(mut stream: TcpStream, rx: &mpsc::Receiver<Out>) {
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut carry: Option<Out> = None;
+    loop {
+        let head = match carry.take() {
+            Some(out) => out,
+            None => match rx.recv() {
+                Ok(out) => out,
+                Err(mpsc::RecvError) => break,
+            },
+        };
+        buf.clear();
+        let head_response = match head {
+            Out::Ready(response) => response,
+            Out::Pending(ticket) => reply_to_response(ticket.wait()),
+        };
+        if write_frame(&mut buf, &head_response.encode()).is_err() {
+            break;
+        }
+        // Coalesce: append whatever is already resolved, stop at the first
+        // response that would block (it becomes the next head).
+        loop {
+            match rx.try_recv() {
+                Ok(Out::Ready(response)) => {
+                    if write_frame(&mut buf, &response.encode()).is_err() {
+                        break;
+                    }
+                }
+                Ok(Out::Pending(ticket)) => match ticket.try_reply() {
+                    Some(reply) => {
+                        if write_frame(&mut buf, &reply_to_response(reply).encode()).is_err() {
+                            break;
+                        }
+                    }
+                    None => {
+                        carry = Some(Out::Pending(ticket));
+                        break;
+                    }
+                },
+                Err(_) => break,
+            }
+        }
+        if io::Write::write_all(&mut stream, &buf).is_err() {
+            break;
+        }
+    }
+}
+
+/// Maps a pipeline reply onto its wire form.
+fn reply_to_response(reply: ServeReply) -> Response {
+    match reply {
+        ServeReply::Outcome(outcome) => Response::from_outcome(&outcome),
+        ServeReply::Inserted(id) => Response::Inserted(id),
+        ServeReply::Stats(snapshot) => match serde_json::to_string(&*snapshot) {
+            Ok(json) => Response::Stats(json),
+            Err(_) => Response::Error("stats snapshot failed to serialise".into()),
+        },
+        ServeReply::Ack => Response::Ack,
+        ServeReply::Flushed(n) => Response::Flushed(n),
+        ServeReply::Failed(message) => Response::Error(message),
+    }
+}

@@ -1,0 +1,245 @@
+//! The serving stats plane: live atomic counters on the hot path
+//! ([`ServeMetrics`]) and the point-in-time [`ServeStatsSnapshot`] a `Stats`
+//! request returns (serialised as JSON on the wire, so dashboards and the
+//! bench harness parse one schema).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use meancache::{SemanticCache, ShardedCache};
+use serde::{Deserialize, Serialize};
+
+/// Number of batch-size histogram buckets: bucket `i` counts batches of
+/// size in `(2^(i-1), 2^i]` — i.e. 1, 2, 3–4, 5–8, … — with the last bucket
+/// absorbing everything larger.
+pub const BATCH_HIST_BUCKETS: usize = 12;
+
+/// Live counters the pipeline bumps on its hot path. All relaxed atomics:
+/// monotonic tallies, never used to synchronise other memory.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    served_hits: AtomicU64,
+    served_misses: AtomicU64,
+    inserts: AtomicU64,
+    control: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    coalesced: AtomicU64,
+    batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+}
+
+impl ServeMetrics {
+    /// A request made it into the admission queue.
+    pub fn record_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was refused because the queue was full.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A lookup was answered (`hit` says how).
+    pub fn record_served(&self, hit: bool) {
+        if hit {
+            self.served_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.served_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// An insert was executed.
+    pub fn record_insert(&self) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A control request (stats / threshold / flush) was executed.
+    pub fn record_control(&self) {
+        self.control.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` duplicate lookups in one batch were answered by a single probe
+    /// (request coalescing / singleflight).
+    pub fn record_coalesced(&self, n: u64) {
+        if n > 0 {
+            self.coalesced.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The batcher pulled a batch of `size` requests off the queue.
+    pub fn record_batch(&self, size: usize) {
+        if size == 0 {
+            return;
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        let bucket = (usize::BITS - (size - 1).leading_zeros()) as usize;
+        let bucket = bucket.min(BATCH_HIST_BUCKETS - 1);
+        self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed so far (exposed for backpressure-aware harnesses).
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time serving statistics: what the control plane's `Stats`
+/// request returns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeStatsSnapshot {
+    /// Cached entries across all shards.
+    pub entries: usize,
+    /// Shard count of the served cache.
+    pub shards: usize,
+    /// Entries per shard (occupancy skew diagnostic).
+    pub shard_occupancy: Vec<usize>,
+    /// The live cosine threshold τ.
+    pub threshold: f32,
+    /// Cache-level lookup count (includes probes from any path).
+    pub cache_lookups: u64,
+    /// Cache-level hit count.
+    pub cache_hits: u64,
+    /// `cache_hits / cache_lookups` (0 when no lookups yet).
+    pub hit_rate: f64,
+    /// Requests admitted into the pipeline.
+    pub admitted: u64,
+    /// Requests shed at the admission queue (`Overloaded`).
+    pub shed: u64,
+    /// Lookups answered with a hit by the pipeline.
+    pub served_hits: u64,
+    /// Lookups answered with a miss by the pipeline.
+    pub served_misses: u64,
+    /// Inserts executed by the pipeline.
+    pub inserts: u64,
+    /// Control requests (stats / threshold / flush) executed.
+    pub control: u64,
+    /// Duplicate lookups answered by a coalesced probe (singleflight).
+    /// Deserialises to 0 for snapshots written before this field existed.
+    #[serde(default)]
+    pub coalesced: u64,
+    /// Batches the micro-batcher formed.
+    pub batches: u64,
+    /// Mean formed-batch size (0 when no batches yet).
+    pub avg_batch: f64,
+    /// Batch-size histogram: bucket `i` counts batches of size in
+    /// `(2^(i-1), 2^i]`, last bucket open-ended.
+    pub batch_hist: Vec<u64>,
+    /// Admission-queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+}
+
+impl ServeStatsSnapshot {
+    /// Builds a snapshot from the live cache, pipeline counters and queue
+    /// state. Called on the batcher thread, so cache numbers are consistent
+    /// with every request ordered before the `Stats` request.
+    pub fn collect(
+        cache: &ShardedCache,
+        metrics: &ServeMetrics,
+        queue_depth: usize,
+        queue_capacity: usize,
+    ) -> Self {
+        let cache_stats = cache.stats();
+        let batches = metrics.batches.load(Ordering::Relaxed);
+        let batched_requests = metrics.batched_requests.load(Ordering::Relaxed);
+        Self {
+            entries: cache.len(),
+            shards: cache.shard_count(),
+            shard_occupancy: cache.shard_lens(),
+            threshold: cache.threshold(),
+            cache_lookups: cache_stats.lookups,
+            cache_hits: cache_stats.hits,
+            hit_rate: if cache_stats.lookups == 0 {
+                0.0
+            } else {
+                cache_stats.hits as f64 / cache_stats.lookups as f64
+            },
+            admitted: metrics.admitted.load(Ordering::Relaxed),
+            shed: metrics.shed.load(Ordering::Relaxed),
+            served_hits: metrics.served_hits.load(Ordering::Relaxed),
+            served_misses: metrics.served_misses.load(Ordering::Relaxed),
+            inserts: metrics.inserts.load(Ordering::Relaxed),
+            control: metrics.control.load(Ordering::Relaxed),
+            coalesced: metrics.coalesced.load(Ordering::Relaxed),
+            batches,
+            avg_batch: if batches == 0 {
+                0.0
+            } else {
+                batched_requests as f64 / batches as f64
+            },
+            batch_hist: metrics
+                .batch_hist
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            queue_depth,
+            queue_capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_histogram_buckets_are_power_of_two_ranges() {
+        let metrics = ServeMetrics::default();
+        metrics.record_batch(1); // bucket 0
+        metrics.record_batch(2); // bucket 1
+        metrics.record_batch(3); // bucket 2 (3-4)
+        metrics.record_batch(4); // bucket 2
+        metrics.record_batch(5); // bucket 3 (5-8)
+        metrics.record_batch(1 << 20); // clamped into the last bucket
+        metrics.record_batch(0); // ignored
+        let hist: Vec<u64> = metrics
+            .batch_hist
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        assert_eq!(hist[0], 1);
+        assert_eq!(hist[1], 1);
+        assert_eq!(hist[2], 2);
+        assert_eq!(hist[3], 1);
+        assert_eq!(hist[BATCH_HIST_BUCKETS - 1], 1);
+        assert_eq!(metrics.batches.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn snapshot_reports_counters_and_serialises() {
+        let encoder = mc_embedder::QueryEncoder::new(mc_embedder::ModelProfile::tiny(), 7).unwrap();
+        let mut cache = ShardedCache::new(
+            encoder,
+            meancache::MeanCacheConfig::default()
+                .with_threshold(0.6)
+                .with_shards(2),
+        )
+        .unwrap();
+        cache
+            .insert("what is federated learning", "FL.", &[])
+            .unwrap();
+        let _ = cache.lookup("what is federated learning", &[]);
+        let metrics = ServeMetrics::default();
+        metrics.record_admitted();
+        metrics.record_served(true);
+        metrics.record_batch(1);
+        metrics.record_shed();
+        let snap = ServeStatsSnapshot::collect(&cache, &metrics, 3, 64);
+        assert_eq!(snap.entries, 1);
+        assert_eq!(snap.shards, 2);
+        assert_eq!(snap.shard_occupancy.iter().sum::<usize>(), 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert!((snap.hit_rate - 1.0).abs() < 1e-9);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.queue_depth, 3);
+        assert!((snap.avg_batch - 1.0).abs() < 1e-9);
+        // Wire schema: JSON round-trip through the serde shim.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ServeStatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

@@ -1,0 +1,331 @@
+//! Integration tests for the serving subsystem: batcher equivalence,
+//! bounded-queue shedding, graceful-shutdown draining, and client/server
+//! round-trips over localhost TCP.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mc_embedder::{ModelProfile, QueryEncoder};
+use mc_serve::{
+    Client, ClientError, ServeConfig, ServePipeline, ServeReply, ServeRequest, Server, SubmitError,
+};
+use meancache::{MeanCacheConfig, SemanticCache, ShardedCache};
+
+const SEED: u64 = 7;
+
+fn cache(shards: usize) -> ShardedCache {
+    let encoder = QueryEncoder::new(ModelProfile::tiny(), SEED).unwrap();
+    ShardedCache::new(
+        encoder,
+        MeanCacheConfig::default()
+            .with_threshold(0.6)
+            .with_index(mc_store::IndexKind::flat_sq8())
+            .with_shards(shards),
+    )
+    .unwrap()
+}
+
+/// `(query, response, context)` rows to insert before probing.
+type InsertRow = (String, String, Vec<String>);
+/// `(query, context)` probes, in submission order.
+type Probe = (String, Vec<String>);
+
+/// A mixed workload: exact repeats (hits), paraphrase-ish variants, novel
+/// queries (misses), and contextual follow-ups in matching and mismatched
+/// conversations.
+fn workload() -> (Vec<InsertRow>, Vec<Probe>) {
+    let inserts: Vec<InsertRow> = (0..40)
+        .map(|i| {
+            (
+                format!("distinct serving subject number {i}"),
+                format!("cached response {i}"),
+                Vec::new(),
+            )
+        })
+        .chain(std::iter::once((
+            "change the color to red".to_string(),
+            "Pass color='red'.".to_string(),
+            vec!["distinct serving subject number 3".to_string()],
+        )))
+        .collect();
+    let probes: Vec<(String, Vec<String>)> = (0..40)
+        .map(|i| (format!("distinct serving subject number {i}"), Vec::new()))
+        .chain((0..10).map(|i| (format!("novel uncached probe {i} qzx"), Vec::new())))
+        .chain([
+            (
+                "change the color to red".to_string(),
+                vec!["distinct serving subject number 3".to_string()],
+            ),
+            (
+                "change the color to red".to_string(),
+                vec!["a wholly different conversation".to_string()],
+            ),
+        ])
+        .collect();
+    (inserts, probes)
+}
+
+/// The acceptance-criteria equivalence proof: responses produced by the
+/// micro-batched pipeline are identical — entry ids, scores, response
+/// bytes, contextual flags — to sequential `lookup` calls in submission
+/// order on an identical cache.
+#[test]
+fn batched_responses_equal_sequential_lookups_in_submission_order() {
+    let (inserts, probes) = workload();
+
+    // Reference: plain sequential lookups on an identically-built cache.
+    let mut reference = cache(4);
+    for (q, r, ctx) in &inserts {
+        reference.insert(q, r, ctx).unwrap();
+    }
+    let expected: Vec<_> = probes
+        .iter()
+        .map(|(q, ctx)| reference.lookup(q, ctx))
+        .collect();
+
+    // Pipeline under maximal batching pressure: batch up to the whole
+    // workload, generous linger so submissions pile into shared batches.
+    let mut under_test = cache(4);
+    for (q, r, ctx) in &inserts {
+        under_test.insert(q, r, ctx).unwrap();
+    }
+    let pipeline = ServePipeline::start(
+        under_test,
+        &ServeConfig {
+            max_batch: probes.len(),
+            max_wait: Duration::from_millis(20),
+            ..ServeConfig::default()
+        },
+    );
+    let tickets: Vec<_> = probes
+        .iter()
+        .map(|(q, ctx)| {
+            pipeline
+                .submit(ServeRequest::Lookup {
+                    query: q.clone(),
+                    context: ctx.clone(),
+                })
+                .unwrap()
+        })
+        .collect();
+    let got: Vec<_> = tickets
+        .iter()
+        .map(|t| match t.wait() {
+            ServeReply::Outcome(outcome) => outcome,
+            other => panic!("expected an outcome, got {other:?}"),
+        })
+        .collect();
+    assert_eq!(expected, got, "batched and sequential decisions diverged");
+    // The batcher actually batched (otherwise this test proves nothing).
+    let stats = match pipeline.submit(ServeRequest::Stats).unwrap().wait() {
+        ServeReply::Stats(snapshot) => snapshot,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert!(
+        stats.avg_batch > 1.5,
+        "expected real batches, got avg {:.2}",
+        stats.avg_batch
+    );
+    pipeline.shutdown();
+}
+
+/// Bounded admission queue: a slow consumer (artificial batch delay) lets a
+/// fast producer hit the cap, and the overflow is shed with `Overloaded` —
+/// not buffered, not blocked.
+#[test]
+fn bounded_queue_sheds_under_a_slow_consumer() {
+    let pipeline = ServePipeline::start(
+        cache(2),
+        &ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_capacity: 8,
+            batch_delay: Duration::from_millis(30),
+            ..ServeConfig::default()
+        },
+    );
+    let mut accepted = Vec::new();
+    let mut shed = 0;
+    for i in 0..64 {
+        match pipeline.submit(ServeRequest::Lookup {
+            query: format!("probe {i}"),
+            context: Vec::new(),
+        }) {
+            Ok(ticket) => accepted.push(ticket),
+            Err(SubmitError::Overloaded) => shed += 1,
+            Err(other) => panic!("unexpected submit error {other:?}"),
+        }
+    }
+    assert!(shed > 0, "a 30ms/op consumer must shed a burst of 64");
+    assert!(
+        accepted.len() >= 8,
+        "the queue capacity itself must be admitted"
+    );
+    // Everything admitted still resolves (shedding loses only the shed).
+    for ticket in &accepted {
+        assert!(matches!(ticket.wait(), ServeReply::Outcome(_)));
+    }
+    assert_eq!(pipeline.metrics().shed_count(), shed as u64);
+    pipeline.shutdown();
+}
+
+/// Graceful shutdown drains: every ticket admitted before `shutdown` is
+/// resolved, and submissions after it fail with `ShutDown`.
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let pipeline = Arc::new(ServePipeline::start(
+        cache(2),
+        &ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::ZERO,
+            queue_capacity: 1024,
+            batch_delay: Duration::from_millis(2), // keep a backlog alive
+            ..ServeConfig::default()
+        },
+    ));
+    let tickets: Vec<_> = (0..100)
+        .map(|i| {
+            pipeline
+                .submit(ServeRequest::Lookup {
+                    query: format!("drain probe {i}"),
+                    context: Vec::new(),
+                })
+                .unwrap()
+        })
+        .collect();
+    // Shut down while the backlog is (almost certainly) non-empty.
+    pipeline.shutdown();
+    for (i, ticket) in tickets.iter().enumerate() {
+        assert!(
+            matches!(ticket.wait(), ServeReply::Outcome(_)),
+            "ticket {i} must resolve across shutdown"
+        );
+    }
+    assert!(matches!(
+        pipeline.submit(ServeRequest::Stats),
+        Err(SubmitError::ShutDown)
+    ));
+}
+
+/// Full client/server round-trip over localhost TCP: inserts, hits, misses,
+/// contextual decisions, control plane, pipelining, graceful shutdown.
+#[test]
+fn client_server_round_trip_over_localhost() {
+    let (inserts, probes) = workload();
+    let mut reference = cache(4);
+    for (q, r, ctx) in &inserts {
+        reference.insert(q, r, ctx).unwrap();
+    }
+    let expected: Vec<_> = probes
+        .iter()
+        .map(|(q, ctx)| reference.lookup(q, ctx))
+        .collect();
+
+    let handle = Server::start(cache(4), &ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    for (q, r, ctx) in &inserts {
+        client.insert(q, r, ctx).unwrap();
+    }
+    // Sequential lookups match the local reference decision-for-decision.
+    for ((q, ctx), want) in probes.iter().zip(&expected) {
+        let got = client.lookup(q, ctx).unwrap();
+        assert_eq!(&got, want, "probe {q:?} diverged over TCP");
+    }
+    // Pipelined lookups return the same outcomes in submission order.
+    let got = client.lookup_pipelined(&probes).unwrap();
+    assert_eq!(got, expected, "pipelined outcomes diverged");
+
+    // Control plane: stats reflect the traffic; threshold + flush apply.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.entries, inserts.len());
+    assert_eq!(stats.inserts, inserts.len() as u64);
+    assert_eq!(stats.shards, 4);
+    assert_eq!(stats.queue_capacity, ServeConfig::default().queue_capacity);
+    assert_eq!(
+        stats.served_hits + stats.served_misses,
+        2 * probes.len() as u64
+    );
+    client.set_threshold(0.95).unwrap();
+    assert!(matches!(
+        client.set_threshold(2.0),
+        Err(ClientError::Server(_))
+    ));
+    let flushed = client.flush().unwrap();
+    assert_eq!(flushed, inserts.len() as u64);
+    let outcome = client.lookup(&inserts[0].0, &[]).unwrap();
+    assert!(outcome.is_miss(), "flushed cache must miss");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.entries, 0);
+    assert!((stats.threshold - 0.95).abs() < 1e-6);
+
+    // Graceful shutdown via the wire; the server handle drains and joins.
+    client.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// A second connection beyond `max_connections` is refused with `Busy`
+/// instead of degrading the admitted one.
+#[test]
+fn connection_budget_refuses_with_busy() {
+    let handle = Server::start(
+        cache(2),
+        &ServeConfig {
+            max_connections: 1,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = handle.addr();
+    let mut first = Client::connect(addr).unwrap();
+    first.ping().unwrap();
+    // The second connection is told Busy on its first call.
+    let mut second = Client::connect(addr).unwrap();
+    match second.ping() {
+        Err(ClientError::Overloaded) => {}
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // The first connection is unaffected.
+    first.ping().unwrap();
+    drop(second);
+    handle.shutdown();
+}
+
+/// Server-side shutdown resolves all in-flight wire requests before the
+/// process lets go (drain guarantee end to end).
+#[test]
+fn server_shutdown_answers_in_flight_wire_requests() {
+    let handle = Server::start(
+        cache(2),
+        &ServeConfig {
+            max_batch: 2,
+            batch_delay: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .insert("warm entry for shutdown", "resp", &[])
+        .unwrap();
+    let probes: Vec<(String, Vec<String>)> = (0..50)
+        .map(|i| (format!("in flight probe {i}"), Vec::new()))
+        .collect();
+    // Issue a pipelined window, then shut the server down from the handle
+    // while responses are still streaming back.
+    let issuer = std::thread::spawn(move || client.lookup_pipelined(&probes).map(|o| o.len()));
+    std::thread::sleep(Duration::from_millis(5));
+    handle.shutdown();
+    // Either every response arrived (fully drained before teardown) — the
+    // common case — or the connection died *after* the drain, in which case
+    // the client sees a transport error, never a wrong answer.
+    match issuer.join().unwrap() {
+        Ok(n) => assert_eq!(n, 50),
+        Err(ClientError::Io(_)) => {}
+        Err(other) => panic!("unexpected client error: {other}"),
+    }
+}

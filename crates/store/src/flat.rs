@@ -37,11 +37,15 @@ use crate::{Result, StoreError};
 /// vectors above which lookups move to the rayon pool. Benchmarks can sweep
 /// this via [`FlatIndex::with_parallel_threshold`].
 ///
-/// Set for the vendored rayon shim, which spawns threads per call instead of
-/// keeping a pool: below ~8k rows the scan is microseconds of work and the
-/// spawn overhead dominates. Deployments linking real (pooled) rayon can
-/// lower this via `IndexKind::Flat { parallel_threshold }`.
-pub const DEFAULT_PARALLEL_SEARCH_THRESHOLD: usize = 8192;
+/// Tuned for the pooled rayon shim (a persistent worker pool since the
+/// serving PR — dispatch is a queue push + pool wakeup, single-digit µs,
+/// not thread spawn × core count, which is why this used to sit at 8192).
+/// At 64d an SQ8 scan costs roughly 15 µs per 1k rows, so from ~2k rows the
+/// split scan amortises a pool wakeup on multi-core hosts; below that the
+/// sequential scan is at worst a few µs slower than a perfectly-parallel
+/// one. Deployments can still override via
+/// `IndexKind::Flat { parallel_threshold }`.
+pub const DEFAULT_PARALLEL_SEARCH_THRESHOLD: usize = 2048;
 
 /// Contiguous embedding index supporting add / remove / top-k search.
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -403,7 +403,17 @@ mod tests {
         // must keep loading, defaulting to exact f32 rows.
         let old_flat = r#"{"Flat":{"parallel_threshold":8192}}"#;
         let kind: IndexKind = serde_json::from_str(old_flat).unwrap();
-        assert_eq!(kind, IndexKind::flat());
+        // The sidecar's own crossover value is preserved (8192 was the
+        // default before the pooled rayon shim let it come down), and the
+        // missing codec field defaults to exact f32 rows.
+        assert!(matches!(
+            kind,
+            IndexKind::Flat {
+                parallel_threshold: 8192,
+                ..
+            }
+        ));
+        assert_eq!(kind.quantization(), Quantization::F32);
         let old_ivf = r#"{"Ivf":{"nlist":0,"nprobe":8,"train_min":256,
             "retrain_growth":1.5,"kmeans_iters":8,"train_sample_per_list":64,
             "seed":31413741}}"#;
