@@ -5,7 +5,17 @@
 //! ```text
 //! bench_gate [--baseline BENCH_baseline.json] [--fresh BENCH_index.json]
 //!            [--tier 1000] [--tolerance 0.25] [--normalize]
+//! bench_gate --routing BENCH_routing.json
 //! ```
+//!
+//! `--routing PATH` switches to the **routing hit-rate gate**: instead of
+//! latency-vs-baseline, it checks a fresh `exp_routing` report's internal
+//! invariants — centroid-mode hit rate must not drop below hash-mode hit
+//! rate (overall *and* on the paraphrase slice: semantic routing earning
+//! less than stateless hashing means the centroids or pins are broken),
+//! and exact repeats must hit under every mode. Self-contained by design:
+//! hit rates are machine-independent, so no committed baseline or
+//! normalisation is needed.
 //!
 //! Rows are matched by `(backend, entries, dims)` within the gated tier
 //! (default: the 1k entries tier CI measures as its smoke run). A fresh row
@@ -29,7 +39,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mc_bench::{IndexBenchReport, IndexBenchRow};
+use mc_bench::{IndexBenchReport, IndexBenchRow, RoutingBenchReport, RoutingBenchRow};
 
 /// Key a row is matched across files by.
 fn key(row: &IndexBenchRow) -> (String, usize, usize) {
@@ -55,12 +65,89 @@ fn geomean_p50(rows: &[&IndexBenchRow]) -> f64 {
     (log_sum / rows.len() as f64).exp()
 }
 
+/// The routing hit-rate gate (`--routing`): validates an `exp_routing`
+/// report's mode ordering. See the module docs for what is checked and why
+/// it needs no baseline.
+fn routing_gate(path: &PathBuf) -> ExitCode {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let report: RoutingBenchReport = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+    let by_mode =
+        |name: &str| -> Option<&RoutingBenchRow> { report.rows.iter().find(|r| r.mode == name) };
+    let mut failures = Vec::new();
+    let (Some(hash), Some(centroid)) = (by_mode("hash"), by_mode("centroid")) else {
+        eprintln!(
+            "bench_gate: {} is missing the hash and/or centroid row",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "bench_gate: routing hit-rate gate over {} ({} entries, {} shards, {} probes)",
+        path.display(),
+        report.entries,
+        report.shards,
+        report.probes
+    );
+    for row in &report.rows {
+        println!(
+            "  {:<14} hit {:.3}  paraphrase {:.3}  exact {:.3}  p50 {:>7.1}us",
+            row.mode, row.hit_rate, row.paraphrase_hit_rate, row.exact_hit_rate, row.p50_us
+        );
+        if (row.exact_hit_rate - 1.0).abs() > 1e-9 {
+            failures.push(format!(
+                "{}: exact repeats must always hit (got {:.3})",
+                row.mode, row.exact_hit_rate
+            ));
+        }
+    }
+    if centroid.hit_rate + 1e-9 < hash.hit_rate {
+        failures.push(format!(
+            "centroid hit rate {:.3} dropped below hash {:.3} — semantic routing \
+             must not lose to stateless hashing on the paraphrase workload",
+            centroid.hit_rate, hash.hit_rate
+        ));
+    }
+    if centroid.paraphrase_hit_rate + 1e-9 < hash.paraphrase_hit_rate {
+        failures.push(format!(
+            "centroid paraphrase hit rate {:.3} dropped below hash {:.3}",
+            centroid.paraphrase_hit_rate, hash.paraphrase_hit_rate
+        ));
+    }
+    if let (Some(scatter), Some(unsharded)) = (by_mode("scatter-gather"), by_mode("unsharded")) {
+        if scatter.hit_rate + 1e-9 < unsharded.hit_rate {
+            failures.push(format!(
+                "scatter-gather hit rate {:.3} fell below the unsharded ceiling {:.3}",
+                scatter.hit_rate, unsharded.hit_rate
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench_gate: PASS — centroid ({:.3}) ≥ hash ({:.3}) on the paraphrase workload",
+            centroid.hit_rate, hash.hit_rate
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: FAIL — {} routing regression(s):",
+            failures.len()
+        );
+        for failure in &failures {
+            eprintln!("  - {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut baseline_path = PathBuf::from("BENCH_baseline.json");
     let mut fresh_path = PathBuf::from("BENCH_index.json");
     let mut tier = 1000usize;
     let mut tolerance = 0.25f64;
     let mut normalize = false;
+    let mut routing_path: Option<PathBuf> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -92,16 +179,25 @@ fn main() -> ExitCode {
                 assert!(tolerance > 0.0, "--tolerance must be positive");
             }
             "--normalize" => normalize = true,
+            "--routing" => {
+                i += 1;
+                routing_path = Some(PathBuf::from(args.get(i).expect("--routing needs a path")));
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: bench_gate [--baseline PATH] [--fresh PATH] \
-                     [--tier 1000] [--tolerance 0.25] [--normalize]"
+                     [--tier 1000] [--tolerance 0.25] [--normalize] \
+                     | bench_gate --routing PATH"
                 );
                 return ExitCode::from(2);
             }
         }
         i += 1;
+    }
+
+    if let Some(path) = routing_path {
+        return routing_gate(&path);
     }
 
     let baseline = load_report(&baseline_path);

@@ -1,0 +1,81 @@
+//! Shard-routing experiment: hash vs centroid vs scatter-gather (plus the
+//! unsharded hit-rate ceiling) on a paraphrase-heavy clustered workload,
+//! emitting the machine-readable `BENCH_routing.json`.
+//!
+//! ```text
+//! exp_routing [--entries 600] [--shards 8] [--probes 2000]
+//!             [--threshold 0.70] [--quick]
+//!             [--json BENCH_routing.json | --no-json]
+//! ```
+//!
+//! `--quick` is the CI tier (fewer entries and probes, same workload
+//! shape); the defaults reproduce the committed artifact.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut entries = 600usize;
+    let mut shards = 8usize;
+    let mut probes = 2_000usize;
+    let mut threshold = 0.70f32;
+    let mut json: Option<PathBuf> = Some(PathBuf::from("BENCH_routing.json"));
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--entries" => {
+                i += 1;
+                entries = args
+                    .get(i)
+                    .expect("--entries needs a value")
+                    .parse()
+                    .expect("--entries must be an integer");
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .expect("--shards needs a value")
+                    .parse()
+                    .expect("--shards must be an integer");
+            }
+            "--probes" => {
+                i += 1;
+                probes = args
+                    .get(i)
+                    .expect("--probes needs a value")
+                    .parse()
+                    .expect("--probes must be an integer");
+            }
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .expect("--threshold needs a value")
+                    .parse()
+                    .expect("--threshold must be a float");
+            }
+            "--quick" => {
+                entries = 150;
+                probes = 400;
+            }
+            "--json" => {
+                i += 1;
+                json = Some(PathBuf::from(args.get(i).expect("--json needs a path")));
+            }
+            "--no-json" => json = None,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: exp_routing [--entries N] [--shards N] [--probes N] \
+                     [--threshold T] [--quick] [--json PATH | --no-json]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    mc_bench::run_routing_with(entries, shards, probes, threshold, json.as_deref());
+}

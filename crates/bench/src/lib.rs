@@ -24,10 +24,12 @@
 
 pub mod concurrent;
 pub mod experiments;
+pub mod routing_bench;
 pub mod serve_bench;
 pub mod setup;
 
 pub use concurrent::*;
 pub use experiments::*;
+pub use routing_bench::*;
 pub use serve_bench::*;
 pub use setup::*;

@@ -1,0 +1,334 @@
+//! Shard-routing experiment: hash vs centroid vs scatter-gather routing on
+//! a paraphrase-heavy clustered workload, emitting `BENCH_routing.json`.
+//!
+//! The paper's one metric is semantic hit rate, and sharding for
+//! throughput quietly taxes it: under hash routing a paraphrase lands on
+//! its original's shard with probability `1/N`. This experiment measures
+//! that tax and what each semantic routing mode buys back, on the same
+//! [`TopicBank`]-derived traffic for every mode:
+//!
+//! * **exact repeats** (25%) — must hit under every mode (hash routes them
+//!   correctly; the semantic modes pin them);
+//! * **paraphrases** (50%) — the discriminating mass: same intent as a
+//!   cached entry, different surface text, so hash routing scatters them
+//!   across shards while centroid routing follows the embedding and
+//!   scatter-gather searches everywhere;
+//! * **novel queries** (25%) — must miss; they price the full-scan path.
+//!
+//! An unsharded single-cache row rides along as the hit-rate ceiling (what
+//! a `shards = 1` deployment would achieve). Alongside hit rates the
+//! harness records p50/p99 lookup latency and throughput, so the
+//! hit-rate-vs-latency trade is a measured table, not an assertion: expect
+//! scatter-gather to match the ceiling at `N×` the per-probe index work,
+//! and centroid routing to sit close to the ceiling at hash-mode cost.
+//!
+//! CI runs the `--quick` tier and gates `bench_gate --routing` on
+//! centroid-vs-hash hit rate; the committed `BENCH_routing.json` records
+//! the full tier.
+
+use std::path::Path;
+use std::time::Instant;
+
+use mc_embedder::{ModelProfile, QueryEncoder};
+use mc_metrics::Table;
+use mc_workloads::TopicBank;
+use meancache::{MeanCacheConfig, RoutingMode, SemanticCache, ShardedCache};
+
+use crate::experiments::percentile;
+use crate::setup::EXPERIMENT_SEED;
+
+/// One routing configuration's measurement.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RoutingBenchRow {
+    /// Routing mode name (`hash` / `centroid` / `scatter-gather`), or
+    /// `unsharded` for the single-cache ceiling row.
+    pub mode: String,
+    /// Hit rate over the whole probe mix.
+    pub hit_rate: f64,
+    /// Hit rate over the paraphrase probes alone (the metric sharding
+    /// taxes).
+    pub paraphrase_hit_rate: f64,
+    /// Hit rate over the exact-repeat probes alone (must be 1.0 for every
+    /// mode).
+    pub exact_hit_rate: f64,
+    /// False-hit rate over the novel probes (novel queries that were
+    /// served anyway — should be ~0 at a sane threshold).
+    pub novel_hit_rate: f64,
+    /// Median per-lookup latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-lookup latency in microseconds.
+    pub p99_us: f64,
+    /// Closed-loop single-thread throughput (lookups/sec).
+    pub ops_per_sec: f64,
+}
+
+/// Machine-readable output of [`run_routing_with`], persisted as
+/// `BENCH_routing.json`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RoutingBenchReport {
+    /// Cached entries (one per topic; every entry is a paraphrase family's
+    /// canonical phrasing).
+    pub entries: usize,
+    /// Shard count of the sharded rows.
+    pub shards: usize,
+    /// Probes issued per mode.
+    pub probes: usize,
+    /// Cosine threshold τ.
+    pub threshold: f32,
+    /// One row per measured configuration.
+    pub rows: Vec<RoutingBenchRow>,
+}
+
+/// What kind of traffic one probe is, for per-class hit accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeKind {
+    Exact,
+    Paraphrase,
+    Novel,
+}
+
+/// Builds the cached texts (one canonical phrasing per topic) and the
+/// probe mix over them. Deterministic, identical for every mode.
+fn workload(
+    bank: &TopicBank,
+    entries: usize,
+    probes: usize,
+) -> (Vec<String>, Vec<(String, ProbeKind)>) {
+    let entries = entries.min(bank.len());
+    let cached: Vec<String> = (0..entries)
+        .map(|t| bank.topic(t).canonical().to_string())
+        .collect();
+    let mix = (0..probes)
+        .map(|i| match i % 4 {
+            0 => (cached[(i * 7919) % entries].clone(), ProbeKind::Exact),
+            1 | 2 => {
+                let topic = bank.topic((i * 104_729) % entries);
+                let variants = topic.variant_count();
+                if variants > 1 {
+                    (
+                        topic.paraphrase(1 + i % (variants - 1)).to_string(),
+                        ProbeKind::Paraphrase,
+                    )
+                } else {
+                    (topic.canonical().to_string(), ProbeKind::Exact)
+                }
+            }
+            _ => (
+                format!("entirely novel routing probe number {i} zzqx about nothing cached"),
+                ProbeKind::Novel,
+            ),
+        })
+        .collect();
+    (cached, mix)
+}
+
+/// Measures one cache configuration against the shared workload.
+fn run_mode(
+    mode_name: &str,
+    mut cache: ShardedCache,
+    seed_centroids: bool,
+    cached: &[String],
+    mix: &[(String, ProbeKind)],
+) -> RoutingBenchRow {
+    if seed_centroids {
+        cache
+            .seed_centroids_from_texts(cached)
+            .expect("encoder dims match their own encodings");
+    }
+    for (i, query) in cached.iter().enumerate() {
+        cache
+            .insert(query, &format!("response {i}"), &[])
+            .expect("bench insert");
+    }
+    let mut latencies_us = Vec::with_capacity(mix.len());
+    let mut hits_by_kind = [0usize; 3];
+    let mut count_by_kind = [0usize; 3];
+    let run_started = Instant::now();
+    for (query, kind) in mix {
+        let started = Instant::now();
+        let outcome = cache.lookup(query, &[]);
+        latencies_us.push(started.elapsed().as_secs_f64() * 1e6);
+        let slot = *kind as usize;
+        count_by_kind[slot] += 1;
+        if outcome.is_hit() {
+            hits_by_kind[slot] += 1;
+        }
+    }
+    let wall = run_started.elapsed().as_secs_f64();
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rate = |kind: ProbeKind| {
+        let slot = kind as usize;
+        if count_by_kind[slot] == 0 {
+            0.0
+        } else {
+            hits_by_kind[slot] as f64 / count_by_kind[slot] as f64
+        }
+    };
+    RoutingBenchRow {
+        mode: mode_name.to_string(),
+        hit_rate: hits_by_kind.iter().sum::<usize>() as f64 / mix.len() as f64,
+        paraphrase_hit_rate: rate(ProbeKind::Paraphrase),
+        exact_hit_rate: rate(ProbeKind::Exact),
+        novel_hit_rate: rate(ProbeKind::Novel),
+        p50_us: percentile(&latencies_us, 0.5),
+        p99_us: percentile(&latencies_us, 0.99),
+        ops_per_sec: mix.len() as f64 / wall.max(1e-9),
+    }
+}
+
+/// Runs the routing experiment: `entries` cached paraphrase families,
+/// `probes` mixed lookups per mode, over `shards` shards at threshold
+/// `threshold`, writing `BENCH_routing.json` to `json_path` when given.
+pub fn run_routing_with(
+    entries: usize,
+    shards: usize,
+    probes: usize,
+    threshold: f32,
+    json_path: Option<&Path>,
+) -> RoutingBenchReport {
+    let bank = TopicBank::generate(EXPERIMENT_SEED);
+    let (cached, mix) = workload(&bank, entries, probes);
+    println!(
+        "routing experiment: {} cached paraphrase families, {} probes \
+         (25% exact / 50% paraphrase / 25% novel), {shards} shards, τ = {threshold}",
+        cached.len(),
+        mix.len()
+    );
+
+    let encoder = || QueryEncoder::new(ModelProfile::tiny(), EXPERIMENT_SEED).expect("profile");
+    let config = MeanCacheConfig::default().with_threshold(threshold);
+    let sharded = |routing: RoutingMode| {
+        ShardedCache::new(
+            encoder(),
+            config.clone().with_shards(shards).with_routing(routing),
+        )
+        .expect("valid bench config")
+    };
+    let rows = vec![
+        run_mode(
+            "unsharded",
+            ShardedCache::new(encoder(), config.clone().with_shards(1)).expect("valid config"),
+            false,
+            &cached,
+            &mix,
+        ),
+        run_mode("hash", sharded(RoutingMode::Hash), false, &cached, &mix),
+        run_mode(
+            "centroid",
+            sharded(RoutingMode::Centroid),
+            true,
+            &cached,
+            &mix,
+        ),
+        run_mode(
+            "scatter-gather",
+            sharded(RoutingMode::ScatterGather),
+            false,
+            &cached,
+            &mix,
+        ),
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "Shard routing on the paraphrase workload ({} entries, {} shards)",
+            cached.len(),
+            shards
+        ),
+        &[
+            "mode",
+            "hit rate",
+            "paraphrase",
+            "exact",
+            "novel(false)",
+            "p50 us",
+            "p99 us",
+            "lookups/s",
+        ],
+    );
+    for row in &rows {
+        table.add_row(&[
+            row.mode.clone(),
+            format!("{:.3}", row.hit_rate),
+            format!("{:.3}", row.paraphrase_hit_rate),
+            format!("{:.3}", row.exact_hit_rate),
+            format!("{:.3}", row.novel_hit_rate),
+            format!("{:.1}", row.p50_us),
+            format!("{:.1}", row.p99_us),
+            format!("{:.0}", row.ops_per_sec),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let report = RoutingBenchReport {
+        entries: cached.len(),
+        shards,
+        probes: mix.len(),
+        threshold,
+        rows,
+    };
+    if let Some(path) = json_path {
+        let json = serde_json::to_string(&report).expect("report serialises");
+        std::fs::write(path, json).expect("BENCH_routing.json is writable");
+        println!("wrote {}", path.display());
+    }
+    report
+}
+
+/// The full experiment at the committed-artifact configuration.
+pub fn run_routing() {
+    run_routing_with(600, 8, 2_000, 0.70, Some(Path::new("BENCH_routing.json")));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_routing_run_reports_every_mode_and_the_expected_ordering() {
+        let report = run_routing_with(60, 4, 160, 0.70, None);
+        assert_eq!(report.rows.len(), 4);
+        let by_mode = |name: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.mode == name)
+                .unwrap_or_else(|| panic!("row {name} missing"))
+        };
+        let unsharded = by_mode("unsharded");
+        let hash = by_mode("hash");
+        let centroid = by_mode("centroid");
+        let scatter = by_mode("scatter-gather");
+        // Exact repeats hit under every mode.
+        for row in &report.rows {
+            assert!(
+                (row.exact_hit_rate - 1.0).abs() < 1e-9,
+                "{}: exact repeats must always hit",
+                row.mode
+            );
+            assert!(row.p99_us >= row.p50_us, "{}: percentile order", row.mode);
+            assert!(row.ops_per_sec > 0.0);
+        }
+        // The headline ordering the tentpole exists for: hash pays the
+        // paraphrase tax, the semantic modes win it back.
+        assert!(
+            hash.paraphrase_hit_rate < unsharded.paraphrase_hit_rate,
+            "hash routing must show the paraphrase tax \
+             (hash {} vs unsharded {})",
+            hash.paraphrase_hit_rate,
+            unsharded.paraphrase_hit_rate
+        );
+        assert!(
+            centroid.hit_rate >= hash.hit_rate,
+            "centroid ({}) must not lose to hash ({})",
+            centroid.hit_rate,
+            hash.hit_rate
+        );
+        assert!(
+            (scatter.hit_rate - unsharded.hit_rate).abs() < 1e-9,
+            "scatter-gather ({}) must match the unsharded ceiling ({})",
+            scatter.hit_rate,
+            unsharded.hit_rate
+        );
+    }
+}

@@ -223,6 +223,20 @@ pub trait SemanticCache {
     fn name(&self) -> String;
 }
 
+/// One shard's contribution to a scatter-gather probe: the decision the
+/// shard would make on its own (computed **quietly** — no statistics are
+/// recorded, since the sharded layer counts one logical lookup per fan-out)
+/// plus whether a semantic candidate was rejected by context verification,
+/// so the merged outcome can still account context rejections.
+#[derive(Debug)]
+pub(crate) struct ScatterProbe {
+    /// The shard-local decision.
+    pub outcome: CacheDecisionOutcome,
+    /// A candidate scored above the threshold but failed context
+    /// verification.
+    pub rejected_by_context: bool,
+}
+
 /// The probe's conversational context, analysed once per lookup.
 enum ProbeContext {
     /// The probe carries no conversation history.
@@ -344,21 +358,28 @@ impl MeanCache {
     fn probe_context(&self, context: &[String]) -> ProbeContext {
         match context.last() {
             None => ProbeContext::Standalone,
-            Some(text) => {
-                let embedding = self.encoder.encode(text);
+            Some(text) => self.probe_context_from(Some(self.encoder.encode(text).as_slice())),
+        }
+    }
+
+    /// [`MeanCache::probe_context`] from a pre-encoded previous-turn
+    /// embedding (`None` = standalone probe). The scatter-gather fan-out
+    /// encodes the context once and shares the embedding across shards;
+    /// the per-shard *resolution* (which cached entries that turn refers
+    /// to) still has to be computed against this shard's own index.
+    fn probe_context_from(&self, context_embedding: Option<&[f32]>) -> ProbeContext {
+        match context_embedding {
+            None => ProbeContext::Standalone,
+            Some(embedding) => {
                 // The cached entries the probe's previous turn plausibly
                 // refers to: its top-k matches above the context threshold.
                 let resolved = self
                     .index
-                    .search(
-                        embedding.as_slice(),
-                        self.config.top_k,
-                        self.config.context_threshold,
-                    )
+                    .search(embedding, self.config.top_k, self.config.context_threshold)
                     .map(|hits| hits.into_iter().map(|h| h.id).collect())
                     .unwrap_or_default();
                 ProbeContext::Contextual {
-                    embedding: embedding.into_vec(),
+                    embedding: embedding.to_vec(),
                     resolved,
                 }
             }
@@ -438,32 +459,134 @@ impl MeanCache {
         } else {
             None
         };
+        let (outcome, rejected_by_context) = self.decide_from(candidates, probe_context.as_ref());
+        if outcome.is_hit() {
+            AtomicCacheStats::bump(&self.stats.hits, 1);
+        } else if rejected_by_context {
+            AtomicCacheStats::bump(&self.stats.context_rejections, 1);
+        }
+        outcome
+    }
+
+    /// The statistics-free core of [`MeanCache::decide`]: context-verifies
+    /// `candidates` in score order and returns the first match, plus
+    /// whether any candidate was rejected by context verification.
+    fn decide_from(
+        &self,
+        candidates: Vec<mc_store::SearchHit>,
+        probe_context: Option<&ProbeContext>,
+    ) -> (CacheDecisionOutcome, bool) {
         let mut rejected_by_context = false;
         for candidate in candidates {
             let Some(entry) = self.store.get(candidate.id) else {
                 continue;
             };
-            let context_ok = match &probe_context {
+            let context_ok = match probe_context {
                 Some(probe) => self.context_matches(entry, probe),
                 None => true,
             };
             if context_ok {
-                let contextual = entry.is_contextual();
-                let response = entry.response.clone();
-                AtomicCacheStats::bump(&self.stats.hits, 1);
-                return CacheDecisionOutcome::Hit(CacheHit {
+                let hit = CacheHit {
                     entry_id: candidate.id,
-                    response,
+                    response: entry.response.clone(),
                     score: candidate.score,
-                    contextual,
-                });
+                    contextual: entry.is_contextual(),
+                };
+                return (CacheDecisionOutcome::Hit(hit), rejected_by_context);
             }
             rejected_by_context = true;
         }
-        if rejected_by_context {
-            AtomicCacheStats::bump(&self.stats.context_rejections, 1);
+        (CacheDecisionOutcome::Miss, rejected_by_context)
+    }
+
+    /// One shard's share of a scatter-gather probe: search + context-verify
+    /// against pre-encoded embeddings, recording **no** statistics (the
+    /// sharded layer counts one logical lookup per fan-out, not one per
+    /// shard). `context_embedding` is the probe's most recent previous
+    /// turn, already ignored by the caller when context checking is off.
+    pub(crate) fn probe_scatter(
+        &self,
+        query_embedding: &[f32],
+        context_embedding: Option<&[f32]>,
+    ) -> ScatterProbe {
+        let candidates =
+            match self
+                .index
+                .search(query_embedding, self.config.top_k, self.config.threshold)
+            {
+                Ok(c) => c,
+                Err(_) => {
+                    return ScatterProbe {
+                        outcome: CacheDecisionOutcome::Miss,
+                        rejected_by_context: false,
+                    }
+                }
+            };
+        let probe_context = self
+            .config
+            .context_checking
+            .then(|| self.probe_context_from(context_embedding));
+        let (outcome, rejected_by_context) = self.decide_from(candidates, probe_context.as_ref());
+        ScatterProbe {
+            outcome,
+            rejected_by_context,
         }
-        CacheDecisionOutcome::Miss
+    }
+
+    /// Batched [`MeanCache::probe_scatter`]: all query embeddings funnel
+    /// through one `search_batch` pass, context resolution stays per-probe.
+    pub(crate) fn probe_scatter_batch(
+        &self,
+        probes: &[(&[f32], Option<&[f32]>)],
+    ) -> Vec<ScatterProbe> {
+        let query_refs: Vec<&[f32]> = probes.iter().map(|(query, _)| *query).collect();
+        let batched =
+            match self
+                .index
+                .search_batch(&query_refs, self.config.top_k, self.config.threshold)
+            {
+                Ok(b) => b,
+                Err(_) => {
+                    return probes
+                        .iter()
+                        .map(|_| ScatterProbe {
+                            outcome: CacheDecisionOutcome::Miss,
+                            rejected_by_context: false,
+                        })
+                        .collect()
+                }
+            };
+        batched
+            .into_iter()
+            .zip(probes)
+            .map(|(candidates, (_, context_embedding))| {
+                let probe_context = self
+                    .config
+                    .context_checking
+                    .then(|| self.probe_context_from(*context_embedding));
+                let (outcome, rejected_by_context) =
+                    self.decide_from(candidates, probe_context.as_ref());
+                ScatterProbe {
+                    outcome,
+                    rejected_by_context,
+                }
+            })
+            .collect()
+    }
+
+    /// Replaces the capacity bound on this cache's store (the sharded
+    /// layer's capacity-borrowing hook; see `MemoryStore::set_capacity`
+    /// for the shrink semantics).
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.config.capacity = capacity;
+        self.store.set_capacity(capacity);
+    }
+
+    /// Allocates the next entry id without inserting (the reshard replay
+    /// path reserves an id, rewrites parent links, then restores).
+    pub(crate) fn reserve_id(&mut self) -> u64 {
+        self.store.next_id()
     }
 
     /// Finds the cached entry that corresponds to the probe's most recent

@@ -3,6 +3,7 @@
 use mc_store::{EvictionPolicy, IndexKind};
 use serde::{Deserialize, Serialize};
 
+use crate::shard::RoutingMode;
 use crate::{CacheError, Result};
 
 /// Configuration of a [`crate::MeanCache`] instance.
@@ -48,6 +49,17 @@ pub struct MeanCacheConfig {
     /// knob — it configures the layer above.
     #[serde(default)]
     pub shards: usize,
+    /// How the serving layer maps a conversation root to a shard:
+    /// [`RoutingMode::Hash`] (the default — cheapest, but a paraphrase only
+    /// finds its original's shard with probability `1/N`),
+    /// [`RoutingMode::Centroid`] (route on the root embedding to the
+    /// nearest per-shard centroid) or [`RoutingMode::ScatterGather`] (fan
+    /// probes to every shard and merge). Serde-defaulted so config sidecars
+    /// written before this field existed still load as hash-routed. A plain
+    /// [`crate::MeanCache`] ignores this knob — it configures the layer
+    /// above.
+    #[serde(default)]
+    pub routing: RoutingMode,
 }
 
 impl Default for MeanCacheConfig {
@@ -62,6 +74,7 @@ impl Default for MeanCacheConfig {
             feedback_step: 0.02,
             index: IndexKind::default(),
             shards: 1,
+            routing: RoutingMode::Hash,
         }
     }
 }
@@ -141,6 +154,12 @@ impl MeanCacheConfig {
     /// Returns a copy with the serving-layer shard count replaced.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Returns a copy with the serving-layer routing mode replaced.
+    pub fn with_routing(mut self, routing: RoutingMode) -> Self {
+        self.routing = routing;
         self
     }
 }
@@ -254,6 +273,26 @@ mod tests {
             .with_shards(MAX_SHARDS + 1)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn routing_mode_round_trips_and_defaults_to_hash() {
+        let cfg = MeanCacheConfig::default();
+        assert_eq!(cfg.routing, RoutingMode::Hash);
+        let cfg = cfg.with_routing(RoutingMode::ScatterGather);
+        assert!(cfg.validate().is_ok());
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: MeanCacheConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.routing, RoutingMode::ScatterGather);
+        // A sidecar written before the `routing` field existed must load
+        // as hash-routed.
+        let json = serde_json::to_string(&MeanCacheConfig::default()).unwrap();
+        let old = json
+            .replace(",\"routing\":\"Hash\"", "")
+            .replace("\"routing\":\"Hash\",", "");
+        assert!(!old.contains("routing"), "field must be stripped: {old}");
+        let cfg: MeanCacheConfig = serde_json::from_str(&old).unwrap();
+        assert_eq!(cfg.routing, RoutingMode::Hash);
     }
 
     #[test]

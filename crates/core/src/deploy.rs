@@ -5,6 +5,24 @@
 //! cache, replays a labelled probe workload, and records per-query latency,
 //! hit/miss decisions, the confusion matrix against ground truth, and the
 //! cost/quota savings.
+//!
+//! The driver is generic over [`SemanticCache`], so the same replay runs
+//! against a bare [`crate::MeanCache`], a [`crate::ShardedCache`] under any
+//! [`crate::RoutingMode`], or the [`crate::GptCacheBaseline`] — which is
+//! how the experiments compare architectures on identical traffic. Replay
+//! paths come in two flavours: [`Deployment::run`] serves probe-by-probe
+//! (per-query latency is honest), while [`Deployment::run_batched`] funnels
+//! the workload through [`SemanticCache::probe_batch`] and then commits and
+//! accounts strictly in submission order, which is decision-identical to
+//! the sequential replay (the probe→commit split guarantees probes never
+//! observe commits).
+//!
+//! On a miss the deployment forwards the query to the [`LlmService`],
+//! charges the simulated quota/pricing, inserts the fresh response, and
+//! records the full user-perceived latency (network + search + generation);
+//! on a hit it serves locally and charges only the cache's own overhead
+//! ([`SemanticCache::lookup_network_overhead_s`] — zero for the user-side
+//! cache, one round-trip for the server-side baseline).
 
 use std::time::Instant;
 

@@ -50,6 +50,15 @@ pub struct GptCacheConfig {
     /// for configs written before this field existed.
     #[serde(default)]
     pub shards: usize,
+    /// How the sharded server-side store routes queries to shards (see
+    /// [`crate::RoutingMode`]). [`crate::RoutingMode::Centroid`] or
+    /// [`crate::RoutingMode::ScatterGather`] recover the paraphrase recall
+    /// that hash sharding trades away — particularly relevant for this
+    /// baseline, whose pooled multi-user cache is exactly the
+    /// paraphrase-heavy shape semantic routing targets. Serde-defaulted to
+    /// hash for configs written before this field existed.
+    #[serde(default)]
+    pub routing: crate::RoutingMode,
 }
 
 impl Default for GptCacheConfig {
@@ -61,14 +70,15 @@ impl Default for GptCacheConfig {
             network_rtt_s: 0.08,
             index: IndexKind::default(),
             shards: 1,
+            routing: crate::RoutingMode::Hash,
         }
     }
 }
 
 impl GptCacheConfig {
     /// The [`MeanCacheConfig`] this baseline translates to: same threshold,
-    /// candidate pool, capacity, index backend and shard count, with context
-    /// verification disabled (the defining difference).
+    /// candidate pool, capacity, index backend, shard count and routing
+    /// mode, with context verification disabled (the defining difference).
     pub fn to_cache_config(&self) -> MeanCacheConfig {
         MeanCacheConfig {
             threshold: self.threshold,
@@ -76,6 +86,7 @@ impl GptCacheConfig {
             capacity: self.capacity,
             index: self.index.clone(),
             shards: self.shards,
+            routing: self.routing,
             context_checking: false,
             ..MeanCacheConfig::default()
         }

@@ -32,11 +32,15 @@
 //!   [`mc_store::IvfIndex`] — is a configuration choice, not a code path;
 //!   [`SemanticCache::lookup_batch`] funnels whole probe batches through one
 //!   `search_batch` pass for workload replays.
-//! * [`shard`] — the concurrent serving layer: [`ShardedCache`] hash-routes
+//! * [`shard`] — the concurrent serving layer: [`ShardedCache`] routes
 //!   queries to N independent [`MeanCache`] shards behind per-shard
 //!   `RwLock`s, so probes proceed in parallel (the [`SemanticCache`] hot
 //!   path is split into a read-only `probe` and a narrow `commit` to make
-//!   that possible) and writes only contend within one shard.
+//!   that possible) and writes only contend within one shard. Routing is
+//!   pluggable ([`RoutingMode`]): stable hashing, semantic
+//!   nearest-of-N-centroids, or scatter-gather fan-out — and [`reshard`]
+//!   replays a cache through fresh routing when the mode or shard count
+//!   changes.
 //! * [`gptcache`] — the GPTCache-style baseline: server-side, fixed 0.7
 //!   threshold, no context verification.
 //! * [`deploy`] — an end-to-end deployment driver that runs labelled
@@ -80,7 +84,7 @@ pub use cache::{CacheDecisionOutcome, CacheHit, CacheStats, MeanCache, SemanticC
 pub use config::MeanCacheConfig;
 pub use deploy::{Deployment, DeploymentReport, ProbeSpec, QueryRecord};
 pub use gptcache::{GptCacheBaseline, GptCacheConfig};
-pub use shard::ShardedCache;
+pub use shard::{reshard, route_key, RoutingMode, ShardedCache};
 
 /// Errors surfaced by the cache layer.
 #[derive(Debug)]

@@ -28,14 +28,55 @@
 //! **Sharded caches** persist as one entry log per shard plus the shared
 //! config sidecar ([`save_sharded_cache_with_config`] /
 //! [`load_sharded_cache_with_config`]): the sidecar's
-//! [`MeanCacheConfig::shards`] and the fixed routing hash guarantee a reload
-//! reassembles the exact same query → shard assignment.
+//! [`MeanCacheConfig::shards`] and [`MeanCacheConfig::routing`] guarantee a
+//! reload reassembles the exact same query → shard assignment. Under
+//! [`crate::RoutingMode::Centroid`] the learned routing centroids ride in a
+//! third sidecar (`<path>.routing.json`) with their `f32` components stored
+//! as raw bit patterns, so reloaded routing is bit-identical to what was
+//! saved; the root pin table is *not* persisted — the per-shard logs **are**
+//! the root → shard assignment, and the loader rebuilds the pins from them.
+//!
+//! **Resharding.** A save records its shard count and routing mode, and
+//! loading with [`load_sharded_cache_with_config`] reproduces them exactly
+//! (public-id stability depends on it). To reload under a *different*
+//! shard count or [`crate::RoutingMode`], go through
+//! [`reshard_saved_cache`], which restores the save faithfully and then
+//! replays every entry through fresh routing via [`crate::reshard`]:
+//!
+//! ```
+//! use mc_embedder::{ModelProfile, QueryEncoder};
+//! use meancache::persist::{reshard_saved_cache, save_sharded_cache_with_config};
+//! use meancache::{MeanCacheConfig, RoutingMode, SemanticCache, ShardedCache};
+//!
+//! let dir = std::env::temp_dir().join(format!("mc_persist_doc_{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("cache.log");
+//!
+//! let encoder = QueryEncoder::new(ModelProfile::tiny(), 7).unwrap();
+//! let config = MeanCacheConfig::default().with_threshold(0.6).with_shards(3);
+//! let mut cache = ShardedCache::new(encoder.clone(), config.clone()).unwrap();
+//! cache.insert("what is federated learning", "On-device training.", &[]).unwrap();
+//! save_sharded_cache_with_config(&cache, &path).unwrap();
+//!
+//! // Reload as a 2-shard scatter-gather cache: same contents, new routing.
+//! let resharded = reshard_saved_cache(
+//!     encoder,
+//!     &path,
+//!     config.with_shards(2).with_routing(RoutingMode::ScatterGather),
+//! )
+//! .unwrap();
+//! assert_eq!(resharded.shard_count(), 2);
+//! assert!(resharded.probe("what is federated learning", &[]).is_hit());
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
 
 use std::path::{Path, PathBuf};
 
 use mc_embedder::QueryEncoder;
 use mc_store::DiskStore;
+use serde::{Deserialize, Serialize};
 
+use crate::shard::RoutingMode;
 use crate::{CacheError, MeanCache, MeanCacheConfig, Result, ShardedCache};
 
 /// Writes every cached entry to the disk store at `path` (replacing existing
@@ -147,6 +188,65 @@ fn shard_log_path(path: &Path, shard: usize) -> PathBuf {
     PathBuf::from(name)
 }
 
+/// Path of the routing-state sidecar (centroids) for the save at `path`.
+fn routing_sidecar(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".routing.json");
+    PathBuf::from(name)
+}
+
+/// On-disk form of the centroid router state. `f32` centroid components
+/// are stored as raw bit patterns (`u32`), because routing must survive a
+/// save/load cycle *bit-identically* — a decimal round-trip that perturbed
+/// one component could silently re-route a query family.
+#[derive(Debug, Serialize, Deserialize)]
+struct RoutingSidecar {
+    /// One centroid per shard, components as `f32::to_bits`.
+    centroid_bits: Vec<Vec<u32>>,
+    /// Roots absorbed per centroid (the incremental update's schedule).
+    counts: Vec<u64>,
+}
+
+/// Writes (or removes, when `cache` has no centroids) the routing sidecar.
+fn save_routing_sidecar(cache: &ShardedCache, path: &Path) -> Result<()> {
+    let (centroids, counts) = cache.centroid_state();
+    let sidecar_path = routing_sidecar(path);
+    if centroids.is_empty() {
+        if sidecar_path.exists() {
+            std::fs::remove_file(&sidecar_path).map_err(mc_store::StoreError::from)?;
+        }
+        return Ok(());
+    }
+    let sidecar = RoutingSidecar {
+        centroid_bits: centroids
+            .iter()
+            .map(|c| c.iter().map(|x| x.to_bits()).collect())
+            .collect(),
+        counts,
+    };
+    let json =
+        serde_json::to_string(&sidecar).map_err(|e| CacheError::InvalidConfig(e.to_string()))?;
+    std::fs::write(sidecar_path, json).map_err(mc_store::StoreError::from)?;
+    Ok(())
+}
+
+/// Restores the routing sidecar into `cache`, if one exists.
+fn load_routing_sidecar(cache: &mut ShardedCache, path: &Path) -> Result<()> {
+    let sidecar_path = routing_sidecar(path);
+    if !sidecar_path.exists() {
+        return Ok(());
+    }
+    let json = std::fs::read_to_string(&sidecar_path).map_err(mc_store::StoreError::from)?;
+    let sidecar: RoutingSidecar =
+        serde_json::from_str(&json).map_err(|e| CacheError::InvalidConfig(e.to_string()))?;
+    let centroids: Vec<Vec<f32>> = sidecar
+        .centroid_bits
+        .iter()
+        .map(|c| c.iter().map(|&bits| f32::from_bits(bits)).collect())
+        .collect();
+    cache.restore_centroid_state(centroids, sidecar.counts)
+}
+
 /// Persists a [`ShardedCache`]: one entry log per shard
 /// (`<path>.shard0`, `<path>.shard1`, …) plus a single
 /// `<path>.config.json` sidecar recording the [`MeanCacheConfig`] —
@@ -179,6 +279,7 @@ pub fn save_sharded_cache_with_config(cache: &ShardedCache, path: &Path) -> Resu
     if path.exists() {
         std::fs::remove_file(path).map_err(mc_store::StoreError::from)?;
     }
+    save_routing_sidecar(cache, path)?;
     let json = serde_json::to_string(cache.config())
         .map_err(|e| CacheError::InvalidConfig(e.to_string()))?;
     std::fs::write(config_sidecar(path), json).map_err(mc_store::StoreError::from)?;
@@ -199,6 +300,7 @@ pub fn save_sharded_cache_with_config(cache: &ShardedCache, path: &Path) -> Resu
 pub fn load_sharded_cache_with_config(encoder: QueryEncoder, path: &Path) -> Result<ShardedCache> {
     let config = read_config_sidecar(path)?;
     let mut cache = ShardedCache::new(encoder, config)?;
+    load_routing_sidecar(&mut cache, path)?;
     for shard in 0..cache.shard_count() {
         let log = shard_log_path(path, shard);
         if !log.exists() {
@@ -211,7 +313,35 @@ pub fn load_sharded_cache_with_config(encoder: QueryEncoder, path: &Path) -> Res
         }
         replay_log_into(cache.shard_cache_mut(shard), &log)?;
     }
+    if cache.routing() != RoutingMode::Hash {
+        // The logs are the root → shard assignment; rebuild the pin table
+        // so exact repeats and follow-ups keep routing to their entries.
+        cache.rebuild_pins();
+    }
     Ok(cache)
+}
+
+/// Restores a save written by [`save_sharded_cache_with_config`] and then
+/// replays it through **fresh routing** under `new_config` (a different
+/// shard count and/or [`crate::RoutingMode`]) via [`crate::reshard`].
+///
+/// This is the supported way to change the topology of a persisted cache:
+/// loading with the original sidecar keeps public ids stable, so any change
+/// to `shards` or `routing` must go through an explicit reshard — public
+/// ids are reassigned, contents and decisions are preserved. Save the
+/// result back with [`save_sharded_cache_with_config`] to make the new
+/// topology the persisted one.
+///
+/// # Errors
+/// Propagates load failures (missing logs/sidecar) and
+/// [`crate::CacheError::InvalidConfig`] for an invalid `new_config`.
+pub fn reshard_saved_cache(
+    encoder: QueryEncoder,
+    path: &Path,
+    new_config: MeanCacheConfig,
+) -> Result<ShardedCache> {
+    let restored = load_sharded_cache_with_config(encoder, path)?;
+    crate::reshard(&restored, new_config)
 }
 
 #[cfg(test)]
@@ -437,6 +567,59 @@ mod tests {
         }
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(config_sidecar(&path)).ok();
+    }
+
+    #[test]
+    fn centroid_routing_round_trips_bit_identically() {
+        use crate::{RoutingMode, SemanticCache, ShardedCache};
+        let path = temp_path("routing");
+        let encoder = QueryEncoder::new(ModelProfile::tiny(), 11).unwrap();
+        let mut cache = ShardedCache::new(
+            encoder.clone(),
+            MeanCacheConfig::default()
+                .with_threshold(0.6)
+                .with_shards(3)
+                .with_routing(RoutingMode::Centroid),
+        )
+        .unwrap();
+        let queries: Vec<String> = (0..18)
+            .map(|i| format!("distinct persisted subject number {i}"))
+            .collect();
+        cache.seed_centroids_from_texts(&queries).unwrap();
+        for q in &queries {
+            cache.insert(q, "resp", &[]).unwrap();
+        }
+        save_sharded_cache_with_config(&cache, &path).unwrap();
+
+        let restored = crate::persist::load_sharded_cache_with_config(encoder, &path).unwrap();
+        assert_eq!(restored.routing(), RoutingMode::Centroid);
+        assert!(restored.centroids_seeded());
+        // Bit-identical centroids and rebuilt pins ⇒ identical routing:
+        // every query (and every paraphrase-shaped fresh root) maps to the
+        // same shard before and after the reload.
+        for q in &queries {
+            assert_eq!(
+                cache.shard_of(q, &[]),
+                restored.shard_of(q, &[]),
+                "{q} re-routed after reload"
+            );
+            assert_eq!(cache.probe(q, &[]), restored.probe(q, &[]));
+        }
+        assert_eq!(restored.root_pin_count(), queries.len());
+        for i in 0..40 {
+            let fresh = format!("never inserted fresh root {i}");
+            assert_eq!(
+                cache.shard_of(&fresh, &[]),
+                restored.shard_of(&fresh, &[]),
+                "fresh root {i} re-routed after reload"
+            );
+        }
+        // Cleanup (including the routing sidecar).
+        for shard in 0..3 {
+            std::fs::remove_file(shard_log_path(&path, shard)).ok();
+        }
+        std::fs::remove_file(config_sidecar(&path)).ok();
+        std::fs::remove_file(routing_sidecar(&path)).ok();
     }
 
     #[test]

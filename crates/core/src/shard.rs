@@ -1,65 +1,168 @@
 //! Concurrent sharded serving layer: N independent [`MeanCache`] shards
-//! behind per-shard `RwLock`s.
+//! behind per-shard `RwLock`s, with a pluggable [`RoutingMode`].
 //!
 //! Every lookup in the base cache funnels through one `&mut` API, so no two
 //! queries can be served at once no matter how fast the underlying index
 //! scan is. `ShardedCache` removes that ceiling the way concurrent
-//! hash-map-style caches do: hash-route each query to one of `N` independent
+//! hash-map-style caches do: route each query to one of `N` independent
 //! shards so reads proceed in parallel (shared `RwLock` read guards over the
 //! read-only [`SemanticCache::probe`] half) and writes only contend within
 //! one shard.
 //!
-//! ## Routing
+//! ## Routing keys
 //!
-//! The routing key is the **conversation root**: the first context turn when
-//! the probe carries history, the query text itself otherwise (see
-//! [`route_key`]). Keying on the root pins an entire conversation — a
-//! standalone query and every follow-up under it — to one shard, so context
-//! chains never dangle across shards and contextual decisions match the
-//! unsharded cache exactly. The hash is a fixed FNV-1a (not the std
-//! `DefaultHasher`, whose output may change across Rust releases), so
-//! routing is stable across processes and across save/load.
+//! Whatever the mode, the routing key is the **conversation root**: the
+//! first context turn when the probe carries history, the query text itself
+//! otherwise (see [`route_key`]). Keying on the root pins an entire
+//! conversation — a standalone query and every follow-up under it — to one
+//! shard, so context chains never dangle across shards.
 //!
-//! ## What sharding trades away
+//! ```
+//! use meancache::shard::route_key;
 //!
-//! A probe scans only its own shard. Exact repeats and same-conversation
-//! follow-ups always route to the entry that can answer them, but a
-//! *paraphrase* hashes like unrelated text: with `N` shards it lands on the
-//! cached original's shard with probability `1/N` and otherwise misses where
-//! the unsharded cache would hit. That recall cost buys per-probe work of
-//! `O(n/N · d)` and write contention confined to one shard — the standard
-//! partitioned-cache trade. Deployments that cannot afford it keep
-//! `shards = 1` (the default), which behaves identically to a plain
-//! [`MeanCache`] behind a lock.
+//! assert_eq!(route_key("standalone question", &[]), "standalone question");
+//! let chain = vec!["conversation root".to_string(), "follow-up".to_string()];
+//! assert_eq!(route_key("third turn", &chain), "conversation root");
+//! ```
 //!
-//! Capacity splits evenly too: each shard holds `capacity / N` entries, so
-//! a skewed workload — one long conversation, one hot routing key — starts
-//! evicting at `capacity / N` while other shards sit under-filled. The
-//! effective capacity for traffic concentrated on one key is `1/N` of the
-//! configured total; occupancy-proportional eviction budgeting is a
-//! possible future refinement (see ROADMAP).
+//! ## Routing modes
+//!
+//! What varies is how a root maps to a shard ([`RoutingMode`]):
+//!
+//! * [`RoutingMode::Hash`] (the default) — a fixed FNV-1a of the root text.
+//!   Cheapest and byte-identical to the pre-routing-mode behaviour, but
+//!   *semantically blind*: a paraphrase hashes like unrelated text, so with
+//!   `N` shards it lands on the cached original's shard with probability
+//!   `1/N` and otherwise misses where an unsharded cache would hit —
+//!   sharding for throughput silently costs the hit rate the paper
+//!   optimises.
+//! * [`RoutingMode::Centroid`] — route on the root's *embedding* to the
+//!   nearest of `N` per-shard centroids (k-means-seeded via
+//!   [`ShardedCache::seed_centroids`], nudged incrementally as inserts
+//!   land). Paraphrases embed near their originals, so they route to the
+//!   same shard and hit. Exact repeats and follow-ups are additionally
+//!   guaranteed their original's shard by a **root pin table** (root-hash →
+//!   shard, recorded at insert), which makes centroid routing strictly no
+//!   worse than hash routing on exact traffic even as centroids drift.
+//! * [`RoutingMode::ScatterGather`] — fan each probe out to *all* shards in
+//!   parallel (the same worker-pool fan-out batched probes use) and merge
+//!   the per-shard decisions into one: the highest-scoring context-verified
+//!   hit wins, and its commit is routed to the winning shard. For
+//!   standalone probes the merged decision is identical to the unsharded
+//!   cache (property-tested); contextual probes verify their context
+//!   against the conversation's own shard, which can only diverge from the
+//!   unsharded cache when ≥ `top_k` entries from *other* conversations
+//!   outrank the probe's true parent globally — a case where the global
+//!   resolution was rejecting a genuine parent, so the per-shard form errs
+//!   toward serving it. The price is `N` index searches per probe. Inserts
+//!   go to the least-occupied shard (root-pinned, so conversations stay
+//!   together), which doubles as load balancing.
+//!
+//! ```
+//! use mc_embedder::{ModelProfile, QueryEncoder};
+//! use meancache::{MeanCacheConfig, RoutingMode, SemanticCache, ShardedCache};
+//!
+//! let encoder = QueryEncoder::new(ModelProfile::tiny(), 7).unwrap();
+//! let config = MeanCacheConfig::default()
+//!     .with_threshold(0.6)
+//!     .with_shards(4)
+//!     .with_routing(RoutingMode::ScatterGather);
+//! let mut cache = ShardedCache::new(encoder, config).unwrap();
+//! cache
+//!     .insert("how do I bake sourdough bread", "Ferment overnight.", &[])
+//!     .unwrap();
+//! // Scatter-gather finds the entry no matter which shard stores it.
+//! assert!(cache.lookup("how do I bake sourdough bread", &[]).is_hit());
+//! assert_eq!(cache.routing(), RoutingMode::ScatterGather);
+//! ```
+//!
+//! The measured trade-off between the three (hit rate vs latency vs
+//! throughput on a paraphrase-heavy clustered workload) is the `exp_routing`
+//! benchmark's job; `BENCH_routing.json` records it.
+//!
+//! ## Capacity
+//!
+//! Under hash routing each shard holds a fixed `capacity / N` slice, so one
+//! hot conversation starts evicting at `1/N` of the configured total while
+//! other shards sit under-filled. The semantic modes replace that with
+//! **occupancy-proportional capacity borrowing**: a shard at its local
+//! bound grows into the global budget while total occupancy is below
+//! `capacity`, and only once the *global* budget is spent do inserts evict
+//! (locally, in the shard they land in). Hash mode keeps the fixed split so
+//! its behaviour stays byte-identical to earlier releases.
 //!
 //! ## Identifiers
 //!
 //! Shards allocate entry ids independently, so the serving layer namespaces
 //! them: a public id is `local_id * N + shard`, decoded back on
-//! [`SemanticCache::commit`]. Persisted per-shard logs keep local ids,
-//! which makes reload reassemble the exact same public ids as long as the
-//! shard count is unchanged (the config sidecar records it).
+//! [`SemanticCache::commit`]. Persisted per-shard logs keep local ids, which
+//! makes reload reassemble the exact same public ids as long as the shard
+//! count is unchanged (the config sidecar records it). Changing the shard
+//! count or routing mode of an existing cache goes through [`reshard`],
+//! which replays every entry through fresh routing (public ids are
+//! reassigned; contents and decisions are preserved).
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use mc_embedder::QueryEncoder;
 use mc_store::CacheEntry;
+use mc_tensor::vector;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
-use crate::cache::{CacheDecisionOutcome, CacheStats, MeanCache, SemanticCache};
-use crate::{MeanCacheConfig, Result};
+use crate::cache::{CacheDecisionOutcome, CacheHit, CacheStats, MeanCache, SemanticCache};
+use crate::{CacheError, MeanCacheConfig, Result};
 
 /// The text a probe or insert is routed by: the conversation root (first
 /// context turn) when there is history, the query itself otherwise.
+///
+/// ```
+/// use meancache::shard::route_key;
+/// let ctx = vec!["root turn".to_string()];
+/// assert_eq!(route_key("follow-up", &ctx), "root turn");
+/// assert_eq!(route_key("standalone", &[]), "standalone");
+/// ```
 pub fn route_key<'a>(query: &'a str, context: &'a [String]) -> &'a str {
     context.first().map(String::as_str).unwrap_or(query)
+}
+
+/// How a [`ShardedCache`] maps a conversation root to a shard. See the
+/// module docs for the full trade-off discussion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingMode {
+    /// Fixed FNV-1a hash of the root text (the default; byte-identical to
+    /// the original sharded behaviour).
+    #[default]
+    Hash,
+    /// Nearest-of-N-centroids on the root embedding, with a root pin table
+    /// guaranteeing exact repeats and follow-ups their original's shard.
+    Centroid,
+    /// Fan every probe to all shards and merge the best decision; inserts
+    /// balance onto the least-occupied shard.
+    ScatterGather,
+}
+
+impl RoutingMode {
+    /// Stable kebab-case name (CLI flags, reports, stats snapshots).
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingMode::Hash => "hash",
+            RoutingMode::Centroid => "centroid",
+            RoutingMode::ScatterGather => "scatter-gather",
+        }
+    }
+
+    /// Inverse of [`RoutingMode::name`] (`None` for unknown names).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "hash" => Some(RoutingMode::Hash),
+            "centroid" => Some(RoutingMode::Centroid),
+            "scatter-gather" => Some(RoutingMode::ScatterGather),
+            _ => None,
+        }
+    }
 }
 
 /// Fixed 64-bit FNV-1a. Deliberately *not* `std::hash` — routing must stay
@@ -77,23 +180,51 @@ fn fnv1a(text: &str) -> u64 {
     hash
 }
 
+/// Mutable routing state shared by the semantic modes. Hash routing never
+/// touches it (stateless), which is what keeps hash mode byte-identical.
+#[derive(Debug, Clone, Default)]
+struct RouterState {
+    /// One unit-norm routing centroid per shard; empty until seeded
+    /// (unseeded centroid routing falls back to the hash route).
+    centroids: Vec<Vec<f32>>,
+    /// Roots absorbed into each centroid (k-means cluster sizes at seeding
+    /// time, incremented per newly pinned root afterwards — the incremental
+    /// update's learning-rate schedule).
+    counts: Vec<u64>,
+    /// `fnv1a(root text)` → shard, recorded at insert. Guarantees exact
+    /// repeats and same-conversation follow-ups route to the shard that
+    /// holds their entry no matter how far the centroids have drifted, and
+    /// keeps scatter-gather inserts conversation-affine. Rebuilt from the
+    /// entry logs on reload; never consulted by hash routing.
+    pins: HashMap<u64, usize>,
+}
+
 /// A semantic cache partitioned into independent [`MeanCache`] shards for
-/// concurrent serving. See the module docs for routing and id semantics.
+/// concurrent serving. See the module docs for routing, capacity and id
+/// semantics.
 #[derive(Debug)]
 pub struct ShardedCache {
     shards: Vec<RwLock<MeanCache>>,
     /// The serving-layer configuration (`shards` = the live shard count;
     /// each shard holds a copy with `shards: 1` and a split capacity).
     config: MeanCacheConfig,
-    /// A copy of the shards' encoder, so persistence and reports can reach
-    /// it without taking a shard lock.
+    /// A copy of the shards' encoder, so routing, persistence and reports
+    /// can reach it without taking a shard lock.
     encoder: QueryEncoder,
+    /// Centroids + root pins for the semantic routing modes.
+    router: RwLock<RouterState>,
+    /// Logical lookup counters for scatter-gather probes, which run
+    /// *quietly* against each shard (one fan-out is one lookup, not N).
+    scatter_lookups: AtomicU64,
+    scatter_hits: AtomicU64,
+    scatter_context_rejections: AtomicU64,
 }
 
 impl ShardedCache {
     /// Builds `config.effective_shards()` empty shards around clones of
     /// `encoder`. The configured `capacity` is the *total* across shards
-    /// (split evenly, rounded up).
+    /// (split evenly, rounded up; the semantic routing modes let shards
+    /// borrow unused budget from each other — see the module docs).
     ///
     /// # Errors
     /// Returns [`crate::CacheError::InvalidConfig`] when the configuration
@@ -103,6 +234,7 @@ impl ShardedCache {
         let shard_count = config.effective_shards();
         let shard_config = MeanCacheConfig {
             shards: 1,
+            routing: RoutingMode::Hash,
             capacity: config.capacity.div_ceil(shard_count),
             ..config.clone()
         };
@@ -113,6 +245,10 @@ impl ShardedCache {
             shards,
             config,
             encoder,
+            router: RwLock::new(RouterState::default()),
+            scatter_lookups: AtomicU64::new(0),
+            scatter_hits: AtomicU64::new(0),
+            scatter_context_rejections: AtomicU64::new(0),
         })
     }
 
@@ -131,17 +267,234 @@ impl ShardedCache {
         &self.encoder
     }
 
-    /// The shard a `(query, context)` probe or insert routes to.
+    /// The live routing mode.
+    pub fn routing(&self) -> RoutingMode {
+        self.config.routing
+    }
+
+    /// Seeds the centroid router by spherical k-means over `samples`
+    /// (typically the embeddings of a representative workload, e.g. an
+    /// `mc_workloads::EmbeddingCloud` or the queries about to be cached).
+    /// `k` is the shard count; the run is deterministic (farthest-first
+    /// initialisation, fixed iteration count). A no-op set of samples
+    /// (empty) clears the centroids, restoring the hash fallback.
+    ///
+    /// # Errors
+    /// [`crate::CacheError::InvalidConfig`] when a sample's dimensionality
+    /// does not match the encoder's output.
+    pub fn seed_centroids(&mut self, samples: &[Vec<f32>]) -> Result<()> {
+        let dims = self.encoder.output_dim();
+        if let Some(bad) = samples.iter().find(|s| s.len() != dims) {
+            return Err(CacheError::InvalidConfig(format!(
+                "centroid sample has {} dims, encoder produces {dims}",
+                bad.len()
+            )));
+        }
+        let refs: Vec<&[f32]> = samples.iter().map(Vec::as_slice).collect();
+        let (centroids, counts) = spherical_kmeans(&refs, self.shards.len(), KMEANS_ITERS);
+        let router = self.router.get_mut().expect("router lock poisoned");
+        router.centroids = centroids;
+        router.counts = counts;
+        Ok(())
+    }
+
+    /// [`ShardedCache::seed_centroids`] from raw query texts, encoded with
+    /// this cache's own encoder.
+    ///
+    /// # Errors
+    /// Propagates [`ShardedCache::seed_centroids`] failures.
+    pub fn seed_centroids_from_texts<S: AsRef<str>>(&mut self, texts: &[S]) -> Result<()> {
+        let samples: Vec<Vec<f32>> = texts
+            .iter()
+            .map(|t| self.encoder.encode(t.as_ref()).into_vec())
+            .collect();
+        self.seed_centroids(&samples)
+    }
+
+    /// `true` once [`ShardedCache::seed_centroids`] (or a reshard / reload)
+    /// has installed routing centroids.
+    pub fn centroids_seeded(&self) -> bool {
+        !read_router(&self.router).centroids.is_empty()
+    }
+
+    /// Number of pinned conversation roots (diagnostics; see
+    /// `RouterState::pins` for what a pin guarantees).
+    pub fn root_pin_count(&self) -> usize {
+        read_router(&self.router).pins.len()
+    }
+
+    /// Snapshot of the centroid state for persistence: `(centroids,
+    /// counts)`, both empty when unseeded.
+    pub(crate) fn centroid_state(&self) -> (Vec<Vec<f32>>, Vec<u64>) {
+        let router = read_router(&self.router);
+        (router.centroids.clone(), router.counts.clone())
+    }
+
+    /// Restores a persisted centroid state (inverse of
+    /// [`ShardedCache::centroid_state`]).
+    ///
+    /// # Errors
+    /// [`crate::CacheError::InvalidConfig`] when the shape does not match
+    /// this cache's shard count or embedding dimensionality.
+    pub(crate) fn restore_centroid_state(
+        &mut self,
+        centroids: Vec<Vec<f32>>,
+        counts: Vec<u64>,
+    ) -> Result<()> {
+        if centroids.is_empty() {
+            return Ok(());
+        }
+        let dims = self.encoder.output_dim();
+        if centroids.len() != self.shards.len()
+            || counts.len() != self.shards.len()
+            || centroids.iter().any(|c| c.len() != dims)
+        {
+            return Err(CacheError::InvalidConfig(format!(
+                "persisted centroid state ({} centroids) does not match {} shards × {dims} dims",
+                centroids.len(),
+                self.shards.len()
+            )));
+        }
+        let router = self.router.get_mut().expect("router lock poisoned");
+        router.centroids = centroids;
+        router.counts = counts;
+        Ok(())
+    }
+
+    /// Rebuilds the root pin table from the live shard contents: every
+    /// entry pins its conversation root to the shard that holds it. Called
+    /// after a reload replayed the per-shard entry logs (pins are not
+    /// persisted — the logs already are the assignment).
+    pub(crate) fn rebuild_pins(&mut self) {
+        let mut pins = HashMap::new();
+        for (shard, lock) in self.shards.iter().enumerate() {
+            let cache = read(lock);
+            let by_id: HashMap<u64, &CacheEntry> = cache.entries().map(|e| (e.id, e)).collect();
+            for entry in cache.entries() {
+                pins.insert(fnv1a(chain_root(&by_id, entry)), shard);
+            }
+        }
+        self.router.get_mut().expect("router lock poisoned").pins = pins;
+    }
+
+    /// The shard a `(query, context)` pair is *assigned* to: the probe
+    /// route under [`RoutingMode::Hash`] and [`RoutingMode::Centroid`], the
+    /// insert target under [`RoutingMode::ScatterGather`] (whose probes fan
+    /// out to every shard instead of routing to one).
     pub fn shard_of(&self, query: &str, context: &[String]) -> usize {
+        match self.config.routing {
+            RoutingMode::Hash => self.hash_route(query, context),
+            RoutingMode::Centroid => self.semantic_route(query, context).0,
+            RoutingMode::ScatterGather => self.insert_route(query, context).0,
+        }
+    }
+
+    /// The stateless FNV route.
+    fn hash_route(&self, query: &str, context: &[String]) -> usize {
         (fnv1a(route_key(query, context)) % self.shards.len() as u64) as usize
     }
 
+    /// Centroid route: pinned shard if the root was inserted before, else
+    /// nearest centroid of the root embedding, else (unseeded) the hash
+    /// route. Returns the root embedding when one was computed so insert
+    /// paths can update the winning centroid without re-encoding.
+    fn semantic_route(&self, query: &str, context: &[String]) -> (usize, Option<Vec<f32>>) {
+        let root = route_key(query, context);
+        let router = read_router(&self.router);
+        if let Some(&shard) = router.pins.get(&fnv1a(root)) {
+            return (shard, None);
+        }
+        if router.centroids.is_empty() {
+            drop(router);
+            return (self.hash_route(query, context), None);
+        }
+        let embedding = self.encoder.encode(root);
+        let shard = nearest_centroid(embedding.as_slice(), &router.centroids);
+        (shard, Some(embedding.into_vec()))
+    }
+
+    /// Where an insert lands, per mode, plus the root embedding when the
+    /// decision computed one (centroid mode, pin missed).
+    fn insert_route(&self, query: &str, context: &[String]) -> (usize, Option<Vec<f32>>) {
+        match self.config.routing {
+            RoutingMode::Hash => (self.hash_route(query, context), None),
+            RoutingMode::Centroid => self.semantic_route(query, context),
+            RoutingMode::ScatterGather => {
+                let root = route_key(query, context);
+                if let Some(&shard) = read_router(&self.router).pins.get(&fnv1a(root)) {
+                    return (shard, None);
+                }
+                (self.least_occupied(), None)
+            }
+        }
+    }
+
+    /// The shard with the fewest entries (lowest index on ties) — the
+    /// scatter-gather insert target for a fresh conversation root.
+    fn least_occupied(&self) -> usize {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (read(s).len(), i))
+            .min()
+            .map(|(_, i)| i)
+            .unwrap_or(0)
+    }
+
+    /// Post-insert routing bookkeeping for the semantic modes: pin the
+    /// root, and (centroid mode, newly pinned root with a computed
+    /// embedding) pull the winning centroid toward it with a `1/count`
+    /// learning rate. Hash mode never calls this.
+    fn note_insert(
+        &self,
+        shard: usize,
+        query: &str,
+        context: &[String],
+        root_embedding: Option<Vec<f32>>,
+    ) {
+        let key = fnv1a(route_key(query, context));
+        let mut router = self.router.write().expect("router lock poisoned");
+        let newly_pinned = match router.pins.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(shard);
+                true
+            }
+        };
+        if !newly_pinned || self.config.routing != RoutingMode::Centroid {
+            return;
+        }
+        if let Some(embedding) = root_embedding {
+            if shard < router.centroids.len() {
+                let count = router.counts[shard].saturating_add(1);
+                router.counts[shard] = count;
+                let centroid = &mut router.centroids[shard];
+                let rate = 1.0 / count as f32;
+                // c ← normalize(c + rate · (x − c)): an online spherical
+                // k-means step, so the routing centroids track what each
+                // shard actually stores.
+                for (c, &x) in centroid.iter_mut().zip(&embedding) {
+                    *c += rate * (x - *c);
+                }
+                vector::normalize(centroid);
+            }
+        }
+    }
+
+    /// All-shard occupancy (read locks taken one shard at a time, never
+    /// nested — see [`apply_capacity_borrowing`] for the freshness caveat).
+    fn total_occupancy(&self) -> usize {
+        self.shards.iter().map(|s| read(s).len()).sum()
+    }
+
     /// Aggregated statistics across all shards. Per-event counters
-    /// (lookups, hits, context rejections, inserts) sum across shards;
-    /// `feedback_updates` is **broadcast** to every shard by
-    /// [`ShardedCache::record_feedback`], so any one shard's count already
-    /// equals the number of feedback events — shard 0's value is reported
-    /// rather than an N-times-inflated sum.
+    /// (lookups, hits, context rejections, inserts) sum across shards,
+    /// plus the serving layer's own scatter-gather counters (scatter
+    /// probes run quietly against shards — one fan-out counts as one
+    /// logical lookup); `feedback_updates` is **broadcast** to every shard
+    /// by [`ShardedCache::record_feedback`], so any one shard's count
+    /// already equals the number of feedback events — shard 0's value is
+    /// reported rather than an N-times-inflated sum.
     pub fn stats(&self) -> CacheStats {
         let mut total = self
             .shards
@@ -149,6 +502,9 @@ impl ShardedCache {
             .map(|s| read(s).stats())
             .fold(CacheStats::default(), CacheStats::merged);
         total.feedback_updates = read(&self.shards[0]).stats().feedback_updates;
+        total.lookups += self.scatter_lookups.load(Ordering::Relaxed);
+        total.hits += self.scatter_hits.load(Ordering::Relaxed);
+        total.context_rejections += self.scatter_context_rejections.load(Ordering::Relaxed);
         total
     }
 
@@ -180,6 +536,34 @@ impl ShardedCache {
     /// Entry counts per shard (diagnostics and tests).
     pub fn shard_lens(&self) -> Vec<usize> {
         self.shards.iter().map(|s| read(s).len()).collect()
+    }
+
+    /// Drops every cached entry and every root pin while keeping the
+    /// configuration (live threshold included), the encoder, and any
+    /// seeded routing centroids — a flush must not silently degrade
+    /// centroid routing to the hash fallback. Statistics reset with the
+    /// shards, exactly as rebuilding the cache from scratch would.
+    ///
+    /// # Errors
+    /// Returns [`crate::CacheError::InvalidConfig`] only if the live
+    /// config no longer validates (cannot happen for a config that built
+    /// this cache).
+    pub fn clear(&mut self) -> Result<()> {
+        let shard_config = MeanCacheConfig {
+            shards: 1,
+            routing: RoutingMode::Hash,
+            capacity: self.config.capacity.div_ceil(self.shards.len()),
+            ..self.config.clone()
+        };
+        for shard in &mut self.shards {
+            *shard_mut(shard) = MeanCache::new(self.encoder.clone(), shard_config.clone())?;
+        }
+        let router = self.router.get_mut().expect("router lock poisoned");
+        router.pins.clear();
+        self.scatter_lookups = AtomicU64::new(0);
+        self.scatter_hits = AtomicU64::new(0);
+        self.scatter_context_rejections = AtomicU64::new(0);
+        Ok(())
     }
 
     /// Looks up an entry by its **public** (namespaced) id, cloning it out
@@ -221,8 +605,17 @@ impl ShardedCache {
     /// # Errors
     /// Returns [`crate::CacheError`] on storage failures.
     pub fn insert_shared(&self, query: &str, response: &str, context: &[String]) -> Result<u64> {
-        let shard = self.shard_of(query, context);
-        let local = write(&self.shards[shard]).insert(query, response, context)?;
+        let (shard, root_embedding) = self.insert_route(query, context);
+        let semantic = self.config.routing != RoutingMode::Hash;
+        let total = if semantic { self.total_occupancy() } else { 0 };
+        let local = {
+            let mut cache = write(&self.shards[shard]);
+            apply_capacity_borrowing(self.config.routing, self.config.capacity, &mut cache, total);
+            cache.insert(query, response, context)?
+        };
+        if semantic {
+            self.note_insert(shard, query, context, root_embedding);
+        }
         Ok(self.public_id(shard, local))
     }
 
@@ -260,6 +653,126 @@ impl ShardedCache {
             CacheDecisionOutcome::Miss => CacheDecisionOutcome::Miss,
         }
     }
+
+    /// Fans one probe out to every shard and merges the decisions: the
+    /// highest-scoring context-verified hit wins (public id breaks exact
+    /// ties deterministically). Shard probes run quietly; this layer
+    /// records one logical lookup.
+    fn probe_scatter(&self, query: &str, context: &[String]) -> CacheDecisionOutcome {
+        self.scatter_lookups.fetch_add(1, Ordering::Relaxed);
+        let query_embedding = self.encoder.encode(query);
+        let context_embedding = if self.config.context_checking {
+            context.last().map(|text| self.encoder.encode(text))
+        } else {
+            None
+        };
+        let shard_indices: Vec<usize> = (0..self.shards.len()).collect();
+        let per_shard: Vec<crate::cache::ScatterProbe> = shard_indices
+            .par_iter()
+            .map(|&shard| {
+                read(&self.shards[shard]).probe_scatter(
+                    query_embedding.as_slice(),
+                    context_embedding.as_ref().map(|e| e.as_slice()),
+                )
+            })
+            .collect();
+        self.merge_scatter(per_shard.into_iter().enumerate())
+    }
+
+    /// Merges per-shard scatter outcomes (see
+    /// [`ShardedCache::probe_scatter`]) and maintains the logical hit /
+    /// context-rejection counters.
+    fn merge_scatter(
+        &self,
+        per_shard: impl Iterator<Item = (usize, crate::cache::ScatterProbe)>,
+    ) -> CacheDecisionOutcome {
+        let mut best: Option<CacheHit> = None;
+        let mut rejected = false;
+        for (shard, probe) in per_shard {
+            rejected |= probe.rejected_by_context;
+            if let CacheDecisionOutcome::Hit(mut hit) = probe.outcome {
+                hit.entry_id = self.public_id(shard, hit.entry_id);
+                let better = match &best {
+                    None => true,
+                    Some(current) => match hit.score.partial_cmp(&current.score) {
+                        Some(std::cmp::Ordering::Greater) => true,
+                        Some(std::cmp::Ordering::Equal) => hit.entry_id < current.entry_id,
+                        _ => false,
+                    },
+                };
+                if better {
+                    best = Some(hit);
+                }
+            }
+        }
+        match best {
+            Some(hit) => {
+                self.scatter_hits.fetch_add(1, Ordering::Relaxed);
+                CacheDecisionOutcome::Hit(hit)
+            }
+            None => {
+                if rejected {
+                    self.scatter_context_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                CacheDecisionOutcome::Miss
+            }
+        }
+    }
+
+    /// Batched scatter-gather: encode every probe (and context turn) once,
+    /// fan the whole batch to every shard in parallel, merge per probe.
+    fn probe_batch_scatter(&self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
+        self.scatter_lookups
+            .fetch_add(probes.len() as u64, Ordering::Relaxed);
+        let query_embeddings: Vec<mc_tensor::Vector> = probes
+            .iter()
+            .map(|(query, _)| self.encoder.encode(query))
+            .collect();
+        let context_embeddings: Vec<Option<mc_tensor::Vector>> = probes
+            .iter()
+            .map(|(_, context)| {
+                if self.config.context_checking {
+                    context.last().map(|text| self.encoder.encode(text))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let prepared: Vec<(&[f32], Option<&[f32]>)> = query_embeddings
+            .iter()
+            .zip(&context_embeddings)
+            .map(|(q, c)| (q.as_slice(), c.as_ref().map(|e| e.as_slice())))
+            .collect();
+        let shard_indices: Vec<usize> = (0..self.shards.len()).collect();
+        let mut per_shard: Vec<Vec<crate::cache::ScatterProbe>> = shard_indices
+            .par_iter()
+            .map(|&shard| read(&self.shards[shard]).probe_scatter_batch(&prepared))
+            .collect();
+        (0..probes.len())
+            .map(|pos| {
+                let column: Vec<(usize, crate::cache::ScatterProbe)> = per_shard
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(shard, outcomes)| {
+                        (
+                            shard,
+                            std::mem::replace(
+                                &mut outcomes[pos],
+                                crate::cache::ScatterProbe {
+                                    outcome: CacheDecisionOutcome::Miss,
+                                    rejected_by_context: false,
+                                },
+                            ),
+                        )
+                    })
+                    .collect();
+                // `merge_scatter` counts one logical hit/rejection per
+                // probe; lookups were counted for the whole batch above.
+                self.merge_scatter(column.into_iter())
+            })
+            .collect()
+    }
 }
 
 impl Clone for ShardedCache {
@@ -272,6 +785,12 @@ impl Clone for ShardedCache {
                 .collect(),
             config: self.config.clone(),
             encoder: self.encoder.clone(),
+            router: RwLock::new(read_router(&self.router).clone()),
+            scatter_lookups: AtomicU64::new(self.scatter_lookups.load(Ordering::Relaxed)),
+            scatter_hits: AtomicU64::new(self.scatter_hits.load(Ordering::Relaxed)),
+            scatter_context_rejections: AtomicU64::new(
+                self.scatter_context_rejections.load(Ordering::Relaxed),
+            ),
         }
     }
 }
@@ -282,6 +801,11 @@ impl Clone for ShardedCache {
 /// workspace is always a bug, so fail loudly instead of papering over it.
 fn read(shard: &RwLock<MeanCache>) -> std::sync::RwLockReadGuard<'_, MeanCache> {
     shard.read().expect("cache shard lock poisoned")
+}
+
+/// Shared-read the router state (same poisoning stance as [`read`]).
+fn read_router(router: &RwLock<RouterState>) -> std::sync::RwLockReadGuard<'_, RouterState> {
+    router.read().expect("router lock poisoned")
 }
 
 /// Exclusive access through `&mut self` — no lock taken, cannot block.
@@ -296,9 +820,46 @@ fn write(shard: &RwLock<MeanCache>) -> std::sync::RwLockWriteGuard<'_, MeanCache
     shard.write().expect("cache shard lock poisoned")
 }
 
+/// Capacity borrowing for the semantic modes, applied to the (locked or
+/// exclusively borrowed) target shard just before an insert: grow a full
+/// shard into unused global budget; once the global budget is spent, clamp
+/// the shard to its own occupancy so the insert evicts locally. Shared by
+/// the `&mut` and `insert_shared` paths so the policy cannot drift between
+/// them. Hash mode keeps the fixed `capacity / N` split.
+///
+/// Two documented slacks on the `global_capacity` bound:
+/// * `total` is sampled just before locking the target, so concurrent
+///   writers can each overshoot by one in flight;
+/// * an insert landing on an **empty** shard after the budget is spent has
+///   nothing local to evict and is admitted anyway (capacity 1), so total
+///   occupancy can settle at up to `global_capacity + N − 1`. Cross-shard
+///   eviction would close that gap but needs a second shard's write lock
+///   under the first — a lock-ordering hazard not worth a bounded,
+///   one-time-per-shard slack.
+fn apply_capacity_borrowing(
+    routing: RoutingMode,
+    global_capacity: usize,
+    cache: &mut MeanCache,
+    total: usize,
+) {
+    if routing == RoutingMode::Hash {
+        return;
+    }
+    let len = cache.len();
+    if total >= global_capacity {
+        cache.set_capacity(len.max(1));
+    } else if len >= cache.config().capacity {
+        cache.set_capacity(len + 1);
+    }
+}
+
 impl SemanticCache for ShardedCache {
     fn probe(&self, query: &str, context: &[String]) -> CacheDecisionOutcome {
-        let shard = self.shard_of(query, context);
+        let shard = match self.config.routing {
+            RoutingMode::Hash => self.hash_route(query, context),
+            RoutingMode::Centroid => self.semantic_route(query, context).0,
+            RoutingMode::ScatterGather => return self.probe_scatter(query, context),
+        };
         let outcome = read(&self.shards[shard]).probe(query, context);
         self.globalise(shard, outcome)
     }
@@ -313,6 +874,9 @@ impl SemanticCache for ShardedCache {
     }
 
     fn probe_batch(&self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
+        if self.config.routing == RoutingMode::ScatterGather {
+            return self.probe_batch_scatter(probes);
+        }
         // Partition probe positions by shard, fan the per-shard batches out
         // across the rayon pool (each task holds one shard's read guard for
         // one `probe_batch` pass), then scatter the outcomes back into
@@ -348,8 +912,21 @@ impl SemanticCache for ShardedCache {
     }
 
     fn insert(&mut self, query: &str, response: &str, context: &[String]) -> Result<u64> {
-        let shard = self.shard_of(query, context);
+        let (shard, root_embedding) = self.insert_route(query, context);
+        let semantic = self.config.routing != RoutingMode::Hash;
+        if semantic {
+            let total = self.total_occupancy();
+            apply_capacity_borrowing(
+                self.config.routing,
+                self.config.capacity,
+                shard_mut(&mut self.shards[shard]),
+                total,
+            );
+        }
         let local = shard_mut(&mut self.shards[shard]).insert(query, response, context)?;
+        if semantic {
+            self.note_insert(shard, query, context, root_embedding);
+        }
         Ok(self.public_id(shard, local))
     }
 
@@ -370,11 +947,240 @@ impl SemanticCache for ShardedCache {
     }
 
     fn name(&self) -> String {
-        format!(
-            "Sharded[{}]{}",
-            self.shards.len(),
-            read(&self.shards[0]).name()
-        )
+        let inner = read(&self.shards[0]).name();
+        match self.config.routing {
+            RoutingMode::Hash => format!("Sharded[{}]{inner}", self.shards.len()),
+            mode => format!("Sharded[{};{}]{inner}", self.shards.len(), mode.name()),
+        }
+    }
+}
+
+/// Number of Lloyd iterations [`ShardedCache::seed_centroids`] runs.
+const KMEANS_ITERS: usize = 12;
+
+/// Deterministic spherical k-means: farthest-first initialisation (no RNG —
+/// seeding must reproduce bit-for-bit across processes), then `iters`
+/// Lloyd rounds of assign-to-nearest-centroid / renormalised-mean updates.
+/// Returns `(centroids, cluster_sizes)`; both empty when `samples` is.
+/// Empty clusters are re-seeded from the sample that is farthest from every
+/// current centroid, so `k` shards always get `k` usable centroids when at
+/// least one sample exists.
+fn spherical_kmeans(samples: &[&[f32]], k: usize, iters: usize) -> (Vec<Vec<f32>>, Vec<u64>) {
+    if samples.is_empty() || k == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let dims = samples[0].len();
+    // Farthest-first traversal: start from sample 0, repeatedly add the
+    // sample with the lowest best-similarity to any chosen centre.
+    let mut centroids: Vec<Vec<f32>> = vec![samples[0].to_vec()];
+    let mut best_sim: Vec<f32> = samples.iter().map(|s| vector::dot(s, samples[0])).collect();
+    while centroids.len() < k {
+        let next = best_sim
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        centroids.push(samples[next].to_vec());
+        for (sim, sample) in best_sim.iter_mut().zip(samples) {
+            *sim = sim.max(vector::dot(sample, samples[next]));
+        }
+    }
+    let mut counts = vec![0u64; k];
+    for _ in 0..iters {
+        let mut sums = vec![vec![0.0f32; dims]; k];
+        counts = vec![0u64; k];
+        for sample in samples {
+            let cell = nearest_centroid(sample, &centroids);
+            vector::axpy(1.0, sample, &mut sums[cell]);
+            counts[cell] += 1;
+        }
+        for (cell, sum) in sums.iter_mut().enumerate() {
+            if counts[cell] == 0 {
+                // Re-seed an empty cell from the sample farthest from every
+                // live centroid, so no shard is left unroutable.
+                let farthest = samples
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        let sa = centroid_affinity(a, &centroids);
+                        let sb = centroid_affinity(b, &centroids);
+                        sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                centroids[cell] = samples[farthest].to_vec();
+                counts[cell] = 1;
+                continue;
+            }
+            vector::normalize(sum);
+            centroids[cell] = std::mem::take(sum);
+        }
+    }
+    (centroids, counts)
+}
+
+/// Best similarity of `sample` to any centroid.
+fn centroid_affinity(sample: &[f32], centroids: &[Vec<f32>]) -> f32 {
+    centroids
+        .iter()
+        .map(|c| vector::dot(sample, c))
+        .fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Index of the centroid with the highest dot product (all unit vectors, so
+/// dot == cosine). Lowest index wins exact ties — deterministic routing.
+fn nearest_centroid(embedding: &[f32], centroids: &[Vec<f32>]) -> usize {
+    let mut best = 0;
+    let mut best_sim = f32::NEG_INFINITY;
+    for (i, centroid) in centroids.iter().enumerate() {
+        let sim = vector::dot(embedding, centroid);
+        if sim > best_sim {
+            best_sim = sim;
+            best = i;
+        }
+    }
+    best
+}
+
+/// The root query text of `entry`'s conversation chain, following parent
+/// links through `by_id` (the entry's own query when standalone). A
+/// dangling or cyclic link — impossible for logs written by this crate, but
+/// this also runs over reloaded files — stops at the last resolvable hop.
+fn chain_root<'a>(by_id: &HashMap<u64, &'a CacheEntry>, entry: &'a CacheEntry) -> &'a str {
+    let mut current = entry;
+    for _ in 0..=by_id.len() {
+        match current.parent.and_then(|p| by_id.get(&p)) {
+            Some(parent) => current = parent,
+            None => break,
+        }
+    }
+    &current.query
+}
+
+/// Rebuilds `source` under `new_config` by replaying every cached entry
+/// through fresh routing — the explicit path for changing a live (or
+/// reloaded) cache's shard count or [`RoutingMode`].
+///
+/// Entries keep their query, response, embedding and parent links (parents
+/// are remapped to their new shard-local ids; a conversation always lands
+/// whole in one shard, whatever the target mode). Entry ids — and therefore
+/// the public namespaced ids — are reassigned. Access recency/frequency
+/// metadata is reset, exactly as a save/load cycle resets it. When the new
+/// capacity is smaller than the entry count, later-replayed entries evict
+/// earlier ones under the target's eviction policy.
+///
+/// Switching *to* [`RoutingMode::Centroid`]: the source's centroids are
+/// carried over when it already had compatible ones; otherwise fresh
+/// centroids are seeded by k-means over the replayed entries' own
+/// embeddings.
+///
+/// # Errors
+/// Returns [`crate::CacheError::InvalidConfig`] for an invalid
+/// `new_config`, and propagates storage failures from the replay.
+pub fn reshard(source: &ShardedCache, new_config: MeanCacheConfig) -> Result<ShardedCache> {
+    let mut target = ShardedCache::new(source.encoder().clone(), new_config)?;
+    if target.config.routing == RoutingMode::Centroid {
+        let (centroids, counts) = source.centroid_state();
+        let compatible = centroids.len() == target.shard_count()
+            && centroids
+                .iter()
+                .all(|c| c.len() == target.encoder().output_dim());
+        if compatible && !centroids.is_empty() {
+            target.restore_centroid_state(centroids, counts)?;
+        } else {
+            // Seed from the entries themselves: deterministic shard order,
+            // ascending ids.
+            let mut samples: Vec<Vec<f32>> = Vec::new();
+            for shard in 0..source.shard_count() {
+                source.with_shard(shard, |cache| {
+                    let mut entries: Vec<&CacheEntry> = cache.entries().collect();
+                    entries.sort_by_key(|e| e.id);
+                    samples.extend(entries.iter().map(|e| e.embedding.as_slice().to_vec()));
+                });
+            }
+            target.seed_centroids(&samples)?;
+        }
+    }
+    for shard in 0..source.shard_count() {
+        let mut entries: Vec<CacheEntry> =
+            source.with_shard(shard, |cache| cache.entries().cloned().collect());
+        // Resolve every entry's conversation root up front (cloning only
+        // the root *strings*, not the embedding-heavy entries a second
+        // time); the borrow map dies before the sort moves the entries.
+        let roots: HashMap<u64, String> = {
+            let by_id_refs: HashMap<u64, &CacheEntry> = entries.iter().map(|e| (e.id, e)).collect();
+            entries
+                .iter()
+                .map(|e| (e.id, chain_root(&by_id_refs, e).to_string()))
+                .collect()
+        };
+        // Parents before children (ids are allocated monotonically, so a
+        // parent's id is always below its children's).
+        entries.sort_by_key(|e| (e.parent.is_some(), e.id));
+        let mut remap: HashMap<u64, (usize, u64)> = HashMap::with_capacity(entries.len());
+        for mut entry in entries {
+            let root = roots[&entry.id].clone();
+            let old_id = entry.id;
+            let target_shard = target.replay_route(&root);
+            entry.parent = match entry.parent {
+                None => None,
+                Some(old_parent) => match remap.get(&old_parent) {
+                    // Same root ⇒ same pin ⇒ same shard; a parent that was
+                    // itself evicted during replay leaves the child
+                    // standalone-rooted rather than dangling.
+                    Some((parent_shard, new_parent)) if *parent_shard == target_shard => {
+                        Some(*new_parent)
+                    }
+                    _ => None,
+                },
+            };
+            let cache = target.shard_cache_mut(target_shard);
+            let new_id = cache.reserve_id();
+            entry.id = new_id;
+            cache.restore_entry(entry)?;
+            remap.insert(old_id, (target_shard, new_id));
+            target.pin_root(&root, target_shard);
+        }
+    }
+    Ok(target)
+}
+
+impl ShardedCache {
+    /// Replay-time routing: pins first (so every entry of a conversation
+    /// follows its root), then the target mode's stateless rule. Centroids
+    /// stay **frozen** during a replay — the k-means seeding already saw
+    /// the data, and freezing keeps the replay order-insensitive for
+    /// standalone entries.
+    fn replay_route(&self, root: &str) -> usize {
+        let router = read_router(&self.router);
+        if let Some(&shard) = router.pins.get(&fnv1a(root)) {
+            return shard;
+        }
+        match self.config.routing {
+            RoutingMode::Hash => (fnv1a(root) % self.shards.len() as u64) as usize,
+            RoutingMode::Centroid => {
+                if router.centroids.is_empty() {
+                    return (fnv1a(root) % self.shards.len() as u64) as usize;
+                }
+                let embedding = self.encoder.encode(root);
+                nearest_centroid(embedding.as_slice(), &router.centroids)
+            }
+            RoutingMode::ScatterGather => {
+                drop(router);
+                self.least_occupied()
+            }
+        }
+    }
+
+    /// Records a root → shard pin (replay/reload path; the live insert path
+    /// goes through `note_insert`).
+    fn pin_root(&mut self, root: &str, shard: usize) {
+        self.router
+            .get_mut()
+            .expect("router lock poisoned")
+            .pins
+            .insert(fnv1a(root), shard);
     }
 }
 
@@ -393,6 +1199,17 @@ mod tests {
             MeanCacheConfig::default()
                 .with_threshold(threshold)
                 .with_shards(shards),
+        )
+        .unwrap()
+    }
+
+    fn sharded_with(shards: usize, threshold: f32, routing: RoutingMode) -> ShardedCache {
+        ShardedCache::new(
+            encoder(),
+            MeanCacheConfig::default()
+                .with_threshold(threshold)
+                .with_shards(shards)
+                .with_routing(routing),
         )
         .unwrap()
     }
@@ -642,5 +1459,351 @@ mod tests {
         assert_eq!(snapshot.len(), 1);
         assert_eq!(cache.len(), 2);
         assert!(snapshot.probe("what is federated learning", &[]).is_hit());
+    }
+
+    // ---- routing modes -----------------------------------------------------
+
+    #[test]
+    fn routing_mode_names_round_trip() {
+        for mode in [
+            RoutingMode::Hash,
+            RoutingMode::Centroid,
+            RoutingMode::ScatterGather,
+        ] {
+            assert_eq!(RoutingMode::from_name(mode.name()), Some(mode));
+        }
+        assert_eq!(RoutingMode::from_name("bogus"), None);
+        assert_eq!(RoutingMode::default(), RoutingMode::Hash);
+    }
+
+    #[test]
+    fn scatter_gather_finds_entries_on_any_shard() {
+        let mut hash = sharded(8, 0.6);
+        let mut scatter = sharded_with(8, 0.6, RoutingMode::ScatterGather);
+        // Insert through *hash* routing into the scatter cache's shards by
+        // copying the entries over via reshard — instead, simply insert
+        // into each and verify every exact repeat hits under scatter.
+        for i in 0..30 {
+            let q = format!("scatter subject number {i}");
+            hash.insert(&q, "resp", &[]).unwrap();
+            scatter.insert(&q, "resp", &[]).unwrap();
+        }
+        for i in 0..30 {
+            let q = format!("scatter subject number {i}");
+            assert!(scatter.probe(&q, &[]).is_hit(), "{q} must hit");
+        }
+        // Load balancing: least-occupied insert keeps shards level.
+        let lens = scatter.shard_lens();
+        let (min, max) = (
+            lens.iter().min().copied().unwrap(),
+            lens.iter().max().copied().unwrap(),
+        );
+        assert!(max - min <= 1, "scatter inserts must balance: {lens:?}");
+        assert_eq!(scatter.stats().lookups, 30);
+        assert_eq!(scatter.stats().hits, 30);
+        assert!(scatter.name().contains("scatter-gather"));
+    }
+
+    #[test]
+    fn scatter_gather_matches_unsharded_decisions_on_standalone_entries() {
+        let mut flat =
+            MeanCache::new(encoder(), MeanCacheConfig::default().with_threshold(0.6)).unwrap();
+        let mut scatter = sharded_with(4, 0.6, RoutingMode::ScatterGather);
+        let items = [
+            "how can I increase the battery life of my smartphone",
+            "how do I bake sourdough bread at home",
+            "what is federated learning",
+            "tips for travelling to japan in spring",
+        ];
+        for (i, q) in items.iter().enumerate() {
+            flat.insert(q, &format!("resp {i}"), &[]).unwrap();
+            scatter.insert(q, &format!("resp {i}"), &[]).unwrap();
+        }
+        for probe in [
+            "how can I increase the battery life of my phone",
+            "how do I bake sourdough bread",
+            "explain federated learning",
+            "what is the capital city of portugal",
+        ] {
+            let a = flat.probe(probe, &[]);
+            let b = scatter.probe(probe, &[]);
+            assert_eq!(a.is_hit(), b.is_hit(), "probe {probe:?} diverged");
+            if let (Some(ha), Some(hb)) = (a.hit(), b.hit()) {
+                assert_eq!(ha.response, hb.response, "probe {probe:?} response");
+                assert_eq!(
+                    ha.score.to_bits(),
+                    hb.score.to_bits(),
+                    "probe {probe:?} score"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_gather_batch_matches_single_probes() {
+        let mut cache = sharded_with(4, 0.6, RoutingMode::ScatterGather);
+        for i in 0..20 {
+            cache
+                .insert(&format!("batchable subject {i}"), "resp", &[])
+                .unwrap();
+        }
+        cache
+            .insert("draw a line plot in python", "Use plt.plot.", &[])
+            .unwrap();
+        let ctx = vec!["draw a line plot in python".to_string()];
+        cache
+            .insert("change the color to red", "Pass color='red'.", &ctx)
+            .unwrap();
+        let probes: Vec<(String, Vec<String>)> = (0..20)
+            .map(|i| (format!("batchable subject {i}"), Vec::new()))
+            .chain(std::iter::once((
+                "change the color to red".to_string(),
+                ctx.clone(),
+            )))
+            .chain((0..5).map(|i| (format!("never cached topic {i}"), Vec::new())))
+            .collect();
+        let refs: Vec<(&str, &[String])> = probes
+            .iter()
+            .map(|(q, c)| (q.as_str(), c.as_slice()))
+            .collect();
+        let batched = cache.probe_batch(&refs);
+        for ((query, context), batched_outcome) in probes.iter().zip(&batched) {
+            assert_eq!(
+                &cache.probe(query, context),
+                batched_outcome,
+                "probe {query:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn scatter_gather_keeps_conversations_affine() {
+        let mut cache = sharded_with(4, 0.6, RoutingMode::ScatterGather);
+        cache
+            .insert("draw a line plot in python", "Use plt.plot.", &[])
+            .unwrap();
+        let ctx = vec!["draw a line plot in python".to_string()];
+        let child = cache
+            .insert("change the color to red", "Pass color='red'.", &ctx)
+            .unwrap();
+        // Root pin: the follow-up must land in its parent's shard so the
+        // parent link resolves.
+        let entry = cache.entry(child).unwrap();
+        assert!(entry.parent.is_some(), "follow-up must link its parent");
+        let same = cache.lookup("change the color to red", &ctx);
+        assert!(same.hit().unwrap().contextual);
+        assert!(cache
+            .lookup("change the color to red", &["draw a circle".to_string()])
+            .is_miss());
+    }
+
+    #[test]
+    fn centroid_routing_pins_exact_repeats_and_routes_paraphrases_semantically() {
+        let mut cache = sharded_with(4, 0.55, RoutingMode::Centroid);
+        let seeds = [
+            "how can I increase the battery life of my smartphone",
+            "how do I bake sourdough bread at home",
+            "what is federated learning exactly",
+            "tips for travelling to japan in spring",
+        ];
+        cache.seed_centroids_from_texts(&seeds).unwrap();
+        assert!(cache.centroids_seeded());
+        for (i, q) in seeds.iter().enumerate() {
+            cache.insert(q, &format!("resp {i}"), &[]).unwrap();
+        }
+        assert_eq!(cache.root_pin_count(), 4);
+        // Exact repeats hit via the pin table.
+        for q in seeds {
+            assert!(cache.probe(q, &[]).is_hit(), "{q} must hit");
+        }
+        // A paraphrase routes by embedding to the same centroid as its
+        // original and therefore hits.
+        let hit = cache.probe("how can I increase the battery life of my phone", &[]);
+        assert!(
+            hit.is_hit(),
+            "paraphrase must route to its original's shard"
+        );
+        assert!(hit.hit().unwrap().response.contains("resp 0"));
+        assert!(cache.name().contains("centroid"));
+    }
+
+    #[test]
+    fn unseeded_centroid_mode_falls_back_to_hash_routing() {
+        let mut centroid = sharded_with(8, 0.6, RoutingMode::Centroid);
+        let hash = sharded(8, 0.6);
+        assert!(!centroid.centroids_seeded());
+        // Same shard assignment as hash for unseeded fresh roots.
+        for i in 0..20 {
+            let q = format!("fallback subject number {i}");
+            assert_eq!(centroid.shard_of(&q, &[]), hash.shard_of(&q, &[]));
+        }
+        centroid
+            .insert("what is federated learning", "FL.", &[])
+            .unwrap();
+        assert!(centroid.probe("what is federated learning", &[]).is_hit());
+    }
+
+    #[test]
+    fn capacity_borrowing_lets_a_hot_shard_grow_into_the_global_budget() {
+        // One conversation (one root pin ⇒ one shard) inserting 8 entries
+        // into a 4-shard cache with a *total* capacity of 8. The fixed
+        // split would cap the hot shard at 2; borrowing must keep all 8.
+        let mut config = MeanCacheConfig::default()
+            .with_threshold(0.6)
+            .with_shards(4)
+            .with_routing(RoutingMode::ScatterGather);
+        config.capacity = 8;
+        let mut cache = ShardedCache::new(encoder(), config.clone()).unwrap();
+        let root = "the very first question of a long conversation".to_string();
+        cache.insert(&root, "r0", &[]).unwrap();
+        let mut context = vec![root.clone()];
+        for i in 1..8 {
+            cache
+                .insert(&format!("follow-up number {i}"), &format!("r{i}"), &context)
+                .unwrap();
+            context.push(format!("follow-up number {i}"));
+        }
+        assert_eq!(cache.len(), 8, "borrowing must retain the whole budget");
+        assert_eq!(
+            cache.shard_lens().iter().filter(|&&l| l > 0).count(),
+            1,
+            "one conversation pins to one shard"
+        );
+        // The 9th insert exceeds the global budget: an eviction happens and
+        // the total stays at 8.
+        cache.insert("follow-up number 8", "r8", &context).unwrap();
+        assert_eq!(cache.len(), 8, "global budget must hold after borrowing");
+
+        // Hash mode keeps the fixed split: the same traffic caps the hot
+        // shard at ceil(8/4) = 2.
+        let mut hash_cache = ShardedCache::new(
+            encoder(),
+            MeanCacheConfig {
+                routing: RoutingMode::Hash,
+                ..config
+            },
+        )
+        .unwrap();
+        hash_cache.insert(&root, "r0", &[]).unwrap();
+        let mut context = vec![root.clone()];
+        for i in 1..8 {
+            hash_cache
+                .insert(&format!("follow-up number {i}"), &format!("r{i}"), &context)
+                .unwrap();
+            context.push(format!("follow-up number {i}"));
+        }
+        assert_eq!(
+            hash_cache.len(),
+            2,
+            "hash mode must keep the fixed capacity/N split"
+        );
+    }
+
+    #[test]
+    fn clear_empties_contents_but_keeps_centroids_and_threshold() {
+        let mut cache = sharded_with(3, 0.6, RoutingMode::Centroid);
+        let seeds: Vec<String> = (0..9).map(|i| format!("clear seed subject {i}")).collect();
+        cache.seed_centroids_from_texts(&seeds).unwrap();
+        for q in &seeds {
+            cache.insert(q, "resp", &[]).unwrap();
+        }
+        cache.set_threshold(0.42);
+        cache.clear().unwrap();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.root_pin_count(), 0, "pins are content-derived");
+        assert!(
+            cache.centroids_seeded(),
+            "a flush must not degrade centroid routing to the hash fallback"
+        );
+        assert_eq!(cache.threshold(), 0.42, "live threshold survives");
+        assert_eq!(cache.stats().inserts, 0, "statistics reset with contents");
+        // The cleared cache still routes and serves.
+        cache.insert("post-clear entry", "resp", &[]).unwrap();
+        assert!(cache.probe("post-clear entry", &[]).is_hit());
+    }
+
+    #[test]
+    fn reshard_changes_shard_count_and_preserves_contents() {
+        let mut cache = sharded(3, 0.6);
+        for i in 0..24 {
+            cache
+                .insert(
+                    &format!("reshard subject number {i}"),
+                    &format!("r{i}"),
+                    &[],
+                )
+                .unwrap();
+        }
+        cache
+            .insert("draw a line plot in python", "Use plt.plot.", &[])
+            .unwrap();
+        let ctx = vec!["draw a line plot in python".to_string()];
+        cache
+            .insert("change the color to red", "Pass color='red'.", &ctx)
+            .unwrap();
+
+        for (shards, routing) in [
+            (5, RoutingMode::Hash),
+            (2, RoutingMode::Centroid),
+            (4, RoutingMode::ScatterGather),
+        ] {
+            let resharded = reshard(
+                &cache,
+                cache
+                    .config()
+                    .clone()
+                    .with_shards(shards)
+                    .with_routing(routing),
+            )
+            .unwrap();
+            assert_eq!(resharded.shard_count(), shards);
+            assert_eq!(resharded.len(), cache.len(), "{routing:?} lost entries");
+            for i in 0..24 {
+                let q = format!("reshard subject number {i}");
+                assert!(
+                    resharded.probe(&q, &[]).is_hit(),
+                    "{q} must hit after resharding to {shards} {routing:?}"
+                );
+            }
+            // The conversation chain survives whole.
+            assert!(resharded
+                .probe("change the color to red", &ctx)
+                .hit()
+                .map(|h| h.contextual)
+                .unwrap_or(false));
+            assert!(resharded
+                .probe("change the color to red", &["draw a circle".to_string()])
+                .is_miss());
+        }
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_and_covers_all_cells() {
+        let samples: Vec<Vec<f32>> = (0..40)
+            .map(|i| {
+                let mut v = vec![0.0f32; 8];
+                v[i % 8] = 1.0;
+                v[(i + 3) % 8] = 0.5;
+                vector::normalize(&mut v);
+                v
+            })
+            .collect();
+        let refs: Vec<&[f32]> = samples.iter().map(Vec::as_slice).collect();
+        let (a, counts_a) = spherical_kmeans(&refs, 4, KMEANS_ITERS);
+        let (b, _) = spherical_kmeans(&refs, 4, KMEANS_ITERS);
+        assert_eq!(a, b, "seeding must be deterministic");
+        assert_eq!(a.len(), 4);
+        assert!(
+            counts_a.iter().all(|&c| c > 0),
+            "no empty cells: {counts_a:?}"
+        );
+        for c in &a {
+            assert!((vector::norm(c) - 1.0).abs() < 1e-4, "centroids unit-norm");
+        }
+        // Degenerate inputs.
+        assert!(spherical_kmeans(&[], 4, 3).0.is_empty());
+        let one = [refs[0]];
+        let (cs, _) = spherical_kmeans(&one, 3, 3);
+        assert_eq!(cs.len(), 3, "k > n still yields k usable centroids");
     }
 }

@@ -3,22 +3,33 @@
 //! ```text
 //! serve [--addr 127.0.0.1:4077] [--shards 8] [--capacity 100000]
 //!       [--threshold 0.7] [--index flat-sq8|flat|ivf|ivf-sq8] [--seed 2024]
+//!       [--routing hash|centroid|scatter-gather] [--persist PATH]
 //!       [--batch-max 64] [--batch-wait-us 200] [--queue-cap 1024]
 //!       [--max-conns 32] [--smoke]
 //! ```
 //!
+//! `--persist PATH` wires durability in: an existing save at PATH is
+//! restored on startup, the `Save` control command writes back to PATH,
+//! and a graceful shutdown saves automatically — a restart keeps its
+//! contents. When restoring, the save's config sidecar wins over the
+//! non-topology CLI flags (`--threshold`, `--capacity`, `--index`); only
+//! `--shards` and `--routing` override the save, by resharding the
+//! restored cache in place.
+//!
 //! `--smoke` runs the CI self-test instead of serving forever: bind an
 //! ephemeral localhost port, drive a real client over TCP (ping, inserts,
 //! exact-repeat lookups that must hit, novel lookups that must miss, a
-//! stats cross-check, a graceful shutdown), and exit non-zero on any
-//! mismatch.
+//! stats cross-check, a routing-mode switch, a save/restore cycle, a
+//! graceful shutdown), and exit non-zero on any mismatch.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use mc_embedder::{ModelProfile, QueryEncoder};
 use mc_serve::{Client, ServeConfig, Server};
 use mc_store::IndexKind;
-use meancache::{MeanCacheConfig, ShardedCache};
+use meancache::persist::load_sharded_cache_with_config;
+use meancache::{reshard, MeanCacheConfig, RoutingMode, ShardedCache};
 
 struct Args {
     addr: String,
@@ -27,6 +38,7 @@ struct Args {
     threshold: f32,
     index: IndexKind,
     seed: u64,
+    routing: RoutingMode,
     serve_config: ServeConfig,
     smoke: bool,
 }
@@ -39,6 +51,7 @@ fn parse_args() -> Args {
         threshold: 0.7,
         index: IndexKind::flat_sq8(),
         seed: 2024,
+        routing: RoutingMode::Hash,
         serve_config: ServeConfig::default(),
         smoke: false,
     };
@@ -84,6 +97,16 @@ fn parse_args() -> Args {
                 };
             }
             "--seed" => args.seed = value(&mut i, "--seed").parse().expect("--seed: integer"),
+            "--routing" => {
+                let name = value(&mut i, "--routing");
+                args.routing = RoutingMode::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown routing mode `{name}` (hash|centroid|scatter-gather)");
+                    std::process::exit(2);
+                });
+            }
+            "--persist" => {
+                args.serve_config.persist_path = Some(PathBuf::from(value(&mut i, "--persist")));
+            }
             "--batch-max" => {
                 args.serve_config.max_batch = value(&mut i, "--batch-max")
                     .parse()
@@ -111,8 +134,9 @@ fn parse_args() -> Args {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: serve [--addr A] [--shards N] [--capacity N] [--threshold T] \
-                     [--index KIND] [--seed N] [--batch-max N] [--batch-wait-us N] \
-                     [--queue-cap N] [--max-conns N] [--smoke]"
+                     [--index KIND] [--seed N] [--routing MODE] [--persist PATH] \
+                     [--batch-max N] [--batch-wait-us N] [--queue-cap N] [--max-conns N] \
+                     [--smoke]"
                 );
                 std::process::exit(2);
             }
@@ -127,11 +151,52 @@ fn build_cache(args: &Args) -> ShardedCache {
     let config = MeanCacheConfig::default()
         .with_threshold(args.threshold)
         .with_index(args.index.clone())
-        .with_shards(args.shards);
+        .with_shards(args.shards)
+        .with_routing(args.routing);
     let config = MeanCacheConfig {
         capacity: args.capacity,
         ..config
     };
+    // A previous save at the persist path takes precedence over an empty
+    // cache, and its sidecar config (threshold, capacity, index, …) wins
+    // over the corresponding CLI flags — consistently, whether or not a
+    // reshard happens. Only the topology flags (`--shards`, `--routing`)
+    // override the save, via an explicit reshard-in-place.
+    if let Some(path) = &args.serve_config.persist_path {
+        let mut sidecar = path.as_os_str().to_os_string();
+        sidecar.push(".config.json");
+        if PathBuf::from(sidecar).exists() {
+            let restored = load_sharded_cache_with_config(encoder, path).unwrap_or_else(|e| {
+                eprintln!("cannot restore cache from {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            if restored.shard_count() != args.shards || restored.routing() != args.routing {
+                println!(
+                    "mc-serve: resharding restored cache ({} shards, {} routing) to \
+                     ({} shards, {} routing)",
+                    restored.shard_count(),
+                    restored.routing().name(),
+                    args.shards,
+                    args.routing.name(),
+                );
+                let desired = restored
+                    .config()
+                    .clone()
+                    .with_shards(args.shards)
+                    .with_routing(args.routing);
+                return reshard(&restored, desired).unwrap_or_else(|e| {
+                    eprintln!("reshard of restored cache failed: {e}");
+                    std::process::exit(2);
+                });
+            }
+            println!(
+                "mc-serve: restored {} entries from {}",
+                meancache::SemanticCache::len(&restored),
+                path.display()
+            );
+            return restored;
+        }
+    }
     ShardedCache::new(encoder, config).expect("valid serving config")
 }
 
@@ -163,8 +228,12 @@ fn main() {
 /// counts, graceful shutdown.
 fn smoke(args: &Args) {
     // A fast smoke wants visible batching: tiny linger, default batch size.
+    // Persistence gets a scratch path so the save/restore cycle is covered.
+    let persist_dir = std::env::temp_dir().join(format!("mc_serve_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&persist_dir).expect("smoke scratch dir");
     let mut serve_config = args.serve_config.clone();
     serve_config.max_wait = Duration::from_micros(100);
+    serve_config.persist_path = Some(persist_dir.join("cache.log"));
     let args = Args {
         addr: "127.0.0.1:0".to_string(),
         shards: args.shards,
@@ -172,6 +241,7 @@ fn smoke(args: &Args) {
         threshold: args.threshold,
         index: args.index.clone(),
         seed: args.seed,
+        routing: args.routing,
         serve_config,
         smoke: true,
     };
@@ -232,10 +302,43 @@ fn smoke(args: &Args) {
             stats.avg_batch,
             stats.shard_occupancy
         );
+
+        // Routing control plane: switch to scatter-gather (reshards in
+        // place) — every exact repeat must still hit afterwards.
+        client
+            .set_routing(RoutingMode::ScatterGather)
+            .expect("set_routing");
+        let stats = client.stats().expect("stats after set_routing");
+        assert_eq!(stats.routing, "scatter-gather", "stats: routing mode");
+        assert_eq!(stats.entries, inserts, "stats: entries after reshard");
+        let outcomes = client.lookup_pipelined(&hit_probes).expect("post-reshard");
+        assert!(
+            outcomes.iter().all(|o| o.is_hit()),
+            "every exact repeat must hit after resharding"
+        );
+
+        // Persistence control plane: an explicit save reports the entry
+        // count; shutdown re-saves automatically.
+        let saved = client.save().expect("save");
+        assert_eq!(saved, inserts as u64, "save: persisted entry count");
         client.shutdown_server().expect("shutdown");
     });
 
     handle.wait();
     client.join().expect("smoke client panicked");
-    println!("smoke: PASS");
+
+    // Restart against the same persist path: contents must survive.
+    let restored = build_cache(&args);
+    assert_eq!(
+        meancache::SemanticCache::len(&restored),
+        inserts,
+        "restart must restore every saved entry"
+    );
+    assert_eq!(
+        restored.routing(),
+        args.routing,
+        "CLI routing wins on restart"
+    );
+    std::fs::remove_dir_all(&persist_dir).ok();
+    println!("smoke: PASS (incl. reshard + save/restore cycle)");
 }

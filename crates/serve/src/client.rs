@@ -8,7 +8,7 @@
 use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use meancache::CacheDecisionOutcome;
+use meancache::{CacheDecisionOutcome, RoutingMode};
 
 use crate::protocol::{read_frame, write_frame, ProtocolError, Request, Response};
 use crate::stats::ServeStatsSnapshot;
@@ -234,6 +234,33 @@ impl Client {
         match self.call(&Request::Flush)? {
             Response::Flushed(n) => Ok(n),
             _ => Err(ClientError::Unexpected("wanted Flushed")),
+        }
+    }
+
+    /// Switches the server's shard-routing mode (the server reshards in
+    /// place — every cached entry is replayed through fresh routing, so
+    /// public entry ids change).
+    ///
+    /// # Errors
+    /// [`ClientError`]; a failed reshard comes back as
+    /// [`ClientError::Server`].
+    pub fn set_routing(&mut self, mode: RoutingMode) -> ClientResult<()> {
+        match self.call(&Request::SetRouting(mode))? {
+            Response::Ack => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted Ack")),
+        }
+    }
+
+    /// Persists the server's cache to its configured path; returns how
+    /// many entries were saved.
+    ///
+    /// # Errors
+    /// [`ClientError`]; a server without a persist path reports a
+    /// [`ClientError::Server`] failure.
+    pub fn save(&mut self) -> ClientResult<u64> {
+        match self.call(&Request::Save)? {
+            Response::Saved(n) => Ok(n),
+            _ => Err(ClientError::Unexpected("wanted Saved")),
         }
     }
 

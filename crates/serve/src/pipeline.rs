@@ -17,11 +17,13 @@
 //! ticket ever returned by [`ServePipeline::submit`] resolves.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use meancache::{CacheDecisionOutcome, SemanticCache, ShardedCache};
+use meancache::persist::save_sharded_cache_with_config;
+use meancache::{reshard, CacheDecisionOutcome, RoutingMode, SemanticCache, ShardedCache};
 
 use crate::queue::{BoundedQueue, SubmitError};
 use crate::stats::{ServeMetrics, ServeStatsSnapshot};
@@ -48,6 +50,10 @@ pub struct ServeConfig {
     /// Zero in production; tests raise it to simulate a slow consumer and
     /// exercise the load-shedding path deterministically.
     pub batch_delay: Duration,
+    /// Where the cache persists: the target of the `Save` control command
+    /// and of the automatic save on graceful shutdown. `None` (the
+    /// default) disables both — the cache lives and dies in memory.
+    pub persist_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +64,7 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             max_connections: 32,
             batch_delay: Duration::ZERO,
+            persist_path: None,
         }
     }
 }
@@ -85,6 +92,13 @@ pub enum ServeRequest {
     Stats,
     /// Replace the cosine threshold τ on every shard.
     SetThreshold(f32),
+    /// Switch the shard-routing mode by resharding the cache in place
+    /// (every entry is replayed through fresh routing; public ids are
+    /// reassigned). Totally ordered with the lookups around it, like every
+    /// control command.
+    SetRouting(RoutingMode),
+    /// Persist the cache to [`ServeConfig::persist_path`].
+    Save,
     /// Drop all cached entries (the cache is rebuilt empty from its live
     /// config).
     Flush,
@@ -103,6 +117,8 @@ pub enum ServeReply {
     Ack,
     /// Flush completed; this many entries were dropped.
     Flushed(u64),
+    /// Save completed; this many entries were persisted.
+    Saved(u64),
     /// The request failed (message is operator-facing).
     Failed(String),
 }
@@ -269,7 +285,18 @@ fn batcher_loop(
             std::thread::sleep(config.batch_delay);
         }
         metrics.record_batch(batch.len());
-        execute_batch(&mut cache, &batch, queue, metrics);
+        execute_batch(&mut cache, &batch, queue, metrics, config);
+    }
+    // Graceful-shutdown persistence: the queue is closed and drained, the
+    // batcher owns the cache outright, so this is the one place a final
+    // save observes every acknowledged write.
+    if let Some(path) = &config.persist_path {
+        if let Err(e) = save_sharded_cache_with_config(&cache, path) {
+            eprintln!(
+                "mc-serve: failed to persist cache to {} on shutdown: {e}",
+                path.display()
+            );
+        }
     }
 }
 
@@ -289,12 +316,13 @@ fn execute_batch(
     batch: &[Submitted],
     queue: &BoundedQueue<Submitted>,
     metrics: &ServeMetrics,
+    config: &ServeConfig,
 ) {
     let mut i = 0;
     while i < batch.len() {
         let is_lookup = matches!(batch[i].request, ServeRequest::Lookup { .. });
         if !is_lookup {
-            execute_control(cache, &batch[i], queue, metrics);
+            execute_control(cache, &batch[i], queue, metrics, config);
             i += 1;
             continue;
         }
@@ -352,6 +380,7 @@ fn execute_control(
     item: &Submitted,
     queue: &BoundedQueue<Submitted>,
     metrics: &ServeMetrics,
+    config: &ServeConfig,
 ) {
     let reply = match &item.request {
         ServeRequest::Insert {
@@ -383,13 +412,40 @@ fn execute_control(
                 ServeReply::Failed(format!("threshold {threshold} must be in [0, 1]"))
             }
         }
+        ServeRequest::SetRouting(mode) => {
+            metrics.record_control();
+            if cache.routing() == *mode {
+                ServeReply::Ack
+            } else {
+                match reshard(cache, cache.config().clone().with_routing(*mode)) {
+                    Ok(new_cache) => {
+                        *cache = new_cache;
+                        ServeReply::Ack
+                    }
+                    Err(e) => ServeReply::Failed(format!("reshard to {} failed: {e}", mode.name())),
+                }
+            }
+        }
+        ServeRequest::Save => {
+            metrics.record_control();
+            match &config.persist_path {
+                None => ServeReply::Failed(
+                    "no persist path configured (start the server with --persist)".into(),
+                ),
+                Some(path) => match save_sharded_cache_with_config(cache, path) {
+                    Ok(()) => ServeReply::Saved(cache.len() as u64),
+                    Err(e) => ServeReply::Failed(format!("save failed: {e}")),
+                },
+            }
+        }
         ServeRequest::Flush => {
             metrics.record_control();
             let evicted = cache.len() as u64;
-            // Rebuild empty from the live config (which tracks threshold
-            // updates), keeping the same encoder.
-            *cache = ShardedCache::new(cache.encoder().clone(), cache.config().clone())
-                .expect("a live cache's config re-validates");
+            // Empty the shards in place: the live config (which tracks
+            // threshold updates) and any seeded routing centroids survive
+            // the flush — dropping the centroids would silently degrade
+            // centroid routing to its hash fallback.
+            cache.clear().expect("a live cache's config re-validates");
             ServeReply::Flushed(evicted)
         }
         ServeRequest::Lookup { .. } => unreachable!("lookups are handled in runs"),

@@ -20,7 +20,7 @@
 
 use std::io::{self, Read, Write};
 
-use meancache::{CacheDecisionOutcome, CacheHit};
+use meancache::{CacheDecisionOutcome, CacheHit, RoutingMode};
 
 /// Upper bound on a frame payload (16 MiB): far above any legitimate
 /// query/response, far below an allocation-of-death.
@@ -39,6 +39,8 @@ pub enum ProtocolError {
     TrailingBytes,
     /// A frame length exceeded [`MAX_FRAME_LEN`].
     Oversize(usize),
+    /// A routing-mode byte named no known [`RoutingMode`].
+    BadRouting(u8),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -50,6 +52,9 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::TrailingBytes => write!(f, "frame has trailing bytes"),
             ProtocolError::Oversize(len) => {
                 write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            ProtocolError::BadRouting(byte) => {
+                write!(f, "unknown routing mode byte {byte:#04x}")
             }
         }
     }
@@ -88,6 +93,10 @@ pub enum Request {
     Stats,
     /// Replace the cosine threshold τ.
     SetThreshold(f32),
+    /// Switch the shard-routing mode (reshards in place on the server).
+    SetRouting(RoutingMode),
+    /// Persist the cache to the server's configured path.
+    Save,
     /// Drop all cached entries.
     Flush,
     /// Ask the server process to shut down gracefully.
@@ -118,6 +127,8 @@ pub enum Response {
     Ack,
     /// Flush completed; this many entries were dropped.
     Flushed(u64),
+    /// Save completed; this many entries were persisted.
+    Saved(u64),
     /// The request failed (human-readable reason).
     Error(String),
     /// Backpressure: the admission queue (or connection budget) is full.
@@ -269,6 +280,8 @@ mod op {
     pub const SET_THRESHOLD: u8 = 0x05;
     pub const FLUSH: u8 = 0x06;
     pub const SHUTDOWN: u8 = 0x07;
+    pub const SET_ROUTING: u8 = 0x08;
+    pub const SAVE: u8 = 0x09;
 
     pub const MISS: u8 = 0x80;
     pub const HIT: u8 = 0x81;
@@ -279,6 +292,26 @@ mod op {
     pub const ERROR: u8 = 0x86;
     pub const BUSY: u8 = 0x87;
     pub const PONG: u8 = 0x88;
+    pub const SAVED: u8 = 0x89;
+}
+
+/// Wire byte for a [`RoutingMode`] (stable across releases).
+fn routing_byte(mode: RoutingMode) -> u8 {
+    match mode {
+        RoutingMode::Hash => 0,
+        RoutingMode::Centroid => 1,
+        RoutingMode::ScatterGather => 2,
+    }
+}
+
+/// Inverse of [`routing_byte`].
+fn routing_from_byte(byte: u8) -> Result<RoutingMode, ProtocolError> {
+    match byte {
+        0 => Ok(RoutingMode::Hash),
+        1 => Ok(RoutingMode::Centroid),
+        2 => Ok(RoutingMode::ScatterGather),
+        other => Err(ProtocolError::BadRouting(other)),
+    }
 }
 
 /// Encodes a lookup request payload straight from borrowed parts — the
@@ -316,6 +349,11 @@ impl Request {
                 buf.push(op::SET_THRESHOLD);
                 buf.extend_from_slice(&t.to_le_bytes());
             }
+            Request::SetRouting(mode) => {
+                buf.push(op::SET_ROUTING);
+                buf.push(routing_byte(*mode));
+            }
+            Request::Save => buf.push(op::SAVE),
             Request::Flush => buf.push(op::FLUSH),
             Request::Shutdown => buf.push(op::SHUTDOWN),
         }
@@ -341,6 +379,8 @@ impl Request {
             },
             op::STATS => Request::Stats,
             op::SET_THRESHOLD => Request::SetThreshold(cursor.f32()?),
+            op::SET_ROUTING => Request::SetRouting(routing_from_byte(cursor.u8()?)?),
+            op::SAVE => Request::Save,
             op::FLUSH => Request::Flush,
             op::SHUTDOWN => Request::Shutdown,
             other => return Err(ProtocolError::BadOpcode(other)),
@@ -381,6 +421,10 @@ impl Response {
                 buf.push(op::FLUSHED);
                 buf.extend_from_slice(&n.to_le_bytes());
             }
+            Response::Saved(n) => {
+                buf.push(op::SAVED);
+                buf.extend_from_slice(&n.to_le_bytes());
+            }
             Response::Error(message) => {
                 buf.push(op::ERROR);
                 put_str(&mut buf, message);
@@ -409,6 +453,7 @@ impl Response {
             op::STATS_REPLY => Response::Stats(cursor.str()?),
             op::ACK => Response::Ack,
             op::FLUSHED => Response::Flushed(cursor.u64()?),
+            op::SAVED => Response::Saved(cursor.u64()?),
             op::ERROR => Response::Error(cursor.str()?),
             op::BUSY => Response::Busy,
             op::PONG => Response::Pong,
@@ -471,6 +516,10 @@ mod tests {
             },
             Request::Stats,
             Request::SetThreshold(0.725),
+            Request::SetRouting(RoutingMode::Hash),
+            Request::SetRouting(RoutingMode::Centroid),
+            Request::SetRouting(RoutingMode::ScatterGather),
+            Request::Save,
             Request::Flush,
             Request::Shutdown,
         ];
@@ -494,6 +543,7 @@ mod tests {
             Response::Stats("{\"entries\":7}".into()),
             Response::Ack,
             Response::Flushed(10_000),
+            Response::Saved(12_345),
             Response::Error("no".into()),
             Response::Busy,
             Response::Pong,
@@ -525,6 +575,11 @@ mod tests {
         bytes.extend_from_slice(&2u32.to_le_bytes());
         bytes.extend_from_slice(&[0xff, 0xfe]);
         assert_eq!(Response::decode(&bytes), Err(ProtocolError::BadUtf8));
+        // An unknown routing byte is rejected with its own error.
+        assert_eq!(
+            Request::decode(&[super::op::SET_ROUTING, 9]),
+            Err(ProtocolError::BadRouting(9))
+        );
     }
 
     #[test]

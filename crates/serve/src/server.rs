@@ -312,6 +312,8 @@ fn read_loop(stream: TcpStream, tx: &mpsc::Sender<Out>, shared: &ServerShared, c
                     },
                     Request::Stats => ServeRequest::Stats,
                     Request::SetThreshold(t) => ServeRequest::SetThreshold(t),
+                    Request::SetRouting(mode) => ServeRequest::SetRouting(mode),
+                    Request::Save => ServeRequest::Save,
                     Request::Flush => ServeRequest::Flush,
                     Request::Ping | Request::Shutdown => unreachable!("handled above"),
                 };
@@ -394,6 +396,7 @@ fn reply_to_response(reply: ServeReply) -> Response {
         },
         ServeReply::Ack => Response::Ack,
         ServeReply::Flushed(n) => Response::Flushed(n),
+        ServeReply::Saved(n) => Response::Saved(n),
         ServeReply::Failed(message) => Response::Error(message),
     }
 }

@@ -96,6 +96,19 @@ pub struct ServeStatsSnapshot {
     pub shards: usize,
     /// Entries per shard (occupancy skew diagnostic).
     pub shard_occupancy: Vec<usize>,
+    /// Shard-routing mode name (`hash` / `centroid` / `scatter-gather`).
+    /// Deserialises to an empty string for snapshots written before
+    /// routing modes existed.
+    #[serde(default)]
+    pub routing: String,
+    /// Conversation roots pinned to a shard by the semantic routing modes
+    /// (0 under hash routing).
+    #[serde(default)]
+    pub routing_pins: usize,
+    /// Whether centroid routing has seeded centroids (false = hash
+    /// fallback in effect).
+    #[serde(default)]
+    pub centroids_seeded: bool,
     /// The live cosine threshold τ.
     pub threshold: f32,
     /// Cache-level lookup count (includes probes from any path).
@@ -150,6 +163,9 @@ impl ServeStatsSnapshot {
             entries: cache.len(),
             shards: cache.shard_count(),
             shard_occupancy: cache.shard_lens(),
+            routing: cache.routing().name().to_string(),
+            routing_pins: cache.root_pin_count(),
+            centroids_seeded: cache.centroids_seeded(),
             threshold: cache.threshold(),
             cache_lookups: cache_stats.lookups,
             cache_hits: cache_stats.hits,

@@ -329,3 +329,160 @@ fn server_shutdown_answers_in_flight_wire_requests() {
         Err(other) => panic!("unexpected client error: {other}"),
     }
 }
+
+/// The `SetRouting` control command reshards the served cache in place,
+/// totally ordered with the lookups around it: everything cached before the
+/// switch is still served after it, and the stats plane reports the new
+/// mode.
+#[test]
+fn set_routing_reshards_in_place_without_losing_entries() {
+    use meancache::RoutingMode;
+    let pipeline = ServePipeline::start(cache(4), &ServeConfig::default());
+    for i in 0..20 {
+        let reply = pipeline
+            .submit(ServeRequest::Insert {
+                query: format!("routing switch subject {i}"),
+                response: format!("resp {i}"),
+                context: Vec::new(),
+            })
+            .unwrap()
+            .wait();
+        assert!(matches!(reply, ServeReply::Inserted(_)));
+    }
+    assert_eq!(
+        pipeline
+            .submit(ServeRequest::SetRouting(RoutingMode::ScatterGather))
+            .unwrap()
+            .wait(),
+        ServeReply::Ack
+    );
+    for i in 0..20 {
+        let reply = pipeline
+            .submit(ServeRequest::Lookup {
+                query: format!("routing switch subject {i}"),
+                context: Vec::new(),
+            })
+            .unwrap()
+            .wait();
+        match reply {
+            ServeReply::Outcome(outcome) => {
+                assert!(outcome.is_hit(), "subject {i} must survive the reshard");
+                assert_eq!(outcome.hit().unwrap().response, format!("resp {i}"));
+            }
+            other => panic!("expected an outcome, got {other:?}"),
+        }
+    }
+    let stats = match pipeline.submit(ServeRequest::Stats).unwrap().wait() {
+        ServeReply::Stats(snapshot) => snapshot,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert_eq!(stats.routing, "scatter-gather");
+    assert_eq!(stats.entries, 20);
+    // Switching to the mode already in effect is an Ack without a reshard.
+    assert_eq!(
+        pipeline
+            .submit(ServeRequest::SetRouting(RoutingMode::ScatterGather))
+            .unwrap()
+            .wait(),
+        ServeReply::Ack
+    );
+    pipeline.shutdown();
+}
+
+/// The `Save` control command persists to the configured path (and fails
+/// loudly without one); a pipeline built from the restored cache serves the
+/// same contents.
+#[test]
+fn save_command_persists_and_restores_through_the_pipeline() {
+    let dir = std::env::temp_dir().join(format!(
+        "mc_serve_save_test_{}_{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.log");
+
+    // Without a persist path, Save fails loudly.
+    let unpersisted = ServePipeline::start(cache(2), &ServeConfig::default());
+    assert!(matches!(
+        unpersisted.submit(ServeRequest::Save).unwrap().wait(),
+        ServeReply::Failed(_)
+    ));
+    unpersisted.shutdown();
+
+    let config = ServeConfig {
+        persist_path: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let pipeline = ServePipeline::start(cache(3), &config);
+    for i in 0..12 {
+        pipeline
+            .submit(ServeRequest::Insert {
+                query: format!("persisted serving subject {i}"),
+                response: format!("resp {i}"),
+                context: Vec::new(),
+            })
+            .unwrap()
+            .wait();
+    }
+    assert_eq!(
+        pipeline.submit(ServeRequest::Save).unwrap().wait(),
+        ServeReply::Saved(12)
+    );
+    pipeline.shutdown();
+
+    // A fresh pipeline on the restored cache answers from the save.
+    let encoder = QueryEncoder::new(ModelProfile::tiny(), SEED).unwrap();
+    let restored = meancache::persist::load_sharded_cache_with_config(encoder, &path).unwrap();
+    assert_eq!(restored.len(), 12);
+    let pipeline = ServePipeline::start(restored, &ServeConfig::default());
+    let reply = pipeline
+        .submit(ServeRequest::Lookup {
+            query: "persisted serving subject 7".into(),
+            context: Vec::new(),
+        })
+        .unwrap()
+        .wait();
+    match reply {
+        ServeReply::Outcome(outcome) => {
+            assert_eq!(outcome.hit().unwrap().response, "resp 7");
+        }
+        other => panic!("expected an outcome, got {other:?}"),
+    }
+    pipeline.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Graceful shutdown with a persist path saves automatically: the whole
+/// serve lifecycle (insert over TCP → shutdown → restart) keeps contents.
+#[test]
+fn shutdown_saves_automatically_when_persistence_is_configured() {
+    let dir = std::env::temp_dir().join(format!(
+        "mc_serve_autosave_test_{}_{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.log");
+    let config = ServeConfig {
+        persist_path: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cache(2), &config, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.insert("autosaved entry", "resp", &[]).unwrap();
+    drop(client);
+    handle.shutdown();
+
+    let encoder = QueryEncoder::new(ModelProfile::tiny(), SEED).unwrap();
+    let restored = meancache::persist::load_sharded_cache_with_config(encoder, &path).unwrap();
+    assert_eq!(restored.len(), 1);
+    assert!(restored.probe("autosaved entry", &[]).is_hit());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -53,6 +53,19 @@ impl MemoryStore {
         self.capacity
     }
 
+    /// Replaces the capacity bound (clamped to ≥ 1). Shrinking below the
+    /// current length does not evict immediately — and not eventually
+    /// either: each subsequent insert evicts exactly one victim before
+    /// adding, so occupancy holds at its current level rather than
+    /// draining down to the new bound. That is the behaviour the sharded
+    /// serving layer's capacity borrowing wants (clamping a shard to its
+    /// own occupancy makes the *next* insert evict locally without
+    /// dropping a burst of entries); a caller that needs occupancy to
+    /// actually shrink must remove entries itself.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+    }
+
     /// The eviction policy in use.
     pub fn policy(&self) -> EvictionPolicy {
         self.policy

@@ -1,0 +1,309 @@
+//! Integration tests of reshard-in-place and semantic routing: replaying
+//! N-shard entry logs into M shards must preserve the entry set, and a
+//! post-reshard scatter-gather cache must be decision-identical to an
+//! unsharded cache built from the same entries. Plus the centroid seeding
+//! path from `mc_workloads::EmbeddingCloud` and the paraphrase hit-rate win
+//! the routing modes exist for.
+
+use mc_embedder::{ModelProfile, QueryEncoder};
+use mc_workloads::{EmbeddingCloud, TopicBank};
+use meancache::persist::{reshard_saved_cache, save_sharded_cache_with_config};
+use meancache::{reshard, MeanCache, MeanCacheConfig, RoutingMode, SemanticCache, ShardedCache};
+use proptest::prelude::*;
+
+fn encoder(seed: u64) -> QueryEncoder {
+    QueryEncoder::new(ModelProfile::tiny(), seed).unwrap()
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("meancache_reshard_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{name}_{}_{}.log",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+/// Removes a sharded save's files (shard logs + sidecars).
+fn cleanup(path: &std::path::Path) {
+    let dir = path.parent().unwrap();
+    let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if entry.file_name().to_string_lossy().starts_with(&stem) {
+                std::fs::remove_file(entry.path()).ok();
+            }
+        }
+    }
+}
+
+/// The multiset of cached `(query, response)` pairs, sorted for comparison.
+fn entry_set(cache: &ShardedCache) -> Vec<(String, String)> {
+    let mut all = Vec::new();
+    for shard in 0..cache.shard_count() {
+        cache.with_shard(shard, |inner| {
+            all.extend(
+                inner
+                    .entries()
+                    .map(|e| (e.query.clone(), e.response.clone())),
+            );
+        });
+    }
+    all.sort();
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Replaying an N-shard save into M shards (through the persisted logs,
+    /// exactly as a topology change in production would) preserves the
+    /// entry set, and — with scatter-gather routing — the resharded cache's
+    /// decisions are identical to an unsharded cache built from the same
+    /// entries: same hit/miss verdicts, same responses, bit-identical
+    /// scores.
+    #[test]
+    fn reshard_preserves_entries_and_scatter_gather_matches_unsharded(
+        seed in 0u64..5_000,
+        n in 10usize..40,
+        src_shards in 2usize..5,
+        dst_shards in 1usize..6,
+    ) {
+        let path = temp_path(&format!("prop_{seed}_{n}_{src_shards}_{dst_shards}"));
+        let config = MeanCacheConfig::default()
+            .with_threshold(0.7)
+            .with_shards(src_shards);
+        let mut sharded = ShardedCache::new(encoder(seed), config.clone()).unwrap();
+        let mut unsharded = MeanCache::new(
+            encoder(seed),
+            MeanCacheConfig::default().with_threshold(0.7),
+        )
+        .unwrap();
+        let queries: Vec<String> = (0..n)
+            .map(|i| format!("workload {seed} subject {} item {i}", (seed + i as u64 * 31) % 997))
+            .collect();
+        for (i, query) in queries.iter().enumerate() {
+            sharded.insert(query, &format!("resp {i}"), &[]).unwrap();
+            unsharded.insert(query, &format!("resp {i}"), &[]).unwrap();
+        }
+        let before = entry_set(&sharded);
+        save_sharded_cache_with_config(&sharded, &path).unwrap();
+
+        let resharded = reshard_saved_cache(
+            encoder(seed),
+            &path,
+            config
+                .with_shards(dst_shards)
+                .with_routing(RoutingMode::ScatterGather),
+        )
+        .unwrap();
+        prop_assert_eq!(resharded.shard_count(), dst_shards);
+        prop_assert_eq!(&entry_set(&resharded), &before, "entry set changed");
+
+        // Probe with exact repeats and fresh texts: decisions must match
+        // the unsharded reference exactly.
+        let probes: Vec<String> = queries
+            .iter()
+            .cloned()
+            .chain((0..10).map(|i| format!("fresh uncached probe {seed} number {i}")))
+            .collect();
+        for probe in &probes {
+            let expect = unsharded.probe(probe, &[]);
+            let got = resharded.probe(probe, &[]);
+            prop_assert_eq!(expect.is_hit(), got.is_hit(), "verdict diverged on {}", probe);
+            if let (Some(a), Some(b)) = (expect.hit(), got.hit()) {
+                prop_assert_eq!(&a.response, &b.response, "response diverged on {}", probe);
+                prop_assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "score diverged on {}",
+                    probe
+                );
+            }
+        }
+        cleanup(&path);
+    }
+
+    /// Hash → hash resharding across arbitrary shard counts also preserves
+    /// the entry set (the replay path is mode-independent).
+    #[test]
+    fn reshard_between_hash_shard_counts_preserves_entries(
+        seed in 0u64..5_000,
+        n in 8usize..30,
+        src_shards in 1usize..5,
+        dst_shards in 1usize..7,
+    ) {
+        let config = MeanCacheConfig::default()
+            .with_threshold(0.9)
+            .with_shards(src_shards);
+        let mut cache = ShardedCache::new(encoder(seed), config.clone()).unwrap();
+        for i in 0..n {
+            cache
+                .insert(&format!("hash reshard {seed} item {i}"), "resp", &[])
+                .unwrap();
+        }
+        let before = entry_set(&cache);
+        let resharded = reshard(&cache, config.with_shards(dst_shards)).unwrap();
+        prop_assert_eq!(resharded.shard_count(), dst_shards);
+        prop_assert_eq!(&entry_set(&resharded), &before);
+        // Every exact repeat still hits after re-routing.
+        for i in 0..n {
+            prop_assert!(resharded
+                .probe(&format!("hash reshard {seed} item {i}"), &[])
+                .is_hit());
+        }
+    }
+}
+
+/// Conversation chains stay whole through a reshard into centroid routing:
+/// the follow-up still resolves its parent (contextual hit) and still
+/// rejects a foreign conversation.
+#[test]
+fn reshard_to_centroid_keeps_conversation_chains_whole() {
+    let config = MeanCacheConfig::default()
+        .with_threshold(0.6)
+        .with_shards(3);
+    let mut cache = ShardedCache::new(encoder(11), config.clone()).unwrap();
+    for i in 0..15 {
+        cache
+            .insert(&format!("standalone padding subject {i}"), "resp", &[])
+            .unwrap();
+    }
+    cache
+        .insert("draw a line plot in python", "Use plt.plot.", &[])
+        .unwrap();
+    let ctx = vec!["draw a line plot in python".to_string()];
+    cache
+        .insert("change the color to red", "Pass color='red'.", &ctx)
+        .unwrap();
+
+    let resharded = reshard(
+        &cache,
+        config.with_shards(5).with_routing(RoutingMode::Centroid),
+    )
+    .unwrap();
+    assert_eq!(resharded.len(), cache.len());
+    assert!(
+        resharded.centroids_seeded(),
+        "reshard must auto-seed centroids"
+    );
+    let same = resharded.probe("change the color to red", &ctx);
+    assert!(
+        same.hit().map(|h| h.contextual).unwrap_or(false),
+        "the follow-up must stay a contextual hit after resharding"
+    );
+    assert!(resharded
+        .probe("change the color to red", &["draw a circle".to_string()])
+        .is_miss());
+    // Pins cover every conversation *root*: 15 standalone + 1 chain root
+    // (the follow-up shares its parent's pin).
+    assert_eq!(resharded.root_pin_count(), 16);
+}
+
+/// Centroids seeded from an `mc_workloads::EmbeddingCloud` (the clustered
+/// synthetic workload the benches use) drive routing: seeding succeeds at
+/// the encoder's dimensionality, is rejected at any other, and a seeded
+/// cache routes every insert to the shard its probe route agrees with.
+#[test]
+fn embedding_cloud_seeds_centroid_routing() {
+    let enc = encoder(7);
+    let dims = enc.output_dim();
+    let mut cache = ShardedCache::new(
+        enc,
+        MeanCacheConfig::default()
+            .with_threshold(0.6)
+            .with_shards(4)
+            .with_routing(RoutingMode::Centroid),
+    )
+    .unwrap();
+    // Wrong dimensionality is rejected loudly.
+    let wrong = EmbeddingCloud::generate(64, dims + 1, 8, 0.5, 42);
+    assert!(cache.seed_centroids(&wrong.vectors).is_err());
+    // The encoder-shaped cloud seeds fine.
+    let cloud = EmbeddingCloud::generate(256, dims, 16, 0.5, 42);
+    cache.seed_centroids(&cloud.vectors).unwrap();
+    assert!(cache.centroids_seeded());
+    for i in 0..20 {
+        let q = format!("cloud routed subject number {i}");
+        let route_before = cache.shard_of(&q, &[]);
+        cache.insert(&q, "resp", &[]).unwrap();
+        // The insert landed where probes route, so the exact repeat hits.
+        assert_eq!(cache.shard_of(&q, &[]), route_before);
+        assert!(cache.probe(&q, &[]).is_hit());
+    }
+}
+
+/// The headline hit-rate claim, deterministically: on a paraphrase-heavy
+/// clustered workload, centroid routing hits at least as often as hash
+/// routing, and scatter-gather matches the unsharded ceiling.
+#[test]
+fn semantic_routing_beats_hash_on_paraphrases() {
+    let bank = TopicBank::generate(2024);
+    let topics = 120.min(bank.len());
+    let cached: Vec<String> = (0..topics)
+        .map(|t| bank.topic(t).canonical().to_string())
+        .collect();
+    let build = |routing: RoutingMode| {
+        let mut cache = ShardedCache::new(
+            encoder(2024),
+            MeanCacheConfig::default()
+                .with_threshold(0.7)
+                .with_shards(8)
+                .with_routing(routing),
+        )
+        .unwrap();
+        if routing == RoutingMode::Centroid {
+            cache.seed_centroids_from_texts(&cached).unwrap();
+        }
+        for (i, q) in cached.iter().enumerate() {
+            cache.insert(q, &format!("resp {i}"), &[]).unwrap();
+        }
+        cache
+    };
+    let mut unsharded = ShardedCache::new(
+        encoder(2024),
+        MeanCacheConfig::default()
+            .with_threshold(0.7)
+            .with_shards(1),
+    )
+    .unwrap();
+    for (i, q) in cached.iter().enumerate() {
+        unsharded.insert(q, &format!("resp {i}"), &[]).unwrap();
+    }
+    let hash = build(RoutingMode::Hash);
+    let centroid = build(RoutingMode::Centroid);
+    let scatter = build(RoutingMode::ScatterGather);
+
+    let hits = |cache: &ShardedCache| -> usize {
+        (0..topics)
+            .filter(|&t| {
+                let topic = bank.topic(t);
+                let paraphrase = topic.paraphrase(1);
+                paraphrase != topic.canonical() && cache.probe(paraphrase, &[]).is_hit()
+            })
+            .count()
+    };
+    let (ceiling, h, c, s) = (
+        hits(&unsharded),
+        hits(&hash),
+        hits(&centroid),
+        hits(&scatter),
+    );
+    assert_eq!(
+        s, ceiling,
+        "scatter-gather must match the unsharded ceiling"
+    );
+    assert!(
+        c >= h,
+        "centroid routing ({c}) must not lose paraphrase hits to hash ({h})"
+    );
+    assert!(
+        h < ceiling,
+        "hash routing must show the paraphrase tax ({h} vs ceiling {ceiling}) — \
+         if this fails the workload stopped discriminating, not the router"
+    );
+}
