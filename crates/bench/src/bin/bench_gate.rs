@@ -6,7 +6,20 @@
 //! bench_gate [--baseline BENCH_baseline.json] [--fresh BENCH_index.json]
 //!            [--tier 1000] [--tolerance 0.25] [--normalize]
 //! bench_gate --routing BENCH_routing.json
+//! bench_gate --serve FRESH.json [--serve-baseline BENCH_serve.json]
+//!            [--tolerance 0.25] [--normalize]
 //! ```
+//!
+//! `--serve FRESH` switches to the **serving throughput gate**: a freshly
+//! measured `exp_serve` report is diffed against the committed
+//! `BENCH_serve.json`. Rows are matched by `(max_batch, memo)`;
+//! `requests_per_sec` must not drop — and effective `p50_us` must not rise
+//! — beyond the tolerance. `--normalize` applies the same leave-one-out
+//! geometric-mean machine-speed correction as the index gate (computed per
+//! metric), so a CI runner slower than the baselining machine does not
+//! trip the gate while a relative shift between configurations still does.
+//! A baseline row missing from the fresh report fails; a fresh row not yet
+//! baselined is ignored until it is committed.
 //!
 //! `--routing PATH` switches to the **routing hit-rate gate**: instead of
 //! latency-vs-baseline, it checks a fresh `exp_routing` report's internal
@@ -39,7 +52,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mc_bench::{IndexBenchReport, IndexBenchRow, RoutingBenchReport, RoutingBenchRow};
+use mc_bench::{
+    IndexBenchReport, IndexBenchRow, RoutingBenchReport, RoutingBenchRow, ServeBenchReport,
+    ServeBenchRow,
+};
 
 /// Key a row is matched across files by.
 fn key(row: &IndexBenchRow) -> (String, usize, usize) {
@@ -63,6 +79,179 @@ fn geomean_p50(rows: &[&IndexBenchRow]) -> f64 {
         .map(|r| r.p50_us.max(f64::MIN_POSITIVE).ln())
         .sum();
     (log_sum / rows.len() as f64).exp()
+}
+
+/// Key a serve-bench row is matched across files by.
+fn serve_key(row: &ServeBenchRow) -> (usize, bool) {
+    (row.max_batch, row.memo)
+}
+
+/// Leave-one-out geometric mean of `metric` over every matched row except
+/// `skip` — the per-file machine-speed proxy for `--normalize` mode,
+/// computed per metric (throughput and latency scale differently with
+/// machine speed). Fewer than two matched rows degenerate to 1.0, i.e. the
+/// absolute comparison.
+fn serve_loo_ref(
+    rows: &[&ServeBenchRow],
+    skip: &ServeBenchRow,
+    metric: fn(&ServeBenchRow) -> f64,
+) -> f64 {
+    let others: Vec<f64> = rows
+        .iter()
+        .filter(|r| serve_key(r) != serve_key(skip))
+        .map(|r| metric(r).max(f64::MIN_POSITIVE).ln())
+        .collect();
+    if others.is_empty() {
+        1.0
+    } else {
+        (others.iter().sum::<f64>() / others.len() as f64).exp()
+    }
+}
+
+/// The serving throughput gate (`--serve`): diffs a fresh `exp_serve`
+/// report against the committed serving baseline. Rows match by
+/// `(max_batch, memo)`; each gates both throughput (must not drop) and
+/// effective p50 (must not rise) beyond the tolerance, optionally after
+/// the leave-one-out normalisation described in the module docs.
+fn serve_gate(
+    fresh_path: &PathBuf,
+    baseline_path: &PathBuf,
+    tolerance: f64,
+    normalize: bool,
+) -> ExitCode {
+    let load = |path: &PathBuf| -> ServeBenchReport {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+    };
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+    if baseline.rows.is_empty() {
+        eprintln!(
+            "bench_gate: serving baseline {} has no rows",
+            baseline_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let matched_base: Vec<&ServeBenchRow> = baseline
+        .rows
+        .iter()
+        .filter(|b| fresh.rows.iter().any(|f| serve_key(f) == serve_key(b)))
+        .collect();
+    let matched_fresh: Vec<&ServeBenchRow> = fresh
+        .rows
+        .iter()
+        .filter(|f| baseline.rows.iter().any(|b| serve_key(b) == serve_key(f)))
+        .collect();
+
+    let mode = if normalize { "normalized" } else { "absolute" };
+    println!(
+        "bench_gate: serving gate — {} vs {}, {mode} metrics, tolerance {:.0}%",
+        fresh_path.display(),
+        baseline_path.display(),
+        tolerance * 100.0
+    );
+
+    let thr = |r: &ServeBenchRow| r.requests_per_sec;
+    let p50 = |r: &ServeBenchRow| r.p50_us;
+    let mut failures = Vec::new();
+    for base_row in &baseline.rows {
+        let Some(fresh_row) = fresh
+            .rows
+            .iter()
+            .find(|r| serve_key(r) == serve_key(base_row))
+        else {
+            failures.push(format!(
+                "max_batch {} memo {}: present in baseline but missing from the fresh report",
+                base_row.max_batch, base_row.memo
+            ));
+            continue;
+        };
+        let (thr_base_ref, thr_fresh_ref, p50_base_ref, p50_fresh_ref) = if normalize {
+            (
+                serve_loo_ref(&matched_base, base_row, thr),
+                serve_loo_ref(&matched_fresh, fresh_row, thr),
+                serve_loo_ref(&matched_base, base_row, p50),
+                serve_loo_ref(&matched_fresh, fresh_row, p50),
+            )
+        } else {
+            (1.0, 1.0, 1.0, 1.0)
+        };
+        // Throughput is higher-better: the failing direction is the fresh
+        // (normalized) rate falling below baseline by more than the
+        // tolerance factor. Latency is lower-better: rising is failure.
+        let thr_ratio = (thr(base_row) / thr_base_ref)
+            / (thr(fresh_row) / thr_fresh_ref).max(f64::MIN_POSITIVE);
+        let p50_ratio = (p50(fresh_row) / p50_fresh_ref)
+            / (p50(base_row) / p50_base_ref).max(f64::MIN_POSITIVE);
+        let verdict = if thr_ratio > 1.0 + tolerance || p50_ratio > 1.0 + tolerance {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  batch {:>4} memo {:<3}  reqs/s {:>9.0} vs {:>9.0} ({:>5.2}x)  \
+             p50 {:>8.1}us vs {:>8.1}us ({:>5.2}x)  {}",
+            base_row.max_batch,
+            if base_row.memo { "on" } else { "off" },
+            fresh_row.requests_per_sec,
+            base_row.requests_per_sec,
+            thr_ratio,
+            fresh_row.p50_us,
+            base_row.p50_us,
+            p50_ratio,
+            verdict
+        );
+        if thr_ratio > 1.0 + tolerance {
+            failures.push(format!(
+                "max_batch {} memo {}: throughput {:.0} req/s vs baseline {:.0} \
+                 ({mode} slowdown {:.2}x > {:.2}x)",
+                base_row.max_batch,
+                base_row.memo,
+                fresh_row.requests_per_sec,
+                base_row.requests_per_sec,
+                thr_ratio,
+                1.0 + tolerance
+            ));
+        }
+        if p50_ratio > 1.0 + tolerance {
+            failures.push(format!(
+                "max_batch {} memo {}: p50 {:.1}us vs baseline {:.1}us \
+                 ({mode} ratio {:.2}x > {:.2}x)",
+                base_row.max_batch,
+                base_row.memo,
+                fresh_row.p50_us,
+                base_row.p50_us,
+                p50_ratio,
+                1.0 + tolerance
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench_gate: PASS — {} serving row(s) within {:.0}% of baseline",
+            baseline.rows.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: FAIL — {} serving regression(s):",
+            failures.len()
+        );
+        for failure in &failures {
+            eprintln!("  - {failure}");
+        }
+        eprintln!(
+            "If this slowdown is expected, re-baseline per README: regenerate with \
+             `cargo run --release -p mc-bench --bin exp_serve` and commit \
+             BENCH_serve.json."
+        );
+        ExitCode::FAILURE
+    }
 }
 
 /// The routing hit-rate gate (`--routing`): validates an `exp_routing`
@@ -148,6 +337,8 @@ fn main() -> ExitCode {
     let mut tolerance = 0.25f64;
     let mut normalize = false;
     let mut routing_path: Option<PathBuf> = None;
+    let mut serve_fresh_path: Option<PathBuf> = None;
+    let mut serve_baseline_path = PathBuf::from("BENCH_serve.json");
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -183,12 +374,23 @@ fn main() -> ExitCode {
                 i += 1;
                 routing_path = Some(PathBuf::from(args.get(i).expect("--routing needs a path")));
             }
+            "--serve" => {
+                i += 1;
+                serve_fresh_path = Some(PathBuf::from(args.get(i).expect("--serve needs a path")));
+            }
+            "--serve-baseline" => {
+                i += 1;
+                serve_baseline_path =
+                    PathBuf::from(args.get(i).expect("--serve-baseline needs a path"));
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: bench_gate [--baseline PATH] [--fresh PATH] \
                      [--tier 1000] [--tolerance 0.25] [--normalize] \
-                     | bench_gate --routing PATH"
+                     | bench_gate --routing PATH \
+                     | bench_gate --serve PATH [--serve-baseline PATH] \
+                     [--tolerance 0.25] [--normalize]"
                 );
                 return ExitCode::from(2);
             }
@@ -198,6 +400,9 @@ fn main() -> ExitCode {
 
     if let Some(path) = routing_path {
         return routing_gate(&path);
+    }
+    if let Some(path) = serve_fresh_path {
+        return serve_gate(&path, &serve_baseline_path, tolerance, normalize);
     }
 
     let baseline = load_report(&baseline_path);

@@ -1,7 +1,7 @@
 //! Closed-loop client/server serving benchmark over localhost TCP:
-//! micro-batched vs batch-size-1 throughput of the `mc-serve` front-end on
-//! a sharded flat-sq8 cache, emitting the machine-readable
-//! `BENCH_serve.json`.
+//! batch-size-1 vs micro-batched vs micro-batched+memo throughput of the
+//! `mc-serve` front-end on a sharded flat-sq8 cache, emitting the
+//! machine-readable `BENCH_serve.json`.
 //!
 //! ```text
 //! exp_serve [--entries 10000] [--shards 16] [--conns 8] [--window 16]

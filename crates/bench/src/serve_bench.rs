@@ -1,7 +1,8 @@
 //! Closed-loop client/server benchmark for the `mc-serve` front-end:
-//! real localhost TCP, `connections` pipelining clients, measured once with
-//! micro-batching disabled (`max_batch = 1`) and once enabled — the ratio
-//! is the serving layer's batching win on this machine.
+//! real localhost TCP, `connections` pipelining clients, measured with
+//! micro-batching disabled (`max_batch = 1`), enabled, and enabled with the
+//! embedding memo-cache + singleflight on top — the last-over-first ratio
+//! is the serving layer's total win on this machine.
 //!
 //! Each client keeps `window` lookups in flight (pipelined frames), so the
 //! server's admission queue actually holds concurrent work to group. The
@@ -88,6 +89,10 @@ pub struct ServeBenchRow {
     pub max_batch: usize,
     /// `ServeConfig::max_wait` in microseconds.
     pub batch_wait_us: u64,
+    /// Whether the embedding memo-cache and cross-batch singleflight were
+    /// enabled for this row (`false` = every lookup re-encodes).
+    #[serde(default)]
+    pub memo: bool,
     /// Requests completed across all clients.
     pub total_requests: usize,
     /// Aggregate throughput over the slowest client's wall-clock.
@@ -110,6 +115,14 @@ pub struct ServeBenchRow {
     pub served_hits: u64,
     /// Pipeline-served misses.
     pub served_misses: u64,
+    /// Encoder calls the embedding memo-cache absorbed (zero with the memo
+    /// disabled).
+    #[serde(default)]
+    pub memo_hits: u64,
+    /// Identical in-flight lookups attached to a pending ticket instead of
+    /// re-entering the queue (zero with singleflight disabled).
+    #[serde(default)]
+    pub singleflight: u64,
 }
 
 /// Machine-readable output of [`run_serve_with`], persisted as
@@ -122,9 +135,11 @@ pub struct ServeBenchReport {
     pub backend: String,
     /// `rayon::current_num_threads()` on the measuring machine.
     pub available_parallelism: usize,
-    /// One row per measured configuration, batch-1 first.
+    /// One row per measured configuration: batch-1 first, then
+    /// micro-batched with the memo off, then micro-batched with the
+    /// embedding memo-cache + singleflight on.
     pub rows: Vec<ServeBenchRow>,
-    /// Throughput of the last (micro-batched) row over the first
+    /// Throughput of the last (batched + memo) row over the first
     /// (batch-1) row — the acceptance headline.
     pub batched_speedup: f64,
 }
@@ -152,12 +167,22 @@ fn measure_config(
     probes: &[(String, Vec<String>)],
     max_batch: usize,
     batch_wait_us: u64,
+    memo: bool,
 ) -> ServeBenchRow {
     let serve_config = ServeConfig {
         max_batch,
         max_wait: std::time::Duration::from_micros(batch_wait_us),
         queue_capacity: 4096,
         max_connections: opts.connections + 2,
+        // The memo rows use the serving defaults (sharded LRU + cross-batch
+        // singleflight); the memo-off rows re-encode every lookup, which is
+        // what PR-4-era servers did.
+        memo_capacity: if memo {
+            ServeConfig::default().memo_capacity
+        } else {
+            0
+        },
+        singleflight: memo,
         ..ServeConfig::default()
     };
     let handle = Server::start(cache, &serve_config, "127.0.0.1:0").expect("bind ephemeral port");
@@ -224,6 +249,7 @@ fn measure_config(
     ServeBenchRow {
         max_batch,
         batch_wait_us,
+        memo,
         total_requests,
         requests_per_sec: total_requests as f64 / wall_s.max(f64::EPSILON),
         p50_us: percentile(&pooled, 0.50),
@@ -233,12 +259,16 @@ fn measure_config(
         shed: stats.shed,
         served_hits: stats.served_hits,
         served_misses: stats.served_misses,
+        memo_hits: stats.memo_hits,
+        singleflight: stats.singleflight,
     }
 }
 
 /// Runs the serve benchmark: the same cache contents and client fleet
-/// against `max_batch = 1` and the micro-batched configuration, emitting
-/// the comparison table and (optionally) `BENCH_serve.json`.
+/// against `max_batch = 1`, the micro-batched configuration, and the
+/// micro-batched configuration with the embedding memo-cache +
+/// singleflight enabled, emitting the comparison table and (optionally)
+/// `BENCH_serve.json`.
 pub fn run_serve_with(
     opts: &ServeBenchOpts,
     batched_max: usize,
@@ -250,16 +280,21 @@ pub fn run_serve_with(
     let probes = service_mix(&corpus(opts.entries), 2048);
 
     let mut rows = Vec::new();
-    for (max_batch, wait_us) in [(1usize, 0u64), (batched_max, batched_wait_us)] {
+    for (max_batch, wait_us, memo) in [
+        (1usize, 0u64, false),
+        (batched_max, batched_wait_us, false),
+        (batched_max, batched_wait_us, true),
+    ] {
         rows.push(measure_config(
             template.clone(),
             opts,
             &probes,
             max_batch,
             wait_us,
+            memo,
         ));
     }
-    let batched_speedup = rows.last().expect("two rows").requests_per_sec
+    let batched_speedup = rows.last().expect("three rows").requests_per_sec
         / rows[0].requests_per_sec.max(f64::EPSILON);
 
     let mut table = Table::new(
@@ -269,28 +304,32 @@ pub fn run_serve_with(
         ),
         &[
             "max_batch",
+            "memo",
             "reqs/sec",
             "p50 eff/req",
             "p99 eff/req",
             "avg batch",
             "coalesced",
+            "memo hits",
             "shed",
         ],
     );
     for row in &rows {
         table.add_row(&[
             row.max_batch.to_string(),
+            if row.memo { "on" } else { "off" }.to_string(),
             format!("{:.0}", row.requests_per_sec),
             format!("{:.1}us", row.p50_us),
             format!("{:.1}us", row.p99_us),
             format!("{:.1}", row.avg_batch),
             row.coalesced.to_string(),
+            row.memo_hits.to_string(),
             row.shed.to_string(),
         ]);
     }
     println!("{table}");
     println!(
-        "micro-batched throughput {:.2}x the batch-size-1 configuration \
+        "batched+memo throughput {:.2}x the batch-size-1 configuration \
          ({} core(s) available)",
         batched_speedup,
         rayon::current_num_threads()
@@ -338,21 +377,39 @@ mod tests {
             ops_per_conn: 64,
         };
         let report = run_serve_with(&opts, 16, 200, None);
-        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows.len(), 3);
         assert_eq!(report.rows[0].max_batch, 1);
         assert_eq!(report.rows[1].max_batch, 16);
+        assert_eq!(report.rows[2].max_batch, 16);
+        assert!(!report.rows[0].memo && !report.rows[1].memo && report.rows[2].memo);
         for row in &report.rows {
             assert_eq!(row.total_requests, 2 * 64);
             assert!(row.requests_per_sec > 0.0);
             assert!(row.p99_us >= row.p50_us);
+            // Singleflight-attached lookups ride a pending ticket instead
+            // of being served by the pipeline, so they complete the books.
             assert_eq!(
-                row.served_hits + row.served_misses,
+                row.served_hits + row.served_misses + row.singleflight,
                 row.total_requests as u64
             );
         }
-        // Batch-1 really means no grouping; the batched row groups.
+        // Batch-1 really means no grouping; the batched rows group.
         assert!((report.rows[0].avg_batch - 1.0).abs() < 1e-9);
         assert!(report.rows[1].avg_batch >= 1.0);
+        // Memo-off rows never touch the memo; the memo row absorbs repeats
+        // (the mix is 75% exact repeats, so hits are guaranteed).
+        assert_eq!(report.rows[0].memo_hits, 0);
+        assert_eq!(report.rows[1].memo_hits, 0);
+        assert!(report.rows[2].memo_hits > 0);
         assert!(report.batched_speedup > 0.0);
+        // Rows written before the memo existed must still parse: strip the
+        // new fields and deserialise through the serde defaults.
+        let legacy = serde_json::to_string(&report.rows[0])
+            .expect("row serialises")
+            .replace("\"memo\":false,", "")
+            .replace(",\"memo_hits\":0", "")
+            .replace(",\"singleflight\":0", "");
+        let parsed: ServeBenchRow = serde_json::from_str(&legacy).expect("legacy parse");
+        assert!(!parsed.memo, "stripped field defaults to false");
     }
 }

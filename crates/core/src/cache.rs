@@ -7,8 +7,9 @@
 //! the query to the LLM and inserts the fresh response.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use mc_embedder::QueryEncoder;
+use mc_embedder::{EmbeddingMemo, QueryEncoder};
 use mc_store::{AnyIndex, CacheEntry, MemoryStore, VectorIndex};
 use mc_tensor::vector;
 use serde::{Deserialize, Serialize};
@@ -264,6 +265,9 @@ pub struct MeanCache {
     store: MemoryStore,
     index: AnyIndex,
     stats: AtomicCacheStats,
+    /// Optional embedding memo-cache installed by the serving layer. Only
+    /// sound while the encoder is frozen — see [`EmbeddingMemo`]'s docs.
+    memo: Option<Arc<EmbeddingMemo>>,
 }
 
 impl MeanCache {
@@ -282,7 +286,31 @@ impl MeanCache {
             store,
             index,
             stats: AtomicCacheStats::default(),
+            memo: None,
         })
+    }
+
+    /// Installs (or removes, with `None`) a shared embedding memo-cache in
+    /// front of the encoder. The caller guarantees the encoder is frozen
+    /// for the memo's lifetime; all encoder-driven paths (probe, batch
+    /// probe, context resolution, insert) then consult the memo first.
+    pub fn set_embedding_memo(&mut self, memo: Option<Arc<EmbeddingMemo>>) {
+        self.memo = memo;
+    }
+
+    /// Borrow the installed embedding memo, if any.
+    pub fn embedding_memo(&self) -> Option<&Arc<EmbeddingMemo>> {
+        self.memo.as_ref()
+    }
+
+    /// Encodes `text`, consulting the memo-cache when one is installed.
+    /// Memoized results are bit-identical to a cold encode (same tokenizer,
+    /// frozen weights), so decisions cannot depend on whether this hit.
+    fn embed(&self, text: &str) -> mc_tensor::Vector {
+        match &self.memo {
+            Some(memo) => memo.get_or_encode(text, |t| self.encoder.encode(t)),
+            None => self.encoder.encode(text),
+        }
     }
 
     /// Borrow the encoder.
@@ -358,7 +386,7 @@ impl MeanCache {
     fn probe_context(&self, context: &[String]) -> ProbeContext {
         match context.last() {
             None => ProbeContext::Standalone,
-            Some(text) => self.probe_context_from(Some(self.encoder.encode(text).as_slice())),
+            Some(text) => self.probe_context_from(Some(self.embed(text).as_slice())),
         }
     }
 
@@ -593,7 +621,7 @@ impl MeanCache {
     /// context turn, used to link a newly inserted follow-up to its parent.
     fn resolve_parent(&self, context: &[String]) -> Option<u64> {
         let parent_text = context.last()?;
-        let embedding = self.encoder.encode(parent_text);
+        let embedding = self.embed(parent_text);
         self.index
             .best_match(embedding.as_slice(), self.config.context_threshold)
             .ok()
@@ -605,7 +633,7 @@ impl MeanCache {
 impl SemanticCache for MeanCache {
     fn probe(&self, query: &str, context: &[String]) -> CacheDecisionOutcome {
         AtomicCacheStats::bump(&self.stats.lookups, 1);
-        let embedding = self.encoder.encode(query);
+        let embedding = self.embed(query);
         let candidates = match self.index.search(
             embedding.as_slice(),
             self.config.top_k,
@@ -627,10 +655,8 @@ impl SemanticCache for MeanCache {
         AtomicCacheStats::bump(&self.stats.lookups, probes.len() as u64);
         // Encode everything, then retrieve candidates for the whole batch in
         // one index pass; only context verification stays per-probe.
-        let embeddings: Vec<mc_tensor::Vector> = probes
-            .iter()
-            .map(|(query, _)| self.encoder.encode(query))
-            .collect();
+        let embeddings: Vec<mc_tensor::Vector> =
+            probes.iter().map(|(query, _)| self.embed(query)).collect();
         let query_refs: Vec<&[f32]> = embeddings.iter().map(|e| e.as_slice()).collect();
         let batched =
             match self
@@ -648,7 +674,7 @@ impl SemanticCache for MeanCache {
     }
 
     fn insert(&mut self, query: &str, response: &str, context: &[String]) -> Result<u64> {
-        let embedding = self.encoder.encode(query);
+        let embedding = self.embed(query);
         let parent = if self.config.context_checking {
             self.resolve_parent(context)
         } else {
@@ -1081,5 +1107,145 @@ mod tests {
         // 8-dim embeddings: 8 * 4 bytes per entry.
         assert_eq!(cache.embedding_bytes(), 32);
         assert!(cache.lookup("how do I bake sourdough bread", &[]).is_hit());
+    }
+
+    #[test]
+    fn embedding_memo_counts_hits_without_changing_decisions() {
+        let mut cold = cache_with_threshold(0.6);
+        let mut warm = cache_with_threshold(0.6);
+        let memo = Arc::new(EmbeddingMemo::new(128, 0));
+        warm.set_embedding_memo(Some(Arc::clone(&memo)));
+        for cache in [&mut cold, &mut warm] {
+            cache
+                .insert(
+                    "how can I increase the battery life of my smartphone",
+                    "Lower the screen brightness.",
+                    &[],
+                )
+                .unwrap();
+        }
+        // The insert memoized its query; an exact repeat probe hits the memo.
+        let misses_after_insert = memo.stats().misses;
+        for probe in [
+            "how can I increase the battery life of my smartphone",
+            "how can I increase the battery life of my phone",
+            "what is the capital city of portugal",
+        ] {
+            let a = cold.probe(probe, &[]);
+            let b = warm.probe(probe, &[]);
+            assert_eq!(a, b, "probe {probe:?} diverged");
+            if let (Some(x), Some(y)) = (a.hit(), b.hit()) {
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+        let stats = memo.stats();
+        assert!(stats.hits >= 1, "the exact repeat must hit the memo");
+        assert_eq!(stats.misses, misses_after_insert + 2);
+        // Removing the memo restores plain encoding.
+        warm.set_embedding_memo(None);
+        assert!(warm.embedding_memo().is_none());
+        assert_eq!(
+            cold.probe("battery life tips", &[]),
+            warm.probe("battery life tips", &[]),
+        );
+    }
+
+    mod memo_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Vocabulary mixing corpus words (so some probes hit), casing and
+        /// whitespace variants (exercising memo normalization), and noise.
+        const WORDS: &[&str] = &[
+            "how",
+            "do",
+            "I",
+            "bake",
+            "sourdough",
+            "bread",
+            "battery",
+            "life",
+            "of",
+            "my",
+            "smartphone",
+            "PHONE",
+            "what",
+            "is",
+            "federated",
+            "Learning",
+            "draw",
+            "a",
+            "line",
+            "plot",
+            "in",
+            "python",
+            "  ",
+            "zebra",
+        ];
+
+        fn query_from(indices: &[usize]) -> String {
+            indices
+                .iter()
+                .map(|&i| WORDS[i % WORDS.len()])
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+
+        fn corpus_pair() -> (MeanCache, MeanCache) {
+            let mut cold = cache_with_threshold(0.6);
+            let mut warm = cache_with_threshold(0.6);
+            warm.set_embedding_memo(Some(Arc::new(EmbeddingMemo::new(256, 0))));
+            for cache in [&mut cold, &mut warm] {
+                cache
+                    .insert(
+                        "how can I increase the battery life of my smartphone",
+                        "Lower the screen brightness.",
+                        &[],
+                    )
+                    .unwrap();
+                cache
+                    .insert(
+                        "how do I bake sourdough bread at home",
+                        "Ferment overnight.",
+                        &[],
+                    )
+                    .unwrap();
+                cache
+                    .insert("what is federated learning", "On-device training.", &[])
+                    .unwrap();
+            }
+            (cold, warm)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The memo acceptance property: memoized probe results are
+            /// bit-identical to cold-encoder probes, on the miss path (first
+            /// probe) and the hit path (repeat probe) alike.
+            #[test]
+            fn memoized_probes_are_bit_identical_to_cold_probes(
+                picks in prop::collection::vec(
+                    prop::collection::vec(0usize..24, 1..8),
+                    1..6,
+                ),
+            ) {
+                let (cold, warm) = corpus_pair();
+                for indices in &picks {
+                    let query = query_from(indices);
+                    let cold_outcome = cold.probe(&query, &[]);
+                    let first = warm.probe(&query, &[]); // memo miss path
+                    let second = warm.probe(&query, &[]); // memo hit path
+                    prop_assert_eq!(&cold_outcome, &first);
+                    prop_assert_eq!(&first, &second);
+                    if let (Some(a), Some(b)) = (cold_outcome.hit(), second.hit()) {
+                        prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+                    }
+                }
+                // Every repeat probe was answered from the memo.
+                let stats = warm.embedding_memo().unwrap().stats();
+                prop_assert!(stats.hits >= picks.len() as u64);
+            }
+        }
     }
 }

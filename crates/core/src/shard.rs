@@ -102,11 +102,11 @@
 //! which replays every entry through fresh routing (public ids are
 //! reassigned; contents and decisions are preserved).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
-use mc_embedder::QueryEncoder;
+use mc_embedder::{EmbeddingMemo, QueryEncoder};
 use mc_store::CacheEntry;
 use mc_tensor::vector;
 use rayon::prelude::*;
@@ -213,6 +213,10 @@ pub struct ShardedCache {
     encoder: QueryEncoder,
     /// Centroids + root pins for the semantic routing modes.
     router: RwLock<RouterState>,
+    /// Embedding memo shared with every shard (and consulted by the
+    /// routing layer's own encodes). `None` until the serving layer
+    /// installs one via [`ShardedCache::set_embedding_memo`].
+    memo: Option<Arc<EmbeddingMemo>>,
     /// Logical lookup counters for scatter-gather probes, which run
     /// *quietly* against each shard (one fan-out is one lookup, not N).
     scatter_lookups: AtomicU64,
@@ -246,10 +250,37 @@ impl ShardedCache {
             config,
             encoder,
             router: RwLock::new(RouterState::default()),
+            memo: None,
             scatter_lookups: AtomicU64::new(0),
             scatter_hits: AtomicU64::new(0),
             scatter_context_rejections: AtomicU64::new(0),
         })
+    }
+
+    /// Installs (or removes, with `None`) a shared embedding memo-cache on
+    /// this serving layer *and every shard*, so probe, insert, context and
+    /// routing encodes all consult one memo. Sound only while the shards'
+    /// encoder stays frozen — see [`EmbeddingMemo`]'s docs.
+    pub fn set_embedding_memo(&mut self, memo: Option<Arc<EmbeddingMemo>>) {
+        for shard in &mut self.shards {
+            shard_mut(shard).set_embedding_memo(memo.clone());
+        }
+        self.memo = memo;
+    }
+
+    /// Borrow the installed embedding memo, if any.
+    pub fn embedding_memo(&self) -> Option<&Arc<EmbeddingMemo>> {
+        self.memo.as_ref()
+    }
+
+    /// Encodes `text` for the routing layer, consulting the memo-cache when
+    /// one is installed (memoized results are bit-identical to a cold
+    /// encode, so routing cannot depend on whether this hit).
+    fn embed(&self, text: &str) -> mc_tensor::Vector {
+        match &self.memo {
+            Some(memo) => memo.get_or_encode(text, |t| self.encoder.encode(t)),
+            None => self.encoder.encode(text),
+        }
     }
 
     /// Number of shards.
@@ -377,6 +408,33 @@ impl ShardedCache {
         self.router.get_mut().expect("router lock poisoned").pins = pins;
     }
 
+    /// Garbage-collects the root pin table: drops every pin whose root no
+    /// longer resolves to a live entry (the conversation was fully evicted
+    /// or flushed), so a long-lived server's pin table tracks its contents
+    /// instead of its history. Returns the number of pins removed.
+    ///
+    /// Takes each shard's read lock briefly to compute the live root set,
+    /// then the router write lock for the retain. Concurrent *probes* are
+    /// safe (a pin for a live root is never removed); an *insert* racing
+    /// the window between the scan and the retain could have its fresh pin
+    /// dropped — harmless for decisions (routing falls back to centroids /
+    /// hash) but callers that can should serialise sweeps with inserts, as
+    /// the serve batcher does.
+    pub fn sweep_root_pins(&self) -> usize {
+        let mut live: HashSet<u64> = HashSet::new();
+        for lock in &self.shards {
+            let cache = read(lock);
+            let by_id: HashMap<u64, &CacheEntry> = cache.entries().map(|e| (e.id, e)).collect();
+            for entry in cache.entries() {
+                live.insert(fnv1a(chain_root(&by_id, entry)));
+            }
+        }
+        let mut router = self.router.write().expect("router lock poisoned");
+        let before = router.pins.len();
+        router.pins.retain(|root, _| live.contains(root));
+        before - router.pins.len()
+    }
+
     /// The shard a `(query, context)` pair is *assigned* to: the probe
     /// route under [`RoutingMode::Hash`] and [`RoutingMode::Centroid`], the
     /// insert target under [`RoutingMode::ScatterGather`] (whose probes fan
@@ -408,7 +466,7 @@ impl ShardedCache {
             drop(router);
             return (self.hash_route(query, context), None);
         }
-        let embedding = self.encoder.encode(root);
+        let embedding = self.embed(root);
         let shard = nearest_centroid(embedding.as_slice(), &router.centroids);
         (shard, Some(embedding.into_vec()))
     }
@@ -556,7 +614,11 @@ impl ShardedCache {
             ..self.config.clone()
         };
         for shard in &mut self.shards {
-            *shard_mut(shard) = MeanCache::new(self.encoder.clone(), shard_config.clone())?;
+            let mut fresh = MeanCache::new(self.encoder.clone(), shard_config.clone())?;
+            // Flushing entries does not invalidate embeddings — the encoder
+            // is unchanged — so the memo survives a clear.
+            fresh.set_embedding_memo(self.memo.clone());
+            *shard_mut(shard) = fresh;
         }
         let router = self.router.get_mut().expect("router lock poisoned");
         router.pins.clear();
@@ -660,9 +722,9 @@ impl ShardedCache {
     /// records one logical lookup.
     fn probe_scatter(&self, query: &str, context: &[String]) -> CacheDecisionOutcome {
         self.scatter_lookups.fetch_add(1, Ordering::Relaxed);
-        let query_embedding = self.encoder.encode(query);
+        let query_embedding = self.embed(query);
         let context_embedding = if self.config.context_checking {
-            context.last().map(|text| self.encoder.encode(text))
+            context.last().map(|text| self.embed(text))
         } else {
             None
         };
@@ -725,15 +787,13 @@ impl ShardedCache {
     fn probe_batch_scatter(&self, probes: &[(&str, &[String])]) -> Vec<CacheDecisionOutcome> {
         self.scatter_lookups
             .fetch_add(probes.len() as u64, Ordering::Relaxed);
-        let query_embeddings: Vec<mc_tensor::Vector> = probes
-            .iter()
-            .map(|(query, _)| self.encoder.encode(query))
-            .collect();
+        let query_embeddings: Vec<mc_tensor::Vector> =
+            probes.iter().map(|(query, _)| self.embed(query)).collect();
         let context_embeddings: Vec<Option<mc_tensor::Vector>> = probes
             .iter()
             .map(|(_, context)| {
                 if self.config.context_checking {
-                    context.last().map(|text| self.encoder.encode(text))
+                    context.last().map(|text| self.embed(text))
                 } else {
                     None
                 }
@@ -786,6 +846,7 @@ impl Clone for ShardedCache {
             config: self.config.clone(),
             encoder: self.encoder.clone(),
             router: RwLock::new(read_router(&self.router).clone()),
+            memo: self.memo.clone(),
             scatter_lookups: AtomicU64::new(self.scatter_lookups.load(Ordering::Relaxed)),
             scatter_hits: AtomicU64::new(self.scatter_hits.load(Ordering::Relaxed)),
             scatter_context_rejections: AtomicU64::new(
@@ -1080,6 +1141,9 @@ fn chain_root<'a>(by_id: &HashMap<u64, &'a CacheEntry>, entry: &'a CacheEntry) -
 /// `new_config`, and propagates storage failures from the replay.
 pub fn reshard(source: &ShardedCache, new_config: MeanCacheConfig) -> Result<ShardedCache> {
     let mut target = ShardedCache::new(source.encoder().clone(), new_config)?;
+    // The encoder is unchanged, so memoized embeddings stay valid across a
+    // reshard: carry the memo (and its warm contents) to the target.
+    target.set_embedding_memo(source.embedding_memo().cloned());
     if target.config.routing == RoutingMode::Centroid {
         let (centroids, counts) = source.centroid_state();
         let compatible = centroids.len() == target.shard_count()
@@ -1163,7 +1227,7 @@ impl ShardedCache {
                 if router.centroids.is_empty() {
                     return (fnv1a(root) % self.shards.len() as u64) as usize;
                 }
-                let embedding = self.encoder.encode(root);
+                let embedding = self.embed(root);
                 nearest_centroid(embedding.as_slice(), &router.centroids)
             }
             RoutingMode::ScatterGather => {
@@ -1805,5 +1869,143 @@ mod tests {
         let one = [refs[0]];
         let (cs, _) = spherical_kmeans(&one, 3, 3);
         assert_eq!(cs.len(), 3, "k > n still yields k usable centroids");
+    }
+
+    // ---- root-pin GC -------------------------------------------------------
+
+    #[test]
+    fn sweep_root_pins_drops_only_dead_roots() {
+        let mut config = MeanCacheConfig::default()
+            .with_threshold(0.6)
+            .with_shards(2)
+            .with_routing(RoutingMode::ScatterGather);
+        config.capacity = 4;
+        let mut cache = ShardedCache::new(encoder(), config).unwrap();
+        for i in 0..10 {
+            cache
+                .insert(&format!("sweepable subject number {i}"), "resp", &[])
+                .unwrap();
+        }
+        assert_eq!(cache.root_pin_count(), 10, "every root pinned at insert");
+        assert!(cache.len() < 10, "the small budget must have evicted");
+        let live = cache.len();
+        let swept = cache.sweep_root_pins();
+        assert_eq!(swept, 10 - live, "exactly the evicted roots are swept");
+        assert_eq!(cache.root_pin_count(), live);
+        // Idempotent: nothing left to sweep.
+        assert_eq!(cache.sweep_root_pins(), 0);
+        // Live entries still probe through their (kept) pins.
+        let served: usize = (0..10)
+            .filter(|i| {
+                cache
+                    .probe(&format!("sweepable subject number {i}"), &[])
+                    .is_hit()
+            })
+            .count();
+        assert!(served >= live.min(4), "live entries must stay probeable");
+    }
+
+    #[test]
+    fn sweep_root_pins_keeps_conversation_chains_via_their_root() {
+        let mut cache = sharded_with(2, 0.6, RoutingMode::Centroid);
+        cache
+            .insert("draw a line plot in python", "Use plt.plot.", &[])
+            .unwrap();
+        let ctx = vec!["draw a line plot in python".to_string()];
+        cache
+            .insert("change the color to red", "Pass color='red'.", &ctx)
+            .unwrap();
+        // One conversation, one pinned root; both entries resolve to it.
+        assert_eq!(cache.root_pin_count(), 1);
+        assert_eq!(cache.sweep_root_pins(), 0, "a live chain keeps its pin");
+        assert_eq!(cache.root_pin_count(), 1);
+        assert!(cache.probe("change the color to red", &ctx).is_hit());
+    }
+
+    // ---- embedding memo ----------------------------------------------------
+
+    #[test]
+    fn memo_backed_probes_make_bit_identical_decisions() {
+        for routing in [
+            RoutingMode::Hash,
+            RoutingMode::Centroid,
+            RoutingMode::ScatterGather,
+        ] {
+            let mut plain = sharded_with(4, 0.6, routing);
+            let mut memoized = sharded_with(4, 0.6, routing);
+            memoized.set_embedding_memo(Some(Arc::new(EmbeddingMemo::new(256, 0))));
+            let items = [
+                "how can I increase the battery life of my smartphone",
+                "how do I bake sourdough bread at home",
+                "what is federated learning",
+                "draw a line plot in python",
+            ];
+            for (i, q) in items.iter().enumerate() {
+                plain.insert(q, &format!("resp {i}"), &[]).unwrap();
+                memoized.insert(q, &format!("resp {i}"), &[]).unwrap();
+            }
+            let ctx = vec!["draw a line plot in python".to_string()];
+            plain
+                .insert("change the color to red", "Pass color='red'.", &ctx)
+                .unwrap();
+            memoized
+                .insert("change the color to red", "Pass color='red'.", &ctx)
+                .unwrap();
+            let probes: [(&str, &[String]); 4] = [
+                ("how can I increase the battery life of my phone", &[]),
+                ("How Do I Bake Sourdough Bread At Home", &[]),
+                ("change the color to red", &ctx),
+                ("what is the capital city of portugal", &[]),
+            ];
+            // Two passes: the second memoized pass answers from the memo.
+            for _ in 0..2 {
+                for (query, context) in probes {
+                    let a = plain.probe(query, context);
+                    let b = memoized.probe(query, context);
+                    assert_eq!(a.is_hit(), b.is_hit(), "{routing:?} {query:?}");
+                    if let (Some(x), Some(y)) = (a.hit(), b.hit()) {
+                        assert_eq!(x.response, y.response, "{routing:?} {query:?}");
+                        assert_eq!(
+                            x.score.to_bits(),
+                            y.score.to_bits(),
+                            "{routing:?} {query:?} score must be bit-identical"
+                        );
+                    }
+                }
+            }
+            let stats = memoized.embedding_memo().unwrap().stats();
+            assert!(stats.hits > 0, "{routing:?}: repeats must hit the memo");
+        }
+    }
+
+    #[test]
+    fn memo_survives_clone_clear_and_reshard() {
+        let mut cache = sharded(2, 0.6);
+        let memo = Arc::new(EmbeddingMemo::new(64, 0));
+        cache.set_embedding_memo(Some(Arc::clone(&memo)));
+        cache
+            .insert("what is federated learning", "FL.", &[])
+            .unwrap();
+        for shard in 0..cache.shard_count() {
+            assert!(
+                cache.with_shard(shard, |c| c.embedding_memo().is_some()),
+                "every shard must share the memo"
+            );
+        }
+        let cloned = cache.clone();
+        assert!(Arc::ptr_eq(cloned.embedding_memo().unwrap(), &memo));
+        let resharded = reshard(&cache, cache.config().clone().with_shards(3)).unwrap();
+        assert!(Arc::ptr_eq(resharded.embedding_memo().unwrap(), &memo));
+        assert!(resharded.with_shard(0, |c| c.embedding_memo().is_some()));
+        cache.clear().unwrap();
+        assert!(
+            Arc::ptr_eq(cache.embedding_memo().unwrap(), &memo),
+            "a flush keeps the memo (embeddings are still valid)"
+        );
+        assert!(cache.with_shard(0, |c| c.embedding_memo().is_some()));
+        // The warm memo still answers: a repeat probe after clear hits it.
+        let hits_before = memo.stats().hits;
+        let _ = cache.probe("what is federated learning", &[]);
+        assert!(memo.stats().hits > hits_before);
     }
 }

@@ -23,10 +23,14 @@
 //! * [`evaluate`] — pair-classification evaluation producing the
 //!   `mc-metrics` confusion matrices the experiments report.
 //! * [`checkpoint`] — JSON (de)serialisation of trained encoders.
+//! * [`memo`] — a sharded, bounded LRU memo-cache for embeddings of
+//!   repeated queries, installed by serving layers in front of a *frozen*
+//!   encoder.
 
 pub mod checkpoint;
 pub mod encoder;
 pub mod evaluate;
+pub mod memo;
 pub mod pca;
 pub mod profiles;
 pub mod threshold;
@@ -34,6 +38,7 @@ pub mod trainer;
 
 pub use encoder::QueryEncoder;
 pub use evaluate::{evaluate_pairs, EvaluationReport};
+pub use memo::{EmbeddingMemo, MemoStats};
 pub use pca::Pca;
 pub use profiles::{ModelProfile, ProfileKind};
 pub use threshold::{

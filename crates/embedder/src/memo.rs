@@ -1,0 +1,413 @@
+//! A sharded, bounded memo-cache for query embeddings.
+//!
+//! The encoder is ~60% of a cache probe, and serving traffic repeats
+//! queries constantly (the hot-head shape every production cache sees).
+//! [`EmbeddingMemo`] sits in front of [`crate::QueryEncoder::encode`] and
+//! returns the stored [`Vector`] for a repeated query instead of re-running
+//! the encoder.
+//!
+//! ## Keying and correctness
+//!
+//! Entries are keyed by FNV-1a of the **normalized** query text —
+//! `text.trim().to_lowercase()`. This is encode-equivalent for the
+//! encoder's fixed tokenizer (`mc_text::Tokenizer::default()`): it
+//! lower-cases the input and splits on non-alphanumeric characters, so two
+//! texts with equal normalized forms produce identical token streams and
+//! therefore **bit-identical** embeddings. Every hit additionally compares
+//! the stored normalized text against the probe's (an FNV collision must
+//! degrade to a miss, never to a wrong embedding).
+//!
+//! The memo is only sound while the encoder it fronts is *frozen*:
+//! installing one next to an encoder whose weights keep training would
+//! serve stale embeddings. The serving layer installs it on a cache whose
+//! encoder never mutates.
+//!
+//! ## Bounds and eviction
+//!
+//! Capacity- and byte-bounded per shard with intrusive-list LRU eviction;
+//! shard locks are independent so concurrent probes of distinct queries
+//! rarely contend. Hit/miss/eviction counters are relaxed atomics — they
+//! are monotonic tallies, never used to synchronise memory.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mc_tensor::Vector;
+
+/// Shards in the memo (fixed; keys spread by FNV so contention is low even
+/// with a handful of probing threads).
+const MEMO_SHARDS: usize = 8;
+
+/// Sentinel index for "no node" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// Fixed per-entry overhead charged to the byte budget on top of the text
+/// and embedding payloads (map slot + node bookkeeping, roughly).
+const ENTRY_OVERHEAD_BYTES: usize = 64;
+
+/// Fixed 64-bit FNV-1a over the normalized key text. A private copy, like
+/// the other frozen FNV loops in this workspace: each use is a separately
+/// frozen behaviour.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in text.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// The memo key: whitespace-trimmed, lower-cased query text. See the module
+/// docs for why this is encode-equivalent.
+fn normalize(text: &str) -> String {
+    text.trim().to_lowercase()
+}
+
+/// One LRU node: key hash, the normalized text (collision guard), the
+/// memoized embedding, and intrusive prev/next links.
+#[derive(Debug)]
+struct Node {
+    key: u64,
+    text: String,
+    vector: Vector,
+    prev: usize,
+    next: usize,
+}
+
+impl Node {
+    fn cost_bytes(&self) -> usize {
+        self.text.len() + self.vector.len() * std::mem::size_of::<f32>() + ENTRY_OVERHEAD_BYTES
+    }
+}
+
+/// One shard: hash map from key to slab slot, slab of nodes, LRU list
+/// head/tail (head = most recent), free-slot list, byte tally.
+#[derive(Debug, Default)]
+struct MemoShard {
+    map: HashMap<u64, usize>,
+    nodes: Vec<Option<Node>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+}
+
+impl MemoShard {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+        }
+    }
+
+    fn node(&self, slot: usize) -> &Node {
+        self.nodes[slot].as_ref().expect("live LRU slot")
+    }
+
+    fn node_mut(&mut self, slot: usize) -> &mut Node {
+        self.nodes[slot].as_mut().expect("live LRU slot")
+    }
+
+    /// Unlinks `slot` from the LRU list (it stays in the slab).
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = {
+            let node = self.node(slot);
+            (node.prev, node.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.node_mut(p).next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.node_mut(n).prev = prev,
+        }
+    }
+
+    /// Links `slot` at the head (most-recently-used end).
+    fn link_front(&mut self, slot: usize) {
+        let old_head = self.head;
+        {
+            let node = self.node_mut(slot);
+            node.prev = NIL;
+            node.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = slot,
+            h => self.node_mut(h).prev = slot,
+        }
+        self.head = slot;
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.link_front(slot);
+        }
+    }
+
+    /// Removes the least-recently-used entry; returns `false` when empty.
+    fn evict_tail(&mut self) -> bool {
+        let tail = self.tail;
+        if tail == NIL {
+            return false;
+        }
+        self.unlink(tail);
+        let node = self.nodes[tail].take().expect("live LRU tail");
+        self.bytes -= node.cost_bytes();
+        self.map.remove(&node.key);
+        self.free.push(tail);
+        true
+    }
+
+    fn insert(&mut self, key: u64, text: String, vector: Vector) {
+        let node = Node {
+            key,
+            text,
+            vector,
+            prev: NIL,
+            next: NIL,
+        };
+        self.bytes += node.cost_bytes();
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = Some(node);
+                slot
+            }
+            None => {
+                self.nodes.push(Some(node));
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.link_front(slot);
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Point-in-time memo counters (see [`EmbeddingMemo::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Probes answered from the memo.
+    pub hits: u64,
+    /// Probes that ran the encoder (and were then memoized).
+    pub misses: u64,
+    /// Entries dropped by LRU eviction.
+    pub evictions: u64,
+    /// Live entries across all shards.
+    pub entries: usize,
+    /// Approximate bytes held across all shards.
+    pub bytes: usize,
+}
+
+/// A sharded LRU memo-cache mapping normalized query text to its embedding.
+/// See the module docs for keying, correctness and bounding semantics.
+#[derive(Debug)]
+pub struct EmbeddingMemo {
+    shards: Vec<Mutex<MemoShard>>,
+    /// Max entries per shard (total capacity split evenly, rounded up).
+    shard_capacity: usize,
+    /// Max bytes per shard (0 = unbounded by bytes).
+    shard_max_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl EmbeddingMemo {
+    /// Creates a memo holding at most `capacity` entries (clamped to ≥ 1)
+    /// and at most `max_bytes` approximate bytes (`0` disables the byte
+    /// bound). Both bounds are enforced per shard on the evenly split
+    /// budget.
+    pub fn new(capacity: usize, max_bytes: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            shards: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(MemoShard::new()))
+                .collect(),
+            shard_capacity: capacity.div_ceil(MEMO_SHARDS),
+            shard_max_bytes: max_bytes.div_ceil(MEMO_SHARDS),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the memoized embedding for `text`, or runs `encode` (with
+    /// the *original* text — byte-identical to an unmemoized call) and
+    /// memoizes the result. The encoder runs outside the shard lock, so a
+    /// slow cold encode never blocks hits on other queries in the shard.
+    pub fn get_or_encode(&self, text: &str, encode: impl FnOnce(&str) -> Vector) -> Vector {
+        let normalized = normalize(text);
+        let key = fnv1a(&normalized);
+        let shard = &self.shards[(key % MEMO_SHARDS as u64) as usize];
+        {
+            let mut guard = shard.lock().expect("memo shard lock poisoned");
+            if let Some(&slot) = guard.map.get(&key) {
+                if guard.node(slot).text == normalized {
+                    let vector = guard.node(slot).vector.clone();
+                    guard.touch(slot);
+                    drop(guard);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return vector;
+                }
+                // FNV collision with a different normalized text: a miss.
+                // The resident entry keeps its slot (first-come wins).
+                drop(guard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return encode(text);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let vector = encode(text);
+        let mut guard = shard.lock().expect("memo shard lock poisoned");
+        // A racing encode of the same text may have landed first; keep the
+        // resident entry (the vectors are identical anyway).
+        if !guard.map.contains_key(&key) {
+            guard.insert(key, normalized, vector.clone());
+            let mut evicted = 0u64;
+            while guard.len() > self.shard_capacity
+                || (self.shard_max_bytes > 0 && guard.bytes > self.shard_max_bytes)
+            {
+                if !guard.evict_tail() {
+                    break;
+                }
+                evicted += 1;
+            }
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
+        vector
+    }
+
+    /// Snapshot of the memo counters and occupancy. Entry/byte tallies take
+    /// each shard lock briefly; counters are relaxed reads.
+    pub fn stats(&self) -> MemoStats {
+        let mut entries = 0;
+        let mut bytes = 0;
+        for shard in &self.shards {
+            let guard = shard.lock().expect("memo shard lock poisoned");
+            entries += guard.len();
+            bytes += guard.bytes;
+        }
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(tag: f32) -> Vector {
+        Vector::from_vec(vec![tag, tag + 1.0, tag + 2.0])
+    }
+
+    #[test]
+    fn repeat_queries_hit_and_skip_the_encoder() {
+        let memo = EmbeddingMemo::new(64, 0);
+        let mut encodes = 0;
+        for _ in 0..5 {
+            let v = memo.get_or_encode("What is Rust?", |_| {
+                encodes += 1;
+                vec_of(1.0)
+            });
+            assert_eq!(v.as_slice(), vec_of(1.0).as_slice());
+        }
+        assert_eq!(encodes, 1);
+        let stats = memo.stats();
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn normalization_folds_case_and_edge_whitespace() {
+        let memo = EmbeddingMemo::new(64, 0);
+        let mut encodes = 0;
+        let first = memo.get_or_encode("what is rust?", |_| {
+            encodes += 1;
+            vec_of(2.0)
+        });
+        let second = memo.get_or_encode("  What Is RUST?  ", |_| {
+            encodes += 1;
+            vec_of(99.0)
+        });
+        assert_eq!(encodes, 1, "case/trim variants must share one entry");
+        assert_eq!(first.as_slice(), second.as_slice());
+        // But *interior* differences are distinct queries.
+        let third = memo.get_or_encode("what is rust now?", |_| {
+            encodes += 1;
+            vec_of(3.0)
+        });
+        assert_eq!(encodes, 2);
+        assert_eq!(third.as_slice(), vec_of(3.0).as_slice());
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        // One entry per shard of budget: per-shard capacity is 1, so two
+        // distinct keys landing in one shard evict the older.
+        let memo = EmbeddingMemo::new(MEMO_SHARDS, 0);
+        let texts: Vec<String> = (0..64).map(|i| format!("query number {i}")).collect();
+        for (i, text) in texts.iter().enumerate() {
+            memo.get_or_encode(text, |_| vec_of(i as f32));
+        }
+        let stats = memo.stats();
+        assert!(stats.entries <= MEMO_SHARDS);
+        assert!(stats.evictions >= 64 - MEMO_SHARDS as u64);
+        // A re-probe of an evicted text re-encodes (stats count a miss).
+        let misses_before = memo.stats().misses;
+        memo.get_or_encode(&texts[0], |_| vec_of(0.0));
+        assert_eq!(memo.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn byte_bound_evicts_when_capacity_would_not() {
+        // Generous entry capacity, tiny byte budget: bytes drive eviction.
+        let payload_bytes = ENTRY_OVERHEAD_BYTES + 200;
+        let memo = EmbeddingMemo::new(10_000, payload_bytes * MEMO_SHARDS);
+        for i in 0..128 {
+            let text = format!("{:0120}", i); // 120 bytes of text each
+            memo.get_or_encode(&text, |_| vec_of(i as f32));
+        }
+        let stats = memo.stats();
+        assert!(stats.evictions > 0, "byte budget must evict");
+        assert!(stats.bytes <= payload_bytes * MEMO_SHARDS * 2);
+    }
+
+    #[test]
+    fn lru_order_keeps_recently_touched_entries() {
+        let memo = EmbeddingMemo::new(MEMO_SHARDS, 0); // 1 slot per shard
+                                                       // Find two texts that land in the same shard.
+        let base = normalize("anchor text");
+        let base_shard = fnv1a(&base) % MEMO_SHARDS as u64;
+        let partner = (0..1000)
+            .map(|i| format!("partner {i}"))
+            .find(|t| fnv1a(&normalize(t)) % MEMO_SHARDS as u64 == base_shard)
+            .expect("some partner shares the shard");
+        memo.get_or_encode("anchor text", |_| vec_of(1.0));
+        // Touch the anchor, then insert the partner: anchor was MRU at
+        // insert time but per-shard capacity 1 still evicts it (the only
+        // resident). Re-probe proves the partner is now resident.
+        memo.get_or_encode(&partner, |_| vec_of(2.0));
+        let hits_before = memo.stats().hits;
+        memo.get_or_encode(&partner, |_| vec_of(3.0));
+        assert_eq!(memo.stats().hits, hits_before + 1);
+    }
+}

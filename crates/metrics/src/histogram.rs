@@ -1,0 +1,183 @@
+//! A log2-bucketed latency histogram with lock-free recording.
+//!
+//! Serving layers need per-request latency percentiles without keeping a
+//! sample vector per request (that is [`crate::TimingStats`]' job, for
+//! bounded offline runs). [`LatencyHistogram`] spends a fixed
+//! [`LATENCY_HIST_BUCKETS`] × 8 bytes instead: bucket `i` counts values in
+//! `(2^(i-1), 2^i]` microseconds (bucket 0 absorbs 0–1 µs, the last bucket
+//! is open-ended), so any percentile is derivable client-side from the
+//! bucket counts with at most 2× quantisation error — plenty for p50/p90/p99
+//! dashboards.
+//!
+//! The same power-of-two bucket scheme is used by the serve layer's
+//! batch-size histogram, so one decoding rule covers both.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets. Bucket `i` covers `(2^(i-1), 2^i]` µs;
+/// bucket 27 tops out at ~134 s, far beyond any request this side of a
+/// network partition, and the last bucket absorbs everything larger anyway.
+pub const LATENCY_HIST_BUCKETS: usize = 28;
+
+/// The bucket a value in microseconds falls into.
+fn bucket_of(micros: u64) -> usize {
+    if micros <= 1 {
+        return 0;
+    }
+    let bucket = (u64::BITS - (micros - 1).leading_zeros()) as usize;
+    bucket.min(LATENCY_HIST_BUCKETS - 1)
+}
+
+/// Upper bound (inclusive, in µs) of bucket `i` — the value percentile
+/// estimation reports for samples landing in that bucket.
+pub fn bucket_upper_bound_us(bucket: usize) -> u64 {
+    1u64 << bucket.min(LATENCY_HIST_BUCKETS - 1)
+}
+
+/// A fixed-size, atomically updated log2 histogram of microsecond values.
+/// Recording is a single relaxed `fetch_add`; snapshots are racy only to
+/// the extent of in-flight increments (monotonic tallies, never used to
+/// synchronise other memory).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_HIST_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one value in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.buckets[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`].
+    pub fn record(&self, elapsed: std::time::Duration) {
+        self.record_micros(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Snapshot of the bucket counts (length [`LATENCY_HIST_BUCKETS`]).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Element-wise sum of two bucket vectors (merging shard or node
+/// histograms). Mismatched lengths merge over the shorter prefix plus the
+/// longer remainder — snapshots from a build with fewer buckets still
+/// merge losslessly.
+#[must_use]
+pub fn merge_log2_buckets(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let len = a.len().max(b.len());
+    (0..len)
+        .map(|i| a.get(i).copied().unwrap_or(0) + b.get(i).copied().unwrap_or(0))
+        .collect()
+}
+
+/// The `p`-th percentile (`0.0..=1.0`) of a log2 bucket-count vector, as
+/// the upper bound (µs) of the bucket holding the `ceil(p × count)`-th
+/// smallest sample. Returns 0 for an empty histogram. This is the exact
+/// rule clients apply to the serialized `latency_hist` snapshot.
+pub fn percentile_from_log2_buckets(buckets: &[u64], p: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let rank = ((p * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return bucket_upper_bound_us(i);
+        }
+    }
+    bucket_upper_bound_us(buckets.len().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_ranges_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(1 << 10), 10);
+        assert_eq!(bucket_of((1 << 10) + 1), 11);
+        assert_eq!(bucket_of(u64::MAX), LATENCY_HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_snapshot_round_trip() {
+        let hist = LatencyHistogram::default();
+        for micros in [1, 2, 3, 4, 5, 900, 1_000_000, u64::MAX] {
+            hist.record_micros(micros);
+        }
+        hist.record(std::time::Duration::from_micros(900));
+        let snap = hist.snapshot();
+        assert_eq!(snap.len(), LATENCY_HIST_BUCKETS);
+        assert_eq!(hist.count(), 9);
+        assert_eq!(snap[0], 1); // 1
+        assert_eq!(snap[1], 1); // 2
+        assert_eq!(snap[2], 2); // 3, 4
+        assert_eq!(snap[3], 1); // 5
+        assert_eq!(snap[10], 2); // 900 twice (513..=1024)
+        assert_eq!(snap[20], 1); // 1_000_000 (2^19+1..=2^20)
+        assert_eq!(snap[LATENCY_HIST_BUCKETS - 1], 1); // u64::MAX clamped
+    }
+
+    #[test]
+    fn merge_is_element_wise_and_length_tolerant() {
+        let a = vec![1, 2, 3];
+        let b = vec![10, 20, 30, 40];
+        assert_eq!(merge_log2_buckets(&a, &b), vec![11, 22, 33, 40]);
+        assert_eq!(merge_log2_buckets(&[], &b), b);
+        let hist_a = LatencyHistogram::default();
+        let hist_b = LatencyHistogram::default();
+        hist_a.record_micros(3);
+        hist_b.record_micros(4);
+        hist_b.record_micros(100);
+        let merged = merge_log2_buckets(&hist_a.snapshot(), &hist_b.snapshot());
+        assert_eq!(merged[2], 2);
+        assert_eq!(merged.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn percentiles_report_bucket_upper_bounds() {
+        assert_eq!(percentile_from_log2_buckets(&[], 0.5), 0);
+        let hist = LatencyHistogram::default();
+        // 90 samples at ~100µs (bucket 7: 65..=128), 10 at ~10_000µs
+        // (bucket 14: 8193..=16384).
+        for _ in 0..90 {
+            hist.record_micros(100);
+        }
+        for _ in 0..10 {
+            hist.record_micros(10_000);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(percentile_from_log2_buckets(&snap, 0.50), 128);
+        assert_eq!(percentile_from_log2_buckets(&snap, 0.90), 128);
+        assert_eq!(percentile_from_log2_buckets(&snap, 0.99), 16_384);
+        assert_eq!(percentile_from_log2_buckets(&snap, 1.0), 16_384);
+        assert_eq!(percentile_from_log2_buckets(&snap, 0.0), 128);
+    }
+}

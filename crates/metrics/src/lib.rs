@@ -15,14 +15,20 @@
 //!   paper's β = 0.5 weighting that favours precision.
 //! * [`timing`] — latency/size summaries (mean, percentiles, totals) used by
 //!   the response-time and storage experiments (Figures 5, 10, 15).
+//! * [`histogram`] — a fixed-size log2-bucketed latency histogram for online
+//!   serving, where keeping every sample is not an option.
 //! * [`report`] — plain-text table rendering so the benchmark binaries print
 //!   rows directly comparable to the paper's tables.
 
 pub mod confusion;
+pub mod histogram;
 pub mod report;
 pub mod timing;
 
 pub use confusion::{CacheDecision, ConfusionMatrix, MetricSummary};
+pub use histogram::{
+    merge_log2_buckets, percentile_from_log2_buckets, LatencyHistogram, LATENCY_HIST_BUCKETS,
+};
 pub use report::Table;
 pub use timing::TimingStats;
 

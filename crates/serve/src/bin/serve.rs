@@ -5,7 +5,8 @@
 //!       [--threshold 0.7] [--index flat-sq8|flat|ivf|ivf-sq8] [--seed 2024]
 //!       [--routing hash|centroid|scatter-gather] [--persist PATH]
 //!       [--batch-max 64] [--batch-wait-us 200] [--queue-cap 1024]
-//!       [--max-conns 32] [--smoke]
+//!       [--max-conns 32] [--poller epoll|poll] [--memo-capacity N]
+//!       [--memo-bytes N] [--no-singleflight] [--metrics-out PATH] [--smoke]
 //! ```
 //!
 //! `--persist PATH` wires durability in: an existing save at PATH is
@@ -26,7 +27,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use mc_embedder::{ModelProfile, QueryEncoder};
-use mc_serve::{Client, ServeConfig, Server};
+use mc_serve::{Client, PollerKind, ServeConfig, Server};
 use mc_store::IndexKind;
 use meancache::persist::load_sharded_cache_with_config;
 use meancache::{reshard, MeanCacheConfig, RoutingMode, ShardedCache};
@@ -40,6 +41,8 @@ struct Args {
     seed: u64,
     routing: RoutingMode,
     serve_config: ServeConfig,
+    poller: Option<PollerKind>,
+    metrics_out: Option<PathBuf>,
     smoke: bool,
 }
 
@@ -53,6 +56,8 @@ fn parse_args() -> Args {
         seed: 2024,
         routing: RoutingMode::Hash,
         serve_config: ServeConfig::default(),
+        poller: None,
+        metrics_out: None,
         smoke: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -129,6 +134,27 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--max-conns: integer");
             }
+            "--poller" => {
+                let name = value(&mut i, "--poller");
+                args.poller = Some(PollerKind::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown poller backend `{name}` (epoll|poll)");
+                    std::process::exit(2);
+                }));
+            }
+            "--memo-capacity" => {
+                args.serve_config.memo_capacity = value(&mut i, "--memo-capacity")
+                    .parse()
+                    .expect("--memo-capacity: integer");
+            }
+            "--memo-bytes" => {
+                args.serve_config.memo_max_bytes = value(&mut i, "--memo-bytes")
+                    .parse()
+                    .expect("--memo-bytes: integer");
+            }
+            "--no-singleflight" => args.serve_config.singleflight = false,
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(value(&mut i, "--metrics-out")));
+            }
             "--smoke" => args.smoke = true,
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -136,7 +162,8 @@ fn parse_args() -> Args {
                     "usage: serve [--addr A] [--shards N] [--capacity N] [--threshold T] \
                      [--index KIND] [--seed N] [--routing MODE] [--persist PATH] \
                      [--batch-max N] [--batch-wait-us N] [--queue-cap N] [--max-conns N] \
-                     [--smoke]"
+                     [--poller epoll|poll] [--memo-capacity N] [--memo-bytes N] \
+                     [--no-singleflight] [--metrics-out PATH] [--smoke]"
                 );
                 std::process::exit(2);
             }
@@ -200,6 +227,17 @@ fn build_cache(args: &Args) -> ShardedCache {
     ShardedCache::new(encoder, config).expect("valid serving config")
 }
 
+fn start_server(cache: ShardedCache, args: &Args) -> mc_serve::ServerHandle {
+    match args.poller {
+        Some(kind) => {
+            Server::start_with_poller(cache, &args.serve_config, args.addr.as_str(), kind)
+                .expect("bind serving address")
+        }
+        None => Server::start(cache, &args.serve_config, args.addr.as_str())
+            .expect("bind serving address"),
+    }
+}
+
 fn main() {
     let args = parse_args();
     if args.smoke {
@@ -207,8 +245,7 @@ fn main() {
         return;
     }
     let cache = build_cache(&args);
-    let handle =
-        Server::start(cache, &args.serve_config, args.addr.as_str()).expect("bind serving address");
+    let handle = start_server(cache, &args);
     println!(
         "mc-serve listening on {} ({} shards, {} index, batch ≤ {} / {:?} linger, queue {} cap, {} conns max)",
         handle.addr(),
@@ -243,12 +280,18 @@ fn smoke(args: &Args) {
         seed: args.seed,
         routing: args.routing,
         serve_config,
+        poller: args.poller,
+        metrics_out: args.metrics_out.clone(),
         smoke: true,
     };
     let cache = build_cache(&args);
-    let handle = Server::start(cache, &args.serve_config, args.addr.as_str()).expect("bind");
+    let handle = start_server(cache, &args);
     let addr = handle.addr();
-    println!("smoke: serving on {addr}");
+    println!(
+        "smoke: serving on {addr} (poller {})",
+        args.poller.map_or("default", |k| k.name())
+    );
+    let metrics_out = args.metrics_out.clone();
 
     let inserts = 40;
     let misses_expected = 25;
@@ -302,6 +345,26 @@ fn smoke(args: &Args) {
             stats.avg_batch,
             stats.shard_occupancy
         );
+
+        // Metrics plane: the text exposition must cross-check the stats
+        // snapshot, and (when asked) lands on disk as a CI artifact.
+        let metrics = client.metrics_text().expect("metrics");
+        assert!(
+            metrics.contains(&format!("serve_entries {inserts}")),
+            "metrics: entries gauge\n{metrics}"
+        );
+        assert!(
+            metrics.contains(&format!("serve_served_hits_total {inserts}")),
+            "metrics: served hits counter\n{metrics}"
+        );
+        assert!(
+            metrics.contains("serve_latency_us_count"),
+            "metrics: latency histogram\n{metrics}"
+        );
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, &metrics).expect("write --metrics-out");
+            println!("smoke: wrote metrics exposition to {}", path.display());
+        }
 
         // Routing control plane: switch to scatter-gather (reshards in
         // place) — every exact repeat must still hit afterwards.

@@ -214,6 +214,18 @@ impl Client {
         }
     }
 
+    /// Fetches the server's plain-text metrics dump (Prometheus-style
+    /// exposition, one `name value` line per counter/gauge).
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol or server failures.
+    pub fn metrics_text(&mut self) -> ClientResult<String> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            _ => Err(ClientError::Unexpected("wanted Metrics")),
+        }
+    }
+
     /// Replaces the server's cosine threshold τ.
     ///
     /// # Errors

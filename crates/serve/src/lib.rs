@@ -6,30 +6,33 @@
 //! semantic-cache service fronting an LLM API.
 //!
 //! ```text
-//!  clients ──TCP──▶ listener ──▶ connection jobs on a WorkerPool
-//!                                   (reader ∥ writer per connection)
-//!                                        │ submit / Overloaded
-//!                                        ▼
-//!                         bounded admission queue  ◀── backpressure
-//!                                        │ pop_batch(max_batch, max_wait)
-//!                                        ▼
-//!                               micro-batcher thread
-//!                        probe_batch ──▶ ordered commit ──▶ tickets
-//!                                        │
-//!                                        ▼
-//!                          ShardedCache (N shards ∥ rayon pool)
+//!  clients ──TCP──▶ event loop (1 thread: epoll/poll readiness)
+//!                     │ accept ≤ max_connections (Busy at the door)
+//!                     │ non-blocking reads ─▶ FrameAssembler ─▶ decode
+//!                     │ submit / Overloaded        ▲ dirty-mark + Waker
+//!                     ▼                            │ on ticket resolve
+//!        bounded admission queue ──▶ cross-batch singleflight attach
+//!                     │ pop_batch(max_batch, max_wait)
+//!                     ▼
+//!            micro-batcher thread ──▶ root-pin GC sweep (periodic)
+//!        probe_batch ─▶ ordered commit ─▶ tickets ─▶ latency histogram
+//!                     │
+//!                     ▼
+//!       ShardedCache ─▶ EmbeddingMemo (sharded LRU in front of encoder)
 //! ```
 //!
-//! Four layers, one module each:
+//! Five layers, one module each:
 //!
-//! * **Worker pool** — connection handling runs on a fixed
-//!   [`rayon::WorkerPool`] (the same persistent-pool type that now backs the
-//!   rayon shim's parallel iterators; it lives in the `rayon` compat crate
-//!   because the shim sits below every other crate in the dependency
-//!   stack). The pool is sized `2 × max_connections` (a reader and a writer
-//!   job per connection), so the thread budget doubles as the
-//!   connection-admission limit: connections beyond it are refused with a
-//!   `Busy` frame instead of degrading everyone else.
+//! * **Event loop** ([`server`], [`poller`]) — one thread owns the listener
+//!   and every connection through a readiness [`poller::Poller`] (epoll on
+//!   Linux, portable `poll(2)` fallback, both runtime-selectable). Sockets
+//!   are non-blocking with per-connection read/write buffers and a
+//!   partial-frame state machine ([`protocol::FrameAssembler`]), so 10k
+//!   idle connections cost file descriptors, not threads — total thread
+//!   count is two (loop + batcher) regardless of connection count. The
+//!   connection budget is enforced at accept time: beyond
+//!   [`ServeConfig::max_connections`] a fresh socket gets a `Busy` frame
+//!   and is closed before a single payload byte is parsed.
 //! * **Micro-batcher** ([`pipeline`]) — an admission queue of bounded
 //!   capacity feeds a single batcher thread that collects up to
 //!   [`ServeConfig::max_batch`] requests (waiting at most
@@ -40,15 +43,26 @@
 //!   [`ServePipeline::submit`] fails fast with
 //!   [`queue::SubmitError::Overloaded`] and the connection layer answers
 //!   `Busy`: load is shed at the door, not buffered into unbounded latency.
-//! * **Wire protocol** ([`protocol`], [`server`], [`client`]) — length-
-//!   prefixed frames over plain `std::net` TCP (offline-friendly; no async
-//!   runtime): `u32` little-endian payload length, one request or response
-//!   per frame, pipelining allowed (responses come back in submission order
-//!   per connection). [`client::Client`] is the blocking counterpart; the
+//!   Identical `(query, context)` lookups already in flight attach to the
+//!   pending ticket (cross-batch singleflight) instead of re-entering the
+//!   queue.
+//! * **Embedding memo-cache** — a sharded, capacity- and bytes-bounded LRU
+//!   ([`mc_embedder::EmbeddingMemo`]) in front of the query encoder, keyed
+//!   on normalized query text. Sound because the encoder is frozen for the
+//!   server's lifetime and its tokenizer lowercases; hit decisions are
+//!   bit-identical to encoding from scratch (property-tested in
+//!   `meancache`).
+//! * **Wire protocol** ([`protocol`], [`client`]) — length-prefixed frames
+//!   over plain `std::net` TCP (offline-friendly; no async runtime): `u32`
+//!   little-endian payload length, one request or response per frame,
+//!   pipelining allowed (responses come back in submission order per
+//!   connection). [`client::Client`] is the blocking counterpart; the
 //!   `serve` binary wires config → cache → listener.
 //! * **Stats/control plane** ([`stats`]) — a `Stats` request returns a
-//!   [`stats::ServeStatsSnapshot`] (hit rate, queue depth, batch-size
-//!   histogram, per-shard occupancy); `SetThreshold` and `Flush` commands
+//!   [`stats::ServeStatsSnapshot`] (hit rate, queue depth, batch-size and
+//!   latency histograms, memo and singleflight counters, per-shard
+//!   occupancy); a `Metrics` request returns the same data as a
+//!   Prometheus-style text exposition. `SetThreshold` and `Flush` commands
 //!   travel the same protocol and execute on the batcher thread, totally
 //!   ordered with the lookups around them.
 //!
@@ -65,6 +79,7 @@
 
 pub mod client;
 pub mod pipeline;
+pub mod poller;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -72,7 +87,8 @@ pub mod stats;
 
 pub use client::{Client, ClientError};
 pub use pipeline::{ServeConfig, ServePipeline, ServeReply, ServeRequest, Ticket};
-pub use protocol::{Request, Response};
+pub use poller::{Event, Interest, Poller, PollerKind, Waker};
+pub use protocol::{FrameAssembler, Request, Response};
 pub use queue::{BoundedQueue, SubmitError};
 pub use server::{Server, ServerHandle};
 pub use stats::{ServeMetrics, ServeStatsSnapshot};

@@ -18,10 +18,11 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use mc_embedder::EmbeddingMemo;
 use meancache::persist::save_sharded_cache_with_config;
 use meancache::{reshard, CacheDecisionOutcome, RoutingMode, SemanticCache, ShardedCache};
 
@@ -54,6 +55,26 @@ pub struct ServeConfig {
     /// and of the automatic save on graceful shutdown. `None` (the
     /// default) disables both — the cache lives and dies in memory.
     pub persist_path: Option<PathBuf>,
+    /// Capacity (entries) of the embedding memo-cache installed in front of
+    /// the query encoder. `0` disables the memo. The memo is sound because
+    /// the encoder is frozen for the server's lifetime and its tokenizer
+    /// lowercases, so `trim().to_lowercase()`-equal texts encode
+    /// identically.
+    pub memo_capacity: usize,
+    /// Byte bound on the embedding memo-cache (`0` = unbounded; the entry
+    /// capacity still applies).
+    pub memo_max_bytes: usize,
+    /// Collapse identical `(query, context)` lookups that are in flight
+    /// *across* batches: a duplicate attaches to the pending ticket instead
+    /// of re-entering the queue. (Within-batch duplicates are always
+    /// coalesced regardless of this switch.)
+    pub singleflight: bool,
+    /// How often the batcher sweeps dead conversation-root pins from the
+    /// routing table. Zero disables the sweep. Sweeps run on the batcher
+    /// thread between batches, so they serialise with inserts; an idle
+    /// server does not sweep, which is fine — dead pins only accumulate
+    /// while traffic evicts entries.
+    pub pin_sweep_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +86,10 @@ impl Default for ServeConfig {
             max_connections: 32,
             batch_delay: Duration::ZERO,
             persist_path: None,
+            memo_capacity: 4096,
+            memo_max_bytes: 0,
+            singleflight: true,
+            pin_sweep_interval: Duration::from_secs(30),
         }
     }
 }
@@ -102,6 +127,8 @@ pub enum ServeRequest {
     /// Drop all cached entries (the cache is rebuilt empty from its live
     /// config).
     Flush,
+    /// Render the stats plane as a plain-text metrics exposition.
+    Metrics,
 }
 
 /// What a [`ServeRequest`] resolved to.
@@ -119,25 +146,49 @@ pub enum ServeReply {
     Flushed(u64),
     /// Save completed; this many entries were persisted.
     Saved(u64),
+    /// Plain-text metrics exposition
+    /// ([`ServeStatsSnapshot::render_text`]).
+    MetricsText(String),
     /// The request failed (message is operator-facing).
     Failed(String),
 }
 
-#[derive(Debug)]
+struct TicketState {
+    reply: Option<ServeReply>,
+    /// Callbacks run exactly once, on the resolving thread, after the
+    /// reply is set. The event-driven server parks a waker here (a resolved
+    /// ticket must nudge the loop to flush the response); the singleflight
+    /// table parks its own removal here.
+    watchers: Vec<Box<dyn FnOnce() + Send>>,
+}
+
 struct TicketInner {
-    reply: Mutex<Option<ServeReply>>,
+    state: Mutex<TicketState>,
     ready: Condvar,
 }
 
+impl std::fmt::Debug for TicketInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("ticket lock poisoned");
+        f.debug_struct("TicketInner")
+            .field("reply", &state.reply)
+            .field("watchers", &state.watchers.len())
+            .finish()
+    }
+}
+
 /// A claim on one submitted request's eventual reply. Cloneable; any clone
-/// may wait.
+/// may wait, poll, or register a resolution callback.
 #[derive(Debug, Clone)]
 pub struct Ticket(Arc<TicketInner>);
 
 impl Ticket {
     fn new() -> Self {
         Ticket(Arc::new(TicketInner {
-            reply: Mutex::new(None),
+            state: Mutex::new(TicketState {
+                reply: None,
+                watchers: Vec::new(),
+            }),
             ready: Condvar::new(),
         }))
     }
@@ -151,30 +202,57 @@ impl Ticket {
     }
 
     /// Resolves the ticket. Called exactly once per submitted ticket, by
-    /// the batcher.
+    /// the batcher. Watchers run here, on the resolving thread, after the
+    /// lock is released — so a watcher may freely take other locks.
     pub(crate) fn resolve(&self, reply: ServeReply) {
-        let mut slot = self.0.reply.lock().expect("ticket lock poisoned");
-        debug_assert!(slot.is_none(), "a ticket resolves exactly once");
-        *slot = Some(reply);
-        drop(slot);
+        let watchers = {
+            let mut state = self.0.state.lock().expect("ticket lock poisoned");
+            debug_assert!(state.reply.is_none(), "a ticket resolves exactly once");
+            state.reply = Some(reply);
+            std::mem::take(&mut state.watchers)
+        };
         self.0.ready.notify_all();
+        for watcher in watchers {
+            watcher();
+        }
+    }
+
+    /// Registers a callback to run when the ticket resolves (immediately,
+    /// on this thread, when it already has).
+    pub(crate) fn on_resolve(&self, f: impl FnOnce() + Send + 'static) {
+        let mut state = self.0.state.lock().expect("ticket lock poisoned");
+        if state.reply.is_some() {
+            drop(state);
+            f();
+        } else {
+            state.watchers.push(Box::new(f));
+        }
     }
 
     /// Blocks until the reply is available and clones it out.
     pub fn wait(&self) -> ServeReply {
-        let mut slot = self.0.reply.lock().expect("ticket lock poisoned");
+        let mut state = self.0.state.lock().expect("ticket lock poisoned");
         loop {
-            if let Some(reply) = slot.as_ref() {
+            if let Some(reply) = state.reply.as_ref() {
                 return reply.clone();
             }
-            slot = self.0.ready.wait(slot).expect("ticket lock poisoned");
+            state = self.0.ready.wait(state).expect("ticket lock poisoned");
         }
     }
 
     /// The reply if already available, without blocking (the response
     /// writer uses this to coalesce only what is ready).
     pub fn try_reply(&self) -> Option<ServeReply> {
-        self.0.reply.lock().expect("ticket lock poisoned").clone()
+        self.0
+            .state
+            .lock()
+            .expect("ticket lock poisoned")
+            .reply
+            .clone()
+    }
+
+    fn downgrade(&self) -> Weak<TicketInner> {
+        Arc::downgrade(&self.0)
     }
 }
 
@@ -182,7 +260,13 @@ impl Ticket {
 struct Submitted {
     request: ServeRequest,
     ticket: Ticket,
+    /// When the request was admitted; resolution records the difference
+    /// into the latency histogram.
+    accepted_at: Instant,
 }
+
+/// Key of an in-flight lookup in the cross-batch singleflight table.
+type InflightKey = (String, Vec<String>);
 
 /// The serving pipeline: admission queue + metrics + the batcher thread
 /// that owns the cache. See the module docs for semantics.
@@ -191,11 +275,22 @@ pub struct ServePipeline {
     queue: Arc<BoundedQueue<Submitted>>,
     metrics: Arc<ServeMetrics>,
     batcher: Mutex<Option<JoinHandle<()>>>,
+    /// Cross-batch singleflight: lookups currently in the queue or being
+    /// executed, keyed by `(query, context)`. `None` when disabled.
+    inflight: Option<Arc<Mutex<HashMap<InflightKey, Ticket>>>>,
 }
 
 impl ServePipeline {
-    /// Takes ownership of `cache` and starts the batcher thread.
-    pub fn start(cache: ShardedCache, config: &ServeConfig) -> Self {
+    /// Takes ownership of `cache` and starts the batcher thread. Installs
+    /// the embedding memo-cache when [`ServeConfig::memo_capacity`] is
+    /// non-zero.
+    pub fn start(mut cache: ShardedCache, config: &ServeConfig) -> Self {
+        if config.memo_capacity > 0 {
+            cache.set_embedding_memo(Some(Arc::new(EmbeddingMemo::new(
+                config.memo_capacity,
+                config.memo_max_bytes,
+            ))));
+        }
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let metrics = Arc::new(ServeMetrics::default());
         let batcher = {
@@ -211,25 +306,73 @@ impl ServePipeline {
             queue,
             metrics,
             batcher: Mutex::new(Some(batcher)),
+            inflight: config
+                .singleflight
+                .then(|| Arc::new(Mutex::new(HashMap::new()))),
         }
     }
 
     /// Submits a request; the returned ticket resolves once the batcher has
     /// executed it. Never blocks.
     ///
+    /// With singleflight enabled, a lookup identical to one already in
+    /// flight attaches to the pending ticket instead of re-entering the
+    /// queue: both callers get the same outcome from one probe (and one
+    /// commit). Decision-identical — probes are pure and the duplicate
+    /// would have been coalesced had it landed in the same batch anyway —
+    /// but the duplicate skips the queue entirely, so a thundering herd
+    /// costs one queue slot, not many.
+    ///
     /// # Errors
     /// [`SubmitError::Overloaded`] when the admission queue is full (the
     /// request is shed), [`SubmitError::ShutDown`] after
     /// [`ServePipeline::shutdown`].
     pub fn submit(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
+        let key = match (&self.inflight, &request) {
+            (Some(_), ServeRequest::Lookup { query, context }) => {
+                Some((query.clone(), context.clone()))
+            }
+            _ => None,
+        };
+        if let (Some(inflight), Some(key)) = (&self.inflight, &key) {
+            let table = inflight.lock().expect("singleflight lock poisoned");
+            if let Some(pending) = table.get(key) {
+                self.metrics.record_singleflight();
+                return Ok(pending.clone());
+            }
+        }
         let ticket = Ticket::new();
         let result = self.queue.push(Submitted {
             request,
             ticket: ticket.clone(),
+            accepted_at: Instant::now(),
         });
         match result {
             Ok(()) => {
                 self.metrics.record_admitted();
+                if let (Some(inflight), Some(key)) = (&self.inflight, key) {
+                    inflight
+                        .lock()
+                        .expect("singleflight lock poisoned")
+                        .insert(key.clone(), ticket.clone());
+                    // Remove the entry exactly when this ticket resolves.
+                    // The watcher holds a Weak so an ill-fated ticket can't
+                    // keep itself alive through its own callback, and the
+                    // pointer check means a newer in-flight entry under the
+                    // same key is never removed by an older resolve.
+                    let table = Arc::clone(inflight);
+                    let me = ticket.downgrade();
+                    ticket.on_resolve(move || {
+                        let mut table = table.lock().expect("singleflight lock poisoned");
+                        let matches = table
+                            .get(&key)
+                            .zip(me.upgrade())
+                            .is_some_and(|(entry, me)| Arc::ptr_eq(&entry.0, &me));
+                        if matches {
+                            table.remove(&key);
+                        }
+                    });
+                }
                 Ok(ticket)
             }
             Err(SubmitError::Overloaded) => {
@@ -276,6 +419,7 @@ fn batcher_loop(
     config: &ServeConfig,
 ) {
     let mut batch: Vec<Submitted> = Vec::with_capacity(config.max_batch.max(1));
+    let mut last_sweep = Instant::now();
     loop {
         batch.clear();
         if !queue.pop_batch(config.max_batch, config.max_wait, &mut batch) {
@@ -286,6 +430,13 @@ fn batcher_loop(
         }
         metrics.record_batch(batch.len());
         execute_batch(&mut cache, &batch, queue, metrics, config);
+        // Root-pin GC: between batches the batcher is the only cache
+        // writer, so the sweep serialises with inserts by construction.
+        if !config.pin_sweep_interval.is_zero() && last_sweep.elapsed() >= config.pin_sweep_interval
+        {
+            metrics.record_pins_swept(cache.sweep_root_pins() as u64);
+            last_sweep = Instant::now();
+        }
     }
     // Graceful-shutdown persistence: the queue is closed and drained, the
     // batcher owns the cache outright, so this is the one place a final
@@ -340,6 +491,7 @@ fn execute_batch(
             let outcome = cache.probe(query, context);
             cache.commit(&outcome);
             metrics.record_served(outcome.is_hit());
+            metrics.record_latency(batch[i].accepted_at.elapsed());
             batch[i].ticket.resolve(ServeReply::Outcome(outcome));
             i = j;
             continue;
@@ -369,6 +521,7 @@ fn execute_batch(
             let outcome = outcomes[unique_index].clone();
             cache.commit(&outcome);
             metrics.record_served(outcome.is_hit());
+            metrics.record_latency(item.accepted_at.elapsed());
             item.ticket.resolve(ServeReply::Outcome(outcome));
         }
         i = j;
@@ -402,6 +555,13 @@ fn execute_control(
                 queue.len(),
                 queue.capacity(),
             )))
+        }
+        ServeRequest::Metrics => {
+            metrics.record_control();
+            ServeReply::MetricsText(
+                ServeStatsSnapshot::collect(cache, metrics, queue.len(), queue.capacity())
+                    .render_text(),
+            )
         }
         ServeRequest::SetThreshold(threshold) => {
             if (0.0..=1.0).contains(threshold) {
@@ -450,6 +610,7 @@ fn execute_control(
         }
         ServeRequest::Lookup { .. } => unreachable!("lookups are handled in runs"),
     };
+    metrics.record_latency(item.accepted_at.elapsed());
     item.ticket.resolve(reply);
 }
 
@@ -565,5 +726,106 @@ mod tests {
         };
         assert_eq!(stats.entries, 0);
         assert!((stats.threshold - 0.99).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_inflight_lookups_share_one_ticket_across_batches() {
+        // max_batch = 1 plus a batch delay parks the batcher on the insert
+        // long enough for both lookups to be submitted while the first is
+        // still queued — the deterministic cross-batch duplicate shape.
+        let config = ServeConfig {
+            max_batch: 1,
+            batch_delay: Duration::from_millis(50),
+            ..ServeConfig::default()
+        };
+        let pipeline = ServePipeline::start(cache(2), &config);
+        pipeline
+            .submit(ServeRequest::Insert {
+                query: "what is federated learning".into(),
+                response: "On-device training.".into(),
+                context: Vec::new(),
+            })
+            .unwrap();
+        let first = pipeline
+            .submit(lookup("what is federated learning"))
+            .unwrap();
+        let second = pipeline
+            .submit(lookup("what is federated learning"))
+            .unwrap();
+        // The duplicate attached to the pending ticket — same allocation.
+        assert!(
+            Arc::ptr_eq(&first.0, &second.0),
+            "duplicate lookup must share the in-flight ticket"
+        );
+        // A *different* lookup gets its own ticket.
+        let other = pipeline.submit(lookup("something else entirely")).unwrap();
+        assert!(!Arc::ptr_eq(&first.0, &other.0));
+        assert!(matches!(first.wait(), ServeReply::Outcome(o) if o.is_hit()));
+        assert!(matches!(second.wait(), ServeReply::Outcome(o) if o.is_hit()));
+        other.wait();
+        // After resolution the key is free again: a fresh lookup re-enters
+        // the pipeline with a fresh ticket.
+        let after = pipeline
+            .submit(lookup("what is federated learning"))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&first.0, &after.0));
+        after.wait();
+        let stats = match pipeline.submit(ServeRequest::Stats).unwrap().wait() {
+            ServeReply::Stats(snapshot) => snapshot,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert_eq!(stats.singleflight, 1);
+        // The attached duplicate never hit the queue: 5 admitted requests
+        // (insert, 2 distinct lookups, re-lookup, stats), not 6.
+        assert_eq!(stats.admitted, 5);
+        // Latency was recorded once per *executed* request (the snapshot
+        // is collected before the stats request's own latency lands).
+        assert_eq!(stats.latency_hist.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn singleflight_off_gives_every_lookup_its_own_ticket() {
+        let config = ServeConfig {
+            max_batch: 1,
+            batch_delay: Duration::from_millis(30),
+            singleflight: false,
+            ..ServeConfig::default()
+        };
+        let pipeline = ServePipeline::start(cache(2), &config);
+        pipeline
+            .submit(ServeRequest::Insert {
+                query: "q".into(),
+                response: "r".into(),
+                context: Vec::new(),
+            })
+            .unwrap();
+        let first = pipeline.submit(lookup("q")).unwrap();
+        let second = pipeline.submit(lookup("q")).unwrap();
+        assert!(!Arc::ptr_eq(&first.0, &second.0));
+        first.wait();
+        second.wait();
+    }
+
+    #[test]
+    fn metrics_request_renders_the_text_exposition() {
+        let pipeline = ServePipeline::start(cache(2), &ServeConfig::default());
+        pipeline
+            .submit(ServeRequest::Insert {
+                query: "what is federated learning".into(),
+                response: "On-device training.".into(),
+                context: Vec::new(),
+            })
+            .unwrap()
+            .wait();
+        let text = match pipeline.submit(ServeRequest::Metrics).unwrap().wait() {
+            ServeReply::MetricsText(text) => text,
+            other => panic!("expected metrics text, got {other:?}"),
+        };
+        assert!(text.contains("serve_entries 1"));
+        assert!(text.contains("serve_inserts_total 1"));
+        assert!(text.contains("serve_latency_us_count"));
+        // The default config installs the embedding memo; the insert
+        // encoded (and memoized) one embedding.
+        assert!(text.contains("serve_memo_entries 1"));
     }
 }

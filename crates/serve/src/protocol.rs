@@ -101,6 +101,8 @@ pub enum Request {
     Flush,
     /// Ask the server process to shut down gracefully.
     Shutdown,
+    /// Fetch the plain-text metrics dump (Prometheus-style exposition).
+    Metrics,
 }
 
 /// A server→client message.
@@ -136,6 +138,8 @@ pub enum Response {
     Busy,
     /// Reply to [`Request::Ping`].
     Pong,
+    /// Plain-text metrics dump ([`crate::stats::ServeStatsSnapshot::render_text`]).
+    Metrics(String),
 }
 
 // ---- frame transport -------------------------------------------------------
@@ -188,6 +192,88 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// Incremental frame reassembly for non-blocking sockets.
+///
+/// The event-driven server cannot block inside [`read_frame`] waiting for
+/// the rest of a frame: a readiness loop hands it whatever bytes the kernel
+/// has, possibly splitting a frame (or even its 4-byte length prefix) across
+/// many reads. `FrameAssembler` buffers those fragments and yields complete
+/// payloads as they materialise:
+///
+/// ```
+/// use mc_serve::protocol::{write_frame, FrameAssembler};
+///
+/// let mut wire = Vec::new();
+/// write_frame(&mut wire, b"hello").unwrap();
+/// let mut assembler = FrameAssembler::new();
+/// assembler.extend(&wire[..3]); // partial length prefix
+/// assert_eq!(assembler.next_frame().unwrap(), None);
+/// assembler.extend(&wire[3..]);
+/// assert_eq!(assembler.next_frame().unwrap().unwrap(), b"hello");
+/// ```
+///
+/// Hostile length prefixes are rejected as soon as the prefix is complete —
+/// before any payload is buffered. Consumed bytes are compacted lazily (only
+/// once the parse point passes half the buffer) so a burst of pipelined
+/// frames costs one `memmove`, not one per frame.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Parse position: everything before `at` has been yielded.
+    at: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers bytes received from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet yielded (partial frame + unparsed frames).
+    pub fn pending_len(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Yields the next complete frame payload, or `Ok(None)` when more bytes
+    /// are needed.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Oversize`] when a length prefix exceeds
+    /// [`MAX_FRAME_LEN`]; the assembler is poisoned afterwards and the
+    /// connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
+        let pending = &self.buf[self.at..];
+        if pending.len() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(ProtocolError::Oversize(len));
+        }
+        if pending.len() < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let payload = pending[4..4 + len].to_vec();
+        self.at += 4 + len;
+        self.compact();
+        Ok(Some(payload))
+    }
+
+    fn compact(&mut self) {
+        if self.at > 0 && self.at * 2 >= self.buf.len() {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+    }
 }
 
 // ---- payload codec ---------------------------------------------------------
@@ -282,6 +368,7 @@ mod op {
     pub const SHUTDOWN: u8 = 0x07;
     pub const SET_ROUTING: u8 = 0x08;
     pub const SAVE: u8 = 0x09;
+    pub const METRICS: u8 = 0x0a;
 
     pub const MISS: u8 = 0x80;
     pub const HIT: u8 = 0x81;
@@ -293,6 +380,7 @@ mod op {
     pub const BUSY: u8 = 0x87;
     pub const PONG: u8 = 0x88;
     pub const SAVED: u8 = 0x89;
+    pub const METRICS_REPLY: u8 = 0x8a;
 }
 
 /// Wire byte for a [`RoutingMode`] (stable across releases).
@@ -356,6 +444,7 @@ impl Request {
             Request::Save => buf.push(op::SAVE),
             Request::Flush => buf.push(op::FLUSH),
             Request::Shutdown => buf.push(op::SHUTDOWN),
+            Request::Metrics => buf.push(op::METRICS),
         }
         buf
     }
@@ -383,6 +472,7 @@ impl Request {
             op::SAVE => Request::Save,
             op::FLUSH => Request::Flush,
             op::SHUTDOWN => Request::Shutdown,
+            op::METRICS => Request::Metrics,
             other => return Err(ProtocolError::BadOpcode(other)),
         };
         cursor.finish()?;
@@ -431,6 +521,10 @@ impl Response {
             }
             Response::Busy => buf.push(op::BUSY),
             Response::Pong => buf.push(op::PONG),
+            Response::Metrics(text) => {
+                buf.push(op::METRICS_REPLY);
+                put_str(&mut buf, text);
+            }
         }
         buf
     }
@@ -457,6 +551,7 @@ impl Response {
             op::ERROR => Response::Error(cursor.str()?),
             op::BUSY => Response::Busy,
             op::PONG => Response::Pong,
+            op::METRICS_REPLY => Response::Metrics(cursor.str()?),
             other => return Err(ProtocolError::BadOpcode(other)),
         };
         cursor.finish()?;
@@ -522,6 +617,7 @@ mod tests {
             Request::Save,
             Request::Flush,
             Request::Shutdown,
+            Request::Metrics,
         ];
         for request in cases {
             let decoded = Request::decode(&request.encode()).unwrap();
@@ -547,6 +643,7 @@ mod tests {
             Response::Error("no".into()),
             Response::Busy,
             Response::Pong,
+            Response::Metrics("serve_admitted_total 12\nserve_shed_total 0\n".into()),
         ];
         for response in cases {
             let decoded = Response::decode(&response.encode()).unwrap();
@@ -602,6 +699,75 @@ mod tests {
         let hostile = (u32::MAX).to_le_bytes();
         let mut reader = &hostile[..];
         assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn assembler_reassembles_frames_split_at_every_byte_boundary() {
+        let frames: Vec<Vec<u8>> = vec![
+            Request::Ping.encode(),
+            Request::Lookup {
+                query: "split me across reads".into(),
+                context: vec!["turn one".into(), "turn two".into()],
+            }
+            .encode(),
+            Vec::new(), // empty payload is a legal frame
+            Request::Stats.encode(),
+        ];
+        let mut wire = Vec::new();
+        for frame in &frames {
+            write_frame(&mut wire, frame).unwrap();
+        }
+        // Feed the whole stream one byte at a time and at every split point:
+        // the assembler must yield exactly the original payloads, in order,
+        // regardless of fragmentation.
+        for chunk in 1..=wire.len() {
+            let mut assembler = FrameAssembler::new();
+            let mut yielded = Vec::new();
+            for piece in wire.chunks(chunk) {
+                assembler.extend(piece);
+                while let Some(payload) = assembler.next_frame().unwrap() {
+                    yielded.push(payload);
+                }
+            }
+            assert_eq!(yielded, frames, "chunk size {chunk}");
+            assert_eq!(assembler.pending_len(), 0, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_hostile_lengths_before_buffering_a_payload() {
+        let mut assembler = FrameAssembler::new();
+        // Prefix arrives split in two; the oversize must be caught the
+        // moment the fourth byte lands, with no payload bytes consumed.
+        let hostile = u32::MAX.to_le_bytes();
+        assembler.extend(&hostile[..2]);
+        assert_eq!(assembler.next_frame().unwrap(), None);
+        assembler.extend(&hostile[2..]);
+        assert!(matches!(
+            assembler.next_frame(),
+            Err(ProtocolError::Oversize(_))
+        ));
+    }
+
+    #[test]
+    fn assembler_handles_pipelined_bursts_with_partial_tail() {
+        let mut wire = Vec::new();
+        for i in 0..50u32 {
+            write_frame(&mut wire, format!("frame-{i}").as_bytes()).unwrap();
+        }
+        let mut assembler = FrameAssembler::new();
+        // Everything except the last 3 bytes lands in one read.
+        assembler.extend(&wire[..wire.len() - 3]);
+        let mut count = 0;
+        while let Some(payload) = assembler.next_frame().unwrap() {
+            assert_eq!(payload, format!("frame-{count}").as_bytes());
+            count += 1;
+        }
+        assert_eq!(count, 49);
+        assert!(assembler.pending_len() > 0);
+        assembler.extend(&wire[wire.len() - 3..]);
+        assert_eq!(assembler.next_frame().unwrap().unwrap(), b"frame-49");
+        assert_eq!(assembler.pending_len(), 0);
     }
 
     #[test]

@@ -1,50 +1,80 @@
-//! The TCP serving front: a listener thread admitting connections onto a
-//! fixed [`WorkerPool`], one reader + one writer job per connection, all
-//! cache work delegated to the [`ServePipeline`].
+//! The TCP serving front: one event-loop thread owning the listener and
+//! every connection through a readiness [`Poller`], all cache work delegated
+//! to the [`ServePipeline`].
+//!
+//! ## Why an event loop
+//!
+//! The previous front end spent two pool threads per connection (a blocking
+//! reader and a blocking writer), so the thread budget *was* the admission
+//! limit and 10k mostly-idle connections would have meant 20k parked
+//! threads. Here every socket is non-blocking and registered with an epoll
+//! (or portable `poll(2)`) poller: idle connections cost a file descriptor
+//! and a table entry, and the loop does work only when a socket is actually
+//! ready. Total thread count is two — this loop and the batcher —
+//! regardless of connection count.
 //!
 //! ## Connection admission
 //!
-//! The pool holds exactly `2 × max_connections` threads, so the thread
-//! budget *is* the admission limit: a connection beyond it would starve the
-//! pool, so it is refused immediately with a [`Response::Busy`] frame —
-//! connection-level backpressure, mirroring the per-request shedding the
-//! admission queue does.
+//! The connection budget is enforced *at accept time*: when
+//! [`ServeConfig::max_connections`] sockets are live, a new connection gets
+//! a best-effort [`Response::Busy`] frame and is closed before a single
+//! byte of it is read or parsed — shed at the door, mirroring the
+//! per-request shedding the admission queue does.
 //!
-//! ## Response ordering and coalescing
+//! ## Response ordering and flow control
 //!
-//! The reader submits requests in arrival order and hands their tickets to
-//! the writer through a FIFO channel, so responses leave in submission
-//! order — pipelining clients need no sequence numbers. The writer blocks
-//! on the *oldest* unresolved ticket, then opportunistically appends every
-//! already-resolved successor into the same `write_all`: when the batcher
-//! resolves a whole micro-batch at once, a window of responses leaves in
-//! one syscall.
+//! Each connection keeps a FIFO of outcomes (immediate responses and
+//! pipeline tickets). Resolved entries at the head are encoded into a write
+//! buffer and flushed as far as the socket allows; a ticket resolving on
+//! the batcher thread marks the connection dirty and nudges the loop
+//! through a [`Waker`], so responses still leave in submission order with
+//! whole micro-batches coalescing into single `write` calls. A client that
+//! stops reading accumulates write buffer up to a high-water mark, at which
+//! point the loop stops *reading* from it (backpressure through TCP)
+//! instead of parking a thread in `write_all`.
 //!
 //! ## Graceful shutdown
 //!
-//! [`ServerHandle::shutdown`] (or a client's [`Request::Shutdown`] followed
-//! by [`ServerHandle::wait`]) stops accepting, closes the pipeline — which
-//! drains every admitted request and resolves its ticket — then unblocks
-//! connection readers by shutting down the read half of each socket and
-//! joins the pool. In-flight requests are answered; only *new* work is
-//! refused.
+//! [`ServerHandle::shutdown`] (or a client's [`Request::Shutdown`]) flags
+//! the stop, drains the pipeline — resolving every admitted ticket — and
+//! the loop switches to drain mode: no more accepts, no more reads, flush
+//! every pending response (bounded by a deadline), close, exit. In-flight
+//! requests are answered; only new work is refused.
 
-use std::collections::HashMap;
-use std::io;
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use meancache::ShardedCache;
-use rayon::WorkerPool;
 
 use crate::pipeline::{ServeConfig, ServePipeline, ServeReply, ServeRequest};
-use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::poller::{wake_pair, Interest, Poller, PollerKind, WakeReceiver, Waker};
+use crate::protocol::{write_frame, FrameAssembler, Request, Response};
 use crate::queue::SubmitError;
 use crate::Ticket;
 
-/// What the reader hands the writer for one request, in submission order.
+/// Poller token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Poller token of the wake receiver.
+const TOKEN_WAKER: u64 = 1;
+/// First connection token.
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Once a connection's unflushed write backlog reaches this, the loop stops
+/// reading from it until the backlog drains — per-connection backpressure
+/// instead of unbounded buffering for a client that stops reading.
+const WRITE_HIGH_WATER: usize = 64 * 1024;
+
+/// How long drain mode keeps flushing pending responses after a stop before
+/// abandoning unread clients.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// What the connection owes the client for one request, in submission order.
 enum Out {
     /// A protocol-level response that never entered the pipeline.
     Ready(Response),
@@ -54,44 +84,40 @@ enum Out {
 
 struct ServerShared {
     pipeline: ServePipeline,
-    pool: WorkerPool,
     stop: AtomicBool,
     stop_lock: Mutex<()>,
     stop_signal: Condvar,
-    /// Read-half handles of live connections, force-shut on server
-    /// shutdown so blocked readers wake with EOF.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    next_conn_id: AtomicU64,
-    active: AtomicUsize,
-    max_connections: usize,
+    waker: Waker,
+    /// Connections whose ticket resolved since the loop last looked;
+    /// drained (with the waker) every loop iteration.
+    dirty: Mutex<Vec<u64>>,
+    /// Readiness events the loop has processed — observable work. The
+    /// idle-churn test asserts this grows with *active* sockets, not with
+    /// the number of idle ones.
+    io_events: AtomicU64,
     local_addr: SocketAddr,
 }
 
 impl ServerShared {
-    /// Flags the server for shutdown and wakes whoever is parked in
-    /// [`ServerHandle::wait`]; also nudges the accept loop out of its
-    /// blocking `accept`. Never joins anything — safe to call from a pool
-    /// thread (the `Shutdown` request handler).
+    /// Flags the server for shutdown, wakes whoever is parked in
+    /// [`ServerHandle::wait`], and nudges the event loop. Never joins
+    /// anything — safe to call from any thread (including the loop itself,
+    /// on a client's `Shutdown` request).
     fn request_stop(&self) {
         if !self.stop.swap(true, Ordering::SeqCst) {
-            let _guard = self.stop_lock.lock().expect("stop lock poisoned");
+            let guard = self.stop_lock.lock().expect("stop lock poisoned");
             self.stop_signal.notify_all();
-            drop(_guard);
-            // Unblock `accept` with a throwaway connection.
-            let _ = TcpStream::connect(nudge_addr(self.local_addr));
+            drop(guard);
+            self.waker.wake();
         }
     }
-}
 
-/// The address to self-connect to when unblocking `accept`: the bound
-/// address, with unspecified IPs (`0.0.0.0` / `::`) rewritten to loopback.
-fn nudge_addr(bound: SocketAddr) -> SocketAddr {
-    let ip = match bound.ip() {
-        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
-        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
-        other => other,
-    };
-    SocketAddr::new(ip, bound.port())
+    /// Marks a connection as having a freshly resolved ticket and nudges
+    /// the loop. Called from ticket watchers on the batcher thread.
+    fn mark_dirty(&self, token: u64) {
+        self.dirty.lock().expect("dirty list poisoned").push(token);
+        self.waker.wake();
+    }
 }
 
 /// The serving front-end. Construct with [`Server::start`].
@@ -99,8 +125,9 @@ pub struct Server;
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port), takes ownership of
-    /// `cache`, and starts serving: accept thread + connection pool +
-    /// micro-batching pipeline. Returns a handle owning the lifecycle.
+    /// `cache`, and starts serving: one event-loop thread + the
+    /// micro-batching pipeline. Uses the platform's best poller (epoll on
+    /// Linux, `poll(2)` elsewhere).
     ///
     /// # Errors
     /// Propagates socket errors from binding.
@@ -109,31 +136,64 @@ impl Server {
         config: &ServeConfig,
         addr: impl std::net::ToSocketAddrs,
     ) -> io::Result<ServerHandle> {
+        let kind = if cfg!(target_os = "linux") {
+            PollerKind::Epoll
+        } else {
+            PollerKind::Poll
+        };
+        Self::start_with_poller(cache, config, addr, kind)
+    }
+
+    /// [`Server::start`] with an explicit readiness backend (the `serve`
+    /// binary's `--poller` flag; CI smokes both).
+    ///
+    /// # Errors
+    /// Propagates socket and poller-creation errors.
+    pub fn start_with_poller(
+        cache: ShardedCache,
+        config: &ServeConfig,
+        addr: impl std::net::ToSocketAddrs,
+        poller: PollerKind,
+    ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let max_connections = config.max_connections.max(1);
+        let mut poller = Poller::new(poller)?;
+        let (waker, wake_rx) = wake_pair()?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.register(wake_rx.raw_fd(), TOKEN_WAKER, Interest::READ)?;
         let shared = Arc::new(ServerShared {
             pipeline: ServePipeline::start(cache, config),
-            pool: WorkerPool::new("mc-serve-conn", 2 * max_connections),
             stop: AtomicBool::new(false),
             stop_lock: Mutex::new(()),
             stop_signal: Condvar::new(),
-            conns: Mutex::new(HashMap::new()),
-            next_conn_id: AtomicU64::new(0),
-            active: AtomicUsize::new(0),
-            max_connections,
+            waker,
+            dirty: Mutex::new(Vec::new()),
+            io_events: AtomicU64::new(0),
             local_addr,
         });
-        let accept = {
+        let max_connections = config.max_connections.max(1);
+        let io = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
-                .name("mc-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("accept thread spawn failed")
+                .name("mc-serve-io".into())
+                .spawn(move || {
+                    EventLoop {
+                        listener,
+                        poller,
+                        wake_rx,
+                        shared: &shared,
+                        max_connections,
+                        conns: HashMap::new(),
+                        next_token: TOKEN_FIRST_CONN,
+                    }
+                    .run()
+                })
+                .expect("io thread spawn failed")
         };
         Ok(ServerHandle {
             shared,
-            accept: Some(accept),
+            io: Some(io),
         })
     }
 }
@@ -141,7 +201,7 @@ impl Server {
 /// Owns a running server's lifecycle: its address, its shutdown, its join.
 pub struct ServerHandle {
     shared: Arc<ServerShared>,
-    accept: Option<JoinHandle<()>>,
+    io: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -153,6 +213,13 @@ impl ServerHandle {
     /// Admission-queue depth right now (diagnostics).
     pub fn queue_depth(&self) -> usize {
         self.shared.pipeline.queue_depth()
+    }
+
+    /// Readiness events the event loop has processed so far. Grows with
+    /// traffic, not with idle connections — the property the idle-churn
+    /// test pins down.
+    pub fn io_event_count(&self) -> u64 {
+        self.shared.io_events.load(Ordering::Relaxed)
     }
 
     /// Blocks until some client sends [`Request::Shutdown`], then runs the
@@ -171,135 +238,279 @@ impl ServerHandle {
     }
 
     /// Graceful shutdown: stop accepting, drain the pipeline (every
-    /// admitted request is answered), unblock and join all connection
-    /// jobs.
+    /// admitted request is answered), flush pending responses, join the
+    /// loop.
     pub fn shutdown(mut self) {
         self.finish();
     }
 
     fn finish(&mut self) {
         self.shared.request_stop();
-        if let Some(accept) = self.accept.take() {
-            accept.join().expect("accept thread panicked");
-        }
-        // Drain in-flight work first: every ticket resolves, writers flush
-        // the responses out before their channels hang up.
+        // Drain in-flight work: every ticket resolves, each resolution
+        // marks its connection dirty and wakes the loop, which flushes the
+        // responses out in drain mode.
         self.shared.pipeline.shutdown();
-        // Now unblock readers parked on idle sockets. Only the read half is
-        // shut down — writers may still be flushing final responses.
-        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conn registry poisoned"));
-        for (_, stream) in conns {
-            let _ = stream.shutdown(Shutdown::Read);
+        if let Some(io) = self.io.take() {
+            io.join().expect("io thread panicked");
         }
-        self.shared.pool.shutdown();
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.accept.is_some() {
+        if self.io.is_some() {
             self.finish();
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
-    for stream in listener.incoming() {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
+/// One live connection's state in the event loop.
+struct Conn {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    /// Responses owed, in submission order.
+    out: VecDeque<Out>,
+    /// Encoded-but-unflushed response bytes; `wpos` marks how far the
+    /// socket has accepted them.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// No further reads (EOF, protocol error, or server drain); the
+    /// connection closes once `out` and `wbuf` are empty.
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            assembler: FrameAssembler::new(),
+            out: VecDeque::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            interest: Interest::READ,
+            closing: false,
         }
-        let Ok(stream) = stream else { continue };
-        admit(stream, shared);
+    }
+
+    fn backlog(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// The interest this connection should be registered with right now.
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: !self.closing && self.backlog() < WRITE_HIGH_WATER,
+            writable: self.backlog() > 0,
+        }
+    }
+
+    /// Done: nothing owed and no more coming.
+    fn finished(&self) -> bool {
+        self.closing && self.out.is_empty() && self.backlog() == 0
     }
 }
 
-fn admit(stream: TcpStream, shared: &Arc<ServerShared>) {
-    // Reserve a connection slot; refuse with a Busy frame when the budget
-    // (== half the pool) is spent. `fetch_update` keeps racing accepts from
-    // overshooting the limit.
-    let admitted = shared
-        .active
-        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |active| {
-            (active < shared.max_connections).then_some(active + 1)
-        })
-        .is_ok();
-    if !admitted {
-        let mut stream = stream;
-        let _ = write_frame(&mut stream, &Response::Busy.encode());
-        return;
-    }
-    let _ = stream.set_nodelay(true);
-    // Bound every response write: a client that stops reading (full TCP
-    // send buffer) would otherwise park its writer in `write_all` forever
-    // and make pool shutdown unjoinable. A stalled-past-the-timeout
-    // consumer is treated as dead and its connection dropped.
-    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(5)));
-    // Three handles onto one socket: reader, writer, and a registry handle
-    // the shutdown path uses to wake a parked reader.
-    let (reader_stream, registry_stream) = match (stream.try_clone(), stream.try_clone()) {
-        (Ok(a), Ok(b)) => (a, b),
-        _ => {
-            shared.active.fetch_sub(1, Ordering::SeqCst);
-            return;
+struct EventLoop<'a> {
+    listener: TcpListener,
+    poller: Poller,
+    wake_rx: WakeReceiver,
+    shared: &'a Arc<ServerShared>,
+    max_connections: usize,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+}
+
+impl EventLoop<'_> {
+    fn run(mut self) {
+        let mut events = Vec::new();
+        let mut draining_since: Option<Instant> = None;
+        loop {
+            let stopping = self.shared.stop.load(Ordering::SeqCst);
+            if stopping && draining_since.is_none() {
+                draining_since = Some(Instant::now());
+                self.enter_drain_mode();
+            }
+            if let Some(since) = draining_since {
+                if self.conns.is_empty() || since.elapsed() >= DRAIN_DEADLINE {
+                    break;
+                }
+            }
+            // Blocking wait while serving; short slices while draining so
+            // the deadline is honoured even if no event ever fires.
+            let timeout = draining_since.map(|_| Duration::from_millis(50));
+            let Ok(n) = self.poller.wait(&mut events, timeout) else {
+                break; // poller failure: nothing sane left to do
+            };
+            self.shared.io_events.fetch_add(n as u64, Ordering::Relaxed);
+            for &event in &events {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(draining_since.is_some()),
+                    TOKEN_WAKER => self.wake_rx.drain(),
+                    token => self.conn_ready(token, event.readable, event.writable, event.hangup),
+                }
+            }
+            self.pump_dirty();
         }
-    };
-    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
-    shared
-        .conns
-        .lock()
-        .expect("conn registry poisoned")
-        .insert(conn_id, registry_stream);
-    let (tx, rx) = mpsc::channel::<Out>();
-    let writer_stream = stream;
-    shared.pool.spawn(move || write_loop(writer_stream, &rx));
-    let shared_for_reader = Arc::clone(shared);
-    shared
-        .pool
-        .spawn(move || read_loop(reader_stream, &tx, &shared_for_reader, conn_id));
-}
-
-/// Releases a connection's admission slot (registry entry + active count)
-/// however the reader exits — including a panic unwinding through the
-/// pool's `catch_unwind`, which would otherwise leak the slot until every
-/// new connection is refused `Busy`.
-struct ConnSlot<'a> {
-    shared: &'a ServerShared,
-    conn_id: u64,
-}
-
-impl Drop for ConnSlot<'_> {
-    fn drop(&mut self) {
-        if let Ok(mut conns) = self.shared.conns.lock() {
-            conns.remove(&self.conn_id);
+        // Deadline expired (or clean exit): drop whatever is left.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close_conn(token);
         }
-        self.shared.active.fetch_sub(1, Ordering::SeqCst);
     }
-}
 
-/// Per-connection reader: decode frames in order, submit to the pipeline,
-/// hand each request's ticket (or immediate response) to the writer.
-/// Reads are buffered: a pipelining client's whole window arrives in one
-/// socket read instead of two syscalls per frame.
-fn read_loop(stream: TcpStream, tx: &mpsc::Sender<Out>, shared: &ServerShared, conn_id: u64) {
-    let _slot = ConnSlot { shared, conn_id };
-    let mut stream = io::BufReader::new(stream);
-    // Errors and clean EOF both end the connection.
-    while let Ok(Some(payload)) = read_frame(&mut stream) {
-        let out = match Request::decode(&payload) {
+    /// Switches to drain mode: stop accepting, stop reading, flush what is
+    /// owed. Idle connections close here and now.
+    fn enter_drain_mode(&mut self) {
+        let _ = self.poller.deregister(self.listener.as_raw_fd());
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.closing = true;
+            }
+            self.pump_conn(token);
+        }
+    }
+
+    /// Accepts every pending connection; beyond the budget (or while
+    /// draining), sheds with a best-effort `Busy` frame before a single
+    /// payload byte is read — refused clients learn immediately instead of
+    /// queueing behind admitted ones.
+    fn accept_ready(&mut self, draining: bool) {
+        loop {
+            let mut stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            if draining || self.conns.len() >= self.max_connections {
+                // Accepted sockets are blocking by default; a 6-byte frame
+                // into a fresh send buffer cannot stall.
+                let _ = write_frame(&mut stream, &Response::Busy.encode());
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .poller
+                .register(stream.as_raw_fd(), token, Interest::READ)
+                .is_err()
+            {
+                continue;
+            }
+            self.conns.insert(token, Conn::new(stream));
+        }
+    }
+
+    /// Handles readiness on a connection: read and parse what is available,
+    /// then pump the write side.
+    fn conn_ready(&mut self, token: u64, readable: bool, _writable: bool, hangup: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return; // already closed this iteration
+        };
+        if hangup {
+            // Peer closed its write half (or the socket errored). Stop
+            // reading; pending responses still get a flush attempt — a
+            // half-closed client may well be waiting for them.
+            conn.closing = true;
+        }
+        if readable && !conn.closing {
+            self.read_ready(token);
+        }
+        // Writable readiness (and post-read fallout) both funnel into the
+        // same pump: encode what resolved, flush what fits.
+        self.pump_conn(token);
+    }
+
+    /// Reads until `WouldBlock`/EOF, feeding the frame assembler and
+    /// submitting every complete request in order.
+    fn read_ready(&mut self, token: u64) {
+        let mut rbuf = [0u8; 16 * 1024];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            // Backpressure: a client we owe too many unflushed bytes stops
+            // being read until the backlog drains.
+            if conn.backlog() >= WRITE_HIGH_WATER {
+                return;
+            }
+            match conn.stream.read(&mut rbuf) {
+                Ok(0) => {
+                    conn.closing = true;
+                    return;
+                }
+                Ok(n) => {
+                    conn.assembler.extend(&rbuf[..n]);
+                    self.parse_frames(token);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.closing = true;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drains complete frames out of the assembler into request handling.
+    fn parse_frames(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.closing {
+                return;
+            }
+            match conn.assembler.next_frame() {
+                Ok(None) => return,
+                Ok(Some(payload)) => self.handle_frame(token, &payload),
+                Err(e) => {
+                    // Framing is no longer trustworthy: answer the error,
+                    // then hang up.
+                    conn.out
+                        .push_back(Out::Ready(Response::Error(e.to_string())));
+                    conn.closing = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Decodes and dispatches one request frame.
+    fn handle_frame(&mut self, token: u64, payload: &[u8]) {
+        let request = match Request::decode(payload) {
+            Ok(request) => request,
             Err(e) => {
-                // Answer the protocol error, then hang up: framing is no
-                // longer trustworthy.
-                let _ = tx.send(Out::Ready(Response::Error(e.to_string())));
-                break;
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.out
+                        .push_back(Out::Ready(Response::Error(e.to_string())));
+                    conn.closing = true;
+                }
+                return;
             }
-            Ok(Request::Ping) => Out::Ready(Response::Pong),
-            Ok(Request::Shutdown) => {
-                let _ = tx.send(Out::Ready(Response::Ack));
-                shared.request_stop();
-                break;
+        };
+        let out = match request {
+            Request::Ping => Out::Ready(Response::Pong),
+            Request::Shutdown => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.out.push_back(Out::Ready(Response::Ack));
+                    conn.closing = true;
+                }
+                self.shared.request_stop();
+                return;
             }
-            Ok(request) => {
-                let serve_request = match request {
+            other => {
+                let serve_request = match other {
                     Request::Lookup { query, context } => ServeRequest::Lookup { query, context },
                     Request::Insert {
                         query,
@@ -311,14 +522,23 @@ fn read_loop(stream: TcpStream, tx: &mpsc::Sender<Out>, shared: &ServerShared, c
                         context,
                     },
                     Request::Stats => ServeRequest::Stats,
+                    Request::Metrics => ServeRequest::Metrics,
                     Request::SetThreshold(t) => ServeRequest::SetThreshold(t),
                     Request::SetRouting(mode) => ServeRequest::SetRouting(mode),
                     Request::Save => ServeRequest::Save,
                     Request::Flush => ServeRequest::Flush,
                     Request::Ping | Request::Shutdown => unreachable!("handled above"),
                 };
-                match shared.pipeline.submit(serve_request) {
-                    Ok(ticket) => Out::Pending(ticket),
+                match self.shared.pipeline.submit(serve_request) {
+                    Ok(ticket) => {
+                        // Resolution (on the batcher thread) marks this
+                        // connection dirty and nudges the loop; an
+                        // already-resolved ticket runs the watcher inline,
+                        // which is just as correct.
+                        let shared = Arc::clone(self.shared);
+                        ticket.on_resolve(move || shared.mark_dirty(token));
+                        Out::Pending(ticket)
+                    }
                     Err(SubmitError::Overloaded) => Out::Ready(Response::Busy),
                     Err(SubmitError::ShutDown) => {
                         Out::Ready(Response::Error("server is shutting down".into()))
@@ -326,61 +546,93 @@ fn read_loop(stream: TcpStream, tx: &mpsc::Sender<Out>, shared: &ServerShared, c
                 }
             }
         };
-        if tx.send(out).is_err() {
-            break; // writer is gone (socket error)
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.out.push_back(out);
         }
     }
-    // Dropping `tx` (by returning) lets the writer drain and exit;
-    // `_slot`'s Drop releases the admission slot.
-}
 
-/// Per-connection writer: responses leave in submission order; everything
-/// already resolved behind the head-of-line response is coalesced into the
-/// same `write_all`.
-fn write_loop(mut stream: TcpStream, rx: &mpsc::Receiver<Out>) {
-    let mut buf: Vec<u8> = Vec::with_capacity(4096);
-    let mut carry: Option<Out> = None;
-    loop {
-        let head = match carry.take() {
-            Some(out) => out,
-            None => match rx.recv() {
-                Ok(out) => out,
-                Err(mpsc::RecvError) => break,
-            },
-        };
-        buf.clear();
-        let head_response = match head {
-            Out::Ready(response) => response,
-            Out::Pending(ticket) => reply_to_response(ticket.wait()),
-        };
-        if write_frame(&mut buf, &head_response.encode()).is_err() {
-            break;
-        }
-        // Coalesce: append whatever is already resolved, stop at the first
-        // response that would block (it becomes the next head).
+    /// Pumps every connection the batcher marked dirty since the last
+    /// iteration. Work here is O(resolved tickets), never O(connections).
+    fn pump_dirty(&mut self) {
         loop {
-            match rx.try_recv() {
-                Ok(Out::Ready(response)) => {
-                    if write_frame(&mut buf, &response.encode()).is_err() {
-                        break;
-                    }
-                }
-                Ok(Out::Pending(ticket)) => match ticket.try_reply() {
-                    Some(reply) => {
-                        if write_frame(&mut buf, &reply_to_response(reply).encode()).is_err() {
-                            break;
-                        }
-                    }
-                    None => {
-                        carry = Some(Out::Pending(ticket));
-                        break;
-                    }
-                },
-                Err(_) => break,
+            let dirty =
+                std::mem::take(&mut *self.shared.dirty.lock().expect("dirty list poisoned"));
+            if dirty.is_empty() {
+                return;
+            }
+            for token in dirty {
+                self.pump_conn(token);
             }
         }
-        if io::Write::write_all(&mut stream, &buf).is_err() {
-            break;
+    }
+
+    /// Encodes resolved head-of-line outcomes into the write buffer,
+    /// flushes as far as the socket allows, updates poller interest, and
+    /// closes the connection when it is finished (or broken).
+    fn pump_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        // Encode every response that is ready at the head of the line.
+        while let Some(head) = conn.out.front() {
+            let response = match head {
+                Out::Ready(response) => response.clone(),
+                Out::Pending(ticket) => match ticket.try_reply() {
+                    Some(reply) => reply_to_response(reply),
+                    None => break,
+                },
+            };
+            conn.out.pop_front();
+            if write_frame(&mut conn.wbuf, &response.encode()).is_err() {
+                // Oversize response payload: nothing recoverable.
+                conn.closing = true;
+                conn.out.clear();
+                break;
+            }
+        }
+        // Flush.
+        let mut broken = false;
+        while conn.wpos < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => {
+                    broken = true;
+                    break;
+                }
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    broken = true;
+                    break;
+                }
+            }
+        }
+        if conn.wpos == conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+        } else if conn.wpos >= WRITE_HIGH_WATER {
+            // Reclaim flushed prefix so a slow reader cannot grow the
+            // buffer unboundedly behind a large backlog.
+            conn.wbuf.drain(..conn.wpos);
+            conn.wpos = 0;
+        }
+        if broken || conn.finished() {
+            self.close_conn(token);
+            return;
+        }
+        let desired = conn.desired_interest();
+        if desired != conn.interest {
+            conn.interest = desired;
+            let fd = conn.stream.as_raw_fd();
+            let _ = self.poller.modify(fd, token, desired);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            // Deregister before the fd closes: the poll(2) backend keeps
+            // its own registration table.
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
         }
     }
 }
@@ -397,6 +649,7 @@ fn reply_to_response(reply: ServeReply) -> Response {
         ServeReply::Ack => Response::Ack,
         ServeReply::Flushed(n) => Response::Flushed(n),
         ServeReply::Saved(n) => Response::Saved(n),
+        ServeReply::MetricsText(text) => Response::Metrics(text),
         ServeReply::Failed(message) => Response::Error(message),
     }
 }

@@ -4,7 +4,9 @@
 //! bench harness parse one schema).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
+use mc_metrics::{percentile_from_log2_buckets, LatencyHistogram};
 use meancache::{SemanticCache, ShardedCache};
 use serde::{Deserialize, Serialize};
 
@@ -26,7 +28,10 @@ pub struct ServeMetrics {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     coalesced: AtomicU64,
+    singleflight: AtomicU64,
+    pins_swept: AtomicU64,
     batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+    latency: LatencyHistogram,
 }
 
 impl ServeMetrics {
@@ -78,6 +83,25 @@ impl ServeMetrics {
         let bucket = (usize::BITS - (size - 1).leading_zeros()) as usize;
         let bucket = bucket.min(BATCH_HIST_BUCKETS - 1);
         self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A duplicate lookup attached to an identical request already in
+    /// flight across batches (cross-batch singleflight) instead of being
+    /// enqueued.
+    pub fn record_singleflight(&self) {
+        self.singleflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A root-pin GC sweep dropped `n` dead pins.
+    pub fn record_pins_swept(&self, n: u64) {
+        if n > 0 {
+            self.pins_swept.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one request's admission-to-resolution latency.
+    pub fn record_latency(&self, elapsed: Duration) {
+        self.latency.record(elapsed);
     }
 
     /// Requests shed so far (exposed for backpressure-aware harnesses).
@@ -133,6 +157,34 @@ pub struct ServeStatsSnapshot {
     /// Deserialises to 0 for snapshots written before this field existed.
     #[serde(default)]
     pub coalesced: u64,
+    /// Duplicate lookups that attached to an identical in-flight request
+    /// across batch boundaries (cross-batch singleflight).
+    #[serde(default)]
+    pub singleflight: u64,
+    /// Dead conversation-root pins dropped by the periodic GC sweep.
+    #[serde(default)]
+    pub routing_pins_swept: u64,
+    /// Embedding memo-cache hits (0 when the memo is disabled).
+    #[serde(default)]
+    pub memo_hits: u64,
+    /// Embedding memo-cache misses.
+    #[serde(default)]
+    pub memo_misses: u64,
+    /// Embedding memo-cache evictions.
+    #[serde(default)]
+    pub memo_evictions: u64,
+    /// Entries currently held by the embedding memo-cache.
+    #[serde(default)]
+    pub memo_entries: usize,
+    /// Approximate bytes held by the embedding memo-cache.
+    #[serde(default)]
+    pub memo_bytes: usize,
+    /// Request latency histogram (admission → resolution): bucket `i`
+    /// counts requests in `(2^(i-1), 2^i]` microseconds, bucket 0 absorbs
+    /// 0–1 µs, last bucket open-ended. Percentiles are derivable
+    /// client-side with `mc_metrics::percentile_from_log2_buckets`.
+    #[serde(default)]
+    pub latency_hist: Vec<u64>,
     /// Batches the micro-batcher formed.
     pub batches: u64,
     /// Mean formed-batch size (0 when no batches yet).
@@ -159,6 +211,7 @@ impl ServeStatsSnapshot {
         let cache_stats = cache.stats();
         let batches = metrics.batches.load(Ordering::Relaxed);
         let batched_requests = metrics.batched_requests.load(Ordering::Relaxed);
+        let memo = cache.embedding_memo().map(|m| m.stats());
         Self {
             entries: cache.len(),
             shards: cache.shard_count(),
@@ -181,6 +234,14 @@ impl ServeStatsSnapshot {
             inserts: metrics.inserts.load(Ordering::Relaxed),
             control: metrics.control.load(Ordering::Relaxed),
             coalesced: metrics.coalesced.load(Ordering::Relaxed),
+            singleflight: metrics.singleflight.load(Ordering::Relaxed),
+            routing_pins_swept: metrics.pins_swept.load(Ordering::Relaxed),
+            memo_hits: memo.as_ref().map_or(0, |m| m.hits),
+            memo_misses: memo.as_ref().map_or(0, |m| m.misses),
+            memo_evictions: memo.as_ref().map_or(0, |m| m.evictions),
+            memo_entries: memo.as_ref().map_or(0, |m| m.entries),
+            memo_bytes: memo.as_ref().map_or(0, |m| m.bytes),
+            latency_hist: metrics.latency.snapshot(),
             batches,
             avg_batch: if batches == 0 {
                 0.0
@@ -195,6 +256,74 @@ impl ServeStatsSnapshot {
             queue_depth,
             queue_capacity,
         }
+    }
+
+    /// Renders the snapshot as a Prometheus-style plain-text exposition —
+    /// the payload of the `/metrics`-style `Metrics` wire request. One
+    /// `name value` line per counter/gauge, histograms as cumulative
+    /// `_bucket{le="..."}` series with `le` in microseconds (batch-size
+    /// buckets use a plain `le` count), plus derived `p50/p90/p99` gauges
+    /// so a `grep` is enough to read the latency story.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        let mut gauge = |name: &str, value: f64| {
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge("serve_entries", self.entries as f64);
+        gauge("serve_shards", self.shards as f64);
+        gauge("serve_routing_pins", self.routing_pins as f64);
+        gauge(
+            "serve_routing_pins_swept_total",
+            self.routing_pins_swept as f64,
+        );
+        gauge("serve_threshold", f64::from(self.threshold));
+        gauge("serve_cache_lookups_total", self.cache_lookups as f64);
+        gauge("serve_cache_hits_total", self.cache_hits as f64);
+        gauge("serve_hit_rate", self.hit_rate);
+        gauge("serve_admitted_total", self.admitted as f64);
+        gauge("serve_shed_total", self.shed as f64);
+        gauge("serve_served_hits_total", self.served_hits as f64);
+        gauge("serve_served_misses_total", self.served_misses as f64);
+        gauge("serve_inserts_total", self.inserts as f64);
+        gauge("serve_control_total", self.control as f64);
+        gauge("serve_coalesced_total", self.coalesced as f64);
+        gauge("serve_singleflight_total", self.singleflight as f64);
+        gauge("serve_batches_total", self.batches as f64);
+        gauge("serve_avg_batch", self.avg_batch);
+        gauge("serve_queue_depth", self.queue_depth as f64);
+        gauge("serve_queue_capacity", self.queue_capacity as f64);
+        gauge("serve_memo_hits_total", self.memo_hits as f64);
+        gauge("serve_memo_misses_total", self.memo_misses as f64);
+        gauge("serve_memo_evictions_total", self.memo_evictions as f64);
+        gauge("serve_memo_entries", self.memo_entries as f64);
+        gauge("serve_memo_bytes", self.memo_bytes as f64);
+        for p in [0.5, 0.9, 0.99] {
+            let quantile = percentile_from_log2_buckets(&self.latency_hist, p);
+            let _ = writeln!(out, "serve_latency_us{{quantile=\"{p}\"}} {quantile}");
+        }
+        let mut cumulative = 0u64;
+        for (i, count) in self.latency_hist.iter().enumerate() {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "serve_latency_us_bucket{{le=\"{}\"}} {cumulative}",
+                1u64 << i.min(63)
+            );
+        }
+        let _ = writeln!(out, "serve_latency_us_count {cumulative}");
+        let mut cumulative = 0u64;
+        for (i, count) in self.batch_hist.iter().enumerate() {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "serve_batch_size_bucket{{le=\"{}\"}} {cumulative}",
+                1u64 << i.min(63)
+            );
+        }
+        let _ = writeln!(out, "serve_batch_size_count {cumulative}");
+        out
     }
 }
 
@@ -257,5 +386,56 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: ServeStatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(snap, back);
+        // Old snapshots (no memo/latency/singleflight fields) still parse.
+        let legacy: ServeStatsSnapshot =
+            serde_json::from_str(&json.replace("\"memo_hits\":0,", "")).unwrap();
+        assert_eq!(legacy.memo_hits, 0);
+    }
+
+    #[test]
+    fn metrics_text_exposes_counters_and_latency_percentiles() {
+        let encoder = mc_embedder::QueryEncoder::new(mc_embedder::ModelProfile::tiny(), 7).unwrap();
+        let mut cache = ShardedCache::new(
+            encoder,
+            meancache::MeanCacheConfig::default()
+                .with_threshold(0.6)
+                .with_shards(2),
+        )
+        .unwrap();
+        cache.set_embedding_memo(Some(std::sync::Arc::new(mc_embedder::EmbeddingMemo::new(
+            64, 0,
+        ))));
+        let metrics = ServeMetrics::default();
+        metrics.record_admitted();
+        metrics.record_served(true);
+        metrics.record_singleflight();
+        metrics.record_pins_swept(3);
+        for _ in 0..9 {
+            metrics.record_latency(Duration::from_micros(100));
+        }
+        metrics.record_latency(Duration::from_micros(10_000));
+        let snap = ServeStatsSnapshot::collect(&cache, &metrics, 0, 64);
+        assert_eq!(snap.singleflight, 1);
+        assert_eq!(snap.routing_pins_swept, 3);
+        assert_eq!(snap.latency_hist.iter().sum::<u64>(), 10);
+        let text = snap.render_text();
+        assert!(text.contains("serve_admitted_total 1"));
+        assert!(text.contains("serve_singleflight_total 1"));
+        assert!(text.contains("serve_routing_pins_swept_total 3"));
+        assert!(text.contains("serve_memo_entries 0"));
+        // 100µs lands in bucket 7 (upper bound 128µs); the p50 gauge
+        // reports that bucket's upper bound.
+        assert!(text.contains("serve_latency_us{quantile=\"0.5\"} 128"));
+        assert!(text.contains("serve_latency_us_count 10"));
+        // Every line is `name[{labels}] value`.
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            assert!(parts.next().is_some(), "metric name missing in {line:?}");
+            assert!(
+                parts.next().unwrap().parse::<f64>().is_ok(),
+                "non-numeric value in {line:?}"
+            );
+            assert_eq!(parts.next(), None, "trailing tokens in {line:?}");
+        }
     }
 }

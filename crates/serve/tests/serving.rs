@@ -486,3 +486,128 @@ fn shutdown_saves_automatically_when_persistence_is_configured() {
     assert!(restored.probe("autosaved entry", &[]).is_hit());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Both readiness backends serve an identical round trip: what CI smokes
+/// with `--poller epoll` and `--poller poll` is also pinned here.
+#[test]
+fn poll_fallback_backend_serves_round_trips() {
+    for kind in [mc_serve::PollerKind::Epoll, mc_serve::PollerKind::Poll] {
+        let handle =
+            Server::start_with_poller(cache(2), &ServeConfig::default(), "127.0.0.1:0", kind)
+                .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.ping().unwrap();
+        client
+            .insert("poller backend subject", "resp", &[])
+            .unwrap();
+        let outcome = client.lookup("poller backend subject", &[]).unwrap();
+        assert!(outcome.is_hit(), "{kind:?}: lookup must hit");
+        assert!(client.lookup("never inserted qzx", &[]).unwrap().is_miss());
+        drop(client);
+        handle.shutdown();
+    }
+}
+
+/// The `/metrics`-style text dump travels the wire and reflects traffic.
+#[test]
+fn metrics_text_round_trips_over_the_wire() {
+    let handle = Server::start(cache(2), &ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.insert("metrics subject", "resp", &[]).unwrap();
+    assert!(client.lookup("metrics subject", &[]).unwrap().is_hit());
+    let text = client.metrics_text().unwrap();
+    assert!(text.contains("serve_entries 1"), "metrics text:\n{text}");
+    assert!(text.contains("serve_served_hits_total 1"));
+    assert!(text.contains("serve_latency_us_count"));
+    assert!(text.contains("serve_latency_us{quantile=\"0.99\"}"));
+    // The default config enables the embedding memo; the insert + lookup
+    // encoded the same text twice, so the second encode was a memo hit.
+    assert!(text.contains("serve_memo_hits_total 1"));
+    drop(client);
+    handle.shutdown();
+}
+
+/// A frame split across many small writes (length prefix included) is
+/// reassembled by the event loop exactly as if it arrived whole.
+#[test]
+fn server_reassembles_requests_split_across_tcp_writes() {
+    use std::io::Write as _;
+    let handle = Server::start(cache(2), &ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .insert("fragmented frame subject", "resp", &[])
+        .unwrap();
+    drop(client);
+
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.set_nodelay(true).unwrap();
+    let mut wire = Vec::new();
+    let payload = mc_serve::Request::Lookup {
+        query: "fragmented frame subject".into(),
+        context: Vec::new(),
+    }
+    .encode();
+    wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    wire.extend_from_slice(&payload);
+    // Dribble the frame one byte at a time, with pauses, so the server's
+    // reads genuinely observe partial prefixes and partial payloads.
+    for chunk in wire.chunks(1) {
+        raw.write_all(chunk).unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let mut reader = std::io::BufReader::new(raw);
+    let response = mc_serve::protocol::read_frame(&mut reader)
+        .unwrap()
+        .expect("server must answer the reassembled frame");
+    let response = mc_serve::Response::decode(&response).unwrap();
+    assert!(
+        response.into_outcome().expect("lookup outcome").is_hit(),
+        "reassembled lookup must hit"
+    );
+    handle.shutdown();
+}
+
+/// The event loop's work scales with *active* sockets, not open ones: with
+/// 1k idle connections parked, a burst of round trips on one connection
+/// costs O(burst) readiness events — idle connections contribute nothing.
+#[test]
+fn idle_connections_cost_no_events_while_one_connection_works() {
+    let config = ServeConfig {
+        max_connections: 1100,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cache(2), &config, "127.0.0.1:0").unwrap();
+    let mut active = Client::connect(handle.addr()).unwrap();
+    active.ping().unwrap();
+
+    // Park 1000 idle connections. Each costs a handful of events to accept
+    // and then must cost nothing while idle.
+    let idle: Vec<Client> = (0..1000)
+        .map(|_| Client::connect(handle.addr()).unwrap())
+        .collect();
+    // Let the accept backlog fully drain, then settle.
+    let mut pinger = Client::connect(handle.addr()).unwrap();
+    pinger.ping().unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    let before = handle.io_event_count();
+    for _ in 0..100 {
+        active.ping().unwrap();
+    }
+    let events = handle.io_event_count() - before;
+    // 100 blocking round trips ≈ 100 readable events on the active socket
+    // plus a bounded number of waker/writable events. With 1000 idle
+    // connections in the table, an O(open-connections) loop would instead
+    // show tens of thousands of events here.
+    assert!(
+        events <= 1000,
+        "100 round trips cost {events} events with 1k idle connections parked \
+         — the loop is doing work proportional to open sockets, not active ones"
+    );
+    // And the idle sockets are all still live connections, not casualties.
+    drop(idle);
+    drop(active);
+    drop(pinger);
+    handle.shutdown();
+}
