@@ -1,6 +1,6 @@
 //! Deployment configuration of the local semantic cache.
 
-use mc_store::{EvictionPolicy, IndexKind};
+use mc_store::{EvictionPolicy, FsyncPolicy, IndexKind};
 use serde::{Deserialize, Serialize};
 
 use crate::shard::RoutingMode;
@@ -60,6 +60,15 @@ pub struct MeanCacheConfig {
     /// above.
     #[serde(default)]
     pub routing: RoutingMode,
+    /// When entry-log appends are forced to stable storage
+    /// ([`FsyncPolicy`]): `Always` (fdatasync per record — survives power
+    /// loss), `EveryN(n)` (bounded loss), or `Never` (the default — page
+    /// cache only, matching the historical behaviour and costing nothing
+    /// on the hot path). Serde-defaulted so sidecars written before this
+    /// field existed still load. Consumed by the persistence layer and the
+    /// serve-side operation WAL.
+    #[serde(default)]
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for MeanCacheConfig {
@@ -75,6 +84,7 @@ impl Default for MeanCacheConfig {
             index: IndexKind::default(),
             shards: 1,
             routing: RoutingMode::Hash,
+            fsync: FsyncPolicy::Never,
         }
     }
 }
@@ -120,6 +130,7 @@ impl MeanCacheConfig {
             )));
         }
         self.index.validate()?;
+        self.fsync.validate().map_err(CacheError::InvalidConfig)?;
         Ok(())
     }
 
@@ -160,6 +171,12 @@ impl MeanCacheConfig {
     /// Returns a copy with the serving-layer routing mode replaced.
     pub fn with_routing(mut self, routing: RoutingMode) -> Self {
         self.routing = routing;
+        self
+    }
+
+    /// Returns a copy with the entry-log fsync policy replaced.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
         self
     }
 }
@@ -293,6 +310,30 @@ mod tests {
         assert!(!old.contains("routing"), "field must be stripped: {old}");
         let cfg: MeanCacheConfig = serde_json::from_str(&old).unwrap();
         assert_eq!(cfg.routing, RoutingMode::Hash);
+    }
+
+    #[test]
+    fn fsync_policy_round_trips_and_validates() {
+        let cfg = MeanCacheConfig::default();
+        assert_eq!(cfg.fsync, FsyncPolicy::Never);
+        let cfg = cfg.with_fsync(FsyncPolicy::EveryN(16));
+        assert!(cfg.validate().is_ok());
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: MeanCacheConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fsync, FsyncPolicy::EveryN(16));
+        assert!(MeanCacheConfig::default()
+            .with_fsync(FsyncPolicy::EveryN(0))
+            .validate()
+            .is_err());
+        // A sidecar written before the `fsync` field existed must load with
+        // the historical flush-only behaviour.
+        let json = serde_json::to_string(&MeanCacheConfig::default()).unwrap();
+        let old = json
+            .replace(",\"fsync\":\"Never\"", "")
+            .replace("\"fsync\":\"Never\",", "");
+        assert!(!old.contains("fsync"), "field must be stripped: {old}");
+        let cfg: MeanCacheConfig = serde_json::from_str(&old).unwrap();
+        assert_eq!(cfg.fsync, FsyncPolicy::Never);
     }
 
     #[test]

@@ -73,7 +73,7 @@
 use std::path::{Path, PathBuf};
 
 use mc_embedder::QueryEncoder;
-use mc_store::DiskStore;
+use mc_store::{DiskStore, RecoveryStats};
 use serde::{Deserialize, Serialize};
 
 use crate::shard::RoutingMode;
@@ -89,7 +89,7 @@ pub fn save_cache(cache: &MeanCache, path: &Path) -> Result<()> {
     if path.exists() {
         std::fs::remove_file(path).map_err(mc_store::StoreError::from)?;
     }
-    let mut disk = DiskStore::open(path)?;
+    let mut disk = DiskStore::open_with_policy(path, cache.config().fsync)?;
     // Insert parents before children so a partially-written log never holds a
     // dangling parent reference.
     let mut entries: Vec<_> = cache.entries().cloned().collect();
@@ -108,21 +108,35 @@ pub fn save_cache(cache: &MeanCache, path: &Path) -> Result<()> {
 /// Propagates storage/IO failures and dimension mismatches (e.g. when the
 /// encoder's compression setting changed since the cache was saved).
 pub fn load_cache(template: MeanCache, path: &Path) -> Result<MeanCache> {
+    Ok(load_cache_with_report(template, path)?.0)
+}
+
+/// [`load_cache`], additionally reporting what crash recovery found while
+/// replaying the entry log (checksummed records replayed, torn/corrupt
+/// tail bytes truncated off the file).
+///
+/// # Errors
+/// See [`load_cache`].
+pub fn load_cache_with_report(
+    template: MeanCache,
+    path: &Path,
+) -> Result<(MeanCache, RecoveryStats)> {
     let mut cache = template;
-    replay_log_into(&mut cache, path)?;
-    Ok(cache)
+    let recovery = replay_log_into(&mut cache, path)?;
+    Ok((cache, recovery))
 }
 
 /// Replays the entry log at `path` into `cache` (parents before children, so
-/// a partially written log never leaves a dangling reference).
-fn replay_log_into(cache: &mut MeanCache, path: &Path) -> Result<()> {
+/// a partially written log never leaves a dangling reference), returning the
+/// log's crash-recovery stats.
+fn replay_log_into(cache: &mut MeanCache, path: &Path) -> Result<RecoveryStats> {
     let disk = DiskStore::open(path)?;
     let mut entries: Vec<_> = disk.iter().cloned().collect();
     entries.sort_by_key(|e| (e.parent.is_some(), e.id));
     for entry in entries {
         cache.restore_entry(entry)?;
     }
-    Ok(())
+    Ok(disk.recovery_stats())
 }
 
 /// Path of the JSON configuration sidecar for the log at `path`.
@@ -298,9 +312,24 @@ pub fn save_sharded_cache_with_config(cache: &ShardedCache, path: &Path) -> Resu
 /// [`save_cache_with_config`] — silently loading the survivors would
 /// present a partial cache as complete.
 pub fn load_sharded_cache_with_config(encoder: QueryEncoder, path: &Path) -> Result<ShardedCache> {
+    Ok(load_sharded_cache_with_report(encoder, path)?.0)
+}
+
+/// [`load_sharded_cache_with_config`], additionally aggregating the crash
+/// recovery stats across every shard's entry log (records replayed, torn
+/// tail bytes truncated) so callers — the serve layer in particular — can
+/// surface what a restart recovered.
+///
+/// # Errors
+/// See [`load_sharded_cache_with_config`].
+pub fn load_sharded_cache_with_report(
+    encoder: QueryEncoder,
+    path: &Path,
+) -> Result<(ShardedCache, RecoveryStats)> {
     let config = read_config_sidecar(path)?;
     let mut cache = ShardedCache::new(encoder, config)?;
     load_routing_sidecar(&mut cache, path)?;
+    let mut recovery = RecoveryStats::default();
     for shard in 0..cache.shard_count() {
         let log = shard_log_path(path, shard);
         if !log.exists() {
@@ -311,14 +340,14 @@ pub fn load_sharded_cache_with_config(encoder: QueryEncoder, path: &Path) -> Res
                 log.display()
             )));
         }
-        replay_log_into(cache.shard_cache_mut(shard), &log)?;
+        recovery.merge(replay_log_into(cache.shard_cache_mut(shard), &log)?);
     }
     if cache.routing() != RoutingMode::Hash {
         // The logs are the root → shard assignment; rebuild the pin table
         // so exact repeats and follow-ups keep routing to their entries.
         cache.rebuild_pins();
     }
-    Ok(cache)
+    Ok((cache, recovery))
 }
 
 /// Restores a save written by [`save_sharded_cache_with_config`] and then

@@ -323,7 +323,7 @@ impl ShardedCache {
         }
         let refs: Vec<&[f32]> = samples.iter().map(Vec::as_slice).collect();
         let (centroids, counts) = spherical_kmeans(&refs, self.shards.len(), KMEANS_ITERS);
-        let router = self.router.get_mut().expect("router lock poisoned");
+        let router = self.router.get_mut().unwrap_or_else(|p| p.into_inner());
         router.centroids = centroids;
         router.counts = counts;
         Ok(())
@@ -386,7 +386,7 @@ impl ShardedCache {
                 self.shards.len()
             )));
         }
-        let router = self.router.get_mut().expect("router lock poisoned");
+        let router = self.router.get_mut().unwrap_or_else(|p| p.into_inner());
         router.centroids = centroids;
         router.counts = counts;
         Ok(())
@@ -405,7 +405,10 @@ impl ShardedCache {
                 pins.insert(fnv1a(chain_root(&by_id, entry)), shard);
             }
         }
-        self.router.get_mut().expect("router lock poisoned").pins = pins;
+        self.router
+            .get_mut()
+            .unwrap_or_else(|p| p.into_inner())
+            .pins = pins;
     }
 
     /// Garbage-collects the root pin table: drops every pin whose root no
@@ -429,7 +432,7 @@ impl ShardedCache {
                 live.insert(fnv1a(chain_root(&by_id, entry)));
             }
         }
-        let mut router = self.router.write().expect("router lock poisoned");
+        let mut router = self.router.write().unwrap_or_else(|p| p.into_inner());
         let before = router.pins.len();
         router.pins.retain(|root, _| live.contains(root));
         before - router.pins.len()
@@ -511,7 +514,7 @@ impl ShardedCache {
         root_embedding: Option<Vec<f32>>,
     ) {
         let key = fnv1a(route_key(query, context));
-        let mut router = self.router.write().expect("router lock poisoned");
+        let mut router = self.router.write().unwrap_or_else(|p| p.into_inner());
         let newly_pinned = match router.pins.entry(key) {
             std::collections::hash_map::Entry::Occupied(_) => false,
             std::collections::hash_map::Entry::Vacant(slot) => {
@@ -620,7 +623,7 @@ impl ShardedCache {
             fresh.set_embedding_memo(self.memo.clone());
             *shard_mut(shard) = fresh;
         }
-        let router = self.router.get_mut().expect("router lock poisoned");
+        let router = self.router.get_mut().unwrap_or_else(|p| p.into_inner());
         router.pins.clear();
         self.scatter_lookups = AtomicU64::new(0);
         self.scatter_hits = AtomicU64::new(0);
@@ -856,29 +859,33 @@ impl Clone for ShardedCache {
     }
 }
 
-/// Shared-read a shard. Lock poisoning means a probe panicked mid-read with
-/// the structures intact (probes never leave partial writes), so recovery by
-/// unwrapping the poisoned guard would be sound — but a panic in this
-/// workspace is always a bug, so fail loudly instead of papering over it.
+/// Shared-read a shard, recovering a poisoned lock. Poisoning means some
+/// thread panicked while holding the guard; probes never leave partial
+/// writes and commits are single-entry updates (worst case: recency
+/// metadata for one entry is stale), so the structures are sound to keep
+/// using. The serve layer isolates the panic itself (`catch_unwind` around
+/// per-batch cache work) and surfaces it via a `panics_caught` metric —
+/// recovering here keeps one poisoned request from failing every
+/// subsequent request on the shard.
 fn read(shard: &RwLock<MeanCache>) -> std::sync::RwLockReadGuard<'_, MeanCache> {
-    shard.read().expect("cache shard lock poisoned")
+    shard.read().unwrap_or_else(|p| p.into_inner())
 }
 
-/// Shared-read the router state (same poisoning stance as [`read`]).
+/// Shared-read the router state (same poison-recovery stance as [`read`]).
 fn read_router(router: &RwLock<RouterState>) -> std::sync::RwLockReadGuard<'_, RouterState> {
-    router.read().expect("router lock poisoned")
+    router.read().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Exclusive access through `&mut self` — no lock taken, cannot block.
 fn shard_mut(shard: &mut RwLock<MeanCache>) -> &mut MeanCache {
-    shard.get_mut().expect("cache shard lock poisoned")
+    shard.get_mut().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Exclusively lock one shard through a shared reference (the concurrent
 /// write path: `insert_shared` / `commit_shared`). Poisoning gets the same
-/// fail-loudly treatment as [`read`].
+/// recovery treatment as [`read`].
 fn write(shard: &RwLock<MeanCache>) -> std::sync::RwLockWriteGuard<'_, MeanCache> {
-    shard.write().expect("cache shard lock poisoned")
+    shard.write().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Capacity borrowing for the semantic modes, applied to the (locked or
@@ -1242,7 +1249,7 @@ impl ShardedCache {
     fn pin_root(&mut self, root: &str, shard: usize) {
         self.router
             .get_mut()
-            .expect("router lock poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .pins
             .insert(fnv1a(root), shard);
     }

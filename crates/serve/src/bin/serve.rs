@@ -4,18 +4,25 @@
 //! serve [--addr 127.0.0.1:4077] [--shards 8] [--capacity 100000]
 //!       [--threshold 0.7] [--index flat-sq8|flat|ivf|ivf-sq8] [--seed 2024]
 //!       [--routing hash|centroid|scatter-gather] [--persist PATH]
+//!       [--fsync always|never|every-N] [--deadline-ms N] [--idle-timeout-ms N]
 //!       [--batch-max 64] [--batch-wait-us 200] [--queue-cap 1024]
 //!       [--max-conns 32] [--poller epoll|poll] [--memo-capacity N]
 //!       [--memo-bytes N] [--no-singleflight] [--metrics-out PATH] [--smoke]
 //! ```
 //!
 //! `--persist PATH` wires durability in: an existing save at PATH is
-//! restored on startup, the `Save` control command writes back to PATH,
-//! and a graceful shutdown saves automatically — a restart keeps its
-//! contents. When restoring, the save's config sidecar wins over the
-//! non-topology CLI flags (`--threshold`, `--capacity`, `--index`); only
-//! `--shards` and `--routing` override the save, by resharding the
-//! restored cache in place.
+//! restored on startup (torn tails are truncated, recovery stats are
+//! reported), inserts are logged to a crash-safe WAL at `PATH.wal`
+//! (fsynced per `--fsync`), the `Save` control command writes back to
+//! PATH, and a graceful shutdown saves automatically — a restart keeps
+//! its contents even after a kill -9. When restoring, the save's config
+//! sidecar wins over the non-topology CLI flags (`--threshold`,
+//! `--capacity`, `--index`); only `--shards` and `--routing` override the
+//! save, by resharding the restored cache in place.
+//!
+//! `--deadline-ms N` fails lookups that sat in the batch queue longer
+//! than N ms with a retryable `DeadlineExceeded` frame (0 disables);
+//! `--idle-timeout-ms N` reaps connections with no traffic for N ms.
 //!
 //! `--smoke` runs the CI self-test instead of serving forever: bind an
 //! ephemeral localhost port, drive a real client over TCP (ping, inserts,
@@ -27,9 +34,9 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use mc_embedder::{ModelProfile, QueryEncoder};
-use mc_serve::{Client, PollerKind, ServeConfig, Server};
-use mc_store::IndexKind;
-use meancache::persist::load_sharded_cache_with_config;
+use mc_serve::{Client, ClientConfig, ClientError, ErrorCode, PollerKind, ServeConfig, Server};
+use mc_store::{IndexKind, RecoveryStats};
+use meancache::persist::load_sharded_cache_with_report;
 use meancache::{reshard, MeanCacheConfig, RoutingMode, ShardedCache};
 
 struct Args {
@@ -112,6 +119,27 @@ fn parse_args() -> Args {
             "--persist" => {
                 args.serve_config.persist_path = Some(PathBuf::from(value(&mut i, "--persist")));
             }
+            "--fsync" => {
+                let name = value(&mut i, "--fsync");
+                args.serve_config.fsync = name.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--deadline-ms" => {
+                args.serve_config.request_deadline = Duration::from_millis(
+                    value(&mut i, "--deadline-ms")
+                        .parse()
+                        .expect("--deadline-ms: integer"),
+                );
+            }
+            "--idle-timeout-ms" => {
+                args.serve_config.idle_timeout = Duration::from_millis(
+                    value(&mut i, "--idle-timeout-ms")
+                        .parse()
+                        .expect("--idle-timeout-ms: integer"),
+                );
+            }
             "--batch-max" => {
                 args.serve_config.max_batch = value(&mut i, "--batch-max")
                     .parse()
@@ -161,6 +189,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "usage: serve [--addr A] [--shards N] [--capacity N] [--threshold T] \
                      [--index KIND] [--seed N] [--routing MODE] [--persist PATH] \
+                     [--fsync always|never|every-N] [--deadline-ms N] [--idle-timeout-ms N] \
                      [--batch-max N] [--batch-wait-us N] [--queue-cap N] [--max-conns N] \
                      [--poller epoll|poll] [--memo-capacity N] [--memo-bytes N] \
                      [--no-singleflight] [--metrics-out PATH] [--smoke]"
@@ -173,7 +202,7 @@ fn parse_args() -> Args {
     args
 }
 
-fn build_cache(args: &Args) -> ShardedCache {
+fn build_cache(args: &Args) -> (ShardedCache, RecoveryStats) {
     let encoder = QueryEncoder::new(ModelProfile::tiny(), args.seed).expect("tiny profile");
     let config = MeanCacheConfig::default()
         .with_threshold(args.threshold)
@@ -193,10 +222,19 @@ fn build_cache(args: &Args) -> ShardedCache {
         let mut sidecar = path.as_os_str().to_os_string();
         sidecar.push(".config.json");
         if PathBuf::from(sidecar).exists() {
-            let restored = load_sharded_cache_with_config(encoder, path).unwrap_or_else(|e| {
-                eprintln!("cannot restore cache from {}: {e}", path.display());
-                std::process::exit(2);
-            });
+            let (restored, recovery) = load_sharded_cache_with_report(encoder, path)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot restore cache from {}: {e}", path.display());
+                    std::process::exit(2);
+                });
+            if recovery.bytes_truncated > 0 {
+                println!(
+                    "mc-serve: truncated {} torn-tail bytes while replaying {} records from {}",
+                    recovery.bytes_truncated,
+                    recovery.records_replayed,
+                    path.display(),
+                );
+            }
             if restored.shard_count() != args.shards || restored.routing() != args.routing {
                 println!(
                     "mc-serve: resharding restored cache ({} shards, {} routing) to \
@@ -211,30 +249,35 @@ fn build_cache(args: &Args) -> ShardedCache {
                     .clone()
                     .with_shards(args.shards)
                     .with_routing(args.routing);
-                return reshard(&restored, desired).unwrap_or_else(|e| {
+                let resharded = reshard(&restored, desired).unwrap_or_else(|e| {
                     eprintln!("reshard of restored cache failed: {e}");
                     std::process::exit(2);
                 });
+                return (resharded, recovery);
             }
             println!(
                 "mc-serve: restored {} entries from {}",
                 meancache::SemanticCache::len(&restored),
                 path.display()
             );
-            return restored;
+            return (restored, recovery);
         }
     }
-    ShardedCache::new(encoder, config).expect("valid serving config")
+    let cache = ShardedCache::new(encoder, config).expect("valid serving config");
+    (cache, RecoveryStats::default())
 }
 
-fn start_server(cache: ShardedCache, args: &Args) -> mc_serve::ServerHandle {
+fn start_server(
+    cache: ShardedCache,
+    args: &Args,
+    restored: RecoveryStats,
+) -> mc_serve::ServerHandle {
+    let mut config = args.serve_config.clone();
+    config.restored = restored;
     match args.poller {
-        Some(kind) => {
-            Server::start_with_poller(cache, &args.serve_config, args.addr.as_str(), kind)
-                .expect("bind serving address")
-        }
-        None => Server::start(cache, &args.serve_config, args.addr.as_str())
+        Some(kind) => Server::start_with_poller(cache, &config, args.addr.as_str(), kind)
             .expect("bind serving address"),
+        None => Server::start(cache, &config, args.addr.as_str()).expect("bind serving address"),
     }
 }
 
@@ -244,8 +287,8 @@ fn main() {
         smoke(&args);
         return;
     }
-    let cache = build_cache(&args);
-    let handle = start_server(cache, &args);
+    let (cache, restored) = build_cache(&args);
+    let handle = start_server(cache, &args, restored);
     println!(
         "mc-serve listening on {} ({} shards, {} index, batch ≤ {} / {:?} linger, queue {} cap, {} conns max)",
         handle.addr(),
@@ -284,8 +327,8 @@ fn smoke(args: &Args) {
         metrics_out: args.metrics_out.clone(),
         smoke: true,
     };
-    let cache = build_cache(&args);
-    let handle = start_server(cache, &args);
+    let (cache, restored) = build_cache(&args);
+    let handle = start_server(cache, &args, restored);
     let addr = handle.addr();
     println!(
         "smoke: serving on {addr} (poller {})",
@@ -391,7 +434,7 @@ fn smoke(args: &Args) {
     client.join().expect("smoke client panicked");
 
     // Restart against the same persist path: contents must survive.
-    let restored = build_cache(&args);
+    let (restored, _recovery) = build_cache(&args);
     assert_eq!(
         meancache::SemanticCache::len(&restored),
         inserts,
@@ -403,5 +446,137 @@ fn smoke(args: &Args) {
         "CLI routing wins on restart"
     );
     std::fs::remove_dir_all(&persist_dir).ok();
-    println!("smoke: PASS (incl. reshard + save/restore cycle)");
+
+    smoke_busy_retry(&args);
+    smoke_deadline(&args);
+    println!("smoke: PASS (incl. reshard, save/restore, Busy retry, deadline)");
+}
+
+/// Busy-storm retry round-trip: a server with a one-slot batch queue, a
+/// flooder pipelining deep lookup windows into it (provoking real `Busy`
+/// sheds), and a [`ClientConfig::resilient`] client that must still land
+/// every insert and lookup through jittered retries.
+fn smoke_busy_retry(args: &Args) {
+    let mut serve_config = ServeConfig {
+        queue_capacity: 1,
+        max_batch: 1,
+        max_wait: Duration::from_micros(100),
+        ..args.serve_config.clone()
+    };
+    serve_config.persist_path = None;
+    let args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        serve_config,
+        ..clone_args(args)
+    };
+    let (cache, restored) = build_cache(&args);
+    let handle = start_server(cache, &args, restored);
+    let addr = handle.addr();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flood_stop = stop.clone();
+    let flooder = std::thread::spawn(move || {
+        let probes: Vec<(String, Vec<String>)> = (0..32)
+            .map(|i| (format!("flood probe {i}"), Vec::new()))
+            .collect();
+        let mut busy_seen = 0u64;
+        let mut client = Client::connect(addr).expect("flooder connect");
+        while !flood_stop.load(std::sync::atomic::Ordering::Relaxed) {
+            match client.lookup_pipelined(&probes) {
+                Ok(_) => {}
+                Err(ClientError::Overloaded) => {
+                    busy_seen += 1;
+                    // A shed mid-pipeline leaves unread responses in the
+                    // buffer; resync with a fresh connection.
+                    if client.reconnect().is_err() {
+                        break;
+                    }
+                }
+                Err(_) => {
+                    if client.reconnect().is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        busy_seen
+    });
+
+    let mut client =
+        Client::connect_with_config(addr, ClientConfig::resilient()).expect("resilient connect");
+    let rounds = 20;
+    for i in 0..rounds {
+        client
+            .insert(
+                &format!("busy storm entry {i}"),
+                &format!("answer {i}"),
+                &[],
+            )
+            .unwrap_or_else(|e| panic!("resilient insert {i} must eventually land: {e}"));
+    }
+    for i in 0..rounds {
+        let outcome = client
+            .lookup(&format!("busy storm entry {i}"), &[])
+            .unwrap_or_else(|e| panic!("resilient lookup {i} must eventually land: {e}"));
+        assert!(outcome.is_hit(), "resilient lookup {i} must hit");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let busy_seen = flooder.join().expect("flooder panicked");
+    assert!(
+        busy_seen > 0,
+        "the one-slot queue must have shed at least one flooder window"
+    );
+    client.shutdown_server().expect("shutdown busy server");
+    handle.wait();
+    println!(
+        "smoke: Busy storm — {busy_seen} shed windows, {rounds}/{rounds} resilient calls landed"
+    );
+}
+
+/// Deadline check: with a sub-microsecond request deadline every queued
+/// lookup expires before execution and must come back as a retryable
+/// `DeadlineExceeded` failure frame — without closing the connection.
+fn smoke_deadline(args: &Args) {
+    let mut serve_config = args.serve_config.clone();
+    serve_config.request_deadline = Duration::from_nanos(1);
+    serve_config.persist_path = None;
+    let args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        serve_config,
+        ..clone_args(args)
+    };
+    let (cache, restored) = build_cache(&args);
+    let handle = start_server(cache, &args, restored);
+    let mut client = Client::connect(handle.addr()).expect("deadline connect");
+    match client.lookup("doomed to expire", &[]) {
+        Err(ClientError::Rejected {
+            code: ErrorCode::DeadlineExceeded,
+            retryable: true,
+            ..
+        }) => {}
+        other => panic!("expected a retryable DeadlineExceeded frame, got {other:?}"),
+    }
+    // The failure frame keeps the connection usable: controls (which are
+    // exempt from the lookup deadline) still work on the same socket.
+    client.ping().expect("ping after deadline failure");
+    client.shutdown_server().expect("shutdown deadline server");
+    handle.wait();
+    println!("smoke: deadline — expired lookup failed retryably, connection survived");
+}
+
+/// Manual clone for the flag struct (smoke phases tweak one field each).
+fn clone_args(args: &Args) -> Args {
+    Args {
+        addr: args.addr.clone(),
+        shards: args.shards,
+        capacity: args.capacity,
+        threshold: args.threshold,
+        index: args.index.clone(),
+        seed: args.seed,
+        routing: args.routing,
+        serve_config: args.serve_config.clone(),
+        poller: args.poller,
+        metrics_out: args.metrics_out.clone(),
+        smoke: true,
+    }
 }

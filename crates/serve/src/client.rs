@@ -4,13 +4,32 @@
 //! ([`Client::lookup_pipelined`]) that keeps a window of requests in flight
 //! — what gives the server's micro-batcher concurrent work to group even
 //! from a single connection.
+//!
+//! ## Retry contract
+//!
+//! With a [`ClientConfig`] that allows retries, the client distinguishes
+//! failures by what the server *proved*:
+//!
+//! * **Lookups** are read-only, so any retryable failure — `Busy`, a
+//!   retryable `Fail` frame (deadline exceeded, shutting down, panic
+//!   isolation), or a dead connection — is retried after jittered
+//!   exponential backoff, reconnecting first when the transport broke.
+//! * **Inserts** are retried **only** on an explicit `Busy` (or a `Fail`
+//!   frame whose `retryable` flag is set): both mean the server refused the
+//!   request before executing it. A transport error mid-insert is *not*
+//!   retried — the insert may have been applied and acknowledged into the
+//!   void, and a silent resend could double-apply. That ambiguity is the
+//!   caller's to resolve, so it surfaces as the original error.
+//! * Non-retryable failures (`BadRequest`, `Internal`) surface immediately:
+//!   the same request would fail the same way.
 
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use meancache::{CacheDecisionOutcome, RoutingMode};
 
-use crate::protocol::{read_frame, write_frame, ProtocolError, Request, Response};
+use crate::protocol::{read_frame, write_frame, ErrorCode, ProtocolError, Request, Response};
 use crate::stats::ServeStatsSnapshot;
 
 /// Why a client call failed.
@@ -23,7 +42,19 @@ pub enum ClientError {
     /// The server shed the request (admission queue or connection budget
     /// full) — back off and retry.
     Overloaded,
-    /// The server reported a request-level failure.
+    /// The server rejected this request with a classified failure frame;
+    /// the connection is still good. `retryable` means the request
+    /// definitively did not execute.
+    Rejected {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Whether the server says a resend is safe.
+        retryable: bool,
+        /// Operator-facing detail.
+        message: String,
+    },
+    /// The server reported a request-level failure (legacy error frame;
+    /// the server closes the connection after sending it).
     Server(String),
     /// The server answered with a response type this call cannot use.
     Unexpected(&'static str),
@@ -35,6 +66,19 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Overloaded => write!(f, "server overloaded (busy)"),
+            ClientError::Rejected {
+                code,
+                retryable,
+                message,
+            } => write!(
+                f,
+                "request rejected ({code}, {}): {message}",
+                if *retryable {
+                    "retryable"
+                } else {
+                    "not retryable"
+                }
+            ),
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
         }
@@ -58,29 +102,178 @@ impl From<ProtocolError> for ClientError {
 /// Result alias for client calls.
 pub type ClientResult<T> = Result<T, ClientError>;
 
+/// Connection and retry policy for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Bound on connection establishment. `None` blocks until the OS gives
+    /// up.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on any single socket read. `None` blocks indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Bound on any single socket write. `None` blocks indefinitely.
+    pub write_timeout: Option<Duration>,
+    /// Retries *after* the first attempt (0 disables retrying entirely —
+    /// the historical behaviour, and [`ClientConfig::default`]).
+    pub max_retries: u32,
+    /// First backoff delay; each retry doubles it (full jitter applies).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Seed for the jitter PRNG; 0 picks one from the clock.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: None,
+            read_timeout: None,
+            write_timeout: None,
+            max_retries: 0,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(1),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A production-shaped policy: bounded waits everywhere and a patient
+    /// retry budget (the `serve --smoke` Busy-storm round-trip uses this).
+    #[must_use]
+    pub fn resilient() -> Self {
+        Self {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_retries: 8,
+            ..Self::default()
+        }
+    }
+}
+
+/// xorshift64* — enough randomness to decorrelate retry storms, no
+/// dependency, deterministic under a fixed seed for tests.
+#[derive(Debug)]
+struct Jitter(u64);
+
+impl Jitter {
+    fn new(seed: u64) -> Self {
+        let seed = if seed == 0 {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0x9E37_79B9_7F4A_7C15, |d| d.as_nanos() as u64)
+                | 1
+        } else {
+            seed
+        };
+        Jitter(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Full jitter: uniform in `[0, cap]`.
+    fn delay(&mut self, cap: Duration) -> Duration {
+        if cap.is_zero() {
+            return cap;
+        }
+        Duration::from_nanos(self.next() % (cap.as_nanos() as u64).max(1))
+    }
+}
+
 /// A blocking connection to an `mc-serve` server. Reads are buffered: a
 /// window of coalesced responses arrives in one socket read.
 #[derive(Debug)]
 pub struct Client {
     reader: io::BufReader<TcpStream>,
     writer: TcpStream,
+    /// Resolved addresses, kept for reconnect-on-retry.
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    jitter: Jitter,
 }
 
 impl Client {
     /// Connects (Nagle disabled — the protocol is request/response over
     /// small frames, where delayed-ack interactions would dominate
-    /// latency).
+    /// latency). No timeouts, no retries: the historical contract.
     ///
     /// # Errors
     /// Transport errors from connecting.
     pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
+        Self::connect_with_config(addr, ClientConfig::default())
+    }
+
+    /// Connects under an explicit [`ClientConfig`] (timeouts, retry
+    /// budget).
+    ///
+    /// # Errors
+    /// Transport errors from resolving or connecting.
+    pub fn connect_with_config(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> ClientResult<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            )));
+        }
+        let jitter = Jitter::new(config.jitter_seed);
+        let (reader, writer) = Self::dial(&addrs, &config)?;
         Ok(Self {
-            reader: io::BufReader::new(stream),
+            reader,
             writer,
+            addrs,
+            config,
+            jitter,
         })
+    }
+
+    fn dial(
+        addrs: &[SocketAddr],
+        config: &ClientConfig,
+    ) -> ClientResult<(io::BufReader<TcpStream>, TcpStream)> {
+        let mut last: Option<io::Error> = None;
+        for addr in addrs {
+            let dialed = match config.connect_timeout {
+                Some(timeout) => TcpStream::connect_timeout(addr, timeout),
+                None => TcpStream::connect(addr),
+            };
+            match dialed {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(config.read_timeout)?;
+                    stream.set_write_timeout(config.write_timeout)?;
+                    let writer = stream.try_clone()?;
+                    return Ok((io::BufReader::new(stream), writer));
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::AddrNotAvailable, "no address to dial")
+        })))
+    }
+
+    /// Tears down the current socket and dials afresh — the retry loop's
+    /// answer to a dead connection.
+    ///
+    /// # Errors
+    /// Transport errors from reconnecting.
+    pub fn reconnect(&mut self) -> ClientResult<()> {
+        let (reader, writer) = Self::dial(&self.addrs, &self.config)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
     }
 
     fn send(&mut self, request: &Request) -> ClientResult<()> {
@@ -98,6 +291,15 @@ impl Client {
         let response = Response::decode(&payload)?;
         match response {
             Response::Busy => Err(ClientError::Overloaded),
+            Response::Fail {
+                code,
+                retryable,
+                message,
+            } => Err(ClientError::Rejected {
+                code,
+                retryable,
+                message,
+            }),
             Response::Error(message) => Err(ClientError::Server(message)),
             other => Ok(other),
         }
@@ -116,8 +318,84 @@ impl Client {
     /// there; otherwise surface the transport error as-is.
     fn explain_send_failure(&mut self, send_error: ClientError) -> ClientError {
         match self.receive() {
-            Err(explained @ (ClientError::Overloaded | ClientError::Server(_))) => explained,
+            Err(
+                explained @ (ClientError::Overloaded
+                | ClientError::Rejected { .. }
+                | ClientError::Server(_)),
+            ) => explained,
             _ => send_error,
+        }
+    }
+
+    /// Sleeps the jittered backoff for retry number `attempt` (0-based).
+    fn backoff(&mut self, attempt: u32) {
+        let cap = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.config.backoff_max);
+        let delay = self.jitter.delay(cap);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// Retry driver for *replayable* requests (lookups, reads): retries on
+    /// `Busy`, retryable `Fail` frames, and transport failures — the last
+    /// after a reconnect, since the old socket is not coming back.
+    fn call_replayable(&mut self, request: &Request) -> ClientResult<Response> {
+        let mut attempt = 0;
+        loop {
+            let error = match self.call(request) {
+                Ok(response) => return Ok(response),
+                Err(e) => e,
+            };
+            let (retryable, transport_dead) = match &error {
+                ClientError::Overloaded => (true, false),
+                ClientError::Rejected { retryable, .. } => (*retryable, false),
+                ClientError::Io(_) => (true, true),
+                // Legacy error frames close the connection server-side but
+                // are not known-safe; protocol confusion is never safe.
+                _ => (false, false),
+            };
+            if !retryable || attempt >= self.config.max_retries {
+                return Err(error);
+            }
+            self.backoff(attempt);
+            attempt += 1;
+            if transport_dead && self.reconnect().is_err() {
+                // Server may still be restarting; let the next loop pass
+                // (or retry exhaustion) decide.
+                continue;
+            }
+        }
+    }
+
+    /// Retry driver for *non-replayable* requests (inserts): retries only
+    /// when the server proved the request never executed — `Busy`, or a
+    /// `Fail` frame with `retryable` set. A transport failure is returned
+    /// as-is: the request may have executed, and a silent resend could
+    /// double-apply.
+    fn call_if_refused(&mut self, request: &Request) -> ClientResult<Response> {
+        let mut attempt = 0;
+        loop {
+            let error = match self.call(request) {
+                Ok(response) => return Ok(response),
+                Err(e) => e,
+            };
+            let refused = matches!(
+                &error,
+                ClientError::Overloaded
+                    | ClientError::Rejected {
+                        retryable: true,
+                        ..
+                    }
+            );
+            if !refused || attempt >= self.config.max_retries {
+                return Err(error);
+            }
+            self.backoff(attempt);
+            attempt += 1;
         }
     }
 
@@ -126,23 +404,26 @@ impl Client {
     /// # Errors
     /// [`ClientError`] on transport, protocol or server failures.
     pub fn ping(&mut self) -> ClientResult<()> {
-        match self.call(&Request::Ping)? {
+        match self.call_replayable(&Request::Ping)? {
             Response::Pong => Ok(()),
             _ => Err(ClientError::Unexpected("wanted Pong")),
         }
     }
 
-    /// Semantic lookup under an optional conversation context.
+    /// Semantic lookup under an optional conversation context. Lookups are
+    /// read-only, so under a retrying [`ClientConfig`] they replay through
+    /// `Busy`, retryable failures, and reconnects.
     ///
     /// # Errors
     /// [`ClientError`] on transport, protocol or server failures
-    /// ([`ClientError::Overloaded`] when the request was shed).
+    /// ([`ClientError::Overloaded`] when the request was shed and retries
+    /// ran out).
     pub fn lookup(
         &mut self,
         query: &str,
         context: &[String],
     ) -> ClientResult<CacheDecisionOutcome> {
-        let response = self.call(&Request::Lookup {
+        let response = self.call_replayable(&Request::Lookup {
             query: query.to_string(),
             context: context.to_vec(),
         })?;
@@ -154,7 +435,8 @@ impl Client {
     /// Pipelined lookups: every request is written up front (one buffered
     /// syscall), then all responses are read back in submission order. The
     /// in-flight window is what lets a server micro-batch traffic from
-    /// this connection.
+    /// this connection. No retry loop here — a window is all-or-nothing,
+    /// and callers that want replay retry the window themselves.
     ///
     /// # Errors
     /// [`ClientError`] on transport, protocol or server failures; the first
@@ -186,11 +468,15 @@ impl Client {
     }
 
     /// Stores a (query, response) pair; returns the public entry id.
+    /// Under a retrying [`ClientConfig`], resends **only** when the server
+    /// explicitly refused the request before executing it (`Busy` or a
+    /// retryable failure frame) — never after a transport error, which
+    /// leaves "did it apply?" unknowable.
     ///
     /// # Errors
     /// [`ClientError`] on transport, protocol or server failures.
     pub fn insert(&mut self, query: &str, response: &str, context: &[String]) -> ClientResult<u64> {
-        match self.call(&Request::Insert {
+        match self.call_if_refused(&Request::Insert {
             query: query.to_string(),
             response: response.to_string(),
             context: context.to_vec(),
@@ -206,7 +492,7 @@ impl Client {
     /// [`ClientError`] on transport, protocol or server failures (a
     /// snapshot that fails to parse is a protocol error).
     pub fn stats(&mut self) -> ClientResult<ServeStatsSnapshot> {
-        match self.call(&Request::Stats)? {
+        match self.call_replayable(&Request::Stats)? {
             Response::Stats(json) => {
                 serde_json::from_str(&json).map_err(|_| ClientError::Unexpected("stats json"))
             }
@@ -220,7 +506,7 @@ impl Client {
     /// # Errors
     /// [`ClientError`] on transport, protocol or server failures.
     pub fn metrics_text(&mut self) -> ClientResult<String> {
-        match self.call(&Request::Metrics)? {
+        match self.call_replayable(&Request::Metrics)? {
             Response::Metrics(text) => Ok(text),
             _ => Err(ClientError::Unexpected("wanted Metrics")),
         }
@@ -230,7 +516,7 @@ impl Client {
     ///
     /// # Errors
     /// [`ClientError`]; out-of-range thresholds come back as
-    /// [`ClientError::Server`].
+    /// [`ClientError::Rejected`].
     pub fn set_threshold(&mut self, threshold: f32) -> ClientResult<()> {
         match self.call(&Request::SetThreshold(threshold))? {
             Response::Ack => Ok(()),
@@ -255,7 +541,7 @@ impl Client {
     ///
     /// # Errors
     /// [`ClientError`]; a failed reshard comes back as
-    /// [`ClientError::Server`].
+    /// [`ClientError::Rejected`].
     pub fn set_routing(&mut self, mode: RoutingMode) -> ClientResult<()> {
         match self.call(&Request::SetRouting(mode))? {
             Response::Ack => Ok(()),
@@ -268,7 +554,7 @@ impl Client {
     ///
     /// # Errors
     /// [`ClientError`]; a server without a persist path reports a
-    /// [`ClientError::Server`] failure.
+    /// [`ClientError::Rejected`] failure.
     pub fn save(&mut self) -> ClientResult<u64> {
         match self.call(&Request::Save)? {
             Response::Saved(n) => Ok(n),
@@ -285,6 +571,52 @@ impl Client {
         match self.call(&Request::Shutdown)? {
             Response::Ack => Ok(()),
             _ => Err(ClientError::Unexpected("wanted Ack")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_under_a_fixed_seed_and_bounded() {
+        let mut a = Jitter::new(42);
+        let mut b = Jitter::new(42);
+        for _ in 0..100 {
+            let cap = Duration::from_millis(50);
+            let da = a.delay(cap);
+            assert_eq!(da, b.delay(cap));
+            assert!(da <= cap);
+        }
+        // Different seeds decorrelate.
+        let mut c = Jitter::new(43);
+        let diverges = (0..10)
+            .any(|_| a.delay(Duration::from_millis(50)) != c.delay(Duration::from_millis(50)));
+        assert!(diverges);
+    }
+
+    #[test]
+    fn zero_seed_picks_a_nonzero_clock_seed() {
+        assert_ne!(Jitter::new(0).0, 0);
+    }
+
+    #[test]
+    fn backoff_caps_at_the_configured_maximum() {
+        let config = ClientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(40),
+            jitter_seed: 7,
+            ..ClientConfig::default()
+        };
+        let mut jitter = Jitter::new(config.jitter_seed);
+        for attempt in 0..20u32 {
+            let cap = config
+                .backoff_base
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(config.backoff_max);
+            assert!(cap <= Duration::from_millis(40));
+            assert!(jitter.delay(cap) <= cap);
         }
     }
 }

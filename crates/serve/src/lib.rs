@@ -84,11 +84,13 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod stats;
+pub mod wal;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError};
 pub use pipeline::{ServeConfig, ServePipeline, ServeReply, ServeRequest, Ticket};
 pub use poller::{Event, Interest, Poller, PollerKind, Waker};
-pub use protocol::{FrameAssembler, Request, Response};
+pub use protocol::{ErrorCode, FrameAssembler, Request, Response};
 pub use queue::{BoundedQueue, SubmitError};
 pub use server::{Server, ServerHandle};
 pub use stats::{ServeMetrics, ServeStatsSnapshot};
+pub use wal::{ServeWal, WalOp};

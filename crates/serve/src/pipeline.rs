@@ -17,17 +17,21 @@
 //! ticket ever returned by [`ServePipeline::submit`] resolves.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mc_embedder::EmbeddingMemo;
+use mc_store::{FsyncPolicy, RecoveryStats, StoreError};
 use meancache::persist::save_sharded_cache_with_config;
 use meancache::{reshard, CacheDecisionOutcome, RoutingMode, SemanticCache, ShardedCache};
 
+use crate::protocol::ErrorCode;
 use crate::queue::{BoundedQueue, SubmitError};
 use crate::stats::{ServeMetrics, ServeStatsSnapshot};
+use crate::wal::{wal_path, ServeWal, WalOp};
 
 /// Configuration of the serving pipeline and the server around it.
 #[derive(Debug, Clone)]
@@ -75,6 +79,32 @@ pub struct ServeConfig {
     /// server does not sweep, which is fine — dead pins only accumulate
     /// while traffic evicts entries.
     pub pin_sweep_interval: Duration,
+    /// Per-request deadline, measured from admission. A *lookup* whose
+    /// deadline has already expired when the batcher reaches it is not
+    /// probed: its ticket resolves to a retryable deadline-exceeded
+    /// failure, so a client that has given up stops costing probe work.
+    /// Inserts and control commands always execute — dropping an
+    /// acknowledged-admission write would be the confusing kind of fast.
+    /// `Duration::ZERO` (the default) disables deadlines.
+    pub request_deadline: Duration,
+    /// Close connections with no traffic for this long (enforced by the
+    /// event loop, not the pipeline; lives here because [`ServeConfig`] is
+    /// the one config that reaches the server). `Duration::ZERO` (the
+    /// default) disables reaping — idle connections cost only a file
+    /// descriptor, so reaping is an operator policy, not a necessity.
+    pub idle_timeout: Duration,
+    /// Fsync policy for the serve write-ahead log (only consulted when
+    /// [`ServeConfig::persist_path`] is set). `Always` makes every
+    /// acknowledged write durable before its response leaves; `EveryN`
+    /// bounds loss to the last N acknowledged writes; `Never` (the
+    /// default) leaves flushing to the OS — a crash loses the un-flushed
+    /// tail, a graceful stop loses nothing.
+    pub fsync: FsyncPolicy,
+    /// What snapshot-load recovery replayed and truncated before the
+    /// server started (reported by
+    /// [`meancache::persist::load_sharded_cache_with_report`]); folded
+    /// into the stats plane next to the WAL's own recovery numbers.
+    pub restored: RecoveryStats,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +120,10 @@ impl Default for ServeConfig {
             memo_max_bytes: 0,
             singleflight: true,
             pin_sweep_interval: Duration::from_secs(30),
+            request_deadline: Duration::ZERO,
+            idle_timeout: Duration::ZERO,
+            fsync: FsyncPolicy::Never,
+            restored: RecoveryStats::default(),
         }
     }
 }
@@ -149,8 +183,28 @@ pub enum ServeReply {
     /// Plain-text metrics exposition
     /// ([`ServeStatsSnapshot::render_text`]).
     MetricsText(String),
-    /// The request failed (message is operator-facing).
-    Failed(String),
+    /// The request failed. `code` classifies the failure on the wire,
+    /// `retryable` tells the client whether the request definitively did
+    /// not execute (safe to resend), and `message` is operator-facing.
+    Failed {
+        /// Machine-readable failure class (crosses the wire as a byte).
+        code: ErrorCode,
+        /// `true` iff the request is known not to have executed.
+        retryable: bool,
+        /// Operator-facing detail.
+        message: String,
+    },
+}
+
+impl ServeReply {
+    /// Shorthand for a failure reply.
+    fn failed(code: ErrorCode, retryable: bool, message: impl Into<String>) -> Self {
+        ServeReply::Failed {
+            code,
+            retryable,
+            message: message.into(),
+        }
+    }
 }
 
 struct TicketState {
@@ -215,6 +269,26 @@ impl Ticket {
         for watcher in watchers {
             watcher();
         }
+    }
+
+    /// Resolves the ticket only if it has not resolved yet; returns whether
+    /// this call did the resolving. The panic-isolation path uses this to
+    /// sweep a batch after `catch_unwind` — some tickets resolved before
+    /// the panic, and those must not resolve twice.
+    pub(crate) fn resolve_if_pending(&self, reply: ServeReply) -> bool {
+        let watchers = {
+            let mut state = self.0.state.lock().expect("ticket lock poisoned");
+            if state.reply.is_some() {
+                return false;
+            }
+            state.reply = Some(reply);
+            std::mem::take(&mut state.watchers)
+        };
+        self.0.ready.notify_all();
+        for watcher in watchers {
+            watcher();
+        }
+        true
     }
 
     /// Registers a callback to run when the ticket resolves (immediately,
@@ -284,7 +358,20 @@ impl ServePipeline {
     /// Takes ownership of `cache` and starts the batcher thread. Installs
     /// the embedding memo-cache when [`ServeConfig::memo_capacity`] is
     /// non-zero.
-    pub fn start(mut cache: ShardedCache, config: &ServeConfig) -> Self {
+    ///
+    /// When [`ServeConfig::persist_path`] is set, opens (creating if
+    /// absent) the serve write-ahead log at `<persist_path>.wal` and
+    /// replays any acknowledged writes a crash stranded there *before*
+    /// serving begins — so a restart after `kill -9` observes every write
+    /// the WAL made durable.
+    ///
+    /// # Errors
+    /// Propagates WAL open/recovery failures ([`StoreError::Io`] on
+    /// filesystem trouble, [`StoreError::Corrupt`] on an undecodable
+    /// checksum-valid record). A server that cannot establish its
+    /// durability story should fail loudly at startup, not serve without
+    /// it.
+    pub fn start(mut cache: ShardedCache, config: &ServeConfig) -> Result<Self, StoreError> {
         if config.memo_capacity > 0 {
             cache.set_embedding_memo(Some(Arc::new(EmbeddingMemo::new(
                 config.memo_capacity,
@@ -293,23 +380,34 @@ impl ServePipeline {
         }
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let metrics = Arc::new(ServeMetrics::default());
+        metrics.record_recovery(config.restored);
+        let wal = match &config.persist_path {
+            None => None,
+            Some(path) => {
+                let (wal, ops, stats) = ServeWal::open(wal_path(path), config.fsync)?;
+                metrics.record_recovery(stats);
+                metrics.record_wal_replayed(ops.len() as u64);
+                replay_wal_ops(&mut cache, &ops);
+                Some(wal)
+            }
+        };
         let batcher = {
             let queue = Arc::clone(&queue);
             let metrics = Arc::clone(&metrics);
             let config = config.clone();
             std::thread::Builder::new()
                 .name("mc-serve-batcher".into())
-                .spawn(move || batcher_loop(cache, &queue, &metrics, &config))
+                .spawn(move || batcher_loop(cache, wal, &queue, &metrics, &config))
                 .expect("batcher thread spawn failed")
         };
-        Self {
+        Ok(Self {
             queue,
             metrics,
             batcher: Mutex::new(Some(batcher)),
             inflight: config
                 .singleflight
                 .then(|| Arc::new(Mutex::new(HashMap::new()))),
-        }
+        })
     }
 
     /// Submits a request; the returned ticket resolves once the batcher has
@@ -401,7 +499,16 @@ impl ServePipeline {
         self.queue.close();
         let handle = self.batcher.lock().expect("batcher handle poisoned").take();
         if let Some(handle) = handle {
-            handle.join().expect("batcher thread panicked");
+            // A panicked batcher is a bug, but the shutdown path is the
+            // wrong place to double the damage: propagating here turns one
+            // dead thread into a panic inside Drop (and an abort during
+            // unwinding). Log it and let the process finish its teardown.
+            if handle.join().is_err() {
+                eprintln!(
+                    "mc-serve: batcher thread panicked outside batch execution; \
+                     shutting down without its final drain"
+                );
+            }
         }
     }
 }
@@ -412,8 +519,34 @@ impl Drop for ServePipeline {
     }
 }
 
+/// Re-applies crash-stranded WAL ops to the freshly loaded cache. Replay is
+/// tolerant at the entry level: an op the live config refuses (it was
+/// accepted by the pre-crash config) is logged and skipped — one odd entry
+/// must not block recovery of the rest.
+fn replay_wal_ops(cache: &mut ShardedCache, ops: &[WalOp]) {
+    for op in ops {
+        match op {
+            WalOp::Insert {
+                query,
+                response,
+                context,
+            } => {
+                if let Err(e) = cache.insert(query, response, context) {
+                    eprintln!("mc-serve: skipping unre-playable WAL insert {query:?}: {e}");
+                }
+            }
+            WalOp::Flush => {
+                if let Err(e) = cache.clear() {
+                    eprintln!("mc-serve: WAL flush replay failed: {e}");
+                }
+            }
+        }
+    }
+}
+
 fn batcher_loop(
     mut cache: ShardedCache,
+    mut wal: Option<ServeWal>,
     queue: &BoundedQueue<Submitted>,
     metrics: &ServeMetrics,
     config: &ServeConfig,
@@ -429,7 +562,7 @@ fn batcher_loop(
             std::thread::sleep(config.batch_delay);
         }
         metrics.record_batch(batch.len());
-        execute_batch(&mut cache, &batch, queue, metrics, config);
+        execute_batch(&mut cache, &mut wal, &batch, queue, metrics, config);
         // Root-pin GC: between batches the batcher is the only cache
         // writer, so the sweep serialises with inserts by construction.
         if !config.pin_sweep_interval.is_zero() && last_sweep.elapsed() >= config.pin_sweep_interval
@@ -440,13 +573,22 @@ fn batcher_loop(
     }
     // Graceful-shutdown persistence: the queue is closed and drained, the
     // batcher owns the cache outright, so this is the one place a final
-    // save observes every acknowledged write.
+    // save observes every acknowledged write. The snapshot supersedes the
+    // WAL, which resets so the next boot does not replay what the snapshot
+    // already holds.
     if let Some(path) = &config.persist_path {
-        if let Err(e) = save_sharded_cache_with_config(&cache, path) {
-            eprintln!(
+        match save_sharded_cache_with_config(&cache, path) {
+            Ok(()) => {
+                if let Some(wal) = wal.as_mut() {
+                    if let Err(e) = wal.reset() {
+                        eprintln!("mc-serve: failed to reset WAL after shutdown save: {e}");
+                    }
+                }
+            }
+            Err(e) => eprintln!(
                 "mc-serve: failed to persist cache to {} on shutdown: {e}",
                 path.display()
-            );
+            ),
         }
     }
 }
@@ -464,6 +606,7 @@ fn batcher_loop(
 /// per unique probe; the pipeline's served counters remain per-request.)
 fn execute_batch(
     cache: &mut ShardedCache,
+    wal: &mut Option<ServeWal>,
     batch: &[Submitted],
     queue: &BoundedQueue<Submitted>,
     metrics: &ServeMetrics,
@@ -473,7 +616,7 @@ fn execute_batch(
     while i < batch.len() {
         let is_lookup = matches!(batch[i].request, ServeRequest::Lookup { .. });
         if !is_lookup {
-            execute_control(cache, &batch[i], queue, metrics, config);
+            execute_control(cache, wal, &batch[i], queue, metrics, config);
             i += 1;
             continue;
         }
@@ -481,26 +624,80 @@ fn execute_batch(
         while j < batch.len() && matches!(batch[j].request, ServeRequest::Lookup { .. }) {
             j += 1;
         }
-        if j == i + 1 {
+        execute_lookup_run(cache, &batch[i..j], metrics, config);
+        i = j;
+    }
+}
+
+/// True when `item` has outlived the configured per-request deadline.
+fn past_deadline(item: &Submitted, config: &ServeConfig) -> bool {
+    !config.request_deadline.is_zero() && item.accepted_at.elapsed() > config.request_deadline
+}
+
+/// Executes one maximal run of consecutive lookups: expired deadlines are
+/// answered without probing, the rest probe (coalesced when the run has
+/// duplicates) behind a panic fence — a panic in cache code resolves the
+/// run's outstanding tickets with a retryable error instead of killing the
+/// batcher and stranding every future request.
+fn execute_lookup_run(
+    cache: &mut ShardedCache,
+    run: &[Submitted],
+    metrics: &ServeMetrics,
+    config: &ServeConfig,
+) {
+    // Deadline pass: a lookup whose client has already given up is not
+    // worth a probe. Lookups are read-only, so skipping one is invisible
+    // to the served history; the ticket resolves retryable.
+    let mut live: Vec<&Submitted> = Vec::with_capacity(run.len());
+    for item in run {
+        if past_deadline(item, config) {
+            metrics.record_deadline_expired();
+            metrics.record_latency(item.accepted_at.elapsed());
+            item.ticket.resolve(ServeReply::failed(
+                ErrorCode::DeadlineExceeded,
+                true,
+                format!(
+                    "queued past the {:?} request deadline; not executed",
+                    config.request_deadline
+                ),
+            ));
+        } else {
+            live.push(item);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let fenced = catch_unwind(AssertUnwindSafe(|| {
+        // Fault injection: lets the test suite prove the panic fence holds
+        // without contriving a real cache bug. Inert outside test builds.
+        // The tag is the run's first query so tests can scope the fuse to
+        // their own traffic.
+        let fuse_tag = match &live[0].request {
+            ServeRequest::Lookup { query, .. } => query.as_str(),
+            _ => "lookup",
+        };
+        if let Some(Err(e)) = mc_store::failpoints::write_hook("serve.batch.work", fuse_tag, 0) {
+            panic!("injected batch-work panic: {e}");
+        }
+        if let [item] = live[..] {
             // Singleton run: the plain probe path, no batch machinery. This
             // is also the entire hot path of a `max_batch = 1` (unbatched)
             // configuration.
-            let ServeRequest::Lookup { query, context } = &batch[i].request else {
-                unreachable!("checked above");
+            let ServeRequest::Lookup { query, context } = &item.request else {
+                unreachable!("run contains only lookups");
             };
             let outcome = cache.probe(query, context);
             cache.commit(&outcome);
             metrics.record_served(outcome.is_hit());
-            metrics.record_latency(batch[i].accepted_at.elapsed());
-            batch[i].ticket.resolve(ServeReply::Outcome(outcome));
-            i = j;
-            continue;
+            metrics.record_latency(item.accepted_at.elapsed());
+            item.ticket.resolve(ServeReply::Outcome(outcome));
+            return;
         }
-        let run = &batch[i..j];
         // Coalesce duplicates: probe each distinct (query, context) once.
-        let mut unique: Vec<(&str, &[String])> = Vec::with_capacity(run.len());
-        let mut index_of: HashMap<(&str, &[String]), usize> = HashMap::with_capacity(run.len());
-        let assigned: Vec<usize> = run
+        let mut unique: Vec<(&str, &[String])> = Vec::with_capacity(live.len());
+        let mut index_of: HashMap<(&str, &[String]), usize> = HashMap::with_capacity(live.len());
+        let assigned: Vec<usize> = live
             .iter()
             .map(|item| match &item.request {
                 ServeRequest::Lookup { query, context } => *index_of
@@ -512,30 +709,94 @@ fn execute_batch(
                 _ => unreachable!("run contains only lookups"),
             })
             .collect();
-        metrics.record_coalesced((run.len() - unique.len()) as u64);
+        metrics.record_coalesced((live.len() - unique.len()) as u64);
         let outcomes = cache.probe_batch(&unique);
         // Commit in submission order before resolving each ticket: the
         // served history (including LRU/LFU touches) matches sequential
         // `lookup` calls exactly.
-        for (item, &unique_index) in run.iter().zip(&assigned) {
+        for (item, &unique_index) in live.iter().zip(&assigned) {
             let outcome = outcomes[unique_index].clone();
             cache.commit(&outcome);
             metrics.record_served(outcome.is_hit());
             metrics.record_latency(item.accepted_at.elapsed());
             item.ticket.resolve(ServeReply::Outcome(outcome));
         }
-        i = j;
+    }));
+    if fenced.is_err() {
+        // The cache's locks recover from poisoning (probes never leave
+        // partial writes), so the next batch proceeds; every ticket the
+        // panic stranded resolves retryable — lookups are read-only, so
+        // "not executed" is certain.
+        metrics.record_panic_caught();
+        for item in &live {
+            let resolved = item.ticket.resolve_if_pending(ServeReply::failed(
+                ErrorCode::Panicked,
+                true,
+                "cache work panicked mid-batch; lookup not executed",
+            ));
+            if resolved {
+                metrics.record_latency(item.accepted_at.elapsed());
+            }
+        }
+    }
+}
+
+/// Runs a WAL append for an acknowledged write. An append failure degrades
+/// durability (the write survives in memory and in the next snapshot) but
+/// must not fail the already-executed request — it is logged and counted
+/// so operators see the degradation.
+fn append_wal(
+    wal: &mut Option<ServeWal>,
+    metrics: &ServeMetrics,
+    append: impl FnOnce(&mut ServeWal) -> Result<(), StoreError>,
+) {
+    let Some(wal) = wal.as_mut() else { return };
+    match append(wal) {
+        Ok(()) => metrics.record_wal_append(),
+        Err(e) => {
+            metrics.record_wal_append_error();
+            eprintln!("mc-serve: WAL append failed (durability degraded until next save): {e}");
+        }
     }
 }
 
 fn execute_control(
     cache: &mut ShardedCache,
+    wal: &mut Option<ServeWal>,
     item: &Submitted,
     queue: &BoundedQueue<Submitted>,
     metrics: &ServeMetrics,
     config: &ServeConfig,
 ) {
-    let reply = match &item.request {
+    // Panic fence: a panic inside cache work resolves this ticket with an
+    // error frame instead of killing the batcher thread. Writes are
+    // append-or-nothing at the cache layer, but a panic leaves "whether it
+    // applied" unknown — the reply says so and is marked retryable per the
+    // wire taxonomy (a duplicate insert of identical content is benign).
+    let fenced = catch_unwind(AssertUnwindSafe(|| {
+        control_reply(cache, wal, item, queue, metrics, config)
+    }));
+    let reply = fenced.unwrap_or_else(|_| {
+        metrics.record_panic_caught();
+        ServeReply::failed(
+            ErrorCode::Panicked,
+            true,
+            "cache work panicked mid-request; whether it applied is unknown",
+        )
+    });
+    metrics.record_latency(item.accepted_at.elapsed());
+    item.ticket.resolve(reply);
+}
+
+fn control_reply(
+    cache: &mut ShardedCache,
+    wal: &mut Option<ServeWal>,
+    item: &Submitted,
+    queue: &BoundedQueue<Submitted>,
+    metrics: &ServeMetrics,
+    config: &ServeConfig,
+) -> ServeReply {
+    match &item.request {
         ServeRequest::Insert {
             query,
             response,
@@ -543,9 +804,13 @@ fn execute_control(
         } => match cache.insert(query, response, context) {
             Ok(id) => {
                 metrics.record_insert();
+                // Logged (and fsynced per policy) before the ticket
+                // resolves: under `--fsync always` an acknowledged insert
+                // is already durable when the client reads its response.
+                append_wal(wal, metrics, |w| w.append_insert(query, response, context));
                 ServeReply::Inserted(id)
             }
-            Err(e) => ServeReply::Failed(format!("insert failed: {e}")),
+            Err(e) => ServeReply::failed(ErrorCode::Internal, false, format!("insert failed: {e}")),
         },
         ServeRequest::Stats => {
             metrics.record_control();
@@ -569,7 +834,11 @@ fn execute_control(
                 cache.set_threshold(*threshold);
                 ServeReply::Ack
             } else {
-                ServeReply::Failed(format!("threshold {threshold} must be in [0, 1]"))
+                ServeReply::failed(
+                    ErrorCode::BadRequest,
+                    false,
+                    format!("threshold {threshold} must be in [0, 1]"),
+                )
             }
         }
         ServeRequest::SetRouting(mode) => {
@@ -582,19 +851,37 @@ fn execute_control(
                         *cache = new_cache;
                         ServeReply::Ack
                     }
-                    Err(e) => ServeReply::Failed(format!("reshard to {} failed: {e}", mode.name())),
+                    Err(e) => ServeReply::failed(
+                        ErrorCode::Internal,
+                        false,
+                        format!("reshard to {} failed: {e}", mode.name()),
+                    ),
                 }
             }
         }
         ServeRequest::Save => {
             metrics.record_control();
             match &config.persist_path {
-                None => ServeReply::Failed(
-                    "no persist path configured (start the server with --persist)".into(),
+                None => ServeReply::failed(
+                    ErrorCode::BadRequest,
+                    false,
+                    "no persist path configured (start the server with --persist)",
                 ),
                 Some(path) => match save_sharded_cache_with_config(cache, path) {
-                    Ok(()) => ServeReply::Saved(cache.len() as u64),
-                    Err(e) => ServeReply::Failed(format!("save failed: {e}")),
+                    Ok(()) => {
+                        // The snapshot now covers everything the WAL held;
+                        // truncate so the next boot does not double-replay.
+                        if let Some(wal) = wal.as_mut() {
+                            if let Err(e) = wal.reset() {
+                                metrics.record_wal_append_error();
+                                eprintln!("mc-serve: WAL reset after save failed: {e}");
+                            }
+                        }
+                        ServeReply::Saved(cache.len() as u64)
+                    }
+                    Err(e) => {
+                        ServeReply::failed(ErrorCode::Internal, false, format!("save failed: {e}"))
+                    }
                 },
             }
         }
@@ -606,12 +893,11 @@ fn execute_control(
             // the flush — dropping the centroids would silently degrade
             // centroid routing to its hash fallback.
             cache.clear().expect("a live cache's config re-validates");
+            append_wal(wal, metrics, ServeWal::append_flush);
             ServeReply::Flushed(evicted)
         }
         ServeRequest::Lookup { .. } => unreachable!("lookups are handled in runs"),
-    };
-    metrics.record_latency(item.accepted_at.elapsed());
-    item.ticket.resolve(reply);
+    }
 }
 
 #[cfg(test)]
@@ -640,7 +926,7 @@ mod tests {
 
     #[test]
     fn insert_then_lookup_round_trips_through_the_pipeline() {
-        let pipeline = ServePipeline::start(cache(4), &ServeConfig::default());
+        let pipeline = ServePipeline::start(cache(4), &ServeConfig::default()).unwrap();
         let inserted = pipeline
             .submit(ServeRequest::Insert {
                 query: "what is federated learning".into(),
@@ -675,7 +961,7 @@ mod tests {
 
     #[test]
     fn control_plane_orders_with_lookups() {
-        let pipeline = ServePipeline::start(cache(2), &ServeConfig::default());
+        let pipeline = ServePipeline::start(cache(2), &ServeConfig::default()).unwrap();
         pipeline
             .submit(ServeRequest::Insert {
                 query: "how do I bake sourdough bread".into(),
@@ -704,7 +990,7 @@ mod tests {
                 .submit(ServeRequest::SetThreshold(7.0))
                 .unwrap()
                 .wait(),
-            ServeReply::Failed(_)
+            ServeReply::Failed { .. }
         ));
         // Flush empties; the lookup ordered after it misses.
         assert_eq!(
@@ -738,7 +1024,7 @@ mod tests {
             batch_delay: Duration::from_millis(50),
             ..ServeConfig::default()
         };
-        let pipeline = ServePipeline::start(cache(2), &config);
+        let pipeline = ServePipeline::start(cache(2), &config).unwrap();
         pipeline
             .submit(ServeRequest::Insert {
                 query: "what is federated learning".into(),
@@ -791,7 +1077,7 @@ mod tests {
             singleflight: false,
             ..ServeConfig::default()
         };
-        let pipeline = ServePipeline::start(cache(2), &config);
+        let pipeline = ServePipeline::start(cache(2), &config).unwrap();
         pipeline
             .submit(ServeRequest::Insert {
                 query: "q".into(),
@@ -808,7 +1094,7 @@ mod tests {
 
     #[test]
     fn metrics_request_renders_the_text_exposition() {
-        let pipeline = ServePipeline::start(cache(2), &ServeConfig::default());
+        let pipeline = ServePipeline::start(cache(2), &ServeConfig::default()).unwrap();
         pipeline
             .submit(ServeRequest::Insert {
                 query: "what is federated learning".into(),

@@ -17,6 +17,41 @@
 //! same order, so no sequence numbers are needed. Frames above
 //! [`MAX_FRAME_LEN`] are rejected before allocation (a malformed or hostile
 //! length prefix must not OOM the server).
+//!
+//! ## Error-code taxonomy
+//!
+//! Failures travel on three distinct frames, by blast radius:
+//!
+//! * **`Busy` (0x87)** — admission control refused the request before any
+//!   work happened (queue full, connection budget exhausted). Always safe
+//!   to retry after backoff; the connection stays open.
+//! * **`Fail` (0x8b)** — *this request* failed; the connection stays open
+//!   and pipelined neighbours are unaffected. Carries an [`ErrorCode`], an
+//!   explicit `retryable` flag, and a human-readable message:
+//!   - [`ErrorCode::BadRequest`] — the request decoded as a frame but was
+//!     semantically invalid (e.g. unknown opcode, malformed payload).
+//!     Not retryable: the same bytes will fail the same way.
+//!   - [`ErrorCode::DeadlineExceeded`] — the request sat in the batcher's
+//!     queue past the server's `request_deadline`. Retryable: a later
+//!     attempt may find a shorter queue.
+//!   - [`ErrorCode::Overloaded`] — shed after admission (a queued ticket
+//!     dropped during shutdown-drain overflow). Retryable.
+//!   - [`ErrorCode::Panicked`] — the cache work for this request panicked;
+//!     the panic was isolated (`catch_unwind`) and counted. Retryable: the
+//!     panic was almost certainly input- or timing-specific, and state is
+//!     still consistent.
+//!   - [`ErrorCode::Internal`] — any other server-side failure (e.g. a
+//!     persistence error on `Save`). Not retryable by default.
+//!   - [`ErrorCode::ShuttingDown`] — the server is draining; retryable
+//!     against a replacement instance, not this one.
+//! * **`Error` (0x86)** — legacy protocol-level failure; the server closes
+//!   the connection after sending it (the stream can no longer be trusted,
+//!   e.g. an unframeable byte stream). Clients should treat it as fatal for
+//!   the connection, not the server.
+//!
+//! The [`crate::Client`] maps `Busy` and retryable `Fail` frames into its
+//! jittered-backoff retry loop; see `docs/ARCHITECTURE.md` ("Failure
+//! semantics") for the full client retry contract.
 
 use std::io::{self, Read, Write};
 
@@ -41,6 +76,8 @@ pub enum ProtocolError {
     Oversize(usize),
     /// A routing-mode byte named no known [`RoutingMode`].
     BadRouting(u8),
+    /// An error-code byte named no known [`ErrorCode`].
+    BadErrorCode(u8),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -56,7 +93,77 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::BadRouting(byte) => {
                 write!(f, "unknown routing mode byte {byte:#04x}")
             }
+            ProtocolError::BadErrorCode(byte) => {
+                write!(f, "unknown error code byte {byte:#04x}")
+            }
         }
+    }
+}
+
+/// Machine-readable class of a per-request failure (see the module-level
+/// taxonomy). Travels in the [`Response::Fail`] frame next to an explicit
+/// `retryable` flag, so clients branch on the flag and log the code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Semantically invalid request (unknown opcode, malformed payload).
+    BadRequest,
+    /// The request waited in the batcher queue past the server's deadline.
+    DeadlineExceeded,
+    /// Shed after admission (e.g. dropped during shutdown-drain overflow).
+    Overloaded,
+    /// The cache work for this request panicked; the panic was isolated.
+    Panicked,
+    /// Other server-side failure.
+    Internal,
+    /// The server is draining connections for shutdown.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// Stable wire byte for the code.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::DeadlineExceeded => 2,
+            ErrorCode::Overloaded => 3,
+            ErrorCode::Panicked => 4,
+            ErrorCode::Internal => 5,
+            ErrorCode::ShuttingDown => 6,
+        }
+    }
+
+    /// Inverse of [`ErrorCode::as_byte`].
+    ///
+    /// # Errors
+    /// [`ProtocolError::BadErrorCode`] for unknown bytes.
+    pub fn from_byte(byte: u8) -> Result<Self, ProtocolError> {
+        match byte {
+            1 => Ok(ErrorCode::BadRequest),
+            2 => Ok(ErrorCode::DeadlineExceeded),
+            3 => Ok(ErrorCode::Overloaded),
+            4 => Ok(ErrorCode::Panicked),
+            5 => Ok(ErrorCode::Internal),
+            6 => Ok(ErrorCode::ShuttingDown),
+            other => Err(ProtocolError::BadErrorCode(other)),
+        }
+    }
+
+    /// Short lowercase name (metrics/log friendly).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Panicked => "panicked",
+            ErrorCode::Internal => "internal",
+            ErrorCode::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -131,8 +238,21 @@ pub enum Response {
     Flushed(u64),
     /// Save completed; this many entries were persisted.
     Saved(u64),
-    /// The request failed (human-readable reason).
+    /// Legacy protocol-level failure (human-readable reason); the server
+    /// closes the connection after sending it. Per-request failures use
+    /// [`Response::Fail`] instead.
     Error(String),
+    /// *This request* failed; the connection stays open. `retryable` tells
+    /// the client whether backing off and retrying can succeed — see the
+    /// module-level error-code taxonomy.
+    Fail {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Whether a retry after backoff can succeed.
+        retryable: bool,
+        /// Human-readable detail.
+        message: String,
+    },
     /// Backpressure: the admission queue (or connection budget) is full.
     /// Back off and retry.
     Busy,
@@ -278,25 +398,25 @@ impl FrameAssembler {
 
 // ---- payload codec ---------------------------------------------------------
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
     buf.extend_from_slice(s.as_bytes());
 }
 
-fn put_strs(buf: &mut Vec<u8>, items: &[String]) {
+pub(crate) fn put_strs(buf: &mut Vec<u8>, items: &[String]) {
     buf.extend_from_slice(&(items.len() as u32).to_le_bytes());
     for item in items {
         put_str(buf, item);
     }
 }
 
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     bytes: &'a [u8],
     at: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Self { bytes, at: 0 }
     }
 
@@ -332,13 +452,13 @@ impl<'a> Cursor<'a> {
         ))
     }
 
-    fn str(&mut self) -> Result<String, ProtocolError> {
+    pub(crate) fn str(&mut self) -> Result<String, ProtocolError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8)
     }
 
-    fn strs(&mut self) -> Result<Vec<String>, ProtocolError> {
+    pub(crate) fn strs(&mut self) -> Result<Vec<String>, ProtocolError> {
         let count = self.u32()? as usize;
         // Cap pre-allocation by what the remaining bytes could possibly
         // hold (each string costs ≥ 4 bytes of length prefix).
@@ -349,7 +469,7 @@ impl<'a> Cursor<'a> {
         Ok(items)
     }
 
-    fn finish(&self) -> Result<(), ProtocolError> {
+    pub(crate) fn finish(&self) -> Result<(), ProtocolError> {
         if self.at == self.bytes.len() {
             Ok(())
         } else {
@@ -381,6 +501,7 @@ mod op {
     pub const PONG: u8 = 0x88;
     pub const SAVED: u8 = 0x89;
     pub const METRICS_REPLY: u8 = 0x8a;
+    pub const FAIL: u8 = 0x8b;
 }
 
 /// Wire byte for a [`RoutingMode`] (stable across releases).
@@ -519,6 +640,16 @@ impl Response {
                 buf.push(op::ERROR);
                 put_str(&mut buf, message);
             }
+            Response::Fail {
+                code,
+                retryable,
+                message,
+            } => {
+                buf.push(op::FAIL);
+                buf.push(code.as_byte());
+                buf.push(u8::from(*retryable));
+                put_str(&mut buf, message);
+            }
             Response::Busy => buf.push(op::BUSY),
             Response::Pong => buf.push(op::PONG),
             Response::Metrics(text) => {
@@ -549,6 +680,11 @@ impl Response {
             op::FLUSHED => Response::Flushed(cursor.u64()?),
             op::SAVED => Response::Saved(cursor.u64()?),
             op::ERROR => Response::Error(cursor.str()?),
+            op::FAIL => Response::Fail {
+                code: ErrorCode::from_byte(cursor.u8()?)?,
+                retryable: cursor.u8()? != 0,
+                message: cursor.str()?,
+            },
             op::BUSY => Response::Busy,
             op::PONG => Response::Pong,
             op::METRICS_REPLY => Response::Metrics(cursor.str()?),
@@ -641,6 +777,16 @@ mod tests {
             Response::Flushed(10_000),
             Response::Saved(12_345),
             Response::Error("no".into()),
+            Response::Fail {
+                code: ErrorCode::DeadlineExceeded,
+                retryable: true,
+                message: "queued 12ms past the 5ms deadline".into(),
+            },
+            Response::Fail {
+                code: ErrorCode::BadRequest,
+                retryable: false,
+                message: String::new(),
+            },
             Response::Busy,
             Response::Pong,
             Response::Metrics("serve_admitted_total 12\nserve_shed_total 0\n".into()),
@@ -677,6 +823,28 @@ mod tests {
             Request::decode(&[super::op::SET_ROUTING, 9]),
             Err(ProtocolError::BadRouting(9))
         );
+        // An unknown error-code byte is rejected with its own error.
+        assert_eq!(
+            Response::decode(&[super::op::FAIL, 99, 0, 0, 0, 0, 0]),
+            Err(ProtocolError::BadErrorCode(99))
+        );
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_name() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Overloaded,
+            ErrorCode::Panicked,
+            ErrorCode::Internal,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert_eq!(ErrorCode::from_byte(code.as_byte()).unwrap(), code);
+            assert!(!code.name().is_empty());
+            assert_eq!(code.to_string(), code.name());
+        }
+        assert!(ErrorCode::from_byte(0).is_err());
     }
 
     #[test]

@@ -54,7 +54,7 @@ use meancache::ShardedCache;
 
 use crate::pipeline::{ServeConfig, ServePipeline, ServeReply, ServeRequest};
 use crate::poller::{wake_pair, Interest, Poller, PollerKind, WakeReceiver, Waker};
-use crate::protocol::{write_frame, FrameAssembler, Request, Response};
+use crate::protocol::{write_frame, ErrorCode, FrameAssembler, Request, Response};
 use crate::queue::SubmitError;
 use crate::Ticket;
 
@@ -162,8 +162,12 @@ impl Server {
         let (waker, wake_rx) = wake_pair()?;
         poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
         poller.register(wake_rx.raw_fd(), TOKEN_WAKER, Interest::READ)?;
+        // WAL open/recovery failures surface as startup errors: a server
+        // that cannot establish its durability story must not serve.
+        let pipeline = ServePipeline::start(cache, config)
+            .map_err(|e| io::Error::other(format!("serve WAL recovery failed: {e}")))?;
         let shared = Arc::new(ServerShared {
-            pipeline: ServePipeline::start(cache, config),
+            pipeline,
             stop: AtomicBool::new(false),
             stop_lock: Mutex::new(()),
             stop_signal: Condvar::new(),
@@ -173,6 +177,7 @@ impl Server {
             local_addr,
         });
         let max_connections = config.max_connections.max(1);
+        let idle_timeout = config.idle_timeout;
         let io = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -182,8 +187,11 @@ impl Server {
                         listener,
                         poller,
                         wake_rx,
+                        addr_tag: shared.local_addr.to_string(),
                         shared: &shared,
                         max_connections,
+                        idle_timeout,
+                        last_idle_sweep: Instant::now(),
                         conns: HashMap::new(),
                         next_token: TOKEN_FIRST_CONN,
                     }
@@ -251,7 +259,12 @@ impl ServerHandle {
         // responses out in drain mode.
         self.shared.pipeline.shutdown();
         if let Some(io) = self.io.take() {
-            io.join().expect("io thread panicked");
+            // Same reasoning as the batcher join: a panicked loop already
+            // dropped its connections, and re-panicking here would abort
+            // the process out of Drop during unwinding. Log and move on.
+            if io.join().is_err() {
+                eprintln!("mc-serve: io thread panicked; skipping its drain phase");
+            }
         }
     }
 }
@@ -279,6 +292,9 @@ struct Conn {
     /// No further reads (EOF, protocol error, or server drain); the
     /// connection closes once `out` and `wbuf` are empty.
     closing: bool,
+    /// Last time the socket showed life (bytes read or written) — the
+    /// idle-reaper's clock.
+    last_activity: Instant,
 }
 
 impl Conn {
@@ -291,6 +307,7 @@ impl Conn {
             wpos: 0,
             interest: Interest::READ,
             closing: false,
+            last_activity: Instant::now(),
         }
     }
 
@@ -316,8 +333,16 @@ struct EventLoop<'a> {
     listener: TcpListener,
     poller: Poller,
     wake_rx: WakeReceiver,
+    /// Failpoint scope tag for this server's socket writes (its bound
+    /// address), so fault-injection tests target one server's connections
+    /// without perturbing others in the same process.
+    addr_tag: String,
     shared: &'a Arc<ServerShared>,
     max_connections: usize,
+    /// Reap connections idle longer than this; zero disables reaping (and
+    /// keeps the poll wait unbounded — an idle server sleeps).
+    idle_timeout: Duration,
+    last_idle_sweep: Instant,
     conns: HashMap<u64, Conn>,
     next_token: u64,
 }
@@ -338,8 +363,16 @@ impl EventLoop<'_> {
                 }
             }
             // Blocking wait while serving; short slices while draining so
-            // the deadline is honoured even if no event ever fires.
-            let timeout = draining_since.map(|_| Duration::from_millis(50));
+            // the deadline is honoured even if no event ever fires, and
+            // bounded slices when idle reaping is on so the reaper runs on
+            // a silent socket set too.
+            let timeout = if draining_since.is_some() {
+                Some(Duration::from_millis(50))
+            } else if self.idle_timeout.is_zero() {
+                None
+            } else {
+                Some((self.idle_timeout / 4).max(Duration::from_millis(10)))
+            };
             let Ok(n) = self.poller.wait(&mut events, timeout) else {
                 break; // poller failure: nothing sane left to do
             };
@@ -352,11 +385,40 @@ impl EventLoop<'_> {
                 }
             }
             self.pump_dirty();
+            if draining_since.is_none() {
+                self.reap_idle();
+            }
         }
         // Deadline expired (or clean exit): drop whatever is left.
         let tokens: Vec<u64> = self.conns.keys().copied().collect();
         for token in tokens {
             self.close_conn(token);
+        }
+    }
+
+    /// Closes connections that have shown no socket activity for
+    /// [`ServeConfig::idle_timeout`]. Connections still owed a response are
+    /// spared — a long-queued ticket is the server's debt, not the
+    /// client's silence. Sweeps are amortised to every `idle_timeout / 4`
+    /// so the O(connections) walk never dominates a busy loop.
+    fn reap_idle(&mut self) {
+        if self.idle_timeout.is_zero() || self.last_idle_sweep.elapsed() < self.idle_timeout / 4 {
+            return;
+        }
+        self.last_idle_sweep = Instant::now();
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| {
+                conn.out.is_empty()
+                    && conn.backlog() == 0
+                    && conn.last_activity.elapsed() >= self.idle_timeout
+            })
+            .map(|(&token, _)| token)
+            .collect();
+        for token in expired {
+            self.close_conn(token);
+            self.shared.pipeline.metrics().record_idle_reaped();
         }
     }
 
@@ -447,6 +509,7 @@ impl EventLoop<'_> {
                     return;
                 }
                 Ok(n) => {
+                    conn.last_activity = Instant::now();
                     conn.assembler.extend(&rbuf[..n]);
                     self.parse_frames(token);
                 }
@@ -491,10 +554,16 @@ impl EventLoop<'_> {
         let request = match Request::decode(payload) {
             Ok(request) => request,
             Err(e) => {
+                // The *frame* was well-formed — only its payload wasn't —
+                // so the stream is still in sync. Answer with a per-request
+                // failure and keep serving the connection; only framing
+                // errors (handled in `parse_frames`) are fatal.
                 if let Some(conn) = self.conns.get_mut(&token) {
-                    conn.out
-                        .push_back(Out::Ready(Response::Error(e.to_string())));
-                    conn.closing = true;
+                    conn.out.push_back(Out::Ready(Response::Fail {
+                        code: ErrorCode::BadRequest,
+                        retryable: false,
+                        message: e.to_string(),
+                    }));
                 }
                 return;
             }
@@ -540,9 +609,11 @@ impl EventLoop<'_> {
                         Out::Pending(ticket)
                     }
                     Err(SubmitError::Overloaded) => Out::Ready(Response::Busy),
-                    Err(SubmitError::ShutDown) => {
-                        Out::Ready(Response::Error("server is shutting down".into()))
-                    }
+                    Err(SubmitError::ShutDown) => Out::Ready(Response::Fail {
+                        code: ErrorCode::ShuttingDown,
+                        retryable: true,
+                        message: "server is shutting down".into(),
+                    }),
                 }
             }
         };
@@ -593,12 +664,28 @@ impl EventLoop<'_> {
         // Flush.
         let mut broken = false;
         while conn.wpos < conn.wbuf.len() {
-            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            let pending = &conn.wbuf[conn.wpos..];
+            // Fault injection (inert outside tests / the `failpoints`
+            // feature): a hook may cap the write short or inject an error,
+            // exercising the partial-write and broken-pipe paths.
+            let wrote = match mc_store::failpoints::write_hook(
+                "serve.conn.write",
+                &self.addr_tag,
+                pending.len(),
+            ) {
+                Some(Ok(cap)) => conn.stream.write(&pending[..cap.min(pending.len())]),
+                Some(Err(e)) => Err(e),
+                None => conn.stream.write(pending),
+            };
+            match wrote {
                 Ok(0) => {
                     broken = true;
                     break;
                 }
-                Ok(n) => conn.wpos += n,
+                Ok(n) => {
+                    conn.wpos += n;
+                    conn.last_activity = Instant::now();
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -650,6 +737,14 @@ fn reply_to_response(reply: ServeReply) -> Response {
         ServeReply::Flushed(n) => Response::Flushed(n),
         ServeReply::Saved(n) => Response::Saved(n),
         ServeReply::MetricsText(text) => Response::Metrics(text),
-        ServeReply::Failed(message) => Response::Error(message),
+        ServeReply::Failed {
+            code,
+            retryable,
+            message,
+        } => Response::Fail {
+            code,
+            retryable,
+            message,
+        },
     }
 }

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use mc_metrics::{percentile_from_log2_buckets, LatencyHistogram};
+use mc_store::RecoveryStats;
 use meancache::{SemanticCache, ShardedCache};
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +31,14 @@ pub struct ServeMetrics {
     coalesced: AtomicU64,
     singleflight: AtomicU64,
     pins_swept: AtomicU64,
+    deadline_expired: AtomicU64,
+    panics_caught: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_append_errors: AtomicU64,
+    wal_replayed: AtomicU64,
+    idle_reaped: AtomicU64,
+    recovered_records: AtomicU64,
+    recovered_bytes_truncated: AtomicU64,
     batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
     latency: LatencyHistogram,
 }
@@ -99,6 +108,51 @@ impl ServeMetrics {
         }
     }
 
+    /// A lookup's deadline expired before the batcher reached it; the
+    /// ticket resolved to a retryable deadline-exceeded failure.
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A panic in per-batch cache work was caught and converted into error
+    /// replies instead of taking the batcher thread down.
+    pub fn record_panic_caught(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An acknowledged write was appended to the serve WAL.
+    pub fn record_wal_append(&self) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A WAL append (or truncate) failed; the write was still acknowledged
+    /// from memory, durability for it is degraded until the next snapshot.
+    pub fn record_wal_append_error(&self) {
+        self.wal_append_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` WAL ops were replayed into the cache at startup.
+    pub fn record_wal_replayed(&self, n: u64) {
+        if n > 0 {
+            self.wal_replayed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// An idle connection was reaped by the event loop.
+    pub fn record_idle_reaped(&self) {
+        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds what log recovery replayed (and truncated) at startup into the
+    /// stats plane — covers both the snapshot's entry logs and the serve
+    /// WAL.
+    pub fn record_recovery(&self, stats: RecoveryStats) {
+        self.recovered_records
+            .fetch_add(stats.records_replayed, Ordering::Relaxed);
+        self.recovered_bytes_truncated
+            .fetch_add(stats.bytes_truncated, Ordering::Relaxed);
+    }
+
     /// Records one request's admission-to-resolution latency.
     pub fn record_latency(&self, elapsed: Duration) {
         self.latency.record(elapsed);
@@ -164,6 +218,34 @@ pub struct ServeStatsSnapshot {
     /// Dead conversation-root pins dropped by the periodic GC sweep.
     #[serde(default)]
     pub routing_pins_swept: u64,
+    /// Lookups whose deadline expired in the queue (answered with a
+    /// retryable deadline-exceeded failure instead of a probe).
+    #[serde(default)]
+    pub deadline_expired: u64,
+    /// Panics caught in per-batch cache work and converted into error
+    /// replies (the batcher thread survived each one).
+    #[serde(default)]
+    pub panics_caught: u64,
+    /// Acknowledged writes appended to the serve WAL.
+    #[serde(default)]
+    pub wal_appends: u64,
+    /// WAL appends that failed (durability degraded until next snapshot).
+    #[serde(default)]
+    pub wal_append_errors: u64,
+    /// WAL ops replayed into the cache at startup (writes that would have
+    /// been lost without the WAL).
+    #[serde(default)]
+    pub wal_replayed: u64,
+    /// Idle connections reaped by the event loop.
+    #[serde(default)]
+    pub idle_reaped: u64,
+    /// Log records (snapshot entry logs + serve WAL) replayed by crash
+    /// recovery at startup.
+    #[serde(default)]
+    pub recovered_records: u64,
+    /// Bytes of torn or corrupt log tail truncated by recovery at startup.
+    #[serde(default)]
+    pub recovered_bytes_truncated: u64,
     /// Embedding memo-cache hits (0 when the memo is disabled).
     #[serde(default)]
     pub memo_hits: u64,
@@ -236,6 +318,14 @@ impl ServeStatsSnapshot {
             coalesced: metrics.coalesced.load(Ordering::Relaxed),
             singleflight: metrics.singleflight.load(Ordering::Relaxed),
             routing_pins_swept: metrics.pins_swept.load(Ordering::Relaxed),
+            deadline_expired: metrics.deadline_expired.load(Ordering::Relaxed),
+            panics_caught: metrics.panics_caught.load(Ordering::Relaxed),
+            wal_appends: metrics.wal_appends.load(Ordering::Relaxed),
+            wal_append_errors: metrics.wal_append_errors.load(Ordering::Relaxed),
+            wal_replayed: metrics.wal_replayed.load(Ordering::Relaxed),
+            idle_reaped: metrics.idle_reaped.load(Ordering::Relaxed),
+            recovered_records: metrics.recovered_records.load(Ordering::Relaxed),
+            recovered_bytes_truncated: metrics.recovered_bytes_truncated.load(Ordering::Relaxed),
             memo_hits: memo.as_ref().map_or(0, |m| m.hits),
             memo_misses: memo.as_ref().map_or(0, |m| m.misses),
             memo_evictions: memo.as_ref().map_or(0, |m| m.evictions),
@@ -290,6 +380,20 @@ impl ServeStatsSnapshot {
         gauge("serve_control_total", self.control as f64);
         gauge("serve_coalesced_total", self.coalesced as f64);
         gauge("serve_singleflight_total", self.singleflight as f64);
+        gauge("serve_deadline_expired_total", self.deadline_expired as f64);
+        gauge("serve_panics_caught_total", self.panics_caught as f64);
+        gauge("serve_wal_appends_total", self.wal_appends as f64);
+        gauge(
+            "serve_wal_append_errors_total",
+            self.wal_append_errors as f64,
+        );
+        gauge("serve_wal_replayed_total", self.wal_replayed as f64);
+        gauge("serve_idle_reaped_total", self.idle_reaped as f64);
+        gauge("serve_recovered_records", self.recovered_records as f64);
+        gauge(
+            "serve_recovered_bytes_truncated",
+            self.recovered_bytes_truncated as f64,
+        );
         gauge("serve_batches_total", self.batches as f64);
         gauge("serve_avg_batch", self.avg_batch);
         gauge("serve_queue_depth", self.queue_depth as f64);

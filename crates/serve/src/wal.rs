@@ -1,0 +1,265 @@
+//! Serve-side write-ahead log: crash durability for acknowledged writes.
+//!
+//! The batcher owns the cache in memory and only snapshots it on `Save` or
+//! graceful shutdown — a `kill -9` between snapshots would silently drop
+//! every acknowledged insert since the last one. The [`ServeWal`] closes
+//! that window: each `Insert`/`Flush` is appended (and fsynced per the
+//! configured [`FsyncPolicy`]) *before* its ticket resolves, so an
+//! acknowledged write survives a crash. On restart the server replays the
+//! WAL on top of the loaded snapshot, then truncates it once the next
+//! snapshot lands (the snapshot now covers everything the WAL held).
+//!
+//! The on-disk format is the checksummed [`FramedLog`] from `mc-store`:
+//! torn tails self-truncate on open, so a crash mid-append loses at most
+//! the one un-synced record being written — never the log.
+
+use std::path::{Path, PathBuf};
+
+use mc_store::{FramedLog, FsyncPolicy, RecoveryStats, StoreError};
+
+use crate::protocol::{put_str, put_strs, Cursor};
+
+/// Record kind: one acknowledged `Insert { query, response, context }`.
+const OP_INSERT: u8 = 1;
+/// Record kind: one acknowledged `Flush` (drops everything before it).
+const OP_FLUSH: u8 = 2;
+
+/// One logical operation replayed from the WAL, in append order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Re-apply this insert on top of the loaded snapshot.
+    Insert {
+        /// The query text.
+        query: String,
+        /// The cached response.
+        response: String,
+        /// Conversation context, most recent turn last.
+        context: Vec<String>,
+    },
+    /// The cache was flushed here: discard every earlier replayed op.
+    Flush,
+}
+
+/// The WAL's path for a given persist path: `<persist_path>.wal` (extension
+/// appended, not replaced, so `cache.bin` and `cache.wal` never collide).
+pub fn wal_path(persist_path: &Path) -> PathBuf {
+    let mut os = persist_path.as_os_str().to_os_string();
+    os.push(".wal");
+    PathBuf::from(os)
+}
+
+/// The serve operation log. A thin typed layer over [`FramedLog`]: encoding
+/// reuses the wire protocol's length-prefixed string codec, durability and
+/// torn-tail recovery are the framed log's.
+#[derive(Debug)]
+pub struct ServeWal {
+    log: FramedLog,
+}
+
+impl ServeWal {
+    /// Opens (or creates) the WAL at `path`, returning the ops to replay on
+    /// top of the snapshot and what recovery dropped.
+    ///
+    /// A `Flush` record discards the ops before it during decode, mirroring
+    /// what replay would do anyway — callers apply the returned ops in
+    /// order without special-casing.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on filesystem failures, [`StoreError::Corrupt`]
+    /// when a checksum-valid record fails to decode (version skew — the
+    /// checksum rules out disk damage).
+    pub fn open(
+        path: impl AsRef<Path>,
+        policy: FsyncPolicy,
+    ) -> Result<(Self, Vec<WalOp>, RecoveryStats), StoreError> {
+        let (log, records, stats) = FramedLog::open(path, policy)?;
+        let mut ops = Vec::with_capacity(records.len());
+        for record in records {
+            match record.kind {
+                OP_INSERT => {
+                    let mut cursor = Cursor::new(&record.payload);
+                    let op = (|| -> Result<WalOp, crate::protocol::ProtocolError> {
+                        let query = cursor.str()?;
+                        let response = cursor.str()?;
+                        let context = cursor.strs()?;
+                        cursor.finish()?;
+                        Ok(WalOp::Insert {
+                            query,
+                            response,
+                            context,
+                        })
+                    })()
+                    .map_err(|e| {
+                        StoreError::Corrupt(format!("WAL insert record failed to decode: {e}"))
+                    })?;
+                    ops.push(op);
+                }
+                OP_FLUSH => {
+                    // Everything before the flush is gone; replaying it
+                    // would only be re-evicted.
+                    ops.clear();
+                }
+                other => {
+                    return Err(StoreError::Corrupt(format!(
+                        "WAL record has unknown kind {other}"
+                    )));
+                }
+            }
+        }
+        Ok((Self { log }, ops, stats))
+    }
+
+    /// Appends one acknowledged insert. Fsyncs per the open policy.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the append or sync fails.
+    pub fn append_insert(
+        &mut self,
+        query: &str,
+        response: &str,
+        context: &[String],
+    ) -> Result<(), StoreError> {
+        let mut payload = Vec::with_capacity(12 + query.len() + response.len());
+        put_str(&mut payload, query);
+        put_str(&mut payload, response);
+        put_strs(&mut payload, context);
+        self.log.append(OP_INSERT, &payload)
+    }
+
+    /// Appends one acknowledged flush. Fsyncs per the open policy.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the append or sync fails.
+    pub fn append_flush(&mut self) -> Result<(), StoreError> {
+        self.log.append(OP_FLUSH, &[])
+    }
+
+    /// Truncates the WAL back to empty — called right after a snapshot
+    /// lands, which now covers everything the WAL held.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the truncate fails.
+    pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.log.reset()
+    }
+
+    /// Forces buffered appends to disk regardless of policy.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the fsync fails.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.log.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mc_serve_wal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let unique = format!(
+            "{name}_{}_{}.wal",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        );
+        dir.join(unique)
+    }
+
+    fn insert(q: &str) -> WalOp {
+        WalOp::Insert {
+            query: q.into(),
+            response: format!("{q}-response"),
+            context: vec!["turn one".into()],
+        }
+    }
+
+    fn append(wal: &mut ServeWal, op: &WalOp) {
+        match op {
+            WalOp::Insert {
+                query,
+                response,
+                context,
+            } => wal.append_insert(query, response, context).unwrap(),
+            WalOp::Flush => wal.append_flush().unwrap(),
+        }
+    }
+
+    #[test]
+    fn ops_replay_in_append_order() {
+        let path = temp_path("t");
+        let ops = vec![insert("a"), insert("b"), insert("c")];
+        {
+            let (mut wal, replayed, _) = ServeWal::open(&path, FsyncPolicy::Always).unwrap();
+            assert!(replayed.is_empty());
+            for op in &ops {
+                append(&mut wal, op);
+            }
+        }
+        let (_, replayed, stats) = ServeWal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(replayed, ops);
+        assert_eq!(stats.records_replayed, 3);
+        assert_eq!(stats.bytes_truncated, 0);
+    }
+
+    #[test]
+    fn flush_discards_everything_before_it() {
+        let path = temp_path("t");
+        {
+            let (mut wal, _, _) = ServeWal::open(&path, FsyncPolicy::Always).unwrap();
+            append(&mut wal, &insert("gone"));
+            append(&mut wal, &WalOp::Flush);
+            append(&mut wal, &insert("kept"));
+        }
+        let (_, replayed, _) = ServeWal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(replayed, vec![insert("kept")]);
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = temp_path("t");
+        {
+            let (mut wal, _, _) = ServeWal::open(&path, FsyncPolicy::Always).unwrap();
+            append(&mut wal, &insert("snapshotted"));
+            wal.reset().unwrap();
+            append(&mut wal, &insert("after"));
+        }
+        let (_, replayed, _) = ServeWal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(replayed, vec![insert("after")]);
+    }
+
+    #[test]
+    fn torn_tail_loses_only_the_last_record() {
+        use std::fs::OpenOptions;
+        let path = temp_path("t");
+        {
+            let (mut wal, _, _) = ServeWal::open(&path, FsyncPolicy::Always).unwrap();
+            append(&mut wal, &insert("durable"));
+            append(&mut wal, &insert("torn"));
+        }
+        let full = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(full - 3)
+            .unwrap();
+        let (_, replayed, stats) = ServeWal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(replayed, vec![insert("durable")]);
+        assert_eq!(stats.records_replayed, 1);
+        assert!(stats.bytes_truncated > 0);
+    }
+
+    #[test]
+    fn wal_path_appends_the_extension() {
+        assert_eq!(
+            wal_path(Path::new("/tmp/cache.bin")),
+            PathBuf::from("/tmp/cache.bin.wal")
+        );
+        assert_eq!(wal_path(Path::new("snap")), PathBuf::from("snap.wal"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Kill-9 crash-recovery integration test: SIGKILL the real `serve`
+//! binary mid-write-load, restart it against the same `--persist` path,
+//! and assert that every *acknowledged* insert survived.
+//!
+//! The durability contract under test: with `--fsync always`, an insert
+//! is acknowledged only after its WAL record is written **and** fsynced,
+//! so a SIGKILL at any moment may lose un-acked tail writes but never an
+//! acked one — and recovery must never load a corrupted entry.
+//!
+//! Iteration count comes from `CRASH_ITERS` (default 3 locally; CI runs
+//! 20). Each iteration prints a recovery report line that CI captures as
+//! an artifact.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, SystemTime};
+
+use mc_serve::Client;
+
+/// Scratch directory unique to this process + call site (no tempfile
+/// crate in the workspace).
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mc_serve_crash_{tag}_{}_{nanos}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("crash-test scratch dir");
+    dir
+}
+
+/// Spawns the `serve` binary on an ephemeral port and parses the bound
+/// address off its startup banner.
+fn spawn_serve(persist: &Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+            "--persist",
+            persist.to_str().expect("utf-8 persist path"),
+            "--fsync",
+            "always",
+            "--batch-wait-us",
+            "100",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn serve binary");
+    let stdout = child.stdout.take().expect("serve stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before printing its banner")
+            .expect("read serve stdout");
+        // "mc-serve listening on 127.0.0.1:NNNNN (...)"
+        if let Some(rest) = line.strip_prefix("mc-serve listening on ") {
+            let addr = rest.split_whitespace().next().expect("addr token");
+            break addr.parse().expect("parse bound address");
+        }
+    };
+    // Keep draining stdout in the background so the child never blocks on
+    // a full pipe.
+    std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+    (child, addr)
+}
+
+fn query_for(i: usize) -> String {
+    format!("crash recovery topic number {i} with some distinct words")
+}
+
+fn response_for(i: usize) -> String {
+    format!("durable response {i}")
+}
+
+/// One crash cycle: load inserts, SIGKILL mid-stream, restart, verify.
+/// Returns (acked, replayed, truncated) for the recovery report.
+fn crash_cycle(iter: u32, kill_after_ms: u64) -> (usize, u64, u64) {
+    let dir = temp_dir(&format!("iter{iter}"));
+    let persist = dir.join("cache.log");
+
+    let (mut child, addr) = spawn_serve(&persist);
+    let mut client = Client::connect(addr).expect("connect to serve");
+
+    // Killer fires mid-load; varying the delay per iteration moves the
+    // kill point across the insert stream.
+    let killer = {
+        let pid = child.id();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(kill_after_ms));
+            // SIGKILL via the child handle is racy to share; signal by pid.
+            let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+        })
+    };
+
+    // Insert until the connection dies under us. Every Ok(_) is an
+    // acknowledged write the restart must preserve.
+    let mut acked = 0usize;
+    for i in 0..5_000 {
+        match client.insert(&query_for(i), &response_for(i), &[]) {
+            Ok(_) => acked = i + 1,
+            Err(_) => break,
+        }
+    }
+    killer.join().expect("killer thread");
+    let status = child.wait().expect("reap killed serve");
+    assert!(
+        !status.success(),
+        "serve must have died from SIGKILL, not exited cleanly"
+    );
+
+    // Restart against the same persist path: WAL replay must restore
+    // every acknowledged insert, with the original response text.
+    let (mut child, addr) = spawn_serve(&persist);
+    let mut client = Client::connect(addr).expect("connect after restart");
+    let stats = client.stats().expect("stats after restart");
+    assert!(
+        stats.wal_replayed >= acked as u64,
+        "restart replayed {} WAL ops but {} inserts were acknowledged",
+        stats.wal_replayed,
+        acked
+    );
+    let probes: Vec<(String, Vec<String>)> =
+        (0..acked).map(|i| (query_for(i), Vec::new())).collect();
+    if !probes.is_empty() {
+        let outcomes = client
+            .lookup_pipelined(&probes)
+            .expect("post-recovery lookups");
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let hit = outcome
+                .hit()
+                .unwrap_or_else(|| panic!("acked insert {i} lost after crash recovery"));
+            assert_eq!(
+                hit.response,
+                response_for(i),
+                "acked insert {i} came back corrupted"
+            );
+        }
+    }
+    let (replayed, truncated) = (stats.wal_replayed, stats.recovered_bytes_truncated);
+    client.shutdown_server().expect("graceful shutdown");
+    let status = child.wait().expect("reap restarted serve");
+    assert!(status.success(), "restarted serve must shut down cleanly");
+    std::fs::remove_dir_all(&dir).ok();
+    (acked, replayed, truncated)
+}
+
+#[test]
+fn sigkill_mid_load_loses_no_acknowledged_insert() {
+    let iters: u32 = std::env::var("CRASH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    for iter in 0..iters {
+        // Sweep the kill point from "almost immediately" to "well into
+        // the load" across iterations.
+        let kill_after_ms = 30 + 40 * u64::from(iter % 5);
+        let (acked, replayed, truncated) = crash_cycle(iter, kill_after_ms);
+        println!(
+            "recovery-report iter={iter} kill_after_ms={kill_after_ms} \
+             acked={acked} wal_replayed={replayed} bytes_truncated={truncated}"
+        );
+    }
+}

@@ -7,7 +7,8 @@ use std::time::Duration;
 
 use mc_embedder::{ModelProfile, QueryEncoder};
 use mc_serve::{
-    Client, ClientError, ServeConfig, ServePipeline, ServeReply, ServeRequest, Server, SubmitError,
+    Client, ClientError, ErrorCode, ServeConfig, ServePipeline, ServeReply, ServeRequest, Server,
+    SubmitError,
 };
 use meancache::{MeanCacheConfig, SemanticCache, ShardedCache};
 
@@ -96,7 +97,8 @@ fn batched_responses_equal_sequential_lookups_in_submission_order() {
             max_wait: Duration::from_millis(20),
             ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
     let tickets: Vec<_> = probes
         .iter()
         .map(|(q, ctx)| {
@@ -143,7 +145,8 @@ fn bounded_queue_sheds_under_a_slow_consumer() {
             batch_delay: Duration::from_millis(30),
             ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
     let mut accepted = Vec::new();
     let mut shed = 0;
     for i in 0..64 {
@@ -173,16 +176,19 @@ fn bounded_queue_sheds_under_a_slow_consumer() {
 /// resolved, and submissions after it fail with `ShutDown`.
 #[test]
 fn graceful_shutdown_drains_in_flight_requests() {
-    let pipeline = Arc::new(ServePipeline::start(
-        cache(2),
-        &ServeConfig {
-            max_batch: 4,
-            max_wait: Duration::ZERO,
-            queue_capacity: 1024,
-            batch_delay: Duration::from_millis(2), // keep a backlog alive
-            ..ServeConfig::default()
-        },
-    ));
+    let pipeline = Arc::new(
+        ServePipeline::start(
+            cache(2),
+            &ServeConfig {
+                max_batch: 4,
+                max_wait: Duration::ZERO,
+                queue_capacity: 1024,
+                batch_delay: Duration::from_millis(2), // keep a backlog alive
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap(),
+    );
     let tickets: Vec<_> = (0..100)
         .map(|i| {
             pipeline
@@ -248,9 +254,15 @@ fn client_server_round_trip_over_localhost() {
         2 * probes.len() as u64
     );
     client.set_threshold(0.95).unwrap();
+    // A bad request comes back as a classified, non-retryable failure
+    // frame — and the connection survives it (the flush below reuses it).
     assert!(matches!(
         client.set_threshold(2.0),
-        Err(ClientError::Server(_))
+        Err(ClientError::Rejected {
+            code: ErrorCode::BadRequest,
+            retryable: false,
+            ..
+        })
     ));
     let flushed = client.flush().unwrap();
     assert_eq!(flushed, inserts.len() as u64);
@@ -337,7 +349,7 @@ fn server_shutdown_answers_in_flight_wire_requests() {
 #[test]
 fn set_routing_reshards_in_place_without_losing_entries() {
     use meancache::RoutingMode;
-    let pipeline = ServePipeline::start(cache(4), &ServeConfig::default());
+    let pipeline = ServePipeline::start(cache(4), &ServeConfig::default()).unwrap();
     for i in 0..20 {
         let reply = pipeline
             .submit(ServeRequest::Insert {
@@ -406,10 +418,10 @@ fn save_command_persists_and_restores_through_the_pipeline() {
     let path = dir.join("cache.log");
 
     // Without a persist path, Save fails loudly.
-    let unpersisted = ServePipeline::start(cache(2), &ServeConfig::default());
+    let unpersisted = ServePipeline::start(cache(2), &ServeConfig::default()).unwrap();
     assert!(matches!(
         unpersisted.submit(ServeRequest::Save).unwrap().wait(),
-        ServeReply::Failed(_)
+        ServeReply::Failed { .. }
     ));
     unpersisted.shutdown();
 
@@ -417,7 +429,7 @@ fn save_command_persists_and_restores_through_the_pipeline() {
         persist_path: Some(path.clone()),
         ..ServeConfig::default()
     };
-    let pipeline = ServePipeline::start(cache(3), &config);
+    let pipeline = ServePipeline::start(cache(3), &config).unwrap();
     for i in 0..12 {
         pipeline
             .submit(ServeRequest::Insert {
@@ -438,7 +450,7 @@ fn save_command_persists_and_restores_through_the_pipeline() {
     let encoder = QueryEncoder::new(ModelProfile::tiny(), SEED).unwrap();
     let restored = meancache::persist::load_sharded_cache_with_config(encoder, &path).unwrap();
     assert_eq!(restored.len(), 12);
-    let pipeline = ServePipeline::start(restored, &ServeConfig::default());
+    let pipeline = ServePipeline::start(restored, &ServeConfig::default()).unwrap();
     let reply = pipeline
         .submit(ServeRequest::Lookup {
             query: "persisted serving subject 7".into(),

@@ -2,76 +2,164 @@
 //!
 //! Plays the role DiskCache plays in the paper's implementation: the user's
 //! local cache must survive application restarts. Records are appended to a
-//! binary log; opening the store replays the log to rebuild the in-memory
-//! view. A truncated trailing record (e.g. after a crash mid-write) is
-//! detected and ignored, so the store is always recoverable.
+//! checksummed binary log ([`crate::wal`]); opening the store replays the
+//! log to rebuild the in-memory view. A torn trailing record (e.g. after a
+//! crash mid-write) is detected by its CRC32, truncated off the file, and
+//! reported in [`RecoveryStats`], so the store is always recoverable and
+//! never loads a corrupted entry.
 //!
 //! ## Record layout
 //!
-//! Every record is length-prefixed:
+//! The file starts with the [`wal::MAGIC`] header; every record is framed
+//! as `[u32 frame_len][u32 crc32][u8 kind][payload]`:
 //!
 //! ```text
-//! [u32 payload_len][u8 kind][payload ...]
 //! kind = 1 (Insert): [u64 id][u32 q_len][query][u32 r_len][response]
 //!                    [u8 has_parent][u64 parent][u64 inserted_at]
 //!                    [u64 last_access][u64 hits][u32 dims][f32 * dims]
 //! kind = 2 (Remove): [u64 id]
 //! kind = 3 (Touch):  [u64 id][u64 last_access][u64 hits]
+//! kind = 127 (Footer): [u64 record_count] — written by `compact()`;
+//!                    replay cross-checks the count against what it saw.
 //! ```
+//!
+//! Logs written before the framed format (no magic header) are detected on
+//! open, replayed with the legacy tolerant parser, and rewritten in place
+//! as a framed snapshot — a one-time migration.
+//!
+//! Durability is governed by [`FsyncPolicy`] (see
+//! [`DiskStore::open_with_policy`]); the default `Never` matches the
+//! historical flush-only behaviour.
 
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
+use std::fs::File;
 use std::io::{BufReader, Read, Write};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mc_tensor::Vector;
 
+use crate::wal::{self, FramedLog, FsyncPolicy, RecoveryStats};
 use crate::{CacheEntry, Result, StoreError};
 
 const KIND_INSERT: u8 = 1;
 const KIND_REMOVE: u8 = 2;
 const KIND_TOUCH: u8 = 3;
+const KIND_FOOTER: u8 = 127;
 
 /// A persistent, crash-tolerant store of cache entries.
 #[derive(Debug)]
 pub struct DiskStore {
-    path: PathBuf,
-    file: File,
+    log: FramedLog,
     entries: BTreeMap<u64, CacheEntry>,
+    recovery: RecoveryStats,
 }
 
 impl DiskStore {
     /// Opens (or creates) the store backed by the log file at `path`,
-    /// replaying any existing records.
+    /// replaying any existing records. Uses [`FsyncPolicy::Never`]
+    /// (flush-only) durability; see [`DiskStore::open_with_policy`].
     ///
     /// # Errors
-    /// Returns [`StoreError::Io`] on filesystem failures. Corrupt trailing
-    /// data is tolerated; corrupt *interior* data stops the replay at the
-    /// last consistent record.
+    /// Returns [`StoreError::Io`] on filesystem failures and
+    /// [`StoreError::Corrupt`] when checksum-valid interior records fail to
+    /// decode. A torn or bit-flipped tail is not an error: replay recovers
+    /// the valid prefix, truncates the rest, and reports it in
+    /// [`DiskStore::recovery_stats`].
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_policy(path, FsyncPolicy::Never)
+    }
+
+    /// Opens the store with an explicit fsync policy for appends.
+    ///
+    /// # Errors
+    /// See [`DiskStore::open`].
+    pub fn open_with_policy(path: impl AsRef<Path>, policy: FsyncPolicy) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let entries = if path.exists() {
-            Self::replay(&path)?
-        } else {
-            BTreeMap::new()
-        };
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if !wal::is_framed(&path)? {
+            // Pre-framing log: replay with the legacy parser, then rewrite
+            // the file as a framed snapshot (one-time migration).
+            let (entries, recovery) = Self::replay_legacy(&path)?;
+            write_snapshot(&path, entries.values())?;
+            let log = FramedLog::attach(&path, policy)?;
+            return Ok(Self {
+                log,
+                entries,
+                recovery,
+            });
+        }
+        let (log, records, recovery) = FramedLog::open(&path, policy)?;
+        let mut entries = BTreeMap::new();
+        let mut seen: u64 = 0;
+        for record in records {
+            let mut payload = record.payload;
+            match record.kind {
+                KIND_INSERT => {
+                    let entry = decode_insert(&mut payload)?;
+                    entries.insert(entry.id, entry);
+                }
+                KIND_REMOVE => {
+                    if payload.remaining() < 8 {
+                        return Err(StoreError::Corrupt("remove record too short".into()));
+                    }
+                    let id = payload.get_u64_le();
+                    entries.remove(&id);
+                }
+                KIND_TOUCH => {
+                    if payload.remaining() < 24 {
+                        return Err(StoreError::Corrupt("touch record too short".into()));
+                    }
+                    let id = payload.get_u64_le();
+                    let last_access = payload.get_u64_le();
+                    let hits = payload.get_u64_le();
+                    if let Some(e) = entries.get_mut(&id) {
+                        e.last_access = last_access;
+                        e.hits = hits;
+                    }
+                }
+                KIND_FOOTER => {
+                    if payload.remaining() < 8 {
+                        return Err(StoreError::Corrupt("snapshot footer too short".into()));
+                    }
+                    let count = payload.get_u64_le();
+                    if count != seen {
+                        return Err(StoreError::Corrupt(format!(
+                            "snapshot footer expects {count} records, replay saw {seen}"
+                        )));
+                    }
+                    continue;
+                }
+                other => {
+                    return Err(StoreError::Corrupt(format!("unknown record kind {other}")));
+                }
+            }
+            seen += 1;
+        }
         Ok(Self {
-            path,
-            file,
+            log,
             entries,
+            recovery,
         })
     }
 
     /// Path of the backing log file.
     pub fn path(&self) -> &Path {
-        &self.path
+        self.log.path()
+    }
+
+    /// What the last [`DiskStore::open`] replayed and truncated.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// The fsync policy appends run under.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.log.policy()
     }
 
     /// Number of live entries.
@@ -102,10 +190,11 @@ impl DiskStore {
     /// Appends an insert record and updates the in-memory view.
     ///
     /// # Errors
-    /// Returns [`StoreError::Io`] on write failure.
+    /// Returns [`StoreError::Io`] on write failure; the in-memory view is
+    /// left unchanged in that case.
     pub fn insert(&mut self, entry: CacheEntry) -> Result<()> {
         let record = encode_insert(&entry);
-        self.append(KIND_INSERT, &record)?;
+        self.log.append(KIND_INSERT, &record)?;
         self.entries.insert(entry.id, entry);
         Ok(())
     }
@@ -114,15 +203,20 @@ impl DiskStore {
     ///
     /// # Errors
     /// Returns [`StoreError::NotFound`] when the id is unknown and
-    /// [`StoreError::Io`] on write failure.
+    /// [`StoreError::Io`] on write failure (the entry stays in the store).
     pub fn remove(&mut self, id: u64) -> Result<CacheEntry> {
-        if !self.entries.contains_key(&id) {
+        let Some(entry) = self.entries.remove(&id) else {
             return Err(StoreError::NotFound(id));
-        }
+        };
         let mut payload = BytesMut::with_capacity(8);
         payload.put_u64_le(id);
-        self.append(KIND_REMOVE, &payload.freeze())?;
-        Ok(self.entries.remove(&id).expect("presence checked above"))
+        if let Err(e) = self.log.append(KIND_REMOVE, &payload.freeze()) {
+            // Failed to persist the removal: keep the in-memory view
+            // consistent with the log rather than diverging.
+            self.entries.insert(id, entry);
+            return Err(e);
+        }
+        Ok(entry)
     }
 
     /// Records an access (hit) for `id`, persisting the updated metadata.
@@ -138,30 +232,27 @@ impl DiskStore {
         payload.put_u64_le(entry.last_access);
         payload.put_u64_le(entry.hits);
         let bytes = payload.freeze();
-        self.append(KIND_TOUCH, &bytes)
+        self.log.append(KIND_TOUCH, &bytes)
+    }
+
+    /// Forces every appended record to stable storage regardless of policy.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the sync fails.
+    pub fn sync(&mut self) -> Result<()> {
+        self.log.sync()
     }
 
     /// Rewrites the log so it contains exactly one insert per live entry
-    /// (dropping removed/touched history), shrinking the file.
+    /// (dropping removed/touched history) plus a checksummed footer,
+    /// shrinking the file.
     ///
     /// # Errors
     /// Returns [`StoreError::Io`] on filesystem failure.
     pub fn compact(&mut self) -> Result<()> {
-        let tmp_path = self.path.with_extension("compact");
-        {
-            let mut tmp = File::create(&tmp_path)?;
-            for entry in self.entries.values() {
-                let payload = encode_insert(entry);
-                let mut framed = BytesMut::with_capacity(payload.len() + 5);
-                framed.put_u32_le(payload.len() as u32 + 1);
-                framed.put_u8(KIND_INSERT);
-                framed.extend_from_slice(&payload);
-                tmp.write_all(&framed)?;
-            }
-            tmp.sync_all()?;
-        }
-        std::fs::rename(&tmp_path, &self.path)?;
-        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        let path = self.log.path().to_path_buf();
+        write_snapshot(&path, self.entries.values())?;
+        self.log = FramedLog::attach(&path, self.log.policy())?;
         Ok(())
     }
 
@@ -170,21 +261,15 @@ impl DiskStore {
     /// # Errors
     /// Returns [`StoreError::Io`] when the metadata cannot be read.
     pub fn log_bytes(&self) -> Result<u64> {
-        Ok(std::fs::metadata(&self.path)?.len())
+        self.log.len_bytes()
     }
 
-    fn append(&mut self, kind: u8, payload: &Bytes) -> Result<()> {
-        let mut framed = BytesMut::with_capacity(payload.len() + 5);
-        framed.put_u32_le(payload.len() as u32 + 1);
-        framed.put_u8(kind);
-        framed.extend_from_slice(payload);
-        self.file.write_all(&framed)?;
-        self.file.flush()?;
-        Ok(())
-    }
-
-    fn replay(path: &Path) -> Result<BTreeMap<u64, CacheEntry>> {
+    /// Tolerant replay of a pre-framing log: `[u32 len][u8 kind][payload]`
+    /// with no checksums. Stops at the first truncated or undecodable
+    /// record (indistinguishable from a torn tail without CRCs).
+    fn replay_legacy(path: &Path) -> Result<(BTreeMap<u64, CacheEntry>, RecoveryStats)> {
         let mut entries = BTreeMap::new();
+        let mut stats = RecoveryStats::default();
         let mut reader = BufReader::new(File::open(path)?);
         let mut raw = Vec::new();
         reader.read_to_end(&mut raw)?;
@@ -192,43 +277,85 @@ impl DiskStore {
         while buf.remaining() >= 5 {
             let len = (&buf[..4]).get_u32_le() as usize;
             if buf.remaining() < 4 + len || len == 0 {
-                // Truncated trailing record (crash mid-write): stop replaying.
                 break;
             }
-            buf.advance(4);
-            let mut record = buf.split_to(len);
+            let mut record = buf.clone();
+            record.advance(4);
+            let mut record = record.split_to(len);
             let kind = record.get_u8();
-            match kind {
+            let ok = match kind {
                 KIND_INSERT => match decode_insert(&mut record) {
                     Ok(entry) => {
                         entries.insert(entry.id, entry);
+                        true
                     }
-                    Err(_) => break,
+                    Err(_) => false,
                 },
                 KIND_REMOVE => {
                     if record.remaining() < 8 {
-                        break;
+                        false
+                    } else {
+                        let id = record.get_u64_le();
+                        entries.remove(&id);
+                        true
                     }
-                    let id = record.get_u64_le();
-                    entries.remove(&id);
                 }
                 KIND_TOUCH => {
                     if record.remaining() < 24 {
-                        break;
-                    }
-                    let id = record.get_u64_le();
-                    let last_access = record.get_u64_le();
-                    let hits = record.get_u64_le();
-                    if let Some(e) = entries.get_mut(&id) {
-                        e.last_access = last_access;
-                        e.hits = hits;
+                        false
+                    } else {
+                        let id = record.get_u64_le();
+                        let last_access = record.get_u64_le();
+                        let hits = record.get_u64_le();
+                        if let Some(e) = entries.get_mut(&id) {
+                            e.last_access = last_access;
+                            e.hits = hits;
+                        }
+                        true
                     }
                 }
-                _ => break,
+                _ => false,
+            };
+            if !ok {
+                break;
+            }
+            buf.advance(4 + len);
+            stats.records_replayed += 1;
+        }
+        stats.bytes_truncated = buf.remaining() as u64;
+        Ok((entries, stats))
+    }
+}
+
+/// Atomically rewrites `path` as a framed snapshot: magic header, one
+/// insert per entry, and a footer carrying the record count. Writes to a
+/// temp file, fsyncs it, renames over `path`, then fsyncs the directory.
+fn write_snapshot<'a>(path: &Path, entries: impl Iterator<Item = &'a CacheEntry>) -> Result<()> {
+    let tmp_path = path.with_extension("compact");
+    let mut buf = Vec::with_capacity(4096);
+    buf.extend_from_slice(wal::MAGIC);
+    let mut count: u64 = 0;
+    for entry in entries {
+        wal::frame_record(&mut buf, KIND_INSERT, &encode_insert(entry));
+        count += 1;
+    }
+    wal::frame_record(&mut buf, KIND_FOOTER, &count.to_le_bytes());
+    {
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(&buf)?;
+        tmp.sync_all()?;
+    }
+    std::fs::rename(&tmp_path, path)?;
+    // Persist the rename itself (directory entry) where the platform
+    // supports opening directories; best-effort elsewhere.
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = File::open(parent) {
+                dir.sync_all().ok();
             }
         }
-        Ok(entries)
     }
+    Ok(())
 }
 
 fn encode_insert(entry: &CacheEntry) -> Bytes {
@@ -303,6 +430,9 @@ fn decode_insert(buf: &mut Bytes) -> Result<CacheEntry> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::failpoints;
+    use std::fs::OpenOptions;
+    use std::path::PathBuf;
 
     fn temp_path(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("mc_store_disk_tests");
@@ -340,6 +470,8 @@ mod tests {
         }
         let store = DiskStore::open(&path).unwrap();
         assert_eq!(store.len(), 2);
+        assert_eq!(store.recovery_stats().records_replayed, 2);
+        assert_eq!(store.recovery_stats().bytes_truncated, 0);
         let e2 = store.get(2).unwrap();
         assert_eq!(e2.parent, Some(1));
         assert_eq!(e2.query, "query number 2");
@@ -385,6 +517,69 @@ mod tests {
         }
         let store = DiskStore::open(&path).unwrap();
         assert_eq!(store.len(), 2, "intact prefix must still be recovered");
+        assert_eq!(store.recovery_stats().bytes_truncated, 8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_interior_byte_recovers_the_prefix() {
+        let path = temp_path("interior");
+        {
+            let mut store = DiskStore::open(&path).unwrap();
+            for i in 0..5 {
+                store.insert(entry(i, None)).unwrap();
+            }
+        }
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let store = DiskStore::open(&path).unwrap();
+        // Whatever survived must be an exact prefix of what was written.
+        assert!(store.len() < 5);
+        for e in store.iter() {
+            assert_eq!(e.query, format!("query number {}", e.id));
+        }
+        assert!(store.recovery_stats().bytes_truncated > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_log_is_migrated_to_framed_format() {
+        let path = temp_path("legacy");
+        // Write a legacy (unframed, no-CRC) log by hand: two inserts, one
+        // touch, plus a torn tail.
+        {
+            let mut f = File::create(&path).unwrap();
+            for e in [entry(1, None), entry(2, Some(1))] {
+                let payload = encode_insert(&e);
+                let mut framed = BytesMut::new();
+                framed.put_u32_le(payload.len() as u32 + 1);
+                framed.put_u8(KIND_INSERT);
+                framed.extend_from_slice(&payload);
+                f.write_all(&framed).unwrap();
+            }
+            let mut touch = BytesMut::new();
+            touch.put_u32_le(25);
+            touch.put_u8(KIND_TOUCH);
+            touch.put_u64_le(1);
+            touch.put_u64_le(777);
+            touch.put_u64_le(9);
+            f.write_all(&touch).unwrap();
+            f.write_all(&[44, 0, 0, 0, KIND_INSERT, 9, 9]).unwrap();
+        }
+        let store = DiskStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(1).unwrap().last_access, 777);
+        assert_eq!(store.get(1).unwrap().hits, 9);
+        assert_eq!(store.recovery_stats().records_replayed, 3);
+        assert_eq!(store.recovery_stats().bytes_truncated, 7);
+        drop(store);
+        // The file is now framed; reopening goes through the CRC path.
+        assert!(wal::is_framed(&path).unwrap());
+        let store = DiskStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(2).unwrap().parent, Some(1));
         std::fs::remove_file(&path).ok();
     }
 
@@ -416,6 +611,72 @@ mod tests {
         assert_eq!(store.len(), 2);
         assert_eq!(store.get(19).unwrap().hits, 50);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_footer_mismatch_is_a_clean_error() {
+        let path = temp_path("footer");
+        {
+            let mut store = DiskStore::open(&path).unwrap();
+            store.insert(entry(1, None)).unwrap();
+            store.compact().unwrap();
+        }
+        // Append a second footer claiming a wrong count; its CRC is valid so
+        // only the count check can reject it.
+        {
+            let mut buf = Vec::new();
+            wal::frame_record(&mut buf, KIND_FOOTER, &99u64.to_le_bytes());
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&buf).unwrap();
+        }
+        assert!(matches!(
+            DiskStore::open(&path),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_remove_append_keeps_the_entry() {
+        let path = temp_path("failed_remove");
+        let tag = path.display().to_string();
+        let mut store = DiskStore::open(&path).unwrap();
+        store.insert(entry(1, None)).unwrap();
+        failpoints::set_scoped(
+            "wal.append",
+            &tag,
+            failpoints::FailAction::ErrorOnNth {
+                n: 1,
+                kind: std::io::ErrorKind::Other,
+            },
+        );
+        assert!(matches!(store.remove(1), Err(StoreError::Io(_))));
+        failpoints::clear("wal.append");
+        // The entry is still present and removable once writes work again.
+        assert!(store.get(1).is_some());
+        assert!(store.remove(1).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsync_policies_round_trip_appends() {
+        for policy in [
+            FsyncPolicy::Always,
+            FsyncPolicy::EveryN(2),
+            FsyncPolicy::Never,
+        ] {
+            let path = temp_path("policy");
+            let mut store = DiskStore::open_with_policy(&path, policy).unwrap();
+            assert_eq!(store.fsync_policy(), policy);
+            for i in 0..5 {
+                store.insert(entry(i, None)).unwrap();
+            }
+            store.sync().unwrap();
+            drop(store);
+            let store = DiskStore::open(&path).unwrap();
+            assert_eq!(store.len(), 5);
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]

@@ -44,12 +44,14 @@
 
 pub mod disk;
 pub mod entry;
+pub mod failpoints;
 pub mod flat;
 pub mod index;
 pub mod ivf;
 pub mod memstore;
 pub mod policy;
 pub mod rows;
+pub mod wal;
 
 pub use disk::DiskStore;
 pub use entry::CacheEntry;
@@ -59,6 +61,7 @@ pub use ivf::{IvfConfig, IvfIndex, MAX_NLIST};
 pub use memstore::MemoryStore;
 pub use policy::EvictionPolicy;
 pub use rows::{Quantization, RowStore};
+pub use wal::{FramedLog, FsyncPolicy, RecoveryStats};
 
 #[allow(deprecated)]
 pub use index::EmbeddingIndex;
