@@ -6,6 +6,7 @@
 //! bench_gate [--baseline BENCH_baseline.json] [--fresh BENCH_index.json]
 //!            [--tier 1000] [--tolerance 0.25] [--normalize]
 //! bench_gate --routing BENCH_routing.json
+//! bench_gate --restart BENCH_restart.json
 //! bench_gate --serve FRESH.json [--serve-baseline BENCH_serve.json]
 //!            [--tolerance 0.25] [--normalize]
 //! ```
@@ -53,8 +54,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mc_bench::{
-    IndexBenchReport, IndexBenchRow, RoutingBenchReport, RoutingBenchRow, ServeBenchReport,
-    ServeBenchRow,
+    IndexBenchReport, IndexBenchRow, RestartBenchReport, RoutingBenchReport, RoutingBenchRow,
+    ServeBenchReport, ServeBenchRow,
 };
 
 /// Key a row is matched across files by.
@@ -254,6 +255,100 @@ fn serve_gate(
     }
 }
 
+/// The restart-time gate (`--restart`): validates an `exp_restart` report's
+/// internal invariants, no committed baseline needed:
+///
+/// * **decision identity** — every row's snapshot-restored cache must have
+///   answered the probe workload exactly like the log-replayed cache. This
+///   is the correctness half of the snapshot tier; a single divergence
+///   fails the gate.
+/// * **speedup floors** — IVF rows (where replay pays incremental k-means
+///   retrains) must restore ≥ 40x faster than replay at the 100k+ tier and
+///   ≥ 10x below it; flat rows only need to stay within 2x of replay
+///   (≥ 0.5x), since a flat log replays in one pass and the snapshot's win
+///   there is modest by design. The committed `BENCH_restart.json` targets
+///   ≥ 50x at ivf-sq8/100k; the gate floor sits below the target so
+///   run-to-run replay noise on a loaded CI runner does not flake the
+///   build while a real regression (e.g. an accidental O(n^2) in restore)
+///   still fails at full factor.
+fn restart_gate(path: &PathBuf) -> ExitCode {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let report: RestartBenchReport = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+    if report.rows.is_empty() {
+        eprintln!("bench_gate: {} has no rows", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_gate: restart gate over {} ({}d, {} probes per cell)",
+        path.display(),
+        report.dims,
+        report.probes
+    );
+    let mut failures = Vec::new();
+    for row in &report.rows {
+        let floor = if row.index.starts_with("ivf") {
+            if row.entries >= 100_000 {
+                40.0
+            } else {
+                10.0
+            }
+        } else {
+            0.5
+        };
+        let identical = row.decision_identical;
+        let fast_enough = row.speedup >= floor;
+        println!(
+            "  {:<8} {:>8} entries  replay {:>8.1} ms  snapshot {:>7.2} ms  \
+             {:>6.1}x (floor {:>4.1}x)  identical: {}  {}",
+            row.index,
+            row.entries,
+            row.replay_ms,
+            row.snapshot_ms,
+            row.speedup,
+            floor,
+            identical,
+            if identical && fast_enough {
+                "ok"
+            } else {
+                "FAIL"
+            }
+        );
+        if !identical {
+            failures.push(format!(
+                "{} @ {} entries: snapshot restore diverged from log replay — \
+                 the restored cache answered the probe workload differently",
+                row.index, row.entries
+            ));
+        }
+        if !fast_enough {
+            failures.push(format!(
+                "{} @ {} entries: restore speedup {:.1}x below the {:.1}x floor \
+                 (replay {:.1} ms, snapshot {:.2} ms)",
+                row.index, row.entries, row.speedup, floor, row.replay_ms, row.snapshot_ms
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench_gate: PASS — {} restart row(s) decision-identical and above \
+             their speedup floors",
+            report.rows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: FAIL — {} restart regression(s):",
+            failures.len()
+        );
+        for failure in &failures {
+            eprintln!("  - {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 /// The routing hit-rate gate (`--routing`): validates an `exp_routing`
 /// report's mode ordering. See the module docs for what is checked and why
 /// it needs no baseline.
@@ -337,6 +432,7 @@ fn main() -> ExitCode {
     let mut tolerance = 0.25f64;
     let mut normalize = false;
     let mut routing_path: Option<PathBuf> = None;
+    let mut restart_path: Option<PathBuf> = None;
     let mut serve_fresh_path: Option<PathBuf> = None;
     let mut serve_baseline_path = PathBuf::from("BENCH_serve.json");
 
@@ -374,6 +470,10 @@ fn main() -> ExitCode {
                 i += 1;
                 routing_path = Some(PathBuf::from(args.get(i).expect("--routing needs a path")));
             }
+            "--restart" => {
+                i += 1;
+                restart_path = Some(PathBuf::from(args.get(i).expect("--restart needs a path")));
+            }
             "--serve" => {
                 i += 1;
                 serve_fresh_path = Some(PathBuf::from(args.get(i).expect("--serve needs a path")));
@@ -389,6 +489,7 @@ fn main() -> ExitCode {
                     "usage: bench_gate [--baseline PATH] [--fresh PATH] \
                      [--tier 1000] [--tolerance 0.25] [--normalize] \
                      | bench_gate --routing PATH \
+                     | bench_gate --restart PATH \
                      | bench_gate --serve PATH [--serve-baseline PATH] \
                      [--tolerance 0.25] [--normalize]"
                 );
@@ -400,6 +501,9 @@ fn main() -> ExitCode {
 
     if let Some(path) = routing_path {
         return routing_gate(&path);
+    }
+    if let Some(path) = restart_path {
+        return restart_gate(&path);
     }
     if let Some(path) = serve_fresh_path {
         return serve_gate(&path, &serve_baseline_path, tolerance, normalize);

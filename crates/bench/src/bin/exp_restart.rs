@@ -1,0 +1,71 @@
+//! Restart-time experiment: log-replay vs `MCSNAP01` snapshot restore for
+//! flat and IVF-SQ8 caches, emitting the machine-readable
+//! `BENCH_restart.json`.
+//!
+//! ```text
+//! exp_restart [--sizes 10000,100000] [--probes 200] [--quick]
+//!             [--json BENCH_restart.json | --no-json]
+//! ```
+//!
+//! `--quick` is the CI tier (smaller caches, same restore paths); the
+//! defaults reproduce the committed artifact. Gate the result with
+//! `bench_gate --restart BENCH_restart.json`.
+
+use std::path::PathBuf;
+
+use mc_store::IndexKind;
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![10_000, 100_000];
+    let mut probes = 200usize;
+    let mut json: Option<PathBuf> = Some(PathBuf::from("BENCH_restart.json"));
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sizes" => {
+                i += 1;
+                sizes = args
+                    .get(i)
+                    .expect("--sizes needs a comma-separated list")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sizes must be integers"))
+                    .collect();
+            }
+            "--probes" => {
+                i += 1;
+                probes = args
+                    .get(i)
+                    .expect("--probes needs a value")
+                    .parse()
+                    .expect("--probes must be an integer");
+            }
+            "--quick" => {
+                sizes = vec![2_000, 10_000];
+                probes = 100;
+            }
+            "--json" => {
+                i += 1;
+                json = Some(PathBuf::from(args.get(i).expect("--json needs a path")));
+            }
+            "--no-json" => json = None,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: exp_restart [--sizes N,N,...] [--probes N] [--quick] \
+                     [--json PATH | --no-json]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    mc_bench::run_restart_with(
+        &sizes,
+        &[IndexKind::flat(), IndexKind::ivf_sq8()],
+        probes,
+        json.as_deref(),
+    );
+}

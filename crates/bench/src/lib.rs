@@ -24,12 +24,14 @@
 
 pub mod concurrent;
 pub mod experiments;
+pub mod restart_bench;
 pub mod routing_bench;
 pub mod serve_bench;
 pub mod setup;
 
 pub use concurrent::*;
 pub use experiments::*;
+pub use restart_bench::*;
 pub use routing_bench::*;
 pub use serve_bench::*;
 pub use setup::*;

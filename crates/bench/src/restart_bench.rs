@@ -1,0 +1,271 @@
+//! Restart-time experiment: log-replay vs `MCSNAP01` snapshot restore,
+//! emitting `BENCH_restart.json`.
+//!
+//! The paper's cache lives on the user's device and must survive
+//! application restarts; how *fast* it comes back bounds how aggressively
+//! a client can be killed and relaunched. This experiment measures the two
+//! restore paths the persistence layer implements (see `docs/FORMAT.md`):
+//!
+//! * **log replay** — decode every `MCWAL001` insert record, re-insert and
+//!   re-index each entry (an IVF-backed cache also re-runs its incremental
+//!   k-means retrains as the index refills);
+//! * **snapshot restore** — `mmap` the `MCSNAP01` container, verify the
+//!   section checksums, and adopt the index arenas wholesale, with no
+//!   per-entry decode or re-index work.
+//!
+//! Both paths restore from the *same* save, and the harness asserts the
+//! two restored caches are **decision-identical**: every probe in a mixed
+//! cached + novel sample returns the same outcome from both. The committed
+//! `BENCH_restart.json` records the full tier; CI runs `--quick` and gates
+//! `bench_gate --restart` on the speedup floor and on decision identity.
+
+use std::path::Path;
+use std::time::Instant;
+
+use mc_embedder::{ModelProfile, QueryEncoder};
+use mc_metrics::Table;
+use mc_store::{CacheEntry, DiskStore, IndexKind};
+use meancache::persist::{load_cache_with_report, save_cache, snapshot_path};
+use meancache::{MeanCache, MeanCacheConfig, SemanticCache};
+
+use crate::setup::EXPERIMENT_SEED;
+
+/// One `(index kind, cache size)` configuration's measurement.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RestartBenchRow {
+    /// Index backend name (`flat` / `flat-sq8` / `ivf` / `ivf-sq8`).
+    pub index: String,
+    /// Cached entries restored.
+    pub entries: usize,
+    /// Entry-log size on disk.
+    pub log_bytes: u64,
+    /// `MCSNAP01` snapshot size on disk.
+    pub snapshot_bytes: u64,
+    /// Wall time of the save that wrote both artifacts (milliseconds).
+    pub save_ms: f64,
+    /// Wall time of a full log-replay restore (milliseconds).
+    pub replay_ms: f64,
+    /// Wall time of a snapshot restore (milliseconds).
+    pub snapshot_ms: f64,
+    /// `replay_ms / snapshot_ms` — the headline restart speedup.
+    pub speedup: f64,
+    /// Whether the two restored caches answered every sampled probe
+    /// identically (cached and novel probes alike).
+    pub decision_identical: bool,
+}
+
+/// Machine-readable output of [`run_restart_with`], persisted as
+/// `BENCH_restart.json`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RestartBenchReport {
+    /// Embedding dimensionality of the benchmarked encoder.
+    pub dims: usize,
+    /// Probes compared per row for the decision-identity check.
+    pub probes: usize,
+    /// One row per measured configuration.
+    pub rows: Vec<RestartBenchRow>,
+}
+
+/// Deterministic distinct query text for entry `i`.
+fn query_text(i: usize) -> String {
+    format!(
+        "restart benchmark subject {i} with stable phrasing {}",
+        i % 13
+    )
+}
+
+/// Measures one `(kind, size)` cell. The entry log is synthesised directly
+/// (the restore paths never re-encode, so encoding cost stays out of both
+/// measurements), replayed once to time the slow path, saved — which also
+/// writes the snapshot — and restored again to time the fast path.
+fn run_cell(
+    kind: &IndexKind,
+    entries: usize,
+    embeddings: &[mc_tensor::Vector],
+    encoder: &QueryEncoder,
+    probes: usize,
+    dir: &Path,
+) -> RestartBenchRow {
+    let config = MeanCacheConfig {
+        capacity: entries + 16,
+        ..MeanCacheConfig::default()
+            .with_threshold(0.7)
+            .with_index(kind.clone())
+    };
+    let template = || MeanCache::new(encoder.clone(), config.clone()).expect("valid bench config");
+    let path = dir.join(format!("restart_{}_{entries}.log", kind.name()));
+
+    // Synthesise the save's entry log: the state a previous run persisted.
+    let mut disk = DiskStore::open(&path).expect("open bench log");
+    for (i, embedding) in embeddings.iter().enumerate().take(entries) {
+        disk.insert(CacheEntry::new(
+            i as u64,
+            query_text(i),
+            format!("cached response {i}"),
+            embedding.clone(),
+            None,
+            i as u64,
+        ))
+        .expect("bench log insert");
+    }
+    disk.compact().expect("bench log compact");
+    drop(disk);
+
+    // Slow path: full log replay (no snapshot exists yet).
+    let started = Instant::now();
+    let (via_replay, report) =
+        load_cache_with_report(template(), &path).expect("replay restore succeeds");
+    let replay_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.snapshot_loaded, 0, "no snapshot may exist yet");
+
+    // The save a graceful shutdown performs: entry log + MCSNAP01 snapshot.
+    let started = Instant::now();
+    save_cache(&via_replay, &path).expect("bench save succeeds");
+    let save_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Fast path: mmap the snapshot, verify, adopt the arenas.
+    let started = Instant::now();
+    let (via_snapshot, report) =
+        load_cache_with_report(template(), &path).expect("snapshot restore succeeds");
+    let snapshot_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.snapshot_loaded, 1, "snapshot restore must engage");
+
+    // Decision identity over a mixed cached + novel probe sample.
+    let mut via_replay = via_replay;
+    let mut via_snapshot = via_snapshot;
+    let mut decision_identical = via_replay.len() == via_snapshot.len();
+    for p in 0..probes {
+        let query = if p % 4 == 3 {
+            format!("entirely novel restart probe {p} zzqx about nothing cached")
+        } else {
+            query_text((p * 7919) % entries)
+        };
+        if via_replay.lookup(&query, &[]) != via_snapshot.lookup(&query, &[]) {
+            decision_identical = false;
+        }
+    }
+
+    let log_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let snap = snapshot_path(&path);
+    let snapshot_bytes = std::fs::metadata(&snap).map(|m| m.len()).unwrap_or(0);
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&snap).ok();
+
+    RestartBenchRow {
+        index: kind.name().to_string(),
+        entries,
+        log_bytes,
+        snapshot_bytes,
+        save_ms,
+        replay_ms,
+        snapshot_ms,
+        speedup: replay_ms / snapshot_ms.max(1e-6),
+        decision_identical,
+    }
+}
+
+/// Runs the restart experiment over every `(kind, size)` combination,
+/// writing `BENCH_restart.json` to `json_path` when given.
+pub fn run_restart_with(
+    sizes: &[usize],
+    kinds: &[IndexKind],
+    probes: usize,
+    json_path: Option<&Path>,
+) -> RestartBenchReport {
+    let encoder = QueryEncoder::new(ModelProfile::tiny(), EXPERIMENT_SEED).expect("tiny profile");
+    let dims = encoder.output_dim();
+    let dir = std::env::temp_dir().join(format!("mc_restart_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    println!(
+        "restart experiment: sizes {sizes:?}, kinds {:?}, {dims}-d embeddings, {probes} \
+         identity probes per cell",
+        kinds.iter().map(IndexKind::name).collect::<Vec<_>>()
+    );
+
+    let mut rows = Vec::new();
+    let max_size = sizes.iter().copied().max().unwrap_or(0);
+    // Encode once at the largest size; every cell slices the same prefix.
+    let embeddings: Vec<mc_tensor::Vector> = (0..max_size)
+        .map(|i| encoder.encode(&query_text(i)))
+        .collect();
+    for &entries in sizes {
+        for kind in kinds {
+            let row = run_cell(kind, entries, &embeddings, &encoder, probes, &dir);
+            println!(
+                "  {:<8} {:>9} entries: replay {:>9.1} ms, snapshot {:>7.2} ms ({:>6.1}x), \
+                 identical: {}",
+                row.index,
+                row.entries,
+                row.replay_ms,
+                row.snapshot_ms,
+                row.speedup,
+                row.decision_identical
+            );
+            rows.push(row);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut table = Table::new(
+        "Restart: log replay vs MCSNAP01 snapshot restore".to_string(),
+        &[
+            "index",
+            "entries",
+            "log MB",
+            "snap MB",
+            "save ms",
+            "replay ms",
+            "snap ms",
+            "speedup",
+            "identical",
+        ],
+    );
+    for row in &rows {
+        table.add_row(&[
+            row.index.clone(),
+            format!("{}", row.entries),
+            format!("{:.1}", row.log_bytes as f64 / 1e6),
+            format!("{:.1}", row.snapshot_bytes as f64 / 1e6),
+            format!("{:.1}", row.save_ms),
+            format!("{:.1}", row.replay_ms),
+            format!("{:.2}", row.snapshot_ms),
+            format!("{:.1}x", row.speedup),
+            format!("{}", row.decision_identical),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let report = RestartBenchReport { dims, probes, rows };
+    if let Some(path) = json_path {
+        let json = serde_json::to_string(&report).expect("report serialises");
+        std::fs::write(path, json).expect("BENCH_restart.json is writable");
+        println!("wrote {}", path.display());
+    }
+    report
+}
+
+/// The full experiment at the committed-artifact configuration.
+pub fn run_restart() {
+    run_restart_with(
+        &[10_000, 100_000],
+        &[IndexKind::flat(), IndexKind::ivf_sq8()],
+        200,
+        Some(Path::new("BENCH_restart.json")),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_restart_run_is_decision_identical_and_restores_via_snapshot() {
+        let report = run_restart_with(&[300], &[IndexKind::flat(), IndexKind::ivf_sq8()], 60, None);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert!(row.decision_identical, "{}: restores must agree", row.index);
+            assert!(row.snapshot_bytes > 0, "{}: snapshot written", row.index);
+            assert!(row.replay_ms > 0.0 && row.snapshot_ms > 0.0);
+        }
+    }
+}

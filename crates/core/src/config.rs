@@ -69,6 +69,27 @@ pub struct MeanCacheConfig {
     /// serve-side operation WAL.
     #[serde(default)]
     pub fsync: FsyncPolicy,
+    /// Whether the persistence layer writes an `MCSNAP01` snapshot sidecar
+    /// (`<path>.snap`) next to the entry log on every save
+    /// ([`SnapshotPolicy::Enabled`], the default). Loading prefers the
+    /// snapshot — `mmap` + checksum + WAL-tail replay — and falls back to
+    /// full log replay when the snapshot is missing, stale, or corrupt, so
+    /// disabling this only costs restart time, never correctness.
+    /// Serde-defaulted so sidecars written before this field existed still
+    /// load. See `docs/FORMAT.md` for the container layout.
+    #[serde(default)]
+    pub snapshot: SnapshotPolicy,
+}
+
+/// Whether saves also emit the zero-copy `MCSNAP01` snapshot tier
+/// (see [`MeanCacheConfig::snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SnapshotPolicy {
+    /// Write a snapshot on every save and prefer it on load (default).
+    #[default]
+    Enabled,
+    /// Never write snapshots; loads always replay the entry log.
+    Disabled,
 }
 
 impl Default for MeanCacheConfig {
@@ -85,6 +106,7 @@ impl Default for MeanCacheConfig {
             shards: 1,
             routing: RoutingMode::Hash,
             fsync: FsyncPolicy::Never,
+            snapshot: SnapshotPolicy::Enabled,
         }
     }
 }
@@ -177,6 +199,12 @@ impl MeanCacheConfig {
     /// Returns a copy with the entry-log fsync policy replaced.
     pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
         self.fsync = fsync;
+        self
+    }
+
+    /// Returns a copy with the snapshot policy replaced.
+    pub fn with_snapshot(mut self, snapshot: SnapshotPolicy) -> Self {
+        self.snapshot = snapshot;
         self
     }
 }
@@ -334,6 +362,26 @@ mod tests {
         assert!(!old.contains("fsync"), "field must be stripped: {old}");
         let cfg: MeanCacheConfig = serde_json::from_str(&old).unwrap();
         assert_eq!(cfg.fsync, FsyncPolicy::Never);
+    }
+
+    #[test]
+    fn snapshot_policy_round_trips_and_defaults_to_enabled() {
+        let cfg = MeanCacheConfig::default();
+        assert_eq!(cfg.snapshot, SnapshotPolicy::Enabled);
+        let cfg = cfg.with_snapshot(SnapshotPolicy::Disabled);
+        assert!(cfg.validate().is_ok());
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: MeanCacheConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.snapshot, SnapshotPolicy::Disabled);
+        // A sidecar written before the `snapshot` field existed must load
+        // with snapshots enabled.
+        let json = serde_json::to_string(&MeanCacheConfig::default()).unwrap();
+        let old = json
+            .replace(",\"snapshot\":\"Enabled\"", "")
+            .replace("\"snapshot\":\"Enabled\",", "");
+        assert!(!old.contains("snapshot"), "field must be stripped: {old}");
+        let cfg: MeanCacheConfig = serde_json::from_str(&old).unwrap();
+        assert_eq!(cfg.snapshot, SnapshotPolicy::Enabled);
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub mod persist;
 pub mod shard;
 
 pub use cache::{CacheDecisionOutcome, CacheHit, CacheStats, MeanCache, SemanticCache};
-pub use config::MeanCacheConfig;
+pub use config::{MeanCacheConfig, SnapshotPolicy};
 pub use deploy::{Deployment, DeploymentReport, ProbeSpec, QueryRecord};
 pub use gptcache::{GptCacheBaseline, GptCacheConfig};
 pub use shard::{reshard, route_key, RoutingMode, ShardedCache};

@@ -33,8 +33,27 @@
 //! [`crate::RoutingMode::Centroid`] the learned routing centroids ride in a
 //! third sidecar (`<path>.routing.json`) with their `f32` components stored
 //! as raw bit patterns, so reloaded routing is bit-identical to what was
-//! saved; the root pin table is *not* persisted — the per-shard logs **are**
-//! the root → shard assignment, and the loader rebuilds the pins from them.
+//! saved; the root pin table rides in the per-shard snapshots (and is
+//! rebuilt from the logs — which **are** the root → shard assignment —
+//! whenever any shard had to fall back to replay).
+//!
+//! **Snapshots: the fast restart tier.** Every save additionally writes an
+//! `MCSNAP01` snapshot sidecar (`<log>.snap`, see `docs/FORMAT.md` and
+//! [`mc_store::snapshot`]) capturing the index arenas and entries in their
+//! in-memory layout plus a fingerprint of the entry-log prefix it reflects.
+//! Loading follows a three-step decision tree, per log:
+//!
+//! 1. **Snapshot** — `<log>.snap` exists, every section checksum verifies,
+//!    and the log still starts with the fingerprinted prefix: `mmap` the
+//!    arenas and install them directly (no re-encoding, no re-insertion).
+//! 2. **WAL tail** — records the log gained *after* the snapshot (pure
+//!    inserts only) are replayed on top; the restored cache is
+//!    decision-identical to one that replayed the whole log.
+//! 3. **Full replay** — anything disqualifies the snapshot (missing,
+//!    corrupt, stale fingerprint, non-insert tail) and the loader silently
+//!    falls back to replaying the log from the start — snapshots are an
+//!    accelerator, never a correctness dependency. Disable the tier
+//!    entirely with [`crate::SnapshotPolicy::Disabled`].
 //!
 //! **Resharding.** A save records its shard count and routing mode, and
 //! loading with [`load_sharded_cache_with_config`] reproduces them exactly
@@ -73,18 +92,36 @@
 use std::path::{Path, PathBuf};
 
 use mc_embedder::QueryEncoder;
-use mc_store::{DiskStore, RecoveryStats};
+use mc_store::{CacheEntry, DiskStore, RecoveryStats, SnapshotView};
 use serde::{Deserialize, Serialize};
 
+use crate::config::SnapshotPolicy;
 use crate::shard::RoutingMode;
 use crate::{CacheError, MeanCache, MeanCacheConfig, Result, ShardedCache};
 
+/// Path of the `MCSNAP01` snapshot sidecar for the entry log at `path`
+/// (`<path>.snap`). See `docs/FORMAT.md` for the container layout.
+pub fn snapshot_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".snap");
+    PathBuf::from(name)
+}
+
 /// Writes every cached entry to the disk store at `path` (replacing existing
-/// contents) and compacts the log.
+/// contents), compacts the log, and — unless the cache's
+/// [`SnapshotPolicy`] disables it — writes the `<path>.snap` zero-copy
+/// snapshot the loaders prefer over log replay.
 ///
 /// # Errors
 /// Propagates storage/IO failures.
 pub fn save_cache(cache: &MeanCache, path: &Path) -> Result<()> {
+    save_cache_with_pins(cache, path, &[])
+}
+
+/// [`save_cache`], additionally persisting `pins` — the shard's slice of
+/// the sharded router's root-pin table — into the snapshot so an all-shard
+/// snapshot restore can skip the pin rebuild.
+fn save_cache_with_pins(cache: &MeanCache, path: &Path, pins: &[(u64, u64)]) -> Result<()> {
     // Start from a clean log so the file reflects exactly the current cache.
     if path.exists() {
         std::fs::remove_file(path).map_err(mc_store::StoreError::from)?;
@@ -98,7 +135,109 @@ pub fn save_cache(cache: &MeanCache, path: &Path) -> Result<()> {
         disk.insert(entry)?;
     }
     disk.compact()?;
-    Ok(())
+    let wal_len = disk.log_bytes()?;
+    drop(disk);
+    match cache.config().snapshot {
+        SnapshotPolicy::Enabled => write_snapshot_for(cache, path, wal_len, pins),
+        SnapshotPolicy::Disabled => {
+            let snap = snapshot_path(path);
+            if snap.exists() {
+                std::fs::remove_file(&snap).map_err(mc_store::StoreError::from)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Writes the `<path>.snap` snapshot for a cache whose entry log at `path`
+/// is `wal_len` bytes long. The snapshot records the log prefix's
+/// fingerprint so a loader can detect whether the log has since diverged
+/// (rewritten, truncated) and fall back to replay.
+fn write_snapshot_for(
+    cache: &MeanCache,
+    path: &Path,
+    wal_len: u64,
+    pins: &[(u64, u64)],
+) -> Result<()> {
+    let Some((head, tail)) = mc_store::prefix_fingerprint(path, wal_len)? else {
+        // The log is shorter than the length we just observed — something
+        // else is rewriting it; skip the snapshot rather than persist a
+        // fingerprint that can never match.
+        return Ok(());
+    };
+    let mut entries: Vec<&CacheEntry> = cache.entries().collect();
+    entries.sort_by_key(|e| (e.parent.is_some(), e.id));
+    let view = SnapshotView {
+        entries,
+        index: cache.index(),
+        pins,
+        wal_len,
+        wal_head_crc: head,
+        wal_tail_crc: tail,
+    };
+    mc_store::save_snapshot(&snapshot_path(path), &view).map_err(CacheError::from)
+}
+
+/// Attempts the fast restore path: load `<path>.snap`, verify the entry
+/// log still starts with the exact prefix the snapshot captured, replay
+/// any pure-insert tail the log grew past it, and install the result into
+/// `cache`. Returns the snapshot's persisted root pins on success and
+/// `Ok(None)` — cache untouched — whenever *anything* disqualifies the
+/// snapshot (policy disabled, file missing/corrupt/stale, non-insert tail
+/// records), so the caller can fall back to full log replay.
+///
+/// # Errors
+/// Only propagates failures full replay would hit too (index dimension
+/// mismatch, tail entries that no longer fit the index).
+fn try_snapshot_restore(
+    cache: &mut MeanCache,
+    path: &Path,
+    stats: &mut RecoveryStats,
+) -> Result<Option<Vec<(u64, u64)>>> {
+    if cache.config().snapshot == SnapshotPolicy::Disabled {
+        return Ok(None);
+    }
+    let snap = snapshot_path(path);
+    if !snap.exists() {
+        return Ok(None);
+    }
+    let Ok(restored) = mc_store::load_snapshot(&snap, &cache.config().index) else {
+        return Ok(None);
+    };
+    // The snapshot is only valid over the exact log prefix it fingerprinted.
+    match mc_store::prefix_fingerprint(path, restored.wal_len) {
+        Ok(Some((head, tail)))
+            if head == restored.wal_head_crc && tail == restored.wal_tail_crc => {}
+        _ => return Ok(None),
+    }
+    // Replay the records the log gained after the snapshot. Anything but a
+    // pure run of inserts (a removal, touch, or compaction footer) means
+    // the tail is not replayable on top of the snapshot.
+    let tail_entries = match DiskStore::read_insert_tail(path, restored.wal_len) {
+        Ok(Some(entries)) => entries,
+        _ => return Ok(None),
+    };
+    let tail_count = tail_entries.len() as u64;
+    let mut entries = restored.entries;
+    let indexed = if tail_count > 0 {
+        // Only snapshot rows are already in the restored index; tail rows
+        // must be added individually.
+        let set: std::collections::HashSet<u64> = entries.iter().map(|e| e.id).collect();
+        entries.extend(tail_entries);
+        // Same global order a full replay uses, so the store assigns the
+        // same logical timestamps and future evictions are
+        // decision-identical. (Without a tail the snapshot's saved order —
+        // already this order — stands.)
+        entries.sort_by_key(|e| (e.parent.is_some(), e.id));
+        Some(set)
+    } else {
+        None
+    };
+    cache.install_restored(restored.index, entries, indexed.as_ref())?;
+    stats.snapshot_loaded += 1;
+    stats.wal_tail_replayed += tail_count;
+    stats.records_replayed += tail_count;
+    Ok(Some(restored.pins))
 }
 
 /// Loads a previously saved cache from `path` into a fresh [`MeanCache`]
@@ -111,8 +250,11 @@ pub fn load_cache(template: MeanCache, path: &Path) -> Result<MeanCache> {
     Ok(load_cache_with_report(template, path)?.0)
 }
 
-/// [`load_cache`], additionally reporting what crash recovery found while
-/// replaying the entry log (checksummed records replayed, torn/corrupt
+/// [`load_cache`], additionally reporting how the cache was restored: via
+/// the `<path>.snap` mapped snapshot ([`RecoveryStats::snapshot_loaded`],
+/// plus any log-tail records replayed on top —
+/// [`RecoveryStats::wal_tail_replayed`]) or, when no valid snapshot
+/// exists, by full log replay (checksummed records replayed, torn/corrupt
 /// tail bytes truncated off the file).
 ///
 /// # Errors
@@ -122,6 +264,10 @@ pub fn load_cache_with_report(
     path: &Path,
 ) -> Result<(MeanCache, RecoveryStats)> {
     let mut cache = template;
+    let mut recovery = RecoveryStats::default();
+    if try_snapshot_restore(&mut cache, path, &mut recovery)?.is_some() {
+        return Ok((cache, recovery));
+    }
     let recovery = replay_log_into(&mut cache, path)?;
     Ok((cache, recovery))
 }
@@ -278,20 +424,37 @@ fn load_routing_sidecar(cache: &mut ShardedCache, path: &Path) -> Result<()> {
 /// Propagates storage/IO failures.
 pub fn save_sharded_cache_with_config(cache: &ShardedCache, path: &Path) -> Result<()> {
     for shard in 0..cache.shard_count() {
+        // Each shard's snapshot carries the router pins resolving to it, so
+        // an all-shard snapshot restore reassembles the full pin table.
+        let pins = cache.root_pins_for_shard(shard);
         cache.with_shard(shard, |inner| {
-            save_cache(inner, &shard_log_path(path, shard))
+            save_cache_with_pins(inner, &shard_log_path(path, shard), &pins)
         })?;
     }
-    // Clean up logs from a previous save with a higher shard count, and a
-    // base-path log from a previous *unsharded* save — either would be
-    // stale data sitting next to the sidecar about to be written.
+    // Clean up logs (and their snapshots) from a previous save with a
+    // higher shard count, and a base-path log from a previous *unsharded*
+    // save — either would be stale data sitting next to the sidecar about
+    // to be written.
     let mut stale = cache.shard_count();
-    while shard_log_path(path, stale).exists() {
-        std::fs::remove_file(shard_log_path(path, stale)).map_err(mc_store::StoreError::from)?;
+    loop {
+        let log = shard_log_path(path, stale);
+        let snap = snapshot_path(&log);
+        let mut found = false;
+        for file in [&log, &snap] {
+            if file.exists() {
+                std::fs::remove_file(file).map_err(mc_store::StoreError::from)?;
+                found = true;
+            }
+        }
+        if !found {
+            break;
+        }
         stale += 1;
     }
-    if path.exists() {
-        std::fs::remove_file(path).map_err(mc_store::StoreError::from)?;
+    for file in [path.to_path_buf(), snapshot_path(path)] {
+        if file.exists() {
+            std::fs::remove_file(&file).map_err(mc_store::StoreError::from)?;
+        }
     }
     save_routing_sidecar(cache, path)?;
     let json = serde_json::to_string(cache.config())
@@ -315,10 +478,19 @@ pub fn load_sharded_cache_with_config(encoder: QueryEncoder, path: &Path) -> Res
     Ok(load_sharded_cache_with_report(encoder, path)?.0)
 }
 
-/// [`load_sharded_cache_with_config`], additionally aggregating the crash
-/// recovery stats across every shard's entry log (records replayed, torn
-/// tail bytes truncated) so callers — the serve layer in particular — can
-/// surface what a restart recovered.
+/// [`load_sharded_cache_with_config`], additionally aggregating the
+/// recovery report across every shard: how many shards restored from their
+/// mapped snapshot ([`RecoveryStats::snapshot_loaded`]), how many log-tail
+/// records were replayed on top of snapshots
+/// ([`RecoveryStats::wal_tail_replayed`]), and the classic replay stats
+/// (records replayed, torn tail bytes truncated) for shards that fell back
+/// to full log replay — so callers, the serve layer in particular, can
+/// surface exactly how a restart recovered.
+///
+/// Shards that fell back to log replay (typically a save written before
+/// the snapshot tier existed) get their snapshot written as part of the
+/// load when the config's [`SnapshotPolicy`] allows it, so the *second*
+/// restart takes the fast path.
 ///
 /// # Errors
 /// See [`load_sharded_cache_with_config`].
@@ -330,6 +502,9 @@ pub fn load_sharded_cache_with_report(
     let mut cache = ShardedCache::new(encoder, config)?;
     load_routing_sidecar(&mut cache, path)?;
     let mut recovery = RecoveryStats::default();
+    let mut pins: Vec<(u64, u64)> = Vec::new();
+    let mut all_snapshot = true;
+    let mut replayed_shards: Vec<usize> = Vec::new();
     for shard in 0..cache.shard_count() {
         let log = shard_log_path(path, shard);
         if !log.exists() {
@@ -340,12 +515,40 @@ pub fn load_sharded_cache_with_report(
                 log.display()
             )));
         }
-        recovery.merge(replay_log_into(cache.shard_cache_mut(shard), &log)?);
+        match try_snapshot_restore(cache.shard_cache_mut(shard), &log, &mut recovery)? {
+            Some(shard_pins) => pins.extend(shard_pins),
+            None => {
+                all_snapshot = false;
+                replayed_shards.push(shard);
+                recovery.merge(replay_log_into(cache.shard_cache_mut(shard), &log)?);
+            }
+        }
     }
     if cache.routing() != RoutingMode::Hash {
-        // The logs are the root → shard assignment; rebuild the pin table
-        // so exact repeats and follow-ups keep routing to their entries.
-        cache.rebuild_pins();
+        if all_snapshot && recovery.wal_tail_replayed == 0 {
+            // Every shard restored from its snapshot with no log tail: the
+            // persisted pin slices union back into the exact saved table.
+            cache.restore_root_pins(pins);
+        } else {
+            // The logs are the root → shard assignment; rebuild the pin
+            // table so exact repeats and follow-ups keep routing to their
+            // entries.
+            cache.rebuild_pins();
+        }
+    }
+    // Legacy migration: give replayed shards a snapshot now so the next
+    // restart takes the fast path.
+    if cache.config().snapshot == SnapshotPolicy::Enabled {
+        for shard in replayed_shards {
+            let log = shard_log_path(path, shard);
+            let shard_pins = cache.root_pins_for_shard(shard);
+            let wal_len = std::fs::metadata(&log)
+                .map_err(mc_store::StoreError::from)?
+                .len();
+            cache.with_shard(shard, |inner| {
+                write_snapshot_for(inner, &log, wal_len, &shard_pins)
+            })?;
+        }
     }
     Ok((cache, recovery))
 }
@@ -649,6 +852,228 @@ mod tests {
         }
         std::fs::remove_file(config_sidecar(&path)).ok();
         std::fs::remove_file(routing_sidecar(&path)).ok();
+    }
+
+    #[test]
+    fn save_writes_a_snapshot_and_load_prefers_it() {
+        let path = temp_path("snap_prefer");
+        let mut cache = fresh_cache();
+        for i in 0..20 {
+            cache
+                .insert(&format!("snapshot subject {i}"), &format!("resp {i}"), &[])
+                .unwrap();
+        }
+        save_cache(&cache, &path).unwrap();
+        assert!(snapshot_path(&path).exists(), "save must write <path>.snap");
+
+        let (restored, report) = load_cache_with_report(fresh_cache(), &path).unwrap();
+        assert_eq!(
+            report.snapshot_loaded, 1,
+            "load must take the snapshot path"
+        );
+        assert_eq!(report.wal_tail_replayed, 0);
+        assert_eq!(restored.len(), 20);
+        let mut restored = restored;
+        assert!(restored.lookup("snapshot subject 7", &[]).is_hit());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(snapshot_path(&path)).ok();
+    }
+
+    #[test]
+    fn log_tail_past_the_snapshot_replays_on_top() {
+        let path = temp_path("snap_tail");
+        let mut cache = fresh_cache();
+        cache.insert("the original entry", "resp", &[]).unwrap();
+        save_cache(&cache, &path).unwrap();
+
+        // The log grows past the snapshot (e.g. a crash before re-saving):
+        // append two more inserts directly.
+        let encoder = QueryEncoder::new(ModelProfile::tiny(), 11).unwrap();
+        let mut disk = mc_store::DiskStore::open(&path).unwrap();
+        for (id, q) in [(100, "a tail entry"), (101, "another tail entry")] {
+            let embedding = encoder.encode(q);
+            disk.insert(mc_store::CacheEntry::new(
+                id,
+                q.to_string(),
+                "tail resp".to_string(),
+                embedding,
+                None,
+                7,
+            ))
+            .unwrap();
+        }
+        drop(disk);
+
+        let (restored, report) = load_cache_with_report(fresh_cache(), &path).unwrap();
+        assert_eq!(report.snapshot_loaded, 1);
+        assert_eq!(report.wal_tail_replayed, 2);
+        assert_eq!(restored.len(), 3);
+        let mut restored = restored;
+        assert!(restored.lookup("a tail entry", &[]).is_hit());
+        assert!(restored.lookup("the original entry", &[]).is_hit());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(snapshot_path(&path)).ok();
+    }
+
+    #[test]
+    fn corrupt_or_stale_snapshot_falls_back_to_replay() {
+        let path = temp_path("snap_fallback");
+        let mut cache = fresh_cache();
+        cache.insert("resilient entry", "resp", &[]).unwrap();
+        save_cache(&cache, &path).unwrap();
+        let snap = snapshot_path(&path);
+
+        // Corrupt one payload byte in the middle of the snapshot.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&snap, &bytes).unwrap();
+        let (restored, report) = load_cache_with_report(fresh_cache(), &path).unwrap();
+        assert_eq!(report.snapshot_loaded, 0, "corrupt snapshot must not load");
+        assert_eq!(restored.len(), 1);
+
+        // A stale snapshot (log rewritten underneath it) must also fall
+        // back: re-save with different contents but restore the old snap.
+        let old_snap = std::fs::read(&snap).ok();
+        let mut second = fresh_cache();
+        second.insert("completely different", "resp", &[]).unwrap();
+        save_cache(&second, &path).unwrap();
+        if let Some(old) = old_snap {
+            std::fs::write(&snap, old).unwrap();
+        }
+        let (restored, report) = load_cache_with_report(fresh_cache(), &path).unwrap();
+        assert_eq!(report.snapshot_loaded, 0);
+        assert_eq!(restored.len(), 1);
+        assert!(restored
+            .entries()
+            .any(|e| e.query == "completely different"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&snap).ok();
+    }
+
+    #[test]
+    fn snapshot_policy_disabled_skips_and_removes_snapshots() {
+        use crate::SnapshotPolicy;
+        let path = temp_path("snap_disabled");
+        let encoder = QueryEncoder::new(ModelProfile::tiny(), 11).unwrap();
+        let enabled = MeanCacheConfig::default().with_threshold(0.6);
+        let mut cache = MeanCache::new(encoder.clone(), enabled.clone()).unwrap();
+        cache.insert("some entry", "resp", &[]).unwrap();
+        save_cache(&cache, &path).unwrap();
+        assert!(snapshot_path(&path).exists());
+
+        // Re-saving with snapshots disabled removes the stale sidecar.
+        let disabled = enabled.clone().with_snapshot(SnapshotPolicy::Disabled);
+        let mut cache = MeanCache::new(encoder.clone(), disabled.clone()).unwrap();
+        cache.insert("some entry", "resp", &[]).unwrap();
+        save_cache(&cache, &path).unwrap();
+        assert!(
+            !snapshot_path(&path).exists(),
+            "disabled policy must remove the stale snapshot"
+        );
+
+        // A disabled loader ignores a snapshot even when one exists.
+        let mut cache = MeanCache::new(encoder.clone(), enabled.clone()).unwrap();
+        cache.insert("some entry", "resp", &[]).unwrap();
+        save_cache(&cache, &path).unwrap();
+        let template = MeanCache::new(encoder, disabled).unwrap();
+        let (_, report) = load_cache_with_report(template, &path).unwrap();
+        assert_eq!(report.snapshot_loaded, 0);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(snapshot_path(&path)).ok();
+    }
+
+    #[test]
+    fn legacy_sharded_save_is_migrated_to_snapshots_on_load() {
+        use crate::{SemanticCache, ShardedCache};
+        let path = temp_path("snap_migrate");
+        let encoder = QueryEncoder::new(ModelProfile::tiny(), 11).unwrap();
+        let config = MeanCacheConfig::default()
+            .with_threshold(0.6)
+            .with_shards(3);
+        let mut cache = ShardedCache::new(encoder.clone(), config).unwrap();
+        for i in 0..12 {
+            cache
+                .insert(&format!("migrated subject {i}"), "resp", &[])
+                .unwrap();
+        }
+        save_sharded_cache_with_config(&cache, &path).unwrap();
+        // Simulate a save from before the snapshot tier existed.
+        for shard in 0..3 {
+            std::fs::remove_file(snapshot_path(&shard_log_path(&path, shard))).unwrap();
+        }
+
+        // First restart: full replay, but the load migrates — it writes the
+        // missing snapshots.
+        let (first, report) = load_sharded_cache_with_report(encoder.clone(), &path).unwrap();
+        assert_eq!(report.snapshot_loaded, 0);
+        assert_eq!(first.len(), 12);
+        for shard in 0..3 {
+            assert!(
+                snapshot_path(&shard_log_path(&path, shard)).exists(),
+                "load must write shard {shard}'s missing snapshot"
+            );
+        }
+
+        // Second restart: every shard takes the fast path.
+        let (second, report) = load_sharded_cache_with_report(encoder, &path).unwrap();
+        assert_eq!(report.snapshot_loaded, 3);
+        assert_eq!(second.len(), 12);
+        assert!(second.probe("migrated subject 5", &[]).is_hit());
+        for shard in 0..3 {
+            let log = shard_log_path(&path, shard);
+            std::fs::remove_file(snapshot_path(&log)).ok();
+            std::fs::remove_file(&log).ok();
+        }
+        std::fs::remove_file(config_sidecar(&path)).ok();
+    }
+
+    #[test]
+    fn snapshot_restore_is_decision_identical_to_replay() {
+        // The same save loaded twice — once via the snapshot, once via
+        // forced replay — must produce caches that answer identically.
+        let path = temp_path("snap_identical");
+        let mut cache = fresh_cache();
+        for i in 0..25 {
+            cache
+                .insert(&format!("identity subject {i}"), &format!("resp {i}"), &[])
+                .unwrap();
+        }
+        cache
+            .insert(
+                "a follow-up question",
+                "follow resp",
+                &["identity subject 3".to_string()],
+            )
+            .unwrap();
+        save_cache(&cache, &path).unwrap();
+
+        let (via_snapshot, report) = load_cache_with_report(fresh_cache(), &path).unwrap();
+        assert_eq!(report.snapshot_loaded, 1);
+        let snap = snapshot_path(&path);
+        let snap_bytes = std::fs::read(&snap).unwrap();
+        std::fs::remove_file(&snap).unwrap();
+        let (via_replay, report) = load_cache_with_report(fresh_cache(), &path).unwrap();
+        assert_eq!(report.snapshot_loaded, 0);
+        std::fs::write(&snap, snap_bytes).unwrap();
+
+        assert_eq!(via_snapshot.len(), via_replay.len());
+        let probes: Vec<String> = (0..25)
+            .map(|i| format!("identity subject {i}"))
+            .chain(["a follow-up question".to_string()])
+            .collect();
+        let mut via_snapshot = via_snapshot;
+        let mut via_replay = via_replay;
+        for q in &probes {
+            let ctx = ["identity subject 3".to_string()];
+            assert_eq!(
+                via_snapshot.lookup(q, &ctx),
+                via_replay.lookup(q, &ctx),
+                "lookup({q}) diverged between snapshot and replay restore"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&snap).ok();
     }
 
     #[test]

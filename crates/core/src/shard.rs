@@ -411,6 +411,38 @@ impl ShardedCache {
             .pins = pins;
     }
 
+    /// The root pins that resolve to `shard`, as sorted `(root_hash,
+    /// shard)` pairs — the per-shard slice of the pin table an `MCSNAP01`
+    /// snapshot persists (see [`crate::persist`]).
+    pub(crate) fn root_pins_for_shard(&self, shard: usize) -> Vec<(u64, u64)> {
+        let router = read_router(&self.router);
+        let mut pins: Vec<(u64, u64)> = router
+            .pins
+            .iter()
+            .filter(|&(_, &s)| s == shard)
+            .map(|(&root, &s)| (root, s as u64))
+            .collect();
+        pins.sort_unstable();
+        pins
+    }
+
+    /// Replaces the root pin table with persisted `(root_hash, shard)`
+    /// pairs (inverse of [`ShardedCache::root_pins_for_shard`], unioned
+    /// over all shards). Pins naming an out-of-range shard are dropped —
+    /// routing then falls back to centroids / hash for those roots.
+    pub(crate) fn restore_root_pins(&mut self, pins: impl IntoIterator<Item = (u64, u64)>) {
+        let shard_count = self.shards.len();
+        let table: HashMap<u64, usize> = pins
+            .into_iter()
+            .filter(|&(_, shard)| (shard as usize) < shard_count)
+            .map(|(root, shard)| (root, shard as usize))
+            .collect();
+        self.router
+            .get_mut()
+            .unwrap_or_else(|p| p.into_inner())
+            .pins = table;
+    }
+
     /// Garbage-collects the root pin table: drops every pin whose root no
     /// longer resolves to a live entry (the conversation was fully evicted
     /// or flushed), so a long-lived server's pin table tracks its contents

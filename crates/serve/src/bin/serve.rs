@@ -222,11 +222,31 @@ fn build_cache(args: &Args) -> (ShardedCache, RecoveryStats) {
         let mut sidecar = path.as_os_str().to_os_string();
         sidecar.push(".config.json");
         if PathBuf::from(sidecar).exists() {
+            let restore_start = std::time::Instant::now();
             let (restored, recovery) = load_sharded_cache_with_report(encoder, path)
                 .unwrap_or_else(|e| {
                     eprintln!("cannot restore cache from {}: {e}", path.display());
                     std::process::exit(2);
                 });
+            let restore_elapsed = restore_start.elapsed();
+            // Which leg of the restore decision tree ran (see
+            // docs/FORMAT.md §7): mmap snapshot + WAL tail, or log replay.
+            let via = if recovery.snapshot_loaded > 0 {
+                format!(
+                    "{}/{} shards via mmap snapshot, {} tail records replayed",
+                    recovery.snapshot_loaded,
+                    restored.shard_count(),
+                    recovery.wal_tail_replayed,
+                )
+            } else {
+                format!("log replay, {} records", recovery.records_replayed)
+            };
+            println!(
+                "mc-serve: restored {} entries from {} in {:.1?} ({via})",
+                meancache::SemanticCache::len(&restored),
+                path.display(),
+                restore_elapsed,
+            );
             if recovery.bytes_truncated > 0 {
                 println!(
                     "mc-serve: truncated {} torn-tail bytes while replaying {} records from {}",
@@ -255,11 +275,6 @@ fn build_cache(args: &Args) -> (ShardedCache, RecoveryStats) {
                 });
                 return (resharded, recovery);
             }
-            println!(
-                "mc-serve: restored {} entries from {}",
-                meancache::SemanticCache::len(&restored),
-                path.display()
-            );
             return (restored, recovery);
         }
     }

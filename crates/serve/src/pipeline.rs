@@ -573,9 +573,11 @@ fn batcher_loop(
     }
     // Graceful-shutdown persistence: the queue is closed and drained, the
     // batcher owns the cache outright, so this is the one place a final
-    // save observes every acknowledged write. The snapshot supersedes the
-    // WAL, which resets so the next boot does not replay what the snapshot
-    // already holds.
+    // save observes every acknowledged write. The save writes each shard's
+    // entry log *and* its `MCSNAP01` mmap snapshot (docs/FORMAT.md), so
+    // the next boot restores zero-copy instead of replaying. The save
+    // supersedes the serve WAL, which resets so the next boot does not
+    // replay what the save already holds.
     if let Some(path) = &config.persist_path {
         match save_sharded_cache_with_config(&cache, path) {
             Ok(()) => {

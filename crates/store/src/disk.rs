@@ -264,6 +264,31 @@ impl DiskStore {
         self.log.len_bytes()
     }
 
+    /// Decodes the records appended after byte `offset` — the tail an
+    /// `MCSNAP01` snapshot did not capture (see `mc_store::snapshot`).
+    /// Returns `Ok(None)` when that tail contains anything but insert
+    /// records: a removal, touch, or compaction footer means the tail is
+    /// not a pure append run, so the caller must fall back to replaying
+    /// the whole log. Torn bytes at the end of the file are ignored,
+    /// exactly as [`DiskStore::open`]'s replay would truncate them.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the file cannot be read and
+    /// [`StoreError::Corrupt`] when `offset` lies outside the file or an
+    /// insert record fails to decode.
+    pub fn read_insert_tail(path: &Path, offset: u64) -> Result<Option<Vec<CacheEntry>>> {
+        let (records, _torn) = wal::read_records_from(path, offset)?;
+        let mut entries = Vec::with_capacity(records.len());
+        for record in records {
+            if record.kind != KIND_INSERT {
+                return Ok(None);
+            }
+            let mut payload = record.payload;
+            entries.push(decode_insert(&mut payload)?);
+        }
+        Ok(Some(entries))
+    }
+
     /// Tolerant replay of a pre-framing log: `[u32 len][u8 kind][payload]`
     /// with no checksums. Stops at the first truncated or undecodable
     /// record (indistinguishable from a torn tail without CRCs).

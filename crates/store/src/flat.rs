@@ -100,6 +100,45 @@ impl FlatIndex {
         })
     }
 
+    /// Reassembles an index around a restored row arena (the snapshot
+    /// loader's path — with mapped arenas the rows borrow the snapshot file
+    /// zero-copy). Only the id → position map is rebuilt; no row is decoded
+    /// or re-encoded.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::InvalidConfig`] for zero dimensions or a
+    /// dims-mismatched arena and [`StoreError::Corrupt`] when the arena
+    /// repeats an id (a well-formed snapshot never does).
+    pub(crate) fn from_snapshot_parts(
+        dims: usize,
+        parallel_threshold: usize,
+        rows: RowStore,
+    ) -> Result<Self> {
+        if dims == 0 {
+            return Err(StoreError::InvalidConfig("dims must be >= 1".into()));
+        }
+        if rows.dims() != dims {
+            return Err(StoreError::InvalidConfig(format!(
+                "snapshot rows are {}-dimensional, index wants {dims}",
+                rows.dims()
+            )));
+        }
+        let mut pos_of = HashMap::with_capacity(rows.len());
+        for (pos, &id) in rows.ids().iter().enumerate() {
+            if pos_of.insert(id, pos as u32).is_some() {
+                return Err(StoreError::Corrupt(format!(
+                    "snapshot row arena repeats id {id}"
+                )));
+            }
+        }
+        Ok(Self {
+            dims,
+            rows,
+            parallel_threshold: parallel_threshold.max(1),
+            pos_of,
+        })
+    }
+
     /// The configured sequential→parallel crossover point.
     pub fn parallel_threshold(&self) -> usize {
         self.parallel_threshold

@@ -184,6 +184,85 @@ impl IvfIndex {
         })
     }
 
+    /// Reassembles an index from restored parts (the snapshot loader's path
+    /// — with mapped list arenas the posting lists borrow the snapshot file
+    /// zero-copy). The id → cell map is rebuilt; centroids, the training
+    /// watermark and the mutation counter are restored verbatim, so the
+    /// restored index prunes **exactly** like the saved one — no retrain, no
+    /// assignment drift.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::InvalidConfig`] for invalid dims/config and
+    /// [`StoreError::Corrupt`] when the parts are inconsistent (centroid
+    /// matrix shape vs list count, repeated ids, untrained state with more
+    /// than one list).
+    pub(crate) fn from_snapshot_parts(
+        dims: usize,
+        config: IvfConfig,
+        centroids: Vec<f32>,
+        lists: Vec<RowStore>,
+        trained_at_len: u64,
+        mutations_since_train: u64,
+    ) -> Result<Self> {
+        if dims == 0 {
+            return Err(StoreError::InvalidConfig("dims must be >= 1".into()));
+        }
+        config.validate()?;
+        if centroids.is_empty() {
+            if lists.len() != 1 {
+                return Err(StoreError::Corrupt(format!(
+                    "untrained snapshot index must have exactly 1 list, got {}",
+                    lists.len()
+                )));
+            }
+        } else if centroids.len() != lists.len() * dims {
+            return Err(StoreError::Corrupt(format!(
+                "snapshot centroid matrix holds {} values for {} lists of {dims} dims",
+                centroids.len(),
+                lists.len()
+            )));
+        }
+        let mut len = 0usize;
+        let mut cell_of = HashMap::new();
+        for (cell, list) in lists.iter().enumerate() {
+            if list.dims() != dims {
+                return Err(StoreError::Corrupt(format!(
+                    "snapshot list {cell} is {}-dimensional, index wants {dims}",
+                    list.dims()
+                )));
+            }
+            for &id in list.ids() {
+                if cell_of.insert(id, cell as u32).is_some() {
+                    return Err(StoreError::Corrupt(format!(
+                        "snapshot posting lists repeat id {id}"
+                    )));
+                }
+                len += 1;
+            }
+        }
+        Ok(Self {
+            dims,
+            config,
+            centroids,
+            lists,
+            len,
+            trained_at_len: trained_at_len as usize,
+            mutations_since_train: mutations_since_train as usize,
+            cell_of,
+        })
+    }
+
+    /// The raw persistable parts: `(centroids, lists, trained_at_len,
+    /// mutations_since_train)` — what the snapshot writer serialises.
+    pub(crate) fn snapshot_parts(&self) -> (&[f32], &[RowStore], u64, u64) {
+        (
+            &self.centroids,
+            &self.lists,
+            self.trained_at_len as u64,
+            self.mutations_since_train as u64,
+        )
+    }
+
     /// Borrow the configuration.
     pub fn config(&self) -> &IvfConfig {
         &self.config

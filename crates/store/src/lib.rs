@@ -25,7 +25,13 @@
 //!   `(id, row)` arena both backends store embeddings in, parameterised by
 //!   [`Quantization`] — exact `f32` rows or SQ8 (one `u8` code per dimension
 //!   plus a per-row scale/min, ~4× smaller, scanned with a fused asymmetric
-//!   `f32 × u8` kernel).
+//!   `f32 × u8` kernel). Arenas are either heap-owned or borrowed from a
+//!   mapped snapshot with copy-on-write semantics.
+//! * [`snapshot`] — the `MCSNAP01` zero-copy snapshot container: index
+//!   arenas and entries written in their in-memory layout, restored by
+//!   `mmap` + checksum instead of log replay (see `docs/FORMAT.md`).
+//! * [`mmap`] — the raw-syscall memory-mapping shim ([`mmap::MapRegion`])
+//!   snapshots load through, with a portable read-to-heap fallback.
 //!
 //! ## Choosing an index backend
 //!
@@ -49,8 +55,10 @@ pub mod flat;
 pub mod index;
 pub mod ivf;
 pub mod memstore;
+pub mod mmap;
 pub mod policy;
 pub mod rows;
+pub mod snapshot;
 pub mod wal;
 
 pub use disk::DiskStore;
@@ -61,6 +69,9 @@ pub use ivf::{IvfConfig, IvfIndex, MAX_NLIST};
 pub use memstore::MemoryStore;
 pub use policy::EvictionPolicy;
 pub use rows::{Quantization, RowStore};
+pub use snapshot::{
+    load_snapshot, prefix_fingerprint, save_snapshot, RestoredSnapshot, SnapshotView,
+};
 pub use wal::{FramedLog, FsyncPolicy, RecoveryStats};
 
 #[allow(deprecated)]

@@ -66,6 +66,31 @@ impl MemoryStore {
         self.capacity = capacity.max(1);
     }
 
+    /// Reserves room for at least `additional` more entries, so a bulk
+    /// restore (snapshot load, log replay) pays one allocation instead of
+    /// a rehash cascade.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
+    /// Bulk-inserts `entries` without per-entry eviction checks. The caller
+    /// must guarantee the ids are unique and `len() + entries.len()` stays
+    /// within capacity — under those preconditions this is behaviourally
+    /// identical to calling [`MemoryStore::insert`] per entry (same clock
+    /// advance, same timestamp rewrite, same `next_id` bump, and no insert
+    /// could have evicted), just without the per-entry occupancy probe.
+    /// Used by the snapshot restore path.
+    pub fn restore_bulk(&mut self, entries: Vec<CacheEntry>) {
+        self.entries.reserve(entries.len());
+        for mut entry in entries {
+            self.clock += 1;
+            entry.inserted_at = self.clock;
+            entry.last_access = self.clock;
+            self.next_id = self.next_id.max(entry.id + 1);
+            self.entries.insert(entry.id, entry);
+        }
+    }
+
     /// The eviction policy in use.
     pub fn policy(&self) -> EvictionPolicy {
         self.policy

@@ -1,0 +1,319 @@
+//! Read-only file mapping for the snapshot loader: a raw `mmap(2)` shim
+//! with a portable read-to-heap fallback.
+//!
+//! The snapshot tier ([`crate::snapshot`]) wants to reconstruct index
+//! arenas *in place* over the bytes of an [`MCSNAP01`](crate::snapshot)
+//! file — no decode, no re-encode, no per-row copies. That needs exactly
+//! one primitive: "give me the whole file as a long-lived, stably-addressed
+//! byte slice". This module provides it two ways, behind one type:
+//!
+//! * **`mmap`** (Unix) — the file is mapped `PROT_READ`/`MAP_PRIVATE`, so
+//!   loading is O(1) in the file size and the page cache backs every arena
+//!   directly. The syscalls are declared by hand, the same way the serve
+//!   crate's epoll shim does it (the workspace is offline; std already
+//!   links libc).
+//! * **heap fallback** (everywhere) — the file is read into an 8-byte
+//!   aligned heap buffer. O(file size), but bit-for-bit the same view, so
+//!   every caller works unchanged on platforms without `mmap`.
+//!
+//! Either way the mapping is **immutable**: [`MapRegion`] only ever hands
+//! out `&[u8]`, which is what makes the `unsafe impl Send + Sync` below
+//! sound, and what lets row arenas borrow from it across threads (index
+//! reads happen under `RwLock` read guards in the serving layer).
+//!
+//! Both backings guarantee the base address is at least 8-byte aligned
+//! (`mmap` returns page-aligned addresses; the heap buffer is a `Vec<u64>`),
+//! so any section whose *offset* is 8-aligned can be reinterpreted as
+//! `u64`/`f32`/`u8` slices without further copies. The typed-slice casts
+//! themselves live in [`crate::snapshot`], which re-checks alignment per
+//! section and fails with [`crate::StoreError::Corrupt`] rather than
+//! trusting the file.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+use crate::{Result, StoreError};
+
+#[cfg(unix)]
+mod sys {
+    //! The raw syscall surface: just `mmap`/`munmap`, declared directly.
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 0x1;
+    pub const MAP_PRIVATE: c_int = 0x02;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// How the bytes of a [`MapRegion`] are held.
+enum Backing {
+    /// A live `mmap(2)` mapping, unmapped on drop.
+    #[cfg(unix)]
+    Mmap { ptr: *mut u8, len: usize },
+    /// The file copied into an 8-byte aligned heap buffer (`Vec<u64>` so
+    /// the allocator guarantees the alignment); `len` is the byte length,
+    /// which may be shorter than the buffer's `8 * capacity`.
+    Heap { buf: Vec<u64>, len: usize },
+}
+
+/// An immutable, stably-addressed view of a whole file.
+///
+/// Obtained from [`MapRegion::load`]; the snapshot loader keeps one behind
+/// an `Arc` and hands out typed sub-slices of it as index arenas. The
+/// backing bytes never move and never change for the life of the region,
+/// so borrowed slices (with the `Arc` keeping the region alive) are safe
+/// to share across threads.
+pub struct MapRegion {
+    backing: Backing,
+}
+
+// SAFETY: the region is read-only for its entire lifetime — both backings
+// are written exactly once during `load`, before the value is shared, and
+// every accessor returns `&[u8]`. Concurrent readers are therefore safe.
+unsafe impl Send for MapRegion {}
+unsafe impl Sync for MapRegion {}
+
+impl MapRegion {
+    /// Maps (or reads) the file at `path`.
+    ///
+    /// On Unix this tries `mmap(2)` first and silently falls back to the
+    /// heap read if the mapping fails (empty file, exotic filesystem);
+    /// elsewhere it always reads to the heap. Use [`MapRegion::is_mmap`]
+    /// to observe which path was taken.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the file cannot be opened or read.
+    pub fn load(path: &Path) -> Result<Self> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "{}: file too large to map",
+                path.display()
+            )));
+        }
+        #[cfg(unix)]
+        if len > 0 {
+            if let Some(region) = Self::try_mmap(&file, len as usize) {
+                return Ok(region);
+            }
+        }
+        Self::load_heap_from(file, len as usize)
+    }
+
+    /// Reads the file at `path` into the aligned heap buffer, never
+    /// mapping it. The portable path; also used by tests to keep the
+    /// fallback honest.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the file cannot be opened or read.
+    pub fn load_heap(path: &Path) -> Result<Self> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "{}: file too large to read",
+                path.display()
+            )));
+        }
+        Self::load_heap_from(file, len as usize)
+    }
+
+    #[cfg(unix)]
+    fn try_mmap(file: &File, len: usize) -> Option<Self> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: a fresh PROT_READ/MAP_PRIVATE mapping of `len` bytes over
+        // an open fd; the pointer is only used while the mapping is live
+        // (munmap happens in Drop, after which no slice can exist because
+        // every borrow ties to &self).
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return None;
+        }
+        Some(Self {
+            backing: Backing::Mmap {
+                ptr: ptr as *mut u8,
+                len,
+            },
+        })
+    }
+
+    fn load_heap_from(mut file: File, len: usize) -> Result<Self> {
+        let words = len.div_ceil(8);
+        let mut buf = vec![0u64; words];
+        // SAFETY: the Vec<u64> allocation is `8 * words >= len` writable
+        // bytes; u64 has no invalid bit patterns, so filling a byte prefix
+        // is fine.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) };
+        file.read_exact(bytes)?;
+        Ok(Self {
+            backing: Backing::Heap { buf, len },
+        })
+    }
+
+    /// The mapped (or read) file contents.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mmap { ptr, len } => {
+                // SAFETY: the mapping is live for &self's lifetime and
+                // spans exactly `len` readable bytes.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Backing::Heap { buf, len } => {
+                // SAFETY: the buffer holds `8 * buf.len() >= len` initialised
+                // bytes.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len) }
+            }
+        }
+    }
+
+    /// Byte length of the region.
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mmap { len, .. } => *len,
+            Backing::Heap { len, .. } => *len,
+        }
+    }
+
+    /// `true` when the region holds zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when the bytes are a live `mmap` mapping (zero-copy), `false`
+    /// on the heap fallback.
+    pub fn is_mmap(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mmap { .. } => true,
+            Backing::Heap { .. } => false,
+        }
+    }
+}
+
+impl Drop for MapRegion {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mmap { ptr, len } = self.backing {
+            // SAFETY: exactly one munmap of a mapping this value owns. By
+            // the time Drop runs no borrow of the bytes can be live.
+            unsafe { sys::munmap(ptr as *mut _, len) };
+        }
+    }
+}
+
+impl std::fmt::Debug for MapRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapRegion")
+            .field("len", &self.len())
+            .field("mmap", &self.is_mmap())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_file(name: &str, contents: &[u8]) -> PathBuf {
+        let dir = std::env::temp_dir().join("mc_store_mmap_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "{name}_{}_{}.bin",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn both_backings_see_identical_bytes() {
+        let contents: Vec<u8> = (0..4099u32).map(|i| (i * 7) as u8).collect();
+        let path = temp_file("identical", &contents);
+        let mapped = MapRegion::load(&path).unwrap();
+        let heap = MapRegion::load_heap(&path).unwrap();
+        assert_eq!(mapped.bytes(), &contents[..]);
+        assert_eq!(heap.bytes(), &contents[..]);
+        assert_eq!(mapped.len(), contents.len());
+        assert!(!heap.is_mmap());
+        #[cfg(unix)]
+        assert!(mapped.is_mmap(), "unix load should take the mmap path");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn base_address_is_eight_byte_aligned() {
+        let path = temp_file("aligned", &[0xABu8; 123]);
+        for region in [
+            MapRegion::load(&path).unwrap(),
+            MapRegion::load_heap(&path).unwrap(),
+        ] {
+            assert_eq!(
+                region.bytes().as_ptr() as usize % 8,
+                0,
+                "snapshot sections rely on an 8-aligned base"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_loads_as_empty_region() {
+        let path = temp_file("empty", &[]);
+        let region = MapRegion::load(&path).unwrap();
+        assert!(region.is_empty());
+        assert_eq!(region.bytes(), &[] as &[u8]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let missing = std::env::temp_dir().join("mc_store_mmap_tests/definitely_missing.bin");
+        assert!(matches!(MapRegion::load(&missing), Err(StoreError::Io(_))));
+    }
+
+    #[test]
+    fn regions_are_shareable_across_threads() {
+        let contents = vec![0x5Au8; 8192];
+        let path = temp_file("threads", &contents);
+        let region = std::sync::Arc::new(MapRegion::load(&path).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let region = std::sync::Arc::clone(&region);
+                std::thread::spawn(move || region.bytes().iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), 0x5A * 8192);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -25,10 +25,25 @@
 //! per-row constants + 8 bytes of id (vs `4·dims + 8` for `f32`), which
 //! `storage_bytes` reports truthfully — compare `quant::stored_embedding_bytes`
 //! for the f32 on-disk accounting the paper's figures use.
+//!
+//! # Owned vs mapped arenas
+//!
+//! Since the snapshot tier ([`crate::snapshot`]) landed, each arena is an
+//! `Arena`: either a plain owned `Vec` (every store built by inserts) or
+//! a typed window into an `mmap`ed snapshot file ([`crate::mmap::MapRegion`])
+//! — the zero-copy restore path. Reads are indistinguishable; the first
+//! mutation of a mapped arena copies it to the heap (copy-on-write), so the
+//! mutation API is unchanged and a restored index degrades gracefully into
+//! an ordinary owned one as entries churn.
+
+use std::sync::Arc;
 
 use mc_tensor::{quant::QuantizedVec, vector};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+use crate::mmap::MapRegion;
+use crate::{Result, StoreError};
 
 /// Which codec a [`RowStore`] (and therefore an index backend) stores its
 /// embedding rows in.
@@ -62,16 +77,174 @@ impl Quantization {
     }
 }
 
+/// One typed arena: an owned `Vec<T>` or a borrowed window of a mapped
+/// snapshot region. See the module docs for the copy-on-write contract.
+pub(crate) enum Arena<T: Copy + 'static> {
+    /// Heap-owned values (every arena built by inserts).
+    Owned(Vec<T>),
+    /// `len` values of `T` starting `offset` bytes into `region`. The
+    /// constructor validated bounds and alignment; the `Arc` keeps the
+    /// mapping alive for as long as any clone of this arena exists.
+    Mapped {
+        region: Arc<MapRegion>,
+        offset: usize,
+        len: usize,
+    },
+}
+
+impl<T: Copy + 'static> Arena<T> {
+    /// An empty owned arena.
+    pub(crate) fn new() -> Self {
+        Arena::Owned(Vec::new())
+    }
+
+    /// A zero-copy arena over `len` values starting at byte `offset` of
+    /// `region`.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Corrupt`] when the window is out of bounds or
+    /// `offset` is not aligned for `T` (the region base is 8-aligned, so
+    /// offset alignment is all that is needed).
+    pub(crate) fn mapped(region: Arc<MapRegion>, offset: usize, len: usize) -> Result<Self> {
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or_else(|| StoreError::Corrupt("mapped arena length overflows".into()))?;
+        let end = offset
+            .checked_add(bytes)
+            .ok_or_else(|| StoreError::Corrupt("mapped arena window overflows".into()))?;
+        if end > region.len() {
+            return Err(StoreError::Corrupt(format!(
+                "mapped arena window {offset}..{end} exceeds region of {} bytes",
+                region.len()
+            )));
+        }
+        if !offset.is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(StoreError::Corrupt(format!(
+                "mapped arena offset {offset} is misaligned for {}-byte elements",
+                std::mem::size_of::<T>()
+            )));
+        }
+        debug_assert_eq!(region.bytes().as_ptr() as usize % 8, 0);
+        Ok(Arena::Mapped {
+            region,
+            offset,
+            len,
+        })
+    }
+
+    /// The values, wherever they live.
+    pub(crate) fn as_slice(&self) -> &[T] {
+        match self {
+            Arena::Owned(values) => values,
+            Arena::Mapped {
+                region,
+                offset,
+                len,
+            } => {
+                // SAFETY: the constructor proved `offset` is aligned for `T`
+                // and `offset + len * size_of::<T>() <= region.len()`; the
+                // region is immutable and outlives this borrow via &self.
+                unsafe {
+                    std::slice::from_raw_parts(
+                        region.bytes().as_ptr().add(*offset) as *const T,
+                        *len,
+                    )
+                }
+            }
+        }
+    }
+
+    /// Mutable access, copying a mapped arena to the heap on first use.
+    pub(crate) fn make_mut(&mut self) -> &mut Vec<T> {
+        if let Arena::Mapped { .. } = self {
+            *self = Arena::Owned(self.as_slice().to_vec());
+        }
+        match self {
+            Arena::Owned(values) => values,
+            Arena::Mapped { .. } => unreachable!("mapped arena was just copied to the heap"),
+        }
+    }
+
+    /// `true` when the values still borrow a mapped snapshot region.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_mapped(&self) -> bool {
+        matches!(self, Arena::Mapped { .. })
+    }
+}
+
+impl<T: Copy + 'static> Clone for Arena<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Arena::Owned(values) => Arena::Owned(values.clone()),
+            Arena::Mapped {
+                region,
+                offset,
+                len,
+            } => Arena::Mapped {
+                region: Arc::clone(region),
+                offset: *offset,
+                len: *len,
+            },
+        }
+    }
+}
+
+impl<T: Copy + std::fmt::Debug + 'static> std::fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Arena::Owned(values) => f.debug_tuple("Owned").field(&values.len()).finish(),
+            Arena::Mapped { offset, len, .. } => f
+                .debug_struct("Mapped")
+                .field("offset", offset)
+                .field("len", len)
+                .finish(),
+        }
+    }
+}
+
+// Serde sees an arena as its values: a mapped arena serialises like the
+// equivalent Vec, and deserialisation always produces an owned arena (a
+// JSON/log round-trip cannot resurrect a file mapping).
+impl<T: Copy + Serialize + 'static> Serialize for Arena<T> {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Array(
+            self.as_slice()
+                .iter()
+                .map(Serialize::serialize_value)
+                .collect(),
+        )
+    }
+}
+
+impl<T: Copy + Deserialize + 'static> Deserialize for Arena<T> {
+    fn deserialize_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        Vec::<T>::deserialize_value(value).map(Arena::Owned)
+    }
+}
+
 /// The per-codec row payload arena.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum RowData {
     /// `len · dims` raw values.
-    F32 { values: Vec<f32> },
+    F32 { values: Arena<f32> },
     /// `len · dims` codes plus one `scale`/`min` pair per row.
     Sq8 {
-        codes: Vec<u8>,
-        scales: Vec<f32>,
-        mins: Vec<f32>,
+        codes: Arena<u8>,
+        scales: Arena<f32>,
+        mins: Arena<f32>,
+    },
+}
+
+/// Borrowed view of a store's raw codec payloads, in row order — what the
+/// snapshot writer serialises verbatim.
+pub(crate) enum RowParts<'a> {
+    F32 {
+        values: &'a [f32],
+    },
+    Sq8 {
+        codes: &'a [u8],
+        scales: &'a [f32],
+        mins: &'a [f32],
     },
 }
 
@@ -79,7 +252,7 @@ enum RowData {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RowStore {
     dims: usize,
-    ids: Vec<u64>,
+    ids: Arena<u64>,
     data: RowData,
 }
 
@@ -87,18 +260,114 @@ impl RowStore {
     /// Creates an empty store for `dims`-dimensional rows.
     pub fn new(dims: usize, quantization: Quantization) -> Self {
         let data = match quantization {
-            Quantization::F32 => RowData::F32 { values: Vec::new() },
+            Quantization::F32 => RowData::F32 {
+                values: Arena::new(),
+            },
             Quantization::Sq8 => RowData::Sq8 {
-                codes: Vec::new(),
-                scales: Vec::new(),
-                mins: Vec::new(),
+                codes: Arena::new(),
+                scales: Arena::new(),
+                mins: Arena::new(),
             },
         };
         Self {
             dims,
-            ids: Vec::new(),
+            ids: Arena::new(),
             data,
         }
+    }
+
+    /// Assembles an `f32` store directly from arenas (the snapshot loader's
+    /// zero-copy path — mapped arenas make the store borrow the snapshot
+    /// file).
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Corrupt`] when the arena lengths disagree.
+    pub(crate) fn from_arenas_f32(
+        dims: usize,
+        ids: Arena<u64>,
+        values: Arena<f32>,
+    ) -> Result<Self> {
+        if values.as_slice().len() != ids.as_slice().len() * dims {
+            return Err(StoreError::Corrupt(format!(
+                "f32 arena holds {} values for {} rows of {dims} dims",
+                values.as_slice().len(),
+                ids.as_slice().len()
+            )));
+        }
+        Ok(Self {
+            dims,
+            ids,
+            data: RowData::F32 { values },
+        })
+    }
+
+    /// Assembles an SQ8 store directly from arenas (see
+    /// [`RowStore::from_arenas_f32`]).
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Corrupt`] when the arena lengths disagree.
+    pub(crate) fn from_arenas_sq8(
+        dims: usize,
+        ids: Arena<u64>,
+        codes: Arena<u8>,
+        scales: Arena<f32>,
+        mins: Arena<f32>,
+    ) -> Result<Self> {
+        let rows = ids.as_slice().len();
+        if codes.as_slice().len() != rows * dims
+            || scales.as_slice().len() != rows
+            || mins.as_slice().len() != rows
+        {
+            return Err(StoreError::Corrupt(format!(
+                "sq8 arenas hold {} codes / {} scales / {} mins for {rows} rows of {dims} dims",
+                codes.as_slice().len(),
+                scales.as_slice().len(),
+                mins.as_slice().len()
+            )));
+        }
+        Ok(Self {
+            dims,
+            ids,
+            data: RowData::Sq8 {
+                codes,
+                scales,
+                mins,
+            },
+        })
+    }
+
+    /// The raw `(ids, payload)` arenas, in row order.
+    pub(crate) fn parts(&self) -> (&[u64], RowParts<'_>) {
+        let parts = match &self.data {
+            RowData::F32 { values } => RowParts::F32 {
+                values: values.as_slice(),
+            },
+            RowData::Sq8 {
+                codes,
+                scales,
+                mins,
+            } => RowParts::Sq8 {
+                codes: codes.as_slice(),
+                scales: scales.as_slice(),
+                mins: mins.as_slice(),
+            },
+        };
+        (self.ids.as_slice(), parts)
+    }
+
+    /// `true` while any arena still borrows a mapped snapshot region
+    /// (i.e. the store is serving zero-copy and has not been mutated).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_mapped(&self) -> bool {
+        self.ids.is_mapped()
+            || match &self.data {
+                RowData::F32 { values } => values.is_mapped(),
+                RowData::Sq8 {
+                    codes,
+                    scales,
+                    mins,
+                } => codes.is_mapped() || scales.is_mapped() || mins.is_mapped(),
+            }
     }
 
     /// The codec rows are stored in.
@@ -116,17 +385,17 @@ impl RowStore {
 
     /// Number of stored rows.
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.ids.as_slice().len()
     }
 
     /// `true` when no rows are stored.
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.ids.as_slice().is_empty()
     }
 
     /// The row ids, in row order.
     pub fn ids(&self) -> &[u64] {
-        &self.ids
+        self.ids.as_slice()
     }
 
     /// Appends a row (encoding it under the store's codec).
@@ -135,18 +404,18 @@ impl RowStore {
     /// validate at their API boundary).
     pub fn push(&mut self, id: u64, embedding: &[f32]) {
         debug_assert_eq!(embedding.len(), self.dims, "push: row width mismatch");
-        self.ids.push(id);
+        self.ids.make_mut().push(id);
         match &mut self.data {
-            RowData::F32 { values } => values.extend_from_slice(embedding),
+            RowData::F32 { values } => values.make_mut().extend_from_slice(embedding),
             RowData::Sq8 {
                 codes,
                 scales,
                 mins,
             } => {
                 let q = QuantizedVec::quantize(embedding);
-                codes.extend_from_slice(&q.codes);
-                scales.push(q.scale);
-                mins.push(q.min);
+                codes.make_mut().extend_from_slice(&q.codes);
+                scales.make_mut().push(q.scale);
+                mins.make_mut().push(q.min);
             }
         }
     }
@@ -156,16 +425,16 @@ impl RowStore {
         debug_assert_eq!(embedding.len(), self.dims, "replace: row width mismatch");
         let span = pos * self.dims..(pos + 1) * self.dims;
         match &mut self.data {
-            RowData::F32 { values } => values[span].copy_from_slice(embedding),
+            RowData::F32 { values } => values.make_mut()[span].copy_from_slice(embedding),
             RowData::Sq8 {
                 codes,
                 scales,
                 mins,
             } => {
                 let q = QuantizedVec::quantize(embedding);
-                codes[span].copy_from_slice(&q.codes);
-                scales[pos] = q.scale;
-                mins[pos] = q.min;
+                codes.make_mut()[span].copy_from_slice(&q.codes);
+                scales.make_mut()[pos] = q.scale;
+                mins.make_mut()[pos] = q.min;
             }
         }
     }
@@ -177,10 +446,10 @@ impl RowStore {
     pub fn push_row_from(&mut self, other: &RowStore, pos: usize) {
         debug_assert_eq!(self.dims, other.dims, "push_row_from: dims mismatch");
         let span = pos * self.dims..(pos + 1) * self.dims;
-        self.ids.push(other.ids[pos]);
+        self.ids.make_mut().push(other.ids.as_slice()[pos]);
         match (&mut self.data, &other.data) {
             (RowData::F32 { values }, RowData::F32 { values: src }) => {
-                values.extend_from_slice(&src[span]);
+                values.make_mut().extend_from_slice(&src.as_slice()[span]);
             }
             (
                 RowData::Sq8 {
@@ -194,9 +463,11 @@ impl RowStore {
                     mins: src_mins,
                 },
             ) => {
-                codes.extend_from_slice(&src_codes[span]);
-                scales.push(src_scales[pos]);
-                mins.push(src_mins[pos]);
+                codes
+                    .make_mut()
+                    .extend_from_slice(&src_codes.as_slice()[span]);
+                scales.make_mut().push(src_scales.as_slice()[pos]);
+                mins.make_mut().push(src_mins.as_slice()[pos]);
             }
             _ => panic!("push_row_from: codec mismatch"),
         }
@@ -206,22 +477,23 @@ impl RowStore {
     /// that moved into `pos` (the former last row), if any — callers
     /// maintaining an id → position map must remap it.
     pub fn swap_remove(&mut self, pos: usize) -> Option<u64> {
-        let last = self.ids.len() - 1;
-        self.ids.swap(pos, last);
-        self.ids.pop();
+        let ids = self.ids.make_mut();
+        let last = ids.len() - 1;
+        ids.swap(pos, last);
+        ids.pop();
         match &mut self.data {
-            RowData::F32 { values } => swap_remove_span(values, pos, last, self.dims),
+            RowData::F32 { values } => swap_remove_span(values.make_mut(), pos, last, self.dims),
             RowData::Sq8 {
                 codes,
                 scales,
                 mins,
             } => {
-                swap_remove_span(codes, pos, last, self.dims);
-                swap_remove_span(scales, pos, last, 1);
-                swap_remove_span(mins, pos, last, 1);
+                swap_remove_span(codes.make_mut(), pos, last, self.dims);
+                swap_remove_span(scales.make_mut(), pos, last, 1);
+                swap_remove_span(mins.make_mut(), pos, last, 1);
             }
         }
-        (pos != last).then(|| self.ids[pos])
+        (pos != last).then(|| self.ids.as_slice()[pos])
     }
 
     /// Appends the `f32` view of row `pos` to `out` (a copy for `F32`, a
@@ -234,14 +506,18 @@ impl RowStore {
     fn extend_row_f32_ref(data: &RowData, dims: usize, pos: usize, out: &mut Vec<f32>) {
         let span = pos * dims..(pos + 1) * dims;
         match data {
-            RowData::F32 { values } => out.extend_from_slice(&values[span]),
+            RowData::F32 { values } => out.extend_from_slice(&values.as_slice()[span]),
             RowData::Sq8 {
                 codes,
                 scales,
                 mins,
             } => {
-                let (scale, min) = (scales[pos], mins[pos]);
-                out.extend(codes[span].iter().map(|&c| min + c as f32 * scale));
+                let (scale, min) = (scales.as_slice()[pos], mins.as_slice()[pos]);
+                out.extend(
+                    codes.as_slice()[span]
+                        .iter()
+                        .map(|&c| min + c as f32 * scale),
+                );
             }
         }
     }
@@ -265,9 +541,9 @@ impl RowStore {
                 scales,
                 mins,
             } => Some((
-                &codes[pos * self.dims..(pos + 1) * self.dims],
-                scales[pos],
-                mins[pos],
+                &codes.as_slice()[pos * self.dims..(pos + 1) * self.dims],
+                scales.as_slice()[pos],
+                mins.as_slice()[pos],
             )),
         }
     }
@@ -282,6 +558,7 @@ impl RowStore {
     pub fn scores_seq(&self, query: &[f32]) -> Vec<f32> {
         match &self.data {
             RowData::F32 { values } => values
+                .as_slice()
                 .chunks_exact(self.dims)
                 .map(|row| vector::cosine_similarity_normalized(query, row))
                 .collect(),
@@ -291,7 +568,9 @@ impl RowStore {
                 mins,
             } => {
                 let query_sum = vector::sum(query);
+                let (scales, mins) = (scales.as_slice(), mins.as_slice());
                 codes
+                    .as_slice()
                     .chunks_exact(self.dims)
                     .enumerate()
                     .map(|(row, chunk)| {
@@ -309,6 +588,7 @@ impl RowStore {
     pub fn scores_par(&self, query: &[f32]) -> Vec<f32> {
         match &self.data {
             RowData::F32 { values } => values
+                .as_slice()
                 .par_chunks(self.dims)
                 .map(|row| vector::cosine_similarity_normalized(query, row))
                 .collect(),
@@ -318,7 +598,9 @@ impl RowStore {
                 mins,
             } => {
                 let query_sum = vector::sum(query);
+                let (scales, mins) = (scales.as_slice(), mins.as_slice());
                 codes
+                    .as_slice()
                     .par_chunks(self.dims)
                     .enumerate()
                     .map(|(row, chunk)| {
@@ -484,5 +766,131 @@ mod tests {
             // Neighbouring rows are untouched.
             assert!((store.row_f32(1)[1] - 1.0).abs() < 0.01);
         }
+    }
+
+    fn region_with(bytes: &[u8]) -> Arc<MapRegion> {
+        let dir = std::env::temp_dir().join("mc_store_rows_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "arena_{}_{}.bin",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::write(&path, bytes).unwrap();
+        let region = Arc::new(MapRegion::load(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+        region
+    }
+
+    #[test]
+    fn mapped_arena_reads_and_copies_on_write() {
+        let values: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0];
+        let mut bytes = Vec::new();
+        for v in &values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let region = region_with(&bytes);
+        let mut arena: Arena<f32> = Arena::mapped(Arc::clone(&region), 0, 4).unwrap();
+        assert!(arena.is_mapped());
+        assert_eq!(arena.as_slice(), &values[..]);
+        // First mutation detaches from the region.
+        arena.make_mut().push(5.0);
+        assert!(!arena.is_mapped());
+        assert_eq!(arena.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn mapped_arena_rejects_bad_windows() {
+        let region = region_with(&[0u8; 16]);
+        // Out of bounds.
+        assert!(matches!(
+            Arena::<f32>::mapped(Arc::clone(&region), 8, 3),
+            Err(StoreError::Corrupt(_))
+        ));
+        // Misaligned offset for 4-byte elements.
+        assert!(matches!(
+            Arena::<f32>::mapped(Arc::clone(&region), 2, 2),
+            Err(StoreError::Corrupt(_))
+        ));
+        // In-bounds and aligned is fine.
+        assert!(Arena::<f32>::mapped(region, 8, 2).is_ok());
+    }
+
+    #[test]
+    fn mapped_store_behaves_like_owned_until_mutated() {
+        // Build an owned store, serialise its arenas into a fake region,
+        // reassemble zero-copy, and check reads agree; then mutate and
+        // check the mapped store detaches without disturbing the original.
+        let dims = 8;
+        let mut owned = RowStore::new(dims, Quantization::Sq8);
+        let mut rng = mc_tensor::rng::seeded(11);
+        for id in 0..10u64 {
+            owned.push(id, &unit(mc_tensor::rng::uniform_vec(dims, 1.0, &mut rng)));
+        }
+        let (ids, parts) = owned.parts();
+        let RowParts::Sq8 {
+            codes,
+            scales,
+            mins,
+        } = parts
+        else {
+            panic!("sq8 store must expose sq8 parts");
+        };
+        let mut bytes = Vec::new();
+        for id in ids {
+            bytes.extend_from_slice(&id.to_le_bytes());
+        }
+        let codes_off = bytes.len();
+        bytes.extend_from_slice(codes);
+        while bytes.len() % 4 != 0 {
+            bytes.push(0);
+        }
+        let scales_off = bytes.len();
+        for s in scales {
+            bytes.extend_from_slice(&s.to_le_bytes());
+        }
+        let mins_off = bytes.len();
+        for m in mins {
+            bytes.extend_from_slice(&m.to_le_bytes());
+        }
+        let region = region_with(&bytes);
+        let mut mapped = RowStore::from_arenas_sq8(
+            dims,
+            Arena::mapped(Arc::clone(&region), 0, 10).unwrap(),
+            Arena::mapped(Arc::clone(&region), codes_off, 10 * dims).unwrap(),
+            Arena::mapped(Arc::clone(&region), scales_off, 10).unwrap(),
+            Arena::mapped(Arc::clone(&region), mins_off, 10).unwrap(),
+        )
+        .unwrap();
+        assert!(mapped.is_mapped());
+        assert_eq!(mapped.ids(), owned.ids());
+        let query = unit(mc_tensor::rng::uniform_vec(dims, 1.0, &mut rng));
+        assert_eq!(mapped.scores_seq(&query), owned.scores_seq(&query));
+        for pos in 0..owned.len() {
+            assert_eq!(mapped.sq8_row(pos), owned.sq8_row(pos));
+        }
+        // Copy-on-write: a removal detaches the arenas.
+        mapped.swap_remove(0);
+        assert!(!mapped.is_mapped());
+        assert_eq!(mapped.len(), 9);
+        assert_eq!(owned.len(), 10, "the original store is untouched");
+    }
+
+    #[test]
+    fn arena_length_mismatches_are_corrupt() {
+        let err =
+            RowStore::from_arenas_f32(4, Arena::Owned(vec![1, 2]), Arena::Owned(vec![0.0; 7]));
+        assert!(matches!(err, Err(StoreError::Corrupt(_))));
+        let err = RowStore::from_arenas_sq8(
+            4,
+            Arena::Owned(vec![1, 2]),
+            Arena::Owned(vec![0u8; 8]),
+            Arena::Owned(vec![0.0; 2]),
+            Arena::Owned(vec![0.0; 1]),
+        );
+        assert!(matches!(err, Err(StoreError::Corrupt(_))));
     }
 }

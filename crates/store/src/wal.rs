@@ -106,13 +106,25 @@ impl FromStr for FsyncPolicy {
     }
 }
 
-/// What [`FramedLog::open`] recovered (and dropped) while replaying a log.
+/// What a restore recovered (and dropped) while loading persisted state:
+/// filled by [`FramedLog::open`] replay, and extended by the snapshot tier
+/// (`meancache::persist`) when an [`MCSNAP01`](crate::snapshot) file served
+/// part of the load.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecoveryStats {
     /// Checksummed records successfully replayed.
     pub records_replayed: u64,
     /// Bytes truncated off the tail (torn final record or corrupt suffix).
     pub bytes_truncated: u64,
+    /// Logs (shards) whose state was restored from a mapped snapshot
+    /// instead of full log replay. Serde-defaulted so reports serialised
+    /// before the snapshot tier existed still deserialise.
+    #[serde(default)]
+    pub snapshot_loaded: u64,
+    /// Records newer than the snapshot that were replayed off the log tail
+    /// on top of a snapshot restore.
+    #[serde(default)]
+    pub wal_tail_replayed: u64,
 }
 
 impl RecoveryStats {
@@ -120,6 +132,8 @@ impl RecoveryStats {
     pub fn merge(&mut self, other: RecoveryStats) {
         self.records_replayed += other.records_replayed;
         self.bytes_truncated += other.bytes_truncated;
+        self.snapshot_loaded += other.snapshot_loaded;
+        self.wal_tail_replayed += other.wal_tail_replayed;
     }
 }
 
@@ -418,17 +432,22 @@ fn next_record(buf: &mut Bytes) -> Option<(Record, usize)> {
 
 /// Incremental IEEE CRC32 (the polynomial used by zlib/gzip/ethernet).
 ///
-/// Hand-rolled because the build is offline; table-driven, one byte per
-/// step, which is plenty for record-sized inputs on the log path.
+/// Hand-rolled because the build is offline. The kernel is slicing-by-16 —
+/// sixteen parallel lookup tables consuming 16 input bytes per step —
+/// because the snapshot tier ([`crate::snapshot`]) checksums multi-megabyte
+/// arena sections on every restore, where the classic one-byte-per-step
+/// loop would dominate the restore time the snapshot exists to eliminate.
+/// The value is bit-identical to the byte-at-a-time formulation (the unit
+/// tests pin both against known vectors).
 #[derive(Debug, Clone)]
 pub struct Crc32 {
     state: u32,
 }
 
-static CRC32_TABLE: [u32; 256] = build_crc32_table();
+static CRC32_TABLE16: [[u32; 256]; 16] = build_crc32_table16();
 
-const fn build_crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_crc32_table16() -> [[u32; 256]; 16] {
+    let mut tables = [[0u32; 256]; 16];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -441,10 +460,21 @@ const fn build_crc32_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = tables[0][i];
+        let mut t = 1;
+        while t < 16 {
+            crc = (crc >> 8) ^ tables[0][(crc & 0xFF) as usize];
+            tables[t][i] = crc;
+            t += 1;
+        }
+        i += 1;
+    }
+    tables
 }
 
 impl Default for Crc32 {
@@ -462,8 +492,31 @@ impl Crc32 {
     /// Feeds bytes into the checksum.
     pub fn update(&mut self, bytes: &[u8]) {
         let mut state = self.state;
-        for &b in bytes {
-            state = (state >> 8) ^ CRC32_TABLE[((state ^ b as u32) & 0xFF) as usize];
+        let mut chunks = bytes.chunks_exact(16);
+        for chunk in &mut chunks {
+            let a = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ state;
+            let b = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+            let c = u32::from_le_bytes([chunk[8], chunk[9], chunk[10], chunk[11]]);
+            let d = u32::from_le_bytes([chunk[12], chunk[13], chunk[14], chunk[15]]);
+            state = CRC32_TABLE16[15][(a & 0xFF) as usize]
+                ^ CRC32_TABLE16[14][((a >> 8) & 0xFF) as usize]
+                ^ CRC32_TABLE16[13][((a >> 16) & 0xFF) as usize]
+                ^ CRC32_TABLE16[12][(a >> 24) as usize]
+                ^ CRC32_TABLE16[11][(b & 0xFF) as usize]
+                ^ CRC32_TABLE16[10][((b >> 8) & 0xFF) as usize]
+                ^ CRC32_TABLE16[9][((b >> 16) & 0xFF) as usize]
+                ^ CRC32_TABLE16[8][(b >> 24) as usize]
+                ^ CRC32_TABLE16[7][(c & 0xFF) as usize]
+                ^ CRC32_TABLE16[6][((c >> 8) & 0xFF) as usize]
+                ^ CRC32_TABLE16[5][((c >> 16) & 0xFF) as usize]
+                ^ CRC32_TABLE16[4][(c >> 24) as usize]
+                ^ CRC32_TABLE16[3][(d & 0xFF) as usize]
+                ^ CRC32_TABLE16[2][((d >> 8) & 0xFF) as usize]
+                ^ CRC32_TABLE16[1][((d >> 16) & 0xFF) as usize]
+                ^ CRC32_TABLE16[0][(d >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            state = (state >> 8) ^ CRC32_TABLE16[0][((state ^ b as u32) & 0xFF) as usize];
         }
         self.state = state;
     }
@@ -479,6 +532,42 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = Crc32::new();
     crc.update(bytes);
     crc.finish()
+}
+
+/// Reads the checksum-valid framed records at byte offsets `>= offset` of
+/// the log at `path` — the **tail replay** primitive of a snapshot restore:
+/// a snapshot records the log length it captured, and everything appended
+/// after that offset is replayed on top of the mapped state.
+///
+/// Returns the records plus the torn bytes left after the last valid frame
+/// (0 for a clean tail; a torn tail here is not truncated — the next
+/// [`FramedLog::open`] owns repair).
+///
+/// # Errors
+/// Returns [`StoreError::Io`] when the file cannot be read and
+/// [`StoreError::Corrupt`] when `offset` lies before the end of the
+/// [`MAGIC`] header or past the end of the file (the snapshot and the log
+/// disagree about history; callers fall back to full replay).
+pub fn read_records_from(path: &Path, offset: u64) -> Result<(Vec<Record>, u64)> {
+    if offset < MAGIC.len() as u64 {
+        return Err(StoreError::Corrupt(format!(
+            "tail offset {offset} lies inside the {MAGIC:?} header"
+        )));
+    }
+    let raw = std::fs::read(path)?;
+    if offset > raw.len() as u64 {
+        return Err(StoreError::Corrupt(format!(
+            "tail offset {offset} is past the end of the {}-byte log",
+            raw.len()
+        )));
+    }
+    let mut buf = Bytes::from(raw);
+    buf.advance(offset as usize);
+    let mut records = Vec::new();
+    while let Some((record, _)) = next_record(&mut buf) {
+        records.push(record);
+    }
+    Ok((records, buf.remaining() as u64))
 }
 
 #[cfg(test)]

@@ -7,6 +7,13 @@
 //! ways (single byte flips at arbitrary offsets, truncation at arbitrary
 //! and at *every* offset) and check both the raw [`DiskStore`] layer and
 //! the full sharded-cache load path on top of it.
+//!
+//! The `MCSNAP01` snapshot sidecar (see `docs/FORMAT.md`) extends the
+//! contract rather than weakening it: snapshots are an *accelerator*, so a
+//! mangled or version-bumped snapshot over a pristine log must cost only
+//! restore speed — the load falls back to replay and recovers everything —
+//! and a snapshot plus a WAL tail must restore a cache that is
+//! decision-identical to replaying the whole log.
 
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -14,8 +21,11 @@ use std::sync::OnceLock;
 use mc_embedder::{ModelProfile, QueryEncoder};
 use mc_store::{CacheEntry, DiskStore, StoreError};
 use mc_tensor::Vector;
-use meancache::persist::{load_sharded_cache_with_report, save_sharded_cache_with_config};
-use meancache::{MeanCacheConfig, SemanticCache, ShardedCache};
+use meancache::persist::{
+    load_cache_with_report, load_sharded_cache_with_report, save_cache,
+    save_sharded_cache_with_config, snapshot_path,
+};
+use meancache::{MeanCache, MeanCacheConfig, SemanticCache, ShardedCache};
 use proptest::prelude::*;
 
 const SHARDS: usize = 2;
@@ -39,12 +49,14 @@ fn shard_log_name(shard: usize) -> String {
 }
 
 /// A pristine sharded save, captured once: the on-disk bytes of every
-/// sidecar/log plus the decoded per-shard entries (in log order) to
-/// compare recovered state against.
+/// sidecar/log/snapshot plus the decoded per-shard entries (in log order)
+/// to compare recovered state against.
 struct Fixture {
     encoder: QueryEncoder,
+    config: MeanCacheConfig,
     sidecar: Vec<u8>,
     shard_logs: Vec<Vec<u8>>,
+    shard_snaps: Vec<Vec<u8>>,
     shard_entries: Vec<Vec<CacheEntry>>,
     responses: Vec<String>,
 }
@@ -57,7 +69,7 @@ fn fixture() -> &'static Fixture {
         let config = MeanCacheConfig::default()
             .with_threshold(0.7)
             .with_shards(SHARDS);
-        let mut cache = ShardedCache::new(encoder.clone(), config).unwrap();
+        let mut cache = ShardedCache::new(encoder.clone(), config.clone()).unwrap();
         let mut responses = Vec::new();
         for i in 0..ENTRIES {
             let query = format!("corruption fixture topic number {i} with unique words");
@@ -71,35 +83,62 @@ fn fixture() -> &'static Fixture {
 
         let sidecar = std::fs::read(dir.join("cache.log.config.json")).unwrap();
         let mut shard_logs = Vec::new();
+        let mut shard_snaps = Vec::new();
         let mut shard_entries = Vec::new();
         for shard in 0..SHARDS {
             let path = dir.join(shard_log_name(shard));
             shard_logs.push(std::fs::read(&path).unwrap());
+            shard_snaps.push(std::fs::read(snapshot_path(&path)).unwrap());
             let store = DiskStore::open(&path).unwrap();
             shard_entries.push(store.iter().cloned().collect());
         }
         std::fs::remove_dir_all(&dir).ok();
         Fixture {
             encoder,
+            config,
             sidecar,
             shard_logs,
+            shard_snaps,
             shard_entries,
             responses,
         }
     })
 }
 
-/// Writes a full copy of the save into a fresh scratch dir, with one
-/// shard's log bytes replaced by `mutated`. Returns (dir, base path).
-fn materialize(tag: &str, fx: &Fixture, shard: usize, mutated: &[u8]) -> (PathBuf, PathBuf) {
+/// Writes a full copy of the save (sidecar, logs, snapshots) into a fresh
+/// scratch dir, with one shard's log and/or snapshot bytes replaced.
+/// Returns (dir, base path).
+fn materialize_with(
+    tag: &str,
+    fx: &Fixture,
+    shard: usize,
+    log: Option<&[u8]>,
+    snap: Option<&[u8]>,
+) -> (PathBuf, PathBuf) {
     let dir = scratch_dir(tag);
     std::fs::write(dir.join("cache.log.config.json"), &fx.sidecar).unwrap();
-    for (i, log) in fx.shard_logs.iter().enumerate() {
-        let bytes: &[u8] = if i == shard { mutated } else { log };
-        std::fs::write(dir.join(shard_log_name(i)), bytes).unwrap();
+    for (i, pristine) in fx.shard_logs.iter().enumerate() {
+        let path = dir.join(shard_log_name(i));
+        let log_bytes: &[u8] = match log {
+            Some(mutated) if i == shard => mutated,
+            _ => pristine,
+        };
+        let snap_bytes: &[u8] = match snap {
+            Some(mutated) if i == shard => mutated,
+            _ => &fx.shard_snaps[i],
+        };
+        std::fs::write(&path, log_bytes).unwrap();
+        std::fs::write(snapshot_path(&path), snap_bytes).unwrap();
     }
     let base = dir.join("cache.log");
     (dir, base)
+}
+
+/// [`materialize_with`] for the log-mangling tests: one shard's log bytes
+/// replaced by `mutated`, every snapshot left pristine (the fingerprint
+/// mismatch then forces those shards back onto replay).
+fn materialize(tag: &str, fx: &Fixture, shard: usize, mutated: &[u8]) -> (PathBuf, PathBuf) {
+    materialize_with(tag, fx, shard, Some(mutated), None)
 }
 
 /// Recovered entries must be an exact byte-level prefix of what the
@@ -185,6 +224,175 @@ proptest! {
         if let Ok((cache, _)) = load_sharded_cache_with_report(fx.encoder.clone(), &base) {
             assert_no_garbage_served(&cache, fx);
             prop_assert!(SemanticCache::len(&cache) <= ENTRIES);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A single flipped byte anywhere in a shard's `MCSNAP01` snapshot:
+    /// the raw loader either fails with a clean `Corrupt` or — when the
+    /// flip lands in alignment padding no checksum covers — decodes
+    /// exactly the saved entries; it never surfaces mutated content. The
+    /// sharded load on top must recover *everything*, because the logs are
+    /// pristine and snapshots are only an accelerator.
+    #[test]
+    fn flipped_snapshot_byte_never_serves_garbage(
+        shard in 0usize..SHARDS,
+        frac in 0.0f64..1.0,
+        mask in 1u8..255,
+    ) {
+        let fx = fixture();
+        let mut snap = fx.shard_snaps[shard].clone();
+        let offset = ((frac * snap.len() as f64) as usize).min(snap.len() - 1);
+        snap[offset] ^= mask;
+
+        let (dir, base) = materialize_with("snapflip", fx, shard, None, Some(&snap));
+        let snap_file = snapshot_path(&dir.join(shard_log_name(shard)));
+        match mc_store::load_snapshot(&snap_file, &fx.config.index) {
+            Ok(restored) => {
+                prop_assert_eq!(restored.entries.len(), fx.shard_entries[shard].len());
+                for entry in &restored.entries {
+                    prop_assert!(
+                        fx.shard_entries[shard].iter().any(|p| {
+                            p.id == entry.id
+                                && p.query == entry.query
+                                && p.response == entry.response
+                        }),
+                        "snapshot decoded an entry that was never saved"
+                    );
+                }
+            }
+            Err(StoreError::Corrupt(_)) => {}
+            Err(other) => panic!("snapshot byte flip must not produce {other:?}"),
+        }
+        let (cache, _) = load_sharded_cache_with_report(fx.encoder.clone(), &base)
+            .expect("pristine logs must load regardless of snapshot damage");
+        prop_assert_eq!(SemanticCache::len(&cache), ENTRIES);
+        assert_no_garbage_served(&cache, fx);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A snapshot written by a future format revision (`MCSNAP02`) must be
+/// rejected with a clean, explicit error by the raw loader — and the full
+/// load must shrug it off, replay the log, and (with snapshots enabled)
+/// rewrite the sidecar at the version this build understands.
+#[test]
+fn bumped_snapshot_version_is_rejected_cleanly() {
+    let fx = fixture();
+    let mut snap = fx.shard_snaps[0].clone();
+    assert_eq!(&snap[..8], b"MCSNAP01", "fixture snapshot magic");
+    snap[7] = b'2';
+
+    let (dir, base) = materialize_with("snapver", fx, 0, None, Some(&snap));
+    let snap_file = snapshot_path(&dir.join(shard_log_name(0)));
+    match mc_store::load_snapshot(&snap_file, &fx.config.index) {
+        Err(StoreError::Corrupt(msg)) => assert!(
+            msg.contains("unsupported snapshot version"),
+            "version rejection must say so, got: {msg}"
+        ),
+        other => panic!("a version-bumped snapshot must be rejected, got {other:?}"),
+    }
+
+    let (cache, report) = load_sharded_cache_with_report(fx.encoder.clone(), &base)
+        .expect("replay fallback must absorb an unreadable snapshot");
+    assert_eq!(SemanticCache::len(&cache), ENTRIES);
+    assert_eq!(
+        report.snapshot_loaded,
+        SHARDS as u64 - 1,
+        "only the bumped shard may fall back to replay"
+    );
+    assert_no_garbage_served(&cache, fx);
+    // The migration pass rewrites the rejected sidecar at today's version.
+    let rewritten = std::fs::read(&snap_file).unwrap();
+    assert_eq!(&rewritten[..8], b"MCSNAP01");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Crash-window property: a snapshot plus however many inserts the log
+    /// gained afterwards must restore a cache that answers every probe —
+    /// snapshotted, tail-appended, or novel — exactly like a full log
+    /// replay of the same file.
+    #[test]
+    fn snapshot_plus_tail_restore_matches_full_replay(
+        base_n in 4usize..20,
+        tail_n in 0usize..6,
+    ) {
+        let fx = fixture();
+        let dir = scratch_dir("tail");
+        let path = dir.join("tail.log");
+        let config = MeanCacheConfig {
+            capacity: 64,
+            ..MeanCacheConfig::default().with_threshold(0.7)
+        };
+        let template = || MeanCache::new(fx.encoder.clone(), config.clone()).unwrap();
+
+        // A cache that saved a snapshot...
+        let mut cache = template();
+        let base_query = |i: usize| format!("tail fixture base query {i} about subject {i}");
+        for i in 0..base_n {
+            cache.insert(&base_query(i), &format!("base response {i}"), &[]).unwrap();
+        }
+        save_cache(&cache, &path).unwrap();
+        // ...then the log gained inserts before the next snapshot (the
+        // crash window a graceful shutdown would have closed).
+        let tail_query =
+            |t: usize| format!("tail fixture appended probe {t} on an unrelated theme");
+        {
+            let mut disk = DiskStore::open(&path).unwrap();
+            for t in 0..tail_n {
+                let query = tail_query(t);
+                let embedding = fx.encoder.encode(&query);
+                let id = (base_n + t) as u64;
+                disk.insert(CacheEntry::new(
+                    id,
+                    query,
+                    format!("tail response {t}"),
+                    embedding,
+                    None,
+                    id,
+                ))
+                .unwrap();
+            }
+        }
+
+        // Fast path: snapshot + tail replay.
+        let (mut via_snapshot, report) = load_cache_with_report(template(), &path).unwrap();
+        prop_assert_eq!(report.snapshot_loaded, 1, "snapshot restore must engage");
+        prop_assert_eq!(report.wal_tail_replayed, tail_n as u64);
+        // Reference: the same log replayed in full (no snapshot sidecar).
+        let replay_path = dir.join("replay.log");
+        std::fs::copy(&path, &replay_path).unwrap();
+        let (mut via_replay, report) = load_cache_with_report(template(), &replay_path).unwrap();
+        prop_assert_eq!(report.snapshot_loaded, 0, "reference must be a pure replay");
+
+        prop_assert_eq!(SemanticCache::len(&via_replay), SemanticCache::len(&via_snapshot));
+        for i in 0..base_n {
+            let query = base_query(i);
+            prop_assert!(
+                via_replay.lookup(&query, &[]) == via_snapshot.lookup(&query, &[]),
+                "diverged on snapshotted entry {i}"
+            );
+        }
+        for t in 0..tail_n {
+            let query = tail_query(t);
+            prop_assert!(
+                via_replay.lookup(&query, &[]) == via_snapshot.lookup(&query, &[]),
+                "diverged on tail entry {t}"
+            );
+        }
+        for p in 0..4usize {
+            let query = format!("novel zzqx probe {p} matching nothing stored");
+            prop_assert!(
+                via_replay.lookup(&query, &[]) == via_snapshot.lookup(&query, &[]),
+                "diverged on novel probe {p}"
+            );
         }
         std::fs::remove_dir_all(&dir).ok();
     }
