@@ -84,7 +84,7 @@ pub use cache::{CacheDecisionOutcome, CacheHit, CacheStats, MeanCache, SemanticC
 pub use config::{MeanCacheConfig, SnapshotPolicy};
 pub use deploy::{Deployment, DeploymentReport, ProbeSpec, QueryRecord};
 pub use gptcache::{GptCacheBaseline, GptCacheConfig};
-pub use shard::{reshard, route_key, RoutingMode, ShardedCache};
+pub use shard::{reshard, route_key, RoutingMode, ShardStat, ShardedCache};
 
 /// Errors surfaced by the cache layer.
 #[derive(Debug)]

@@ -222,6 +222,35 @@ pub struct ShardedCache {
     scatter_lookups: AtomicU64,
     scatter_hits: AtomicU64,
     scatter_context_rejections: AtomicU64,
+    /// Per-shard contention telemetry: how many lock acquisitions on the
+    /// serving paths failed the `try_lock` fast path, and the total time
+    /// those acquisitions then spent blocked. Uncontended acquisitions
+    /// never read the clock.
+    lock_contended: Vec<AtomicU64>,
+    lock_wait_us: Vec<AtomicU64>,
+}
+
+/// Point-in-time per-shard counters for dashboards
+/// ([`ShardedCache::shard_stats`]). `probes`/`hits` count the shard's own
+/// recorded lookups — scatter-gather fan-outs probe shards *quietly* and
+/// are accounted at the cache level, not here.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStat {
+    /// Live entries resident in the shard.
+    pub occupancy: usize,
+    /// Lookups recorded against this shard.
+    pub probes: u64,
+    /// Hits recorded against this shard.
+    pub hits: u64,
+    /// Entries accepted by this shard.
+    pub inserts: u64,
+    /// Inserted entries no longer resident (derived: `inserts −
+    /// occupancy`), i.e. evicted or replaced.
+    pub evictions: u64,
+    /// Serving-path lock acquisitions that had to block.
+    pub lock_contended: u64,
+    /// Total microseconds those acquisitions spent blocked.
+    pub lock_wait_us: u64,
 }
 
 impl ShardedCache {
@@ -254,6 +283,8 @@ impl ShardedCache {
             scatter_lookups: AtomicU64::new(0),
             scatter_hits: AtomicU64::new(0),
             scatter_context_rejections: AtomicU64::new(0),
+            lock_contended: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+            lock_wait_us: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
         })
     }
 
@@ -631,6 +662,47 @@ impl ShardedCache {
         self.shards.iter().map(|s| read(s).len()).collect()
     }
 
+    /// Per-shard dashboard counters: occupancy, recorded probes/hits,
+    /// inserts, derived evictions, and the contention telemetry the
+    /// tracked lock paths accumulate. Takes each shard's read lock briefly
+    /// (untracked, so polling stats never inflates the contention it
+    /// measures).
+    pub fn shard_stats(&self) -> Vec<ShardStat> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let (occupancy, stats) = {
+                    let guard = read(shard);
+                    (guard.len(), guard.stats())
+                };
+                ShardStat {
+                    occupancy,
+                    probes: stats.lookups,
+                    hits: stats.hits,
+                    inserts: stats.inserts,
+                    evictions: stats.inserts.saturating_sub(occupancy as u64),
+                    lock_contended: self.lock_contended[i].load(Ordering::Relaxed),
+                    lock_wait_us: self.lock_wait_us[i].load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+
+    /// Pre-resolves `query`'s embedding through the memo-cache, reporting
+    /// whether it was already memoized (`Some(true)`), had to run the
+    /// encoder (`Some(false)`), or no memo is installed (`None`, nothing
+    /// encoded). Because memoized embeddings are bit-identical to a cold
+    /// encode, a subsequent probe/insert of the same query is unaffected
+    /// beyond its internal encode becoming a guaranteed memo hit — the
+    /// serve layer's tracing uses this to split "encode" time out of
+    /// "probe" time for sampled requests.
+    pub fn warm_memo(&self, query: &str) -> Option<bool> {
+        let memo = self.memo.as_ref()?;
+        let (_, outcome) = memo.get_or_encode_attributed(query, |t| self.encoder.encode(t));
+        Some(outcome.hit)
+    }
+
     /// Drops every cached entry and every root pin while keeping the
     /// configuration (live threshold included), the encoder, and any
     /// seeded routing centroids — a flush must not silently degrade
@@ -660,6 +732,9 @@ impl ShardedCache {
         self.scatter_lookups = AtomicU64::new(0);
         self.scatter_hits = AtomicU64::new(0);
         self.scatter_context_rejections = AtomicU64::new(0);
+        for counter in self.lock_contended.iter().chain(&self.lock_wait_us) {
+            counter.store(0, Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -706,7 +781,7 @@ impl ShardedCache {
         let semantic = self.config.routing != RoutingMode::Hash;
         let total = if semantic { self.total_occupancy() } else { 0 };
         let local = {
-            let mut cache = write(&self.shards[shard]);
+            let mut cache = self.write_tracked(shard);
             apply_capacity_borrowing(self.config.routing, self.config.capacity, &mut cache, total);
             cache.insert(query, response, context)?
         };
@@ -726,7 +801,8 @@ impl ShardedCache {
             let (shard, local) = self.split_id(hit.entry_id);
             let mut local_hit = hit.clone();
             local_hit.entry_id = local;
-            write(&self.shards[shard]).commit(&CacheDecisionOutcome::Hit(local_hit));
+            self.write_tracked(shard)
+                .commit(&CacheDecisionOutcome::Hit(local_hit));
         }
     }
 
@@ -767,7 +843,7 @@ impl ShardedCache {
         let per_shard: Vec<crate::cache::ScatterProbe> = shard_indices
             .par_iter()
             .map(|&shard| {
-                read(&self.shards[shard]).probe_scatter(
+                self.read_tracked(shard).probe_scatter(
                     query_embedding.as_slice(),
                     context_embedding.as_ref().map(|e| e.as_slice()),
                 )
@@ -842,7 +918,7 @@ impl ShardedCache {
         let shard_indices: Vec<usize> = (0..self.shards.len()).collect();
         let mut per_shard: Vec<Vec<crate::cache::ScatterProbe>> = shard_indices
             .par_iter()
-            .map(|&shard| read(&self.shards[shard]).probe_scatter_batch(&prepared))
+            .map(|&shard| self.read_tracked(shard).probe_scatter_batch(&prepared))
             .collect();
         (0..probes.len())
             .map(|pos| {
@@ -887,6 +963,53 @@ impl Clone for ShardedCache {
             scatter_context_rejections: AtomicU64::new(
                 self.scatter_context_rejections.load(Ordering::Relaxed),
             ),
+            lock_contended: self
+                .lock_contended
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
+            lock_wait_us: self
+                .lock_wait_us
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+impl ShardedCache {
+    /// [`read`] with contention accounting: an uncontended acquisition is
+    /// a bare `try_read` (no clock access); only a blocked one times its
+    /// wait and bumps this shard's [`ShardStat::lock_contended`].
+    fn read_tracked(&self, shard: usize) -> std::sync::RwLockReadGuard<'_, MeanCache> {
+        match self.shards[shard].try_read() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                let start = std::time::Instant::now();
+                let guard = read(&self.shards[shard]);
+                self.lock_contended[shard].fetch_add(1, Ordering::Relaxed);
+                self.lock_wait_us[shard]
+                    .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                guard
+            }
+        }
+    }
+
+    /// [`write`] with the same contention accounting as
+    /// [`ShardedCache::read_tracked`].
+    fn write_tracked(&self, shard: usize) -> std::sync::RwLockWriteGuard<'_, MeanCache> {
+        match self.shards[shard].try_write() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                let start = std::time::Instant::now();
+                let guard = write(&self.shards[shard]);
+                self.lock_contended[shard].fetch_add(1, Ordering::Relaxed);
+                self.lock_wait_us[shard]
+                    .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                guard
+            }
         }
     }
 }
@@ -960,7 +1083,7 @@ impl SemanticCache for ShardedCache {
             RoutingMode::Centroid => self.semantic_route(query, context).0,
             RoutingMode::ScatterGather => return self.probe_scatter(query, context),
         };
-        let outcome = read(&self.shards[shard]).probe(query, context);
+        let outcome = self.read_tracked(shard).probe(query, context);
         self.globalise(shard, outcome)
     }
 
@@ -995,7 +1118,7 @@ impl SemanticCache for ShardedCache {
             .map(|(shard, positions)| {
                 let shard_probes: Vec<(&str, &[String])> =
                     positions.iter().map(|&pos| probes[pos]).collect();
-                let outcomes = read(&self.shards[*shard]).probe_batch(&shard_probes);
+                let outcomes = self.read_tracked(*shard).probe_batch(&shard_probes);
                 outcomes
                     .into_iter()
                     .map(|outcome| self.globalise(*shard, outcome))
@@ -1373,6 +1496,55 @@ mod tests {
             .is_miss());
         assert!(cache.lookup("change the color to red", &[]).is_miss());
         assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn shard_stats_track_per_shard_activity() {
+        let mut cache = sharded(4, 0.6);
+        for i in 0..24 {
+            cache
+                .insert(&format!("distinct topic number {i}"), &format!("r{i}"), &[])
+                .unwrap();
+        }
+        cache.lookup("distinct topic number 3", &[]);
+        cache.lookup("distinct topic number 9", &[]);
+
+        let stats = cache.shard_stats();
+        assert_eq!(stats.len(), 4);
+        let total_occupancy: usize = stats.iter().map(|s| s.occupancy).sum();
+        assert_eq!(total_occupancy, cache.len());
+        let total_inserts: u64 = stats.iter().map(|s| s.inserts).sum();
+        assert_eq!(total_inserts, 24);
+        let total_hits: u64 = stats.iter().map(|s| s.hits).sum();
+        assert_eq!(total_hits, 2);
+        // Nothing evicted yet, and the single-owner path never contends.
+        assert!(stats.iter().all(|s| s.evictions == 0));
+        assert!(stats.iter().all(|s| s.lock_contended == 0));
+
+        // The JSON representation round-trips (the serve snapshot embeds
+        // these).
+        let json = serde_json::to_string(&stats).unwrap();
+        let parsed: Vec<ShardStat> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, stats);
+
+        cache.clear().unwrap();
+        assert!(cache
+            .shard_stats()
+            .iter()
+            .all(|s| s == &ShardStat::default()));
+    }
+
+    #[test]
+    fn warm_memo_reports_attribution_only_with_a_memo() {
+        let mut cache = sharded(2, 0.6);
+        assert_eq!(cache.warm_memo("hello there"), None);
+        cache.set_embedding_memo(Some(Arc::new(EmbeddingMemo::new(64, 0))));
+        assert_eq!(cache.warm_memo("hello there"), Some(false));
+        assert_eq!(cache.warm_memo("hello there"), Some(true));
+        // Warming does not perturb probe results: the probe's internal
+        // encode is now a guaranteed memo hit with an identical vector.
+        cache.insert_shared("hello there", "hi", &[]).unwrap();
+        assert!(cache.probe("hello there", &[]).hit().is_some());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod trainer;
 
 pub use encoder::QueryEncoder;
 pub use evaluate::{evaluate_pairs, EvaluationReport};
-pub use memo::{EmbeddingMemo, MemoStats};
+pub use memo::{EmbeddingMemo, MemoObserver, MemoOutcome, MemoStats};
 pub use pca::Pca;
 pub use profiles::{ModelProfile, ProfileKind};
 pub use threshold::{

@@ -31,7 +31,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use mc_tensor::Vector;
 
@@ -208,9 +208,26 @@ pub struct MemoStats {
     pub bytes: usize,
 }
 
+/// Outcome of one memo consultation, for callers that attribute encode
+/// cost per request (the serve layer's tracing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoOutcome {
+    /// The embedding came from the memo; the encoder did not run.
+    pub hit: bool,
+    /// Microseconds spent inside the encoder closure (0 on a hit).
+    pub encode_micros: u64,
+}
+
+/// Observer invoked after every memo consultation — the serve layer hooks
+/// this to feed its per-stage `encode` latency histogram without the cache
+/// layer depending on serving types. Called outside any shard lock; hits
+/// report `encode_micros == 0` without touching the clock.
+pub trait MemoObserver: Send + Sync {
+    fn memo_consulted(&self, outcome: MemoOutcome);
+}
+
 /// A sharded LRU memo-cache mapping normalized query text to its embedding.
 /// See the module docs for keying, correctness and bounding semantics.
-#[derive(Debug)]
 pub struct EmbeddingMemo {
     shards: Vec<Mutex<MemoShard>>,
     /// Max entries per shard (total capacity split evenly, rounded up).
@@ -220,6 +237,17 @@ pub struct EmbeddingMemo {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    observer: Option<Arc<dyn MemoObserver>>,
+}
+
+impl std::fmt::Debug for EmbeddingMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbeddingMemo")
+            .field("shard_capacity", &self.shard_capacity)
+            .field("shard_max_bytes", &self.shard_max_bytes)
+            .field("observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl EmbeddingMemo {
@@ -238,7 +266,14 @@ impl EmbeddingMemo {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            observer: None,
         }
+    }
+
+    /// Installs the consultation observer. Intended to be called once at
+    /// wiring time, before the memo is shared.
+    pub fn set_observer(&mut self, observer: Arc<dyn MemoObserver>) {
+        self.observer = Some(observer);
     }
 
     /// Returns the memoized embedding for `text`, or runs `encode` (with
@@ -246,6 +281,18 @@ impl EmbeddingMemo {
     /// memoizes the result. The encoder runs outside the shard lock, so a
     /// slow cold encode never blocks hits on other queries in the shard.
     pub fn get_or_encode(&self, text: &str, encode: impl FnOnce(&str) -> Vector) -> Vector {
+        self.get_or_encode_attributed(text, encode).0
+    }
+
+    /// [`EmbeddingMemo::get_or_encode`] plus a [`MemoOutcome`] saying
+    /// whether the memo answered and how long the encoder ran. Hits never
+    /// read the clock; misses pay two timestamp reads around an encoder
+    /// call that dwarfs them.
+    pub fn get_or_encode_attributed(
+        &self,
+        text: &str,
+        encode: impl FnOnce(&str) -> Vector,
+    ) -> (Vector, MemoOutcome) {
         let normalized = normalize(text);
         let key = fnv1a(&normalized);
         let shard = &self.shards[(key % MEMO_SHARDS as u64) as usize];
@@ -257,17 +304,18 @@ impl EmbeddingMemo {
                     guard.touch(slot);
                     drop(guard);
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return vector;
+                    return (vector, self.observe(true, 0));
                 }
                 // FNV collision with a different normalized text: a miss.
                 // The resident entry keeps its slot (first-come wins).
                 drop(guard);
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                return encode(text);
+                let (vector, micros) = Self::timed_encode(text, encode);
+                return (vector, self.observe(false, micros));
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let vector = encode(text);
+        let (vector, encode_micros) = Self::timed_encode(text, encode);
         let mut guard = shard.lock().expect("memo shard lock poisoned");
         // A racing encode of the same text may have landed first; keep the
         // resident entry (the vectors are identical anyway).
@@ -286,7 +334,25 @@ impl EmbeddingMemo {
                 self.evictions.fetch_add(evicted, Ordering::Relaxed);
             }
         }
-        vector
+        drop(guard);
+        (vector, self.observe(false, encode_micros))
+    }
+
+    /// Runs `encode` and measures it in microseconds.
+    fn timed_encode(text: &str, encode: impl FnOnce(&str) -> Vector) -> (Vector, u64) {
+        let start = std::time::Instant::now();
+        let vector = encode(text);
+        let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        (vector, micros)
+    }
+
+    /// Notifies the observer (if any) and builds the outcome.
+    fn observe(&self, hit: bool, encode_micros: u64) -> MemoOutcome {
+        let outcome = MemoOutcome { hit, encode_micros };
+        if let Some(observer) = &self.observer {
+            observer.memo_consulted(outcome);
+        }
+        outcome
     }
 
     /// Snapshot of the memo counters and occupancy. Entry/byte tallies take
@@ -409,5 +475,44 @@ mod tests {
         let hits_before = memo.stats().hits;
         memo.get_or_encode(&partner, |_| vec_of(3.0));
         assert_eq!(memo.stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn attributed_calls_report_outcome_and_notify_observer() {
+        struct Tally {
+            hits: AtomicU64,
+            misses: AtomicU64,
+        }
+        impl MemoObserver for Tally {
+            fn memo_consulted(&self, outcome: MemoOutcome) {
+                if outcome.hit {
+                    assert_eq!(outcome.encode_micros, 0, "hits never time the encoder");
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let tally = Arc::new(Tally {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        });
+        let mut memo = EmbeddingMemo::new(16, 0);
+        memo.set_observer(tally.clone());
+
+        let (_, cold) = memo.get_or_encode_attributed("what is rust?", |_| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            vec_of(1.0)
+        });
+        assert!(!cold.hit);
+        assert!(cold.encode_micros >= 1_000, "cold encode is timed");
+
+        let (_, warm) = memo
+            .get_or_encode_attributed("What is RUST?", |_| panic!("memo hit must not re-encode"));
+        assert!(warm.hit);
+        assert_eq!(warm.encode_micros, 0);
+
+        assert_eq!(tally.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(tally.misses.load(Ordering::Relaxed), 1);
     }
 }

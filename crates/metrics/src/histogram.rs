@@ -90,15 +90,29 @@ pub fn merge_log2_buckets(a: &[u64], b: &[u64]) -> Vec<u64> {
 
 /// The `p`-th percentile (`0.0..=1.0`) of a log2 bucket-count vector, as
 /// the upper bound (µs) of the bucket holding the `ceil(p × count)`-th
-/// smallest sample. Returns 0 for an empty histogram. This is the exact
-/// rule clients apply to the serialized `latency_hist` snapshot.
+/// smallest sample. This is the exact rule clients apply to the serialized
+/// `latency_hist` snapshot.
+///
+/// Boundary behaviour is deterministic: an empty histogram returns 0 for
+/// every `p` (including NaN), `p <= 0.0` reports the first non-empty
+/// bucket, and `p >= 1.0` reports the last non-empty bucket's bound — never
+/// the bound of trailing zero buckets, and never a value that depends on
+/// float rounding of `p × total` at large totals.
 pub fn percentile_from_log2_buckets(buckets: &[u64], p: f64) -> u64 {
     let total: u64 = buckets.iter().sum();
     if total == 0 {
         return 0;
     }
-    let p = p.clamp(0.0, 1.0);
-    let rank = ((p * total as f64).ceil() as u64).max(1);
+    let max_bound = buckets
+        .iter()
+        .rposition(|&count| count > 0)
+        .map(bucket_upper_bound_us)
+        .unwrap_or(0);
+    let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+    if p >= 1.0 {
+        return max_bound;
+    }
+    let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
     let mut seen = 0u64;
     for (i, &count) in buckets.iter().enumerate() {
         seen += count;
@@ -106,7 +120,7 @@ pub fn percentile_from_log2_buckets(buckets: &[u64], p: f64) -> u64 {
             return bucket_upper_bound_us(i);
         }
     }
-    bucket_upper_bound_us(buckets.len().saturating_sub(1))
+    max_bound
 }
 
 #[cfg(test)]
@@ -179,5 +193,37 @@ mod tests {
         assert_eq!(percentile_from_log2_buckets(&snap, 0.99), 16_384);
         assert_eq!(percentile_from_log2_buckets(&snap, 1.0), 16_384);
         assert_eq!(percentile_from_log2_buckets(&snap, 0.0), 128);
+    }
+
+    #[test]
+    fn percentile_boundaries_are_deterministic() {
+        // Empty histograms report 0 at every percentile, including the
+        // degenerate inputs.
+        for p in [0.0, 0.5, 1.0, -3.0, 7.0, f64::NAN] {
+            assert_eq!(percentile_from_log2_buckets(&[], p), 0);
+            assert_eq!(percentile_from_log2_buckets(&[0; 8], p), 0);
+        }
+
+        // p=1.0 reports the last *non-empty* bucket, not the bound of
+        // trailing zeros (the old fallback returned the whole-vector end).
+        let trailing_zeros = [0, 3, 0, 0, 0, 0];
+        assert_eq!(percentile_from_log2_buckets(&trailing_zeros, 1.0), 2);
+        assert_eq!(percentile_from_log2_buckets(&trailing_zeros, 0.0), 2);
+
+        // Out-of-range p clamps; NaN falls back to p=0.
+        let spread = [1, 0, 0, 0, 1];
+        assert_eq!(percentile_from_log2_buckets(&spread, -1.0), 1);
+        assert_eq!(percentile_from_log2_buckets(&spread, 2.0), 16);
+        assert_eq!(percentile_from_log2_buckets(&spread, f64::NAN), 1);
+
+        // p just below 1.0 must not jump past the final sample even when
+        // `p * total` rounds up to `total` exactly.
+        assert_eq!(percentile_from_log2_buckets(&spread, 0.999_999), 16);
+
+        // Huge totals: `ceil(p * total)` saturates safely instead of
+        // overflowing the rank past the population.
+        let huge = [u64::MAX / 2, u64::MAX / 2];
+        assert_eq!(percentile_from_log2_buckets(&huge, 1.0), 2);
+        assert_eq!(percentile_from_log2_buckets(&huge, 0.25), 1);
     }
 }

@@ -19,11 +19,15 @@
 //!   serving, where keeping every sample is not an option.
 //! * [`report`] — plain-text table rendering so the benchmark binaries print
 //!   rows directly comparable to the paper's tables.
+//! * [`trace`] — per-request stage traces, a sampling gate, and a
+//!   fixed-capacity flight recorder for online attribution of where a
+//!   request's latency went.
 
 pub mod confusion;
 pub mod histogram;
 pub mod report;
 pub mod timing;
+pub mod trace;
 
 pub use confusion::{CacheDecision, ConfusionMatrix, MetricSummary};
 pub use histogram::{
@@ -31,6 +35,7 @@ pub use histogram::{
 };
 pub use report::Table;
 pub use timing::TimingStats;
+pub use trace::{FlightRecorder, Stage, Trace, TraceDump, TraceSnapshot, Tracer, STAGE_COUNT};
 
 /// The β used throughout the paper's end-to-end evaluation: 0.5 weighs
 /// precision twice as heavily as recall, because a false hit forces the user

@@ -1,0 +1,267 @@
+//! `mctop`: a live terminal dashboard for a running `mc-serve` instance.
+//!
+//! ```text
+//! mctop [--addr 127.0.0.1:4077] [--interval-ms 1000] [--once] [--json]
+//! ```
+//!
+//! Polls the server's `Stats` opcode over the ordinary wire protocol and
+//! redraws a one-screen summary each interval: request rate, per-stage
+//! latency quantiles (queue wait, encode, probe, commit, write flush),
+//! queue depth, memo hit rate, flight-recorder status, and a per-shard
+//! occupancy/contention table. Request rate is the delta between two
+//! consecutive polls; the very first frame (and `--once`) falls back to
+//! the lifetime average (`served / uptime`).
+//!
+//! `--once` prints a single frame and exits (no screen clearing), and
+//! `--json` switches that frame to a machine-readable JSON object — the
+//! mode CI uses to assert the dashboard's data path end to end.
+
+use std::time::Duration;
+
+use mc_metrics::percentile_from_log2_buckets;
+use mc_serve::{Client, ServeStatsSnapshot, STAGE_HIST_NAMES};
+
+struct Args {
+    addr: String,
+    interval: Duration,
+    once: bool,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:4077".to_string(),
+        interval: Duration::from_millis(1000),
+        once: false,
+        json: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(&mut i, "--addr"),
+            "--interval-ms" => {
+                args.interval = Duration::from_millis(
+                    value(&mut i, "--interval-ms")
+                        .parse()
+                        .expect("--interval-ms: integer"),
+                );
+            }
+            "--once" => args.once = true,
+            "--json" => args.json = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: mctop [--addr A] [--interval-ms N] [--once] [--json]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if args.json && !args.once {
+        eprintln!("--json requires --once (one machine-readable frame)");
+        std::process::exit(2);
+    }
+    args
+}
+
+/// Total requests the server has answered (the numerator of req/s).
+fn served_total(s: &ServeStatsSnapshot) -> u64 {
+    s.served_hits + s.served_misses + s.inserts + s.control
+}
+
+/// Stage quantile in microseconds from the snapshot's log2 buckets.
+fn stage_q(s: &ServeStatsSnapshot, stage: usize, p: f64) -> u64 {
+    s.stage_hists
+        .get(stage)
+        .map_or(0, |b| percentile_from_log2_buckets(b, p))
+}
+
+fn memo_hit_rate(s: &ServeStatsSnapshot) -> f64 {
+    let total = s.memo_hits + s.memo_misses;
+    if total == 0 {
+        0.0
+    } else {
+        s.memo_hits as f64 / total as f64
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut client = Client::connect(args.addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("mctop: cannot connect to {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+
+    let mut prev: Option<(ServeStatsSnapshot, std::time::Instant)> = None;
+    loop {
+        let stats = client.stats().unwrap_or_else(|e| {
+            eprintln!("mctop: stats poll failed: {e}");
+            std::process::exit(1);
+        });
+        let now = std::time::Instant::now();
+        // Delta rate between polls; lifetime average when there is no
+        // previous frame to difference against.
+        let req_per_s = match &prev {
+            Some((last, at)) => {
+                let dt = now.duration_since(*at).as_secs_f64();
+                if dt > 0.0 {
+                    (served_total(&stats).saturating_sub(served_total(last))) as f64 / dt
+                } else {
+                    0.0
+                }
+            }
+            None => served_total(&stats) as f64 / (stats.uptime_seconds.max(1)) as f64,
+        };
+
+        if args.json {
+            println!("{}", render_json(&args.addr, &stats, req_per_s));
+        } else {
+            if !args.once {
+                // Clear screen + home, like top(1), so the frame repaints
+                // in place instead of scrolling.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", render_frame(&args.addr, &stats, req_per_s));
+        }
+        if args.once {
+            return;
+        }
+        prev = Some((stats, now));
+        std::thread::sleep(args.interval);
+    }
+}
+
+/// One human-readable dashboard frame.
+fn render_frame(addr: &str, s: &ServeStatsSnapshot, req_per_s: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "mctop — {addr}  mc-serve v{}  up {}s  poller {}  fsync {}",
+        s.version, s.uptime_seconds, s.poller, s.fsync
+    );
+    let _ = writeln!(
+        out,
+        "req/s {req_per_s:>10.1}   served {} ({} hit / {} miss)   inserts {}   shed {}",
+        s.served_hits + s.served_misses,
+        s.served_hits,
+        s.served_misses,
+        s.inserts,
+        s.shed
+    );
+    let _ = writeln!(
+        out,
+        "queue {:>4}/{:<4}   batches {} (avg {:.1})   hit rate {:.1}%   memo hit {:.1}%   τ {:.2}",
+        s.queue_depth,
+        s.queue_capacity,
+        s.batches,
+        s.avg_batch,
+        s.hit_rate * 100.0,
+        memo_hit_rate(s) * 100.0,
+        s.threshold
+    );
+    let _ = writeln!(
+        out,
+        "deadline expired {}   panics {}   coalesced {}   singleflight {}",
+        s.deadline_expired, s.panics_caught, s.coalesced, s.singleflight
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  stage          p50 µs     p90 µs     p99 µs      count"
+    );
+    for (i, name) in STAGE_HIST_NAMES.iter().enumerate() {
+        let count: u64 = s.stage_hists.get(i).map_or(0, |b| b.iter().sum());
+        let _ = writeln!(
+            out,
+            "  {name:<12} {:>9} {:>10} {:>10} {:>10}",
+            stage_q(s, i, 0.50),
+            stage_q(s, i, 0.90),
+            stage_q(s, i, 0.99),
+            count
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "flight recorder: 1-in-{} sampling, slow ≥ {} µs, {} dropped",
+        s.trace_sample_every, s.trace_slow_threshold_us, s.trace_dropped
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  {:>5}   {:<31} {:>10} {:>9} {:>6} {:>13}",
+        "shard", "occupancy", "probes", "hits", "evict", "lock-wait µs"
+    );
+    let max_occ = s
+        .shard_stats
+        .iter()
+        .map(|st| st.occupancy)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    for (i, st) in s.shard_stats.iter().enumerate() {
+        let width = 24 * st.occupancy / max_occ;
+        let bar: String = "█".repeat(width) + &"·".repeat(24 - width);
+        let _ = writeln!(
+            out,
+            "  {i:>5}   {bar} {:>6} {:>10} {:>9} {:>6} {:>13}",
+            st.occupancy, st.probes, st.hits, st.evictions, st.lock_wait_us
+        );
+    }
+    out
+}
+
+/// One machine-readable frame: hand-assembled JSON (every value is a
+/// number, a bare array, or a version/poller/fsync string that never
+/// needs escaping).
+fn render_json(addr: &str, s: &ServeStatsSnapshot, req_per_s: f64) -> String {
+    let stage_obj = |p: f64| {
+        STAGE_HIST_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| format!("\"{name}\":{}", stage_q(s, i, p)))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let occupancy = s
+        .shard_stats
+        .iter()
+        .map(|st| st.occupancy.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        concat!(
+            "{{\"addr\":\"{addr}\",\"version\":\"{version}\",\"uptime_seconds\":{uptime},",
+            "\"poller\":\"{poller}\",\"fsync\":\"{fsync}\",\"req_per_s\":{rps:.3},",
+            "\"entries\":{entries},\"queue_depth\":{qd},\"queue_capacity\":{qc},",
+            "\"hit_rate\":{hr:.6},\"memo_hit_rate\":{mhr:.6},",
+            "\"stage_p50_us\":{{{p50}}},\"stage_p99_us\":{{{p99}}},",
+            "\"shard_occupancy\":[{occ}],\"trace_dropped\":{dropped}}}"
+        ),
+        addr = addr,
+        version = s.version,
+        uptime = s.uptime_seconds,
+        poller = s.poller,
+        fsync = s.fsync,
+        rps = req_per_s,
+        entries = s.entries,
+        qd = s.queue_depth,
+        qc = s.queue_capacity,
+        hr = s.hit_rate,
+        mhr = memo_hit_rate(s),
+        p50 = stage_obj(0.50),
+        p99 = stage_obj(0.99),
+        occ = occupancy,
+        dropped = s.trace_dropped,
+    )
+}

@@ -7,7 +7,9 @@
 //!       [--fsync always|never|every-N] [--deadline-ms N] [--idle-timeout-ms N]
 //!       [--batch-max 64] [--batch-wait-us 200] [--queue-cap 1024]
 //!       [--max-conns 32] [--poller epoll|poll] [--memo-capacity N]
-//!       [--memo-bytes N] [--no-singleflight] [--metrics-out PATH] [--smoke]
+//!       [--memo-bytes N] [--no-singleflight] [--metrics-out PATH]
+//!       [--trace-sample N] [--trace-slow-ms N] [--trace-log PATH]
+//!       [--trace-dump-out PATH] [--smoke]
 //! ```
 //!
 //! `--persist PATH` wires durability in: an existing save at PATH is
@@ -23,6 +25,13 @@
 //! `--deadline-ms N` fails lookups that sat in the batch queue longer
 //! than N ms with a retryable `DeadlineExceeded` frame (0 disables);
 //! `--idle-timeout-ms N` reaps connections with no traffic for N ms.
+//!
+//! `--trace-sample N` samples one request in N into the flight recorder
+//! (0 disables sampling; slow/failed requests are recorded regardless),
+//! `--trace-slow-ms N` marks requests over N ms as slow, and
+//! `--trace-log PATH` appends each slow/failed trace to PATH as one JSON
+//! line. During `--smoke`, `--trace-dump-out PATH` writes the tracing
+//! phase's flight-recorder dump to PATH as a CI artifact.
 //!
 //! `--smoke` runs the CI self-test instead of serving forever: bind an
 //! ephemeral localhost port, drive a real client over TCP (ping, inserts,
@@ -50,6 +59,7 @@ struct Args {
     serve_config: ServeConfig,
     poller: Option<PollerKind>,
     metrics_out: Option<PathBuf>,
+    trace_dump_out: Option<PathBuf>,
     smoke: bool,
 }
 
@@ -65,6 +75,7 @@ fn parse_args() -> Args {
         serve_config: ServeConfig::default(),
         poller: None,
         metrics_out: None,
+        trace_dump_out: None,
         smoke: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -183,6 +194,24 @@ fn parse_args() -> Args {
             "--metrics-out" => {
                 args.metrics_out = Some(PathBuf::from(value(&mut i, "--metrics-out")));
             }
+            "--trace-sample" => {
+                args.serve_config.trace_sample = value(&mut i, "--trace-sample")
+                    .parse()
+                    .expect("--trace-sample: integer");
+            }
+            "--trace-slow-ms" => {
+                args.serve_config.trace_slow = Duration::from_millis(
+                    value(&mut i, "--trace-slow-ms")
+                        .parse()
+                        .expect("--trace-slow-ms: integer"),
+                );
+            }
+            "--trace-log" => {
+                args.serve_config.trace_log = Some(PathBuf::from(value(&mut i, "--trace-log")));
+            }
+            "--trace-dump-out" => {
+                args.trace_dump_out = Some(PathBuf::from(value(&mut i, "--trace-dump-out")));
+            }
             "--smoke" => args.smoke = true,
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -192,7 +221,8 @@ fn parse_args() -> Args {
                      [--fsync always|never|every-N] [--deadline-ms N] [--idle-timeout-ms N] \
                      [--batch-max N] [--batch-wait-us N] [--queue-cap N] [--max-conns N] \
                      [--poller epoll|poll] [--memo-capacity N] [--memo-bytes N] \
-                     [--no-singleflight] [--metrics-out PATH] [--smoke]"
+                     [--no-singleflight] [--metrics-out PATH] [--trace-sample N] \
+                     [--trace-slow-ms N] [--trace-log PATH] [--trace-dump-out PATH] [--smoke]"
                 );
                 std::process::exit(2);
             }
@@ -340,6 +370,7 @@ fn smoke(args: &Args) {
         serve_config,
         poller: args.poller,
         metrics_out: args.metrics_out.clone(),
+        trace_dump_out: args.trace_dump_out.clone(),
         smoke: true,
     };
     let (cache, restored) = build_cache(&args);
@@ -464,7 +495,8 @@ fn smoke(args: &Args) {
 
     smoke_busy_retry(&args);
     smoke_deadline(&args);
-    println!("smoke: PASS (incl. reshard, save/restore, Busy retry, deadline)");
+    smoke_tracing(&args);
+    println!("smoke: PASS (incl. reshard, save/restore, Busy retry, deadline, tracing)");
 }
 
 /// Busy-storm retry round-trip: a server with a one-slot batch queue, a
@@ -579,6 +611,92 @@ fn smoke_deadline(args: &Args) {
     println!("smoke: deadline — expired lookup failed retryably, connection survived");
 }
 
+/// Tracing check: with 1-in-1 sampling, a slow-request threshold, and a
+/// slow-request log armed, a deliberately delayed lookup must land in
+/// both the flight recorder (read back via `TraceDump` over the wire)
+/// and the log. The delay comes from the `serve.batch.work` failpoint
+/// when the `failpoints` feature is on, and from
+/// `ServeConfig::batch_delay` otherwise, so the phase works in every
+/// build.
+fn smoke_tracing(args: &Args) {
+    let scratch = std::env::temp_dir().join(format!("mc_serve_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("trace scratch dir");
+    let trace_log = scratch.join("slow.jsonl");
+    let mut serve_config = args.serve_config.clone();
+    serve_config.persist_path = None;
+    serve_config.trace_sample = 1;
+    serve_config.trace_slow = Duration::from_millis(5);
+    serve_config.trace_log = Some(trace_log.clone());
+    #[cfg(not(feature = "failpoints"))]
+    {
+        serve_config.batch_delay = Duration::from_millis(20);
+    }
+    let args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        serve_config,
+        ..clone_args(args)
+    };
+    let (cache, restored) = build_cache(&args);
+    let handle = start_server(cache, &args, restored);
+    let mut client = Client::connect(handle.addr()).expect("tracing connect");
+
+    client
+        .insert("traced entry", "traced answer", &[])
+        .expect("traced insert");
+    #[cfg(feature = "failpoints")]
+    mc_store::failpoints::set(
+        "serve.batch.work",
+        mc_store::failpoints::FailAction::Delay { micros: 20_000 },
+    );
+    let outcome = client.lookup("traced entry", &[]).expect("slow lookup");
+    assert!(outcome.is_hit(), "traced lookup must hit");
+    #[cfg(feature = "failpoints")]
+    mc_store::failpoints::clear("serve.batch.work");
+
+    let dump_json = client.trace_dump().expect("trace dump");
+    let dump: mc_metrics::TraceDump = serde_json::from_str(&dump_json).expect("trace dump json");
+    if let Some(path) = &args.trace_dump_out {
+        std::fs::write(path, &dump_json).expect("write --trace-dump-out");
+        println!("smoke: wrote flight-recorder dump to {}", path.display());
+    }
+    assert_eq!(dump.sample_every, 1, "dump: sampling config");
+    assert!(
+        dump.traces.iter().any(|t| t.slow),
+        "the delayed lookup must be flagged slow in the recorder\n{dump_json}"
+    );
+    assert!(
+        dump.traces.iter().all(|t| t.is_monotone()),
+        "every recorded trace must have monotone stage timestamps\n{dump_json}"
+    );
+
+    client.shutdown_server().expect("shutdown tracing server");
+    handle.wait();
+
+    // Slow-request log: one JSON line per outlier, flushed as it happens.
+    let log = std::fs::read_to_string(&trace_log).expect("slow-request log");
+    let lines: Vec<&str> = log.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(!lines.is_empty(), "slow-request log must have entries");
+    let mut slow_logged = 0;
+    for line in &lines {
+        let snap: mc_metrics::TraceSnapshot =
+            serde_json::from_str(line).expect("slow-log line json");
+        assert!(
+            snap.is_monotone(),
+            "slow-log trace must be monotone: {line}"
+        );
+        if snap.slow {
+            slow_logged += 1;
+        }
+    }
+    assert!(slow_logged > 0, "at least one logged trace must be slow");
+    std::fs::remove_dir_all(&scratch).ok();
+    println!(
+        "smoke: tracing — {} recorder traces, {} slow-log lines ({slow_logged} slow)",
+        dump.traces.len(),
+        lines.len()
+    );
+}
+
 /// Manual clone for the flag struct (smoke phases tweak one field each).
 fn clone_args(args: &Args) -> Args {
     Args {
@@ -592,6 +710,7 @@ fn clone_args(args: &Args) -> Args {
         serve_config: args.serve_config.clone(),
         poller: args.poller,
         metrics_out: args.metrics_out.clone(),
+        trace_dump_out: args.trace_dump_out.clone(),
         smoke: true,
     }
 }

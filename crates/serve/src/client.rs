@@ -512,6 +512,19 @@ impl Client {
         }
     }
 
+    /// Fetches the server's flight-recorder dump as a JSON string (a
+    /// serialized [`mc_metrics::TraceDump`] with the most recent
+    /// sampled and outlier request traces).
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol or server failures.
+    pub fn trace_dump(&mut self) -> ClientResult<String> {
+        match self.call_replayable(&Request::TraceDump)? {
+            Response::TraceDump(json) => Ok(json),
+            _ => Err(ClientError::Unexpected("wanted TraceDump")),
+        }
+    }
+
     /// Replaces the server's cosine threshold τ.
     ///
     /// # Errors

@@ -65,6 +65,16 @@
 //!   Prometheus-style text exposition. `SetThreshold` and `Flush` commands
 //!   travel the same protocol and execute on the batcher thread, totally
 //!   ordered with the lookups around them.
+//! * **Tracing / flight recorder** — every Nth request (and *every* slow,
+//!   deadline-expired, or panicked one) carries an [`mc_metrics::Trace`]
+//!   that records a monotone timestamp per pipeline stage (accepted →
+//!   decoded → enqueued → dequeued → batched → encoded → probed →
+//!   committed → written). Completed traces land in a fixed-capacity ring
+//!   ([`mc_metrics::trace::Tracer`]) dumpable as JSON via the `TraceDump`
+//!   opcode, feed per-stage latency histograms in the `Metrics`
+//!   exposition, and — past [`ServeConfig::trace_slow`] — are appended to
+//!   the slow-request log. The `mctop` binary polls `Stats` and renders a
+//!   live terminal dashboard on top of all of this.
 //!
 //! ## Why micro-batching
 //!
@@ -92,5 +102,5 @@ pub use poller::{Event, Interest, Poller, PollerKind, Waker};
 pub use protocol::{ErrorCode, FrameAssembler, Request, Response};
 pub use queue::{BoundedQueue, SubmitError};
 pub use server::{Server, ServerHandle};
-pub use stats::{ServeMetrics, ServeStatsSnapshot};
+pub use stats::{EncodeStageObserver, ServeMetrics, ServeStatsSnapshot, STAGE_HIST_NAMES};
 pub use wal::{ServeWal, WalOp};

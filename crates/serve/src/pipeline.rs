@@ -24,6 +24,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mc_embedder::EmbeddingMemo;
+use mc_metrics::trace::{flag, Stage, Trace};
 use mc_store::{FsyncPolicy, RecoveryStats, StoreError};
 use meancache::persist::save_sharded_cache_with_config;
 use meancache::{reshard, CacheDecisionOutcome, RoutingMode, SemanticCache, ShardedCache};
@@ -105,6 +106,20 @@ pub struct ServeConfig {
     /// [`meancache::persist::load_sharded_cache_with_report`]); folded
     /// into the stats plane next to the WAL's own recovery numbers.
     pub restored: RecoveryStats,
+    /// Per-request trace sampling: every Nth request gets a full
+    /// [`mc_metrics::Trace`] through the stage pipeline. `0` disables
+    /// sampling entirely (outliers — slow / deadline-expired / panicked
+    /// requests — are still force-recorded with a synthesised trace).
+    /// The default, 64, keeps the hot path at one relaxed counter bump.
+    pub trace_sample: u64,
+    /// Requests slower than this end-to-end are flagged slow, forced into
+    /// the flight recorder, and appended to the slow-request log when one
+    /// is configured. `Duration::ZERO` (the default) disables slow
+    /// detection.
+    pub trace_slow: Duration,
+    /// Path of the slow-request log: one JSON trace per line for every
+    /// outlier request. `None` (the default) disables the log.
+    pub trace_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -124,6 +139,9 @@ impl Default for ServeConfig {
             idle_timeout: Duration::ZERO,
             fsync: FsyncPolicy::Never,
             restored: RecoveryStats::default(),
+            trace_sample: 64,
+            trace_slow: Duration::ZERO,
+            trace_log: None,
         }
     }
 }
@@ -163,6 +181,17 @@ pub enum ServeRequest {
     Flush,
     /// Render the stats plane as a plain-text metrics exposition.
     Metrics,
+    /// Dump the flight recorder (recent + outlier request traces) as JSON.
+    TraceDump,
+}
+
+/// Classifies a request for trace labels (`Trace::kind`).
+pub(crate) fn request_kind(request: &ServeRequest) -> &'static str {
+    match request {
+        ServeRequest::Lookup { .. } => "lookup",
+        ServeRequest::Insert { .. } => "insert",
+        _ => "control",
+    }
 }
 
 /// What a [`ServeRequest`] resolved to.
@@ -183,6 +212,8 @@ pub enum ServeReply {
     /// Plain-text metrics exposition
     /// ([`ServeStatsSnapshot::render_text`]).
     MetricsText(String),
+    /// Flight-recorder dump as JSON (an [`mc_metrics::TraceDump`]).
+    TraceJson(String),
     /// The request failed. `code` classifies the failure on the wire,
     /// `retryable` tells the client whether the request definitively did
     /// not execute (safe to resend), and `message` is operator-facing.
@@ -219,6 +250,9 @@ struct TicketState {
 struct TicketInner {
     state: Mutex<TicketState>,
     ready: Condvar,
+    /// The sampled trace riding on this request, when the tracer picked it.
+    /// Set at creation, never mutated — every stage marks through here.
+    trace: Option<Arc<Trace>>,
 }
 
 impl std::fmt::Debug for TicketInner {
@@ -237,22 +271,28 @@ impl std::fmt::Debug for TicketInner {
 pub struct Ticket(Arc<TicketInner>);
 
 impl Ticket {
-    fn new() -> Self {
+    fn new(trace: Option<Arc<Trace>>) -> Self {
         Ticket(Arc::new(TicketInner {
             state: Mutex::new(TicketState {
                 reply: None,
                 watchers: Vec::new(),
             }),
             ready: Condvar::new(),
+            trace,
         }))
     }
 
     /// A ticket born resolved (protocol-level replies that never enter the
     /// pipeline, e.g. `Busy`).
     pub fn resolved(reply: ServeReply) -> Self {
-        let ticket = Ticket::new();
+        let ticket = Ticket::new(None);
         ticket.resolve(reply);
         ticket
+    }
+
+    /// The sampled trace riding on this request, if any.
+    pub(crate) fn trace(&self) -> Option<&Arc<Trace>> {
+        self.0.trace.as_ref()
     }
 
     /// Resolves the ticket. Called exactly once per submitted ticket, by
@@ -372,14 +412,23 @@ impl ServePipeline {
     /// durability story should fail loudly at startup, not serve without
     /// it.
     pub fn start(mut cache: ShardedCache, config: &ServeConfig) -> Result<Self, StoreError> {
-        if config.memo_capacity > 0 {
-            cache.set_embedding_memo(Some(Arc::new(EmbeddingMemo::new(
-                config.memo_capacity,
-                config.memo_max_bytes,
-            ))));
-        }
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let metrics = Arc::new(ServeMetrics::default());
+        metrics
+            .configure_tracing(
+                config.trace_sample,
+                config.trace_slow,
+                config.trace_log.as_deref(),
+            )
+            .map_err(StoreError::Io)?;
+        if config.memo_capacity > 0 {
+            let mut memo = EmbeddingMemo::new(config.memo_capacity, config.memo_max_bytes);
+            // Every memo consultation feeds the `encode` stage histogram.
+            memo.set_observer(Arc::new(crate::stats::EncodeStageObserver::new(
+                Arc::clone(&metrics),
+            )));
+            cache.set_embedding_memo(Some(Arc::new(memo)));
+        }
         metrics.record_recovery(config.restored);
         let wal = match &config.persist_path {
             None => None,
@@ -426,6 +475,23 @@ impl ServePipeline {
     /// request is shed), [`SubmitError::ShutDown`] after
     /// [`ServePipeline::shutdown`].
     pub fn submit(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
+        let trace = self.metrics.tracer().begin(request_kind(&request));
+        if let Some(t) = &trace {
+            // Direct pipeline callers skip the wire: accepted = decoded.
+            t.mark(Stage::Accepted);
+            t.mark(Stage::Decoded);
+        }
+        self.submit_traced(request, trace)
+    }
+
+    /// [`ServePipeline::submit`] for callers that began the trace
+    /// themselves (the server starts it at frame-accept time, so the trace
+    /// covers decode and queueing, not just execution).
+    pub fn submit_traced(
+        &self,
+        request: ServeRequest,
+        trace: Option<Arc<Trace>>,
+    ) -> Result<Ticket, SubmitError> {
         let key = match (&self.inflight, &request) {
             (Some(_), ServeRequest::Lookup { query, context }) => {
                 Some((query.clone(), context.clone()))
@@ -439,7 +505,7 @@ impl ServePipeline {
                 return Ok(pending.clone());
             }
         }
-        let ticket = Ticket::new();
+        let ticket = Ticket::new(trace);
         let result = self.queue.push(Submitted {
             request,
             ticket: ticket.clone(),
@@ -448,6 +514,9 @@ impl ServePipeline {
         match result {
             Ok(()) => {
                 self.metrics.record_admitted();
+                if let Some(t) = ticket.trace() {
+                    t.mark(Stage::Enqueued);
+                }
                 if let (Some(inflight), Some(key)) = (&self.inflight, key) {
                     inflight
                         .lock()
@@ -558,10 +627,27 @@ fn batcher_loop(
         if !queue.pop_batch(config.max_batch, config.max_wait, &mut batch) {
             break; // closed and fully drained
         }
+        // One clock read covers the whole batch's queue-wait accounting.
+        let dequeued_at = Instant::now();
+        for item in &batch {
+            metrics.record_queue_wait_micros(
+                dequeued_at
+                    .saturating_duration_since(item.accepted_at)
+                    .as_micros() as u64,
+            );
+            if let Some(t) = item.ticket.trace() {
+                t.mark(Stage::Dequeued);
+            }
+        }
         if !config.batch_delay.is_zero() {
             std::thread::sleep(config.batch_delay);
         }
         metrics.record_batch(batch.len());
+        for item in &batch {
+            if let Some(t) = item.ticket.trace() {
+                t.mark(Stage::Batched);
+            }
+        }
         execute_batch(&mut cache, &mut wal, &batch, queue, metrics, config);
         // Root-pin GC: between batches the batcher is the only cache
         // writer, so the sweep serialises with inserts by construction.
@@ -654,7 +740,15 @@ fn execute_lookup_run(
     for item in run {
         if past_deadline(item, config) {
             metrics.record_deadline_expired();
-            metrics.record_latency(item.accepted_at.elapsed());
+            // Deadline-expired requests always land in the flight recorder:
+            // `record_done` force-records them, synthesising a trace when
+            // the request wasn't sampled.
+            metrics.record_done(
+                item.accepted_at.elapsed(),
+                "lookup",
+                item.ticket.trace(),
+                flag::DEADLINE_EXPIRED,
+            );
             item.ticket.resolve(ServeReply::failed(
                 ErrorCode::DeadlineExceeded,
                 true,
@@ -689,10 +783,32 @@ fn execute_lookup_run(
             let ServeRequest::Lookup { query, context } = &item.request else {
                 unreachable!("run contains only lookups");
             };
+            let trace = item.ticket.trace();
+            if let Some(t) = trace {
+                // Pre-resolve the embedding through the memo so the probe's
+                // internal encode is a guaranteed memo hit — this attributes
+                // the encode to hit/miss without perturbing the result.
+                if let Some(hit) = cache.warm_memo(query) {
+                    t.set_flag(if hit { flag::MEMO_HIT } else { flag::MEMO_MISS });
+                }
+                t.mark(Stage::Encoded);
+            }
+            let probe_start = Instant::now();
             let outcome = cache.probe(query, context);
+            let probe_end = Instant::now();
+            metrics.record_probe_micros(
+                probe_end.saturating_duration_since(probe_start).as_micros() as u64,
+            );
+            if let Some(t) = trace {
+                t.mark(Stage::Probed);
+            }
             cache.commit(&outcome);
+            metrics.record_commit_micros(probe_end.elapsed().as_micros() as u64);
+            if let Some(t) = trace {
+                t.mark(Stage::Committed);
+            }
             metrics.record_served(outcome.is_hit());
-            metrics.record_latency(item.accepted_at.elapsed());
+            metrics.record_done(item.accepted_at.elapsed(), "lookup", trace, 0);
             item.ticket.resolve(ServeReply::Outcome(outcome));
             return;
         }
@@ -712,15 +828,48 @@ fn execute_lookup_run(
             })
             .collect();
         metrics.record_coalesced((live.len() - unique.len()) as u64);
+        let coalesced = live.len() > unique.len();
+        // Sampled items get their memo consultation attributed before the
+        // batch probe (cheap: the probe's own encode becomes a memo hit).
+        for item in &live {
+            if let Some(t) = item.ticket.trace() {
+                if let ServeRequest::Lookup { query, .. } = &item.request {
+                    if let Some(hit) = cache.warm_memo(query) {
+                        t.set_flag(if hit { flag::MEMO_HIT } else { flag::MEMO_MISS });
+                    }
+                }
+                t.mark(Stage::Encoded);
+                if coalesced {
+                    t.set_flag(flag::COALESCED);
+                }
+            }
+        }
+        let probe_start = Instant::now();
         let outcomes = cache.probe_batch(&unique);
+        // Amortise the batch probe over its unique probes: one histogram
+        // sample per probe actually executed.
+        let probe_us = probe_start.elapsed().as_micros() as u64 / unique.len().max(1) as u64;
+        for _ in &unique {
+            metrics.record_probe_micros(probe_us);
+        }
+        for item in &live {
+            if let Some(t) = item.ticket.trace() {
+                t.mark(Stage::Probed);
+            }
+        }
         // Commit in submission order before resolving each ticket: the
         // served history (including LRU/LFU touches) matches sequential
         // `lookup` calls exactly.
         for (item, &unique_index) in live.iter().zip(&assigned) {
             let outcome = outcomes[unique_index].clone();
+            let commit_start = Instant::now();
             cache.commit(&outcome);
+            metrics.record_commit_micros(commit_start.elapsed().as_micros() as u64);
+            if let Some(t) = item.ticket.trace() {
+                t.mark(Stage::Committed);
+            }
             metrics.record_served(outcome.is_hit());
-            metrics.record_latency(item.accepted_at.elapsed());
+            metrics.record_done(item.accepted_at.elapsed(), "lookup", item.ticket.trace(), 0);
             item.ticket.resolve(ServeReply::Outcome(outcome));
         }
     }));
@@ -737,7 +886,14 @@ fn execute_lookup_run(
                 "cache work panicked mid-batch; lookup not executed",
             ));
             if resolved {
-                metrics.record_latency(item.accepted_at.elapsed());
+                // Panicked requests always land in the flight recorder,
+                // sampled or not.
+                metrics.record_done(
+                    item.accepted_at.elapsed(),
+                    "lookup",
+                    item.ticket.trace(),
+                    flag::PANICKED,
+                );
             }
         }
     }
@@ -778,6 +934,7 @@ fn execute_control(
     let fenced = catch_unwind(AssertUnwindSafe(|| {
         control_reply(cache, wal, item, queue, metrics, config)
     }));
+    let panicked = fenced.is_err();
     let reply = fenced.unwrap_or_else(|_| {
         metrics.record_panic_caught();
         ServeReply::failed(
@@ -786,7 +943,15 @@ fn execute_control(
             "cache work panicked mid-request; whether it applied is unknown",
         )
     });
-    metrics.record_latency(item.accepted_at.elapsed());
+    if let Some(t) = item.ticket.trace() {
+        t.mark(Stage::Committed);
+    }
+    metrics.record_done(
+        item.accepted_at.elapsed(),
+        request_kind(&item.request),
+        item.ticket.trace(),
+        if panicked { flag::PANICKED } else { 0 },
+    );
     item.ticket.resolve(reply);
 }
 
@@ -829,6 +994,10 @@ fn control_reply(
                 ServeStatsSnapshot::collect(cache, metrics, queue.len(), queue.capacity())
                     .render_text(),
             )
+        }
+        ServeRequest::TraceDump => {
+            metrics.record_control();
+            ServeReply::TraceJson(metrics.tracer().dump_json())
         }
         ServeRequest::SetThreshold(threshold) => {
             if (0.0..=1.0).contains(threshold) {
@@ -1092,6 +1261,83 @@ mod tests {
         assert!(!Arc::ptr_eq(&first.0, &second.0));
         first.wait();
         second.wait();
+    }
+
+    #[test]
+    fn deadline_expired_lookups_always_land_in_the_flight_recorder() {
+        let config = ServeConfig {
+            max_batch: 1,
+            batch_delay: Duration::from_millis(30),
+            request_deadline: Duration::from_millis(5),
+            trace_sample: 0, // prove force-recording, not sampling
+            ..ServeConfig::default()
+        };
+        let pipeline = ServePipeline::start(cache(2), &config).unwrap();
+        let reply = pipeline
+            .submit(lookup("a lookup whose client gave up"))
+            .unwrap()
+            .wait();
+        assert!(matches!(
+            reply,
+            ServeReply::Failed {
+                code: ErrorCode::DeadlineExceeded,
+                retryable: true,
+                ..
+            }
+        ));
+        let dump = pipeline.metrics().tracer().dump();
+        assert_eq!(dump.traces.len(), 1);
+        assert!(dump.traces[0].deadline_expired);
+        assert!(dump.traces[0].is_monotone());
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn trace_dump_returns_sampled_monotone_traces() {
+        let config = ServeConfig {
+            trace_sample: 1,
+            // Everything counts as slow, so traces are recorded at resolve
+            // time (no event loop runs here to mark `written`).
+            trace_slow: Duration::from_micros(1),
+            ..ServeConfig::default()
+        };
+        let pipeline = ServePipeline::start(cache(2), &config).unwrap();
+        pipeline
+            .submit(ServeRequest::Insert {
+                query: "what is federated learning".into(),
+                response: "On-device training.".into(),
+                context: Vec::new(),
+            })
+            .unwrap()
+            .wait();
+        pipeline
+            .submit(lookup("what is federated learning"))
+            .unwrap()
+            .wait();
+        let json = match pipeline.submit(ServeRequest::TraceDump).unwrap().wait() {
+            ServeReply::TraceJson(json) => json,
+            other => panic!("expected a trace dump, got {other:?}"),
+        };
+        let dump: mc_metrics::TraceDump = serde_json::from_str(&json).unwrap();
+        assert_eq!(dump.sample_every, 1);
+        assert!(dump.traces.len() >= 2);
+        assert!(dump.traces.iter().all(|t| t.is_monotone()));
+        // The lookup trace walked the full stage ladder and got its memo
+        // consultation attributed.
+        let lookup_trace = dump
+            .traces
+            .iter()
+            .find(|t| t.kind == "lookup")
+            .expect("lookup trace present");
+        for stage in ["enqueued", "dequeued", "encoded", "probed", "committed"] {
+            assert!(
+                lookup_trace.stage_us(stage).is_some(),
+                "missing stage {stage}"
+            );
+        }
+        assert!(lookup_trace.memo_hit.is_some());
+        assert!(lookup_trace.slow);
+        pipeline.shutdown();
     }
 
     #[test]

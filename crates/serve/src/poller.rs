@@ -416,12 +416,14 @@ pub struct Waker {
 
 impl Waker {
     /// Wakes the receiver. Coalesced: between two drains, only the first
-    /// wake sends a datagram. Infallible by design — a failed send (cannot
-    /// happen on a connected loopback pair short of fd exhaustion) leaves
-    /// the flag armed, and the loop's timeout bounds the stall.
+    /// wake sends a datagram.
     pub fn wake(&self) {
-        if !self.armed.swap(true, Ordering::AcqRel) {
-            let _ = self.tx.send(&[1]);
+        if !self.armed.swap(true, Ordering::AcqRel) && self.tx.send(&[1]).is_err() {
+            // A dropped datagram (ENOBUFS under memory pressure) with the
+            // flag left armed would suppress every future wake — a
+            // permanent stall. Disarm so the next wake retries the send;
+            // the loss is transient because resolutions keep coming.
+            self.armed.store(false, Ordering::Release);
         }
     }
 }
@@ -440,14 +442,20 @@ impl WakeReceiver {
         self.rx.as_raw_fd()
     }
 
-    /// Consumes pending wake datagrams and re-arms the pair. Disarms
-    /// *before* draining: a wake racing the drain either lands a datagram
-    /// this drain consumes, or re-arms and sends a fresh one — at worst a
-    /// single spurious wakeup, never a lost wake.
+    /// Consumes pending wake datagrams and re-arms the pair. The recv loop
+    /// runs *before* the disarm: while the flag is still armed no sender
+    /// produces a fresh datagram, so the loop can only consume stale ones.
+    /// A wake racing the tail of the drain (after the disarm) sends a
+    /// datagram this drain never touches — at worst a single spurious
+    /// wakeup on the next poll. Disarming first would invert that: the
+    /// racing wake's datagram could be consumed by this very drain, leaving
+    /// the flag armed with nothing in flight, and every later wake
+    /// suppressed — a lost wakeup that strands resolved work until an
+    /// unrelated socket event happens by.
     pub fn drain(&self) {
-        self.armed.store(false, Ordering::Release);
         let mut buf = [0u8; 16];
         while self.rx.recv(&mut buf).is_ok() {}
+        self.armed.store(false, Ordering::Release);
     }
 }
 
@@ -611,6 +619,54 @@ mod tests {
                 .unwrap();
             assert!(events.iter().any(|e| e.token == 99 && e.readable));
             receiver.drain();
+        }
+    }
+
+    /// Regression test for a lost-wakeup race: `drain` used to disarm the
+    /// coalescing flag *before* its recv loop, so a concurrent `wake`
+    /// (flag swap → send) could have its fresh datagram consumed by that
+    /// same drain — flag armed, socket empty, every later wake suppressed.
+    /// Under the old ordering this test occasionally times out with work
+    /// pending; with recv-before-disarm it never can.
+    #[test]
+    fn wake_drain_race_never_strands_pending_work() {
+        use std::sync::atomic::AtomicU64;
+        const ITEMS: u64 = 20_000;
+        for kind in kinds() {
+            let mut poller = Poller::new(kind).unwrap();
+            let (waker, receiver) = wake_pair().unwrap();
+            poller
+                .register(receiver.raw_fd(), 7, Interest::READ)
+                .unwrap();
+
+            let pending = Arc::new(AtomicU64::new(0));
+            let producer = {
+                let pending = Arc::clone(&pending);
+                let waker = waker.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..ITEMS {
+                        pending.fetch_add(1, Ordering::Release);
+                        waker.wake();
+                    }
+                })
+            };
+
+            let mut events = Vec::new();
+            let mut consumed = 0u64;
+            while consumed < ITEMS {
+                let n = poller
+                    .wait(&mut events, Some(Duration::from_secs(5)))
+                    .unwrap();
+                receiver.drain();
+                let grabbed = pending.swap(0, Ordering::AcqRel);
+                consumed += grabbed;
+                assert!(
+                    n > 0 || grabbed > 0 || consumed == ITEMS,
+                    "{kind:?}: wait timed out with {} items stranded",
+                    ITEMS - consumed
+                );
+            }
+            producer.join().unwrap();
         }
     }
 }

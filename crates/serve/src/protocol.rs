@@ -210,6 +210,8 @@ pub enum Request {
     Shutdown,
     /// Fetch the plain-text metrics dump (Prometheus-style exposition).
     Metrics,
+    /// Dump the flight recorder (recent + outlier request traces) as JSON.
+    TraceDump,
 }
 
 /// A server→client message.
@@ -260,6 +262,8 @@ pub enum Response {
     Pong,
     /// Plain-text metrics dump ([`crate::stats::ServeStatsSnapshot::render_text`]).
     Metrics(String),
+    /// Flight-recorder dump, JSON-encoded ([`mc_metrics::TraceDump`]).
+    TraceDump(String),
 }
 
 // ---- frame transport -------------------------------------------------------
@@ -489,6 +493,7 @@ mod op {
     pub const SET_ROUTING: u8 = 0x08;
     pub const SAVE: u8 = 0x09;
     pub const METRICS: u8 = 0x0a;
+    pub const TRACE_DUMP: u8 = 0x0b;
 
     pub const MISS: u8 = 0x80;
     pub const HIT: u8 = 0x81;
@@ -502,6 +507,7 @@ mod op {
     pub const SAVED: u8 = 0x89;
     pub const METRICS_REPLY: u8 = 0x8a;
     pub const FAIL: u8 = 0x8b;
+    pub const TRACE_DUMP_REPLY: u8 = 0x8c;
 }
 
 /// Wire byte for a [`RoutingMode`] (stable across releases).
@@ -566,6 +572,7 @@ impl Request {
             Request::Flush => buf.push(op::FLUSH),
             Request::Shutdown => buf.push(op::SHUTDOWN),
             Request::Metrics => buf.push(op::METRICS),
+            Request::TraceDump => buf.push(op::TRACE_DUMP),
         }
         buf
     }
@@ -594,6 +601,7 @@ impl Request {
             op::FLUSH => Request::Flush,
             op::SHUTDOWN => Request::Shutdown,
             op::METRICS => Request::Metrics,
+            op::TRACE_DUMP => Request::TraceDump,
             other => return Err(ProtocolError::BadOpcode(other)),
         };
         cursor.finish()?;
@@ -656,6 +664,10 @@ impl Response {
                 buf.push(op::METRICS_REPLY);
                 put_str(&mut buf, text);
             }
+            Response::TraceDump(json) => {
+                buf.push(op::TRACE_DUMP_REPLY);
+                put_str(&mut buf, json);
+            }
         }
         buf
     }
@@ -688,6 +700,7 @@ impl Response {
             op::BUSY => Response::Busy,
             op::PONG => Response::Pong,
             op::METRICS_REPLY => Response::Metrics(cursor.str()?),
+            op::TRACE_DUMP_REPLY => Response::TraceDump(cursor.str()?),
             other => return Err(ProtocolError::BadOpcode(other)),
         };
         cursor.finish()?;
@@ -754,6 +767,7 @@ mod tests {
             Request::Flush,
             Request::Shutdown,
             Request::Metrics,
+            Request::TraceDump,
         ];
         for request in cases {
             let decoded = Request::decode(&request.encode()).unwrap();
@@ -790,6 +804,7 @@ mod tests {
             Response::Busy,
             Response::Pong,
             Response::Metrics("serve_admitted_total 12\nserve_shed_total 0\n".into()),
+            Response::TraceDump("{\"sample_every\":64,\"traces\":[]}".into()),
         ];
         for response in cases {
             let decoded = Response::decode(&response.encode()).unwrap();

@@ -50,9 +50,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use mc_metrics::trace::{Stage, Trace};
 use meancache::ShardedCache;
 
-use crate::pipeline::{ServeConfig, ServePipeline, ServeReply, ServeRequest};
+use crate::pipeline::{request_kind, ServeConfig, ServePipeline, ServeReply, ServeRequest};
 use crate::poller::{wake_pair, Interest, Poller, PollerKind, WakeReceiver, Waker};
 use crate::protocol::{write_frame, ErrorCode, FrameAssembler, Request, Response};
 use crate::queue::SubmitError;
@@ -166,6 +167,13 @@ impl Server {
         // that cannot establish its durability story must not serve.
         let pipeline = ServePipeline::start(cache, config)
             .map_err(|e| io::Error::other(format!("serve WAL recovery failed: {e}")))?;
+        pipeline.metrics().set_build_info(
+            match poller.kind() {
+                PollerKind::Epoll => "epoll",
+                PollerKind::Poll => "poll",
+            },
+            &config.fsync.to_string(),
+        );
         let shared = Arc::new(ServerShared {
             pipeline,
             stop: AtomicBool::new(false),
@@ -283,6 +291,9 @@ struct Conn {
     assembler: FrameAssembler,
     /// Responses owed, in submission order.
     out: VecDeque<Out>,
+    /// Traces of responses encoded into `wbuf` but not yet fully flushed;
+    /// their `written` stage is marked when the backlog drains.
+    unwritten_traces: Vec<Arc<Trace>>,
     /// Encoded-but-unflushed response bytes; `wpos` marks how far the
     /// socket has accepted them.
     wbuf: Vec<u8>,
@@ -303,6 +314,7 @@ impl Conn {
             stream,
             assembler: FrameAssembler::new(),
             out: VecDeque::new(),
+            unwritten_traces: Vec::new(),
             wbuf: Vec::new(),
             wpos: 0,
             interest: Interest::READ,
@@ -592,13 +604,27 @@ impl EventLoop<'_> {
                     },
                     Request::Stats => ServeRequest::Stats,
                     Request::Metrics => ServeRequest::Metrics,
+                    Request::TraceDump => ServeRequest::TraceDump,
                     Request::SetThreshold(t) => ServeRequest::SetThreshold(t),
                     Request::SetRouting(mode) => ServeRequest::SetRouting(mode),
                     Request::Save => ServeRequest::Save,
                     Request::Flush => ServeRequest::Flush,
                     Request::Ping | Request::Shutdown => unreachable!("handled above"),
                 };
-                match self.shared.pipeline.submit(serve_request) {
+                // Sampled requests get a trace from frame-accept onwards, so
+                // queue and execution stages measure against the wire
+                // arrival, not the batcher's first sight of the request.
+                let trace = self
+                    .shared
+                    .pipeline
+                    .metrics()
+                    .tracer()
+                    .begin(request_kind(&serve_request));
+                if let Some(t) = &trace {
+                    t.mark(Stage::Accepted);
+                    t.mark(Stage::Decoded);
+                }
+                match self.shared.pipeline.submit_traced(serve_request, trace) {
                     Ok(ticket) => {
                         // Resolution (on the batcher thread) marks this
                         // connection dirty and nudges the loop; an
@@ -646,13 +672,16 @@ impl EventLoop<'_> {
         };
         // Encode every response that is ready at the head of the line.
         while let Some(head) = conn.out.front() {
-            let response = match head {
-                Out::Ready(response) => response.clone(),
+            let (response, trace) = match head {
+                Out::Ready(response) => (response.clone(), None),
                 Out::Pending(ticket) => match ticket.try_reply() {
-                    Some(reply) => reply_to_response(reply),
+                    Some(reply) => (reply_to_response(reply), ticket.trace().cloned()),
                     None => break,
                 },
             };
+            if let Some(t) = trace {
+                conn.unwritten_traces.push(t);
+            }
             conn.out.pop_front();
             if write_frame(&mut conn.wbuf, &response.encode()).is_err() {
                 // Oversize response payload: nothing recoverable.
@@ -663,6 +692,7 @@ impl EventLoop<'_> {
         }
         // Flush.
         let mut broken = false;
+        let flush_start = (conn.wpos < conn.wbuf.len()).then(Instant::now);
         while conn.wpos < conn.wbuf.len() {
             let pending = &conn.wbuf[conn.wpos..];
             // Fault injection (inert outside tests / the `failpoints`
@@ -694,9 +724,20 @@ impl EventLoop<'_> {
                 }
             }
         }
+        if let Some(start) = flush_start {
+            self.shared
+                .pipeline
+                .metrics()
+                .record_write_flush(start.elapsed());
+        }
         if conn.wpos == conn.wbuf.len() {
             conn.wbuf.clear();
             conn.wpos = 0;
+            // Everything encoded so far is on the wire: close out the
+            // sampled traces (marks `written`, commits to the recorder).
+            for trace in conn.unwritten_traces.drain(..) {
+                self.shared.pipeline.metrics().finish_written(&trace);
+            }
         } else if conn.wpos >= WRITE_HIGH_WATER {
             // Reclaim flushed prefix so a slow reader cannot grow the
             // buffer unboundedly behind a large backlog.
@@ -737,6 +778,7 @@ fn reply_to_response(reply: ServeReply) -> Response {
         ServeReply::Flushed(n) => Response::Flushed(n),
         ServeReply::Saved(n) => Response::Saved(n),
         ServeReply::MetricsText(text) => Response::Metrics(text),
+        ServeReply::TraceJson(json) => Response::TraceDump(json),
         ServeReply::Failed {
             code,
             retryable,

@@ -3,12 +3,16 @@
 //! request returns (serialised as JSON on the wire, so dashboards and the
 //! bench harness parse one schema).
 
+use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use mc_metrics::{percentile_from_log2_buckets, LatencyHistogram};
+use mc_embedder::{MemoObserver, MemoOutcome};
+use mc_metrics::trace::{flag, Stage, Trace, TraceSnapshot};
+use mc_metrics::{percentile_from_log2_buckets, LatencyHistogram, Tracer};
 use mc_store::RecoveryStats;
-use meancache::{SemanticCache, ShardedCache};
+use meancache::{SemanticCache, ShardStat, ShardedCache};
 use serde::{Deserialize, Serialize};
 
 /// Number of batch-size histogram buckets: bucket `i` counts batches of
@@ -16,9 +20,28 @@ use serde::{Deserialize, Serialize};
 /// absorbing everything larger.
 pub const BATCH_HIST_BUCKETS: usize = 12;
 
+/// Slots in the flight recorder. Fixed at construction: ~256 traces is a
+/// useful post-incident window and a bounded memory cost.
+pub const FLIGHT_RECORDER_CAPACITY: usize = 256;
+
+/// Per-stage latency histograms the pipeline feeds. The stage names double
+/// as the `stage` label in the text exposition.
+pub const STAGE_HIST_NAMES: [&str; 5] = ["queue_wait", "encode", "probe", "commit", "write_flush"];
+
+/// The server identity [`ServeStatsSnapshot::render_text`] exposes as a
+/// `serve_build_info` labelled gauge: crate version plus the runtime
+/// choices (poller kind, fsync policy) that a scrape should capture.
+#[derive(Debug, Clone, Default)]
+struct BuildInfo {
+    poller: String,
+    fsync: String,
+}
+
 /// Live counters the pipeline bumps on its hot path. All relaxed atomics:
-/// monotonic tallies, never used to synchronise other memory.
-#[derive(Debug, Default)]
+/// monotonic tallies, never used to synchronise other memory. The tracer,
+/// slow-request log, and per-stage histograms live here too so the event
+/// loop and the batcher share one sink.
+#[derive(Debug)]
 pub struct ServeMetrics {
     admitted: AtomicU64,
     shed: AtomicU64,
@@ -41,6 +64,69 @@ pub struct ServeMetrics {
     recovered_bytes_truncated: AtomicU64,
     batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
     latency: LatencyHistogram,
+    /// When this metrics plane was created (= server start, for uptime).
+    started: Instant,
+    /// Sampling gate + flight recorder for per-request traces.
+    tracer: Tracer,
+    /// Per-stage latency histograms, indexed like [`STAGE_HIST_NAMES`].
+    stage_hists: [LatencyHistogram; 5],
+    /// Identity labels for the `serve_build_info` gauge (cold path only).
+    build_info: Mutex<BuildInfo>,
+    /// Open slow-request log, when `--trace-log` is configured. Written
+    /// only for requests over the slow threshold — never on the fast path.
+    slow_log: Mutex<Option<std::io::BufWriter<std::fs::File>>>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self {
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            served_hits: AtomicU64::new(0),
+            served_misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            control: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            singleflight: AtomicU64::new(0),
+            pins_swept: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            wal_appends: AtomicU64::new(0),
+            wal_append_errors: AtomicU64::new(0),
+            wal_replayed: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
+            recovered_records: AtomicU64::new(0),
+            recovered_bytes_truncated: AtomicU64::new(0),
+            batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: LatencyHistogram::default(),
+            started: Instant::now(),
+            tracer: Tracer::new(FLIGHT_RECORDER_CAPACITY),
+            stage_hists: std::array::from_fn(|_| LatencyHistogram::default()),
+            build_info: Mutex::new(BuildInfo::default()),
+            slow_log: Mutex::new(None),
+        }
+    }
+}
+
+/// Feeds every memo consultation into the `encode` stage histogram: memo
+/// hits record ~0 µs (no encoder run), misses record the measured encoder
+/// time. Installed on the [`mc_embedder::EmbeddingMemo`] at pipeline start.
+#[derive(Debug)]
+pub struct EncodeStageObserver(Arc<ServeMetrics>);
+
+impl EncodeStageObserver {
+    /// Wraps the shared metrics plane.
+    pub fn new(metrics: Arc<ServeMetrics>) -> Self {
+        EncodeStageObserver(metrics)
+    }
+}
+
+impl MemoObserver for EncodeStageObserver {
+    fn memo_consulted(&self, outcome: MemoOutcome) {
+        self.0.stage_hists[1].record_micros(outcome.encode_micros);
+    }
 }
 
 impl ServeMetrics {
@@ -162,6 +248,125 @@ impl ServeMetrics {
     pub fn shed_count(&self) -> u64 {
         self.shed.load(Ordering::Relaxed)
     }
+
+    /// The request tracer: sampling gate plus flight recorder.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Records time a request spent in the admission queue (`queue_wait`).
+    pub fn record_queue_wait_micros(&self, micros: u64) {
+        self.stage_hists[0].record_micros(micros);
+    }
+
+    /// Records one shard-probe duration (`probe`). Coalesced runs report
+    /// the batch time amortised over the unique probes.
+    pub fn record_probe_micros(&self, micros: u64) {
+        self.stage_hists[2].record_micros(micros);
+    }
+
+    /// Records one feedback-commit duration (`commit`).
+    pub fn record_commit_micros(&self, micros: u64) {
+        self.stage_hists[3].record_micros(micros);
+    }
+
+    /// Records one connection-flush duration on the event loop
+    /// (`write_flush`).
+    pub fn record_write_flush(&self, elapsed: Duration) {
+        self.stage_hists[4].record(elapsed);
+    }
+
+    /// Applies the tracing knobs and, when a path is given, opens (and
+    /// truncates) the slow-request log. Called once at pipeline start.
+    pub fn configure_tracing(
+        &self,
+        sample_every: u64,
+        slow_threshold: Duration,
+        trace_log: Option<&std::path::Path>,
+    ) -> std::io::Result<()> {
+        self.tracer.set_sample_every(sample_every);
+        self.tracer
+            .set_slow_threshold_us(slow_threshold.as_micros().min(u128::from(u64::MAX)) as u64);
+        if let Some(path) = trace_log {
+            let file = std::fs::File::create(path)?;
+            *lock(&self.slow_log) = Some(std::io::BufWriter::new(file));
+        }
+        Ok(())
+    }
+
+    /// Records the identity labels for the `serve_build_info` gauge.
+    pub fn set_build_info(&self, poller: &str, fsync: &str) {
+        let mut info = lock(&self.build_info);
+        info.poller = poller.to_string();
+        info.fsync = fsync.to_string();
+    }
+
+    /// Finishes a request on the batcher side: records its end-to-end
+    /// latency and, when the request is an outlier (over the slow
+    /// threshold, or carrying `extra_flags` such as deadline-expired or
+    /// panicked), forces it into the flight recorder and the slow-request
+    /// log — synthesising a minimal trace when the request wasn't sampled,
+    /// so outliers *always* land in the recorder.
+    pub fn record_done(
+        &self,
+        elapsed: Duration,
+        kind: &'static str,
+        trace: Option<&Arc<Trace>>,
+        extra_flags: u64,
+    ) {
+        self.record_latency(elapsed);
+        let total_us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let slow = self.tracer.is_slow(total_us);
+        if let Some(t) = trace {
+            if extra_flags != 0 {
+                t.set_flag(extra_flags);
+            }
+            if slow {
+                t.set_flag(flag::SLOW);
+            }
+        }
+        if extra_flags == 0 && !slow {
+            return; // sampled traces are recorded at the `written` mark
+        }
+        let t = match trace {
+            Some(t) => Arc::clone(t),
+            None => {
+                // Unsampled outlier: synthesise a trace carrying only the
+                // end-to-end time so it still lands in the recorder.
+                let t = self.tracer.force_begin(kind);
+                t.mark_at(Stage::Committed, total_us);
+                t.set_flag(extra_flags | if slow { flag::SLOW } else { 0 });
+                t
+            }
+        };
+        self.tracer.record(&t);
+        self.log_outlier(&t.snapshot());
+    }
+
+    /// The event-loop side of a trace's life: marks the `written` stage and
+    /// commits the sampled trace to the flight recorder (first caller wins,
+    /// so a trace already force-recorded as an outlier is not duplicated).
+    pub fn finish_written(&self, trace: &Arc<Trace>) {
+        trace.mark(Stage::Written);
+        self.tracer.record(trace);
+    }
+
+    /// Appends one JSON trace line to the slow-request log, if configured.
+    fn log_outlier(&self, snap: &TraceSnapshot) {
+        let mut guard = lock(&self.slow_log);
+        if let Some(writer) = guard.as_mut() {
+            if let Ok(line) = serde_json::to_string(snap) {
+                let _ = writeln!(writer, "{line}");
+                let _ = writer.flush();
+            }
+        }
+    }
+}
+
+/// Locks a mutex, recovering from poisoning (metrics must not be lost to a
+/// panicked writer elsewhere).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Point-in-time serving statistics: what the control plane's `Stats`
@@ -278,6 +483,36 @@ pub struct ServeStatsSnapshot {
     pub queue_depth: usize,
     /// Admission-queue capacity.
     pub queue_capacity: usize,
+    /// Whole seconds since the server started.
+    #[serde(default)]
+    pub uptime_seconds: u64,
+    /// Crate version of the serving binary.
+    #[serde(default)]
+    pub version: String,
+    /// Readiness-poller kind the event loop chose (`epoll` / `poll`);
+    /// empty when no event loop reported one (e.g. pipeline-only tests).
+    #[serde(default)]
+    pub poller: String,
+    /// WAL fsync policy name; empty when unreported.
+    #[serde(default)]
+    pub fsync: String,
+    /// Per-stage latency histograms in [`STAGE_HIST_NAMES`] order, each
+    /// using the same log2 bucket scheme as `latency_hist`.
+    #[serde(default)]
+    pub stage_hists: Vec<Vec<u64>>,
+    /// Per-shard cache counters (occupancy, probes, hits, evictions, lock
+    /// contention) at snapshot time.
+    #[serde(default)]
+    pub shard_stats: Vec<ShardStat>,
+    /// Trace sampling rate: 0 = tracing disabled, N = every Nth request.
+    #[serde(default)]
+    pub trace_sample_every: u64,
+    /// Slow-request threshold in microseconds (0 = no slow detection).
+    #[serde(default)]
+    pub trace_slow_threshold_us: u64,
+    /// Traces the flight recorder dropped under slot contention.
+    #[serde(default)]
+    pub trace_dropped: u64,
 }
 
 impl ServeStatsSnapshot {
@@ -294,6 +529,7 @@ impl ServeStatsSnapshot {
         let batches = metrics.batches.load(Ordering::Relaxed);
         let batched_requests = metrics.batched_requests.load(Ordering::Relaxed);
         let memo = cache.embedding_memo().map(|m| m.stats());
+        let build = lock(&metrics.build_info).clone();
         Self {
             entries: cache.len(),
             shards: cache.shard_count(),
@@ -345,6 +581,15 @@ impl ServeStatsSnapshot {
                 .collect(),
             queue_depth,
             queue_capacity,
+            uptime_seconds: metrics.started.elapsed().as_secs(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            poller: build.poller,
+            fsync: build.fsync,
+            stage_hists: metrics.stage_hists.iter().map(|h| h.snapshot()).collect(),
+            shard_stats: cache.shard_stats(),
+            trace_sample_every: metrics.tracer.sample_every(),
+            trace_slow_threshold_us: metrics.tracer.slow_threshold_us(),
+            trace_dropped: metrics.tracer.recorder().dropped(),
         }
     }
 
@@ -427,6 +672,42 @@ impl ServeStatsSnapshot {
             );
         }
         let _ = writeln!(out, "serve_batch_size_count {cumulative}");
+        let _ = writeln!(out, "serve_uptime_seconds {}", self.uptime_seconds);
+        let _ = writeln!(
+            out,
+            "serve_build_info{{version=\"{}\",poller=\"{}\",fsync=\"{}\"}} 1",
+            self.version, self.poller, self.fsync
+        );
+        for (name, hist) in STAGE_HIST_NAMES.iter().zip(&self.stage_hists) {
+            for p in [0.5, 0.9, 0.99] {
+                let quantile = percentile_from_log2_buckets(hist, p);
+                let _ = writeln!(
+                    out,
+                    "serve_stage_us{{stage=\"{name}\",quantile=\"{p}\"}} {quantile}"
+                );
+            }
+            let count: u64 = hist.iter().sum();
+            let _ = writeln!(out, "serve_stage_us_count{{stage=\"{name}\"}} {count}");
+        }
+        for (i, shard) in self.shard_stats.iter().enumerate() {
+            for (metric, value) in [
+                ("occupancy", shard.occupancy as u64),
+                ("probes_total", shard.probes),
+                ("hits_total", shard.hits),
+                ("evictions_total", shard.evictions),
+                ("lock_contended_total", shard.lock_contended),
+                ("lock_wait_us_total", shard.lock_wait_us),
+            ] {
+                let _ = writeln!(out, "serve_shard_{metric}{{shard=\"{i}\"}} {value}");
+            }
+        }
+        let _ = writeln!(out, "serve_trace_sample_every {}", self.trace_sample_every);
+        let _ = writeln!(
+            out,
+            "serve_trace_slow_threshold_us {}",
+            self.trace_slow_threshold_us
+        );
+        let _ = writeln!(out, "serve_trace_dropped_total {}", self.trace_dropped);
         out
     }
 }
@@ -541,5 +822,98 @@ mod tests {
             );
             assert_eq!(parts.next(), None, "trailing tokens in {line:?}");
         }
+    }
+
+    #[test]
+    fn stage_histograms_build_info_and_shard_series_render() {
+        let encoder = mc_embedder::QueryEncoder::new(mc_embedder::ModelProfile::tiny(), 7).unwrap();
+        let mut cache = ShardedCache::new(
+            encoder,
+            meancache::MeanCacheConfig::default()
+                .with_threshold(0.6)
+                .with_shards(2),
+        )
+        .unwrap();
+        cache
+            .insert("what is pca compression", "PCA.", &[])
+            .unwrap();
+        let metrics = ServeMetrics::default();
+        metrics.set_build_info("epoll", "never");
+        metrics.record_queue_wait_micros(100);
+        metrics.record_probe_micros(900);
+        metrics.record_commit_micros(5);
+        metrics.record_write_flush(Duration::from_micros(50));
+        let snap = ServeStatsSnapshot::collect(&cache, &metrics, 0, 64);
+        assert_eq!(snap.version, env!("CARGO_PKG_VERSION"));
+        assert_eq!(snap.poller, "epoll");
+        assert_eq!(snap.fsync, "never");
+        assert_eq!(snap.stage_hists.len(), STAGE_HIST_NAMES.len());
+        // queue_wait got one sample, encode none (no memo installed here).
+        assert_eq!(snap.stage_hists[0].iter().sum::<u64>(), 1);
+        assert_eq!(snap.stage_hists[1].iter().sum::<u64>(), 0);
+        assert_eq!(snap.shard_stats.len(), 2);
+        assert_eq!(
+            snap.shard_stats.iter().map(|s| s.occupancy).sum::<usize>(),
+            1
+        );
+        let text = snap.render_text();
+        assert!(text.contains("serve_uptime_seconds"));
+        assert!(text.contains(&format!(
+            "serve_build_info{{version=\"{}\",poller=\"epoll\",fsync=\"never\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        )));
+        // 100µs → bucket upper bound 128; 900µs → 1024.
+        assert!(text.contains("serve_stage_us{stage=\"queue_wait\",quantile=\"0.5\"} 128"));
+        assert!(text.contains("serve_stage_us{stage=\"probe\",quantile=\"0.99\"} 1024"));
+        assert!(text.contains("serve_stage_us_count{stage=\"write_flush\"} 1"));
+        assert!(text.contains("serve_shard_occupancy{shard=\"0\"}"));
+        assert!(text.contains("serve_shard_lock_contended_total{shard=\"1\"} 0"));
+        assert!(text.contains("serve_trace_sample_every 0"));
+        // The labelled lines keep the `name value` two-token shape.
+        for line in text.lines() {
+            assert_eq!(line.split_whitespace().count(), 2, "bad line {line:?}");
+        }
+    }
+
+    #[test]
+    fn record_done_forces_outliers_into_recorder_and_slow_log() {
+        use mc_metrics::trace::flag;
+        let path = std::env::temp_dir().join(format!(
+            "mc-serve-slowlog-{}-{:p}.jsonl",
+            std::process::id(),
+            &BATCH_HIST_BUCKETS
+        ));
+        let metrics = ServeMetrics::default();
+        metrics
+            .configure_tracing(1, Duration::from_micros(500), Some(&path))
+            .unwrap();
+        // A sampled trace that crosses the slow threshold is recorded and
+        // logged at resolve time.
+        let trace = metrics.tracer().begin("lookup").expect("1-in-1 sampling");
+        trace.mark(mc_metrics::Stage::Dequeued);
+        metrics.record_done(Duration::from_micros(1_000), "lookup", Some(&trace), 0);
+        // An unsampled deadline-expired request still lands in the recorder
+        // via a synthesised trace.
+        metrics.tracer().set_sample_every(0);
+        metrics.record_done(
+            Duration::from_micros(10),
+            "lookup",
+            None,
+            flag::DEADLINE_EXPIRED,
+        );
+        // A fast, unflagged request is not recorded.
+        metrics.record_done(Duration::from_micros(10), "lookup", None, 0);
+        let dump = metrics.tracer().dump();
+        assert_eq!(dump.traces.len(), 2);
+        assert!(dump.traces.iter().any(|t| t.slow));
+        assert!(dump.traces.iter().any(|t| t.deadline_expired));
+        assert!(dump.traces.iter().all(|t| t.is_monotone()));
+        let log = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(log.lines().count(), 2);
+        for line in log.lines() {
+            let snap: mc_metrics::TraceSnapshot = serde_json::from_str(line).unwrap();
+            assert!(snap.is_monotone());
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -539,6 +539,44 @@ fn metrics_text_round_trips_over_the_wire() {
     handle.shutdown();
 }
 
+/// The flight-recorder dump travels the wire as JSON: with sampling at 1
+/// every request is traced, each trace deserializes, and its stage
+/// timestamps are monotone.
+#[test]
+fn trace_dump_round_trips_over_the_wire() {
+    let config = ServeConfig {
+        trace_sample: 1,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cache(2), &config, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.insert("traced wire subject", "resp", &[]).unwrap();
+    assert!(client.lookup("traced wire subject", &[]).unwrap().is_hit());
+    assert!(client.lookup("never inserted qzx", &[]).unwrap().is_miss());
+
+    let json = client.trace_dump().unwrap();
+    let dump: mc_metrics::trace::TraceDump = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("dump must be valid JSON ({e}):\n{json}"));
+    assert_eq!(dump.sample_every, 1);
+    assert!(
+        dump.traces.len() >= 3,
+        "all three requests must be recorded, got {}",
+        dump.traces.len()
+    );
+    for t in &dump.traces {
+        assert!(t.is_monotone(), "stages must be monotone: {t:?}");
+        assert!(t.total_us > 0, "a served request takes nonzero time");
+    }
+    // Lookups carry the memo verdict; the repeat encode of the inserted
+    // text must have been a memo hit.
+    assert!(
+        dump.traces.iter().any(|t| t.memo_hit == Some(true)),
+        "repeat lookup must be a memo hit: {json}"
+    );
+    drop(client);
+    handle.shutdown();
+}
+
 /// A frame split across many small writes (length prefix included) is
 /// reassembled by the event loop exactly as if it arrived whole.
 #[test]
