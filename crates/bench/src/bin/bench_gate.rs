@@ -9,7 +9,16 @@
 //! bench_gate --restart BENCH_restart.json
 //! bench_gate --serve FRESH.json [--serve-baseline BENCH_serve.json]
 //!            [--tolerance 0.25] [--normalize]
+//! bench_gate --tenancy FRESH.json [--tenancy-baseline BENCH_tenancy.json]
 //! ```
+//!
+//! `--tenancy FRESH` switches to the **multi-tenant gate**: a fresh
+//! `exp_tenancy` report is checked against machine-independent isolation
+//! and fairness invariants (quota is a hard cap, every tenant keeps its
+//! quota floor, per-tenant hit rate clears an accuracy floor), and — when
+//! the committed `BENCH_tenancy.json` exists — per-tenant hit rates are
+//! diffed against it under a tight tolerance (the workload is
+//! deterministic, so hit rates reproduce across machines).
 //!
 //! `--serve FRESH` switches to the **serving throughput gate**: a freshly
 //! measured `exp_serve` report is diffed against the committed
@@ -55,7 +64,7 @@ use std::process::ExitCode;
 
 use mc_bench::{
     IndexBenchReport, IndexBenchRow, RestartBenchReport, RoutingBenchReport, RoutingBenchRow,
-    ServeBenchReport, ServeBenchRow,
+    ServeBenchReport, ServeBenchRow, TenancyBenchReport,
 };
 
 /// Key a row is matched across files by.
@@ -349,6 +358,151 @@ fn restart_gate(path: &PathBuf) -> ExitCode {
     }
 }
 
+/// The tenancy gate (`--tenancy`): validates an `exp_tenancy` report's
+/// isolation and fairness invariants, then (when the committed
+/// `BENCH_tenancy.json` baseline exists) diffs per-tenant hit rates
+/// against it. The invariants are machine-independent:
+///
+/// * **quota is a hard cap** — no tenant's final occupancy exceeds its
+///   quota; a breach means eviction is stealing capacity across tenants.
+/// * **quota floor** — every tenant keeps at least half of
+///   `min(quota, populated)` resident; a background tenant starved below
+///   its floor means weighted-fair eviction evicted a neighbour's tail.
+/// * **accuracy floor** — each tenant's served hit rate reaches at least
+///   60% of its ground-truth duplicate rate; isolation that tanks hit
+///   rates is not isolation worth having.
+///
+/// The workload, schedule, and read-through fills are all deterministic
+/// under the committed seed, so baseline hit rates reproduce across
+/// machines: the baseline diff uses a tight absolute tolerance.
+fn tenancy_gate(fresh_path: &PathBuf, baseline_path: &PathBuf) -> ExitCode {
+    let load = |path: &PathBuf| -> TenancyBenchReport {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+    };
+    let fresh = load(fresh_path);
+    if fresh.rows.is_empty() {
+        eprintln!("bench_gate: {} has no tenant rows", fresh_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_gate: tenancy gate over {} ({} tenants, {} probes, quota {}/tenant)",
+        fresh_path.display(),
+        fresh.rows.len(),
+        fresh.total_requests,
+        fresh.opts.quota_per_tenant
+    );
+    let mut failures = Vec::new();
+    for row in &fresh.rows {
+        let floor = row.quota.min(row.populated) / 2;
+        let cap_ok = row.quota == 0 || row.occupancy <= row.quota;
+        let floor_ok = row.occupancy >= floor;
+        let accuracy_ok = row.hit_rate >= row.expected_hit_rate * 0.6 - 1e-9;
+        println!(
+            "  {:<10} share {:.2}  probes {:>5}  hit {:.3} (expect {:.3})  \
+             p50 {:>7.1}us  occupancy {:>5}/{:<5}  {}",
+            row.tenant,
+            row.share,
+            row.probes,
+            row.hit_rate,
+            row.expected_hit_rate,
+            row.p50_us,
+            row.occupancy,
+            row.quota,
+            if cap_ok && floor_ok && accuracy_ok {
+                "ok"
+            } else {
+                "FAIL"
+            }
+        );
+        if !cap_ok {
+            failures.push(format!(
+                "{}: occupancy {} exceeds quota {} — eviction is not respecting the cap",
+                row.tenant, row.occupancy, row.quota
+            ));
+        }
+        if !floor_ok {
+            failures.push(format!(
+                "{}: occupancy {} below the quota floor {} — a neighbour's \
+                 traffic evicted this tenant's entries",
+                row.tenant, row.occupancy, floor
+            ));
+        }
+        if !accuracy_ok {
+            failures.push(format!(
+                "{}: hit rate {:.3} below 60% of the ground-truth rate {:.3}",
+                row.tenant, row.hit_rate, row.expected_hit_rate
+            ));
+        }
+    }
+    let probed: usize = fresh.rows.iter().map(|r| r.probes).sum();
+    if probed != fresh.total_requests {
+        failures.push(format!(
+            "per-tenant probes sum to {probed}, report claims {} — rows are missing traffic",
+            fresh.total_requests
+        ));
+    }
+    if baseline_path.exists() {
+        let baseline = load(baseline_path);
+        if baseline.opts.workload != fresh.opts.workload
+            || baseline.opts.quota_per_tenant != fresh.opts.quota_per_tenant
+        {
+            println!(
+                "bench_gate: fresh report's workload differs from the committed \
+                 baseline's (e.g. a --quick run) — invariants only"
+            );
+        } else {
+            for base_row in &baseline.rows {
+                let Some(fresh_row) = fresh.rows.iter().find(|r| r.tenant == base_row.tenant)
+                else {
+                    failures.push(format!(
+                        "{}: present in baseline but missing from the fresh report",
+                        base_row.tenant
+                    ));
+                    continue;
+                };
+                let drift = (fresh_row.hit_rate - base_row.hit_rate).abs();
+                if drift > 0.02 {
+                    failures.push(format!(
+                        "{}: hit rate {:.3} drifted from the committed baseline {:.3} \
+                         (the workload is deterministic; |Δ| {:.3} > 0.02)",
+                        base_row.tenant, fresh_row.hit_rate, base_row.hit_rate, drift
+                    ));
+                }
+            }
+        }
+    } else {
+        println!(
+            "bench_gate: no committed baseline at {} — invariants only",
+            baseline_path.display()
+        );
+    }
+    if failures.is_empty() {
+        println!(
+            "bench_gate: PASS — {} tenant row(s) within quota, above their \
+             floors, and on baseline",
+            fresh.rows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: FAIL — {} tenancy regression(s):",
+            failures.len()
+        );
+        for failure in &failures {
+            eprintln!("  - {failure}");
+        }
+        eprintln!(
+            "If the workload or quotas changed intentionally, re-baseline per README: \
+             regenerate with `cargo run --release -p mc-bench --bin exp_tenancy` and \
+             commit BENCH_tenancy.json."
+        );
+        ExitCode::FAILURE
+    }
+}
+
 /// The routing hit-rate gate (`--routing`): validates an `exp_routing`
 /// report's mode ordering. See the module docs for what is checked and why
 /// it needs no baseline.
@@ -435,6 +589,8 @@ fn main() -> ExitCode {
     let mut restart_path: Option<PathBuf> = None;
     let mut serve_fresh_path: Option<PathBuf> = None;
     let mut serve_baseline_path = PathBuf::from("BENCH_serve.json");
+    let mut tenancy_fresh_path: Option<PathBuf> = None;
+    let mut tenancy_baseline_path = PathBuf::from("BENCH_tenancy.json");
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -483,6 +639,16 @@ fn main() -> ExitCode {
                 serve_baseline_path =
                     PathBuf::from(args.get(i).expect("--serve-baseline needs a path"));
             }
+            "--tenancy" => {
+                i += 1;
+                tenancy_fresh_path =
+                    Some(PathBuf::from(args.get(i).expect("--tenancy needs a path")));
+            }
+            "--tenancy-baseline" => {
+                i += 1;
+                tenancy_baseline_path =
+                    PathBuf::from(args.get(i).expect("--tenancy-baseline needs a path"));
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
@@ -491,7 +657,8 @@ fn main() -> ExitCode {
                      | bench_gate --routing PATH \
                      | bench_gate --restart PATH \
                      | bench_gate --serve PATH [--serve-baseline PATH] \
-                     [--tolerance 0.25] [--normalize]"
+                     [--tolerance 0.25] [--normalize] \
+                     | bench_gate --tenancy PATH [--tenancy-baseline PATH]"
                 );
                 return ExitCode::from(2);
             }
@@ -499,6 +666,9 @@ fn main() -> ExitCode {
         i += 1;
     }
 
+    if let Some(path) = tenancy_fresh_path {
+        return tenancy_gate(&path, &tenancy_baseline_path);
+    }
     if let Some(path) = routing_path {
         return routing_gate(&path);
     }

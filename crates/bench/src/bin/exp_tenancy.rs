@@ -1,0 +1,96 @@
+//! Multi-tenant serving benchmark over localhost TCP: N authenticated
+//! tenants with Zipf-skewed traffic shares and staggered diurnal bursts
+//! against a quota-partitioned `mc-serve` instance, emitting the
+//! machine-readable `BENCH_tenancy.json` (per-tenant hit rate, lookup
+//! latency quantiles, final occupancy).
+//!
+//! ```text
+//! exp_tenancy [--tenants 4] [--zipf 1.0] [--cached 400] [--probes 4000]
+//!             [--quota N] [--shards 8] [--burst 0.6]
+//!             [--json BENCH_tenancy.json | --no-json] [--quick]
+//! ```
+//!
+//! `--quick` is the reduced CI smoke configuration; the defaults reproduce
+//! the committed baseline. `--quota` defaults to the per-tenant cached
+//! entry count, so read-through fills churn each tenant against its own
+//! quota without touching its neighbours'.
+
+use std::path::PathBuf;
+
+use mc_bench::TenancyBenchOpts;
+
+fn main() {
+    let mut opts = TenancyBenchOpts::default();
+    let mut quota_explicit = false;
+    let mut json: Option<PathBuf> = Some(PathBuf::from("BENCH_tenancy.json"));
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let int = |i: &mut usize, flag: &str| -> usize {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .parse()
+                .unwrap_or_else(|_| {
+                    eprintln!("{flag} must be an integer");
+                    std::process::exit(2);
+                })
+        };
+        let float = |i: &mut usize, flag: &str| -> f64 {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .parse()
+                .unwrap_or_else(|_| {
+                    eprintln!("{flag} must be a number");
+                    std::process::exit(2);
+                })
+        };
+        match args[i].as_str() {
+            "--tenants" => opts.workload.tenants = int(&mut i, "--tenants"),
+            "--zipf" => opts.workload.zipf_s = float(&mut i, "--zipf"),
+            "--cached" => opts.workload.cached_per_tenant = int(&mut i, "--cached"),
+            "--probes" => opts.workload.probes = int(&mut i, "--probes"),
+            "--burst" => opts.workload.burst_amplitude = float(&mut i, "--burst"),
+            "--shards" => opts.shards = int(&mut i, "--shards"),
+            "--quota" => {
+                opts.quota_per_tenant = int(&mut i, "--quota");
+                quota_explicit = true;
+            }
+            "--quick" => {
+                opts.workload.tenants = 3;
+                opts.workload.cached_per_tenant = 80;
+                opts.workload.probes = 600;
+                opts.workload.day_ticks = 200;
+                opts.shards = 4;
+            }
+            "--json" => {
+                i += 1;
+                json = Some(PathBuf::from(args.get(i).expect("--json needs a path")));
+            }
+            "--no-json" => json = None,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: exp_tenancy [--tenants N] [--zipf S] [--cached N] [--probes N] \
+                     [--quota N] [--shards N] [--burst A] \
+                     [--json PATH | --no-json] [--quick]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if !quota_explicit {
+        opts.quota_per_tenant = opts.workload.cached_per_tenant;
+    }
+
+    mc_bench::run_tenancy_with(&opts, json.as_deref());
+}

@@ -28,6 +28,7 @@ pub mod restart_bench;
 pub mod routing_bench;
 pub mod serve_bench;
 pub mod setup;
+pub mod tenancy_bench;
 
 pub use concurrent::*;
 pub use experiments::*;
@@ -35,3 +36,4 @@ pub use restart_bench::*;
 pub use routing_bench::*;
 pub use serve_bench::*;
 pub use setup::*;
+pub use tenancy_bench::*;

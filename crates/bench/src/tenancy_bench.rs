@@ -1,0 +1,323 @@
+//! Multi-tenant serving benchmark: a real `mc-serve` instance provisioned
+//! with N authenticated tenants, driven by the `mc-workloads` tenancy
+//! schedule (Zipf-skewed traffic shares, staggered diurnal bursts), one
+//! authenticated connection per tenant.
+//!
+//! Each tenant pre-populates its own entries, then the interleaved probe
+//! schedule replays in order; every miss is filled back in (the
+//! read-through pattern a semantic cache actually serves), so hot tenants
+//! churn against their capacity quota while cold tenants must keep their
+//! resident floor — the quota-fair-eviction property the gate checks.
+//! The report records per-tenant hit rate, lookup latency quantiles, and
+//! final occupancy, and is gated by `bench_gate --tenancy` on invariants
+//! that are machine-independent by construction.
+
+use std::time::Instant;
+
+use mc_embedder::{ModelProfile, QueryEncoder};
+use mc_metrics::Table;
+use mc_serve::{Client, ServeConfig, ServeTenant, Server};
+use mc_workloads::{tenancy_workload, TenancyConfig};
+use meancache::{MeanCacheConfig, ShardedCache};
+
+use crate::experiments::percentile;
+use crate::setup::EXPERIMENT_SEED;
+
+/// Sizing of one tenancy-bench run.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TenancyBenchOpts {
+    /// Workload shape (tenant count, Zipf skew, diurnal bursts, probes).
+    pub workload: TenancyConfig,
+    /// Shard count of the served cache.
+    pub shards: usize,
+    /// Per-tenant capacity quota in entries (`0` = unlimited). The default
+    /// pins it to `cached_per_tenant`, so every miss-fill beyond the
+    /// populate set evicts the filling tenant's own LRU tail.
+    pub quota_per_tenant: usize,
+}
+
+impl Default for TenancyBenchOpts {
+    fn default() -> Self {
+        let workload = TenancyConfig {
+            tenants: 4,
+            zipf_s: 1.0,
+            cached_per_tenant: 400,
+            probes: 4000,
+            duplicate_ratio: 0.5,
+            day_ticks: 1000,
+            burst_amplitude: 0.6,
+            seed: EXPERIMENT_SEED,
+        };
+        Self {
+            quota_per_tenant: workload.cached_per_tenant,
+            workload,
+            shards: 8,
+        }
+    }
+}
+
+/// One tenant's measured slice of the run.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TenancyBenchRow {
+    /// Tenant name (rank order = Zipf heat order).
+    pub tenant: String,
+    /// Long-run traffic share the schedule drew this tenant at.
+    pub share: f64,
+    /// Capacity quota in entries (0 = unlimited).
+    pub quota: usize,
+    /// Entries pre-populated before the probe phase.
+    pub populated: usize,
+    /// Lookups this tenant issued.
+    pub probes: usize,
+    /// Fraction of this tenant's probes whose ground truth is a hit.
+    pub expected_hit_rate: f64,
+    /// Fraction the served cache actually hit.
+    pub hit_rate: f64,
+    /// Median lookup round-trip in µs over this tenant's connection.
+    pub p50_us: f64,
+    /// 99th-percentile lookup round-trip in µs.
+    pub p99_us: f64,
+    /// Resident entries under this tenant when the run ended
+    /// (server-reported).
+    pub occupancy: usize,
+    /// Misses filled back into the cache during the probe phase.
+    pub fills: usize,
+}
+
+/// Machine-readable output of [`run_tenancy_with`], persisted as
+/// `BENCH_tenancy.json`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TenancyBenchReport {
+    /// Run sizing.
+    pub opts: TenancyBenchOpts,
+    /// Lookups completed across every tenant.
+    pub total_requests: usize,
+    /// Aggregate lookup throughput over the probe phase's wall-clock.
+    pub requests_per_sec: f64,
+    /// One row per tenant, hottest first.
+    pub rows: Vec<TenancyBenchRow>,
+}
+
+/// Runs the tenancy benchmark and (optionally) writes the JSON report.
+pub fn run_tenancy_with(
+    opts: &TenancyBenchOpts,
+    json_path: Option<&std::path::Path>,
+) -> TenancyBenchReport {
+    let workload = tenancy_workload(&opts.workload);
+
+    let encoder = QueryEncoder::new(ModelProfile::tiny(), EXPERIMENT_SEED).expect("tiny profile");
+    // τ = 0.70 matches the routing benchmark: the probe schedule is
+    // paraphrase-heavy, not exact-repeat-heavy.
+    let config = MeanCacheConfig::default()
+        .with_threshold(0.7)
+        .with_index(mc_store::IndexKind::flat_sq8())
+        .with_shards(opts.shards);
+    let cache = ShardedCache::new(encoder, config).expect("valid config");
+
+    let serve_config = ServeConfig {
+        queue_capacity: 4096,
+        max_connections: opts.workload.tenants + 2,
+        tenants: workload
+            .tenants
+            .iter()
+            .map(|t| ServeTenant {
+                name: t.name.clone(),
+                token: format!("token-{}", t.name),
+                quota: opts.quota_per_tenant,
+            })
+            .collect(),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cache, &serve_config, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // One authenticated connection per tenant; populate each tenant's
+    // standing entries before any probe runs.
+    let mut clients: Vec<Client> = workload
+        .tenants
+        .iter()
+        .map(|t| {
+            let mut client = Client::connect(addr).expect("tenant connect");
+            client
+                .hello(&t.name, &format!("token-{}", t.name))
+                .expect("tenant hello");
+            for (query, _) in &t.populate {
+                client
+                    .insert(query, "cached response", &[])
+                    .expect("populate insert");
+            }
+            client
+        })
+        .collect();
+
+    // Probe phase: replay the interleaved schedule in order, read-through
+    // filling every miss under the issuing tenant.
+    let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); workload.tenants.len()];
+    let mut hits = vec![0usize; workload.tenants.len()];
+    let mut fills = vec![0usize; workload.tenants.len()];
+    let run_started = Instant::now();
+    for op in &workload.schedule {
+        let client = &mut clients[op.tenant];
+        let started = Instant::now();
+        let outcome = client
+            .lookup(&op.probe.text, &[])
+            .expect("scheduled lookup");
+        latencies[op.tenant].push(started.elapsed().as_secs_f64() * 1e6);
+        if outcome.is_hit() {
+            hits[op.tenant] += 1;
+        } else {
+            client
+                .insert(&op.probe.text, "filled response", &[])
+                .expect("miss fill");
+            fills[op.tenant] += 1;
+        }
+    }
+    let wall_s = run_started.elapsed().as_secs_f64();
+
+    let stats = clients[0].stats().expect("stats");
+    drop(clients);
+    handle.shutdown();
+
+    let rows: Vec<TenancyBenchRow> = workload
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(rank, tenant)| {
+            let probes = workload.probes_for(rank);
+            let expected = workload.expected_hits_for(rank);
+            let mut pooled = latencies[rank].clone();
+            pooled.sort_by(f64::total_cmp);
+            let occupancy = stats
+                .tenants
+                .iter()
+                .find(|t| t.name == tenant.name)
+                .map_or(0, |t| t.entries);
+            TenancyBenchRow {
+                tenant: tenant.name.clone(),
+                share: tenant.share,
+                quota: opts.quota_per_tenant,
+                populated: tenant.populate.len(),
+                probes,
+                expected_hit_rate: expected as f64 / probes.max(1) as f64,
+                hit_rate: hits[rank] as f64 / probes.max(1) as f64,
+                p50_us: percentile(&pooled, 0.50),
+                p99_us: percentile(&pooled, 0.99),
+                occupancy,
+                fills: fills[rank],
+            }
+        })
+        .collect();
+
+    let total_requests = workload.schedule.len();
+    let report = TenancyBenchReport {
+        opts: opts.clone(),
+        total_requests,
+        requests_per_sec: total_requests as f64 / wall_s.max(f64::EPSILON),
+        rows,
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Multi-tenant serving - {} tenants (zipf s={:.1}), {} probes, quota {}/tenant",
+            opts.workload.tenants,
+            opts.workload.zipf_s,
+            opts.workload.probes,
+            opts.quota_per_tenant
+        ),
+        &[
+            "tenant",
+            "share",
+            "probes",
+            "hit rate",
+            "expected",
+            "p50 us",
+            "p99 us",
+            "occupancy",
+            "fills",
+        ],
+    );
+    for row in &report.rows {
+        table.add_row(&[
+            row.tenant.clone(),
+            format!("{:.2}", row.share),
+            row.probes.to_string(),
+            format!("{:.3}", row.hit_rate),
+            format!("{:.3}", row.expected_hit_rate),
+            format!("{:.1}", row.p50_us),
+            format!("{:.1}", row.p99_us),
+            row.occupancy.to_string(),
+            row.fills.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "{} lookups at {:.0} req/s across {} tenants",
+        report.total_requests, report.requests_per_sec, opts.workload.tenants
+    );
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string(&report).expect("report serialises");
+        std::fs::write(path, json).expect("BENCH_tenancy.json is writable");
+        println!("wrote {}", path.display());
+    }
+    report
+}
+
+/// The full benchmark at the acceptance configuration, emitting
+/// `BENCH_tenancy.json`.
+pub fn run_tenancy() {
+    run_tenancy_with(
+        &TenancyBenchOpts::default(),
+        Some(std::path::Path::new("BENCH_tenancy.json")),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_tenancy_bench_produces_consistent_report() {
+        let workload = TenancyConfig {
+            tenants: 3,
+            cached_per_tenant: 40,
+            probes: 240,
+            day_ticks: 80,
+            ..TenancyConfig::default()
+        };
+        let opts = TenancyBenchOpts {
+            quota_per_tenant: workload.cached_per_tenant,
+            workload,
+            shards: 4,
+        };
+        let report = run_tenancy_with(&opts, None);
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.total_requests, 240);
+        let probed: usize = report.rows.iter().map(|r| r.probes).sum();
+        assert_eq!(probed, 240);
+        for row in &report.rows {
+            // Quota is a hard cap, and the populate set plus read-through
+            // fills keep every tenant at (or near) its floor.
+            assert!(
+                row.occupancy <= row.quota,
+                "{}: occupancy {} over quota {}",
+                row.tenant,
+                row.occupancy,
+                row.quota
+            );
+            assert!(
+                row.occupancy * 2 >= row.quota.min(row.populated),
+                "{}: occupancy {} below half the quota floor {}",
+                row.tenant,
+                row.occupancy,
+                row.quota.min(row.populated)
+            );
+            if row.probes > 0 {
+                assert!(row.p99_us >= row.p50_us);
+            }
+            assert!(row.hit_rate <= 1.0 && row.expected_hit_rate <= 1.0);
+        }
+        // The Zipf law must actually skew the traffic.
+        assert!(report.rows[0].probes > report.rows[2].probes);
+    }
+}

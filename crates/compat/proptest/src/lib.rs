@@ -86,6 +86,21 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     }
 }
 
+macro_rules! impl_tuple_strategy {
+    ($($s:ident => $f:tt),*) => {
+        impl<$($s: Strategy),*> Strategy for ($($s,)*) {
+            type Value = ($($s::Value,)*);
+            fn generate(&self, gen: &mut Gen) -> Self::Value {
+                ($(self.$f.generate(gen),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A => 0, B => 1);
+impl_tuple_strategy!(A => 0, B => 1, C => 2);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+
 /// Configuration accepted by `#![proptest_config(..)]`.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
@@ -106,6 +121,24 @@ impl Default for ProptestConfig {
 
 /// The `prop::` namespace re-created for `use proptest::prelude::*` callers.
 pub mod prop {
+    pub mod bool {
+        use crate::{Gen, Strategy};
+
+        /// Strategy producing both booleans with equal probability.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The `prop::bool::ANY` strategy from the real crate.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, gen: &mut Gen) -> bool {
+                gen.next_u64() & 1 == 1
+            }
+        }
+    }
+
     pub mod collection {
         use crate::{Gen, Strategy};
         use std::ops::Range;
@@ -211,6 +244,12 @@ mod tests {
         fn mut_bindings_work(mut v in prop::collection::vec(0.0f32..1.0, 1..4)) {
             v.push(0.5);
             prop_assert_eq!(v.last().copied(), Some(0.5));
+        }
+
+        #[test]
+        fn tuple_strategies_compose(ops in prop::collection::vec((0usize..3, prop::bool::ANY, 0u8..8), 1..20)) {
+            prop_assert!(!ops.is_empty());
+            prop_assert!(ops.iter().all(|&(t, _, k)| t < 3 && k < 8));
         }
     }
 

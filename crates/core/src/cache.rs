@@ -473,6 +473,20 @@ impl MeanCache {
         Ok(id)
     }
 
+    /// Removes an entry by id from both the store and the vector index.
+    /// Returns `true` when the entry existed. Used by the serve layer's
+    /// TTL/invalidation reclaim sweep; dangling root pins left behind are
+    /// collected by the existing pin-GC sweep.
+    pub fn remove_entry(&mut self, id: u64) -> bool {
+        match self.store.remove(id) {
+            Ok(_) => {
+                let _ = self.index.remove(id);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Installs a snapshot-restored index wholesale and re-inserts `entries`
     /// into the entry store in arrival order. Entries whose id is in
     /// `indexed` (the snapshot rows, already present in `index`) skip the

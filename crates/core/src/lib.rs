@@ -79,12 +79,14 @@ pub mod deploy;
 pub mod gptcache;
 pub mod persist;
 pub mod shard;
+pub mod tenant;
 
 pub use cache::{CacheDecisionOutcome, CacheHit, CacheStats, MeanCache, SemanticCache};
 pub use config::{MeanCacheConfig, SnapshotPolicy};
 pub use deploy::{Deployment, DeploymentReport, ProbeSpec, QueryRecord};
 pub use gptcache::{GptCacheBaseline, GptCacheConfig};
 pub use shard::{reshard, route_key, RoutingMode, ShardStat, ShardedCache};
+pub use tenant::{TenantStore, TenantedCache, DEFAULT_TENANT};
 
 /// Errors surfaced by the cache layer.
 #[derive(Debug)]

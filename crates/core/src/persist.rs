@@ -115,13 +115,19 @@ pub fn snapshot_path(path: &Path) -> PathBuf {
 /// # Errors
 /// Propagates storage/IO failures.
 pub fn save_cache(cache: &MeanCache, path: &Path) -> Result<()> {
-    save_cache_with_pins(cache, path, &[])
+    save_cache_with_pins(cache, path, &[], None)
 }
 
 /// [`save_cache`], additionally persisting `pins` — the shard's slice of
 /// the sharded router's root-pin table — into the snapshot so an all-shard
-/// snapshot restore can skip the pin rebuild.
-fn save_cache_with_pins(cache: &MeanCache, path: &Path, pins: &[(u64, u64)]) -> Result<()> {
+/// snapshot restore can skip the pin rebuild. `tenant` tags the snapshot
+/// with its owning tenant (`None` = default tenant, legacy byte-identical).
+fn save_cache_with_pins(
+    cache: &MeanCache,
+    path: &Path,
+    pins: &[(u64, u64)],
+    tenant: Option<&str>,
+) -> Result<()> {
     // Start from a clean log so the file reflects exactly the current cache.
     if path.exists() {
         std::fs::remove_file(path).map_err(mc_store::StoreError::from)?;
@@ -138,7 +144,7 @@ fn save_cache_with_pins(cache: &MeanCache, path: &Path, pins: &[(u64, u64)]) -> 
     let wal_len = disk.log_bytes()?;
     drop(disk);
     match cache.config().snapshot {
-        SnapshotPolicy::Enabled => write_snapshot_for(cache, path, wal_len, pins),
+        SnapshotPolicy::Enabled => write_snapshot_for(cache, path, wal_len, pins, tenant),
         SnapshotPolicy::Disabled => {
             let snap = snapshot_path(path);
             if snap.exists() {
@@ -158,6 +164,7 @@ fn write_snapshot_for(
     path: &Path,
     wal_len: u64,
     pins: &[(u64, u64)],
+    tenant: Option<&str>,
 ) -> Result<()> {
     let Some((head, tail)) = mc_store::prefix_fingerprint(path, wal_len)? else {
         // The log is shorter than the length we just observed — something
@@ -174,6 +181,7 @@ fn write_snapshot_for(
         wal_len,
         wal_head_crc: head,
         wal_tail_crc: tail,
+        tenant,
     };
     mc_store::save_snapshot(&snapshot_path(path), &view).map_err(CacheError::from)
 }
@@ -193,6 +201,7 @@ fn try_snapshot_restore(
     cache: &mut MeanCache,
     path: &Path,
     stats: &mut RecoveryStats,
+    expected_tenant: Option<&str>,
 ) -> Result<Option<Vec<(u64, u64)>>> {
     if cache.config().snapshot == SnapshotPolicy::Disabled {
         return Ok(None);
@@ -204,6 +213,13 @@ fn try_snapshot_restore(
     let Ok(restored) = mc_store::load_snapshot(&snap, &cache.config().index) else {
         return Ok(None);
     };
+    // A snapshot tagged for a different tenant (or a tag where none is
+    // expected) is another caller's data: fall back to log replay rather
+    // than install it. Legacy snapshots carry no tag and load as the
+    // default tenant (`expected_tenant == None`).
+    if restored.tenant.as_deref() != expected_tenant {
+        return Ok(None);
+    }
     // The snapshot is only valid over the exact log prefix it fingerprinted.
     match mc_store::prefix_fingerprint(path, restored.wal_len) {
         Ok(Some((head, tail)))
@@ -265,7 +281,7 @@ pub fn load_cache_with_report(
 ) -> Result<(MeanCache, RecoveryStats)> {
     let mut cache = template;
     let mut recovery = RecoveryStats::default();
-    if try_snapshot_restore(&mut cache, path, &mut recovery)?.is_some() {
+    if try_snapshot_restore(&mut cache, path, &mut recovery, None)?.is_some() {
         return Ok((cache, recovery));
     }
     let recovery = replay_log_into(&mut cache, path)?;
@@ -423,12 +439,27 @@ fn load_routing_sidecar(cache: &mut ShardedCache, path: &Path) -> Result<()> {
 /// # Errors
 /// Propagates storage/IO failures.
 pub fn save_sharded_cache_with_config(cache: &ShardedCache, path: &Path) -> Result<()> {
+    save_sharded_cache_tagged(cache, path, None)
+}
+
+/// [`save_sharded_cache_with_config`] with the shard snapshots tagged as
+/// belonging to `tenant` (`None` = default tenant; files stay
+/// byte-identical to pre-tenancy saves). Loaders verify the tag — see
+/// [`load_sharded_cache_tagged`].
+///
+/// # Errors
+/// Propagates storage/IO failures.
+pub fn save_sharded_cache_tagged(
+    cache: &ShardedCache,
+    path: &Path,
+    tenant: Option<&str>,
+) -> Result<()> {
     for shard in 0..cache.shard_count() {
         // Each shard's snapshot carries the router pins resolving to it, so
         // an all-shard snapshot restore reassembles the full pin table.
         let pins = cache.root_pins_for_shard(shard);
         cache.with_shard(shard, |inner| {
-            save_cache_with_pins(inner, &shard_log_path(path, shard), &pins)
+            save_cache_with_pins(inner, &shard_log_path(path, shard), &pins, tenant)
         })?;
     }
     // Clean up logs (and their snapshots) from a previous save with a
@@ -498,6 +529,22 @@ pub fn load_sharded_cache_with_report(
     encoder: QueryEncoder,
     path: &Path,
 ) -> Result<(ShardedCache, RecoveryStats)> {
+    load_sharded_cache_tagged(encoder, path, None)
+}
+
+/// [`load_sharded_cache_with_report`] expecting shard snapshots tagged for
+/// `tenant`: a snapshot tagged for a different tenant (or untagged when a
+/// tag is expected) is skipped in favour of log replay, so one tenant's
+/// snapshot can never be installed as another's. Legacy untagged saves
+/// load as the default tenant (`tenant = None`).
+///
+/// # Errors
+/// See [`load_sharded_cache_with_config`].
+pub fn load_sharded_cache_tagged(
+    encoder: QueryEncoder,
+    path: &Path,
+    tenant: Option<&str>,
+) -> Result<(ShardedCache, RecoveryStats)> {
     let config = read_config_sidecar(path)?;
     let mut cache = ShardedCache::new(encoder, config)?;
     load_routing_sidecar(&mut cache, path)?;
@@ -515,7 +562,7 @@ pub fn load_sharded_cache_with_report(
                 log.display()
             )));
         }
-        match try_snapshot_restore(cache.shard_cache_mut(shard), &log, &mut recovery)? {
+        match try_snapshot_restore(cache.shard_cache_mut(shard), &log, &mut recovery, tenant)? {
             Some(shard_pins) => pins.extend(shard_pins),
             None => {
                 all_snapshot = false;
@@ -546,7 +593,7 @@ pub fn load_sharded_cache_with_report(
                 .map_err(mc_store::StoreError::from)?
                 .len();
             cache.with_shard(shard, |inner| {
-                write_snapshot_for(inner, &log, wal_len, &shard_pins)
+                write_snapshot_for(inner, &log, wal_len, &shard_pins, tenant)
             })?;
         }
     }

@@ -745,6 +745,42 @@ impl ShardedCache {
         read(&self.shards[shard]).entry(local).cloned()
     }
 
+    /// Removes an entry by its **public** id from its shard's store and
+    /// index. Returns `true` when the entry existed. Dangling root pins are
+    /// reclaimed by [`ShardedCache::sweep_root_pins`]; the serve layer's
+    /// TTL/invalidation sweep is the caller.
+    pub fn remove_public(&mut self, public_id: u64) -> bool {
+        let (shard, local) = self.split_id(public_id);
+        shard_mut(&mut self.shards[shard]).remove_entry(local)
+    }
+
+    /// Replaces the *total* capacity across shards (split evenly, rounded
+    /// up, exactly as [`ShardedCache::new`] does). The serve layer uses
+    /// this to apply per-tenant quotas to tenant-private caches.
+    pub fn set_total_capacity(&mut self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.config.capacity = capacity;
+        let per_shard = capacity.div_ceil(self.shards.len());
+        for shard in &mut self.shards {
+            shard_mut(shard).set_capacity(per_shard);
+        }
+    }
+
+    /// **Public** ids of every resident entry, in shard order. The tenancy
+    /// layer uses this to re-register lifecycle metadata for entries
+    /// restored from disk.
+    pub fn entry_ids(&self) -> Vec<u64> {
+        let n = self.shards.len() as u64;
+        let mut ids = Vec::with_capacity(self.len());
+        for (shard_index, shard) in self.shards.iter().enumerate() {
+            let guard = read(shard);
+            for entry in guard.entries() {
+                ids.push(entry.id * n + shard_index as u64);
+            }
+        }
+        ids
+    }
+
     /// Runs `f` over one shard's cache under its read lock (persistence and
     /// tests; the serving paths go through [`SemanticCache`]).
     pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&MeanCache) -> R) -> R {

@@ -388,7 +388,11 @@ impl Tracer {
         if every == 0 {
             return None;
         }
-        if !self.counter.fetch_add(1, Ordering::Relaxed).is_multiple_of(every) {
+        if !self
+            .counter
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(every)
+        {
             return None;
         }
         Some(self.force_begin(kind))

@@ -218,6 +218,29 @@ fn render_frame(addr: &str, s: &ServeStatsSnapshot, req_per_s: f64) -> String {
             st.occupancy, st.probes, st.hits, st.evictions, st.lock_wait_us
         );
     }
+    if !s.tenants.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>8} {:>8} {:>6} {:>10} {:>8} {:>8} {:>8} {:>8}",
+            "tenant", "entries", "quota", "epoch", "lookups", "hit%", "expired", "staled", "swept"
+        );
+        for t in &s.tenants {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>8} {:>8} {:>6} {:>10} {:>7.1}% {:>8} {:>8} {:>8}",
+                t.name,
+                t.entries,
+                t.quota,
+                t.epoch,
+                t.lookups,
+                t.hit_rate * 100.0,
+                t.expired,
+                t.invalidated,
+                t.reclaimed
+            );
+        }
+    }
     out
 }
 
@@ -239,6 +262,29 @@ fn render_json(addr: &str, s: &ServeStatsSnapshot, req_per_s: f64) -> String {
         .map(|st| st.occupancy.to_string())
         .collect::<Vec<_>>()
         .join(",");
+    let tenants = s
+        .tenants
+        .iter()
+        .map(|t| {
+            format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"entries\":{},\"quota\":{},\"epoch\":{},",
+                    "\"lookups\":{},\"hit_rate\":{:.6},\"expired\":{},",
+                    "\"invalidated\":{},\"reclaimed\":{}}}"
+                ),
+                t.name.replace('\\', "\\\\").replace('"', "\\\""),
+                t.entries,
+                t.quota,
+                t.epoch,
+                t.lookups,
+                t.hit_rate,
+                t.expired,
+                t.invalidated,
+                t.reclaimed
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     format!(
         concat!(
             "{{\"addr\":\"{addr}\",\"version\":\"{version}\",\"uptime_seconds\":{uptime},",
@@ -246,7 +292,8 @@ fn render_json(addr: &str, s: &ServeStatsSnapshot, req_per_s: f64) -> String {
             "\"entries\":{entries},\"queue_depth\":{qd},\"queue_capacity\":{qc},",
             "\"hit_rate\":{hr:.6},\"memo_hit_rate\":{mhr:.6},",
             "\"stage_p50_us\":{{{p50}}},\"stage_p99_us\":{{{p99}}},",
-            "\"shard_occupancy\":[{occ}],\"trace_dropped\":{dropped}}}"
+            "\"shard_occupancy\":[{occ}],\"tenants\":[{tenants}],",
+            "\"trace_dropped\":{dropped}}}"
         ),
         addr = addr,
         version = s.version,
@@ -262,6 +309,7 @@ fn render_json(addr: &str, s: &ServeStatsSnapshot, req_per_s: f64) -> String {
         p50 = stage_obj(0.50),
         p99 = stage_obj(0.99),
         occ = occupancy,
+        tenants = tenants,
         dropped = s.trace_dropped,
     )
 }

@@ -8,9 +8,17 @@
 //!       [--batch-max 64] [--batch-wait-us 200] [--queue-cap 1024]
 //!       [--max-conns 32] [--poller epoll|poll] [--memo-capacity N]
 //!       [--memo-bytes N] [--no-singleflight] [--metrics-out PATH]
-//!       [--trace-sample N] [--trace-slow-ms N] [--trace-log PATH]
-//!       [--trace-dump-out PATH] [--smoke]
+//!       [--tenants name:token:quota,...] [--default-tenant NAME|none]
+//!       [--ttl-secs N] [--trace-sample N] [--trace-slow-ms N]
+//!       [--trace-log PATH] [--trace-dump-out PATH] [--smoke]
 //! ```
+//!
+//! `--tenants acme:sekret:5000,beta:hunter2:0` provisions named tenants
+//! (token authenticates the `Hello` handshake, quota caps resident
+//! entries; `0` inherits `--capacity`). `--default-tenant` names the
+//! tenant that un-authenticated (legacy) connections map to — `none`
+//! makes the handshake mandatory for data requests. `--ttl-secs N`
+//! expires entries N seconds after insert (0 = never).
 //!
 //! `--persist PATH` wires durability in: an existing save at PATH is
 //! restored on startup (torn tails are truncated, recovery stats are
@@ -43,7 +51,9 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use mc_embedder::{ModelProfile, QueryEncoder};
-use mc_serve::{Client, ClientConfig, ClientError, ErrorCode, PollerKind, ServeConfig, Server};
+use mc_serve::{
+    Client, ClientConfig, ClientError, ErrorCode, PollerKind, ServeConfig, ServeTenant, Server,
+};
 use mc_store::{IndexKind, RecoveryStats};
 use meancache::persist::load_sharded_cache_with_report;
 use meancache::{reshard, MeanCacheConfig, RoutingMode, ShardedCache};
@@ -191,6 +201,38 @@ fn parse_args() -> Args {
                     .expect("--memo-bytes: integer");
             }
             "--no-singleflight" => args.serve_config.singleflight = false,
+            "--tenants" => {
+                let spec = value(&mut i, "--tenants");
+                for part in spec.split(',').filter(|s| !s.is_empty()) {
+                    let mut fields = part.splitn(3, ':');
+                    let name = fields.next().unwrap_or_default().to_string();
+                    let token = fields.next().unwrap_or_default().to_string();
+                    let quota = fields.next().map_or(0, |q| {
+                        q.parse().unwrap_or_else(|_| {
+                            eprintln!("--tenants: quota in `{part}` must be an integer");
+                            std::process::exit(2);
+                        })
+                    });
+                    if name.is_empty() {
+                        eprintln!("--tenants: empty tenant name in `{spec}`");
+                        std::process::exit(2);
+                    }
+                    args.serve_config
+                        .tenants
+                        .push(ServeTenant { name, token, quota });
+                }
+            }
+            "--default-tenant" => {
+                let name = value(&mut i, "--default-tenant");
+                args.serve_config.default_tenant = if name == "none" { None } else { Some(name) };
+            }
+            "--ttl-secs" => {
+                args.serve_config.ttl = Duration::from_secs(
+                    value(&mut i, "--ttl-secs")
+                        .parse()
+                        .expect("--ttl-secs: integer"),
+                );
+            }
             "--metrics-out" => {
                 args.metrics_out = Some(PathBuf::from(value(&mut i, "--metrics-out")));
             }
@@ -221,7 +263,9 @@ fn parse_args() -> Args {
                      [--fsync always|never|every-N] [--deadline-ms N] [--idle-timeout-ms N] \
                      [--batch-max N] [--batch-wait-us N] [--queue-cap N] [--max-conns N] \
                      [--poller epoll|poll] [--memo-capacity N] [--memo-bytes N] \
-                     [--no-singleflight] [--metrics-out PATH] [--trace-sample N] \
+                     [--no-singleflight] [--tenants name:token:quota,...] \
+                     [--default-tenant NAME|none] [--ttl-secs N] \
+                     [--metrics-out PATH] [--trace-sample N] \
                      [--trace-slow-ms N] [--trace-log PATH] [--trace-dump-out PATH] [--smoke]"
                 );
                 std::process::exit(2);
@@ -496,7 +540,100 @@ fn smoke(args: &Args) {
     smoke_busy_retry(&args);
     smoke_deadline(&args);
     smoke_tracing(&args);
-    println!("smoke: PASS (incl. reshard, save/restore, Busy retry, deadline, tracing)");
+    smoke_tenancy(&args);
+    println!("smoke: PASS (incl. reshard, save/restore, Busy retry, deadline, tracing, tenancy)");
+}
+
+/// Tenancy check over the real wire: provisioned tenants authenticate via
+/// `Hello`, a wrong token is rejected without killing the connection,
+/// tenants cannot see each other's inserts, and `Invalidate` stales a
+/// tenant's pre-bump entries while leaving the neighbour untouched.
+fn smoke_tenancy(args: &Args) {
+    let mut serve_config = args.serve_config.clone();
+    serve_config.persist_path = None;
+    serve_config.tenants = vec![
+        ServeTenant {
+            name: "acme".to_string(),
+            token: "sekret".to_string(),
+            quota: 0,
+        },
+        ServeTenant {
+            name: "beta".to_string(),
+            token: "hunter2".to_string(),
+            quota: 0,
+        },
+    ];
+    let args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        serve_config,
+        ..clone_args(args)
+    };
+    let (cache, restored) = build_cache(&args);
+    let handle = start_server(cache, &args, restored);
+    let addr = handle.addr();
+
+    let mut acme = Client::connect(addr).expect("acme connect");
+    match acme.hello("acme", "wrong-token") {
+        Err(ClientError::Rejected {
+            code: ErrorCode::Unauthenticated,
+            ..
+        }) => {}
+        other => panic!("wrong token must be rejected as Unauthenticated, got {other:?}"),
+    }
+    // The rejection leaves the connection usable for a corrected handshake.
+    acme.hello("acme", "sekret").expect("acme hello");
+    acme.insert("tenancy smoke entry", "acme answer", &[])
+        .expect("acme insert");
+    assert!(
+        acme.lookup("tenancy smoke entry", &[])
+            .expect("acme lookup")
+            .is_hit(),
+        "acme must see its own insert"
+    );
+
+    // Auto-Hello path: the config-driven handshake binds the tenant too.
+    let beta_config = ClientConfig {
+        tenant: Some("beta".to_string()),
+        token: Some("hunter2".to_string()),
+        ..ClientConfig::default()
+    };
+    let mut beta = Client::connect_with_config(addr, beta_config).expect("beta connect");
+    assert!(
+        beta.lookup("tenancy smoke entry", &[])
+            .expect("beta lookup")
+            .is_miss(),
+        "beta must not see acme's insert"
+    );
+
+    // Cross-tenant invalidation is forbidden for authenticated clients.
+    match beta.invalidate("acme", 0) {
+        Err(ClientError::Rejected {
+            code: ErrorCode::Unauthenticated,
+            retryable: false,
+            ..
+        }) => {}
+        other => panic!("cross-tenant invalidate must be rejected, got {other:?}"),
+    }
+    // Self-invalidation stales acme's pre-bump entries...
+    let epoch = acme.invalidate("acme", 0).expect("acme invalidate");
+    assert!(epoch >= 1, "invalidate must report the bumped epoch");
+    assert!(
+        acme.lookup("tenancy smoke entry", &[])
+            .expect("post-invalidate lookup")
+            .is_miss(),
+        "acme's pre-invalidation entry must be stale"
+    );
+    // ...and per-tenant stats rows account for all of it.
+    let stats = acme.stats().expect("tenancy stats");
+    let names: Vec<&str> = stats.tenants.iter().map(|t| t.name.as_str()).collect();
+    assert!(
+        names.contains(&"acme") && names.contains(&"beta"),
+        "stats must carry per-tenant rows, got {names:?}"
+    );
+
+    acme.shutdown_server().expect("shutdown tenancy server");
+    handle.wait();
+    println!("smoke: tenancy — handshake, isolation, and invalidation verified over the wire");
 }
 
 /// Busy-storm retry round-trip: a server with a one-slot batch queue, a

@@ -121,6 +121,14 @@ pub struct ClientConfig {
     pub backoff_max: Duration,
     /// Seed for the jitter PRNG; 0 picks one from the clock.
     pub jitter_seed: u64,
+    /// Tenant to authenticate as. When set, the client sends a `Hello`
+    /// handshake right after every (re)connect, so retries that rebuild
+    /// the transport keep their tenant binding. `None` relies on the
+    /// server's legacy default tenant.
+    pub tenant: Option<String>,
+    /// Shared-secret token for the `Hello` handshake. Ignored unless
+    /// `tenant` is set.
+    pub token: Option<String>,
 }
 
 impl Default for ClientConfig {
@@ -133,6 +141,8 @@ impl Default for ClientConfig {
             backoff_base: Duration::from_millis(10),
             backoff_max: Duration::from_secs(1),
             jitter_seed: 0,
+            tenant: None,
+            token: None,
         }
     }
 }
@@ -229,13 +239,26 @@ impl Client {
         }
         let jitter = Jitter::new(config.jitter_seed);
         let (reader, writer) = Self::dial(&addrs, &config)?;
-        Ok(Self {
+        let mut client = Self {
             reader,
             writer,
             addrs,
             config,
             jitter,
-        })
+        };
+        client.authenticate_if_configured()?;
+        Ok(client)
+    }
+
+    /// Runs the `Hello` handshake when the config names a tenant. Called
+    /// on every fresh transport — initial connect and each reconnect — so
+    /// a retried request never silently lands on the default tenant.
+    fn authenticate_if_configured(&mut self) -> ClientResult<()> {
+        let Some(tenant) = self.config.tenant.clone() else {
+            return Ok(());
+        };
+        let token = self.config.token.clone().unwrap_or_default();
+        self.hello(&tenant, &token)
     }
 
     fn dial(
@@ -273,7 +296,7 @@ impl Client {
         let (reader, writer) = Self::dial(&self.addrs, &self.config)?;
         self.reader = reader;
         self.writer = writer;
-        Ok(())
+        self.authenticate_if_configured()
     }
 
     fn send(&mut self, request: &Request) -> ClientResult<()> {
@@ -396,6 +419,52 @@ impl Client {
             }
             self.backoff(attempt);
             attempt += 1;
+        }
+    }
+
+    /// Authenticates this connection as `tenant`. Until the server answers
+    /// `Welcome`, data requests fall through to the server's default tenant
+    /// (or fail with `Unauthenticated` when it has none). A wrong token
+    /// surfaces as [`ClientError::Rejected`] with
+    /// [`ErrorCode::Unauthenticated`]; the connection stays usable, so the
+    /// caller may retry with better credentials.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol or authentication failures.
+    pub fn hello(&mut self, tenant: &str, token: &str) -> ClientResult<()> {
+        match self.call(&Request::Hello {
+            tenant: tenant.to_string(),
+            token: token.to_string(),
+        })? {
+            Response::Welcome => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted Welcome")),
+        }
+    }
+
+    /// Bumps `tenant`'s invalidation epoch, instantly staling everything it
+    /// inserted before the bump. `epoch == 0` advances by one; a non-zero
+    /// `epoch` sets `max(current, epoch)` — idempotent, so explicit epochs
+    /// replay safely through `Busy` and reconnects. Returns the tenant's
+    /// new epoch.
+    ///
+    /// # Errors
+    /// [`ClientError`]; an unknown tenant comes back as
+    /// [`ClientError::Rejected`] with [`ErrorCode::BadRequest`].
+    pub fn invalidate(&mut self, tenant: &str, epoch: u64) -> ClientResult<u64> {
+        let request = Request::Invalidate {
+            tenant: tenant.to_string(),
+            epoch,
+        };
+        let response = if epoch == 0 {
+            // A relative bump is not idempotent: replaying it could advance
+            // the epoch twice. Retry only proven refusals.
+            self.call_if_refused(&request)?
+        } else {
+            self.call_replayable(&request)?
+        };
+        match response {
+            Response::Invalidated(new_epoch) => Ok(new_epoch),
+            _ => Err(ClientError::Unexpected("wanted Invalidated")),
         }
     }
 

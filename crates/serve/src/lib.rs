@@ -75,6 +75,15 @@
 //!   exposition, and — past [`ServeConfig::trace_slow`] — are appended to
 //!   the slow-request log. The `mctop` binary polls `Stats` and renders a
 //!   live terminal dashboard on top of all of this.
+//! * **Multi-tenancy** — a connection binds a tenant with a
+//!   `Hello{tenant, token}` handshake (constant-time token check;
+//!   un-authenticated connections serve [`ServeConfig::default_tenant`]),
+//!   and every data opcode executes against that tenant's private cache in
+//!   a [`meancache::TenantedCache`]: per-tenant quotas evict the tenant's
+//!   own LRU tail, `Invalidate` bumps a per-tenant epoch, TTLs screen aged
+//!   entries at probe time, and WAL/snapshot records carry the tenant tag
+//!   so recovery lands in the right namespace. See the "Multi-tenancy"
+//!   section of `docs/ARCHITECTURE.md`.
 //!
 //! ## Why micro-batching
 //!
@@ -97,10 +106,12 @@ pub mod stats;
 pub mod wal;
 
 pub use client::{Client, ClientConfig, ClientError};
-pub use pipeline::{ServeConfig, ServePipeline, ServeReply, ServeRequest, Ticket};
+pub use pipeline::{ServeConfig, ServePipeline, ServeReply, ServeRequest, ServeTenant, Ticket};
 pub use poller::{Event, Interest, Poller, PollerKind, Waker};
-pub use protocol::{ErrorCode, FrameAssembler, Request, Response};
+pub use protocol::{ErrorCode, FrameAssembler, Request, Response, MAX_TENANT_LEN};
 pub use queue::{BoundedQueue, SubmitError};
 pub use server::{Server, ServerHandle};
-pub use stats::{EncodeStageObserver, ServeMetrics, ServeStatsSnapshot, STAGE_HIST_NAMES};
+pub use stats::{
+    EncodeStageObserver, ServeMetrics, ServeStatsSnapshot, TenantStatSnapshot, STAGE_HIST_NAMES,
+};
 pub use wal::{ServeWal, WalOp};

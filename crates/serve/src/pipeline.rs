@@ -1,15 +1,17 @@
 //! The serving pipeline: a bounded admission queue feeding one micro-batcher
-//! thread that owns the [`ShardedCache`] outright.
+//! thread that owns the tenant caches ([`TenantedCache`]) outright.
 //!
 //! Single ownership is the ordering story: every cache-touching request —
 //! lookups, inserts, threshold updates, flushes, stats snapshots — flows
 //! through the same FIFO queue and executes on the batcher thread, so the
 //! observable history is one total order consistent with per-connection
 //! submission order. Within that order the batcher is free to *group*: runs
-//! of consecutive lookups become one [`SemanticCache::probe_batch`] call
-//! followed by per-outcome commits in submission order, which is
-//! decision-identical to looking each up sequentially (probes never observe
-//! commits — commits only touch eviction recency metadata).
+//! of consecutive same-tenant lookups become one
+//! [`SemanticCache::probe_batch`] call followed by per-outcome commits in
+//! submission order, which is decision-identical to looking each up
+//! sequentially (probes never observe commits — commits only touch eviction
+//! recency metadata). Runs never span tenants, so one tenant's probes stay
+//! bit-independent of a neighbour's traffic.
 //!
 //! Backpressure: the queue refuses pushes at capacity
 //! ([`SubmitError::Overloaded`]) instead of buffering unboundedly, and
@@ -18,7 +20,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -26,13 +28,34 @@ use std::time::{Duration, Instant};
 use mc_embedder::EmbeddingMemo;
 use mc_metrics::trace::{flag, Stage, Trace};
 use mc_store::{FsyncPolicy, RecoveryStats, StoreError};
-use meancache::persist::save_sharded_cache_with_config;
-use meancache::{reshard, CacheDecisionOutcome, RoutingMode, SemanticCache, ShardedCache};
+use meancache::persist::{load_sharded_cache_tagged, save_sharded_cache_tagged};
+use meancache::{
+    reshard, CacheDecisionOutcome, CacheError, RoutingMode, SemanticCache, ShardedCache,
+    TenantedCache, DEFAULT_TENANT,
+};
+use serde::{Deserialize, Serialize};
 
 use crate::protocol::ErrorCode;
 use crate::queue::{BoundedQueue, SubmitError};
 use crate::stats::{ServeMetrics, ServeStatsSnapshot};
 use crate::wal::{wal_path, ServeWal, WalOp};
+
+/// One tenant a server is configured to accept: wire name, the shared
+/// secret its clients present in the `Hello` handshake, and its capacity
+/// quota (entries; `0` = inherit the template cache's capacity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeTenant {
+    /// Tenant name (the storage namespace and the `tenant` label in
+    /// metrics). At most [`crate::protocol::MAX_TENANT_LEN`] bytes on the
+    /// wire.
+    pub name: String,
+    /// Shared secret the tenant's clients must present. Compared in
+    /// constant time by the event loop.
+    pub token: String,
+    /// Capacity quota in entries (`0` = inherit the template capacity). A
+    /// tenant at quota evicts its *own* LRU tail, never a neighbour's.
+    pub quota: usize,
+}
 
 /// Configuration of the serving pipeline and the server around it.
 #[derive(Debug, Clone)]
@@ -58,27 +81,35 @@ pub struct ServeConfig {
     pub batch_delay: Duration,
     /// Where the cache persists: the target of the `Save` control command
     /// and of the automatic save on graceful shutdown. `None` (the
-    /// default) disables both — the cache lives and dies in memory.
+    /// default) disables both — the cache lives and dies in memory. The
+    /// default tenant persists at this exact path (byte-identical to
+    /// pre-tenancy layouts); extra tenants persist beside it at
+    /// `<path>.tenant.<name>` plus a `<path>.tenants.json` manifest.
     pub persist_path: Option<PathBuf>,
     /// Capacity (entries) of the embedding memo-cache installed in front of
     /// the query encoder. `0` disables the memo. The memo is sound because
     /// the encoder is frozen for the server's lifetime and its tokenizer
     /// lowercases, so `trim().to_lowercase()`-equal texts encode
-    /// identically.
+    /// identically. The memo is shared *across* tenants deliberately:
+    /// memoized embeddings are pure functions of the query text, so sharing
+    /// leaks no decisions, only speed.
     pub memo_capacity: usize,
     /// Byte bound on the embedding memo-cache (`0` = unbounded; the entry
     /// capacity still applies).
     pub memo_max_bytes: usize,
-    /// Collapse identical `(query, context)` lookups that are in flight
-    /// *across* batches: a duplicate attaches to the pending ticket instead
-    /// of re-entering the queue. (Within-batch duplicates are always
-    /// coalesced regardless of this switch.)
+    /// Collapse identical `(tenant, query, context)` lookups that are in
+    /// flight *across* batches: a duplicate attaches to the pending ticket
+    /// instead of re-entering the queue. (Within-batch duplicates are
+    /// always coalesced regardless of this switch.) The tenant is part of
+    /// the key: one tenant's ticket never resolves with another tenant's
+    /// frame.
     pub singleflight: bool,
     /// How often the batcher sweeps dead conversation-root pins from the
-    /// routing table. Zero disables the sweep. Sweeps run on the batcher
-    /// thread between batches, so they serialise with inserts; an idle
-    /// server does not sweep, which is fine — dead pins only accumulate
-    /// while traffic evicts entries.
+    /// routing table — and, with tenancy, lazily reclaims TTL-expired and
+    /// epoch-invalidated entries. Zero disables the sweep. Sweeps run on
+    /// the batcher thread between batches, so they serialise with inserts;
+    /// an idle server does not sweep, which is fine — stale entries are
+    /// already screened into misses at probe time.
     pub pin_sweep_interval: Duration,
     /// Per-request deadline, measured from admission. A *lookup* whose
     /// deadline has already expired when the batcher reaches it is not
@@ -120,6 +151,21 @@ pub struct ServeConfig {
     /// Path of the slow-request log: one JSON trace per line for every
     /// outlier request. `None` (the default) disables the log.
     pub trace_log: Option<PathBuf>,
+    /// Tenants this server accepts via the `Hello` handshake, each with a
+    /// token and a capacity quota. Empty (the default) means the server is
+    /// effectively single-tenant: only the default tenant exists.
+    pub tenants: Vec<ServeTenant>,
+    /// The tenant legacy clients (no `Hello` handshake) are served as.
+    /// `None` refuses un-authenticated data requests with a retryable
+    /// `Unauthenticated` failure. The default, `Some("default")`, keeps
+    /// pre-tenancy clients working unchanged.
+    pub default_tenant: Option<String>,
+    /// Per-entry time-to-live: a probe hit on an entry older than this is
+    /// screened into a miss, and the sweep reclaims the entry lazily.
+    /// `Duration::ZERO` (the default) disables expiry. TTLs are wall-clock
+    /// leases measured from insert (or restore) time; they restart on
+    /// server restart.
+    pub ttl: Duration,
 }
 
 impl Default for ServeConfig {
@@ -142,6 +188,9 @@ impl Default for ServeConfig {
             trace_sample: 64,
             trace_slow: Duration::ZERO,
             trace_log: None,
+            tenants: Vec::new(),
+            default_tenant: Some(DEFAULT_TENANT.to_string()),
+            ttl: Duration::ZERO,
         }
     }
 }
@@ -167,22 +216,32 @@ pub enum ServeRequest {
     },
     /// Snapshot the stats plane.
     Stats,
-    /// Replace the cosine threshold τ on every shard.
+    /// Replace the cosine threshold τ on every tenant's shards.
     SetThreshold(f32),
-    /// Switch the shard-routing mode by resharding the cache in place
-    /// (every entry is replayed through fresh routing; public ids are
+    /// Switch the shard-routing mode by resharding every tenant's cache in
+    /// place (every entry is replayed through fresh routing; public ids are
     /// reassigned). Totally ordered with the lookups around it, like every
     /// control command.
     SetRouting(RoutingMode),
-    /// Persist the cache to [`ServeConfig::persist_path`].
+    /// Persist every tenant's cache to [`ServeConfig::persist_path`].
     Save,
-    /// Drop all cached entries (the cache is rebuilt empty from its live
-    /// config).
+    /// Drop the submitting tenant's cached entries (its cache is rebuilt
+    /// empty in place; neighbours are untouched).
     Flush,
     /// Render the stats plane as a plain-text metrics exposition.
     Metrics,
     /// Dump the flight recorder (recent + outlier request traces) as JSON.
     TraceDump,
+    /// Bump a tenant's invalidation epoch: entries inserted before the bump
+    /// are screened into misses at probe time and reclaimed lazily. `0`
+    /// advances by one; a non-zero epoch is applied as `max(current, epoch)`
+    /// (idempotent for retries).
+    Invalidate {
+        /// The tenant whose epoch advances.
+        tenant: String,
+        /// Target epoch (`0` = advance by one).
+        epoch: u64,
+    },
 }
 
 /// Classifies a request for trace labels (`Trace::kind`).
@@ -214,6 +273,8 @@ pub enum ServeReply {
     MetricsText(String),
     /// Flight-recorder dump as JSON (an [`mc_metrics::TraceDump`]).
     TraceJson(String),
+    /// Invalidate applied; the tenant's epoch is now this value.
+    Invalidated(u64),
     /// The request failed. `code` classifies the failure on the wire,
     /// `retryable` tells the client whether the request definitively did
     /// not execute (safe to resend), and `message` is operator-facing.
@@ -372,6 +433,10 @@ impl Ticket {
 
 #[derive(Debug)]
 struct Submitted {
+    /// The tenant this request executes under (resolved at submission:
+    /// either the connection's authenticated tenant or the configured
+    /// default).
+    tenant: String,
     request: ServeRequest,
     ticket: Ticket,
     /// When the request was admitted; resolution records the difference
@@ -379,38 +444,86 @@ struct Submitted {
     accepted_at: Instant,
 }
 
-/// Key of an in-flight lookup in the cross-batch singleflight table.
-type InflightKey = (String, Vec<String>);
+/// Key of an in-flight lookup in the cross-batch singleflight table. The
+/// tenant leads: one tenant's pending ticket must never be handed to
+/// another tenant's identical query.
+type InflightKey = (String, String, Vec<String>);
+
+/// On-disk manifest record for one tenant (at
+/// `<persist_path>.tenants.json`): enough to restore quotas and epochs
+/// across restarts. Written on every save; absent for pre-tenancy layouts.
+#[derive(Debug, Serialize, Deserialize)]
+struct TenantManifest {
+    name: String,
+    quota: usize,
+    epoch: u64,
+}
+
+/// Filesystem-safe rendering of a tenant name for path suffixes.
+fn tenant_suffix(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Where a non-default tenant's cache persists, relative to the base
+/// persist path.
+pub(crate) fn tenant_cache_path(base: &Path, name: &str) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(format!(".tenant.{}", tenant_suffix(name)));
+    PathBuf::from(os)
+}
+
+/// Where the tenant manifest persists, relative to the base persist path.
+pub(crate) fn tenant_manifest_path(base: &Path) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(".tenants.json");
+    PathBuf::from(os)
+}
 
 /// The serving pipeline: admission queue + metrics + the batcher thread
-/// that owns the cache. See the module docs for semantics.
+/// that owns the tenant caches. See the module docs for semantics.
 #[derive(Debug)]
 pub struct ServePipeline {
     queue: Arc<BoundedQueue<Submitted>>,
     metrics: Arc<ServeMetrics>,
     batcher: Mutex<Option<JoinHandle<()>>>,
     /// Cross-batch singleflight: lookups currently in the queue or being
-    /// executed, keyed by `(query, context)`. `None` when disabled.
+    /// executed, keyed by `(tenant, query, context)`. `None` when disabled.
     inflight: Option<Arc<Mutex<HashMap<InflightKey, Ticket>>>>,
+    /// The tenant tenant-less submissions ([`ServePipeline::submit`])
+    /// execute under.
+    default_tenant: String,
 }
 
 impl ServePipeline {
-    /// Takes ownership of `cache` and starts the batcher thread. Installs
-    /// the embedding memo-cache when [`ServeConfig::memo_capacity`] is
-    /// non-zero.
+    /// Takes ownership of `cache` (which becomes the default tenant's
+    /// store *and* the template every configured tenant's private cache is
+    /// cloned from) and starts the batcher thread. Installs the embedding
+    /// memo-cache when [`ServeConfig::memo_capacity`] is non-zero — shared
+    /// across tenants, which is sound because memoized embeddings are pure
+    /// functions of the query text.
     ///
-    /// When [`ServeConfig::persist_path`] is set, opens (creating if
-    /// absent) the serve write-ahead log at `<persist_path>.wal` and
-    /// replays any acknowledged writes a crash stranded there *before*
+    /// When [`ServeConfig::persist_path`] is set, restores every tenant
+    /// recorded in the `<path>.tenants.json` manifest (epochs, quotas, and
+    /// each tenant's cache from `<path>.tenant.<name>`), then opens
+    /// (creating if absent) the serve write-ahead log at `<persist_path>.wal`
+    /// and replays any acknowledged writes a crash stranded there *before*
     /// serving begins — so a restart after `kill -9` observes every write
-    /// the WAL made durable.
+    /// the WAL made durable, each under its own tenant.
     ///
     /// # Errors
     /// Propagates WAL open/recovery failures ([`StoreError::Io`] on
     /// filesystem trouble, [`StoreError::Corrupt`] on an undecodable
-    /// checksum-valid record). A server that cannot establish its
-    /// durability story should fail loudly at startup, not serve without
-    /// it.
+    /// checksum-valid record) and invalid tenant configuration. A server
+    /// that cannot establish its durability story should fail loudly at
+    /// startup, not serve without it.
     pub fn start(mut cache: ShardedCache, config: &ServeConfig) -> Result<Self, StoreError> {
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let metrics = Arc::new(ServeMetrics::default());
@@ -430,13 +543,27 @@ impl ServePipeline {
             cache.set_embedding_memo(Some(Arc::new(memo)));
         }
         metrics.record_recovery(config.restored);
+        let default_name = config
+            .default_tenant
+            .clone()
+            .unwrap_or_else(|| DEFAULT_TENANT.to_string());
+        let ttl = (!config.ttl.is_zero()).then_some(config.ttl);
+        let mut tenants = TenantedCache::new(&default_name, cache, ttl);
+        for spec in &config.tenants {
+            tenants
+                .add_tenant(&spec.name, spec.quota)
+                .map_err(cache_to_store_err)?;
+        }
+        if let Some(path) = &config.persist_path {
+            restore_tenants(&mut tenants, path, &metrics);
+        }
         let wal = match &config.persist_path {
             None => None,
             Some(path) => {
                 let (wal, ops, stats) = ServeWal::open(wal_path(path), config.fsync)?;
                 metrics.record_recovery(stats);
                 metrics.record_wal_replayed(ops.len() as u64);
-                replay_wal_ops(&mut cache, &ops);
+                replay_wal_ops(&mut tenants, &ops);
                 Some(wal)
             }
         };
@@ -446,7 +573,7 @@ impl ServePipeline {
             let config = config.clone();
             std::thread::Builder::new()
                 .name("mc-serve-batcher".into())
-                .spawn(move || batcher_loop(cache, wal, &queue, &metrics, &config))
+                .spawn(move || batcher_loop(tenants, wal, &queue, &metrics, &config))
                 .expect("batcher thread spawn failed")
         };
         Ok(Self {
@@ -456,32 +583,44 @@ impl ServePipeline {
             inflight: config
                 .singleflight
                 .then(|| Arc::new(Mutex::new(HashMap::new()))),
+            default_tenant: default_name,
         })
     }
 
-    /// Submits a request; the returned ticket resolves once the batcher has
-    /// executed it. Never blocks.
-    ///
-    /// With singleflight enabled, a lookup identical to one already in
-    /// flight attaches to the pending ticket instead of re-entering the
-    /// queue: both callers get the same outcome from one probe (and one
-    /// commit). Decision-identical — probes are pure and the duplicate
-    /// would have been coalesced had it landed in the same batch anyway —
-    /// but the duplicate skips the queue entirely, so a thundering herd
-    /// costs one queue slot, not many.
+    /// Submits a request under the default tenant; the returned ticket
+    /// resolves once the batcher has executed it. Never blocks.
     ///
     /// # Errors
     /// [`SubmitError::Overloaded`] when the admission queue is full (the
     /// request is shed), [`SubmitError::ShutDown`] after
     /// [`ServePipeline::shutdown`].
     pub fn submit(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
+        let tenant = self.default_tenant.clone();
+        self.submit_for(&tenant, request)
+    }
+
+    /// Submits a request under an explicit tenant.
+    ///
+    /// With singleflight enabled, a lookup identical to one already in
+    /// flight *for the same tenant* attaches to the pending ticket instead
+    /// of re-entering the queue: both callers get the same outcome from one
+    /// probe (and one commit). Decision-identical — probes are pure and the
+    /// duplicate would have been coalesced had it landed in the same batch
+    /// anyway — but the duplicate skips the queue entirely, so a thundering
+    /// herd costs one queue slot, not many. Lookups from *different*
+    /// tenants never share a ticket, no matter how equal the query text.
+    ///
+    /// # Errors
+    /// [`SubmitError::Overloaded`] when the admission queue is full,
+    /// [`SubmitError::ShutDown`] after [`ServePipeline::shutdown`].
+    pub fn submit_for(&self, tenant: &str, request: ServeRequest) -> Result<Ticket, SubmitError> {
         let trace = self.metrics.tracer().begin(request_kind(&request));
         if let Some(t) = &trace {
             // Direct pipeline callers skip the wire: accepted = decoded.
             t.mark(Stage::Accepted);
             t.mark(Stage::Decoded);
         }
-        self.submit_traced(request, trace)
+        self.submit_traced_for(tenant, request, trace)
     }
 
     /// [`ServePipeline::submit`] for callers that began the trace
@@ -492,9 +631,21 @@ impl ServePipeline {
         request: ServeRequest,
         trace: Option<Arc<Trace>>,
     ) -> Result<Ticket, SubmitError> {
+        let tenant = self.default_tenant.clone();
+        self.submit_traced_for(&tenant, request, trace)
+    }
+
+    /// [`ServePipeline::submit_for`] for callers that began the trace
+    /// themselves.
+    pub fn submit_traced_for(
+        &self,
+        tenant: &str,
+        request: ServeRequest,
+        trace: Option<Arc<Trace>>,
+    ) -> Result<Ticket, SubmitError> {
         let key = match (&self.inflight, &request) {
             (Some(_), ServeRequest::Lookup { query, context }) => {
-                Some((query.clone(), context.clone()))
+                Some((tenant.to_string(), query.clone(), context.clone()))
             }
             _ => None,
         };
@@ -507,6 +658,7 @@ impl ServePipeline {
         }
         let ticket = Ticket::new(trace);
         let result = self.queue.push(Submitted {
+            tenant: tenant.to_string(),
             request,
             ticket: ticket.clone(),
             accepted_at: Instant::now(),
@@ -560,6 +712,11 @@ impl ServePipeline {
         &self.metrics
     }
 
+    /// The tenant tenant-less submissions execute under.
+    pub fn default_tenant(&self) -> &str {
+        &self.default_tenant
+    }
+
     /// Graceful shutdown: closes the queue (new submissions fail with
     /// [`SubmitError::ShutDown`]), lets the batcher drain everything
     /// already admitted — resolving every outstanding ticket — and joins
@@ -588,33 +745,162 @@ impl Drop for ServePipeline {
     }
 }
 
-/// Re-applies crash-stranded WAL ops to the freshly loaded cache. Replay is
-/// tolerant at the entry level: an op the live config refuses (it was
-/// accepted by the pre-crash config) is logged and skipped — one odd entry
-/// must not block recovery of the rest.
-fn replay_wal_ops(cache: &mut ShardedCache, ops: &[WalOp]) {
+/// Maps a cache-layer error into the store-level error `start` returns.
+fn cache_to_store_err(e: CacheError) -> StoreError {
+    match e {
+        CacheError::Store(e) => e,
+        other => StoreError::InvalidConfig(other.to_string()),
+    }
+}
+
+/// Restores persisted tenant state beside the default tenant's cache (which
+/// the caller loaded from the base path before [`ServePipeline::start`]):
+/// reads the tenant manifest, re-applies quotas and epochs, loads each
+/// non-default tenant's cache from `<path>.tenant.<name>` (verifying its
+/// snapshot tenant tag), and re-registers lifecycle metadata for every
+/// restored entry. Restore is tolerant: a tenant whose files are missing or
+/// unreadable starts empty (its acknowledged tail is still in the WAL) —
+/// one bad tenant must not block the rest of the fleet from serving.
+fn restore_tenants(tenants: &mut TenantedCache, path: &Path, metrics: &ServeMetrics) {
+    let manifest: Vec<TenantManifest> = match std::fs::read_to_string(tenant_manifest_path(path)) {
+        Err(_) => return, // pre-tenancy layout: nothing tenant-aware saved yet
+        Ok(text) => match serde_json::from_str(&text) {
+            Ok(manifest) => manifest,
+            Err(e) => {
+                eprintln!("mc-serve: unreadable tenant manifest (starting tenants empty): {e}");
+                return;
+            }
+        },
+    };
+    let default_name = tenants.default_tenant().to_string();
+    let template = tenants
+        .tenant(&default_name)
+        .expect("default tenant always exists");
+    let encoder = template.cache().encoder().clone();
+    let memo = template.cache().embedding_memo().cloned();
+    for entry in &manifest {
+        // A manifested tenant missing from the live config is still
+        // restored (quota from the manifest): its data exists and its
+        // clients may re-authenticate after a config round-trip.
+        if let Err(e) = tenants.add_tenant(&entry.name, entry.quota) {
+            eprintln!("mc-serve: skipping manifest tenant {:?}: {e}", entry.name);
+            continue;
+        }
+        tenants.restore_epoch(&entry.name, entry.epoch);
+        if entry.name != default_name {
+            let tpath = tenant_cache_path(path, &entry.name);
+            match load_sharded_cache_tagged(encoder.clone(), &tpath, Some(&entry.name)) {
+                Ok((mut loaded, stats)) => {
+                    metrics.record_recovery(stats);
+                    loaded.set_embedding_memo(memo.clone());
+                    if entry.quota > 0 {
+                        loaded.set_total_capacity(entry.quota);
+                    }
+                    *tenants.cache_mut(&entry.name).expect("tenant added above") = loaded;
+                }
+                Err(e) => {
+                    eprintln!(
+                        "mc-serve: tenant {:?} cache at {} unrestorable (starting empty, \
+                         WAL replay still applies): {e}",
+                        entry.name,
+                        tpath.display()
+                    );
+                    continue;
+                }
+            }
+        }
+        // Restored entries re-enter lifecycle tracking under the manifest
+        // epoch, with their TTL clocks restarted (TTLs are wall-clock
+        // leases; they do not survive a restart).
+        let ids = tenants
+            .tenant(&entry.name)
+            .map(|s| s.cache().entry_ids())
+            .unwrap_or_default();
+        for id in ids {
+            tenants.register_restored(&entry.name, id, entry.epoch);
+        }
+    }
+}
+
+/// Re-applies crash-stranded WAL ops to the freshly restored tenant caches.
+/// Legacy records (no tenant) map to the default tenant — a legacy flush
+/// meant "the whole process" and flushes every tenant. Replay is tolerant
+/// at the entry level: an op the live config refuses (it was accepted by
+/// the pre-crash config) is logged and skipped — one odd entry must not
+/// block recovery of the rest.
+fn replay_wal_ops(tenants: &mut TenantedCache, ops: &[WalOp]) {
+    let default_name = tenants.default_tenant().to_string();
     for op in ops {
         match op {
             WalOp::Insert {
+                tenant,
                 query,
                 response,
                 context,
             } => {
-                if let Err(e) = cache.insert(query, response, context) {
+                let name = tenant.as_deref().unwrap_or(&default_name);
+                if tenants.tenant(name).is_none() {
+                    // The tenant held acknowledged data pre-crash; recreate
+                    // it (template quota) rather than dropping the write.
+                    if let Err(e) = tenants.add_tenant(name, 0) {
+                        eprintln!("mc-serve: cannot recreate WAL tenant {name:?}: {e}");
+                        continue;
+                    }
+                }
+                if let Err(e) = tenants.insert(name, query, response, context) {
                     eprintln!("mc-serve: skipping unre-playable WAL insert {query:?}: {e}");
                 }
             }
-            WalOp::Flush => {
-                if let Err(e) = cache.clear() {
+            WalOp::Flush { tenant: None } => {
+                if let Err(e) = tenants.flush_all() {
                     eprintln!("mc-serve: WAL flush replay failed: {e}");
                 }
+            }
+            WalOp::Flush { tenant: Some(name) } => {
+                if let Err(e) = tenants.flush(name) {
+                    eprintln!("mc-serve: WAL tenant-flush replay failed for {name:?}: {e}");
+                }
+            }
+            WalOp::Invalidate { tenant, epoch } => {
+                // The record carries the *resulting* epoch; max-merge keeps
+                // replay idempotent.
+                tenants.restore_epoch(tenant, *epoch);
             }
         }
     }
 }
 
+/// Persists every tenant: the default tenant at the base path exactly as a
+/// single-tenant server would (legacy files stay byte-identical), each
+/// extra tenant tagged at `<path>.tenant.<name>`, plus the quota/epoch
+/// manifest. Returns the total entries persisted.
+fn persist_all(tenants: &TenantedCache, path: &Path) -> meancache::Result<u64> {
+    let mut saved = 0u64;
+    for (name, store) in tenants.iter() {
+        if name == tenants.default_tenant() {
+            save_sharded_cache_tagged(store.cache(), path, None)?;
+        } else {
+            save_sharded_cache_tagged(store.cache(), &tenant_cache_path(path, name), Some(name))?;
+        }
+        saved += store.len() as u64;
+    }
+    let manifest: Vec<TenantManifest> = tenants
+        .iter()
+        .map(|(name, store)| TenantManifest {
+            name: name.to_string(),
+            quota: store.quota(),
+            epoch: store.epoch(),
+        })
+        .collect();
+    let text =
+        serde_json::to_string(&manifest).map_err(|e| CacheError::InvalidConfig(e.to_string()))?;
+    std::fs::write(tenant_manifest_path(path), text)
+        .map_err(|e| CacheError::Store(StoreError::Io(e)))?;
+    Ok(saved)
+}
+
 fn batcher_loop(
-    mut cache: ShardedCache,
+    mut tenants: TenantedCache,
     mut wal: Option<ServeWal>,
     queue: &BoundedQueue<Submitted>,
     metrics: &ServeMetrics,
@@ -648,25 +934,31 @@ fn batcher_loop(
                 t.mark(Stage::Batched);
             }
         }
-        execute_batch(&mut cache, &mut wal, &batch, queue, metrics, config);
-        // Root-pin GC: between batches the batcher is the only cache
-        // writer, so the sweep serialises with inserts by construction.
+        execute_batch(&mut tenants, &mut wal, &batch, queue, metrics, config);
+        // GC sweep: between batches the batcher is the only cache writer,
+        // so both the root-pin sweep and the TTL/epoch reclaim serialise
+        // with inserts by construction.
         if !config.pin_sweep_interval.is_zero() && last_sweep.elapsed() >= config.pin_sweep_interval
         {
-            metrics.record_pins_swept(cache.sweep_root_pins() as u64);
+            metrics.record_ttl_reclaimed(tenants.sweep() as u64);
+            let mut pins = 0;
+            for (_, store) in tenants.iter() {
+                pins += store.cache().sweep_root_pins();
+            }
+            metrics.record_pins_swept(pins as u64);
             last_sweep = Instant::now();
         }
     }
     // Graceful-shutdown persistence: the queue is closed and drained, the
-    // batcher owns the cache outright, so this is the one place a final
+    // batcher owns the caches outright, so this is the one place a final
     // save observes every acknowledged write. The save writes each shard's
-    // entry log *and* its `MCSNAP01` mmap snapshot (docs/FORMAT.md), so
-    // the next boot restores zero-copy instead of replaying. The save
-    // supersedes the serve WAL, which resets so the next boot does not
-    // replay what the save already holds.
+    // entry log *and* its `MCSNAP01` mmap snapshot (docs/FORMAT.md) for
+    // every tenant, so the next boot restores zero-copy instead of
+    // replaying. The save supersedes the serve WAL, which resets so the
+    // next boot does not replay what the save already holds.
     if let Some(path) = &config.persist_path {
-        match save_sharded_cache_with_config(&cache, path) {
-            Ok(()) => {
+        match persist_all(&tenants, path) {
+            Ok(_) => {
                 if let Some(wal) = wal.as_mut() {
                     if let Err(e) = wal.reset() {
                         eprintln!("mc-serve: failed to reset WAL after shutdown save: {e}");
@@ -682,18 +974,18 @@ fn batcher_loop(
 }
 
 /// Executes one formed batch in submission order, grouping maximal runs of
-/// consecutive lookups into single `probe_batch` passes with duplicate
-/// requests **coalesced**: identical `(query, context)` pairs in one run —
-/// the thundering-herd shape a popular cache service sees constantly — are
-/// probed once and their outcome fanned out to every requester
-/// (singleflight, the request-collapsing CDNs and inference servers do).
-/// Probes are pure against the frozen-within-the-batch cache, so coalescing
-/// is response-identical to probing each duplicate; commits still run once
-/// per *request* in submission order, so eviction recency matches
-/// sequential serving exactly. (Cache-internal `lookups` counters tick once
-/// per unique probe; the pipeline's served counters remain per-request.)
+/// consecutive *same-tenant* lookups into single `probe_batch` passes with
+/// duplicate requests **coalesced**: identical `(query, context)` pairs in
+/// one run — the thundering-herd shape a popular cache service sees
+/// constantly — are probed once and their outcome fanned out to every
+/// requester (singleflight, the request-collapsing CDNs and inference
+/// servers do). Probes are pure against the frozen-within-the-batch cache,
+/// so coalescing is response-identical to probing each duplicate; commits
+/// still run once per *request* in submission order, so eviction recency
+/// matches sequential serving exactly. Runs break at tenant boundaries —
+/// coalescing never crosses tenants.
 fn execute_batch(
-    cache: &mut ShardedCache,
+    tenants: &mut TenantedCache,
     wal: &mut Option<ServeWal>,
     batch: &[Submitted],
     queue: &BoundedQueue<Submitted>,
@@ -704,15 +996,18 @@ fn execute_batch(
     while i < batch.len() {
         let is_lookup = matches!(batch[i].request, ServeRequest::Lookup { .. });
         if !is_lookup {
-            execute_control(cache, wal, &batch[i], queue, metrics, config);
+            execute_control(tenants, wal, &batch[i], queue, metrics, config);
             i += 1;
             continue;
         }
         let mut j = i;
-        while j < batch.len() && matches!(batch[j].request, ServeRequest::Lookup { .. }) {
+        while j < batch.len()
+            && matches!(batch[j].request, ServeRequest::Lookup { .. })
+            && batch[j].tenant == batch[i].tenant
+        {
             j += 1;
         }
-        execute_lookup_run(cache, &batch[i..j], metrics, config);
+        execute_lookup_run(tenants, &batch[i..j], metrics, config);
         i = j;
     }
 }
@@ -722,17 +1017,19 @@ fn past_deadline(item: &Submitted, config: &ServeConfig) -> bool {
     !config.request_deadline.is_zero() && item.accepted_at.elapsed() > config.request_deadline
 }
 
-/// Executes one maximal run of consecutive lookups: expired deadlines are
-/// answered without probing, the rest probe (coalesced when the run has
-/// duplicates) behind a panic fence — a panic in cache code resolves the
-/// run's outstanding tickets with a retryable error instead of killing the
-/// batcher and stranding every future request.
+/// Executes one maximal run of consecutive same-tenant lookups: expired
+/// deadlines are answered without probing, the rest probe (coalesced when
+/// the run has duplicates) behind a panic fence — a panic in cache code
+/// resolves the run's outstanding tickets with a retryable error instead of
+/// killing the batcher and stranding every future request. Every outcome is
+/// screened through the tenant's TTL/epoch rules before it resolves.
 fn execute_lookup_run(
-    cache: &mut ShardedCache,
+    tenants: &TenantedCache,
     run: &[Submitted],
     metrics: &ServeMetrics,
     config: &ServeConfig,
 ) {
+    let tenant = run[0].tenant.as_str();
     // Deadline pass: a lookup whose client has already given up is not
     // worth a probe. Lookups are read-only, so skipping one is invisible
     // to the served history; the ticket resolves retryable.
@@ -764,6 +1061,18 @@ fn execute_lookup_run(
     if live.is_empty() {
         return;
     }
+    let Some(store) = tenants.tenant(tenant) else {
+        // Unknown tenant (direct pipeline callers only; the server
+        // validates at handshake time): a lookup against a namespace with
+        // no cache is a miss by definition.
+        for item in &live {
+            metrics.record_served(false);
+            metrics.record_done(item.accepted_at.elapsed(), "lookup", item.ticket.trace(), 0);
+            item.ticket
+                .resolve(ServeReply::Outcome(CacheDecisionOutcome::Miss));
+        }
+        return;
+    };
     let fenced = catch_unwind(AssertUnwindSafe(|| {
         // Fault injection: lets the test suite prove the panic fence holds
         // without contriving a real cache bug. Inert outside test builds.
@@ -788,13 +1097,13 @@ fn execute_lookup_run(
                 // Pre-resolve the embedding through the memo so the probe's
                 // internal encode is a guaranteed memo hit — this attributes
                 // the encode to hit/miss without perturbing the result.
-                if let Some(hit) = cache.warm_memo(query) {
+                if let Some(hit) = store.cache().warm_memo(query) {
                     t.set_flag(if hit { flag::MEMO_HIT } else { flag::MEMO_MISS });
                 }
                 t.mark(Stage::Encoded);
             }
             let probe_start = Instant::now();
-            let outcome = cache.probe(query, context);
+            let outcome = tenants.screen(tenant, store.cache().probe(query, context));
             let probe_end = Instant::now();
             metrics.record_probe_micros(
                 probe_end.saturating_duration_since(probe_start).as_micros() as u64,
@@ -802,7 +1111,7 @@ fn execute_lookup_run(
             if let Some(t) = trace {
                 t.mark(Stage::Probed);
             }
-            cache.commit(&outcome);
+            tenants.commit(tenant, &outcome);
             metrics.record_commit_micros(probe_end.elapsed().as_micros() as u64);
             if let Some(t) = trace {
                 t.mark(Stage::Committed);
@@ -834,7 +1143,7 @@ fn execute_lookup_run(
         for item in &live {
             if let Some(t) = item.ticket.trace() {
                 if let ServeRequest::Lookup { query, .. } = &item.request {
-                    if let Some(hit) = cache.warm_memo(query) {
+                    if let Some(hit) = store.cache().warm_memo(query) {
                         t.set_flag(if hit { flag::MEMO_HIT } else { flag::MEMO_MISS });
                     }
                 }
@@ -845,7 +1154,7 @@ fn execute_lookup_run(
             }
         }
         let probe_start = Instant::now();
-        let outcomes = cache.probe_batch(&unique);
+        let outcomes = store.cache().probe_batch(&unique);
         // Amortise the batch probe over its unique probes: one histogram
         // sample per probe actually executed.
         let probe_us = probe_start.elapsed().as_micros() as u64 / unique.len().max(1) as u64;
@@ -857,13 +1166,15 @@ fn execute_lookup_run(
                 t.mark(Stage::Probed);
             }
         }
-        // Commit in submission order before resolving each ticket: the
-        // served history (including LRU/LFU touches) matches sequential
-        // `lookup` calls exactly.
+        // Screen, then commit in submission order before resolving each
+        // ticket: the served history (including LRU/LFU touches) matches
+        // sequential `lookup` calls exactly. A screened (expired/stale) hit
+        // resolves as a miss and is *not* committed — dead entries get no
+        // recency credit.
         for (item, &unique_index) in live.iter().zip(&assigned) {
-            let outcome = outcomes[unique_index].clone();
+            let outcome = tenants.screen(tenant, outcomes[unique_index].clone());
             let commit_start = Instant::now();
-            cache.commit(&outcome);
+            tenants.commit(tenant, &outcome);
             metrics.record_commit_micros(commit_start.elapsed().as_micros() as u64);
             if let Some(t) = item.ticket.trace() {
                 t.mark(Stage::Committed);
@@ -919,7 +1230,7 @@ fn append_wal(
 }
 
 fn execute_control(
-    cache: &mut ShardedCache,
+    tenants: &mut TenantedCache,
     wal: &mut Option<ServeWal>,
     item: &Submitted,
     queue: &BoundedQueue<Submitted>,
@@ -932,7 +1243,7 @@ fn execute_control(
     // applied" unknown — the reply says so and is marked retryable per the
     // wire taxonomy (a duplicate insert of identical content is benign).
     let fenced = catch_unwind(AssertUnwindSafe(|| {
-        control_reply(cache, wal, item, queue, metrics, config)
+        control_reply(tenants, wal, item, queue, metrics, config)
     }));
     let panicked = fenced.is_err();
     let reply = fenced.unwrap_or_else(|_| {
@@ -956,7 +1267,7 @@ fn execute_control(
 }
 
 fn control_reply(
-    cache: &mut ShardedCache,
+    tenants: &mut TenantedCache,
     wal: &mut Option<ServeWal>,
     item: &Submitted,
     queue: &BoundedQueue<Submitted>,
@@ -968,21 +1279,25 @@ fn control_reply(
             query,
             response,
             context,
-        } => match cache.insert(query, response, context) {
+        } => match tenants.insert(&item.tenant, query, response, context) {
             Ok(id) => {
                 metrics.record_insert();
                 // Logged (and fsynced per policy) before the ticket
                 // resolves: under `--fsync always` an acknowledged insert
                 // is already durable when the client reads its response.
-                append_wal(wal, metrics, |w| w.append_insert(query, response, context));
+                // Always tenant-explicit — only legacy logs carry bare
+                // inserts.
+                append_wal(wal, metrics, |w| {
+                    w.append_insert_for(&item.tenant, query, response, context)
+                });
                 ServeReply::Inserted(id)
             }
             Err(e) => ServeReply::failed(ErrorCode::Internal, false, format!("insert failed: {e}")),
         },
         ServeRequest::Stats => {
             metrics.record_control();
-            ServeReply::Stats(Box::new(ServeStatsSnapshot::collect(
-                cache,
+            ServeReply::Stats(Box::new(ServeStatsSnapshot::collect_tenanted(
+                tenants,
                 metrics,
                 queue.len(),
                 queue.capacity(),
@@ -991,8 +1306,13 @@ fn control_reply(
         ServeRequest::Metrics => {
             metrics.record_control();
             ServeReply::MetricsText(
-                ServeStatsSnapshot::collect(cache, metrics, queue.len(), queue.capacity())
-                    .render_text(),
+                ServeStatsSnapshot::collect_tenanted(
+                    tenants,
+                    metrics,
+                    queue.len(),
+                    queue.capacity(),
+                )
+                .render_text(),
             )
         }
         ServeRequest::TraceDump => {
@@ -1002,7 +1322,9 @@ fn control_reply(
         ServeRequest::SetThreshold(threshold) => {
             if (0.0..=1.0).contains(threshold) {
                 metrics.record_control();
-                cache.set_threshold(*threshold);
+                for (_, cache) in tenants.caches_mut() {
+                    cache.set_threshold(*threshold);
+                }
                 ServeReply::Ack
             } else {
                 ServeReply::failed(
@@ -1014,20 +1336,25 @@ fn control_reply(
         }
         ServeRequest::SetRouting(mode) => {
             metrics.record_control();
-            if cache.routing() == *mode {
-                ServeReply::Ack
-            } else {
-                match reshard(cache, cache.config().clone().with_routing(*mode)) {
-                    Ok(new_cache) => {
-                        *cache = new_cache;
-                        ServeReply::Ack
-                    }
-                    Err(e) => ServeReply::failed(
-                        ErrorCode::Internal,
-                        false,
-                        format!("reshard to {} failed: {e}", mode.name()),
-                    ),
+            let mut error = None;
+            for (name, cache) in tenants.caches_mut() {
+                if cache.routing() == *mode {
+                    continue;
                 }
+                match reshard(cache, cache.config().clone().with_routing(*mode)) {
+                    Ok(new_cache) => *cache = new_cache,
+                    Err(e) => {
+                        error = Some(format!(
+                            "reshard of tenant {name:?} to {} failed: {e}",
+                            mode.name()
+                        ));
+                        break;
+                    }
+                }
+            }
+            match error {
+                None => ServeReply::Ack,
+                Some(message) => ServeReply::failed(ErrorCode::Internal, false, message),
             }
         }
         ServeRequest::Save => {
@@ -1038,8 +1365,8 @@ fn control_reply(
                     false,
                     "no persist path configured (start the server with --persist)",
                 ),
-                Some(path) => match save_sharded_cache_with_config(cache, path) {
-                    Ok(()) => {
+                Some(path) => match persist_all(tenants, path) {
+                    Ok(saved) => {
                         // The snapshot now covers everything the WAL held;
                         // truncate so the next boot does not double-replay.
                         if let Some(wal) = wal.as_mut() {
@@ -1048,7 +1375,7 @@ fn control_reply(
                                 eprintln!("mc-serve: WAL reset after save failed: {e}");
                             }
                         }
-                        ServeReply::Saved(cache.len() as u64)
+                        ServeReply::Saved(saved)
                     }
                     Err(e) => {
                         ServeReply::failed(ErrorCode::Internal, false, format!("save failed: {e}"))
@@ -1058,14 +1385,55 @@ fn control_reply(
         }
         ServeRequest::Flush => {
             metrics.record_control();
-            let evicted = cache.len() as u64;
-            // Empty the shards in place: the live config (which tracks
-            // threshold updates) and any seeded routing centroids survive
-            // the flush — dropping the centroids would silently degrade
-            // centroid routing to its hash fallback.
-            cache.clear().expect("a live cache's config re-validates");
-            append_wal(wal, metrics, ServeWal::append_flush);
-            ServeReply::Flushed(evicted)
+            match tenants.tenant(&item.tenant) {
+                None => ServeReply::failed(
+                    ErrorCode::BadRequest,
+                    false,
+                    format!("unknown tenant {:?}", item.tenant),
+                ),
+                Some(store) => {
+                    let evicted = store.len() as u64;
+                    // Empty the tenant's shards in place: the live config
+                    // (which tracks threshold updates) and any seeded
+                    // routing centroids survive the flush — dropping the
+                    // centroids would silently degrade centroid routing to
+                    // its hash fallback. Neighbouring tenants are untouched.
+                    match tenants.flush(&item.tenant) {
+                        Ok(()) => {
+                            append_wal(wal, metrics, |w| w.append_flush_for(&item.tenant));
+                            ServeReply::Flushed(evicted)
+                        }
+                        Err(e) => ServeReply::failed(
+                            ErrorCode::Internal,
+                            false,
+                            format!("flush failed: {e}"),
+                        ),
+                    }
+                }
+            }
+        }
+        ServeRequest::Invalidate { tenant, epoch } => {
+            metrics.record_control();
+            match tenants.invalidate(tenant, *epoch) {
+                Some(new_epoch) => {
+                    // Eagerly reclaim what the bump just killed. Probe-time
+                    // screening already hides stale entries, but they would
+                    // otherwise shadow re-inserts of the same query until
+                    // the periodic sweep — an explicit invalidation is rare
+                    // enough to afford the sweep inline, totally ordered
+                    // with the traffic around it.
+                    metrics.record_ttl_reclaimed(tenants.sweep() as u64);
+                    // The WAL records the *resulting* epoch so replay is a
+                    // max-merge, idempotent under retries and reordering.
+                    append_wal(wal, metrics, |w| w.append_invalidate(tenant, new_epoch));
+                    ServeReply::Invalidated(new_epoch)
+                }
+                None => ServeReply::failed(
+                    ErrorCode::BadRequest,
+                    false,
+                    format!("unknown tenant {tenant:?}"),
+                ),
+            }
         }
         ServeRequest::Lookup { .. } => unreachable!("lookups are handled in runs"),
     }
@@ -1095,15 +1463,19 @@ mod tests {
         }
     }
 
+    fn insert(query: &str, response: &str) -> ServeRequest {
+        ServeRequest::Insert {
+            query: query.into(),
+            response: response.into(),
+            context: Vec::new(),
+        }
+    }
+
     #[test]
     fn insert_then_lookup_round_trips_through_the_pipeline() {
         let pipeline = ServePipeline::start(cache(4), &ServeConfig::default()).unwrap();
         let inserted = pipeline
-            .submit(ServeRequest::Insert {
-                query: "what is federated learning".into(),
-                response: "On-device training.".into(),
-                context: Vec::new(),
-            })
+            .submit(insert("what is federated learning", "On-device training."))
             .unwrap()
             .wait();
         assert!(matches!(inserted, ServeReply::Inserted(_)));
@@ -1134,11 +1506,10 @@ mod tests {
     fn control_plane_orders_with_lookups() {
         let pipeline = ServePipeline::start(cache(2), &ServeConfig::default()).unwrap();
         pipeline
-            .submit(ServeRequest::Insert {
-                query: "how do I bake sourdough bread".into(),
-                response: "Ferment overnight.".into(),
-                context: Vec::new(),
-            })
+            .submit(insert(
+                "how do I bake sourdough bread",
+                "Ferment overnight.",
+            ))
             .unwrap()
             .wait();
         // Stats sees the insert (total order through the queue).
@@ -1197,11 +1568,7 @@ mod tests {
         };
         let pipeline = ServePipeline::start(cache(2), &config).unwrap();
         pipeline
-            .submit(ServeRequest::Insert {
-                query: "what is federated learning".into(),
-                response: "On-device training.".into(),
-                context: Vec::new(),
-            })
+            .submit(insert("what is federated learning", "On-device training."))
             .unwrap();
         let first = pipeline
             .submit(lookup("what is federated learning"))
@@ -1249,13 +1616,7 @@ mod tests {
             ..ServeConfig::default()
         };
         let pipeline = ServePipeline::start(cache(2), &config).unwrap();
-        pipeline
-            .submit(ServeRequest::Insert {
-                query: "q".into(),
-                response: "r".into(),
-                context: Vec::new(),
-            })
-            .unwrap();
+        pipeline.submit(insert("q", "r")).unwrap();
         let first = pipeline.submit(lookup("q")).unwrap();
         let second = pipeline.submit(lookup("q")).unwrap();
         assert!(!Arc::ptr_eq(&first.0, &second.0));
@@ -1303,11 +1664,7 @@ mod tests {
         };
         let pipeline = ServePipeline::start(cache(2), &config).unwrap();
         pipeline
-            .submit(ServeRequest::Insert {
-                query: "what is federated learning".into(),
-                response: "On-device training.".into(),
-                context: Vec::new(),
-            })
+            .submit(insert("what is federated learning", "On-device training."))
             .unwrap()
             .wait();
         pipeline
@@ -1344,11 +1701,7 @@ mod tests {
     fn metrics_request_renders_the_text_exposition() {
         let pipeline = ServePipeline::start(cache(2), &ServeConfig::default()).unwrap();
         pipeline
-            .submit(ServeRequest::Insert {
-                query: "what is federated learning".into(),
-                response: "On-device training.".into(),
-                context: Vec::new(),
-            })
+            .submit(insert("what is federated learning", "On-device training."))
             .unwrap()
             .wait();
         let text = match pipeline.submit(ServeRequest::Metrics).unwrap().wait() {
@@ -1361,5 +1714,169 @@ mod tests {
         // The default config installs the embedding memo; the insert
         // encoded (and memoized) one embedding.
         assert!(text.contains("serve_memo_entries 1"));
+        // Tenancy: the default tenant's per-tenant series render too.
+        assert!(text.contains("serve_tenant_entries{tenant=\"default\"} 1"));
+    }
+
+    #[test]
+    fn tenants_are_isolated_through_the_pipeline() {
+        let config = ServeConfig {
+            tenants: vec![
+                ServeTenant {
+                    name: "acme".into(),
+                    token: "acme-secret".into(),
+                    quota: 0,
+                },
+                ServeTenant {
+                    name: "beta".into(),
+                    token: "beta-secret".into(),
+                    quota: 0,
+                },
+            ],
+            ..ServeConfig::default()
+        };
+        let pipeline = ServePipeline::start(cache(2), &config).unwrap();
+        pipeline
+            .submit_for("acme", insert("what is rust", "acme answer"))
+            .unwrap()
+            .wait();
+        // The same query misses for every other tenant (and the default).
+        let acme = pipeline
+            .submit_for("acme", lookup("what is rust"))
+            .unwrap()
+            .wait();
+        assert!(matches!(acme, ServeReply::Outcome(o) if o.is_hit()));
+        let beta = pipeline
+            .submit_for("beta", lookup("what is rust"))
+            .unwrap()
+            .wait();
+        assert!(matches!(
+            beta,
+            ServeReply::Outcome(CacheDecisionOutcome::Miss)
+        ));
+        let default = pipeline.submit(lookup("what is rust")).unwrap().wait();
+        assert!(matches!(
+            default,
+            ServeReply::Outcome(CacheDecisionOutcome::Miss)
+        ));
+        // Flush is tenant-scoped: flushing beta leaves acme's entry alone.
+        assert_eq!(
+            pipeline
+                .submit_for("beta", ServeRequest::Flush)
+                .unwrap()
+                .wait(),
+            ServeReply::Flushed(0)
+        );
+        let still = pipeline
+            .submit_for("acme", lookup("what is rust"))
+            .unwrap()
+            .wait();
+        assert!(matches!(still, ServeReply::Outcome(o) if o.is_hit()));
+        // The stats plane reports all three tenants.
+        let stats = match pipeline.submit(ServeRequest::Stats).unwrap().wait() {
+            ServeReply::Stats(snapshot) => snapshot,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        let names: Vec<&str> = stats.tenants.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["acme", "beta", "default"]);
+        assert_eq!(stats.tenants[0].entries, 1);
+        assert_eq!(stats.tenants[1].entries, 0);
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn invalidate_bumps_the_epoch_and_screens_old_entries() {
+        let pipeline = ServePipeline::start(cache(2), &ServeConfig::default()).unwrap();
+        pipeline
+            .submit(insert("pre-upgrade question", "pre-upgrade answer"))
+            .unwrap()
+            .wait();
+        assert!(matches!(
+            pipeline
+                .submit(lookup("pre-upgrade question"))
+                .unwrap()
+                .wait(),
+            ServeReply::Outcome(o) if o.is_hit()
+        ));
+        assert_eq!(
+            pipeline
+                .submit(ServeRequest::Invalidate {
+                    tenant: DEFAULT_TENANT.into(),
+                    epoch: 0,
+                })
+                .unwrap()
+                .wait(),
+            ServeReply::Invalidated(1)
+        );
+        // The old entry is screened into a miss at probe time.
+        assert!(matches!(
+            pipeline
+                .submit(lookup("pre-upgrade question"))
+                .unwrap()
+                .wait(),
+            ServeReply::Outcome(CacheDecisionOutcome::Miss)
+        ));
+        // Fresh inserts under the new epoch serve normally.
+        pipeline
+            .submit(insert("pre-upgrade question", "post-upgrade answer"))
+            .unwrap()
+            .wait();
+        let reply = pipeline
+            .submit(lookup("pre-upgrade question"))
+            .unwrap()
+            .wait();
+        match reply {
+            ServeReply::Outcome(outcome) => {
+                assert_eq!(outcome.hit().unwrap().response, "post-upgrade answer");
+            }
+            other => panic!("expected an outcome, got {other:?}"),
+        }
+        // Unknown tenants fail cleanly.
+        assert!(matches!(
+            pipeline
+                .submit(ServeRequest::Invalidate {
+                    tenant: "nobody".into(),
+                    epoch: 0,
+                })
+                .unwrap()
+                .wait(),
+            ServeReply::Failed {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn singleflight_never_shares_tickets_across_tenants() {
+        let config = ServeConfig {
+            max_batch: 1,
+            batch_delay: Duration::from_millis(50),
+            tenants: vec![ServeTenant {
+                name: "acme".into(),
+                token: "s".into(),
+                quota: 0,
+            }],
+            ..ServeConfig::default()
+        };
+        let pipeline = ServePipeline::start(cache(2), &config).unwrap();
+        pipeline.submit(insert("shared question", "r")).unwrap();
+        let default_ticket = pipeline.submit(lookup("shared question")).unwrap();
+        let acme_ticket = pipeline
+            .submit_for("acme", lookup("shared question"))
+            .unwrap();
+        // Same query text, different tenants: never the same ticket.
+        assert!(
+            !Arc::ptr_eq(&default_ticket.0, &acme_ticket.0),
+            "tenants must not share singleflight tickets"
+        );
+        // And the outcomes differ: default hits its insert, acme misses.
+        assert!(matches!(default_ticket.wait(), ServeReply::Outcome(o) if o.is_hit()));
+        assert!(matches!(
+            acme_ticket.wait(),
+            ServeReply::Outcome(CacheDecisionOutcome::Miss)
+        ));
+        pipeline.shutdown();
     }
 }

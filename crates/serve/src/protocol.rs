@@ -61,6 +61,12 @@ use meancache::{CacheDecisionOutcome, CacheHit, RoutingMode};
 /// query/response, far below an allocation-of-death.
 pub const MAX_FRAME_LEN: usize = 16 << 20;
 
+/// Upper bound on a tenant-name length in [`Request::Hello`] /
+/// [`Request::Invalidate`] frames. Longer names are semantically invalid
+/// ([`ErrorCode::BadRequest`], connection stays open) — tenant names are
+/// identifiers, not payloads.
+pub const MAX_TENANT_LEN: usize = 64;
+
 /// Decoding failure: the peer sent bytes this protocol does not speak.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProtocolError {
@@ -117,6 +123,11 @@ pub enum ErrorCode {
     Internal,
     /// The server is draining connections for shutdown.
     ShuttingDown,
+    /// The request needs an authenticated tenant and the connection has
+    /// none: either no [`Request::Hello`] was sent on a server without a
+    /// default tenant (retryable — send `Hello` and try again), or the
+    /// `Hello` token was wrong (not retryable with the same credentials).
+    Unauthenticated,
 }
 
 impl ErrorCode {
@@ -129,6 +140,7 @@ impl ErrorCode {
             ErrorCode::Panicked => 4,
             ErrorCode::Internal => 5,
             ErrorCode::ShuttingDown => 6,
+            ErrorCode::Unauthenticated => 7,
         }
     }
 
@@ -144,6 +156,7 @@ impl ErrorCode {
             4 => Ok(ErrorCode::Panicked),
             5 => Ok(ErrorCode::Internal),
             6 => Ok(ErrorCode::ShuttingDown),
+            7 => Ok(ErrorCode::Unauthenticated),
             other => Err(ProtocolError::BadErrorCode(other)),
         }
     }
@@ -157,6 +170,7 @@ impl ErrorCode {
             ErrorCode::Panicked => "panicked",
             ErrorCode::Internal => "internal",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Unauthenticated => "unauthenticated",
         }
     }
 }
@@ -212,6 +226,28 @@ pub enum Request {
     Metrics,
     /// Dump the flight recorder (recent + outlier request traces) as JSON.
     TraceDump,
+    /// Authenticate this connection as `tenant`. The server compares
+    /// `token` in constant time and answers [`Response::Welcome`] or a
+    /// non-retryable `Fail{Unauthenticated}` (connection stays open — a
+    /// client may retry with different credentials). Connections that never
+    /// say `Hello` serve the configured default tenant, if any.
+    Hello {
+        /// Tenant name (≤ [`MAX_TENANT_LEN`] bytes, non-empty).
+        tenant: String,
+        /// Shared-secret token for the tenant.
+        token: String,
+    },
+    /// Bump `tenant`'s invalidation epoch: entries inserted before the bump
+    /// stop being served immediately and are reclaimed lazily. `epoch = 0`
+    /// advances by one; a non-zero epoch sets `max(current, epoch)`
+    /// (idempotent for retries). Requires authentication as the same
+    /// tenant (or a default-tenant connection naming the default tenant).
+    Invalidate {
+        /// Tenant whose entries go stale.
+        tenant: String,
+        /// Requested epoch (`0` = advance by one).
+        epoch: u64,
+    },
 }
 
 /// A server→client message.
@@ -264,6 +300,11 @@ pub enum Response {
     Metrics(String),
     /// Flight-recorder dump, JSON-encoded ([`mc_metrics::TraceDump`]).
     TraceDump(String),
+    /// Reply to a successful [`Request::Hello`]: the connection now serves
+    /// the named tenant.
+    Welcome,
+    /// Reply to [`Request::Invalidate`]: the tenant's epoch after the bump.
+    Invalidated(u64),
 }
 
 // ---- frame transport -------------------------------------------------------
@@ -444,7 +485,7 @@ impl<'a> Cursor<'a> {
         ))
     }
 
-    fn u64(&mut self) -> Result<u64, ProtocolError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, ProtocolError> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
@@ -494,6 +535,8 @@ mod op {
     pub const SAVE: u8 = 0x09;
     pub const METRICS: u8 = 0x0a;
     pub const TRACE_DUMP: u8 = 0x0b;
+    pub const HELLO: u8 = 0x0c;
+    pub const INVALIDATE: u8 = 0x0d;
 
     pub const MISS: u8 = 0x80;
     pub const HIT: u8 = 0x81;
@@ -508,6 +551,8 @@ mod op {
     pub const METRICS_REPLY: u8 = 0x8a;
     pub const FAIL: u8 = 0x8b;
     pub const TRACE_DUMP_REPLY: u8 = 0x8c;
+    pub const WELCOME: u8 = 0x8d;
+    pub const INVALIDATED: u8 = 0x8e;
 }
 
 /// Wire byte for a [`RoutingMode`] (stable across releases).
@@ -573,6 +618,16 @@ impl Request {
             Request::Shutdown => buf.push(op::SHUTDOWN),
             Request::Metrics => buf.push(op::METRICS),
             Request::TraceDump => buf.push(op::TRACE_DUMP),
+            Request::Hello { tenant, token } => {
+                buf.push(op::HELLO);
+                put_str(&mut buf, tenant);
+                put_str(&mut buf, token);
+            }
+            Request::Invalidate { tenant, epoch } => {
+                buf.push(op::INVALIDATE);
+                put_str(&mut buf, tenant);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+            }
         }
         buf
     }
@@ -602,6 +657,14 @@ impl Request {
             op::SHUTDOWN => Request::Shutdown,
             op::METRICS => Request::Metrics,
             op::TRACE_DUMP => Request::TraceDump,
+            op::HELLO => Request::Hello {
+                tenant: cursor.str()?,
+                token: cursor.str()?,
+            },
+            op::INVALIDATE => Request::Invalidate {
+                tenant: cursor.str()?,
+                epoch: cursor.u64()?,
+            },
             other => return Err(ProtocolError::BadOpcode(other)),
         };
         cursor.finish()?;
@@ -668,6 +731,11 @@ impl Response {
                 buf.push(op::TRACE_DUMP_REPLY);
                 put_str(&mut buf, json);
             }
+            Response::Welcome => buf.push(op::WELCOME),
+            Response::Invalidated(epoch) => {
+                buf.push(op::INVALIDATED);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+            }
         }
         buf
     }
@@ -701,6 +769,8 @@ impl Response {
             op::PONG => Response::Pong,
             op::METRICS_REPLY => Response::Metrics(cursor.str()?),
             op::TRACE_DUMP_REPLY => Response::TraceDump(cursor.str()?),
+            op::WELCOME => Response::Welcome,
+            op::INVALIDATED => Response::Invalidated(cursor.u64()?),
             other => return Err(ProtocolError::BadOpcode(other)),
         };
         cursor.finish()?;
@@ -768,6 +838,18 @@ mod tests {
             Request::Shutdown,
             Request::Metrics,
             Request::TraceDump,
+            Request::Hello {
+                tenant: "a".repeat(MAX_TENANT_LEN),
+                token: "s3cret — ünïcode".into(),
+            },
+            Request::Hello {
+                tenant: String::new(),
+                token: String::new(),
+            },
+            Request::Invalidate {
+                tenant: "acme".into(),
+                epoch: u64::MAX,
+            },
         ];
         for request in cases {
             let decoded = Request::decode(&request.encode()).unwrap();
@@ -805,6 +887,13 @@ mod tests {
             Response::Pong,
             Response::Metrics("serve_admitted_total 12\nserve_shed_total 0\n".into()),
             Response::TraceDump("{\"sample_every\":64,\"traces\":[]}".into()),
+            Response::Welcome,
+            Response::Invalidated(7),
+            Response::Fail {
+                code: ErrorCode::Unauthenticated,
+                retryable: true,
+                message: "say Hello first".into(),
+            },
         ];
         for response in cases {
             let decoded = Response::decode(&response.encode()).unwrap();
@@ -843,6 +932,18 @@ mod tests {
             Response::decode(&[super::op::FAIL, 99, 0, 0, 0, 0, 0]),
             Err(ProtocolError::BadErrorCode(99))
         );
+        // Truncated Hello: tenant present, token length cut mid-prefix.
+        let mut bytes = vec![super::op::HELLO];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b't');
+        bytes.extend_from_slice(&[9, 0]);
+        assert_eq!(Request::decode(&bytes), Err(ProtocolError::Truncated));
+        // Truncated Invalidate: epoch cut short.
+        let mut bytes = vec![super::op::INVALIDATE];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b't');
+        bytes.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(Request::decode(&bytes), Err(ProtocolError::Truncated));
     }
 
     #[test]
@@ -854,6 +955,7 @@ mod tests {
             ErrorCode::Panicked,
             ErrorCode::Internal,
             ErrorCode::ShuttingDown,
+            ErrorCode::Unauthenticated,
         ] {
             assert_eq!(ErrorCode::from_byte(code.as_byte()).unwrap(), code);
             assert!(!code.name().is_empty());

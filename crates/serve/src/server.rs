@@ -55,7 +55,7 @@ use meancache::ShardedCache;
 
 use crate::pipeline::{request_kind, ServeConfig, ServePipeline, ServeReply, ServeRequest};
 use crate::poller::{wake_pair, Interest, Poller, PollerKind, WakeReceiver, Waker};
-use crate::protocol::{write_frame, ErrorCode, FrameAssembler, Request, Response};
+use crate::protocol::{write_frame, ErrorCode, FrameAssembler, Request, Response, MAX_TENANT_LEN};
 use crate::queue::SubmitError;
 use crate::Ticket;
 
@@ -186,6 +186,12 @@ impl Server {
         });
         let max_connections = config.max_connections.max(1);
         let idle_timeout = config.idle_timeout;
+        let tenant_tokens: HashMap<String, String> = config
+            .tenants
+            .iter()
+            .map(|t| (t.name.clone(), t.token.clone()))
+            .collect();
+        let legacy_tenant = config.default_tenant.clone();
         let io = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -199,6 +205,8 @@ impl Server {
                         shared: &shared,
                         max_connections,
                         idle_timeout,
+                        tenant_tokens,
+                        legacy_tenant,
                         last_idle_sweep: Instant::now(),
                         conns: HashMap::new(),
                         next_token: TOKEN_FIRST_CONN,
@@ -306,6 +314,10 @@ struct Conn {
     /// Last time the socket showed life (bytes read or written) — the
     /// idle-reaper's clock.
     last_activity: Instant,
+    /// The tenant this connection authenticated as via `Hello`. `None`
+    /// means un-authenticated: per-tenant requests fall back to the
+    /// configured default tenant, or are refused when there is none.
+    tenant: Option<String>,
 }
 
 impl Conn {
@@ -320,6 +332,7 @@ impl Conn {
             interest: Interest::READ,
             closing: false,
             last_activity: Instant::now(),
+            tenant: None,
         }
     }
 
@@ -354,6 +367,11 @@ struct EventLoop<'a> {
     /// Reap connections idle longer than this; zero disables reaping (and
     /// keeps the poll wait unbounded — an idle server sleeps).
     idle_timeout: Duration,
+    /// Accepted `Hello` credentials: tenant name → shared secret.
+    tenant_tokens: HashMap<String, String>,
+    /// The tenant un-authenticated connections serve as (`None` = refuse
+    /// their per-tenant requests until they say `Hello`).
+    legacy_tenant: Option<String>,
     last_idle_sweep: Instant,
     conns: HashMap<u64, Conn>,
     next_token: u64,
@@ -590,7 +608,43 @@ impl EventLoop<'_> {
                 self.shared.request_stop();
                 return;
             }
+            Request::Hello {
+                tenant,
+                token: secret,
+            } => Out::Ready(self.authenticate(token, tenant, &secret)),
             other => {
+                let conn_tenant = self.conns.get(&token).and_then(|c| c.tenant.clone());
+                // Per-tenant requests execute under the connection's
+                // authenticated tenant, else the configured default; a
+                // server without a default refuses them until the client
+                // says Hello. Cross-tenant control (stats, metrics, tuning,
+                // save) never needs a namespace and always passes.
+                let needs_tenant = matches!(
+                    other,
+                    Request::Lookup { .. }
+                        | Request::Insert { .. }
+                        | Request::Flush
+                        | Request::Invalidate { .. }
+                );
+                let tenant = match &conn_tenant {
+                    Some(t) => t.clone(),
+                    None => match &self.legacy_tenant {
+                        Some(t) => t.clone(),
+                        None if !needs_tenant => self.shared.pipeline.default_tenant().to_string(),
+                        None => {
+                            if let Some(conn) = self.conns.get_mut(&token) {
+                                conn.out.push_back(Out::Ready(Response::Fail {
+                                    code: ErrorCode::Unauthenticated,
+                                    retryable: true,
+                                    message: "no default tenant on this server; \
+                                              authenticate with Hello first"
+                                        .into(),
+                                }));
+                            }
+                            return;
+                        }
+                    },
+                };
                 let serve_request = match other {
                     Request::Lookup { query, context } => ServeRequest::Lookup { query, context },
                     Request::Insert {
@@ -609,7 +663,46 @@ impl EventLoop<'_> {
                     Request::SetRouting(mode) => ServeRequest::SetRouting(mode),
                     Request::Save => ServeRequest::Save,
                     Request::Flush => ServeRequest::Flush,
-                    Request::Ping | Request::Shutdown => unreachable!("handled above"),
+                    Request::Invalidate {
+                        tenant: target,
+                        epoch,
+                    } => {
+                        if target.is_empty() || target.len() > MAX_TENANT_LEN {
+                            if let Some(conn) = self.conns.get_mut(&token) {
+                                conn.out.push_back(Out::Ready(Response::Fail {
+                                    code: ErrorCode::BadRequest,
+                                    retryable: false,
+                                    message: format!(
+                                        "tenant name must be 1..={MAX_TENANT_LEN} bytes"
+                                    ),
+                                }));
+                            }
+                            return;
+                        }
+                        // An authenticated connection may only invalidate
+                        // its own namespace; un-authenticated (operator /
+                        // legacy) connections may target any tenant.
+                        if conn_tenant.as_deref().is_some_and(|t| t != target) {
+                            if let Some(conn) = self.conns.get_mut(&token) {
+                                conn.out.push_back(Out::Ready(Response::Fail {
+                                    code: ErrorCode::Unauthenticated,
+                                    retryable: false,
+                                    message: format!(
+                                        "authenticated as {:?}; cannot invalidate {target:?}",
+                                        conn_tenant.as_deref().unwrap_or_default()
+                                    ),
+                                }));
+                            }
+                            return;
+                        }
+                        ServeRequest::Invalidate {
+                            tenant: target,
+                            epoch,
+                        }
+                    }
+                    Request::Ping | Request::Shutdown | Request::Hello { .. } => {
+                        unreachable!("handled above")
+                    }
                 };
                 // Sampled requests get a trace from frame-accept onwards, so
                 // queue and execution stages measure against the wire
@@ -624,7 +717,11 @@ impl EventLoop<'_> {
                     t.mark(Stage::Accepted);
                     t.mark(Stage::Decoded);
                 }
-                match self.shared.pipeline.submit_traced(serve_request, trace) {
+                match self
+                    .shared
+                    .pipeline
+                    .submit_traced_for(&tenant, serve_request, trace)
+                {
                     Ok(ticket) => {
                         // Resolution (on the batcher thread) marks this
                         // connection dirty and nudges the loop; an
@@ -645,6 +742,38 @@ impl EventLoop<'_> {
         };
         if let Some(conn) = self.conns.get_mut(&token) {
             conn.out.push_back(out);
+        }
+    }
+
+    /// Handles a `Hello` handshake: validates the tenant name, compares the
+    /// presented token against the configured secret in constant time, and
+    /// binds the connection to the tenant on success. Failure keeps the
+    /// connection open — a client may retry with corrected credentials, and
+    /// (on servers with a default tenant) may keep serving as the default.
+    fn authenticate(&mut self, token: u64, tenant: String, secret: &str) -> Response {
+        if tenant.is_empty() || tenant.len() > MAX_TENANT_LEN {
+            return Response::Fail {
+                code: ErrorCode::BadRequest,
+                retryable: false,
+                message: format!("tenant name must be 1..={MAX_TENANT_LEN} bytes"),
+            };
+        }
+        // Compare against a dummy secret when the tenant is unknown so the
+        // reply time does not distinguish "no such tenant" from "bad
+        // token".
+        let expected = self.tenant_tokens.get(&tenant);
+        let reference = expected.map_or("", String::as_str);
+        if constant_time_eq(reference.as_bytes(), secret.as_bytes()) && expected.is_some() {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.tenant = Some(tenant);
+            }
+            Response::Welcome
+        } else {
+            Response::Fail {
+                code: ErrorCode::Unauthenticated,
+                retryable: false,
+                message: "unknown tenant or bad token".into(),
+            }
         }
     }
 
@@ -765,6 +894,20 @@ impl EventLoop<'_> {
     }
 }
 
+/// Byte-equality that touches every byte of both inputs regardless of
+/// where (or whether) they differ, so a `Hello` rejection's timing does not
+/// leak how much of the token matched. Length still shapes the loop bound —
+/// acceptable, since token lengths are not secret here.
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
 /// Maps a pipeline reply onto its wire form.
 fn reply_to_response(reply: ServeReply) -> Response {
     match reply {
@@ -779,6 +922,7 @@ fn reply_to_response(reply: ServeReply) -> Response {
         ServeReply::Saved(n) => Response::Saved(n),
         ServeReply::MetricsText(text) => Response::Metrics(text),
         ServeReply::TraceJson(json) => Response::TraceDump(json),
+        ServeReply::Invalidated(epoch) => Response::Invalidated(epoch),
         ServeReply::Failed {
             code,
             retryable,

@@ -12,7 +12,7 @@ use mc_embedder::{MemoObserver, MemoOutcome};
 use mc_metrics::trace::{flag, Stage, Trace, TraceSnapshot};
 use mc_metrics::{percentile_from_log2_buckets, LatencyHistogram, Tracer};
 use mc_store::RecoveryStats;
-use meancache::{SemanticCache, ShardStat, ShardedCache};
+use meancache::{SemanticCache, ShardStat, ShardedCache, TenantedCache};
 use serde::{Deserialize, Serialize};
 
 /// Number of batch-size histogram buckets: bucket `i` counts batches of
@@ -54,6 +54,7 @@ pub struct ServeMetrics {
     coalesced: AtomicU64,
     singleflight: AtomicU64,
     pins_swept: AtomicU64,
+    ttl_reclaimed: AtomicU64,
     deadline_expired: AtomicU64,
     panics_caught: AtomicU64,
     wal_appends: AtomicU64,
@@ -91,6 +92,7 @@ impl Default for ServeMetrics {
             coalesced: AtomicU64::new(0),
             singleflight: AtomicU64::new(0),
             pins_swept: AtomicU64::new(0),
+            ttl_reclaimed: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
             panics_caught: AtomicU64::new(0),
             wal_appends: AtomicU64::new(0),
@@ -191,6 +193,14 @@ impl ServeMetrics {
     pub fn record_pins_swept(&self, n: u64) {
         if n > 0 {
             self.pins_swept.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The lifecycle sweep physically reclaimed `n` TTL-expired or
+    /// epoch-invalidated entries.
+    pub fn record_ttl_reclaimed(&self, n: u64) {
+        if n > 0 {
+            self.ttl_reclaimed.fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -369,6 +379,34 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
+/// Per-tenant occupancy and decision counters at snapshot time: the
+/// tenancy rows of the stats plane (and of `mctop`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantStatSnapshot {
+    /// Tenant name.
+    pub name: String,
+    /// Resident entries in this tenant's cache.
+    pub entries: usize,
+    /// Capacity quota (entries; 0 = inherits the template capacity).
+    pub quota: usize,
+    /// Current invalidation epoch.
+    pub epoch: u64,
+    /// Cache-level lookups this tenant has issued.
+    pub lookups: u64,
+    /// Cache-level hits this tenant has seen (post-screening hits may be
+    /// lower; see `expired` / `invalidated`).
+    pub hits: u64,
+    /// `hits / lookups` (0 when no lookups yet).
+    pub hit_rate: f64,
+    /// Probe hits screened into misses because the entry's TTL lapsed.
+    pub expired: u64,
+    /// Probe hits screened into misses because the entry predates the
+    /// tenant's invalidation epoch.
+    pub invalidated: u64,
+    /// Entries the lifecycle sweep physically reclaimed for this tenant.
+    pub reclaimed: u64,
+}
+
 /// Point-in-time serving statistics: what the control plane's `Stats`
 /// request returns.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -513,6 +551,15 @@ pub struct ServeStatsSnapshot {
     /// Traces the flight recorder dropped under slot contention.
     #[serde(default)]
     pub trace_dropped: u64,
+    /// Entries the lifecycle sweep physically reclaimed (TTL-expired or
+    /// epoch-invalidated), across all tenants.
+    #[serde(default)]
+    pub ttl_reclaimed: u64,
+    /// Per-tenant rows, in deterministic (sorted-name) order. Empty for
+    /// snapshots collected without a tenancy layer (and for snapshots
+    /// written before tenancy existed).
+    #[serde(default)]
+    pub tenants: Vec<TenantStatSnapshot>,
 }
 
 impl ServeStatsSnapshot {
@@ -590,7 +637,49 @@ impl ServeStatsSnapshot {
             trace_sample_every: metrics.tracer.sample_every(),
             trace_slow_threshold_us: metrics.tracer.slow_threshold_us(),
             trace_dropped: metrics.tracer.recorder().dropped(),
+            ttl_reclaimed: metrics.ttl_reclaimed.load(Ordering::Relaxed),
+            tenants: Vec::new(),
         }
+    }
+
+    /// [`ServeStatsSnapshot::collect`] over a whole tenancy layer: the
+    /// shard-level view comes from the default tenant's cache (the
+    /// template, and the only cache a single-tenant deployment has), the
+    /// `entries` total and the per-tenant rows span every tenant.
+    pub fn collect_tenanted(
+        tenants: &TenantedCache,
+        metrics: &ServeMetrics,
+        queue_depth: usize,
+        queue_capacity: usize,
+    ) -> Self {
+        let default = tenants
+            .tenant(tenants.default_tenant())
+            .expect("default tenant always exists");
+        let mut snapshot = Self::collect(default.cache(), metrics, queue_depth, queue_capacity);
+        snapshot.entries = tenants.iter().map(|(_, store)| store.len()).sum();
+        snapshot.tenants = tenants
+            .iter()
+            .map(|(name, store)| {
+                let stats = store.cache().stats();
+                TenantStatSnapshot {
+                    name: name.to_string(),
+                    entries: store.len(),
+                    quota: store.quota(),
+                    epoch: store.epoch(),
+                    lookups: stats.lookups,
+                    hits: stats.hits,
+                    hit_rate: if stats.lookups == 0 {
+                        0.0
+                    } else {
+                        stats.hits as f64 / stats.lookups as f64
+                    },
+                    expired: store.expired(),
+                    invalidated: store.invalidated(),
+                    reclaimed: store.reclaimed(),
+                }
+            })
+            .collect();
+        snapshot
     }
 
     /// Renders the snapshot as a Prometheus-style plain-text exposition —
@@ -708,6 +797,26 @@ impl ServeStatsSnapshot {
             self.trace_slow_threshold_us
         );
         let _ = writeln!(out, "serve_trace_dropped_total {}", self.trace_dropped);
+        let _ = writeln!(out, "serve_ttl_reclaimed_total {}", self.ttl_reclaimed);
+        for tenant in &self.tenants {
+            for (metric, value) in [
+                ("entries", tenant.entries as f64),
+                ("quota", tenant.quota as f64),
+                ("epoch", tenant.epoch as f64),
+                ("lookups_total", tenant.lookups as f64),
+                ("hits_total", tenant.hits as f64),
+                ("hit_rate", tenant.hit_rate),
+                ("expired_total", tenant.expired as f64),
+                ("invalidated_total", tenant.invalidated as f64),
+                ("reclaimed_total", tenant.reclaimed as f64),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "serve_tenant_{metric}{{tenant=\"{}\"}} {value}",
+                    tenant.name
+                );
+            }
+        }
         out
     }
 }

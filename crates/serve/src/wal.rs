@@ -19,16 +19,30 @@ use mc_store::{FramedLog, FsyncPolicy, RecoveryStats, StoreError};
 
 use crate::protocol::{put_str, put_strs, Cursor};
 
-/// Record kind: one acknowledged `Insert { query, response, context }`.
+/// Record kind: one acknowledged `Insert { query, response, context }`
+/// (legacy, pre-tenancy: replays into the default tenant).
 const OP_INSERT: u8 = 1;
-/// Record kind: one acknowledged `Flush` (drops everything before it).
+/// Record kind: one acknowledged `Flush` (legacy, pre-tenancy: drops
+/// everything before it, across all tenants).
 const OP_FLUSH: u8 = 2;
+/// Record kind: one acknowledged tenant-scoped insert
+/// (`str tenant, str query, str response, [str] context`).
+const OP_TENANT_INSERT: u8 = 3;
+/// Record kind: one acknowledged tenant-scoped flush (`str tenant`).
+const OP_TENANT_FLUSH: u8 = 4;
+/// Record kind: one acknowledged invalidation (`str tenant, u64 epoch`).
+const OP_INVALIDATE: u8 = 5;
 
-/// One logical operation replayed from the WAL, in append order.
+/// One logical operation replayed from the WAL, in append order. A
+/// `tenant` of `None` means the record predates tenancy (kinds 1/2) and
+/// applies to the default tenant (insert) or every tenant (flush) — the
+/// replayer resolves it; new records always carry their tenant explicitly.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalOp {
     /// Re-apply this insert on top of the loaded snapshot.
     Insert {
+        /// Owning tenant (`None` = legacy record, default tenant).
+        tenant: Option<String>,
         /// The query text.
         query: String,
         /// The cached response.
@@ -36,8 +50,20 @@ pub enum WalOp {
         /// Conversation context, most recent turn last.
         context: Vec<String>,
     },
-    /// The cache was flushed here: discard every earlier replayed op.
-    Flush,
+    /// The cache was flushed here: discard the earlier replayed ops it
+    /// covers (`None` = legacy record, every tenant).
+    Flush {
+        /// Flushed tenant (`None` = legacy record, every tenant).
+        tenant: Option<String>,
+    },
+    /// The tenant's invalidation epoch was bumped here. Survives flushes —
+    /// epochs are monotonic and must be restored even when no entries are.
+    Invalidate {
+        /// The tenant whose epoch advanced.
+        tenant: String,
+        /// The epoch value acknowledged to the client.
+        epoch: u64,
+    },
 }
 
 /// The WAL's path for a given persist path: `<persist_path>.wal` (extension
@@ -73,17 +99,21 @@ impl ServeWal {
         policy: FsyncPolicy,
     ) -> Result<(Self, Vec<WalOp>, RecoveryStats), StoreError> {
         let (log, records, stats) = FramedLog::open(path, policy)?;
-        let mut ops = Vec::with_capacity(records.len());
+        let mut ops: Vec<WalOp> = Vec::with_capacity(records.len());
         for record in records {
+            let mut cursor = Cursor::new(&record.payload);
             match record.kind {
-                OP_INSERT => {
-                    let mut cursor = Cursor::new(&record.payload);
+                OP_INSERT | OP_TENANT_INSERT => {
                     let op = (|| -> Result<WalOp, crate::protocol::ProtocolError> {
+                        let tenant = (record.kind == OP_TENANT_INSERT)
+                            .then(|| cursor.str())
+                            .transpose()?;
                         let query = cursor.str()?;
                         let response = cursor.str()?;
                         let context = cursor.strs()?;
                         cursor.finish()?;
                         Ok(WalOp::Insert {
+                            tenant,
                             query,
                             response,
                             context,
@@ -95,9 +125,38 @@ impl ServeWal {
                     ops.push(op);
                 }
                 OP_FLUSH => {
-                    // Everything before the flush is gone; replaying it
-                    // would only be re-evicted.
-                    ops.clear();
+                    // Everything before the (legacy, all-tenant) flush is
+                    // gone; replaying it would only be re-evicted. Epoch
+                    // bumps survive — they are monotonic state, not entries.
+                    ops.retain(|op| matches!(op, WalOp::Invalidate { .. }));
+                }
+                OP_TENANT_FLUSH => {
+                    let tenant = (|| -> Result<String, crate::protocol::ProtocolError> {
+                        let tenant = cursor.str()?;
+                        cursor.finish()?;
+                        Ok(tenant)
+                    })()
+                    .map_err(|e| {
+                        StoreError::Corrupt(format!("WAL flush record failed to decode: {e}"))
+                    })?;
+                    // Only this tenant's earlier inserts are gone. (New logs
+                    // are always tenant-explicit; a legacy `None` insert can
+                    // only coexist with legacy flushes.)
+                    ops.retain(
+                        |op| !matches!(op, WalOp::Insert { tenant: Some(t), .. } if *t == tenant),
+                    );
+                }
+                OP_INVALIDATE => {
+                    let op = (|| -> Result<WalOp, crate::protocol::ProtocolError> {
+                        let tenant = cursor.str()?;
+                        let epoch = cursor.u64()?;
+                        cursor.finish()?;
+                        Ok(WalOp::Invalidate { tenant, epoch })
+                    })()
+                    .map_err(|e| {
+                        StoreError::Corrupt(format!("WAL invalidate record failed to decode: {e}"))
+                    })?;
+                    ops.push(op);
                 }
                 other => {
                     return Err(StoreError::Corrupt(format!(
@@ -109,7 +168,8 @@ impl ServeWal {
         Ok((Self { log }, ops, stats))
     }
 
-    /// Appends one acknowledged insert. Fsyncs per the open policy.
+    /// Appends one acknowledged insert as a legacy (default-tenant) record.
+    /// Fsyncs per the open policy.
     ///
     /// # Errors
     /// [`StoreError::Io`] when the append or sync fails.
@@ -126,12 +186,55 @@ impl ServeWal {
         self.log.append(OP_INSERT, &payload)
     }
 
-    /// Appends one acknowledged flush. Fsyncs per the open policy.
+    /// Appends one acknowledged tenant-scoped insert. Fsyncs per the open
+    /// policy.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the append or sync fails.
+    pub fn append_insert_for(
+        &mut self,
+        tenant: &str,
+        query: &str,
+        response: &str,
+        context: &[String],
+    ) -> Result<(), StoreError> {
+        let mut payload = Vec::with_capacity(16 + tenant.len() + query.len() + response.len());
+        put_str(&mut payload, tenant);
+        put_str(&mut payload, query);
+        put_str(&mut payload, response);
+        put_strs(&mut payload, context);
+        self.log.append(OP_TENANT_INSERT, &payload)
+    }
+
+    /// Appends one acknowledged legacy (all-tenant) flush. Fsyncs per the
+    /// open policy.
     ///
     /// # Errors
     /// [`StoreError::Io`] when the append or sync fails.
     pub fn append_flush(&mut self) -> Result<(), StoreError> {
         self.log.append(OP_FLUSH, &[])
+    }
+
+    /// Appends one acknowledged tenant-scoped flush. Fsyncs per the open
+    /// policy.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the append or sync fails.
+    pub fn append_flush_for(&mut self, tenant: &str) -> Result<(), StoreError> {
+        let mut payload = Vec::with_capacity(4 + tenant.len());
+        put_str(&mut payload, tenant);
+        self.log.append(OP_TENANT_FLUSH, &payload)
+    }
+
+    /// Appends one acknowledged epoch bump. Fsyncs per the open policy.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the append or sync fails.
+    pub fn append_invalidate(&mut self, tenant: &str, epoch: u64) -> Result<(), StoreError> {
+        let mut payload = Vec::with_capacity(12 + tenant.len());
+        put_str(&mut payload, tenant);
+        payload.extend_from_slice(&epoch.to_le_bytes());
+        self.log.append(OP_INVALIDATE, &payload)
     }
 
     /// Truncates the WAL back to empty — called right after a snapshot
@@ -172,20 +275,43 @@ mod tests {
 
     fn insert(q: &str) -> WalOp {
         WalOp::Insert {
+            tenant: None,
             query: q.into(),
             response: format!("{q}-response"),
             context: vec!["turn one".into()],
         }
     }
 
+    fn tenant_insert(tenant: &str, q: &str) -> WalOp {
+        WalOp::Insert {
+            tenant: Some(tenant.into()),
+            query: q.into(),
+            response: format!("{q}-response"),
+            context: Vec::new(),
+        }
+    }
+
     fn append(wal: &mut ServeWal, op: &WalOp) {
         match op {
             WalOp::Insert {
+                tenant: None,
                 query,
                 response,
                 context,
             } => wal.append_insert(query, response, context).unwrap(),
-            WalOp::Flush => wal.append_flush().unwrap(),
+            WalOp::Insert {
+                tenant: Some(tenant),
+                query,
+                response,
+                context,
+            } => wal
+                .append_insert_for(tenant, query, response, context)
+                .unwrap(),
+            WalOp::Flush { tenant: None } => wal.append_flush().unwrap(),
+            WalOp::Flush {
+                tenant: Some(tenant),
+            } => wal.append_flush_for(tenant).unwrap(),
+            WalOp::Invalidate { tenant, epoch } => wal.append_invalidate(tenant, *epoch).unwrap(),
         }
     }
 
@@ -212,11 +338,74 @@ mod tests {
         {
             let (mut wal, _, _) = ServeWal::open(&path, FsyncPolicy::Always).unwrap();
             append(&mut wal, &insert("gone"));
-            append(&mut wal, &WalOp::Flush);
+            append(&mut wal, &WalOp::Flush { tenant: None });
             append(&mut wal, &insert("kept"));
         }
         let (_, replayed, _) = ServeWal::open(&path, FsyncPolicy::Never).unwrap();
         assert_eq!(replayed, vec![insert("kept")]);
+    }
+
+    #[test]
+    fn tenant_records_round_trip_and_scope_their_flush() {
+        let path = temp_path("t");
+        {
+            let (mut wal, _, _) = ServeWal::open(&path, FsyncPolicy::Always).unwrap();
+            append(&mut wal, &tenant_insert("acme", "gone"));
+            append(&mut wal, &tenant_insert("beta", "survives"));
+            append(
+                &mut wal,
+                &WalOp::Invalidate {
+                    tenant: "acme".into(),
+                    epoch: 3,
+                },
+            );
+            append(
+                &mut wal,
+                &WalOp::Flush {
+                    tenant: Some("acme".into()),
+                },
+            );
+            append(&mut wal, &tenant_insert("acme", "kept"));
+        }
+        let (_, replayed, _) = ServeWal::open(&path, FsyncPolicy::Never).unwrap();
+        // The acme flush dropped only acme's earlier insert; beta's insert
+        // and the epoch bump survive, in order.
+        assert_eq!(
+            replayed,
+            vec![
+                tenant_insert("beta", "survives"),
+                WalOp::Invalidate {
+                    tenant: "acme".into(),
+                    epoch: 3,
+                },
+                tenant_insert("acme", "kept"),
+            ]
+        );
+    }
+
+    #[test]
+    fn legacy_flush_spares_epoch_bumps() {
+        let path = temp_path("t");
+        {
+            let (mut wal, _, _) = ServeWal::open(&path, FsyncPolicy::Always).unwrap();
+            append(&mut wal, &tenant_insert("acme", "gone"));
+            append(
+                &mut wal,
+                &WalOp::Invalidate {
+                    tenant: "acme".into(),
+                    epoch: 9,
+                },
+            );
+            append(&mut wal, &WalOp::Flush { tenant: None });
+        }
+        let (_, replayed, _) = ServeWal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(
+            replayed,
+            vec![WalOp::Invalidate {
+                tenant: "acme".into(),
+                epoch: 9,
+            }]
+        );
     }
 
     #[test]

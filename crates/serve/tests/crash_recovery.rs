@@ -35,8 +35,9 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
 }
 
 /// Spawns the `serve` binary on an ephemeral port and parses the bound
-/// address off its startup banner.
-fn spawn_serve(persist: &Path) -> (Child, SocketAddr) {
+/// address off its startup banner. `extra_args` appends to the base
+/// durability flags (the tenancy test adds `--tenants`/`--default-tenant`).
+fn spawn_serve(persist: &Path, extra_args: &[&str]) -> (Child, SocketAddr) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
         .args([
             "--addr",
@@ -50,6 +51,7 @@ fn spawn_serve(persist: &Path) -> (Child, SocketAddr) {
             "--batch-wait-us",
             "100",
         ])
+        .args(extra_args)
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -87,7 +89,7 @@ fn crash_cycle(iter: u32, kill_after_ms: u64) -> (usize, u64, u64) {
     let dir = temp_dir(&format!("iter{iter}"));
     let persist = dir.join("cache.log");
 
-    let (mut child, addr) = spawn_serve(&persist);
+    let (mut child, addr) = spawn_serve(&persist, &[]);
     let mut client = Client::connect(addr).expect("connect to serve");
 
     // Killer fires mid-load; varying the delay per iteration moves the
@@ -119,7 +121,7 @@ fn crash_cycle(iter: u32, kill_after_ms: u64) -> (usize, u64, u64) {
 
     // Restart against the same persist path: WAL replay must restore
     // every acknowledged insert, with the original response text.
-    let (mut child, addr) = spawn_serve(&persist);
+    let (mut child, addr) = spawn_serve(&persist, &[]);
     let mut client = Client::connect(addr).expect("connect after restart");
     let stats = client.stats().expect("stats after restart");
     assert!(
@@ -167,6 +169,155 @@ fn sigkill_mid_load_loses_no_acknowledged_insert() {
         println!(
             "recovery-report iter={iter} kill_after_ms={kill_after_ms} \
              acked={acked} wal_replayed={replayed} bytes_truncated={truncated}"
+        );
+    }
+}
+
+// ---- two concurrent tenants -------------------------------------------------
+
+const TENANT_FLAGS: &[&str] = &[
+    "--tenants",
+    "acme:sekret:0,beta:hunter2:0",
+    "--default-tenant",
+    "none",
+];
+
+fn tenant_response_for(tenant: &str, i: usize) -> String {
+    format!("durable response {tenant} {i}")
+}
+
+/// One two-tenant crash cycle: both tenants insert concurrently over their
+/// own authenticated connections — deliberately using the *same* query
+/// texts, so after recovery the only thing separating them is the WAL's
+/// tenant tag. SIGKILL mid-load, restart, then verify per tenant:
+///
+/// 1. every acknowledged insert is present verbatim under its own tenant
+///    (exact response bytes), and
+/// 2. no lookup ever resolves with the *other* tenant's frame — including
+///    queries the other tenant acked but this one never inserted.
+///
+/// Returns per-tenant acked counts for the recovery report.
+fn tenant_crash_cycle(iter: u32, kill_after_ms: u64) -> [usize; 2] {
+    const TENANTS: [(&str, &str); 2] = [("acme", "sekret"), ("beta", "hunter2")];
+    let dir = temp_dir(&format!("tenants_iter{iter}"));
+    let persist = dir.join("cache.log");
+
+    let (mut child, addr) = spawn_serve(&persist, TENANT_FLAGS);
+    let killer = {
+        let pid = child.id();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(kill_after_ms));
+            let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+        })
+    };
+
+    // Two insert loops race the killer on separate connections.
+    let writers: Vec<_> = TENANTS
+        .iter()
+        .map(|&(name, token)| {
+            std::thread::spawn(move || {
+                let mut acked = 0usize;
+                let Ok(mut client) = Client::connect(addr) else {
+                    return acked; // killed before the connect completed
+                };
+                if client.hello(name, token).is_err() {
+                    return acked;
+                }
+                for i in 0..5_000 {
+                    match client.insert(&query_for(i), &tenant_response_for(name, i), &[]) {
+                        Ok(_) => acked = i + 1,
+                        Err(_) => break,
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+    let acked: Vec<usize> = writers
+        .into_iter()
+        .map(|w| w.join().expect("writer thread"))
+        .collect();
+    killer.join().expect("killer thread");
+    let status = child.wait().expect("reap killed serve");
+    assert!(
+        !status.success(),
+        "serve must have died from SIGKILL, not exited cleanly"
+    );
+
+    // Restart and verify each tenant's slice through its own handshake.
+    let (mut child, addr) = spawn_serve(&persist, TENANT_FLAGS);
+    let max_acked = acked.iter().copied().max().unwrap_or(0);
+    for (t, &(name, token)) in TENANTS.iter().enumerate() {
+        let mut client = Client::connect(addr).expect("connect after restart");
+        client.hello(name, token).expect("re-authenticate");
+        let probes: Vec<(String, Vec<String>)> =
+            (0..max_acked).map(|i| (query_for(i), Vec::new())).collect();
+        if probes.is_empty() {
+            continue;
+        }
+        let outcomes = client
+            .lookup_pipelined(&probes)
+            .expect("post-recovery lookups");
+        let own = format!("durable response {name} ");
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i < acked[t] {
+                let hit = outcome.hit().unwrap_or_else(|| {
+                    panic!("{name}: acked insert {i} lost after crash recovery")
+                });
+                assert_eq!(
+                    hit.response,
+                    tenant_response_for(name, i),
+                    "{name}: acked insert {i} came back corrupted"
+                );
+            } else if let Some(hit) = outcome.hit() {
+                // This tenant never inserted query i; the other may have.
+                // A semantic near-hit on the tenant's *own* entries is
+                // legal — serving the neighbour's frame is not.
+                assert!(
+                    hit.response.starts_with(&own),
+                    "{name}: probe {i} resolved with a foreign frame {:?}",
+                    hit.response
+                );
+            }
+        }
+    }
+
+    let mut client = Client::connect(addr).expect("control connect");
+    let stats = client.stats().expect("stats after restart");
+    for (t, &(name, _)) in TENANTS.iter().enumerate() {
+        let entries = stats
+            .tenants
+            .iter()
+            .find(|row| row.name == name)
+            .map_or(0, |row| row.entries);
+        assert!(
+            entries >= acked[t],
+            "{name}: {entries} resident entries but {} acked inserts",
+            acked[t]
+        );
+    }
+    client.shutdown_server().expect("graceful shutdown");
+    let status = child.wait().expect("reap restarted serve");
+    assert!(status.success(), "restarted serve must shut down cleanly");
+    std::fs::remove_dir_all(&dir).ok();
+    [acked[0], acked[1]]
+}
+
+#[test]
+fn sigkill_with_two_tenants_keeps_acked_inserts_isolated_per_tenant() {
+    // Fewer iterations than the single-tenant sweep: each cycle runs two
+    // full write streams, and the tenant-tagging property does not depend
+    // on where the kill lands as finely as the fsync contract does.
+    let iters: u32 = std::env::var("CRASH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(2, |n: u32| n.div_ceil(4).max(2));
+    for iter in 0..iters {
+        let kill_after_ms = 40 + 60 * u64::from(iter % 3);
+        let [acme, beta] = tenant_crash_cycle(iter, kill_after_ms);
+        println!(
+            "recovery-report tenants iter={iter} kill_after_ms={kill_after_ms} \
+             acked_acme={acme} acked_beta={beta}"
         );
     }
 }

@@ -1,0 +1,327 @@
+//! Wire-protocol hostility and tenancy tests: the `Hello` handshake and
+//! per-tenant data plane under malformed, unauthorized, and boundary-length
+//! input. Every hostile frame must map to the documented `ErrorCode` and
+//! the documented connection state — request-level failures keep the
+//! connection serving, framing-level failures answer once and hang up, and
+//! nothing panics the event loop (every test ends with the server still
+//! answering on a fresh connection).
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use mc_embedder::{ModelProfile, QueryEncoder};
+use mc_serve::{
+    protocol::read_frame, Client, ClientConfig, ClientError, ErrorCode, Request, Response,
+    ServeConfig, ServeTenant, Server, MAX_TENANT_LEN,
+};
+use meancache::{MeanCacheConfig, ShardedCache};
+
+const SEED: u64 = 7;
+
+fn cache(shards: usize) -> ShardedCache {
+    let encoder = QueryEncoder::new(ModelProfile::tiny(), SEED).unwrap();
+    ShardedCache::new(
+        encoder,
+        MeanCacheConfig::default()
+            .with_threshold(0.6)
+            .with_index(mc_store::IndexKind::flat_sq8())
+            .with_shards(shards),
+    )
+    .unwrap()
+}
+
+fn tenant(name: &str, token: &str) -> ServeTenant {
+    ServeTenant {
+        name: name.to_string(),
+        token: token.to_string(),
+        quota: 0,
+    }
+}
+
+/// A two-tenant server config with no legacy default tenant: every data
+/// opcode requires a successful `Hello` first.
+fn strict_config() -> ServeConfig {
+    ServeConfig {
+        tenants: vec![tenant("acme", "sekret"), tenant("beta", "hunter2")],
+        default_tenant: None,
+        ..ServeConfig::default()
+    }
+}
+
+/// Sends one raw `len ∥ payload` frame.
+fn send_frame(stream: &mut std::net::TcpStream, payload: &[u8]) {
+    stream
+        .write_all(&(payload.len() as u32).to_le_bytes())
+        .unwrap();
+    stream.write_all(payload).unwrap();
+    stream.flush().unwrap();
+}
+
+/// A wrong token is a non-retryable `Unauthenticated` failure, the
+/// connection survives it, and the same connection authenticates with the
+/// right credentials afterwards.
+#[test]
+fn wrong_token_is_refused_but_the_connection_survives() {
+    let handle = Server::start(cache(2), &strict_config(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    match client.hello("acme", "wrong-token") {
+        Err(ClientError::Rejected {
+            code: ErrorCode::Unauthenticated,
+            retryable: false,
+            ..
+        }) => {}
+        other => panic!("expected non-retryable Unauthenticated, got {other:?}"),
+    }
+    // Unknown tenants answer identically to bad tokens (constant-time
+    // compare against a dummy secret) — same code, same connection state.
+    match client.hello("nobody", "sekret") {
+        Err(ClientError::Rejected {
+            code: ErrorCode::Unauthenticated,
+            retryable: false,
+            ..
+        }) => {}
+        other => panic!("expected non-retryable Unauthenticated, got {other:?}"),
+    }
+    client.hello("acme", "sekret").unwrap();
+    client.insert("post-auth entry", "resp", &[]).unwrap();
+    assert!(client.lookup("post-auth entry", &[]).unwrap().is_hit());
+    drop(client);
+    handle.shutdown();
+}
+
+/// On a server without a default tenant, every data opcode before `Hello`
+/// is a *retryable* `Unauthenticated` failure (the fix — authenticating —
+/// makes a retry succeed), while tenant-less control opcodes still pass.
+#[test]
+fn data_before_auth_is_refused_retryably_without_a_default_tenant() {
+    let handle = Server::start(cache(2), &strict_config(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ping().unwrap();
+
+    let refused = |err: ClientError| match err {
+        ClientError::Rejected {
+            code: ErrorCode::Unauthenticated,
+            retryable: true,
+            ..
+        } => {}
+        other => panic!("expected retryable Unauthenticated, got {other:?}"),
+    };
+    refused(client.lookup("pre-auth probe", &[]).unwrap_err());
+    refused(client.insert("pre-auth entry", "resp", &[]).unwrap_err());
+    refused(client.flush().unwrap_err());
+    refused(client.invalidate("acme", 0).unwrap_err());
+
+    // Cross-tenant control needs no namespace and is served pre-auth.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.entries, 0);
+
+    // The promised fix works: authenticate, then the same data ops pass.
+    client.hello("acme", "sekret").unwrap();
+    client.insert("pre-auth entry", "resp", &[]).unwrap();
+    assert!(client.lookup("pre-auth entry", &[]).unwrap().is_hit());
+    drop(client);
+    handle.shutdown();
+}
+
+/// Tenant names exactly at [`MAX_TENANT_LEN`] authenticate; one byte over
+/// (or empty) is a `BadRequest` on a connection that stays open.
+#[test]
+fn tenant_name_length_cap_is_exact() {
+    let cap_name = "t".repeat(MAX_TENANT_LEN);
+    let config = ServeConfig {
+        tenants: vec![tenant(&cap_name, "cap-token")],
+        default_tenant: None,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cache(2), &config, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let bad_request = |err: ClientError| match err {
+        ClientError::Rejected {
+            code: ErrorCode::BadRequest,
+            retryable: false,
+            ..
+        } => {}
+        other => panic!("expected BadRequest, got {other:?}"),
+    };
+    bad_request(
+        client
+            .hello(&"t".repeat(MAX_TENANT_LEN + 1), "cap-token")
+            .unwrap_err(),
+    );
+    bad_request(client.hello("", "cap-token").unwrap_err());
+
+    // The boundary itself is legal, on the very same connection.
+    client.hello(&cap_name, "cap-token").unwrap();
+    // An over-long `Invalidate` target is length-checked before the
+    // ownership check (auth resolution runs first, so this needs the
+    // handshake above).
+    bad_request(
+        client
+            .invalidate(&"t".repeat(MAX_TENANT_LEN + 1), 0)
+            .unwrap_err(),
+    );
+    client.insert("cap tenant entry", "resp", &[]).unwrap();
+    assert!(client.lookup("cap tenant entry", &[]).unwrap().is_hit());
+    drop(client);
+    handle.shutdown();
+}
+
+/// A truncated `Hello` payload (well-formed frame, short payload) fails
+/// only that request with `BadRequest`: the stream stays in sync and the
+/// next frame on the same socket is served normally.
+#[test]
+fn truncated_hello_fails_the_request_not_the_connection() {
+    let handle = Server::start(cache(2), &strict_config(), "127.0.0.1:0").unwrap();
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.set_nodelay(true).unwrap();
+
+    let full = Request::Hello {
+        tenant: "acme".into(),
+        token: "sekret".into(),
+    }
+    .encode();
+    // Cut the payload mid-string: the frame is valid, the payload is not.
+    send_frame(&mut raw, &full[..full.len() - 3]);
+
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let payload = read_frame(&mut reader).unwrap().expect("an answer");
+    match Response::decode(&payload).unwrap() {
+        Response::Fail {
+            code: ErrorCode::BadRequest,
+            retryable: false,
+            ..
+        } => {}
+        other => panic!("expected BadRequest Fail, got {other:?}"),
+    }
+
+    // Same socket, next frame: still served.
+    send_frame(&mut raw, &Request::Ping.encode());
+    let payload = read_frame(&mut reader).unwrap().expect("a pong");
+    assert_eq!(Response::decode(&payload).unwrap(), Response::Pong);
+    drop(raw);
+    handle.shutdown();
+}
+
+/// A hostile length prefix beyond `MAX_FRAME_LEN` is answered with one
+/// legacy `Error` frame and then the server hangs up — before allocating
+/// or reading any payload.
+#[test]
+fn oversized_frame_is_answered_then_the_server_hangs_up() {
+    let handle = Server::start(cache(2), &strict_config(), "127.0.0.1:0").unwrap();
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.set_nodelay(true).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // 17 MiB length prefix, no payload behind it.
+    raw.write_all(&((17u32 << 20).to_le_bytes())).unwrap();
+    raw.flush().unwrap();
+
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let payload = read_frame(&mut reader).unwrap().expect("an error frame");
+    match Response::decode(&payload).unwrap() {
+        Response::Error(message) => {
+            assert!(
+                message.contains("exceeds"),
+                "error must name the cap: {message:?}"
+            );
+        }
+        other => panic!("expected a framing Error, got {other:?}"),
+    }
+    // Then EOF: the connection is gone, not limping.
+    assert!(read_frame(&mut reader).unwrap().is_none());
+
+    // And the event loop survived to serve a fresh connection.
+    let mut probe = Client::connect(handle.addr()).unwrap();
+    probe.ping().unwrap();
+    drop(probe);
+    handle.shutdown();
+}
+
+/// Identical query text under two tenants stays isolated end to end: the
+/// shared embedding memo and cross-batch singleflight key by tenant, so one
+/// tenant's frame never resolves the other's lookup.
+#[test]
+fn identical_text_under_two_tenants_never_crosses() {
+    let config = ServeConfig {
+        // Force the shared-machinery paths the test is about.
+        memo_capacity: 4096,
+        singleflight: true,
+        ..strict_config()
+    };
+    let handle = Server::start(cache(2), &config, "127.0.0.1:0").unwrap();
+
+    let mut acme = Client::connect_with_config(
+        handle.addr(),
+        ClientConfig {
+            tenant: Some("acme".into()),
+            token: Some("sekret".into()),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let mut beta = Client::connect_with_config(
+        handle.addr(),
+        ClientConfig {
+            tenant: Some("beta".into()),
+            token: Some("hunter2".into()),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+
+    acme.insert("the exact same question text", "acme's answer", &[])
+        .unwrap();
+    // beta probes the identical text — memoized embedding, same
+    // singleflight key text — and must still miss.
+    for _ in 0..8 {
+        assert!(
+            beta.lookup("the exact same question text", &[])
+                .unwrap()
+                .is_miss(),
+            "beta must never be served acme's entry"
+        );
+    }
+    let acme_hit = acme.lookup("the exact same question text", &[]).unwrap();
+    assert_eq!(acme_hit.hit().unwrap().response, "acme's answer");
+
+    // beta's own insert under the same text serves beta's frame, not
+    // acme's — and vice versa, even probed back-to-back.
+    beta.insert("the exact same question text", "beta's answer", &[])
+        .unwrap();
+    let beta_hit = beta.lookup("the exact same question text", &[]).unwrap();
+    assert_eq!(beta_hit.hit().unwrap().response, "beta's answer");
+    let acme_hit = acme.lookup("the exact same question text", &[]).unwrap();
+    assert_eq!(acme_hit.hit().unwrap().response, "acme's answer");
+
+    drop(acme);
+    drop(beta);
+    handle.shutdown();
+}
+
+/// An authenticated connection may only invalidate its own namespace; a
+/// neighbour's epoch (and entries) are untouchable.
+#[test]
+fn authenticated_connection_cannot_invalidate_a_neighbour() {
+    let handle = Server::start(cache(2), &strict_config(), "127.0.0.1:0").unwrap();
+    let mut acme = Client::connect(handle.addr()).unwrap();
+    acme.hello("acme", "sekret").unwrap();
+    let mut beta = Client::connect(handle.addr()).unwrap();
+    beta.hello("beta", "hunter2").unwrap();
+
+    beta.insert("beta standing entry", "resp", &[]).unwrap();
+    match acme.invalidate("beta", 0) {
+        Err(ClientError::Rejected {
+            code: ErrorCode::Unauthenticated,
+            retryable: false,
+            ..
+        }) => {}
+        other => panic!("expected non-retryable Unauthenticated, got {other:?}"),
+    }
+    // beta's entry still serves; acme's own invalidation still works.
+    assert!(beta.lookup("beta standing entry", &[]).unwrap().is_hit());
+    assert_eq!(acme.invalidate("acme", 0).unwrap(), 1);
+    drop(acme);
+    drop(beta);
+    handle.shutdown();
+}

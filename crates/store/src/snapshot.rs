@@ -64,6 +64,7 @@
 //!     wal_len: 8,
 //!     wal_head_crc: 0,
 //!     wal_tail_crc: 0,
+//!     tenant: None,
 //! }).unwrap();
 //!
 //! // The loader mmaps the file and rebuilds the index over the mapped
@@ -119,6 +120,10 @@ pub const SEC_ENTRY_EMB: u32 = 3;
 pub const SEC_INDEX_META: u32 = 4;
 /// Conversation-root shard pins: `count × (u64 root_hash, u64 shard)`.
 pub const SEC_ROOT_PINS: u32 = 5;
+/// Owning tenant's name as UTF-8 bytes (absent for legacy/default-tenant
+/// snapshots — additive section, old readers skip it, old files load as
+/// the default tenant).
+pub const SEC_TENANT_TAG: u32 = 6;
 /// Flat backend: row ids (`u64` each, row order).
 pub const SEC_FLAT_IDS: u32 = 10;
 /// Flat backend, f32 codec: row values.
@@ -172,6 +177,10 @@ pub struct SnapshotView<'a> {
     /// CRC32 of the last `min(4096, wal_len)` bytes of the captured log
     /// prefix.
     pub wal_tail_crc: u32,
+    /// Owning tenant, written as a [`SEC_TENANT_TAG`] section when `Some`.
+    /// `None` (the default tenant) keeps the file byte-identical to
+    /// pre-tenancy snapshots.
+    pub tenant: Option<&'a str>,
 }
 
 /// What [`load_snapshot`] reconstructs.
@@ -192,6 +201,9 @@ pub struct RestoredSnapshot {
     /// `true` when the arenas borrow a live `mmap` (zero-copy), `false` on
     /// the heap fallback.
     pub mapped: bool,
+    /// Owning tenant recorded at save time (`None` for legacy/default-tenant
+    /// snapshots).
+    pub tenant: Option<String>,
 }
 
 // ---- writer ----------------------------------------------------------------
@@ -420,6 +432,14 @@ fn build_sections<'a>(view: &'a SnapshotView<'a>) -> Result<Vec<Section<'a>>> {
     let mut pins_sec = Section::new(SEC_ROOT_PINS);
     pins_sec.push(Cow::Owned(pins));
     sections.push(pins_sec);
+
+    // Tenant tag (additive; absent for the default tenant so pre-tenancy
+    // readers and writers stay byte-compatible).
+    if let Some(tenant) = view.tenant {
+        let mut tenant_sec = Section::new(SEC_TENANT_TAG);
+        tenant_sec.push(Cow::Borrowed(tenant.as_bytes()));
+        sections.push(tenant_sec);
+    }
 
     Ok(sections)
 }
@@ -1007,6 +1027,14 @@ pub fn load_snapshot_with(
         }
     }
     let pins = decode_pins(&parsed)?;
+    let tenant = match parsed.section(SEC_TENANT_TAG) {
+        Some(sec) => Some(
+            std::str::from_utf8(parsed.bytes(sec))
+                .map_err(|_| StoreError::Corrupt("TENANT_TAG is not valid UTF-8".into()))?
+                .to_string(),
+        ),
+        None => None,
+    };
     Ok(RestoredSnapshot {
         entries,
         index,
@@ -1015,6 +1043,7 @@ pub fn load_snapshot_with(
         wal_head_crc: parsed.wal_head_crc,
         wal_tail_crc: parsed.wal_tail_crc,
         mapped,
+        tenant,
     })
 }
 
@@ -1069,9 +1098,40 @@ mod tests {
                 wal_len: 8,
                 wal_head_crc: 0xAB,
                 wal_tail_crc: 0xCD,
+                tenant: None,
             },
         )
         .unwrap();
+    }
+
+    #[test]
+    fn tenant_tag_round_trips_and_legacy_files_have_none() {
+        let kind = IndexKind::flat();
+        let (entries, index) = build_state(&kind, 8, 16);
+        let path = temp_path("tenant_tag");
+        save_snapshot(
+            &path,
+            &SnapshotView {
+                entries: entries.iter().collect(),
+                index: &index,
+                pins: &[],
+                wal_len: 0,
+                wal_head_crc: 0,
+                wal_tail_crc: 0,
+                tenant: Some("acme"),
+            },
+        )
+        .unwrap();
+        let restored = load_snapshot(&path, &kind).unwrap();
+        assert_eq!(restored.tenant.as_deref(), Some("acme"));
+        std::fs::remove_file(&path).ok();
+
+        // Default-tenant saves omit the section entirely (legacy shape).
+        let legacy = temp_path("tenant_tag_legacy");
+        save(&legacy, &entries, &index, &[]);
+        let restored = load_snapshot(&legacy, &kind).unwrap();
+        assert_eq!(restored.tenant, None);
+        std::fs::remove_file(&legacy).ok();
     }
 
     #[test]

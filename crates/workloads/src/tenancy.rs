@@ -1,0 +1,342 @@
+//! Multi-tenant serving workloads for the tenancy experiments.
+//!
+//! Real multi-tenant cache deployments are not uniform: a handful of hot
+//! tenants dominate traffic (Zipf-skewed popularity), and each tenant's
+//! request rate swings through the day (diurnal bursts) with peaks that
+//! rarely line up across tenants. This module generates a deterministic
+//! synthetic schedule with both properties so `exp_tenancy` can measure
+//! per-tenant hit rate, latency, and occupancy under realistic contention
+//! — in particular whether a background tenant keeps its quota floor while
+//! a foreground tenant floods the cache.
+//!
+//! Each tenant draws its queries from its own slice of the topic bank
+//! (seeded per tenant), so cross-tenant traffic is semantically disjoint:
+//! a hit served to tenant A from tenant B's entry would be an isolation
+//! bug, not a coincidence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::streams::{standalone_workload, ProbeQuery};
+use crate::TopicBank;
+
+/// Shape of a multi-tenant workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenancyConfig {
+    /// Number of tenants (rank 0 is the hottest).
+    pub tenants: usize,
+    /// Zipf exponent for the per-tenant traffic share: share of rank `i`
+    /// ∝ `1 / (i + 1)^zipf_s`. `0.0` is uniform; the experiments use
+    /// values around `1.0`, which at 8 tenants gives roughly an 8:1
+    /// hottest-to-coldest ratio.
+    pub zipf_s: f64,
+    /// Entries pre-inserted per tenant before the probe phase.
+    pub cached_per_tenant: usize,
+    /// Total probe operations across every tenant.
+    pub probes: usize,
+    /// Fraction of each tenant's probes that paraphrase one of its own
+    /// cached entries (ground-truth hits).
+    pub duplicate_ratio: f32,
+    /// Length of one diurnal cycle in schedule ticks.
+    pub day_ticks: usize,
+    /// Peak-to-mean modulation of each tenant's request intensity over the
+    /// diurnal cycle, in `[0, 1]`. `0.0` disables bursts.
+    pub burst_amplitude: f64,
+    /// Master seed; everything downstream derives from it.
+    pub seed: u64,
+}
+
+impl Default for TenancyConfig {
+    fn default() -> Self {
+        Self {
+            tenants: 4,
+            zipf_s: 1.0,
+            cached_per_tenant: 200,
+            probes: 2000,
+            duplicate_ratio: 0.5,
+            day_ticks: 500,
+            burst_amplitude: 0.6,
+            seed: 2024,
+        }
+    }
+}
+
+/// One tenant's standing state: what it pre-populates and how much traffic
+/// it is expected to send.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantLoad {
+    /// Tenant name (`tenant-00`, `tenant-01`, …; rank order = heat order).
+    pub name: String,
+    /// Long-run traffic share from the Zipf law (sums to 1 across tenants).
+    pub share: f64,
+    /// Queries inserted under this tenant before the probe phase.
+    pub populate: Vec<(String, usize)>,
+}
+
+/// One probe in the interleaved schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenancyOp {
+    /// Index into [`TenancyWorkload::tenants`].
+    pub tenant: usize,
+    /// Position in the diurnal timeline (monotone non-decreasing over the
+    /// schedule; `tick % day_ticks` is the time of day).
+    pub tick: usize,
+    /// The probe itself, with its ground-truth label scoped to the
+    /// issuing tenant's own cache contents.
+    pub probe: ProbeQuery,
+}
+
+/// A complete multi-tenant workload: per-tenant populate sets plus one
+/// globally interleaved probe schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenancyWorkload {
+    /// Per-tenant standing state, hottest first.
+    pub tenants: Vec<TenantLoad>,
+    /// Probes in issue order, tagged with tenant and diurnal tick.
+    pub schedule: Vec<TenancyOp>,
+}
+
+impl TenancyWorkload {
+    /// Number of scheduled probes issued by `tenant`.
+    pub fn probes_for(&self, tenant: usize) -> usize {
+        self.schedule
+            .iter()
+            .filter(|op| op.tenant == tenant)
+            .count()
+    }
+
+    /// Ground-truth hit count for `tenant` (what a perfectly isolated,
+    /// perfectly accurate cache would serve).
+    pub fn expected_hits_for(&self, tenant: usize) -> usize {
+        self.schedule
+            .iter()
+            .filter(|op| op.tenant == tenant && op.probe.should_hit)
+            .count()
+    }
+}
+
+/// Normalised Zipf shares for `n` ranks with exponent `s`.
+fn zipf_shares(n: usize, s: f64) -> Vec<f64> {
+    let raw: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+/// Tenant `i`'s intensity multiplier at diurnal tick `t`: a sinusoid
+/// around 1.0 with a per-tenant phase offset, so tenant peaks are
+/// staggered across the day instead of synchronised.
+fn diurnal_intensity(tenant: usize, n: usize, tick: usize, day_ticks: usize, amp: f64) -> f64 {
+    if day_ticks == 0 || amp <= 0.0 {
+        return 1.0;
+    }
+    let phase = tenant as f64 / n.max(1) as f64;
+    let t = tick as f64 / day_ticks as f64;
+    1.0 + amp.clamp(0.0, 1.0) * (std::f64::consts::TAU * (t + phase)).sin()
+}
+
+/// Generates the multi-tenant workload.
+///
+/// Deterministic under a fixed config: tenant populate sets, the schedule,
+/// and every ground-truth label replay bit-identically. Each tenant's
+/// queries come from a per-tenant topic bank (seeded `seed + rank`), so no
+/// query text is shared across tenants.
+///
+/// # Panics
+/// Panics when `tenants == 0`.
+pub fn tenancy_workload(config: &TenancyConfig) -> TenancyWorkload {
+    assert!(
+        config.tenants > 0,
+        "tenancy workload needs at least one tenant"
+    );
+    let shares = zipf_shares(config.tenants, config.zipf_s);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Per-tenant query pools. The pool is oversized relative to the
+    // tenant's expected share so weighted sampling never runs dry; if it
+    // does anyway (extreme burst alignment), the schedule cycles the pool
+    // — ground truth stays correct because labels depend on topic
+    // membership, not on first use.
+    let mut tenants = Vec::with_capacity(config.tenants);
+    let mut pools: Vec<Vec<ProbeQuery>> = Vec::with_capacity(config.tenants);
+    for (rank, &share) in shares.iter().enumerate() {
+        let bank = TopicBank::generate(config.seed + rank as u64);
+        let budget = ((config.probes as f64 * share * 2.0) as usize).max(16);
+        let mut w = standalone_workload(
+            &bank,
+            config.cached_per_tenant,
+            budget,
+            config.duplicate_ratio,
+            config.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        // The topic bank's paraphrase text repeats across seeds, so
+        // namespace every query with the tenant name: pools become
+        // textually disjoint while within-tenant paraphrase structure
+        // (shared topic words plus a now-shared prefix) is preserved.
+        let name = format!("tenant-{rank:02}");
+        for (q, _) in &mut w.populate {
+            *q = format!("[{name}] {q}");
+        }
+        for p in &mut w.probes {
+            p.text = format!("[{name}] {}", p.text);
+        }
+        tenants.push(TenantLoad {
+            name,
+            share,
+            populate: w.populate,
+        });
+        pools.push(w.probes);
+    }
+
+    // Interleaved schedule: at each tick, draw the issuing tenant from the
+    // Zipf shares modulated by each tenant's diurnal intensity.
+    let mut cursors = vec![0usize; config.tenants];
+    let mut schedule = Vec::with_capacity(config.probes);
+    for tick in 0..config.probes {
+        let weights: Vec<f64> = shares
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                s * diurnal_intensity(
+                    i,
+                    config.tenants,
+                    tick,
+                    config.day_ticks,
+                    config.burst_amplitude,
+                )
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut draw = rng.random_range(0.0..total.max(f64::MIN_POSITIVE));
+        let mut tenant = config.tenants - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if draw < *w {
+                tenant = i;
+                break;
+            }
+            draw -= w;
+        }
+        let pool = &pools[tenant];
+        let probe = pool[cursors[tenant] % pool.len()].clone();
+        cursors[tenant] += 1;
+        schedule.push(TenancyOp {
+            tenant,
+            tick,
+            probe,
+        });
+    }
+
+    TenancyWorkload { tenants, schedule }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let config = TenancyConfig {
+            probes: 500,
+            cached_per_tenant: 50,
+            ..TenancyConfig::default()
+        };
+        assert_eq!(tenancy_workload(&config), tenancy_workload(&config));
+    }
+
+    #[test]
+    fn zipf_shares_are_skewed_and_normalised() {
+        let shares = zipf_shares(8, 1.0);
+        let total: f64 = shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(
+            shares[0] / shares[7] > 7.5,
+            "rank 0 vs rank 7: {} / {}",
+            shares[0],
+            shares[7]
+        );
+        for w in shares.windows(2) {
+            assert!(w[0] >= w[1], "shares must be monotone by rank");
+        }
+    }
+
+    #[test]
+    fn schedule_honours_the_traffic_shares() {
+        let config = TenancyConfig {
+            tenants: 4,
+            probes: 4000,
+            cached_per_tenant: 40,
+            burst_amplitude: 0.0, // isolate the Zipf law from the bursts
+            ..TenancyConfig::default()
+        };
+        let w = tenancy_workload(&config);
+        assert_eq!(w.schedule.len(), config.probes);
+        for (rank, tenant) in w.tenants.iter().enumerate() {
+            let observed = w.probes_for(rank) as f64 / config.probes as f64;
+            assert!(
+                (observed - tenant.share).abs() < 0.05,
+                "tenant {rank}: observed {observed:.3}, share {:.3}",
+                tenant.share
+            );
+        }
+    }
+
+    #[test]
+    fn bursts_modulate_traffic_through_the_day() {
+        let config = TenancyConfig {
+            tenants: 2,
+            probes: 4000,
+            cached_per_tenant: 40,
+            day_ticks: 1000,
+            burst_amplitude: 0.9,
+            ..TenancyConfig::default()
+        };
+        let w = tenancy_workload(&config);
+        // Tenant 1's phase offset puts its peak half a day after tenant
+        // 0's; count its probes in opposite half-day windows.
+        let first_half = w
+            .schedule
+            .iter()
+            .filter(|op| op.tenant == 1 && op.tick % config.day_ticks < config.day_ticks / 2)
+            .count();
+        let second_half = w.probes_for(1) - first_half;
+        assert!(
+            second_half > first_half * 2,
+            "diurnal burst must skew tenant 1 toward its peak window: \
+             {first_half} vs {second_half}"
+        );
+    }
+
+    #[test]
+    fn tenant_query_pools_are_disjoint() {
+        let config = TenancyConfig {
+            tenants: 3,
+            probes: 300,
+            cached_per_tenant: 30,
+            ..TenancyConfig::default()
+        };
+        let w = tenancy_workload(&config);
+        let mut seen: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for (rank, tenant) in w.tenants.iter().enumerate() {
+            for (q, _) in &tenant.populate {
+                if let Some(owner) = seen.insert(q.as_str(), rank) {
+                    assert_eq!(owner, rank, "populate text shared across tenants: {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_counts_are_consistent() {
+        let config = TenancyConfig {
+            probes: 1000,
+            cached_per_tenant: 100,
+            ..TenancyConfig::default()
+        };
+        let w = tenancy_workload(&config);
+        let total: usize = (0..config.tenants).map(|t| w.probes_for(t)).sum();
+        assert_eq!(total, config.probes);
+        for t in 0..config.tenants {
+            assert!(w.expected_hits_for(t) <= w.probes_for(t));
+        }
+    }
+}
